@@ -1,0 +1,93 @@
+//! Errors reported by the ATM case-study harness.
+
+use fcpn_codegen::CodegenError;
+use fcpn_petri::PetriError;
+use fcpn_qss::QssError;
+use fcpn_rtos::RtosError;
+use std::fmt;
+
+/// Errors produced while building the ATM model or running the Table I experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AtmError {
+    /// The ATM model turned out not to be quasi-statically schedulable (this would be a
+    /// modelling bug; the report is attached for diagnosis).
+    NotSchedulable(String),
+    /// Building the net failed.
+    Petri(PetriError),
+    /// The scheduler rejected the model.
+    Qss(QssError),
+    /// Software synthesis failed.
+    Codegen(CodegenError),
+    /// The run-time simulation failed.
+    Rtos(RtosError),
+}
+
+impl fmt::Display for AtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtmError::NotSchedulable(report) => {
+                write!(f, "atm model is not schedulable: {report}")
+            }
+            AtmError::Petri(e) => write!(f, "petri net error: {e}"),
+            AtmError::Qss(e) => write!(f, "scheduling error: {e}"),
+            AtmError::Codegen(e) => write!(f, "code generation error: {e}"),
+            AtmError::Rtos(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AtmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtmError::NotSchedulable(_) => None,
+            AtmError::Petri(e) => Some(e),
+            AtmError::Qss(e) => Some(e),
+            AtmError::Codegen(e) => Some(e),
+            AtmError::Rtos(e) => Some(e),
+        }
+    }
+}
+
+impl From<PetriError> for AtmError {
+    fn from(e: PetriError) -> Self {
+        AtmError::Petri(e)
+    }
+}
+
+impl From<QssError> for AtmError {
+    fn from(e: QssError) -> Self {
+        AtmError::Qss(e)
+    }
+}
+
+impl From<CodegenError> for AtmError {
+    fn from(e: CodegenError) -> Self {
+        AtmError::Codegen(e)
+    }
+}
+
+impl From<RtosError> for AtmError {
+    fn from(e: RtosError) -> Self {
+        AtmError::Rtos(e)
+    }
+}
+
+/// Result alias for the crate.
+pub type Result<T, E = AtmError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AtmError = PetriError::ZeroWeightArc.into();
+        assert!(e.to_string().contains("petri"));
+        let e: AtmError = QssError::Empty.into();
+        assert!(e.to_string().contains("scheduling"));
+        let e = AtmError::NotSchedulable("2 components failed".into());
+        assert!(e.to_string().contains("components"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

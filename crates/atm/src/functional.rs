@@ -1,0 +1,299 @@
+//! The functional task-partitioning baseline of Table I.
+//!
+//! The paper compares its QSS implementation against an implementation obtained "by
+//! synthesizing separately one task for each of the five modules" of the block diagram.
+//! This module derives that partitioning from the [`AtmModel`]'s module annotation and
+//! emits the corresponding C skeleton: every module becomes an RTOS task with its own
+//! input queues, dispatch loop and inter-task writes, which is where the extra lines of
+//! code and the extra run-time overhead come from.
+
+use crate::{AtmModel, Module, MODULES};
+use fcpn_petri::{PlaceId, TransitionId};
+use fcpn_rtos::FunctionalTask;
+use std::fmt::Write as _;
+
+/// Builds the five functional tasks (one per module of Figure 8).
+pub fn functional_partition(model: &AtmModel) -> Vec<FunctionalTask> {
+    MODULES
+        .iter()
+        .map(|&module| FunctionalTask {
+            name: module_name(module).to_string(),
+            transitions: model.module_transitions(module),
+        })
+        .collect()
+}
+
+fn module_name(module: Module) -> &'static str {
+    match module {
+        Module::Msd => "task_msd",
+        Module::Buffer => "task_buffer",
+        Module::CellExtract => "task_cell_extract",
+        Module::Wfq => "task_wfq_scheduling",
+        Module::Arbiter => "task_arbiter",
+    }
+}
+
+/// Places whose producer and consumer live in different modules: these become inter-task
+/// queues in the functional implementation.
+pub fn boundary_places(model: &AtmModel) -> Vec<PlaceId> {
+    model
+        .net
+        .places()
+        .filter(|&p| {
+            let producers = model.net.producers(p);
+            let consumers = model.net.consumers(p);
+            producers.iter().any(|&(producer, _)| {
+                consumers
+                    .iter()
+                    .any(|&(consumer, _)| model.module_of(producer) != model.module_of(consumer))
+            })
+        })
+        .collect()
+}
+
+/// Emits the C implementation skeleton of the functional-partitioning baseline and
+/// returns the text; its non-blank line count is the "Lines of C code" entry of the
+/// baseline row in Table I.
+///
+/// Each module becomes a self-contained RTOS task that must (a) poll and drain every
+/// inter-task input queue, (b) dispatch on the token tags it receives, (c) check at run
+/// time whether each of its computations has the data it needs, and (d) explicitly write
+/// every produced token either into its local state or into the consumer task's queue.
+/// The quasi-static implementation compiles most of this bookkeeping away, which is why
+/// it ends up with less code as well as fewer cycles.
+pub fn emit_functional_c(model: &AtmModel) -> String {
+    let net = &model.net;
+    let queues = boundary_places(model);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* Functional task partitioning of net `{}`: one RTOS task per module. */",
+        net.name()
+    );
+    let _ = writeln!(out);
+    for t in net.transitions() {
+        let _ = writeln!(out, "extern void {}(void);", net.transition_name(t));
+    }
+    let _ = writeln!(out);
+    for &q in &queues {
+        let _ = writeln!(out, "static queue_t q_{};", net.place_name(q));
+        let _ = writeln!(out, "static token_t in_{};", net.place_name(q));
+        let _ = writeln!(out, "static token_t out_{};", net.place_name(q));
+    }
+    let _ = writeln!(out);
+
+    for &module in &MODULES {
+        let transitions = model.module_transitions(module);
+        let module_of = |t: fcpn_petri::TransitionId| model.module_of(t);
+
+        // Places fully internal to the module become fields of its state struct.
+        let internal: Vec<PlaceId> = net
+            .places()
+            .filter(|&p| {
+                let produced_here = net
+                    .producers(p)
+                    .iter()
+                    .any(|&(producer, _)| module_of(producer) == module);
+                let consumed_here = net
+                    .consumers(p)
+                    .iter()
+                    .any(|&(consumer, _)| module_of(consumer) == module);
+                produced_here && consumed_here && !queues.contains(&p)
+            })
+            .collect();
+        let reads: Vec<PlaceId> = queues
+            .iter()
+            .copied()
+            .filter(|&p| {
+                net.consumers(p)
+                    .iter()
+                    .any(|&(consumer, _)| module_of(consumer) == module)
+                    && net
+                        .producers(p)
+                        .iter()
+                        .any(|&(producer, _)| module_of(producer) != module)
+            })
+            .collect();
+        let writes: Vec<PlaceId> = queues
+            .iter()
+            .copied()
+            .filter(|&p| {
+                net.producers(p)
+                    .iter()
+                    .any(|&(producer, _)| module_of(producer) == module)
+                    && net
+                        .consumers(p)
+                        .iter()
+                        .any(|&(consumer, _)| module_of(consumer) != module)
+            })
+            .collect();
+
+        // Per-module state.
+        let _ = writeln!(out, "typedef struct {{");
+        for &p in &internal {
+            let _ = writeln!(out, "  int pending_{};", net.place_name(p));
+        }
+        let _ = writeln!(out, "  int activations;");
+        let _ = writeln!(out, "}} {}_state_t;", module_name(module));
+        let _ = writeln!(out, "static {0}_state_t {0}_state;", module_name(module));
+        let _ = writeln!(out);
+
+        // Init function: reset state, initialise queues this module owns (reads).
+        let _ = writeln!(out, "void {}_init(void) {{", module_name(module));
+        for &p in &internal {
+            let _ = writeln!(
+                out,
+                "  {}_state.pending_{} = 0;",
+                module_name(module),
+                net.place_name(p)
+            );
+        }
+        for &p in &reads {
+            let _ = writeln!(out, "  queue_init(&q_{});", net.place_name(p));
+        }
+        let _ = writeln!(out, "  {}_state.activations = 0;", module_name(module));
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out);
+
+        // The task body.
+        let _ = writeln!(out, "void {}(void) {{", module_name(module));
+        let _ = writeln!(out, "  {}_state.activations++;", module_name(module));
+        for &p in &reads {
+            let _ = writeln!(out, "  if (!queue_empty(&q_{})) {{", net.place_name(p));
+            let _ = writeln!(
+                out,
+                "    in_{0} = queue_read(&q_{0});",
+                net.place_name(p)
+            );
+            let _ = writeln!(out, "  }}");
+        }
+        for &t in &transitions {
+            let name = net.transition_name(t);
+            // Data-dependent choices are dispatched on the token tag; every sibling of the
+            // choice needs a case here, even when it is forwarded to another task.
+            if choice_inputs(model, t) {
+                let place = net
+                    .inputs(t)
+                    .iter()
+                    .map(|&(p, _)| p)
+                    .find(|&p| net.is_choice_place(p))
+                    .expect("transition has a choice input");
+                let _ = writeln!(
+                    out,
+                    "  switch (token_tag_{}()) {{",
+                    net.place_name(place)
+                );
+                let _ = writeln!(out, "  case TAG_{}:", name.to_uppercase());
+                let _ = writeln!(out, "    if (ready_{name}()) {{ {name}(); }}");
+                let _ = writeln!(out, "    break;");
+                let _ = writeln!(out, "  default:");
+                let _ = writeln!(out, "    break;");
+                let _ = writeln!(out, "  }}");
+            } else if net.is_source_transition(t) {
+                let _ = writeln!(out, "  if (event_pending_{name}()) {{ {name}(); }}");
+            } else {
+                let _ = writeln!(out, "  if (ready_{name}()) {{ {name}(); }}");
+            }
+            // Every produced token must be routed explicitly: internal places update the
+            // module state, boundary places go through the consumer task's queue.
+            for &(p, _) in net.outputs(t) {
+                if queues.contains(&p) {
+                    let _ = writeln!(
+                        out,
+                        "  queue_write(&q_{0}, out_{0});",
+                        net.place_name(p)
+                    );
+                } else if internal.contains(&p) {
+                    let _ = writeln!(
+                        out,
+                        "  {}_state.pending_{}++;",
+                        module_name(module),
+                        net.place_name(p)
+                    );
+                }
+            }
+        }
+        for &p in &writes {
+            let _ = writeln!(
+                out,
+                "  rtos_notify(owner_of_q_{}());",
+                net.place_name(p)
+            );
+        }
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out);
+    }
+
+    // RTOS registration table and main loop.
+    let _ = writeln!(out, "int main(void) {{");
+    for &module in &MODULES {
+        let _ = writeln!(out, "  {}_init();", module_name(module));
+    }
+    for &module in &MODULES {
+        let _ = writeln!(out, "  rtos_register_task({});", module_name(module));
+    }
+    let _ = writeln!(out, "  rtos_start();");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn choice_inputs(model: &AtmModel, transition: TransitionId) -> bool {
+    model
+        .net
+        .inputs(transition)
+        .iter()
+        .any(|&(p, _)| model.net.is_choice_place(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AtmConfig;
+
+    #[test]
+    fn partition_covers_all_transitions_in_five_tasks() {
+        let model = AtmModel::build(AtmConfig::small()).unwrap();
+        let tasks = functional_partition(&model);
+        assert_eq!(tasks.len(), 5);
+        let total: usize = tasks.iter().map(|t| t.transitions.len()).sum();
+        assert_eq!(total, model.net.transition_count());
+        // The two environment inputs live in different tasks.
+        assert!(tasks
+            .iter()
+            .find(|t| t.name == "task_msd")
+            .unwrap()
+            .transitions
+            .contains(&model.cell));
+        assert!(tasks
+            .iter()
+            .find(|t| t.name == "task_cell_extract")
+            .unwrap()
+            .transitions
+            .contains(&model.tick));
+    }
+
+    #[test]
+    fn boundary_places_exist_between_modules() {
+        let model = AtmModel::build(AtmConfig::small()).unwrap();
+        let queues = boundary_places(&model);
+        // The WFQ request place is fed by the buffer and extract modules and consumed by
+        // the WFQ module, so it must be an inter-task queue.
+        let p_wfq_req = model.net.place_by_name("p_wfq_req").unwrap();
+        assert!(queues.contains(&p_wfq_req));
+        assert!(!queues.is_empty());
+    }
+
+    #[test]
+    fn functional_c_mentions_every_task_and_queue() {
+        let model = AtmModel::build(AtmConfig::small()).unwrap();
+        let c = emit_functional_c(&model);
+        for &module in &MODULES {
+            assert!(c.contains(module_name(module)));
+        }
+        assert!(c.contains("queue_read"));
+        assert!(c.contains("rtos_register_task"));
+        let opens = c.matches('{').count();
+        let closes = c.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,0 +1,371 @@
+//! The ATM server FCPN model (Figure 8 of the paper).
+//!
+//! The paper evaluates the approach on an ATM server for virtual private networks
+//! [Filippi et al. 98] whose exact net was published only in the companion technical
+//! report; we reconstruct a model with the same modules and the same structural
+//! character: two inputs with independent rates (`cell`, an irregular interrupt, and
+//! `tick`, the periodic cell-slot event), a message-discarding stage (MSD), a per-VPN
+//! buffer stage, a cell-extraction stage driven by the tick, and a WFQ scheduling stage
+//! activated from both sides through a merge place. Several transitions emit a pair of
+//! parallel places (control token + data value travelling together), which is how the
+//! reconstruction reaches the statistics the paper quotes — 49 transitions, 41 places and
+//! 11 free choices for [`AtmConfig::paper`].
+
+use crate::Result;
+use fcpn_petri::{NetBuilder, PetriNet, PlaceId, TransitionId};
+
+/// Which functional module of Figure 8 a transition belongs to (used by the functional
+/// task-partitioning baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Module {
+    /// Message discarding (congestion check, EPD/PPD decisions).
+    Msd,
+    /// Per-VPN buffering and threshold accounting.
+    Buffer,
+    /// Cell extraction on every cell slot.
+    CellExtract,
+    /// Weighted-fair-queueing emission-time computation.
+    Wfq,
+    /// Arbiter / counter / statistics bookkeeping.
+    Arbiter,
+}
+
+/// All modules, in the order the paper's block diagram lists them.
+pub const MODULES: [Module; 5] = [
+    Module::Msd,
+    Module::Buffer,
+    Module::CellExtract,
+    Module::Wfq,
+    Module::Arbiter,
+];
+
+/// Configuration of the reconstructed ATM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtmConfig {
+    /// Number of per-VPN queues (the classify and dequeue choices are this wide).
+    pub queues: usize,
+}
+
+impl AtmConfig {
+    /// The configuration whose structural statistics match the model quoted in the paper
+    /// (49 transitions, 41 places, 11 choices).
+    pub fn paper() -> Self {
+        AtmConfig { queues: 4 }
+    }
+
+    /// A smaller configuration (two queues) for fast unit tests.
+    pub fn small() -> Self {
+        AtmConfig { queues: 2 }
+    }
+}
+
+impl Default for AtmConfig {
+    fn default() -> Self {
+        AtmConfig::paper()
+    }
+}
+
+/// The ATM server model: the net plus the handles the harness needs.
+#[derive(Debug, Clone)]
+pub struct AtmModel {
+    /// The Free-Choice net.
+    pub net: PetriNet,
+    /// The `Cell` input (irregular interrupt).
+    pub cell: TransitionId,
+    /// The `Tick` input (periodic cell-slot event).
+    pub tick: TransitionId,
+    /// Module membership of every transition, indexed by transition.
+    pub modules: Vec<Module>,
+    /// The choice places, with a description of the data each one inspects.
+    pub choices: Vec<(PlaceId, &'static str)>,
+    /// Configuration used to build the model.
+    pub config: AtmConfig,
+}
+
+impl AtmModel {
+    /// Builds the ATM server model for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors; the construction itself is deterministic and all arcs
+    /// are unit-weight, so errors indicate an internal inconsistency.
+    pub fn build(config: AtmConfig) -> Result<AtmModel> {
+        let n = config.queues.max(1);
+        let mut b = NetBuilder::new("atm-server");
+        let mut modules: Vec<(TransitionId, Module)> = Vec::new();
+        let mut choices: Vec<(PlaceId, &'static str)> = Vec::new();
+        let mut transition = |b: &mut NetBuilder, name: String, module: Module| {
+            let t = b.transition(name);
+            modules.push((t, module));
+            t
+        };
+
+        // ----- Cell path (MSD + BUFFER) --------------------------------------------
+        let cell = transition(&mut b, "cell".into(), Module::Msd);
+        let p_cell_in = b.place("p_cell_in", 0);
+        let p_cell_meta = b.place("p_cell_meta", 0);
+        b.arc_t_p(cell, p_cell_in, 1)?;
+        b.arc_t_p(cell, p_cell_meta, 1)?;
+
+        let msd_check = transition(&mut b, "msd_check".into(), Module::Msd);
+        b.arc_p_t(p_cell_in, msd_check, 1)?;
+        b.arc_p_t(p_cell_meta, msd_check, 1)?;
+        let p_msd_state = b.place("p_msd_state", 0);
+        b.arc_t_p(msd_check, p_msd_state, 1)?;
+        choices.push((p_msd_state, "node congested?"));
+
+        // Not congested -> accept and classify.
+        let not_congested = transition(&mut b, "not_congested".into(), Module::Msd);
+        b.arc_p_t(p_msd_state, not_congested, 1)?;
+        let p_accept = b.place("p_accept", 0);
+        let p_accept_meta = b.place("p_accept_meta", 0);
+        b.arc_t_p(not_congested, p_accept, 1)?;
+        b.arc_t_p(not_congested, p_accept_meta, 1)?;
+
+        // Congested -> EPD/PPD decision.
+        let congested = transition(&mut b, "congested".into(), Module::Msd);
+        b.arc_p_t(p_msd_state, congested, 1)?;
+        let p_epd = b.place("p_epd", 0);
+        b.arc_t_p(congested, p_epd, 1)?;
+        choices.push((p_epd, "start of message?"));
+        let epd_start = transition(&mut b, "epd_start".into(), Module::Msd);
+        let epd_mid = transition(&mut b, "epd_mid".into(), Module::Msd);
+        b.arc_p_t(p_epd, epd_start, 1)?;
+        b.arc_p_t(p_epd, epd_mid, 1)?;
+        let p_discard_msg = b.place("p_discard_msg", 0);
+        let p_discard_cell = b.place("p_discard_cell", 0);
+        b.arc_t_p(epd_start, p_discard_msg, 1)?;
+        b.arc_t_p(epd_mid, p_discard_cell, 1)?;
+        let discard_message = transition(&mut b, "discard_message".into(), Module::Msd);
+        let discard_cell = transition(&mut b, "discard_cell".into(), Module::Msd);
+        b.arc_p_t(p_discard_msg, discard_message, 1)?;
+        b.arc_p_t(p_discard_cell, discard_cell, 1)?;
+        let p_discard_log = b.place("p_discard_log", 0);
+        b.arc_t_p(discard_message, p_discard_log, 1)?;
+        b.arc_t_p(discard_cell, p_discard_log, 1)?;
+        let msd_notify = transition(&mut b, "msd_notify".into(), Module::Arbiter);
+        b.arc_p_t(p_discard_log, msd_notify, 1)?;
+
+        // Classification into one of the per-VPN queues.
+        let classify = transition(&mut b, "classify".into(), Module::Buffer);
+        b.arc_p_t(p_accept, classify, 1)?;
+        b.arc_p_t(p_accept_meta, classify, 1)?;
+        let p_classify = b.place("p_classify", 0);
+        b.arc_t_p(classify, p_classify, 1)?;
+        choices.push((p_classify, "destination VPN queue"));
+
+        // The WFQ request merge place: fed by every accepted cell and by the extractor.
+        let p_wfq_req = b.place("p_wfq_req", 0);
+
+        for i in 0..n {
+            let enq = transition(&mut b, format!("enq_q{i}"), Module::Buffer);
+            b.arc_p_t(p_classify, enq, 1)?;
+            let p_enq = b.place(format!("p_enq_q{i}"), 0);
+            b.arc_t_p(enq, p_enq, 1)?;
+            let check = transition(&mut b, format!("check_threshold_q{i}"), Module::Buffer);
+            b.arc_p_t(p_enq, check, 1)?;
+            let p_thresh = b.place(format!("p_thresh_q{i}"), 0);
+            b.arc_t_p(check, p_thresh, 1)?;
+            choices.push((p_thresh, "queue occupancy below threshold?"));
+            let below = transition(&mut b, format!("below_threshold_q{i}"), Module::Buffer);
+            let above = transition(&mut b, format!("above_threshold_q{i}"), Module::Buffer);
+            b.arc_p_t(p_thresh, below, 1)?;
+            b.arc_p_t(p_thresh, above, 1)?;
+            // Either way the accepted cell requests a WFQ emission-time computation.
+            b.arc_t_p(below, p_wfq_req, 1)?;
+            b.arc_t_p(above, p_wfq_req, 1)?;
+        }
+
+        // ----- Shared WFQ scheduling module -----------------------------------------
+        let wfq_compute = transition(&mut b, "wfq_compute".into(), Module::Wfq);
+        b.arc_p_t(p_wfq_req, wfq_compute, 1)?;
+        let p_wfq_mode = b.place("p_wfq_mode", 0);
+        b.arc_t_p(wfq_compute, p_wfq_mode, 1)?;
+        choices.push((p_wfq_mode, "incremental or full recomputation?"));
+        let wfq_fast = transition(&mut b, "wfq_incremental".into(), Module::Wfq);
+        let wfq_full = transition(&mut b, "wfq_full".into(), Module::Wfq);
+        b.arc_p_t(p_wfq_mode, wfq_fast, 1)?;
+        b.arc_p_t(p_wfq_mode, wfq_full, 1)?;
+        let p_wfq_ready = b.place("p_wfq_ready", 0);
+        let p_wfq_ready_meta = b.place("p_wfq_ready_meta", 0);
+        b.arc_t_p(wfq_fast, p_wfq_ready, 1)?;
+        b.arc_t_p(wfq_fast, p_wfq_ready_meta, 1)?;
+        b.arc_t_p(wfq_full, p_wfq_ready, 1)?;
+        b.arc_t_p(wfq_full, p_wfq_ready_meta, 1)?;
+        let wfq_commit = transition(&mut b, "wfq_commit".into(), Module::Wfq);
+        b.arc_p_t(p_wfq_ready, wfq_commit, 1)?;
+        b.arc_p_t(p_wfq_ready_meta, wfq_commit, 1)?;
+        let p_wfq_done = b.place("p_wfq_done", 0);
+        let p_wfq_stats = b.place("p_wfq_stats", 0);
+        b.arc_t_p(wfq_commit, p_wfq_done, 1)?;
+        b.arc_t_p(wfq_commit, p_wfq_stats, 1)?;
+        let wfq_ack = transition(&mut b, "wfq_ack".into(), Module::Wfq);
+        b.arc_p_t(p_wfq_done, wfq_ack, 1)?;
+        b.arc_p_t(p_wfq_stats, wfq_ack, 1)?;
+
+        // ----- Tick path (CELL EXTRACT + ARBITER/COUNTER) ---------------------------
+        let tick = transition(&mut b, "tick".into(), Module::CellExtract);
+        let p_tick_in = b.place("p_tick_in", 0);
+        let p_slot_meta = b.place("p_slot_meta", 0);
+        let p_counter_in = b.place("p_counter_in", 0);
+        b.arc_t_p(tick, p_tick_in, 1)?;
+        b.arc_t_p(tick, p_slot_meta, 1)?;
+        b.arc_t_p(tick, p_counter_in, 1)?;
+
+        let counter_update = transition(&mut b, "counter_update".into(), Module::Arbiter);
+        b.arc_p_t(p_counter_in, counter_update, 1)?;
+        let p_counter_done = b.place("p_counter_done", 0);
+        let p_counter_log = b.place("p_counter_log", 0);
+        b.arc_t_p(counter_update, p_counter_done, 1)?;
+        b.arc_t_p(counter_update, p_counter_log, 1)?;
+        let arbiter_ack = transition(&mut b, "arbiter_ack".into(), Module::Arbiter);
+        b.arc_p_t(p_counter_done, arbiter_ack, 1)?;
+        b.arc_p_t(p_counter_log, arbiter_ack, 1)?;
+
+        let extract_check = transition(&mut b, "extract_check".into(), Module::CellExtract);
+        b.arc_p_t(p_tick_in, extract_check, 1)?;
+        b.arc_p_t(p_slot_meta, extract_check, 1)?;
+        let p_buffer_state = b.place("p_buffer_state", 0);
+        b.arc_t_p(extract_check, p_buffer_state, 1)?;
+        choices.push((p_buffer_state, "buffer empty?"));
+        let buffer_empty = transition(&mut b, "buffer_empty".into(), Module::CellExtract);
+        let buffer_nonempty = transition(&mut b, "buffer_nonempty".into(), Module::CellExtract);
+        b.arc_p_t(p_buffer_state, buffer_empty, 1)?;
+        b.arc_p_t(p_buffer_state, buffer_nonempty, 1)?;
+        let p_idle = b.place("p_idle", 0);
+        b.arc_t_p(buffer_empty, p_idle, 1)?;
+        let idle_ack = transition(&mut b, "idle_ack".into(), Module::CellExtract);
+        b.arc_p_t(p_idle, idle_ack, 1)?;
+
+        let p_select = b.place("p_select", 0);
+        let p_select_meta = b.place("p_select_meta", 0);
+        b.arc_t_p(buffer_nonempty, p_select, 1)?;
+        b.arc_t_p(buffer_nonempty, p_select_meta, 1)?;
+        let select_queue = transition(&mut b, "select_queue".into(), Module::CellExtract);
+        b.arc_p_t(p_select, select_queue, 1)?;
+        b.arc_p_t(p_select_meta, select_queue, 1)?;
+        let p_queue_choice = b.place("p_queue_choice", 0);
+        b.arc_t_p(select_queue, p_queue_choice, 1)?;
+        choices.push((p_queue_choice, "which VPN queue emits next"));
+
+        let p_emit_req = b.place("p_emit_req", 0);
+        for i in 0..n {
+            let deq = transition(&mut b, format!("deq_q{i}"), Module::CellExtract);
+            b.arc_p_t(p_queue_choice, deq, 1)?;
+            b.arc_t_p(deq, p_emit_req, 1)?;
+        }
+
+        let emit_cell = transition(&mut b, "emit_cell".into(), Module::CellExtract);
+        b.arc_p_t(p_emit_req, emit_cell, 1)?;
+        let p_emit_state = b.place("p_emit_state", 0);
+        let p_extract_wfq = b.place("p_extract_wfq", 0);
+        let p_emit_log = b.place("p_emit_log", 0);
+        b.arc_t_p(emit_cell, p_emit_state, 1)?;
+        b.arc_t_p(emit_cell, p_extract_wfq, 1)?;
+        b.arc_t_p(emit_cell, p_emit_log, 1)?;
+        choices.push((p_emit_state, "last cell of the message?"));
+        // The extractor also requests a WFQ update (shared module, merge into p_wfq_req).
+        let extract_wfq_update =
+            transition(&mut b, "extract_wfq_update".into(), Module::CellExtract);
+        b.arc_p_t(p_extract_wfq, extract_wfq_update, 1)?;
+        b.arc_t_p(extract_wfq_update, p_wfq_req, 1)?;
+
+        let end_of_message = transition(&mut b, "end_of_message".into(), Module::CellExtract);
+        let mid_message = transition(&mut b, "mid_message".into(), Module::CellExtract);
+        b.arc_p_t(p_emit_state, end_of_message, 1)?;
+        b.arc_p_t(p_emit_state, mid_message, 1)?;
+        let p_emit_done = b.place("p_emit_done", 0);
+        b.arc_t_p(end_of_message, p_emit_done, 1)?;
+        b.arc_t_p(mid_message, p_emit_done, 1)?;
+        let update_stats = transition(&mut b, "update_stats".into(), Module::Arbiter);
+        b.arc_p_t(p_emit_done, update_stats, 1)?;
+        b.arc_p_t(p_emit_log, update_stats, 1)?;
+        let p_stats = b.place("p_stats", 0);
+        let p_stats_meta = b.place("p_stats_meta", 0);
+        b.arc_t_p(update_stats, p_stats, 1)?;
+        b.arc_t_p(update_stats, p_stats_meta, 1)?;
+        let stats_ack = transition(&mut b, "stats_ack".into(), Module::Arbiter);
+        b.arc_p_t(p_stats, stats_ack, 1)?;
+        b.arc_p_t(p_stats_meta, stats_ack, 1)?;
+
+        let net = b.build()?;
+        let mut module_by_index = vec![Module::Msd; net.transition_count()];
+        for (t, module) in modules {
+            module_by_index[t.index()] = module;
+        }
+        Ok(AtmModel {
+            net,
+            cell,
+            tick,
+            modules: module_by_index,
+            choices,
+            config,
+        })
+    }
+
+    /// The module a transition belongs to.
+    pub fn module_of(&self, transition: TransitionId) -> Module {
+        self.modules[transition.index()]
+    }
+
+    /// All transitions of a module, in index order.
+    pub fn module_transitions(&self, module: Module) -> Vec<TransitionId> {
+        self.net
+            .transitions()
+            .filter(|&t| self.modules[t.index()] == module)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcpn_qss::{quasi_static_schedule, QssOptions};
+
+    #[test]
+    fn paper_configuration_matches_quoted_statistics() {
+        let model = AtmModel::build(AtmConfig::paper()).unwrap();
+        let stats = model.net.stats();
+        // The paper: "a FCPN containing 49 transitions and 41 places, of which 11
+        // non-deterministic choices".
+        assert_eq!(stats.transitions, 49);
+        assert_eq!(stats.places, 41);
+        assert_eq!(stats.choices, 11);
+        assert_eq!(model.choices.len(), 11);
+        assert!(model.net.is_free_choice());
+        // Two inputs with independent rate: Cell and Tick.
+        assert_eq!(model.net.source_transitions(), vec![model.cell, model.tick]);
+    }
+
+    #[test]
+    fn small_configuration_is_free_choice_and_schedulable() {
+        let model = AtmModel::build(AtmConfig::small()).unwrap();
+        assert!(model.net.is_free_choice());
+        let outcome = quasi_static_schedule(&model.net, &QssOptions::default()).unwrap();
+        assert!(outcome.is_schedulable());
+    }
+
+    #[test]
+    fn every_transition_has_a_module() {
+        let model = AtmModel::build(AtmConfig::small()).unwrap();
+        let all: usize = MODULES
+            .iter()
+            .map(|&m| model.module_transitions(m).len())
+            .sum();
+        assert_eq!(all, model.net.transition_count());
+        assert_eq!(model.module_of(model.cell), Module::Msd);
+        assert_eq!(model.module_of(model.tick), Module::CellExtract);
+    }
+
+    #[test]
+    fn queue_width_scales_structure() {
+        let small = AtmModel::build(AtmConfig { queues: 2 }).unwrap();
+        let large = AtmModel::build(AtmConfig { queues: 6 }).unwrap();
+        assert!(large.net.transition_count() > small.net.transition_count());
+        // One threshold choice per additional queue.
+        assert_eq!(
+            large.net.stats().choices,
+            small.net.stats().choices + (6 - 2)
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation: how the Table I cycle advantage of QSS depends on the RTOS activation
+//! overhead. The paper measures one operating point (ratio ≈ 1.26); this sweep shows the
+//! whole curve — with zero activation overhead the two implementations converge (both do
+//! the same computations), and the gap widens as context switches get more expensive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcpn_atm::{
+    functional_partition, generate_workload, AtmChoicePolicy, AtmConfig, AtmModel, TrafficConfig,
+};
+use fcpn_codegen::{synthesize, SynthesisOptions};
+use fcpn_qss::{quasi_static_schedule, QssOptions};
+use fcpn_rtos::{simulate_functional_partition, simulate_program, CostModel};
+
+fn bench_overhead_ablation(c: &mut Criterion) {
+    let model = AtmModel::build(AtmConfig::paper()).expect("atm model builds");
+    let schedule = quasi_static_schedule(&model.net, &QssOptions::default())
+        .expect("fc input")
+        .schedule()
+        .expect("schedulable");
+    let program =
+        synthesize(&model.net, &schedule, SynthesisOptions::default()).expect("synthesis");
+    let tasks = functional_partition(&model);
+    let traffic = TrafficConfig::paper();
+    let workload = generate_workload(&model, &traffic, 1999);
+
+    println!("activation overhead | QSS cycles | functional cycles | ratio");
+    for overhead in [0u64, 50, 100, 250, 500, 1000] {
+        let cost = CostModel::new(overhead, 40, 4, 12);
+        let mut qss_policy = AtmChoicePolicy::new(&model, traffic, 1999);
+        let qss = simulate_program(&program, &model.net, &cost, &workload, &mut qss_policy)
+            .expect("simulation")
+            .total_cycles;
+        let mut functional_policy = AtmChoicePolicy::new(&model, traffic, 1999);
+        let functional = simulate_functional_partition(
+            &model.net,
+            &tasks,
+            &cost,
+            &workload,
+            &mut functional_policy,
+        )
+        .expect("simulation")
+        .total_cycles;
+        println!(
+            "{overhead:>19} | {qss:>10} | {functional:>17} | {:.2}",
+            functional as f64 / qss.max(1) as f64
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_overhead");
+    group.sample_size(20);
+    for overhead in [0u64, 250, 1000] {
+        let cost = CostModel::new(overhead, 40, 4, 12);
+        group.bench_with_input(
+            BenchmarkId::new("qss_simulation", overhead),
+            &cost,
+            |b, cost| {
+                b.iter(|| {
+                    let mut policy = AtmChoicePolicy::new(&model, traffic, 1999);
+                    simulate_program(&program, &model.net, cost, &workload, &mut policy)
+                        .expect("simulation")
+                        .total_cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead_ablation);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 1: free-choice classification of the two example nets (and of the larger ATM
+//! model, as a size reference). Prints the class of each net and times the classifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcpn_atm::{AtmConfig, AtmModel};
+use fcpn_petri::analysis::Classification;
+use fcpn_petri::gallery;
+use std::hint::black_box;
+
+fn bench_classification(c: &mut Criterion) {
+    let fig1a = gallery::figure1a();
+    let fig1b = gallery::figure1b();
+    let atm = AtmModel::build(AtmConfig::paper()).expect("atm model builds").net;
+    println!("figure 1a -> {}", Classification::of(&fig1a).class);
+    println!("figure 1b -> {}", Classification::of(&fig1b).class);
+    println!("atm-server -> {}", Classification::of(&atm).class);
+
+    let mut group = c.benchmark_group("fig1_classification");
+    group.bench_function("figure1a_free_choice", |b| {
+        b.iter(|| Classification::of(black_box(&fig1a)))
+    });
+    group.bench_function("figure1b_not_free_choice", |b| {
+        b.iter(|| Classification::of(black_box(&fig1b)))
+    });
+    group.bench_function("atm_server_49_transitions", |b| {
+        b.iter(|| Classification::of(black_box(&atm)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

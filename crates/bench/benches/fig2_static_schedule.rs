@@ -1,0 +1,57 @@
+//! Figure 2: fully static scheduling of the multirate chain — repetition vector via the
+//! state equation plus PASS construction by simulation. Prints the invariant and the
+//! schedule the paper shows ((4, 2, 1) and `t1 t1 t1 t1 t2 t2 t3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcpn_petri::analysis::InvariantAnalysis;
+use fcpn_petri::gallery;
+use fcpn_sdf::{schedule_conflict_free, FiringPolicy, SdfGraph};
+use std::hint::black_box;
+
+fn multirate_chain(actors: usize) -> SdfGraph {
+    let mut graph = SdfGraph::new(format!("chain-{actors}"));
+    let ids: Vec<_> = (0..actors).map(|i| graph.actor(format!("a{i}"))).collect();
+    for window in ids.windows(2) {
+        graph
+            .channel(window[0], 1, window[1], 2, 0)
+            .expect("valid channel");
+    }
+    graph
+}
+
+fn bench_static_schedule(c: &mut Criterion) {
+    let figure2 = gallery::figure2();
+    let invariants = InvariantAnalysis::of(&figure2);
+    let schedule =
+        schedule_conflict_free(&figure2, &[4, 2, 1], FiringPolicy::Eager).expect("schedules");
+    println!(
+        "figure 2: f(sigma) = {:?}, sigma = {}",
+        invariants.t_semiflows[0].vector,
+        figure2.format_sequence(&schedule.sequence)
+    );
+
+    let mut group = c.benchmark_group("fig2_static_schedule");
+    group.bench_function("figure2_invariant", |b| {
+        b.iter(|| InvariantAnalysis::of(black_box(&figure2)))
+    });
+    group.bench_function("figure2_pass_simulation", |b| {
+        b.iter(|| {
+            schedule_conflict_free(black_box(&figure2), &[4, 2, 1], FiringPolicy::Eager)
+                .expect("schedules")
+        })
+    });
+    for actors in [4usize, 8, 16] {
+        let graph = multirate_chain(actors);
+        group.bench_with_input(
+            BenchmarkId::new("downsampling_chain", actors),
+            &graph,
+            |b, graph| {
+                b.iter(|| graph.static_schedule(FiringPolicy::Eager).expect("schedules"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_schedule);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 3: quasi-static schedulability of the schedulable net (3a) versus the
+//! non-schedulable one (3b). Prints the verdict and the valid schedule of 3a.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcpn_petri::gallery;
+use fcpn_qss::{quasi_static_schedule, QssOptions, QssOutcome};
+use std::hint::black_box;
+
+fn bench_schedulability(c: &mut Criterion) {
+    let fig3a = gallery::figure3a();
+    let fig3b = gallery::figure3b();
+    match quasi_static_schedule(&fig3a, &QssOptions::default()).expect("fc input") {
+        QssOutcome::Schedulable(s) => println!("figure 3a: schedulable, S = {}", s.describe(&fig3a)),
+        QssOutcome::NotSchedulable(_) => println!("figure 3a: UNEXPECTEDLY not schedulable"),
+    }
+    match quasi_static_schedule(&fig3b, &QssOptions::default()).expect("fc input") {
+        QssOutcome::Schedulable(_) => println!("figure 3b: UNEXPECTEDLY schedulable"),
+        QssOutcome::NotSchedulable(report) => println!("figure 3b: not schedulable ({report})"),
+    }
+
+    let mut group = c.benchmark_group("fig3_schedulability");
+    group.bench_function("figure3a_schedulable", |b| {
+        b.iter(|| quasi_static_schedule(black_box(&fig3a), &QssOptions::default()))
+    });
+    group.bench_function("figure3b_not_schedulable", |b| {
+        b.iter(|| quasi_static_schedule(black_box(&fig3b), &QssOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulability);
+criterion_main!(benches);

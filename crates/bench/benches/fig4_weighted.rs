@@ -1,0 +1,43 @@
+//! Figure 4 (and the Section 4 C listing): scheduling the weighted net, synthesising its
+//! task and executing the generated code. Prints the valid schedule and the C text size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcpn_bench::program_of;
+use fcpn_codegen::{emit_c, CEmitOptions, FixedResolver, Interpreter};
+use fcpn_petri::gallery;
+use std::hint::black_box;
+
+fn bench_figure4(c: &mut Criterion) {
+    let net = gallery::figure4();
+    let (schedule, program) = program_of(&net);
+    let c_text = emit_c(&program, &net, CEmitOptions::default());
+    println!(
+        "figure 4: S = {}, generated C = {} lines",
+        schedule.describe(&net),
+        c_text.lines().count()
+    );
+
+    let mut group = c.benchmark_group("fig4_weighted");
+    group.bench_function("schedule_and_synthesise", |b| {
+        b.iter(|| program_of(black_box(&net)))
+    });
+    group.bench_function("emit_c", |b| {
+        b.iter(|| emit_c(black_box(&program), &net, CEmitOptions::default()))
+    });
+    group.bench_function("interpret_100_events", |b| {
+        b.iter(|| {
+            let mut interpreter = Interpreter::new(&program, &net);
+            let mut resolver = FixedResolver { arm: 0 };
+            for _ in 0..100 {
+                interpreter
+                    .run_task(0, &mut resolver)
+                    .expect("generated code executes");
+            }
+            interpreter.fire_counts().to_vec()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

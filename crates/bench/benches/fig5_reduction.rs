@@ -1,0 +1,55 @@
+//! Figure 5 / Figure 6: T-allocation enumeration, the Reduction Algorithm and component
+//! scheduling on the nine-transition example. Prints the two reductions' cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcpn_petri::gallery;
+use fcpn_qss::{
+    check_component, enumerate_allocations, AllocationOptions, ComponentVerdict, TReduction,
+};
+use std::hint::black_box;
+
+fn bench_figure5(c: &mut Criterion) {
+    let net = gallery::figure5();
+    let allocations =
+        enumerate_allocations(&net, AllocationOptions::default()).expect("figure 5 is FC");
+    for allocation in &allocations {
+        let reduction =
+            TReduction::compute(&net, allocation.clone()).expect("reduction succeeds");
+        if let ComponentVerdict::Schedulable(cycle) = check_component(&net, &reduction) {
+            println!(
+                "figure 5, allocation [{}]: cycle ({})",
+                allocation.describe(&net),
+                net.format_sequence(&cycle.sequence)
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("fig5_reduction");
+    group.bench_function("enumerate_allocations", |b| {
+        b.iter(|| enumerate_allocations(black_box(&net), AllocationOptions::default()))
+    });
+    group.bench_function("reduction_algorithm", |b| {
+        b.iter(|| {
+            allocations
+                .iter()
+                .map(|a| TReduction::compute(&net, a.clone()).expect("reduction succeeds"))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("component_schedulability", |b| {
+        let reductions: Vec<TReduction> = allocations
+            .iter()
+            .map(|a| TReduction::compute(&net, a.clone()).expect("reduction succeeds"))
+            .collect();
+        b.iter(|| {
+            reductions
+                .iter()
+                .map(|r| check_component(&net, r).is_schedulable())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 7: rejecting a non-schedulable FCPN — both T-reductions are inconsistent
+//! because they keep a source place that can only supply finitely many tokens. Prints the
+//! per-component diagnosis and times the rejection path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcpn_petri::gallery;
+use fcpn_qss::{quasi_static_schedule, QssOptions, QssOutcome};
+use std::hint::black_box;
+
+fn bench_figure7(c: &mut Criterion) {
+    let net = gallery::figure7();
+    if let QssOutcome::NotSchedulable(report) =
+        quasi_static_schedule(&net, &QssOptions::default()).expect("fc input")
+    {
+        for failure in &report.failures {
+            println!(
+                "figure 7, allocation [{}]: {:?}",
+                failure.allocation, failure.failure
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("fig7_unschedulable");
+    group.bench_function("diagnose_figure7", |b| {
+        b.iter(|| quasi_static_schedule(black_box(&net), &QssOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure7);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Complexity ablation (Section 3's closing remark): the number of T-reductions is
+//! exponential in the number of conflicting choices, the per-reduction static scheduling
+//! is polynomial, and the generated code stays linear in the size of the net. The bench
+//! sweeps a chain of free choices and prints the three series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcpn_bench::program_of;
+use fcpn_codegen::CodeMetrics;
+use fcpn_petri::gallery;
+use fcpn_qss::{quasi_static_schedule, QssOptions};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    println!("choices | T-reductions (cycles) | IR statements | lines of C");
+    for n in [1usize, 2, 4, 6, 8] {
+        let net = gallery::choice_chain(n);
+        let (schedule, program) = program_of(&net);
+        let metrics = CodeMetrics::of(&program, &net);
+        println!(
+            "{n:>7} | {:>21} | {:>13} | {:>10}",
+            schedule.cycle_count(),
+            metrics.ir_statements,
+            metrics.lines_of_c
+        );
+    }
+
+    let mut group = c.benchmark_group("scaling_choices");
+    for n in [1usize, 2, 4, 6, 8] {
+        let net = gallery::choice_chain(n);
+        group.bench_with_input(BenchmarkId::new("qss_schedule", n), &net, |b, net| {
+            b.iter(|| quasi_static_schedule(black_box(net), &QssOptions::default()))
+        });
+    }
+    for n in [1usize, 2, 4, 6] {
+        let net = gallery::choice_chain(n);
+        group.bench_with_input(
+            BenchmarkId::new("schedule_plus_codegen", n),
+            &net,
+            |b, net| b.iter(|| program_of(black_box(net))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

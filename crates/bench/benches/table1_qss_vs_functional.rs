@@ -1,0 +1,70 @@
+//! Table I: QSS (2 tasks) versus functional task partitioning (5 tasks) on the ATM server
+//! with the 50-cell testbench. Prints the reproduced table next to the paper's numbers and
+//! times the two simulations separately so the overhead gap is visible in the report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcpn_atm::{
+    functional_partition, generate_workload, run_table1, AtmChoicePolicy, AtmConfig, AtmModel,
+    Table1Config, TrafficConfig,
+};
+use fcpn_codegen::{synthesize, SynthesisOptions};
+use fcpn_qss::{quasi_static_schedule, QssOptions};
+use fcpn_rtos::{simulate_functional_partition, simulate_program, CostModel};
+
+fn bench_table1(c: &mut Criterion) {
+    let model = AtmModel::build(AtmConfig::paper()).expect("atm model builds");
+    let table = run_table1(&model, &Table1Config::default()).expect("table 1 runs");
+    println!("--- Table I (reproduction) ---");
+    println!("{table}");
+    println!("paper: tasks 2 vs 5 | lines 1664 vs 2187 | cycles 197526 vs 249726");
+    println!(
+        "reproduced shape: qss_wins = {}, cycle ratio = {:.2} (paper 1.26)",
+        table.qss_wins(),
+        table.cycle_ratio()
+    );
+
+    // Pre-compute the two implementations once; the timed region is the simulation of the
+    // 50-cell testbench, which is the quantity Table I reports.
+    let schedule = quasi_static_schedule(&model.net, &QssOptions::default())
+        .expect("fc input")
+        .schedule()
+        .expect("atm model is schedulable");
+    let program =
+        synthesize(&model.net, &schedule, SynthesisOptions::default()).expect("synthesis");
+    let tasks = functional_partition(&model);
+    let traffic = TrafficConfig::paper();
+    let workload = generate_workload(&model, &traffic, 1999);
+    let cost = CostModel::default();
+
+    let mut group = c.benchmark_group("table1_qss_vs_functional");
+    group.sample_size(20);
+    group.bench_function("qss_2_tasks_50_cells", |b| {
+        b.iter(|| {
+            let mut policy = AtmChoicePolicy::new(&model, traffic, 1999);
+            simulate_program(&program, &model.net, &cost, &workload, &mut policy)
+                .expect("simulation")
+                .total_cycles
+        })
+    });
+    group.bench_function("functional_5_tasks_50_cells", |b| {
+        b.iter(|| {
+            let mut policy = AtmChoicePolicy::new(&model, traffic, 1999);
+            simulate_functional_partition(&model.net, &tasks, &cost, &workload, &mut policy)
+                .expect("simulation")
+                .total_cycles
+        })
+    });
+    group.bench_function("qss_full_flow_schedule_synthesise", |b| {
+        b.iter(|| {
+            let schedule = quasi_static_schedule(&model.net, &QssOptions::default())
+                .expect("fc input")
+                .schedule()
+                .expect("schedulable");
+            synthesize(&model.net, &schedule, SynthesisOptions::default()).expect("synthesis")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Prints the scaling ablation table (choice-chain sweep) used by EXPERIMENTS.md.
+//!
+//! Run with `cargo run --release -p fcpn-bench --example scaling_table`.
+
+use fcpn_bench::program_of;
+use fcpn_codegen::CodeMetrics;
+use fcpn_petri::gallery;
+
+fn main() {
+    println!("choices | cycles | IR stmts | C lines | wall time");
+    for n in [1usize, 2, 4, 6, 8, 10] {
+        let net = gallery::choice_chain(n);
+        let start = std::time::Instant::now();
+        let (schedule, program) = program_of(&net);
+        let metrics = CodeMetrics::of(&program, &net);
+        println!(
+            "{n:>7} | {:>6} | {:>8} | {:>7} | {:?}",
+            schedule.cycle_count(),
+            metrics.ir_statements,
+            metrics.lines_of_c,
+            start.elapsed()
+        );
+    }
+}

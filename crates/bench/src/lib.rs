@@ -1,0 +1,51 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench regenerates one table or figure of the paper; the helpers here centralise
+//! the "schedule and synthesise" boilerplate so the benches only time the part the paper
+//! talks about and print the rows/series being reproduced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fcpn_codegen::{synthesize, Program, SynthesisOptions};
+use fcpn_petri::PetriNet;
+use fcpn_qss::{quasi_static_schedule, QssOptions, ValidSchedule};
+
+/// Computes the valid schedule of a net that is known to be schedulable.
+///
+/// # Panics
+///
+/// Panics if the net is not schedulable — benches only call this on the paper's
+/// schedulable figures.
+pub fn schedule_of(net: &PetriNet) -> ValidSchedule {
+    quasi_static_schedule(net, &QssOptions::default())
+        .expect("net is a valid free-choice input")
+        .schedule()
+        .expect("net is schedulable")
+}
+
+/// Schedules and synthesises a net in one step.
+///
+/// # Panics
+///
+/// Panics if the net is not schedulable.
+pub fn program_of(net: &PetriNet) -> (ValidSchedule, Program) {
+    let schedule = schedule_of(net);
+    let program = synthesize(net, &schedule, SynthesisOptions::default())
+        .expect("schedulable nets synthesise");
+    (schedule, program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcpn_petri::gallery;
+
+    #[test]
+    fn helpers_work_on_figure4() {
+        let net = gallery::figure4();
+        let (schedule, program) = program_of(&net);
+        assert_eq!(schedule.cycle_count(), 2);
+        assert_eq!(program.task_count(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Errors reported by the software synthesis stage.
+
+use fcpn_petri::{PetriError, PlaceId, TransitionId};
+use std::fmt;
+
+/// Errors produced while partitioning tasks, building the task IR or executing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// The valid schedule contains no cycles, so there is nothing to synthesise.
+    EmptySchedule,
+    /// A cycle in the schedule does not cover the source transition that a task is rooted
+    /// at, which breaks the per-input task partitioning.
+    MissingSlice {
+        /// The source transition with no slice in some cycle.
+        source: TransitionId,
+    },
+    /// The interpreter was asked to run a task index that does not exist.
+    UnknownTask(usize),
+    /// While executing generated code a counter (software buffer) went negative, which
+    /// means the generated guards do not protect a multirate place correctly.
+    NegativeCounter {
+        /// The place whose counter underflowed.
+        place: PlaceId,
+    },
+    /// A choice resolver returned a transition that is not an arm of the choice.
+    InvalidChoiceResolution {
+        /// The choice place being resolved.
+        place: PlaceId,
+        /// The transition the resolver returned.
+        chosen: TransitionId,
+    },
+    /// An underlying Petri-net operation failed.
+    Petri(PetriError),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::EmptySchedule => write!(f, "valid schedule has no cycles"),
+            CodegenError::MissingSlice { source } => {
+                write!(f, "schedule has no slice for source transition {source}")
+            }
+            CodegenError::UnknownTask(i) => write!(f, "unknown task index {i}"),
+            CodegenError::NegativeCounter { place } => {
+                write!(f, "counter for place {place} went negative")
+            }
+            CodegenError::InvalidChoiceResolution { place, chosen } => {
+                write!(f, "transition {chosen} is not an arm of the choice at {place}")
+            }
+            CodegenError::Petri(e) => write!(f, "petri net error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodegenError::Petri(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PetriError> for CodegenError {
+    fn from(e: PetriError) -> Self {
+        CodegenError::Petri(e)
+    }
+}
+
+/// Result alias for the crate.
+pub type Result<T, E = CodegenError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CodegenError::EmptySchedule.to_string().contains("no cycles"));
+        let e = CodegenError::NegativeCounter {
+            place: PlaceId::new(3),
+        };
+        assert!(e.to_string().contains("p3"));
+        let e = CodegenError::InvalidChoiceResolution {
+            place: PlaceId::new(1),
+            chosen: TransitionId::new(2),
+        };
+        assert!(e.to_string().contains("t2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<CodegenError>();
+    }
+}

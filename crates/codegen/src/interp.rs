@@ -1,0 +1,357 @@
+//! An interpreter for the task IR.
+//!
+//! The interpreter executes synthesised tasks exactly as the generated C would: counters
+//! are global software buffers shared by all tasks, choices are resolved by a caller
+//! supplied policy (the "token value" the real system would inspect), and every executed
+//! `Fire` is recorded. Tests use it to check that the generated code preserves the
+//! schedule's guarantees — counters stay non-negative and bounded, and firing rates match
+//! the valid schedule — and the RTOS simulator uses the fire log for its cycle-cost
+//! accounting.
+
+use crate::{CodegenError, Program, Result, Stmt, Task};
+use fcpn_petri::{PetriNet, PlaceId, TransitionId};
+
+/// Resolves data-dependent choices while interpreting a task.
+///
+/// The resolver is called with the choice place and the candidate transitions (the arms)
+/// and must return one of the candidates.
+pub trait ChoiceResolver {
+    /// Picks the arm to execute for the choice at `place`.
+    fn resolve(&mut self, place: PlaceId, candidates: &[TransitionId]) -> TransitionId;
+}
+
+/// Always selects the same arm index (useful for worst-case analysis and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixedResolver {
+    /// Index of the arm to pick (clamped to the number of arms).
+    pub arm: usize,
+}
+
+impl ChoiceResolver for FixedResolver {
+    fn resolve(&mut self, _place: PlaceId, candidates: &[TransitionId]) -> TransitionId {
+        candidates[self.arm.min(candidates.len() - 1)]
+    }
+}
+
+/// Cycles deterministically through the arms of every choice (round robin), exercising
+/// all branches over a long run.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinResolver {
+    counter: usize,
+}
+
+impl ChoiceResolver for RoundRobinResolver {
+    fn resolve(&mut self, _place: PlaceId, candidates: &[TransitionId]) -> TransitionId {
+        let pick = candidates[self.counter % candidates.len()];
+        self.counter += 1;
+        pick
+    }
+}
+
+impl<F> ChoiceResolver for F
+where
+    F: FnMut(PlaceId, &[TransitionId]) -> TransitionId,
+{
+    fn resolve(&mut self, place: PlaceId, candidates: &[TransitionId]) -> TransitionId {
+        self(place, candidates)
+    }
+}
+
+/// Execution statistics of one task invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InvocationTrace {
+    /// Transitions fired by this invocation, in execution order.
+    pub fired: Vec<TransitionId>,
+}
+
+/// The interpreter state: counter values shared across tasks plus cumulative statistics.
+#[derive(Debug, Clone)]
+pub struct Interpreter<'a> {
+    program: &'a Program,
+    counters: Vec<i64>,
+    peak_counters: Vec<i64>,
+    fire_counts: Vec<u64>,
+    invocations: u64,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter for `program` over a net with `net.place_count()` places and
+    /// `net.transition_count()` transitions.
+    pub fn new(program: &'a Program, net: &PetriNet) -> Self {
+        Interpreter {
+            program,
+            counters: vec![0; net.place_count()],
+            peak_counters: vec![0; net.place_count()],
+            fire_counts: vec![0; net.transition_count()],
+            invocations: 0,
+        }
+    }
+
+    /// Current counter value of `place`.
+    pub fn counter(&self, place: PlaceId) -> i64 {
+        self.counters[place.index()]
+    }
+
+    /// Largest value each counter ever reached (software buffer bound actually used).
+    pub fn peak_counters(&self) -> &[i64] {
+        &self.peak_counters
+    }
+
+    /// How many times each transition has fired since construction.
+    pub fn fire_counts(&self) -> &[u64] {
+        &self.fire_counts
+    }
+
+    /// Total number of task invocations executed.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Runs one invocation of the task at `task_index`, resolving choices with `resolver`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodegenError::UnknownTask`] for an out-of-range index.
+    /// * [`CodegenError::NegativeCounter`] if the generated guards fail to protect a
+    ///   counter (this indicates a synthesis bug and is asserted against in tests).
+    pub fn run_task<R: ChoiceResolver + ?Sized>(
+        &mut self,
+        task_index: usize,
+        resolver: &mut R,
+    ) -> Result<InvocationTrace> {
+        let task: &Task = self
+            .program
+            .tasks
+            .get(task_index)
+            .ok_or(CodegenError::UnknownTask(task_index))?;
+        let mut trace = InvocationTrace::default();
+        let body = task.body.clone();
+        self.run_block(&body, resolver, &mut trace)?;
+        self.invocations += 1;
+        Ok(trace)
+    }
+
+    /// Runs the task rooted at `source`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Interpreter::run_task`]; an unknown source maps to
+    /// [`CodegenError::UnknownTask`].
+    pub fn run_task_for_source<R: ChoiceResolver + ?Sized>(
+        &mut self,
+        source: TransitionId,
+        resolver: &mut R,
+    ) -> Result<InvocationTrace> {
+        let index = self
+            .program
+            .tasks
+            .iter()
+            .position(|t| t.source == Some(source))
+            .ok_or(CodegenError::UnknownTask(usize::MAX))?;
+        self.run_task(index, resolver)
+    }
+
+    fn run_block<R: ChoiceResolver + ?Sized>(
+        &mut self,
+        block: &[Stmt],
+        resolver: &mut R,
+        trace: &mut InvocationTrace,
+    ) -> Result<()> {
+        for stmt in block {
+            self.run_stmt(stmt, resolver, trace)?;
+        }
+        Ok(())
+    }
+
+    fn run_stmt<R: ChoiceResolver + ?Sized>(
+        &mut self,
+        stmt: &Stmt,
+        resolver: &mut R,
+        trace: &mut InvocationTrace,
+    ) -> Result<()> {
+        match stmt {
+            Stmt::Fire(t) => {
+                self.fire_counts[t.index()] += 1;
+                trace.fired.push(*t);
+            }
+            Stmt::IncCount { place, amount } => {
+                let slot = &mut self.counters[place.index()];
+                *slot += *amount as i64;
+                if *slot > self.peak_counters[place.index()] {
+                    self.peak_counters[place.index()] = *slot;
+                }
+            }
+            Stmt::DecCount { place, amount } => {
+                let slot = &mut self.counters[place.index()];
+                *slot -= *amount as i64;
+                if *slot < 0 {
+                    return Err(CodegenError::NegativeCounter { place: *place });
+                }
+            }
+            Stmt::Choice { place, arms } => {
+                let candidates: Vec<TransitionId> = arms.iter().map(|a| a.transition).collect();
+                let chosen = resolver.resolve(*place, &candidates);
+                let arm = arms
+                    .iter()
+                    .find(|a| a.transition == chosen)
+                    .ok_or(CodegenError::InvalidChoiceResolution {
+                        place: *place,
+                        chosen,
+                    })?;
+                let body = arm.body.clone();
+                self.run_block(&body, resolver, trace)?;
+            }
+            Stmt::IfCount {
+                place,
+                at_least,
+                body,
+            } => {
+                if self.counters[place.index()] >= *at_least as i64 {
+                    let body = body.clone();
+                    self.run_block(&body, resolver, trace)?;
+                }
+            }
+            Stmt::WhileCount {
+                place,
+                at_least,
+                body,
+            } => {
+                while self.counters[place.index()] >= *at_least as i64 {
+                    let body = body.clone();
+                    self.run_block(&body, resolver, trace)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, SynthesisOptions};
+    use fcpn_petri::gallery;
+    use fcpn_qss::{quasi_static_schedule, QssOptions};
+
+    fn program_for(net: &fcpn_petri::PetriNet) -> Program {
+        let schedule = quasi_static_schedule(net, &QssOptions::default())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        synthesize(net, &schedule, SynthesisOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn figure2_task_preserves_rates() {
+        // Per 4 invocations (4 input samples), t2 must run twice and t3 once.
+        let net = gallery::figure2();
+        let program = program_for(&net);
+        let mut interp = Interpreter::new(&program, &net);
+        let mut resolver = FixedResolver::default();
+        for _ in 0..4 {
+            interp.run_task(0, &mut resolver).unwrap();
+        }
+        let t1 = net.transition_by_name("t1").unwrap();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let t3 = net.transition_by_name("t3").unwrap();
+        assert_eq!(interp.fire_counts()[t1.index()], 4);
+        assert_eq!(interp.fire_counts()[t2.index()], 2);
+        assert_eq!(interp.fire_counts()[t3.index()], 1);
+        // After a whole period the counters are back to zero (bounded memory).
+        assert_eq!(interp.counter(net.place_by_name("p1").unwrap()), 0);
+        assert_eq!(interp.counter(net.place_by_name("p2").unwrap()), 0);
+    }
+
+    #[test]
+    fn figure4_matches_paper_c_semantics() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let mut interp = Interpreter::new(&program, &net);
+        let t2 = net.transition_by_name("t2").unwrap();
+        let t4 = net.transition_by_name("t4").unwrap();
+        let t5 = net.transition_by_name("t5").unwrap();
+        // Always take the t2 branch: t4 fires every second invocation.
+        let mut take_t2 = FixedResolver { arm: 0 };
+        for _ in 0..6 {
+            interp.run_task(0, &mut take_t2).unwrap();
+        }
+        assert_eq!(interp.fire_counts()[t2.index()], 6);
+        assert_eq!(interp.fire_counts()[t4.index()], 3);
+        // Now always take the t3 branch: each invocation produces two t5 firings.
+        let mut take_t3 = FixedResolver { arm: 1 };
+        for _ in 0..3 {
+            interp.run_task(0, &mut take_t3).unwrap();
+        }
+        assert_eq!(interp.fire_counts()[t5.index()], 6);
+        // Counters never exceeded the schedule's buffer bound of 2.
+        let p2 = net.place_by_name("p2").unwrap();
+        let p3 = net.place_by_name("p3").unwrap();
+        assert!(interp.peak_counters()[p2.index()] <= 2);
+        assert!(interp.peak_counters()[p3.index()] <= 2);
+    }
+
+    #[test]
+    fn figure4_alternating_choices_stay_bounded() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let mut interp = Interpreter::new(&program, &net);
+        let mut resolver = RoundRobinResolver::default();
+        for _ in 0..100 {
+            interp.run_task(0, &mut resolver).unwrap();
+        }
+        // The paper notes a token can linger in p2 while the other branch runs, but the
+        // count never grows without bound (it is consumed as soon as it reaches 2).
+        for &peak in interp.peak_counters() {
+            assert!(peak <= 2, "peak counter {peak} exceeded bound");
+        }
+        assert_eq!(interp.invocations(), 100);
+    }
+
+    #[test]
+    fn figure5_two_tasks_share_the_merge_counter() {
+        let net = gallery::figure5();
+        let program = program_for(&net);
+        let mut interp = Interpreter::new(&program, &net);
+        let t1 = net.transition_by_name("t1").unwrap();
+        let t8 = net.transition_by_name("t8").unwrap();
+        let t6 = net.transition_by_name("t6").unwrap();
+        let mut resolver = RoundRobinResolver::default();
+        for _ in 0..10 {
+            interp.run_task_for_source(t1, &mut resolver).unwrap();
+            interp.run_task_for_source(t8, &mut resolver).unwrap();
+        }
+        // Each t8 event contributes exactly one t6 firing; each t1 event taking the t2
+        // branch contributes four. With round-robin choices, 5 of the 10 t1 events take
+        // the t2 branch: 5 * 4 + 10 = 30.
+        assert_eq!(interp.fire_counts()[t6.index()], 30);
+        // All counters bounded.
+        for &peak in interp.peak_counters() {
+            assert!(peak <= 4);
+        }
+    }
+
+    #[test]
+    fn unknown_task_is_reported() {
+        let net = gallery::figure2();
+        let program = program_for(&net);
+        let mut interp = Interpreter::new(&program, &net);
+        let mut resolver = FixedResolver::default();
+        assert!(matches!(
+            interp.run_task(7, &mut resolver),
+            Err(CodegenError::UnknownTask(7))
+        ));
+    }
+
+    #[test]
+    fn closure_resolver_is_accepted() {
+        let net = gallery::figure3a();
+        let program = program_for(&net);
+        let mut interp = Interpreter::new(&program, &net);
+        let t3 = net.transition_by_name("t3").unwrap();
+        let mut resolver = move |_place: PlaceId, candidates: &[TransitionId]| {
+            *candidates.last().unwrap()
+        };
+        let trace = interp.run_task(0, &mut resolver).unwrap();
+        assert!(trace.fired.contains(&t3));
+    }
+}

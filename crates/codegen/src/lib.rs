@@ -1,0 +1,60 @@
+//! # fcpn-codegen — software synthesis from quasi-static schedules
+//!
+//! The back end of the reproduction of *Synthesis of Embedded Software Using Free-Choice
+//! Petri Nets* (DAC 1999): given a [`fcpn_qss::ValidSchedule`], it partitions the system
+//! into one task per input with independent firing rate, builds a structured task IR
+//! ([`Program`], [`Task`], [`Stmt`]) with if/else for data-dependent choices and counting
+//! variables for multirate places, renders it to C ([`emit_c`]), and can execute it
+//! directly ([`Interpreter`]) so the generated code can be validated against the token
+//! game and fed to the RTOS simulator.
+//!
+//! ```
+//! use fcpn_petri::gallery;
+//! use fcpn_qss::{quasi_static_schedule, QssOptions};
+//! use fcpn_codegen::{synthesize, CodeMetrics, SynthesisOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = gallery::figure4();
+//! let schedule = quasi_static_schedule(&net, &QssOptions::default())?.schedule().unwrap();
+//! let program = synthesize(&net, &schedule, SynthesisOptions::default())?;
+//! let metrics = CodeMetrics::of(&program, &net);
+//! assert_eq!(metrics.tasks, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod build;
+mod c_emit;
+mod error;
+mod interp;
+mod metrics;
+mod rust_emit;
+mod task_ir;
+
+pub use build::{synthesize, SynthesisOptions};
+pub use c_emit::{emit_c, CEmitOptions};
+pub use error::{CodegenError, Result};
+pub use interp::{
+    ChoiceResolver, FixedResolver, Interpreter, InvocationTrace, RoundRobinResolver,
+};
+pub use metrics::CodeMetrics;
+pub use rust_emit::{emit_rust, RustEmitOptions};
+pub use task_ir::{ChoiceArm, Program, Stmt, Task};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Program>();
+        assert_send_sync::<Stmt>();
+        assert_send_sync::<CodegenError>();
+        assert_send_sync::<CodeMetrics>();
+    }
+}

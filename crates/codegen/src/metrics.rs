@@ -1,0 +1,92 @@
+//! Code metrics: the static columns of the paper's Table I (number of tasks and lines of
+//! C code).
+
+use crate::{CEmitOptions, Program};
+use fcpn_petri::PetriNet;
+
+/// Static metrics of a synthesised implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeMetrics {
+    /// Number of software tasks (Table I row "Number of tasks").
+    pub tasks: usize,
+    /// Non-blank lines of the emitted C translation unit (Table I row "Lines of C code").
+    pub lines_of_c: usize,
+    /// Number of IR statements (a compiler-independent size proxy).
+    pub ir_statements: usize,
+    /// Maximum nesting depth across tasks.
+    pub max_nesting: usize,
+}
+
+impl CodeMetrics {
+    /// Computes the metrics of `program` for the given net.
+    pub fn of(program: &Program, net: &PetriNet) -> Self {
+        let c = crate::emit_c(program, net, CEmitOptions::default());
+        CodeMetrics {
+            tasks: program.task_count(),
+            lines_of_c: c.lines().filter(|l| !l.trim().is_empty()).count(),
+            ir_statements: program.size(),
+            max_nesting: program.tasks.iter().map(|t| t.depth()).max().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Display for CodeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} task(s), {} lines of C, {} IR statements, nesting {}",
+            self.tasks, self.lines_of_c, self.ir_statements, self.max_nesting
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, SynthesisOptions};
+    use fcpn_petri::gallery;
+    use fcpn_qss::{quasi_static_schedule, QssOptions};
+
+    fn metrics_for(net: &PetriNet) -> CodeMetrics {
+        let schedule = quasi_static_schedule(net, &QssOptions::default())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        let program = synthesize(net, &schedule, SynthesisOptions::default()).unwrap();
+        CodeMetrics::of(&program, net)
+    }
+
+    #[test]
+    fn figure4_metrics_are_consistent() {
+        let net = gallery::figure4();
+        let m = metrics_for(&net);
+        assert_eq!(m.tasks, 1);
+        assert!(m.lines_of_c > 10);
+        assert!(m.ir_statements >= 8);
+        assert!(m.max_nesting >= 3);
+        assert!(m.to_string().contains("1 task(s)"));
+    }
+
+    #[test]
+    fn figure5_is_larger_than_figure4() {
+        let f4 = metrics_for(&gallery::figure4());
+        let f5 = metrics_for(&gallery::figure5());
+        assert!(f5.tasks > f4.tasks);
+        assert!(f5.lines_of_c > f4.lines_of_c);
+        assert!(f5.ir_statements > f4.ir_statements);
+    }
+
+    #[test]
+    fn code_size_grows_linearly_with_choice_chain_length() {
+        // The paper's complexity claim: generated code is linear in the size of the net,
+        // even though the number of T-reductions is exponential.
+        let sizes: Vec<usize> = [2usize, 4, 8]
+            .iter()
+            .map(|&n| metrics_for(&gallery::choice_chain(n)).ir_statements)
+            .collect();
+        // Doubling the chain roughly doubles the code, far from the 2^n reduction count.
+        assert!(sizes[1] < sizes[0] * 3);
+        assert!(sizes[2] < sizes[1] * 3);
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
+    }
+}

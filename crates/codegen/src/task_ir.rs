@@ -1,0 +1,274 @@
+//! The task intermediate representation produced by software synthesis.
+//!
+//! A [`Program`] is a set of [`Task`]s, one per input with independent firing rate.
+//! Each task body is structured code over three primitives: firing a transition (calling
+//! the user's C function for that computation), counting tokens in a software buffer
+//! (a multirate place), and branching on the run-time resolution of a data-dependent
+//! choice. The same IR is rendered to C text by [`crate::emit_c`] and executed directly
+//! by [`crate::Interpreter`], so tests can validate the synthesised code against the
+//! token game of the original net.
+
+use fcpn_petri::{PetriNet, PlaceId, TransitionId};
+
+/// One arm of a data-dependent choice: taken when the run-time value routed through the
+/// choice place selects `transition`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChoiceArm {
+    /// The conflict transition this arm fires first.
+    pub transition: TransitionId,
+    /// The statements executed when this arm is selected.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement of the task IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Execute the data computation associated with a transition.
+    Fire(TransitionId),
+    /// Increment the counter of a multirate place after producing tokens into it.
+    IncCount {
+        /// The counted place.
+        place: PlaceId,
+        /// Number of tokens produced.
+        amount: u64,
+    },
+    /// Decrement the counter of a multirate place after consuming tokens from it.
+    DecCount {
+        /// The counted place.
+        place: PlaceId,
+        /// Number of tokens consumed.
+        amount: u64,
+    },
+    /// Branch on the run-time resolution of the choice at `place` (if / else-if chain).
+    Choice {
+        /// The free-choice place whose token value decides the branch.
+        place: PlaceId,
+        /// One arm per conflicting transition.
+        arms: Vec<ChoiceArm>,
+    },
+    /// Execute `body` once if the counter of `place` holds at least `at_least` tokens
+    /// (generated when the consumer fires less often than its producer).
+    IfCount {
+        /// The counted place guarding the body.
+        place: PlaceId,
+        /// Minimum counter value required.
+        at_least: u64,
+        /// Guarded statements.
+        body: Vec<Stmt>,
+    },
+    /// Execute `body` repeatedly while the counter of `place` holds at least `at_least`
+    /// tokens (generated when the consumer fires more often than its producer).
+    WhileCount {
+        /// The counted place guarding the loop.
+        place: PlaceId,
+        /// Minimum counter value required to iterate.
+        at_least: u64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Number of statements in this statement and its children.
+    pub fn size(&self) -> usize {
+        match self {
+            Stmt::Fire(_) | Stmt::IncCount { .. } | Stmt::DecCount { .. } => 1,
+            Stmt::Choice { arms, .. } => {
+                1 + arms
+                    .iter()
+                    .map(|a| a.body.iter().map(Stmt::size).sum::<usize>())
+                    .sum::<usize>()
+            }
+            Stmt::IfCount { body, .. } | Stmt::WhileCount { body, .. } => {
+                1 + body.iter().map(Stmt::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Maximum nesting depth of this statement.
+    pub fn depth(&self) -> usize {
+        match self {
+            Stmt::Fire(_) | Stmt::IncCount { .. } | Stmt::DecCount { .. } => 1,
+            Stmt::Choice { arms, .. } => {
+                1 + arms
+                    .iter()
+                    .flat_map(|a| a.body.iter().map(Stmt::depth))
+                    .max()
+                    .unwrap_or(0)
+            }
+            Stmt::IfCount { body, .. } | Stmt::WhileCount { body, .. } => {
+                1 + body.iter().map(Stmt::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// All transitions fired (statically) within this statement.
+    pub fn fired_transitions(&self, into: &mut Vec<TransitionId>) {
+        match self {
+            Stmt::Fire(t) => into.push(*t),
+            Stmt::IncCount { .. } | Stmt::DecCount { .. } => {}
+            Stmt::Choice { arms, .. } => {
+                for arm in arms {
+                    for s in &arm.body {
+                        s.fired_transitions(into);
+                    }
+                }
+            }
+            Stmt::IfCount { body, .. } | Stmt::WhileCount { body, .. } => {
+                for s in body {
+                    s.fired_transitions(into);
+                }
+            }
+        }
+    }
+}
+
+/// A software task: the code executed when one invocation of its root input arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Task name (derived from the root source transition).
+    pub name: String,
+    /// The source transition whose events activate this task, if the net has sources.
+    pub source: Option<TransitionId>,
+    /// The task body.
+    pub body: Vec<Stmt>,
+}
+
+impl Task {
+    /// Number of IR statements in the task.
+    pub fn size(&self) -> usize {
+        self.body.iter().map(Stmt::size).sum()
+    }
+
+    /// Maximum nesting depth of the task body.
+    pub fn depth(&self) -> usize {
+        self.body.iter().map(Stmt::depth).max().unwrap_or(0)
+    }
+
+    /// Transitions that appear (statically) in the task body, with duplicates, in source
+    /// order.
+    pub fn transitions(&self) -> Vec<TransitionId> {
+        let mut out = Vec::new();
+        for s in &self.body {
+            s.fired_transitions(&mut out);
+        }
+        out
+    }
+}
+
+/// A complete synthesised program: the set of concurrent tasks invoked by the RTOS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (taken from the net).
+    pub name: String,
+    /// The synthesised tasks, one per independent-rate input.
+    pub tasks: Vec<Task>,
+    /// Places that are implemented as software counters (multirate buffers), ascending.
+    pub counter_places: Vec<PlaceId>,
+}
+
+impl Program {
+    /// Number of tasks (the paper's "number of tasks" row in Table I).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total number of IR statements across tasks.
+    pub fn size(&self) -> usize {
+        self.tasks.iter().map(Task::size).sum()
+    }
+
+    /// Returns `true` if `place` is implemented as a counter.
+    pub fn is_counter_place(&self, place: PlaceId) -> bool {
+        self.counter_places.binary_search(&place).is_ok()
+    }
+
+    /// Renders a short human-readable summary using the net's names.
+    pub fn describe(&self, net: &PetriNet) -> String {
+        let tasks: Vec<String> = self
+            .tasks
+            .iter()
+            .map(|t| format!("{} ({} stmts)", t.name, t.size()))
+            .collect();
+        let counters: Vec<&str> = self
+            .counter_places
+            .iter()
+            .map(|&p| net.place_name(p))
+            .collect();
+        format!(
+            "program {}: {} task(s) [{}], counters [{}]",
+            self.name,
+            self.task_count(),
+            tasks.join(", "),
+            counters.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_task() -> Task {
+        Task {
+            name: "task_t1".to_string(),
+            source: Some(TransitionId::new(0)),
+            body: vec![
+                Stmt::Fire(TransitionId::new(0)),
+                Stmt::Choice {
+                    place: PlaceId::new(0),
+                    arms: vec![
+                        ChoiceArm {
+                            transition: TransitionId::new(1),
+                            body: vec![
+                                Stmt::Fire(TransitionId::new(1)),
+                                Stmt::IncCount {
+                                    place: PlaceId::new(1),
+                                    amount: 1,
+                                },
+                                Stmt::IfCount {
+                                    place: PlaceId::new(1),
+                                    at_least: 2,
+                                    body: vec![
+                                        Stmt::Fire(TransitionId::new(3)),
+                                        Stmt::DecCount {
+                                            place: PlaceId::new(1),
+                                            amount: 2,
+                                        },
+                                    ],
+                                },
+                            ],
+                        },
+                        ChoiceArm {
+                            transition: TransitionId::new(2),
+                            body: vec![Stmt::Fire(TransitionId::new(2))],
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sizes_and_depths() {
+        let task = sample_task();
+        // 1 (fire) + 1 (choice) + arm1: fire+inc+if(+fire+dec) = 5, arm2: 1 => total 8.
+        assert_eq!(task.size(), 8);
+        assert_eq!(task.depth(), 3);
+        let fired = task.transitions();
+        assert_eq!(fired.len(), 4);
+    }
+
+    #[test]
+    fn program_summary() {
+        let program = Program {
+            name: "demo".to_string(),
+            tasks: vec![sample_task()],
+            counter_places: vec![PlaceId::new(1)],
+        };
+        assert_eq!(program.task_count(), 1);
+        assert_eq!(program.size(), 8);
+        assert!(program.is_counter_place(PlaceId::new(1)));
+        assert!(!program.is_counter_place(PlaceId::new(0)));
+    }
+}

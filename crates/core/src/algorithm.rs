@@ -1,0 +1,237 @@
+//! The top-level quasi-static scheduling algorithm (Section 3, Steps 1–3).
+
+use crate::{
+    check_component, enumerate_allocations, AllocationOptions, ComponentFailure,
+    ComponentVerdict, Result, TReduction, ValidSchedule,
+};
+use fcpn_petri::{PetriNet, TransitionId};
+use std::fmt;
+
+/// Options for the quasi-static scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QssOptions {
+    /// Limits for T-allocation enumeration (exponential in the number of choices).
+    pub allocation: AllocationOptions,
+}
+
+/// Diagnosis of a single non-schedulable component, with enough context to explain the
+/// failure to the designer (the paper's requirement that the designer be notified that no
+/// bounded-memory implementation exists).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentDiagnostic {
+    /// Human-readable description of the choice resolution of the failing component.
+    pub allocation: String,
+    /// Parent transitions that survive in the failing component.
+    pub transitions: Vec<TransitionId>,
+    /// The reason the component fails Definition 3.5.
+    pub failure: ComponentFailure,
+}
+
+/// Report returned when the net is not quasi-statically schedulable: every failing
+/// T-reduction is listed with its diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotSchedulableReport {
+    /// Total number of T-reductions examined.
+    pub components_examined: usize,
+    /// Diagnostics for the failing components.
+    pub failures: Vec<ComponentDiagnostic>,
+}
+
+impl fmt::Display for NotSchedulableReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} conflict-free components are not statically schedulable",
+            self.failures.len(),
+            self.components_examined
+        )
+    }
+}
+
+/// Outcome of the quasi-static scheduling algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QssOutcome {
+    /// The net is schedulable; the valid schedule has one finite complete cycle per
+    /// T-reduction (Theorem 3.1).
+    Schedulable(ValidSchedule),
+    /// The net is not schedulable; no implementation can run forever in bounded memory.
+    NotSchedulable(NotSchedulableReport),
+}
+
+impl QssOutcome {
+    /// Returns the schedule if the net was schedulable.
+    pub fn schedule(self) -> Option<ValidSchedule> {
+        match self {
+            QssOutcome::Schedulable(s) => Some(s),
+            QssOutcome::NotSchedulable(_) => None,
+        }
+    }
+
+    /// Returns `true` if the net was schedulable.
+    pub fn is_schedulable(&self) -> bool {
+        matches!(self, QssOutcome::Schedulable(_))
+    }
+}
+
+/// Runs the complete quasi-static scheduling algorithm of the paper on a Free-Choice net:
+///
+/// 1. enumerate the T-allocations and compute the T-reduction of each (Step 1);
+/// 2. check that every reduction is statically schedulable (Step 2, Definition 3.5);
+/// 3. if so, assemble the valid schedule from the component cycles (Step 3,
+///    Theorem 3.1); otherwise report why each failing component cannot execute forever in
+///    bounded memory.
+///
+/// # Errors
+///
+/// Returns [`QssError::NotFreeChoice`](crate::QssError::NotFreeChoice),
+/// [`QssError::Empty`](crate::QssError::Empty) or
+/// [`QssError::TooManyAllocations`](crate::QssError::TooManyAllocations) if the input is
+/// outside the algorithm's domain — these
+/// are input errors, distinct from the legitimate [`QssOutcome::NotSchedulable`] verdict.
+///
+/// # Examples
+///
+/// ```
+/// use fcpn_petri::gallery;
+/// use fcpn_qss::{quasi_static_schedule, QssOptions, QssOutcome};
+///
+/// # fn main() -> Result<(), fcpn_qss::QssError> {
+/// let net = gallery::figure4();
+/// let outcome = quasi_static_schedule(&net, &QssOptions::default())?;
+/// let QssOutcome::Schedulable(schedule) = outcome else { panic!("figure 4 is schedulable") };
+/// assert_eq!(schedule.describe(&net), "{(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}");
+/// # Ok(())
+/// # }
+/// ```
+pub fn quasi_static_schedule(net: &PetriNet, options: &QssOptions) -> Result<QssOutcome> {
+    let allocations = enumerate_allocations(net, options.allocation)?;
+    let mut cycles = Vec::with_capacity(allocations.len());
+    let mut failures = Vec::new();
+    let components_examined = allocations.len();
+    for allocation in allocations {
+        let reduction = TReduction::compute(net, allocation)?;
+        match check_component(net, &reduction) {
+            ComponentVerdict::Schedulable(cycle) => cycles.push(cycle),
+            ComponentVerdict::NotSchedulable(failure) => failures.push(ComponentDiagnostic {
+                allocation: reduction.allocation.describe(net),
+                transitions: reduction.parent_transitions(),
+                failure,
+            }),
+        }
+    }
+    if failures.is_empty() {
+        Ok(QssOutcome::Schedulable(ValidSchedule { cycles }))
+    } else {
+        Ok(QssOutcome::NotSchedulable(NotSchedulableReport {
+            components_examined,
+            failures,
+        }))
+    }
+}
+
+/// Convenience wrapper: returns `true` when the marked net is quasi-statically
+/// schedulable (Definition 3.2).
+///
+/// # Errors
+///
+/// Same input errors as [`quasi_static_schedule`].
+pub fn is_schedulable(net: &PetriNet, options: &QssOptions) -> Result<bool> {
+    Ok(quasi_static_schedule(net, options)?.is_schedulable())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QssError;
+    use fcpn_petri::gallery;
+
+    #[test]
+    fn figure3a_is_schedulable_with_two_cycles() {
+        let net = gallery::figure3a();
+        let outcome = quasi_static_schedule(&net, &QssOptions::default()).unwrap();
+        assert!(outcome.is_schedulable());
+        let schedule = outcome.schedule().unwrap();
+        assert_eq!(schedule.cycle_count(), 2);
+        assert_eq!(schedule.describe(&net), "{(t1 t2 t4), (t1 t3 t5)}");
+    }
+
+    #[test]
+    fn figure3b_is_not_schedulable() {
+        let net = gallery::figure3b();
+        let outcome = quasi_static_schedule(&net, &QssOptions::default()).unwrap();
+        match outcome {
+            QssOutcome::NotSchedulable(report) => {
+                assert_eq!(report.components_examined, 2);
+                assert_eq!(report.failures.len(), 2);
+                assert!(report.to_string().contains("2 of 2"));
+            }
+            QssOutcome::Schedulable(_) => panic!("figure 3b must not be schedulable"),
+        }
+        assert!(!is_schedulable(&net, &QssOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn figure5_schedule_matches_paper() {
+        let net = gallery::figure5();
+        let schedule = quasi_static_schedule(&net, &QssOptions::default())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        assert_eq!(
+            schedule.describe(&net),
+            "{(t1 t2 t4 t4 t6 t6 t6 t6 t8 t9 t6), (t1 t3 t5 t7 t7 t8 t9 t6)}"
+        );
+    }
+
+    #[test]
+    fn figure7_is_not_schedulable_with_inconsistency_diagnostics() {
+        let net = gallery::figure7();
+        let outcome = quasi_static_schedule(&net, &QssOptions::default()).unwrap();
+        let QssOutcome::NotSchedulable(report) = outcome else {
+            panic!("figure 7 must not be schedulable");
+        };
+        assert_eq!(report.failures.len(), 2);
+        for failure in &report.failures {
+            assert!(matches!(
+                failure.failure,
+                ComponentFailure::Inconsistent { .. }
+            ));
+            assert!(!failure.transitions.is_empty());
+            assert!(failure.allocation.contains("p1->"));
+        }
+    }
+
+    #[test]
+    fn marked_graphs_degenerate_to_static_scheduling() {
+        let net = gallery::figure2();
+        let schedule = quasi_static_schedule(&net, &QssOptions::default())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        assert_eq!(schedule.cycle_count(), 1);
+        assert_eq!(schedule.cycles[0].counts, vec![4, 2, 1]);
+        assert!(schedule.is_valid(&net));
+    }
+
+    #[test]
+    fn non_free_choice_input_is_an_error_not_a_verdict() {
+        let net = gallery::figure1b();
+        assert!(matches!(
+            quasi_static_schedule(&net, &QssOptions::default()),
+            Err(QssError::NotFreeChoice { .. })
+        ));
+    }
+
+    #[test]
+    fn choice_chain_produces_exponentially_many_cycles() {
+        let net = gallery::choice_chain(4);
+        let schedule = quasi_static_schedule(&net, &QssOptions::default())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        assert_eq!(schedule.cycle_count(), 16);
+        for cycle in &schedule.cycles {
+            assert!(net.is_finite_complete_cycle(net.initial_marking(), &cycle.sequence));
+        }
+    }
+}

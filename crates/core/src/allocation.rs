@@ -1,0 +1,260 @@
+//! T-allocations: control functions that resolve every free choice of the net
+//! (Definition 3.3 of the paper).
+
+use crate::{QssError, Result};
+use fcpn_petri::analysis::ConflictAnalysis;
+use fcpn_petri::{PetriNet, PlaceId, TransitionId};
+use std::fmt;
+
+/// A T-allocation resolves every choice place of the net to exactly one of its output
+/// transitions. Transitions that lose a conflict are *unallocated* and are removed by the
+/// Reduction Algorithm; all other transitions are allocated.
+///
+/// The paper describes a T-allocation as a function over *all* places; places with a
+/// single successor have no freedom, so only the choice places are stored here.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TAllocation {
+    /// For every choice place (in ascending place order), the transition chosen to
+    /// consume from it.
+    choices: Vec<(PlaceId, TransitionId)>,
+    /// Transitions excluded by this allocation (conflict losers), ascending.
+    excluded: Vec<TransitionId>,
+}
+
+impl TAllocation {
+    /// The `(choice place, chosen transition)` pairs of this allocation, in ascending
+    /// place order.
+    pub fn choices(&self) -> &[(PlaceId, TransitionId)] {
+        &self.choices
+    }
+
+    /// The transition this allocation chooses at `place`, if `place` is a choice place.
+    pub fn chosen_at(&self, place: PlaceId) -> Option<TransitionId> {
+        self.choices
+            .iter()
+            .find(|&&(p, _)| p == place)
+            .map(|&(_, t)| t)
+    }
+
+    /// Transitions removed by this allocation (the conflict losers), ascending.
+    pub fn excluded_transitions(&self) -> &[TransitionId] {
+        &self.excluded
+    }
+
+    /// Returns `true` if `transition` survives under this allocation.
+    pub fn allocates(&self, transition: TransitionId) -> bool {
+        self.excluded.binary_search(&transition).is_err()
+    }
+
+    /// The allocated transition set `A_i` as the paper lists it: every transition of the
+    /// net except the conflict losers.
+    pub fn allocated_set(&self, net: &PetriNet) -> Vec<TransitionId> {
+        net.transitions().filter(|&t| self.allocates(t)).collect()
+    }
+
+    /// Renders the allocation as `p1->t2, p5->t7`-style text using net names.
+    pub fn describe(&self, net: &PetriNet) -> String {
+        self.choices
+            .iter()
+            .map(|&(p, t)| format!("{}->{}", net.place_name(p), net.transition_name(t)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl fmt::Display for TAllocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (p, t)) in self.choices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}->{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Options controlling allocation enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationOptions {
+    /// Maximum number of allocations that may be enumerated. The count is the product of
+    /// the out-degrees of the choice places and is exponential in the number of choices.
+    pub max_allocations: u128,
+}
+
+impl Default for AllocationOptions {
+    fn default() -> Self {
+        AllocationOptions {
+            max_allocations: 1 << 20,
+        }
+    }
+}
+
+/// Enumerates every T-allocation of `net` (the cartesian product of the choice places'
+/// output transitions).
+///
+/// # Errors
+///
+/// * [`QssError::NotFreeChoice`] if the net violates the free-choice condition.
+/// * [`QssError::TooManyAllocations`] if the product exceeds `options.max_allocations`.
+///
+/// # Examples
+///
+/// ```
+/// use fcpn_petri::gallery;
+/// use fcpn_qss::{enumerate_allocations, AllocationOptions};
+///
+/// # fn main() -> Result<(), fcpn_qss::QssError> {
+/// let net = gallery::figure5();
+/// let allocations = enumerate_allocations(&net, AllocationOptions::default())?;
+/// // One choice (p1 -> t2 | t3) gives exactly two allocations, A1 and A2.
+/// assert_eq!(allocations.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate_allocations(
+    net: &PetriNet,
+    options: AllocationOptions,
+) -> Result<Vec<TAllocation>> {
+    let classification = fcpn_petri::analysis::Classification::of(net);
+    if !classification.is_free_choice() {
+        return Err(QssError::NotFreeChoice {
+            violations: classification.free_choice_violations,
+        });
+    }
+    if net.transition_count() == 0 {
+        return Err(QssError::Empty);
+    }
+    let conflicts = ConflictAnalysis::of(net);
+    let choices: Vec<(PlaceId, Vec<TransitionId>)> = conflicts.choices.clone();
+
+    let mut required: u128 = 1;
+    for (_, outs) in &choices {
+        required = required.saturating_mul(outs.len() as u128);
+        if required > options.max_allocations {
+            return Err(QssError::TooManyAllocations {
+                required,
+                limit: options.max_allocations,
+            });
+        }
+    }
+
+    let mut allocations = Vec::with_capacity(required as usize);
+    let mut cursor = vec![0usize; choices.len()];
+    loop {
+        let mut chosen = Vec::with_capacity(choices.len());
+        let mut excluded = Vec::new();
+        for (slot, (place, outs)) in choices.iter().enumerate() {
+            let pick = outs[cursor[slot]];
+            chosen.push((*place, pick));
+            for &t in outs {
+                if t != pick {
+                    excluded.push(t);
+                }
+            }
+        }
+        excluded.sort();
+        excluded.dedup();
+        allocations.push(TAllocation {
+            choices: chosen,
+            excluded,
+        });
+        // Advance the mixed-radix counter.
+        let mut slot = 0;
+        loop {
+            if slot == choices.len() {
+                return Ok(allocations);
+            }
+            cursor[slot] += 1;
+            if cursor[slot] < choices[slot].1.len() {
+                break;
+            }
+            cursor[slot] = 0;
+            slot += 1;
+        }
+        if choices.is_empty() {
+            return Ok(allocations);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcpn_petri::gallery;
+
+    #[test]
+    fn conflict_free_net_has_exactly_one_allocation() {
+        let net = gallery::figure2();
+        let allocations = enumerate_allocations(&net, AllocationOptions::default()).unwrap();
+        assert_eq!(allocations.len(), 1);
+        assert!(allocations[0].choices().is_empty());
+        assert!(allocations[0].excluded_transitions().is_empty());
+        assert_eq!(
+            allocations[0].allocated_set(&net).len(),
+            net.transition_count()
+        );
+    }
+
+    #[test]
+    fn figure5_allocations_match_paper() {
+        let net = gallery::figure5();
+        let allocations = enumerate_allocations(&net, AllocationOptions::default()).unwrap();
+        assert_eq!(allocations.len(), 2);
+        let t2 = net.transition_by_name("t2").unwrap();
+        let t3 = net.transition_by_name("t3").unwrap();
+        let p1 = net.place_by_name("p1").unwrap();
+        // A1 keeps t2 (excludes t3), A2 keeps t3 (excludes t2).
+        let a1 = allocations.iter().find(|a| a.allocates(t2)).unwrap();
+        let a2 = allocations.iter().find(|a| a.allocates(t3)).unwrap();
+        assert_eq!(a1.excluded_transitions(), &[t3]);
+        assert_eq!(a2.excluded_transitions(), &[t2]);
+        assert_eq!(a1.chosen_at(p1), Some(t2));
+        assert_eq!(a2.chosen_at(p1), Some(t3));
+        // A1 = {t1,t2,t4,t5,t6,t7,t8,t9}: eight transitions.
+        assert_eq!(a1.allocated_set(&net).len(), 8);
+        assert!(a1.describe(&net).contains("p1->t2"));
+        assert!(a1.to_string().starts_with('['));
+    }
+
+    #[test]
+    fn allocations_multiply_across_choices() {
+        let net = gallery::choice_chain(4);
+        let allocations = enumerate_allocations(&net, AllocationOptions::default()).unwrap();
+        assert_eq!(allocations.len(), 16);
+        // Every allocation excludes exactly one transition per choice.
+        for a in &allocations {
+            assert_eq!(a.excluded_transitions().len(), 4);
+        }
+    }
+
+    #[test]
+    fn allocation_limit_is_enforced() {
+        let net = gallery::choice_chain(5);
+        let err = enumerate_allocations(
+            &net,
+            AllocationOptions {
+                max_allocations: 16,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, QssError::TooManyAllocations { required: 32, limit: 16 }));
+    }
+
+    #[test]
+    fn non_free_choice_nets_are_rejected() {
+        let net = gallery::figure1b();
+        let err = enumerate_allocations(&net, AllocationOptions::default()).unwrap_err();
+        assert!(matches!(err, QssError::NotFreeChoice { .. }));
+    }
+
+    #[test]
+    fn empty_net_is_rejected() {
+        let net = fcpn_petri::NetBuilder::new("empty").build().unwrap();
+        assert!(matches!(
+            enumerate_allocations(&net, AllocationOptions::default()),
+            Err(QssError::Empty)
+        ));
+    }
+}

@@ -1,0 +1,349 @@
+//! T-reductions: the Conflict-Free components obtained by applying the Reduction
+//! Algorithm to a T-allocation (Definition 3.4 and Step 1 of Section 3).
+//!
+//! The algorithm is Hack's MG-decomposition modified — exactly as in the paper — to
+//! tolerate source and sink transitions, which embedded-system models need to represent
+//! interaction with the environment.
+
+use crate::{Result, TAllocation};
+use fcpn_petri::{PetriNet, PlaceId, SubnetMap, TransitionId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One step of the Reduction Algorithm, recorded for traceability (Figure 6 of the paper
+/// walks these steps for the net of Figure 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReductionStep {
+    /// A transition was removed because the allocation does not choose it.
+    RemoveUnallocated(TransitionId),
+    /// A place was removed because its producer was removed and no keep-condition held.
+    RemovePlace(PlaceId),
+    /// A place was kept (as a source place of the component) because its consumer has
+    /// another non-source input place — condition (b)(ii) of the algorithm.
+    KeepPlaceAsSource(PlaceId),
+    /// A transition was removed because all of its input places were removed or are
+    /// unproducible source places — conditions (c)(i)/(c)(ii).
+    RemoveStarvedTransition(TransitionId),
+}
+
+impl fmt::Display for ReductionStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReductionStep::RemoveUnallocated(t) => write!(f, "remove {t} (unallocated)"),
+            ReductionStep::RemovePlace(p) => write!(f, "remove {p}"),
+            ReductionStep::KeepPlaceAsSource(p) => write!(f, "keep {p} as source place"),
+            ReductionStep::RemoveStarvedTransition(t) => write!(f, "remove {t} (starved)"),
+        }
+    }
+}
+
+/// A T-reduction: the conflict-free subnet active when the conflicts are resolved as the
+/// associated T-allocation prescribes.
+#[derive(Debug, Clone)]
+pub struct TReduction {
+    /// The allocation this reduction corresponds to.
+    pub allocation: TAllocation,
+    /// The reduced net (a conflict-free net, possibly made of several disjoint subnets).
+    pub net: PetriNet,
+    /// Mapping from the reduced net's identifiers back to the parent net.
+    pub map: SubnetMap,
+    /// The steps the Reduction Algorithm took, in order.
+    pub trace: Vec<ReductionStep>,
+}
+
+impl TReduction {
+    /// Computes the T-reduction of `parent` under `allocation` by running the Reduction
+    /// Algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`fcpn_petri::PetriError`] from sub-net construction (which cannot fail
+    /// for identifiers produced here).
+    pub fn compute(parent: &PetriNet, allocation: TAllocation) -> Result<TReduction> {
+        let mut kept_transitions: BTreeSet<TransitionId> = parent.transitions().collect();
+        let mut kept_places: BTreeSet<PlaceId> = parent.places().collect();
+        let mut trace = Vec::new();
+
+        // Step 2(a): remove every transition the allocation does not choose.
+        let mut removed_transitions: Vec<TransitionId> = Vec::new();
+        for &t in allocation.excluded_transitions() {
+            kept_transitions.remove(&t);
+            removed_transitions.push(t);
+            trace.push(ReductionStep::RemoveUnallocated(t));
+        }
+
+        // Steps 2(b)-(d): propagate removals until a fixpoint.
+        let mut worklist: Vec<TransitionId> = removed_transitions;
+        while let Some(removed) = worklist.pop() {
+            // (b) Examine the successor places of the removed transition.
+            for &(s, _) in parent.outputs(removed) {
+                if !kept_places.contains(&s) {
+                    continue;
+                }
+                // (b)(i) keep the place if it still has another (kept) producer.
+                let has_other_producer = parent
+                    .producers(s)
+                    .iter()
+                    .any(|&(t, _)| t != removed && kept_transitions.contains(&t));
+                if has_other_producer {
+                    continue;
+                }
+                // (b)(ii) keep the place (as a source place of the component) if some kept
+                // consumer of it has another kept, non-source input place.
+                let keeps_as_source = parent.consumers(s).iter().any(|&(consumer, _)| {
+                    kept_transitions.contains(&consumer)
+                        && parent.inputs(consumer).iter().any(|&(other, _)| {
+                            other != s
+                                && kept_places.contains(&other)
+                                && has_kept_producer(parent, other, &kept_transitions)
+                        })
+                });
+                if keeps_as_source {
+                    trace.push(ReductionStep::KeepPlaceAsSource(s));
+                    continue;
+                }
+                kept_places.remove(&s);
+                trace.push(ReductionStep::RemovePlace(s));
+                // (c) A consumer of the removed place is itself removed when it has no
+                // remaining input places, or when all of its remaining inputs are
+                // unproducible source places (which are then removed with it).
+                for &(consumer, _) in parent.consumers(s) {
+                    if !kept_transitions.contains(&consumer) {
+                        continue;
+                    }
+                    let remaining: Vec<PlaceId> = parent
+                        .inputs(consumer)
+                        .iter()
+                        .map(|&(p, _)| p)
+                        .filter(|p| kept_places.contains(p))
+                        .collect();
+                    let all_sources = remaining
+                        .iter()
+                        .all(|&p| !has_kept_producer(parent, p, &kept_transitions));
+                    if remaining.is_empty() || all_sources {
+                        if !remaining.is_empty() {
+                            for p in remaining {
+                                kept_places.remove(&p);
+                                trace.push(ReductionStep::RemovePlace(p));
+                            }
+                        }
+                        kept_transitions.remove(&consumer);
+                        trace.push(ReductionStep::RemoveStarvedTransition(consumer));
+                        worklist.push(consumer);
+                    }
+                }
+            }
+        }
+
+        let places: Vec<PlaceId> = kept_places.into_iter().collect();
+        let transitions: Vec<TransitionId> = kept_transitions.into_iter().collect();
+        let (net, map) = parent.induced_subnet(&places, &transitions)?;
+        Ok(TReduction {
+            allocation,
+            net,
+            map,
+            trace,
+        })
+    }
+
+    /// The parent-net transitions that survive in this reduction, ascending.
+    pub fn parent_transitions(&self) -> Vec<TransitionId> {
+        self.map.transition_to_parent.clone()
+    }
+
+    /// The parent-net places that survive in this reduction, ascending.
+    pub fn parent_places(&self) -> Vec<PlaceId> {
+        self.map.place_to_parent.clone()
+    }
+
+    /// Translates a firing sequence of the reduced net back to parent-net transitions.
+    pub fn sequence_to_parent(&self, sequence: &[TransitionId]) -> Vec<TransitionId> {
+        sequence
+            .iter()
+            .map(|&t| self.map.parent_transition(t))
+            .collect()
+    }
+
+    /// Renders the trace with parent-net names, one step per line (Figure 6 style).
+    pub fn describe_trace(&self, parent: &PetriNet) -> String {
+        self.trace
+            .iter()
+            .enumerate()
+            .map(|(i, step)| {
+                let text = match step {
+                    ReductionStep::RemoveUnallocated(t) => {
+                        format!("remove {} (unallocated)", parent.transition_name(*t))
+                    }
+                    ReductionStep::RemovePlace(p) => {
+                        format!("remove {}", parent.place_name(*p))
+                    }
+                    ReductionStep::KeepPlaceAsSource(p) => {
+                        format!("keep {} as source place", parent.place_name(*p))
+                    }
+                    ReductionStep::RemoveStarvedTransition(t) => {
+                        format!("remove {} (starved)", parent.transition_name(*t))
+                    }
+                };
+                format!("step {}) {}", i + 1, text)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn has_kept_producer(
+    parent: &PetriNet,
+    place: PlaceId,
+    kept_transitions: &BTreeSet<TransitionId>,
+) -> bool {
+    parent
+        .producers(place)
+        .iter()
+        .any(|&(t, _)| kept_transitions.contains(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enumerate_allocations, AllocationOptions};
+    use fcpn_petri::gallery;
+
+    fn reductions_of(net: &PetriNet) -> Vec<TReduction> {
+        enumerate_allocations(net, AllocationOptions::default())
+            .unwrap()
+            .into_iter()
+            .map(|a| TReduction::compute(net, a).unwrap())
+            .collect()
+    }
+
+    fn names(net: &PetriNet, r: &TReduction) -> (Vec<String>, Vec<String>) {
+        let ts = r
+            .parent_transitions()
+            .iter()
+            .map(|&t| net.transition_name(t).to_string())
+            .collect();
+        let ps = r
+            .parent_places()
+            .iter()
+            .map(|&p| net.place_name(p).to_string())
+            .collect();
+        (ts, ps)
+    }
+
+    #[test]
+    fn figure5_reductions_match_paper() {
+        let net = gallery::figure5();
+        let reductions = reductions_of(&net);
+        assert_eq!(reductions.len(), 2);
+        let t2 = net.transition_by_name("t2").unwrap();
+        let r1 = reductions
+            .iter()
+            .find(|r| r.allocation.allocates(t2))
+            .unwrap();
+        let r2 = reductions
+            .iter()
+            .find(|r| !r.allocation.allocates(t2))
+            .unwrap();
+        let (t_r1, p_r1) = names(&net, r1);
+        // R1 (choose t2): keep t1 t2 t4 t6 t8 t9 and p1 p2 p4 p7 (figure 6 end state).
+        assert_eq!(t_r1, vec!["t1", "t2", "t4", "t6", "t8", "t9"]);
+        assert_eq!(p_r1, vec!["p1", "p2", "p4", "p7"]);
+        let (t_r2, p_r2) = names(&net, r2);
+        // R2 (choose t3): keep t1 t3 t5 t6 t7 t8 t9 and p1 p3 p4 p5 p6 p7.
+        assert_eq!(t_r2, vec!["t1", "t3", "t5", "t6", "t7", "t8", "t9"]);
+        assert_eq!(p_r2, vec!["p1", "p3", "p4", "p5", "p6", "p7"]);
+        // Both reductions are conflict-free nets, as the paper requires by construction.
+        assert!(r1.net.is_conflict_free());
+        assert!(r2.net.is_conflict_free());
+    }
+
+    #[test]
+    fn figure6_trace_for_r1() {
+        // The paper's figure 6 narrates: remove t3 (unallocated), remove p3, remove t5,
+        // remove p5 & p6, remove t7.
+        let net = gallery::figure5();
+        let reductions = reductions_of(&net);
+        let t2 = net.transition_by_name("t2").unwrap();
+        let r1 = reductions
+            .iter()
+            .find(|r| r.allocation.allocates(t2))
+            .unwrap();
+        let trace = r1.describe_trace(&net);
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].contains("remove t3 (unallocated)"));
+        assert!(lines[1].contains("remove p3"));
+        assert!(lines[2].contains("remove t5 (starved)"));
+        assert!(lines[3].contains("remove p5"));
+        assert!(lines[4].contains("remove p6"));
+        assert!(lines[5].contains("remove t7 (starved)"));
+    }
+
+    #[test]
+    fn figure7_reductions_match_paper() {
+        let net = gallery::figure7();
+        let reductions = reductions_of(&net);
+        assert_eq!(reductions.len(), 2);
+        let t2 = net.transition_by_name("t2").unwrap();
+        let r1 = reductions
+            .iter()
+            .find(|r| r.allocation.allocates(t2))
+            .unwrap();
+        let r2 = reductions
+            .iter()
+            .find(|r| !r.allocation.allocates(t2))
+            .unwrap();
+        let (t_r1, p_r1) = names(&net, r1);
+        // R1 = {t1, t2, t4, t6} with places {p1, p2, p4, p5}; p5 is kept as a source place.
+        assert_eq!(t_r1, vec!["t1", "t2", "t4", "t6"]);
+        assert_eq!(p_r1, vec!["p1", "p2", "p4", "p5"]);
+        assert!(r1
+            .trace
+            .iter()
+            .any(|s| matches!(s, ReductionStep::KeepPlaceAsSource(_))));
+        let (t_r2, p_r2) = names(&net, r2);
+        // R2 = {t1, t3, t5, t6, t7} with places {p1, p3, p4, p5, p6}; p4 kept as source.
+        assert_eq!(t_r2, vec!["t1", "t3", "t5", "t6", "t7"]);
+        assert_eq!(p_r2, vec!["p1", "p3", "p4", "p5", "p6"]);
+    }
+
+    #[test]
+    fn conflict_free_net_reduces_to_itself() {
+        let net = gallery::figure2();
+        let reductions = reductions_of(&net);
+        assert_eq!(reductions.len(), 1);
+        let r = &reductions[0];
+        assert!(r.trace.is_empty());
+        assert_eq!(r.net.transition_count(), net.transition_count());
+        assert_eq!(r.net.place_count(), net.place_count());
+    }
+
+    #[test]
+    fn figure3a_reductions_are_the_two_branches() {
+        let net = gallery::figure3a();
+        let reductions = reductions_of(&net);
+        assert_eq!(reductions.len(), 2);
+        for r in &reductions {
+            // Each branch keeps the source, one branch transition and its drain.
+            assert_eq!(r.net.transition_count(), 3);
+            assert_eq!(r.net.place_count(), 2);
+            assert!(r.net.is_conflict_free());
+        }
+    }
+
+    #[test]
+    fn sequences_map_back_to_parent_names() {
+        let net = gallery::figure3a();
+        let reductions = reductions_of(&net);
+        let r = &reductions[0];
+        let seq: Vec<TransitionId> = r.net.transitions().collect();
+        let parent_seq = r.sequence_to_parent(&seq);
+        assert_eq!(parent_seq.len(), 3);
+        for (&child, &parent) in seq.iter().zip(parent_seq.iter()) {
+            assert_eq!(
+                r.net.transition_name(child),
+                net.transition_name(parent)
+            );
+        }
+    }
+}

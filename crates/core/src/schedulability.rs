@@ -1,0 +1,356 @@
+//! Per-component schedulability (Definition 3.5) and cycle generation.
+//!
+//! A T-reduction is schedulable when (1) it is consistent, (2) every source transition of
+//! the original net is covered by one of its T-invariants, and (3) simulating a covering
+//! T-invariant from the initial marking completes a cycle without deadlocking. The
+//! simulation here fires the allocated choice transitions as early as possible, which
+//! reproduces the firing orders printed in the paper (e.g. `t1 t2 t1 t2 t4` for Figure 4
+//! and `t1 t2 t4 t4 t6 t6 t6 t6 t8 t9 t6` for Figure 5).
+
+use crate::{FiniteCompleteCycle, TReduction};
+use fcpn_petri::analysis::{IncidenceMatrix, InvariantAnalysis};
+use fcpn_petri::{Marking, PetriNet, TransitionId};
+
+/// Why a component (T-reduction) failed the schedulability test of Definition 3.5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComponentFailure {
+    /// The component is not consistent: the listed parent transitions belong to no
+    /// T-invariant, so firing them cannot be balanced and tokens accumulate or starve.
+    Inconsistent {
+        /// Parent transitions not covered by any T-semiflow of the component.
+        uncovered: Vec<TransitionId>,
+    },
+    /// A source transition of the original net has no T-invariant containing it in this
+    /// component, so its input stream cannot be consumed at a sustainable rate.
+    SourceNotCovered {
+        /// The offending parent source transition.
+        source: TransitionId,
+    },
+    /// Simulating the covering T-invariant deadlocked: the counts are algebraically
+    /// balanced but not realisable from the initial marking.
+    Deadlock {
+        /// Parent transitions still owing firings when the simulation stalled.
+        remaining: Vec<(TransitionId, u64)>,
+        /// The partial firing sequence (parent identifiers).
+        fired: Vec<TransitionId>,
+    },
+}
+
+/// The verdict for one T-reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComponentVerdict {
+    /// The component is statically schedulable; the cycle realises its covering
+    /// T-invariant.
+    Schedulable(FiniteCompleteCycle),
+    /// The component fails Definition 3.5 for the recorded reason.
+    NotSchedulable(ComponentFailure),
+}
+
+impl ComponentVerdict {
+    /// Returns `true` if the component is schedulable.
+    pub fn is_schedulable(&self) -> bool {
+        matches!(self, ComponentVerdict::Schedulable(_))
+    }
+}
+
+/// Checks Definition 3.5 for one T-reduction of `parent` and, if it holds, produces the
+/// component's finite complete cycle expressed in parent identifiers.
+pub fn check_component(parent: &PetriNet, reduction: &TReduction) -> ComponentVerdict {
+    let net = &reduction.net;
+    let invariants = InvariantAnalysis::of(net);
+
+    // (1) Consistency: every transition of the component lies in some T-semiflow.
+    let covered = {
+        let mut covered = vec![false; net.transition_count()];
+        for flow in &invariants.t_semiflows {
+            for index in flow.support() {
+                covered[index] = true;
+            }
+        }
+        covered
+    };
+    let uncovered: Vec<TransitionId> = net
+        .transitions()
+        .filter(|t| !covered[t.index()])
+        .map(|t| reduction.map.parent_transition(t))
+        .collect();
+    if !uncovered.is_empty() || net.transition_count() == 0 {
+        return ComponentVerdict::NotSchedulable(ComponentFailure::Inconsistent { uncovered });
+    }
+
+    // (2) Every source transition of the original net must be covered by a T-invariant of
+    // the component. Source transitions always survive reduction (their pre-set is empty,
+    // so they are never in conflict), hence the lookup cannot fail structurally.
+    for parent_source in parent.source_transitions() {
+        let Some(child) = reduction.map.child_transition(parent_source) else {
+            return ComponentVerdict::NotSchedulable(ComponentFailure::SourceNotCovered {
+                source: parent_source,
+            });
+        };
+        if invariants.t_semiflows_containing(child).is_empty() {
+            return ComponentVerdict::NotSchedulable(ComponentFailure::SourceNotCovered {
+                source: parent_source,
+            });
+        }
+    }
+
+    // (3) Simulate the covering T-invariant (the sum of the minimal semiflows, which by
+    // consistency covers every transition of the component, hence every source).
+    let counts = invariants
+        .positive_t_invariant(net.transition_count())
+        .expect("consistency was established above");
+    debug_assert!(IncidenceMatrix::from_net(net).is_t_invariant(&counts));
+    let priority: Vec<TransitionId> = reduction
+        .allocation
+        .choices()
+        .iter()
+        .filter_map(|&(_, chosen)| reduction.map.child_transition(chosen))
+        .collect();
+    match simulate_cycle(net, &counts, &priority) {
+        Ok((sequence, peaks)) => {
+            let parent_sequence = reduction.sequence_to_parent(&sequence);
+            let mut parent_counts = vec![0u64; parent.transition_count()];
+            for &t in &parent_sequence {
+                parent_counts[t.index()] += 1;
+            }
+            let mut parent_bounds = vec![0u64; parent.place_count()];
+            for (child_index, &peak) in peaks.iter().enumerate() {
+                let parent_place =
+                    reduction.map.parent_place(fcpn_petri::PlaceId::new(child_index));
+                parent_bounds[parent_place.index()] = peak;
+            }
+            // Slice the cycle per input: for each source transition, the sum of the
+            // minimal T-semiflows containing it. Transitions in the same slice have
+            // dependent firing rates and will end up in the same software task.
+            let mut source_slices = Vec::new();
+            for parent_source in parent.source_transitions() {
+                let Some(child) = reduction.map.child_transition(parent_source) else {
+                    continue;
+                };
+                let mut slice = vec![0u64; parent.transition_count()];
+                for flow in invariants.t_semiflows_containing(child) {
+                    for (child_index, &count) in flow.vector.iter().enumerate() {
+                        let parent_t =
+                            reduction.map.parent_transition(TransitionId::new(child_index));
+                        slice[parent_t.index()] += count;
+                    }
+                }
+                source_slices.push((parent_source, slice));
+            }
+            ComponentVerdict::Schedulable(FiniteCompleteCycle {
+                allocation: reduction.allocation.clone(),
+                sequence: parent_sequence,
+                counts: parent_counts,
+                buffer_bounds: parent_bounds,
+                source_slices,
+            })
+        }
+        Err((remaining, fired)) => {
+            let remaining = remaining
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, count)| count > 0)
+                .map(|(index, count)| {
+                    (
+                        reduction.map.parent_transition(TransitionId::new(index)),
+                        count,
+                    )
+                })
+                .collect();
+            let fired = reduction.sequence_to_parent(&fired);
+            ComponentVerdict::NotSchedulable(ComponentFailure::Deadlock { remaining, fired })
+        }
+    }
+}
+
+/// Simulates the token game of a conflict-free component until every transition has fired
+/// `counts[t]` times. At each step the lowest-indexed enabled transition that still owes
+/// firings is fired, except that transitions in `priority` (the allocated choice
+/// transitions) are fired first whenever they are enabled — this "decide the choice as
+/// soon as its token arrives" order is the one the paper's examples use.
+///
+/// Returns the firing sequence and per-place peak token counts, or
+/// `Err((remaining, fired))` on deadlock.
+#[allow(clippy::type_complexity)]
+pub fn simulate_cycle(
+    net: &PetriNet,
+    counts: &[u64],
+    priority: &[TransitionId],
+) -> Result<(Vec<TransitionId>, Vec<u64>), (Vec<u64>, Vec<TransitionId>)> {
+    let mut remaining: Vec<u64> = counts.to_vec();
+    let mut marking: Marking = net.initial_marking().clone();
+    let mut sequence = Vec::new();
+    let mut peaks: Vec<u64> = marking.as_slice().to_vec();
+    let total: u64 = remaining.iter().sum();
+    let mut fired = 0u64;
+    while fired < total {
+        let fireable = |t: TransitionId, remaining: &[u64], marking: &Marking| {
+            remaining[t.index()] > 0 && net.is_enabled(marking, t)
+        };
+        let next = priority
+            .iter()
+            .copied()
+            .find(|&t| fireable(t, &remaining, &marking))
+            .or_else(|| {
+                net.transitions()
+                    .find(|&t| fireable(t, &remaining, &marking))
+            });
+        let Some(t) = next else {
+            return Err((remaining, sequence));
+        };
+        net.fire(&mut marking, t).expect("transition was enabled");
+        remaining[t.index()] -= 1;
+        sequence.push(t);
+        fired += 1;
+        for (i, &k) in marking.as_slice().iter().enumerate() {
+            if k > peaks[i] {
+                peaks[i] = k;
+            }
+        }
+    }
+    Ok((sequence, peaks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enumerate_allocations, AllocationOptions, TReduction};
+    use fcpn_petri::gallery;
+
+    fn reductions_of(net: &PetriNet) -> Vec<TReduction> {
+        enumerate_allocations(net, AllocationOptions::default())
+            .unwrap()
+            .into_iter()
+            .map(|a| TReduction::compute(net, a).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn figure5_r1_invariants_and_cycle_match_paper() {
+        let net = gallery::figure5();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let reductions = reductions_of(&net);
+        let r1 = reductions
+            .iter()
+            .find(|r| r.allocation.allocates(t2))
+            .unwrap();
+        // Check the component invariants the paper quotes: (1,1,0,2,0,4,0,0,0) and
+        // (0,0,0,0,0,1,0,1,1) in parent transition order.
+        let inv = InvariantAnalysis::of(&r1.net);
+        let mut parent_vectors: Vec<Vec<u64>> = inv
+            .t_semiflows
+            .iter()
+            .map(|s| {
+                let mut v = vec![0u64; net.transition_count()];
+                for (child, &count) in s.vector.iter().enumerate() {
+                    let parent = r1.map.parent_transition(TransitionId::new(child));
+                    v[parent.index()] = count;
+                }
+                v
+            })
+            .collect();
+        parent_vectors.sort();
+        assert_eq!(
+            parent_vectors,
+            vec![
+                vec![0, 0, 0, 0, 0, 1, 0, 1, 1],
+                vec![1, 1, 0, 2, 0, 4, 0, 0, 0],
+            ]
+        );
+        // And the cycle matches the paper's (t1 t2 t4 t4 t6 t6 t6 t6 t8 t9 t6).
+        match check_component(&net, r1) {
+            ComponentVerdict::Schedulable(cycle) => {
+                assert_eq!(
+                    net.format_sequence(&cycle.sequence),
+                    "t1 t2 t4 t4 t6 t6 t6 t6 t8 t9 t6"
+                );
+                assert!(net.is_finite_complete_cycle(net.initial_marking(), &cycle.sequence));
+            }
+            other => panic!("expected schedulable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure5_r2_cycle_matches_paper() {
+        let net = gallery::figure5();
+        let t3 = net.transition_by_name("t3").unwrap();
+        let reductions = reductions_of(&net);
+        let r2 = reductions
+            .iter()
+            .find(|r| r.allocation.allocates(t3))
+            .unwrap();
+        match check_component(&net, r2) {
+            ComponentVerdict::Schedulable(cycle) => {
+                assert_eq!(
+                    net.format_sequence(&cycle.sequence),
+                    "t1 t3 t5 t7 t7 t8 t9 t6"
+                );
+            }
+            other => panic!("expected schedulable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure7_components_are_inconsistent() {
+        let net = gallery::figure7();
+        for reduction in reductions_of(&net) {
+            match check_component(&net, &reduction) {
+                ComponentVerdict::NotSchedulable(ComponentFailure::Inconsistent { uncovered }) => {
+                    assert!(!uncovered.is_empty());
+                }
+                other => panic!("expected inconsistency, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn figure3b_components_are_inconsistent() {
+        let net = gallery::figure3b();
+        for reduction in reductions_of(&net) {
+            assert!(!check_component(&net, &reduction).is_schedulable());
+        }
+    }
+
+    #[test]
+    fn deadlock_detected_when_invariant_not_realisable() {
+        // A delay-free loop is consistent (x = (1,1) balances it) but cannot fire.
+        let mut b = fcpn_petri::NetBuilder::new("deadlock");
+        let p1 = b.place("p1", 0);
+        let t1 = b.transition("t1");
+        let p2 = b.place("p2", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(p1, t1, 1).unwrap();
+        b.arc_t_p(t1, p2, 1).unwrap();
+        b.arc_p_t(p2, t2, 1).unwrap();
+        b.arc_t_p(t2, p1, 1).unwrap();
+        let net = b.build().unwrap();
+        let reductions = reductions_of(&net);
+        assert_eq!(reductions.len(), 1);
+        match check_component(&net, &reductions[0]) {
+            ComponentVerdict::NotSchedulable(ComponentFailure::Deadlock { remaining, fired }) => {
+                assert!(fired.is_empty());
+                assert_eq!(remaining.len(), 2);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_cycle_respects_priority() {
+        let net = gallery::figure4();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let reductions = reductions_of(&net);
+        let r1 = reductions
+            .iter()
+            .find(|r| r.allocation.allocates(t2))
+            .unwrap();
+        match check_component(&net, r1) {
+            ComponentVerdict::Schedulable(cycle) => {
+                // The choice fires as soon as its token arrives: t1 t2 t1 t2 t4.
+                assert_eq!(net.format_sequence(&cycle.sequence), "t1 t2 t1 t2 t4");
+                assert_eq!(cycle.counts, vec![2, 2, 0, 1, 0]);
+            }
+            other => panic!("expected schedulable, got {other:?}"),
+        }
+    }
+}

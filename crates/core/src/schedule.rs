@@ -1,0 +1,200 @@
+//! Valid schedules: sets of finite complete cycles, one per resolution of the
+//! non-deterministic choices (Definitions 3.1 and 3.2 of the paper).
+
+use crate::TAllocation;
+use fcpn_petri::analysis::ConflictAnalysis;
+use fcpn_petri::{PetriNet, TransitionId};
+use std::fmt;
+
+/// One finite complete cycle of a valid schedule: a firing sequence that starts and ends
+/// at the initial marking of the (parent) net under a fixed resolution of the choices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiniteCompleteCycle {
+    /// The choice resolution (T-allocation) this cycle corresponds to.
+    pub allocation: TAllocation,
+    /// The firing sequence, expressed with the parent net's transition identifiers.
+    pub sequence: Vec<TransitionId>,
+    /// Firing counts per parent transition (the T-invariant realised by the sequence).
+    pub counts: Vec<u64>,
+    /// Peak token count per parent place while executing the cycle (buffer bound).
+    pub buffer_bounds: Vec<u64>,
+    /// For every source transition of the parent net, the sub-invariant of this cycle that
+    /// covers it (parent-indexed firing counts). Transitions sharing a slice have
+    /// *dependent* firing rates; the code generator groups each slice into one software
+    /// task (Section 4 of the paper).
+    pub source_slices: Vec<(TransitionId, Vec<u64>)>,
+}
+
+impl FiniteCompleteCycle {
+    /// Length of the firing sequence.
+    pub fn length(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Renders the cycle as `(t1 t2 t4)` using the parent net's transition names.
+    pub fn describe(&self, net: &PetriNet) -> String {
+        format!("({})", net.format_sequence(&self.sequence))
+    }
+}
+
+/// A valid schedule: a complete set of finite complete cycles — one for every resolution
+/// of the free choices — that together guarantee bounded-memory infinite execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidSchedule {
+    /// The cycles, in the order their T-allocations were enumerated.
+    pub cycles: Vec<FiniteCompleteCycle>,
+}
+
+impl ValidSchedule {
+    /// Number of cycles (equals the number of T-reductions of the net).
+    pub fn cycle_count(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// The per-place buffer bound implied by the schedule: the maximum peak across all
+    /// cycles. A software implementation sizing its channels to these bounds can run any
+    /// of the cycles without dynamic allocation.
+    pub fn buffer_bounds(&self, net: &PetriNet) -> Vec<u64> {
+        let mut bounds = vec![0u64; net.place_count()];
+        for cycle in &self.cycles {
+            for (i, &b) in cycle.buffer_bounds.iter().enumerate() {
+                if b > bounds[i] {
+                    bounds[i] = b;
+                }
+            }
+        }
+        bounds
+    }
+
+    /// Sum of the per-place buffer bounds (the paper's memory-size axis).
+    pub fn total_buffer_tokens(&self, net: &PetriNet) -> u64 {
+        self.buffer_bounds(net).iter().sum()
+    }
+
+    /// Checks the defining property of a valid schedule (Definition 3.1): every cycle is a
+    /// finite complete cycle containing every source transition, and at the first
+    /// occurrence of any conflicting transition there is, for every equal-conflict peer, a
+    /// sibling cycle identical up to that position that fires the peer instead.
+    pub fn is_valid(&self, net: &PetriNet) -> bool {
+        if self.cycles.is_empty() {
+            return false;
+        }
+        let conflicts = ConflictAnalysis::of(net);
+        let sources = net.source_transitions();
+        let m0 = net.initial_marking();
+        for cycle in &self.cycles {
+            if !net.is_finite_complete_cycle(m0, &cycle.sequence) {
+                return false;
+            }
+            for &s in &sources {
+                if !cycle.sequence.contains(&s) {
+                    return false;
+                }
+            }
+        }
+        for cycle in &self.cycles {
+            let seq = &cycle.sequence;
+            for (j, &t) in seq.iter().enumerate() {
+                if seq[..j].contains(&t) {
+                    continue; // Definition 3.1 only constrains the first occurrence.
+                }
+                for peer in conflicts.conflict_peers(t) {
+                    let found = self.cycles.iter().any(|other| {
+                        other.sequence.len() > j
+                            && other.sequence[..j] == seq[..j]
+                            && other.sequence[j] == peer
+                    });
+                    if !found {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders the schedule as the paper prints it, e.g.
+    /// `{(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}`.
+    pub fn describe(&self, net: &PetriNet) -> String {
+        let inner: Vec<String> = self.cycles.iter().map(|c| c.describe(net)).collect();
+        format!("{{{}}}", inner.join(", "))
+    }
+}
+
+impl fmt::Display for ValidSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "valid schedule with {} cycle(s)", self.cycles.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{quasi_static_schedule, QssOptions, QssOutcome};
+    use fcpn_petri::gallery;
+
+    fn schedule_of(net: &PetriNet) -> ValidSchedule {
+        match quasi_static_schedule(net, &QssOptions::default()).unwrap() {
+            QssOutcome::Schedulable(s) => s,
+            QssOutcome::NotSchedulable(r) => panic!("expected schedulable net: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3a_schedule_is_valid_and_matches_paper() {
+        let net = gallery::figure3a();
+        let s = schedule_of(&net);
+        assert_eq!(s.cycle_count(), 2);
+        assert!(s.is_valid(&net));
+        let text = s.describe(&net);
+        assert!(text.contains("(t1 t2 t4)"));
+        assert!(text.contains("(t1 t3 t5)"));
+    }
+
+    #[test]
+    fn figure4_schedule_matches_paper() {
+        let net = gallery::figure4();
+        let s = schedule_of(&net);
+        assert!(s.is_valid(&net));
+        let text = s.describe(&net);
+        // The paper prints S = {(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}.
+        assert!(text.contains("(t1 t2 t1 t2 t4)"));
+        assert!(text.contains("(t1 t3 t5 t5)"));
+        let bounds = s.buffer_bounds(&net);
+        let p2 = net.place_by_name("p2").unwrap();
+        let p3 = net.place_by_name("p3").unwrap();
+        assert_eq!(bounds[p2.index()], 2);
+        assert_eq!(bounds[p3.index()], 2);
+    }
+
+    #[test]
+    fn dropping_a_cycle_invalidates_the_schedule() {
+        let net = gallery::figure3a();
+        let mut s = schedule_of(&net);
+        s.cycles.pop();
+        assert!(!s.is_valid(&net));
+    }
+
+    #[test]
+    fn corrupting_a_cycle_invalidates_the_schedule() {
+        let net = gallery::figure3a();
+        let mut s = schedule_of(&net);
+        s.cycles[0].sequence.pop();
+        assert!(!s.is_valid(&net));
+    }
+
+    #[test]
+    fn empty_schedule_is_invalid() {
+        let net = gallery::figure3a();
+        let s = ValidSchedule { cycles: vec![] };
+        assert!(!s.is_valid(&net));
+        assert_eq!(s.total_buffer_tokens(&net), 0);
+    }
+
+    #[test]
+    fn display_mentions_cycle_count() {
+        let net = gallery::figure3a();
+        let s = schedule_of(&net);
+        assert!(s.to_string().contains("2 cycle(s)"));
+    }
+}

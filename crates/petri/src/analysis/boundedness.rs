@@ -1,0 +1,242 @@
+//! Boundedness analysis: k-boundedness over the explored state space and structural
+//! unboundedness detection via a coverability (Karp–Miller style) search.
+
+use crate::{Marking, PetriNet, PlaceId, TransitionId};
+use std::collections::VecDeque;
+
+/// Outcome of a boundedness query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Boundedness {
+    /// Every reachable marking keeps every place at or below `k` tokens.
+    Bounded {
+        /// The smallest bound observed (the net is `k`-bounded).
+        k: u64,
+    },
+    /// A reachable marking strictly covers one of its ancestors, so the pumping sequence
+    /// can be repeated forever and the listed places grow without bound.
+    Unbounded {
+        /// Places whose token count can grow without bound.
+        places: Vec<PlaceId>,
+        /// A firing sequence from the initial marking that ends with the pumpable loop.
+        witness: Vec<TransitionId>,
+    },
+    /// The analysis budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+impl Boundedness {
+    /// Returns `true` for the [`Boundedness::Bounded`] variant.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self, Boundedness::Bounded { .. })
+    }
+
+    /// Returns `true` for the [`Boundedness::Unbounded`] variant.
+    pub fn is_unbounded(&self) -> bool {
+        matches!(self, Boundedness::Unbounded { .. })
+    }
+}
+
+/// Options for the coverability search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundednessOptions {
+    /// Maximum number of tree nodes to expand.
+    pub max_nodes: usize,
+}
+
+impl Default for BoundednessOptions {
+    fn default() -> Self {
+        BoundednessOptions { max_nodes: 50_000 }
+    }
+}
+
+struct Node {
+    marking: Marking,
+    parent: Option<usize>,
+    via: Option<TransitionId>,
+}
+
+/// Decides boundedness of `net` from its initial marking with a coverability-style
+/// breadth-first search: a marking strictly covering one of its ancestors witnesses
+/// unboundedness (the classical Karp–Miller argument), while exhaustion of the finite
+/// state space without such a witness proves boundedness.
+pub fn check_boundedness(net: &PetriNet, options: BoundednessOptions) -> Boundedness {
+    let mut nodes: Vec<Node> = vec![Node {
+        marking: net.initial_marking().clone(),
+        parent: None,
+        via: None,
+    }];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+    let mut seen: Vec<Marking> = vec![net.initial_marking().clone()];
+    let mut max_tokens = net.initial_marking().max_tokens();
+
+    while let Some(current) = queue.pop_front() {
+        if nodes.len() > options.max_nodes {
+            return Boundedness::Unknown;
+        }
+        let marking = nodes[current].marking.clone();
+        for t in net.transitions() {
+            if !net.is_enabled(&marking, t) {
+                continue;
+            }
+            let mut next = marking.clone();
+            if net.fire(&mut next, t).is_err() {
+                continue;
+            }
+            // Walk ancestors: a strictly covered ancestor proves unboundedness.
+            let mut ancestor = Some(current);
+            while let Some(a) = ancestor {
+                if next.strictly_covers(&nodes[a].marking) {
+                    let places = next
+                        .iter()
+                        .filter(|&(p, k)| k > nodes[a].marking.tokens(p))
+                        .map(|(p, _)| p)
+                        .collect();
+                    let mut witness = vec![t];
+                    let mut walk = current;
+                    while let (Some(parent), Some(via)) = (nodes[walk].parent, nodes[walk].via) {
+                        witness.push(via);
+                        walk = parent;
+                    }
+                    witness.reverse();
+                    return Boundedness::Unbounded { places, witness };
+                }
+                ancestor = nodes[a].parent;
+            }
+            if seen.contains(&next) {
+                continue;
+            }
+            max_tokens = max_tokens.max(next.max_tokens());
+            seen.push(next.clone());
+            nodes.push(Node {
+                marking: next,
+                parent: Some(current),
+                via: Some(t),
+            });
+            queue.push_back(nodes.len() - 1);
+        }
+    }
+    Boundedness::Bounded { k: max_tokens }
+}
+
+/// Convenience query: is the net `k`-bounded for the given `k`?
+///
+/// Returns `None` if the analysis was inconclusive.
+pub fn is_k_bounded(net: &PetriNet, k: u64, options: BoundednessOptions) -> Option<bool> {
+    match check_boundedness(net, options) {
+        Boundedness::Bounded { k: observed } => Some(observed <= k),
+        Boundedness::Unbounded { .. } => Some(false),
+        Boundedness::Unknown => None,
+    }
+}
+
+/// Convenience query: is the net safe (1-bounded)?
+///
+/// Returns `None` if the analysis was inconclusive.
+pub fn is_safe(net: &PetriNet, options: BoundednessOptions) -> Option<bool> {
+    is_k_bounded(net, 1, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    #[test]
+    fn token_conserving_cycle_is_1_bounded() {
+        let mut b = NetBuilder::new("cycle");
+        let p1 = b.place("p1", 1);
+        let t1 = b.transition("t1");
+        let p2 = b.place("p2", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(p1, t1, 1).unwrap();
+        b.arc_t_p(t1, p2, 1).unwrap();
+        b.arc_p_t(p2, t2, 1).unwrap();
+        b.arc_t_p(t2, p1, 1).unwrap();
+        let net = b.build().unwrap();
+        let result = check_boundedness(&net, BoundednessOptions::default());
+        assert_eq!(result, Boundedness::Bounded { k: 1 });
+        assert_eq!(is_safe(&net, BoundednessOptions::default()), Some(true));
+        assert_eq!(is_k_bounded(&net, 3, BoundednessOptions::default()), Some(true));
+    }
+
+    #[test]
+    fn source_transition_makes_net_unbounded() {
+        let mut b = NetBuilder::new("source");
+        let t1 = b.transition("t1");
+        let p = b.place("p", 0);
+        b.arc_t_p(t1, p, 1).unwrap();
+        let net = b.build().unwrap();
+        let result = check_boundedness(&net, BoundednessOptions::default());
+        match result {
+            Boundedness::Unbounded { places, witness } => {
+                assert_eq!(places, vec![p]);
+                assert_eq!(witness, vec![t1]);
+            }
+            other => panic!("expected unbounded, got {other:?}"),
+        }
+        assert_eq!(is_safe(&net, BoundednessOptions::default()), Some(false));
+    }
+
+    #[test]
+    fn two_bounded_buffer() {
+        // Producer limited by a credit place of 2 tokens: classic 2-bounded buffer.
+        let mut b = NetBuilder::new("credit");
+        let credit = b.place("credit", 2);
+        let produce = b.transition("produce");
+        let buf = b.place("buf", 0);
+        let consume = b.transition("consume");
+        b.arc_p_t(credit, produce, 1).unwrap();
+        b.arc_t_p(produce, buf, 1).unwrap();
+        b.arc_p_t(buf, consume, 1).unwrap();
+        b.arc_t_p(consume, credit, 1).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(
+            check_boundedness(&net, BoundednessOptions::default()),
+            Boundedness::Bounded { k: 2 }
+        );
+        assert_eq!(is_safe(&net, BoundednessOptions::default()), Some(false));
+        assert_eq!(is_k_bounded(&net, 2, BoundednessOptions::default()), Some(true));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        let mut b = NetBuilder::new("wide");
+        // A large bounded net that exceeds a tiny node budget.
+        let seed = b.place("seed", 3);
+        for i in 0..6 {
+            let t = b.transition(format!("t{i}"));
+            let p = b.place(format!("p{i}"), 0);
+            b.arc_p_t(seed, t, 1).unwrap();
+            b.arc_t_p(t, p, 1).unwrap();
+        }
+        let net = b.build().unwrap();
+        let result = check_boundedness(&net, BoundednessOptions { max_nodes: 2 });
+        assert_eq!(result, Boundedness::Unknown);
+        assert_eq!(is_safe(&net, BoundednessOptions { max_nodes: 2 }), None);
+    }
+
+    #[test]
+    fn unbounded_witness_includes_prefix() {
+        // t_init must fire once before the pumping loop (t_loop) becomes active.
+        let mut b = NetBuilder::new("prefix");
+        let start = b.place("start", 1);
+        let t_init = b.transition("t_init");
+        let gate = b.place("gate", 0);
+        let t_loop = b.transition("t_loop");
+        let acc = b.place("acc", 0);
+        b.arc_p_t(start, t_init, 1).unwrap();
+        b.arc_t_p(t_init, gate, 1).unwrap();
+        b.arc_p_t(gate, t_loop, 1).unwrap();
+        b.arc_t_p(t_loop, gate, 1).unwrap();
+        b.arc_t_p(t_loop, acc, 1).unwrap();
+        let net = b.build().unwrap();
+        match check_boundedness(&net, BoundednessOptions::default()) {
+            Boundedness::Unbounded { places, witness } => {
+                assert_eq!(places, vec![acc]);
+                assert_eq!(witness, vec![t_init, t_loop]);
+            }
+            other => panic!("expected unbounded, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Structural net-class classification: marked graphs, conflict-free nets, free-choice
+//! nets (Section 2 of the paper).
+
+use crate::{PetriNet, PlaceId};
+use std::fmt;
+
+/// Structural subclasses of Petri nets relevant to quasi-static scheduling.
+///
+/// The classes form a hierarchy: every marked graph and every state machine is free
+/// choice, and every marked graph is conflict free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetClass {
+    /// Each place has at most one input and one output transition: pure concurrency and
+    /// synchronisation, no conflict (equivalent to an SDF graph).
+    MarkedGraph,
+    /// Each place has at most one output transition: no conflict, but merges allowed.
+    ConflictFree,
+    /// Every arc from a place is either the unique outgoing arc of that place or the
+    /// unique incoming arc of its target transition: conflict and synchronisation never
+    /// interfere.
+    FreeChoice,
+    /// None of the above.
+    General,
+}
+
+impl fmt::Display for NetClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetClass::MarkedGraph => "marked graph",
+            NetClass::ConflictFree => "conflict free",
+            NetClass::FreeChoice => "free choice",
+            NetClass::General => "general",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Detailed classification report for a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    /// The most specific class the net belongs to.
+    pub class: NetClass,
+    /// Places that violate the free-choice condition (empty iff the net is free choice).
+    pub free_choice_violations: Vec<PlaceId>,
+    /// Choice places (more than one output transition).
+    pub choice_places: Vec<PlaceId>,
+    /// Merge places (more than one input transition).
+    pub merge_places: Vec<PlaceId>,
+}
+
+impl Classification {
+    /// Classifies `net`.
+    pub fn of(net: &PetriNet) -> Self {
+        let choice_places = net.choice_places();
+        let merge_places = net.merge_places();
+        let free_choice_violations = free_choice_violations(net);
+        let class = if choice_places.is_empty() && merge_places.is_empty() {
+            NetClass::MarkedGraph
+        } else if choice_places.is_empty() {
+            NetClass::ConflictFree
+        } else if free_choice_violations.is_empty() {
+            NetClass::FreeChoice
+        } else {
+            NetClass::General
+        };
+        Classification {
+            class,
+            free_choice_violations,
+            choice_places,
+            merge_places,
+        }
+    }
+
+    /// `true` if the net is a marked graph (every place has at most one producer and one
+    /// consumer).
+    pub fn is_marked_graph(&self) -> bool {
+        self.class == NetClass::MarkedGraph
+    }
+
+    /// `true` if the net is conflict free (no place has more than one consumer).
+    pub fn is_conflict_free(&self) -> bool {
+        matches!(self.class, NetClass::MarkedGraph | NetClass::ConflictFree)
+    }
+
+    /// `true` if the net is free choice.
+    pub fn is_free_choice(&self) -> bool {
+        !matches!(self.class, NetClass::General)
+    }
+}
+
+/// Places violating the free-choice condition: a place with several output transitions
+/// where some successor transition has other input places as well, so that it can be
+/// enabled or disabled independently of its conflict peers.
+fn free_choice_violations(net: &PetriNet) -> Vec<PlaceId> {
+    let mut violations = Vec::new();
+    for p in net.places() {
+        let consumers = net.consumers(p);
+        if consumers.len() <= 1 {
+            continue;
+        }
+        // `p` is a choice: every arc p -> t must be the unique incoming arc of t.
+        let violated = consumers
+            .iter()
+            .any(|&(t, _)| net.inputs(t).len() != 1);
+        if violated {
+            violations.push(p);
+        }
+    }
+    violations
+}
+
+/// Convenience free functions mirroring [`Classification`] for one-off queries.
+impl PetriNet {
+    /// Returns `true` if every place of the net has at most one producer and one consumer.
+    pub fn is_marked_graph(&self) -> bool {
+        Classification::of(self).is_marked_graph()
+    }
+
+    /// Returns `true` if no place of the net has more than one consumer.
+    pub fn is_conflict_free(&self) -> bool {
+        Classification::of(self).is_conflict_free()
+    }
+
+    /// Returns `true` if the net satisfies the free-choice condition.
+    pub fn is_free_choice(&self) -> bool {
+        Classification::of(self).is_free_choice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    /// Figure 1a of the paper: a place with two output transitions, each with a single
+    /// input place — a free-choice conflict.
+    fn figure1a() -> PetriNet {
+        let mut b = NetBuilder::new("figure1a");
+        let p = b.place("p", 1);
+        let t1 = b.transition("t1");
+        let t2 = b.transition("t2");
+        b.arc_p_t(p, t1, 1).unwrap();
+        b.arc_p_t(p, t2, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Figure 1b of the paper: t3 shares input place p with t2 but also has a private
+    /// input place, so there is a marking enabling t3 but not t2 — not free choice.
+    fn figure1b() -> PetriNet {
+        let mut b = NetBuilder::new("figure1b");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let t1 = b.transition("t1");
+        let t2 = b.transition("t2");
+        let t3 = b.transition("t3");
+        b.arc_p_t(p, t2, 1).unwrap();
+        b.arc_p_t(p, t3, 1).unwrap();
+        b.arc_p_t(q, t3, 1).unwrap();
+        b.arc_t_p(t1, q, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure1a_is_free_choice() {
+        let net = figure1a();
+        let c = Classification::of(&net);
+        assert_eq!(c.class, NetClass::FreeChoice);
+        assert!(c.is_free_choice());
+        assert!(!c.is_conflict_free());
+        assert!(c.free_choice_violations.is_empty());
+        assert_eq!(c.choice_places.len(), 1);
+        assert!(net.is_free_choice());
+    }
+
+    #[test]
+    fn figure1b_is_not_free_choice() {
+        let net = figure1b();
+        let c = Classification::of(&net);
+        assert_eq!(c.class, NetClass::General);
+        assert!(!c.is_free_choice());
+        assert_eq!(c.free_choice_violations, vec![net.place_by_name("p").unwrap()]);
+        assert!(!net.is_free_choice());
+    }
+
+    #[test]
+    fn chain_is_marked_graph() {
+        let mut b = NetBuilder::new("chain");
+        let t1 = b.transition("t1");
+        let t2 = b.transition("t2");
+        b.channel("p", t1, t2, 0).unwrap();
+        let net = b.build().unwrap();
+        let c = Classification::of(&net);
+        assert_eq!(c.class, NetClass::MarkedGraph);
+        assert!(c.is_marked_graph());
+        assert!(c.is_conflict_free());
+        assert!(c.is_free_choice());
+        assert!(net.is_marked_graph());
+    }
+
+    #[test]
+    fn merge_without_choice_is_conflict_free() {
+        let mut b = NetBuilder::new("merge");
+        let t1 = b.transition("t1");
+        let t2 = b.transition("t2");
+        let t3 = b.transition("t3");
+        let p = b.place("p", 0);
+        b.arc_t_p(t1, p, 1).unwrap();
+        b.arc_t_p(t2, p, 1).unwrap();
+        b.arc_p_t(p, t3, 1).unwrap();
+        let net = b.build().unwrap();
+        let c = Classification::of(&net);
+        assert_eq!(c.class, NetClass::ConflictFree);
+        assert!(!c.is_marked_graph());
+        assert!(c.is_conflict_free());
+        assert_eq!(c.merge_places.len(), 1);
+        assert!(net.is_conflict_free());
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(NetClass::FreeChoice.to_string(), "free choice");
+        assert_eq!(NetClass::MarkedGraph.to_string(), "marked graph");
+        assert_eq!(NetClass::ConflictFree.to_string(), "conflict free");
+        assert_eq!(NetClass::General.to_string(), "general");
+    }
+}

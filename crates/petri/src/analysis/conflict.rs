@@ -1,0 +1,193 @@
+//! Conflicts and the Equal Conflict Relation (Teruel), used by the valid-schedule
+//! definition (Definition 3.1 of the paper).
+
+use crate::{PetriNet, PlaceId, TransitionId};
+
+/// Two transitions `t` and `t'` are in *Equal Conflict Relation* if they have identical,
+/// non-empty `Pre` vectors: `Pre[P, t] = Pre[P, t'] ≠ 0`. In a free-choice net the
+/// conflicting successors of a choice place are exactly the members of one equal-conflict
+/// set, so whenever one of them is enabled all of them are.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictAnalysis {
+    /// Equal-conflict equivalence classes with at least two members (actual conflicts),
+    /// each sorted by transition index.
+    pub equal_conflict_sets: Vec<Vec<TransitionId>>,
+    /// Choice places and their competing output transitions.
+    pub choices: Vec<(PlaceId, Vec<TransitionId>)>,
+}
+
+impl ConflictAnalysis {
+    /// Computes the equal-conflict sets and choice structure of `net`.
+    pub fn of(net: &PetriNet) -> Self {
+        let mut classes: Vec<Vec<TransitionId>> = Vec::new();
+        let mut assigned = vec![false; net.transition_count()];
+        for t in net.transitions() {
+            if assigned[t.index()] || net.inputs(t).is_empty() {
+                continue;
+            }
+            let mut class = vec![t];
+            assigned[t.index()] = true;
+            for u in net.transitions() {
+                if u == t || assigned[u.index()] {
+                    continue;
+                }
+                if same_pre(net, t, u) {
+                    class.push(u);
+                    assigned[u.index()] = true;
+                }
+            }
+            if class.len() > 1 {
+                class.sort();
+                classes.push(class);
+            }
+        }
+        let choices = net
+            .choice_places()
+            .into_iter()
+            .map(|p| {
+                let mut outs: Vec<TransitionId> =
+                    net.consumers(p).iter().map(|&(t, _)| t).collect();
+                outs.sort();
+                (p, outs)
+            })
+            .collect();
+        ConflictAnalysis {
+            equal_conflict_sets: classes,
+            choices,
+        }
+    }
+
+    /// Returns `true` if `a` and `b` are in Equal Conflict Relation (the characteristic
+    /// function `Q(t, t')` of Definition 3.1).
+    pub fn in_equal_conflict(&self, a: TransitionId, b: TransitionId) -> bool {
+        a != b
+            && self
+                .equal_conflict_sets
+                .iter()
+                .any(|c| c.contains(&a) && c.contains(&b))
+    }
+
+    /// The transitions in equal conflict with `t` (excluding `t` itself).
+    pub fn conflict_peers(&self, t: TransitionId) -> Vec<TransitionId> {
+        self.equal_conflict_sets
+            .iter()
+            .find(|c| c.contains(&t))
+            .map(|c| c.iter().copied().filter(|&u| u != t).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of free (actual) choices in the net.
+    pub fn choice_count(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Returns `true` if `t` competes with at least one other transition.
+    pub fn is_conflicting(&self, t: TransitionId) -> bool {
+        !self.conflict_peers(t).is_empty()
+    }
+}
+
+fn same_pre(net: &PetriNet, a: TransitionId, b: TransitionId) -> bool {
+    let pa = net.inputs(a);
+    let pb = net.inputs(b);
+    if pa.len() != pb.len() {
+        return false;
+    }
+    let mut va: Vec<(PlaceId, u64)> = pa.to_vec();
+    let mut vb: Vec<(PlaceId, u64)> = pb.to_vec();
+    va.sort();
+    vb.sort();
+    va == vb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    /// Figure 3a of the paper: t2 and t3 compete for the token in p1.
+    fn figure3a() -> PetriNet {
+        let mut b = NetBuilder::new("figure3a");
+        let t1 = b.transition("t1");
+        let p1 = b.place("p1", 0);
+        let t2 = b.transition("t2");
+        let t3 = b.transition("t3");
+        let p2 = b.place("p2", 0);
+        let p3 = b.place("p3", 0);
+        let t4 = b.transition("t4");
+        let t5 = b.transition("t5");
+        b.arc_t_p(t1, p1, 1).unwrap();
+        b.arc_p_t(p1, t2, 1).unwrap();
+        b.arc_p_t(p1, t3, 1).unwrap();
+        b.arc_t_p(t2, p2, 1).unwrap();
+        b.arc_t_p(t3, p3, 1).unwrap();
+        b.arc_p_t(p2, t4, 1).unwrap();
+        b.arc_p_t(p3, t5, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equal_conflict_sets_of_figure3a() {
+        let net = figure3a();
+        let ca = ConflictAnalysis::of(&net);
+        let t2 = net.transition_by_name("t2").unwrap();
+        let t3 = net.transition_by_name("t3").unwrap();
+        let t4 = net.transition_by_name("t4").unwrap();
+        assert_eq!(ca.equal_conflict_sets, vec![vec![t2, t3]]);
+        assert!(ca.in_equal_conflict(t2, t3));
+        assert!(ca.in_equal_conflict(t3, t2));
+        assert!(!ca.in_equal_conflict(t2, t2));
+        assert!(!ca.in_equal_conflict(t2, t4));
+        assert_eq!(ca.conflict_peers(t2), vec![t3]);
+        assert!(ca.conflict_peers(t4).is_empty());
+        assert!(ca.is_conflicting(t2));
+        assert!(!ca.is_conflicting(t4));
+        assert_eq!(ca.choice_count(), 1);
+    }
+
+    #[test]
+    fn marked_graph_has_no_conflicts() {
+        let mut b = NetBuilder::new("mg");
+        let t1 = b.transition("t1");
+        let t2 = b.transition("t2");
+        b.channel("p", t1, t2, 0).unwrap();
+        let net = b.build().unwrap();
+        let ca = ConflictAnalysis::of(&net);
+        assert!(ca.equal_conflict_sets.is_empty());
+        assert_eq!(ca.choice_count(), 0);
+    }
+
+    #[test]
+    fn different_weights_break_equal_conflict() {
+        // Both transitions read p, but with different weights: they conflict structurally
+        // but are not in Equal Conflict Relation (Pre vectors differ), and the net is not
+        // free choice in the strict weighted sense used for scheduling decisions.
+        let mut b = NetBuilder::new("weights");
+        let p = b.place("p", 2);
+        let a = b.transition("a");
+        let c = b.transition("c");
+        b.arc_p_t(p, a, 1).unwrap();
+        b.arc_p_t(p, c, 2).unwrap();
+        let net = b.build().unwrap();
+        let ca = ConflictAnalysis::of(&net);
+        assert!(ca.equal_conflict_sets.is_empty());
+        assert!(!ca.in_equal_conflict(a, c));
+        // The structural choice is still reported.
+        assert_eq!(ca.choice_count(), 1);
+    }
+
+    #[test]
+    fn source_transitions_never_in_conflict() {
+        let mut b = NetBuilder::new("sources");
+        let s1 = b.transition("s1");
+        let s2 = b.transition("s2");
+        let p = b.place("p", 0);
+        b.arc_t_p(s1, p, 1).unwrap();
+        b.arc_t_p(s2, p, 1).unwrap();
+        let net = b.build().unwrap();
+        let ca = ConflictAnalysis::of(&net);
+        // Both have empty Pre vectors; the relation requires Pre ≠ 0.
+        assert!(ca.equal_conflict_sets.is_empty());
+        assert!(!ca.in_equal_conflict(s1, s2));
+    }
+}

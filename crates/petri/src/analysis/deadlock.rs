@@ -1,0 +1,157 @@
+//! Deadlock detection over the explored state space.
+
+use super::reachability::{ReachabilityGraph, ReachabilityOptions};
+use crate::{Marking, PetriNet, TransitionId};
+
+/// Outcome of a deadlock search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadlockReport {
+    /// No reachable dead marking exists (within a completely explored state space).
+    DeadlockFree,
+    /// A reachable dead marking was found, together with a firing sequence leading to it.
+    Deadlock {
+        /// The dead marking.
+        marking: Marking,
+        /// A firing sequence from the initial marking reaching it.
+        trace: Vec<TransitionId>,
+    },
+    /// The exploration was truncated, so absence of deadlock could not be proven.
+    Unknown,
+}
+
+impl DeadlockReport {
+    /// Returns `true` if a deadlock was found.
+    pub fn has_deadlock(&self) -> bool {
+        matches!(self, DeadlockReport::Deadlock { .. })
+    }
+}
+
+/// Searches for a reachable dead marking (no transition enabled).
+///
+/// Nets with source transitions can never deadlock because source transitions are always
+/// enabled; the search still runs and simply reports [`DeadlockReport::DeadlockFree`] when
+/// the explored space is complete.
+pub fn find_deadlock(net: &PetriNet, options: ReachabilityOptions) -> DeadlockReport {
+    let graph = ReachabilityGraph::explore(net, options);
+    // A marking with no outgoing edge may simply have had its successors cut off by the
+    // exploration budget; confirm it is genuinely dead before reporting it.
+    let dead: Vec<usize> = graph
+        .dead_markings()
+        .into_iter()
+        .filter(|&i| net.is_deadlocked(&graph.markings[i]))
+        .collect();
+    if let Some(&target) = dead.first() {
+        // Reconstruct a path from marking 0 to `target` with a BFS over the edges.
+        let trace = path_to(&graph, target);
+        return DeadlockReport::Deadlock {
+            marking: graph.markings[target].clone(),
+            trace,
+        };
+    }
+    if graph.complete {
+        DeadlockReport::DeadlockFree
+    } else {
+        DeadlockReport::Unknown
+    }
+}
+
+fn path_to(graph: &ReachabilityGraph, target: usize) -> Vec<TransitionId> {
+    use std::collections::VecDeque;
+    let n = graph.markings.len();
+    let mut prev: Vec<Option<(usize, TransitionId)>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[0] = true;
+    queue.push_back(0usize);
+    while let Some(current) = queue.pop_front() {
+        if current == target {
+            break;
+        }
+        for e in graph.successors(current) {
+            if !visited[e.to] {
+                visited[e.to] = true;
+                prev[e.to] = Some((current, e.transition));
+                queue.push_back(e.to);
+            }
+        }
+    }
+    let mut trace = Vec::new();
+    let mut cursor = target;
+    while let Some((parent, t)) = prev[cursor] {
+        trace.push(t);
+        cursor = parent;
+    }
+    trace.reverse();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    #[test]
+    fn live_cycle_is_deadlock_free() {
+        let mut b = NetBuilder::new("cycle");
+        let p1 = b.place("p1", 1);
+        let t1 = b.transition("t1");
+        let p2 = b.place("p2", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(p1, t1, 1).unwrap();
+        b.arc_t_p(t1, p2, 1).unwrap();
+        b.arc_p_t(p2, t2, 1).unwrap();
+        b.arc_t_p(t2, p1, 1).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(
+            find_deadlock(&net, ReachabilityOptions::default()),
+            DeadlockReport::DeadlockFree
+        );
+    }
+
+    #[test]
+    fn one_shot_chain_deadlocks_with_trace() {
+        let mut b = NetBuilder::new("oneshot");
+        let start = b.place("start", 1);
+        let t1 = b.transition("t1");
+        let mid = b.place("mid", 0);
+        let t2 = b.transition("t2");
+        let end = b.place("end", 0);
+        b.arc_p_t(start, t1, 1).unwrap();
+        b.arc_t_p(t1, mid, 1).unwrap();
+        b.arc_p_t(mid, t2, 1).unwrap();
+        b.arc_t_p(t2, end, 1).unwrap();
+        let net = b.build().unwrap();
+        match find_deadlock(&net, ReachabilityOptions::default()) {
+            DeadlockReport::Deadlock { marking, trace } => {
+                assert_eq!(trace, vec![t1, t2]);
+                assert_eq!(marking.tokens(end), 1);
+                assert_eq!(marking.tokens(start), 0);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_exploration_is_unknown() {
+        let mut b = NetBuilder::new("big");
+        let start = b.place("start", 1);
+        let t1 = b.transition("t1");
+        let mid = b.place("mid", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(start, t1, 1).unwrap();
+        b.arc_t_p(t1, mid, 1).unwrap();
+        b.arc_p_t(mid, t2, 1).unwrap();
+        let net = b.build().unwrap();
+        let report = find_deadlock(
+            &net,
+            ReachabilityOptions {
+                max_markings: 1,
+                max_tokens_per_place: 64,
+            },
+        );
+        // Only the initial marking fits the budget; it is not dead, so the result is
+        // inconclusive rather than "deadlock free".
+        assert_eq!(report, DeadlockReport::Unknown);
+        assert!(!report.has_deadlock());
+    }
+}

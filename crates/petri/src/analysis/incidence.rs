@@ -1,0 +1,221 @@
+//! Incidence matrix of a net and the state equation.
+
+use crate::{Marking, PetriNet, PlaceId, TransitionId};
+use std::fmt;
+
+/// The incidence matrix `D` of a net, with one row per transition and one column per
+/// place: `D[t][p] = F(t, p) − F(p, t)`.
+///
+/// Firing transition `t` changes the marking by the row `D[t]`, so a firing count vector
+/// `f` reproduces the initial marking iff `fᵀ · D = 0` — the *state equation* used to
+/// compute T-invariants.
+///
+/// # Examples
+///
+/// ```
+/// use fcpn_petri::{NetBuilder, analysis::IncidenceMatrix};
+///
+/// # fn main() -> Result<(), fcpn_petri::PetriError> {
+/// let mut b = NetBuilder::new("chain");
+/// let t1 = b.transition("t1");
+/// let p = b.place("p", 0);
+/// let t2 = b.transition("t2");
+/// b.arc_t_p(t1, p, 2)?;
+/// b.arc_p_t(p, t2, 3)?;
+/// let net = b.build()?;
+/// let d = IncidenceMatrix::from_net(&net);
+/// assert_eq!(d.entry(t1, p), 2);
+/// assert_eq!(d.entry(t2, p), -3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidenceMatrix {
+    transitions: usize,
+    places: usize,
+    /// Row-major storage: `data[t * places + p]`.
+    data: Vec<i64>,
+}
+
+impl IncidenceMatrix {
+    /// Builds the incidence matrix of `net`.
+    pub fn from_net(net: &PetriNet) -> Self {
+        let transitions = net.transition_count();
+        let places = net.place_count();
+        let mut data = vec![0i64; transitions * places];
+        for t in net.transitions() {
+            for &(p, w) in net.inputs(t) {
+                data[t.index() * places + p.index()] -= w as i64;
+            }
+            for &(p, w) in net.outputs(t) {
+                data[t.index() * places + p.index()] += w as i64;
+            }
+        }
+        IncidenceMatrix {
+            transitions,
+            places,
+            data,
+        }
+    }
+
+    /// Number of rows (transitions).
+    pub fn transition_count(&self) -> usize {
+        self.transitions
+    }
+
+    /// Number of columns (places).
+    pub fn place_count(&self) -> usize {
+        self.places
+    }
+
+    /// The entry `D[t][p]`.
+    pub fn entry(&self, transition: TransitionId, place: PlaceId) -> i64 {
+        self.data[transition.index() * self.places + place.index()]
+    }
+
+    /// The row of `transition` as a slice over places.
+    pub fn row(&self, transition: TransitionId) -> &[i64] {
+        let start = transition.index() * self.places;
+        &self.data[start..start + self.places]
+    }
+
+    /// Computes `fᵀ · D` for a firing count vector `f` indexed by transitions.
+    ///
+    /// The result is indexed by places; it is the net token change produced by firing each
+    /// transition `f[t]` times (in any fireable order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` does not have one entry per transition.
+    pub fn marking_change(&self, counts: &[u64]) -> Vec<i64> {
+        assert_eq!(
+            counts.len(),
+            self.transitions,
+            "firing count vector must have one entry per transition"
+        );
+        let mut change = vec![0i64; self.places];
+        for (t, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            for (p, slot) in change.iter_mut().enumerate() {
+                *slot += self.data[t * self.places + p] * c as i64;
+            }
+        }
+        change
+    }
+
+    /// Returns `true` if `counts` is a T-invariant: non-zero and `fᵀ · D = 0`.
+    pub fn is_t_invariant(&self, counts: &[u64]) -> bool {
+        counts.iter().any(|&c| c > 0) && self.marking_change(counts).iter().all(|&c| c == 0)
+    }
+
+    /// Applies the state equation: the marking reached from `from` after firing each
+    /// transition `counts[t]` times, ignoring intermediate enabledness.
+    ///
+    /// Returns `None` if any place would go negative (the count vector is not realisable
+    /// from `from` even ignoring ordering).
+    pub fn apply(&self, from: &Marking, counts: &[u64]) -> Option<Marking> {
+        let change = self.marking_change(counts);
+        let mut out = Vec::with_capacity(self.places);
+        for (p, &delta) in change.iter().enumerate() {
+            let current = from.as_slice()[p] as i64;
+            let next = current + delta;
+            if next < 0 {
+                return None;
+            }
+            out.push(next as u64);
+        }
+        Some(Marking::from_vec(out))
+    }
+}
+
+impl fmt::Display for IncidenceMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in 0..self.transitions {
+            let row: Vec<String> = (0..self.places)
+                .map(|p| format!("{:>3}", self.data[t * self.places + p]))
+                .collect();
+            writeln!(f, "t{t}: [{}]", row.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    fn figure2() -> PetriNet {
+        let mut b = NetBuilder::new("figure2");
+        let t1 = b.transition("t1");
+        let p1 = b.place("p1", 0);
+        let t2 = b.transition("t2");
+        let p2 = b.place("p2", 0);
+        let t3 = b.transition("t3");
+        b.arc_t_p(t1, p1, 1).unwrap();
+        b.arc_p_t(p1, t2, 2).unwrap();
+        b.arc_t_p(t2, p2, 1).unwrap();
+        b.arc_p_t(p2, t3, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn entries_match_flow_relation() {
+        let net = figure2();
+        let d = IncidenceMatrix::from_net(&net);
+        let t1 = net.transition_by_name("t1").unwrap();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let t3 = net.transition_by_name("t3").unwrap();
+        let p1 = net.place_by_name("p1").unwrap();
+        let p2 = net.place_by_name("p2").unwrap();
+        assert_eq!(d.entry(t1, p1), 1);
+        assert_eq!(d.entry(t2, p1), -2);
+        assert_eq!(d.entry(t2, p2), 1);
+        assert_eq!(d.entry(t3, p2), -2);
+        assert_eq!(d.entry(t1, p2), 0);
+        assert_eq!(d.row(t2), &[-2, 1]);
+    }
+
+    #[test]
+    fn figure2_repetition_vector_is_a_t_invariant() {
+        let net = figure2();
+        let d = IncidenceMatrix::from_net(&net);
+        assert!(d.is_t_invariant(&[4, 2, 1]));
+        assert!(d.is_t_invariant(&[8, 4, 2]));
+        assert!(!d.is_t_invariant(&[1, 1, 1]));
+        assert!(!d.is_t_invariant(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn marking_change_and_apply() {
+        let net = figure2();
+        let d = IncidenceMatrix::from_net(&net);
+        assert_eq!(d.marking_change(&[4, 2, 1]), vec![0, 0]);
+        assert_eq!(d.marking_change(&[4, 0, 0]), vec![4, 0]);
+        let m0 = net.initial_marking().clone();
+        assert_eq!(
+            d.apply(&m0, &[4, 0, 0]).unwrap().as_slice(),
+            &[4, 0]
+        );
+        // Firing t2 twice from empty p1 is not realisable even algebraically.
+        assert!(d.apply(&m0, &[0, 2, 0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per transition")]
+    fn marking_change_validates_length() {
+        let net = figure2();
+        let d = IncidenceMatrix::from_net(&net);
+        let _ = d.marking_change(&[1, 2]);
+    }
+
+    #[test]
+    fn display_has_one_row_per_transition() {
+        let net = figure2();
+        let d = IncidenceMatrix::from_net(&net);
+        let s = d.to_string();
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,508 @@
+//! T-invariants and P-invariants via the Farkas algorithm, and consistency.
+//!
+//! A *T-invariant* (T-semiflow) is a non-negative, non-zero integer vector `f` indexed by
+//! transitions with `fᵀ · D = 0`: firing every transition `f[t]` times returns the net to
+//! the marking it started from, *if* the firings can be ordered without deadlock. The
+//! existence of such vectors is the algebraic half of schedulability (Definition 2.1 of the
+//! paper); the other half — deadlock-free realisability — is checked by simulation in
+//! [`crate::analysis`]'s callers.
+
+use super::incidence::IncidenceMatrix;
+use super::rational::Rational;
+use crate::{PetriNet, TransitionId};
+
+/// Maximum number of intermediate rows the Farkas elimination may generate before the
+/// computation is considered intractable for the calling analysis.
+const FARKAS_ROW_LIMIT: usize = 200_000;
+
+/// A minimal semi-positive invariant with its support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Semiflow {
+    /// The invariant vector (indexed by transition for T-semiflows, by place for
+    /// P-semiflows).
+    pub vector: Vec<u64>,
+}
+
+impl Semiflow {
+    /// Indices with a non-zero entry.
+    pub fn support(&self) -> Vec<usize> {
+        self.vector
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Returns `true` if the entry at `index` is non-zero.
+    pub fn contains(&self, index: usize) -> bool {
+        self.vector.get(index).copied().unwrap_or(0) > 0
+    }
+}
+
+/// Result of the invariant analysis of a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantAnalysis {
+    /// Minimal T-semiflows (minimal-support non-negative solutions of `fᵀD = 0`).
+    pub t_semiflows: Vec<Semiflow>,
+    /// Minimal P-semiflows (minimal-support non-negative solutions of `D·y = 0`).
+    pub p_semiflows: Vec<Semiflow>,
+    /// Whether the Farkas eliminations stayed within the row budget.
+    pub complete: bool,
+}
+
+impl InvariantAnalysis {
+    /// Runs the full invariant analysis on `net`.
+    pub fn of(net: &PetriNet) -> Self {
+        let d = IncidenceMatrix::from_net(net);
+        InvariantAnalysis::of_matrix(&d)
+    }
+
+    /// Runs the analysis on a pre-computed incidence matrix.
+    pub fn of_matrix(d: &IncidenceMatrix) -> Self {
+        let nt = d.transition_count();
+        let np = d.place_count();
+        // Row i of `t_rows` is transition i's row of D.
+        let t_rows: Vec<Vec<i128>> = (0..nt)
+            .map(|t| {
+                (0..np)
+                    .map(|p| d.entry(TransitionId::new(t), crate::PlaceId::new(p)) as i128)
+                    .collect()
+            })
+            .collect();
+        let (t_semiflows, t_complete) = farkas(&t_rows);
+        // For P-semiflows solve D · y = 0, i.e. run Farkas on the transpose.
+        let p_rows: Vec<Vec<i128>> = (0..np)
+            .map(|p| {
+                (0..nt)
+                    .map(|t| d.entry(TransitionId::new(t), crate::PlaceId::new(p)) as i128)
+                    .collect()
+            })
+            .collect();
+        let (p_semiflows, p_complete) = farkas(&p_rows);
+        InvariantAnalysis {
+            t_semiflows,
+            p_semiflows,
+            complete: t_complete && p_complete,
+        }
+    }
+
+    /// Returns `true` if the union of the supports of the minimal T-semiflows covers every
+    /// transition — equivalently (Definition 2.1) there exists `f > 0` with `fᵀD = 0` and
+    /// the net is *consistent*.
+    pub fn is_consistent(&self, transition_count: usize) -> bool {
+        let mut covered = vec![false; transition_count];
+        for s in &self.t_semiflows {
+            for i in s.support() {
+                covered[i] = true;
+            }
+        }
+        transition_count > 0 && covered.into_iter().all(|c| c)
+    }
+
+    /// Returns `true` if the union of the supports of the minimal P-semiflows covers every
+    /// place (the net is *conservative*).
+    pub fn is_conservative(&self, place_count: usize) -> bool {
+        let mut covered = vec![false; place_count];
+        for s in &self.p_semiflows {
+            for i in s.support() {
+                covered[i] = true;
+            }
+        }
+        place_count > 0 && covered.into_iter().all(|c| c)
+    }
+
+    /// A strictly positive T-invariant (every transition fires at least once), if one
+    /// exists: the sum of all minimal T-semiflows when their supports cover `T`.
+    pub fn positive_t_invariant(&self, transition_count: usize) -> Option<Vec<u64>> {
+        if !self.is_consistent(transition_count) {
+            return None;
+        }
+        let mut sum = vec![0u64; transition_count];
+        for s in &self.t_semiflows {
+            for (i, &v) in s.vector.iter().enumerate() {
+                sum[i] += v;
+            }
+        }
+        Some(sum)
+    }
+
+    /// The minimal T-semiflows whose support contains `transition`.
+    pub fn t_semiflows_containing(&self, transition: TransitionId) -> Vec<&Semiflow> {
+        self.t_semiflows
+            .iter()
+            .filter(|s| s.contains(transition.index()))
+            .collect()
+    }
+
+    /// Sums one minimal T-semiflow per requested transition (the smallest-support one),
+    /// producing a T-invariant whose support contains every requested transition.
+    ///
+    /// Returns `None` if some requested transition appears in no semiflow.
+    pub fn covering_t_invariant(&self, transitions: &[TransitionId]) -> Option<Vec<u64>> {
+        if self.t_semiflows.is_empty() {
+            return None;
+        }
+        let len = self.t_semiflows[0].vector.len();
+        let mut sum = vec![0u64; len];
+        let mut any = false;
+        for &t in transitions {
+            let best = self
+                .t_semiflows_containing(t)
+                .into_iter()
+                .min_by_key(|s| s.support().len())?;
+            for (i, &v) in best.vector.iter().enumerate() {
+                sum[i] += v;
+            }
+            any = true;
+        }
+        if any {
+            Some(sum)
+        } else {
+            None
+        }
+    }
+}
+
+/// Computes the minimal semi-positive solutions of `x · rows = 0` (one unknown per row)
+/// with the Farkas algorithm. Returns the semiflows and whether the computation stayed
+/// within the row budget.
+fn farkas(rows: &[Vec<i128>]) -> (Vec<Semiflow>, bool) {
+    let n = rows.len();
+    if n == 0 {
+        return (Vec::new(), true);
+    }
+    let m = rows[0].len();
+    // Each working row is (d_part, id_part).
+    let mut work: Vec<(Vec<i128>, Vec<i128>)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut id = vec![0i128; n];
+            id[i] = 1;
+            (r.clone(), id)
+        })
+        .collect();
+    let mut complete = true;
+
+    for col in 0..m {
+        let mut next: Vec<(Vec<i128>, Vec<i128>)> = Vec::new();
+        let (zeros, nonzeros): (Vec<_>, Vec<_>) =
+            work.into_iter().partition(|(d, _)| d[col] == 0);
+        next.extend(zeros);
+        let positives: Vec<&(Vec<i128>, Vec<i128>)> =
+            nonzeros.iter().filter(|(d, _)| d[col] > 0).collect();
+        let negatives: Vec<&(Vec<i128>, Vec<i128>)> =
+            nonzeros.iter().filter(|(d, _)| d[col] < 0).collect();
+        for pos in &positives {
+            for neg in &negatives {
+                let a = pos.0[col];
+                let b = -neg.0[col];
+                let d: Vec<i128> = (0..m).map(|j| b * pos.0[j] + a * neg.0[j]).collect();
+                let id: Vec<i128> = (0..n).map(|j| b * pos.1[j] + a * neg.1[j]).collect();
+                let (mut d, mut id) = (d, id);
+                normalise(&mut d, &mut id);
+                next.push((d, id));
+                if next.len() > FARKAS_ROW_LIMIT {
+                    complete = false;
+                    break;
+                }
+            }
+            if !complete {
+                break;
+            }
+        }
+        // Prune rows whose identity-part support strictly contains another row's support;
+        // only minimal-support rows can yield minimal semiflows.
+        next = prune_non_minimal(next);
+        work = next;
+        if !complete {
+            break;
+        }
+    }
+
+    let mut flows: Vec<Semiflow> = work
+        .into_iter()
+        .filter(|(d, id)| d.iter().all(|&v| v == 0) && id.iter().any(|&v| v > 0))
+        .map(|(_, id)| Semiflow {
+            vector: id.iter().map(|&v| v as u64).collect(),
+        })
+        .collect();
+    flows.sort_by(|a, b| a.vector.cmp(&b.vector));
+    flows.dedup();
+    (prune_non_minimal_flows(flows), complete)
+}
+
+fn normalise(d: &mut [i128], id: &mut [i128]) {
+    let mut g: i128 = 0;
+    for &v in d.iter().chain(id.iter()) {
+        g = gcd(g, v.abs());
+    }
+    if g > 1 {
+        for v in d.iter_mut() {
+            *v /= g;
+        }
+        for v in id.iter_mut() {
+            *v /= g;
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+fn support(v: &[i128]) -> Vec<usize> {
+    v.iter()
+        .enumerate()
+        .filter(|&(_, &x)| x != 0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn prune_non_minimal(rows: Vec<(Vec<i128>, Vec<i128>)>) -> Vec<(Vec<i128>, Vec<i128>)> {
+    let supports: Vec<Vec<usize>> = rows.iter().map(|(_, id)| support(id)).collect();
+    let mut keep = vec![true; rows.len()];
+    for i in 0..rows.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..rows.len() {
+            if i == j || !keep[i] || !keep[j] {
+                continue;
+            }
+            // If support(j) is a strict subset of support(i), row i is not minimal.
+            if supports[j].len() < supports[i].len()
+                && supports[j].iter().all(|x| supports[i].contains(x))
+            {
+                keep[i] = false;
+            }
+        }
+    }
+    rows.into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(r, _)| r)
+        .collect()
+}
+
+fn prune_non_minimal_flows(flows: Vec<Semiflow>) -> Vec<Semiflow> {
+    let supports: Vec<Vec<usize>> = flows.iter().map(Semiflow::support).collect();
+    let mut keep = vec![true; flows.len()];
+    for i in 0..flows.len() {
+        for j in 0..flows.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if supports[j].len() < supports[i].len()
+                && supports[j].iter().all(|x| supports[i].contains(x))
+            {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    flows
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(f, _)| f)
+        .collect()
+}
+
+/// Rank of the incidence matrix over the rationals; the dimension of the T-invariant
+/// solution space is `|T| − rank(D)`.
+pub fn incidence_rank(d: &IncidenceMatrix) -> usize {
+    let nt = d.transition_count();
+    let np = d.place_count();
+    let mut rows: Vec<Vec<Rational>> = (0..nt)
+        .map(|t| {
+            (0..np)
+                .map(|p| {
+                    Rational::from_integer(
+                        d.entry(TransitionId::new(t), crate::PlaceId::new(p)) as i128
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let mut rank = 0;
+    let mut row = 0;
+    for col in 0..np {
+        if row >= nt {
+            break;
+        }
+        let pivot = (row..nt).find(|&r| !rows[r][col].is_zero());
+        let Some(pivot) = pivot else { continue };
+        rows.swap(row, pivot);
+        let pv = rows[row][col];
+        let pivot_row = rows[row].clone();
+        for (r, other) in rows.iter_mut().enumerate() {
+            if r != row && !other[col].is_zero() {
+                let factor = other[col] / pv;
+                for (c, value) in other.iter_mut().enumerate().skip(col) {
+                    *value = *value - pivot_row[c] * factor;
+                }
+            }
+        }
+        row += 1;
+        rank += 1;
+    }
+    rank
+}
+
+/// Dimension of the T-invariant space of `net` (`|T| − rank(D)`).
+pub fn t_invariant_space_dimension(net: &PetriNet) -> usize {
+    let d = IncidenceMatrix::from_net(net);
+    net.transition_count() - incidence_rank(&d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    fn figure2() -> PetriNet {
+        let mut b = NetBuilder::new("figure2");
+        let t1 = b.transition("t1");
+        let p1 = b.place("p1", 0);
+        let t2 = b.transition("t2");
+        let p2 = b.place("p2", 0);
+        let t3 = b.transition("t3");
+        b.arc_t_p(t1, p1, 1).unwrap();
+        b.arc_p_t(p1, t2, 2).unwrap();
+        b.arc_t_p(t2, p2, 1).unwrap();
+        b.arc_p_t(p2, t3, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Figure 3a: choice place p1 feeding t2/t3, each branch rejoining through t4/t5.
+    fn figure3a() -> PetriNet {
+        let mut b = NetBuilder::new("figure3a");
+        let t1 = b.transition("t1");
+        let p1 = b.place("p1", 0);
+        let t2 = b.transition("t2");
+        let t3 = b.transition("t3");
+        let p2 = b.place("p2", 0);
+        let p3 = b.place("p3", 0);
+        let t4 = b.transition("t4");
+        let t5 = b.transition("t5");
+        b.arc_t_p(t1, p1, 1).unwrap();
+        b.arc_p_t(p1, t2, 1).unwrap();
+        b.arc_p_t(p1, t3, 1).unwrap();
+        b.arc_t_p(t2, p2, 1).unwrap();
+        b.arc_t_p(t3, p3, 1).unwrap();
+        b.arc_p_t(p2, t4, 1).unwrap();
+        b.arc_p_t(p3, t5, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure2_minimal_t_semiflow() {
+        let net = figure2();
+        let inv = InvariantAnalysis::of(&net);
+        assert!(inv.complete);
+        assert_eq!(inv.t_semiflows.len(), 1);
+        assert_eq!(inv.t_semiflows[0].vector, vec![4, 2, 1]);
+        assert!(inv.is_consistent(net.transition_count()));
+        assert_eq!(inv.positive_t_invariant(3), Some(vec![4, 2, 1]));
+    }
+
+    #[test]
+    fn figure3a_has_one_semiflow_per_choice_branch() {
+        // f(s) = a(1,1,0,1,0) + b(1,0,1,0,1) per the paper.
+        let net = figure3a();
+        let inv = InvariantAnalysis::of(&net);
+        assert_eq!(inv.t_semiflows.len(), 2);
+        let mut vectors: Vec<Vec<u64>> =
+            inv.t_semiflows.iter().map(|s| s.vector.clone()).collect();
+        vectors.sort();
+        assert_eq!(vectors, vec![vec![1, 0, 1, 0, 1], vec![1, 1, 0, 1, 0]]);
+        assert!(inv.is_consistent(net.transition_count()));
+    }
+
+    #[test]
+    fn inconsistent_net_detected() {
+        // t1 -> p1 -> t2, but t2 produces 2 tokens back into p1: no non-trivial invariant
+        // can balance the net unless weights cancel; make them unbalanced.
+        let mut b = NetBuilder::new("inconsistent");
+        let t1 = b.transition("t1");
+        let p1 = b.place("p1", 0);
+        let t2 = b.transition("t2");
+        let p2 = b.place("p2", 0);
+        b.arc_t_p(t1, p1, 1).unwrap();
+        b.arc_p_t(p1, t2, 1).unwrap();
+        b.arc_t_p(t2, p2, 1).unwrap();
+        // p2 is a sink place that accumulates forever -> t2 cannot be in any semiflow.
+        let net = b.build().unwrap();
+        let inv = InvariantAnalysis::of(&net);
+        assert!(!inv.is_consistent(net.transition_count()));
+        assert!(inv.positive_t_invariant(net.transition_count()).is_none());
+    }
+
+    #[test]
+    fn semiflow_support_queries() {
+        let net = figure3a();
+        let inv = InvariantAnalysis::of(&net);
+        let t2 = net.transition_by_name("t2").unwrap();
+        let t3 = net.transition_by_name("t3").unwrap();
+        let with_t2 = inv.t_semiflows_containing(t2);
+        assert_eq!(with_t2.len(), 1);
+        assert!(with_t2[0].contains(t2.index()));
+        assert!(!with_t2[0].contains(t3.index()));
+    }
+
+    #[test]
+    fn covering_invariant_spans_requested_transitions() {
+        let net = figure3a();
+        let inv = InvariantAnalysis::of(&net);
+        let t2 = net.transition_by_name("t2").unwrap();
+        let t3 = net.transition_by_name("t3").unwrap();
+        let cover = inv.covering_t_invariant(&[t2, t3]).unwrap();
+        assert!(cover[t2.index()] > 0 && cover[t3.index()] > 0);
+        let d = IncidenceMatrix::from_net(&net);
+        assert!(d.is_t_invariant(&cover));
+    }
+
+    #[test]
+    fn p_semiflows_of_a_cycle() {
+        // A simple token-conserving cycle: p1 -> t1 -> p2 -> t2 -> p1.
+        let mut b = NetBuilder::new("cycle");
+        let p1 = b.place("p1", 1);
+        let t1 = b.transition("t1");
+        let p2 = b.place("p2", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(p1, t1, 1).unwrap();
+        b.arc_t_p(t1, p2, 1).unwrap();
+        b.arc_p_t(p2, t2, 1).unwrap();
+        b.arc_t_p(t2, p1, 1).unwrap();
+        let net = b.build().unwrap();
+        let inv = InvariantAnalysis::of(&net);
+        assert!(inv.is_conservative(net.place_count()));
+        assert_eq!(inv.p_semiflows.len(), 1);
+        assert_eq!(inv.p_semiflows[0].vector, vec![1, 1]);
+    }
+
+    #[test]
+    fn invariant_space_dimension() {
+        let net = figure2();
+        assert_eq!(t_invariant_space_dimension(&net), 1);
+        let net = figure3a();
+        // Five transitions, rank 3 (three places with independent rows) -> dimension 2.
+        assert_eq!(t_invariant_space_dimension(&net), 2);
+    }
+
+    #[test]
+    fn empty_net_has_no_semiflows() {
+        let net = NetBuilder::new("empty").build().unwrap();
+        let inv = InvariantAnalysis::of(&net);
+        assert!(inv.t_semiflows.is_empty());
+        assert!(!inv.is_consistent(net.transition_count()));
+    }
+}

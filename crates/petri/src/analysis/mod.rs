@@ -1,0 +1,37 @@
+//! Structural and behavioural analyses of Petri nets.
+//!
+//! The submodules cover the properties Section 2 of the paper lists as "relevant to our
+//! discussion": reachability, boundedness, deadlock-freedom, liveness, plus the
+//! structural machinery quasi-static scheduling is built on — incidence matrices,
+//! T-invariants/consistency, net-class classification and the Equal Conflict Relation.
+
+mod boundedness;
+mod classification;
+mod conflict;
+mod coverability;
+mod deadlock;
+mod incidence;
+mod invariants;
+mod liveness;
+mod rational;
+mod reachability;
+mod siphons;
+
+pub use boundedness::{check_boundedness, is_k_bounded, is_safe, Boundedness, BoundednessOptions};
+pub use classification::{Classification, NetClass};
+pub use conflict::ConflictAnalysis;
+pub use coverability::{
+    CoverabilityEdge, CoverabilityGraph, CoverabilityOptions, OmegaMarking, Tokens,
+};
+pub use deadlock::{find_deadlock, DeadlockReport};
+pub use incidence::IncidenceMatrix;
+pub use invariants::{
+    incidence_rank, t_invariant_space_dimension, InvariantAnalysis, Semiflow,
+};
+pub use liveness::{check_liveness, LivenessReport};
+pub use rational::{gcd_u64, lcm_u64, smallest_integer_vector, Rational};
+pub use reachability::{ReachabilityEdge, ReachabilityGraph, ReachabilityOptions};
+pub use siphons::{
+    is_siphon, is_trap, largest_siphon_within, maximal_trap_within, minimal_siphons,
+    PlaceSet, SiphonAnalysis,
+};

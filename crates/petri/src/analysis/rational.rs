@@ -1,0 +1,291 @@
+//! Minimal exact rational arithmetic used by the structural analyses.
+//!
+//! The state equation `f(σ)ᵀ · D = 0` is solved over the rationals before being scaled to
+//! the smallest integer solution, so the kernel needs exact fractions. The numerators and
+//! denominators are kept in `i128`, which is ample for the net sizes a quasi-static
+//! scheduler meets (the paper's largest example has 49 transitions).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Greatest common divisor of two non-negative integers.
+pub fn gcd_u64(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple of two positive integers.
+///
+/// # Panics
+///
+/// Panics on overflow; callers work with repetition-vector magnitudes that fit easily.
+pub fn lcm_u64(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd_u64(a, b) * b
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// An exact rational number with `i128` numerator and denominator.
+///
+/// The representation is always normalised: the denominator is positive and the fraction
+/// is reduced. Arithmetic panics on overflow, which is acceptable for the bounded problem
+/// sizes of structural Petri-net analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational from a numerator and denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd_i128(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Creates a rational from an integer.
+    pub fn from_integer(value: i128) -> Self {
+        Rational { num: value, den: 1 }
+    }
+
+    /// Numerator of the reduced fraction.
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the reduced fraction (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "cannot invert zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(value: i64) -> Self {
+        Rational::from_integer(value as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+/// Scales a rational vector to the smallest non-negative integer vector with the same
+/// direction: multiplies by the LCM of denominators and divides by the GCD of numerators.
+///
+/// Returns `None` if any entry is negative or the vector is all zero.
+pub fn smallest_integer_vector(values: &[Rational]) -> Option<Vec<u64>> {
+    if values.iter().any(Rational::is_negative) || values.iter().all(Rational::is_zero) {
+        return None;
+    }
+    let mut lcm: i128 = 1;
+    for v in values {
+        let d = v.denom();
+        lcm = lcm / gcd_i128(lcm, d) * d;
+    }
+    let scaled: Vec<i128> = values.iter().map(|v| v.numer() * (lcm / v.denom())).collect();
+    let mut g: i128 = 0;
+    for &s in &scaled {
+        g = gcd_i128(g, s);
+    }
+    let g = g.max(1);
+    Some(scaled.iter().map(|&s| (s / g) as u64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(gcd_u64(12, 18), 6);
+        assert_eq!(gcd_u64(0, 5), 5);
+        assert_eq!(gcd_u64(7, 0), 7);
+        assert_eq!(lcm_u64(4, 6), 12);
+        assert_eq!(lcm_u64(0, 6), 0);
+    }
+
+    #[test]
+    fn normalisation() {
+        let r = Rational::new(2, 4);
+        assert_eq!((r.numer(), r.denom()), (1, 2));
+        let r = Rational::new(3, -6);
+        assert_eq!((r.numer(), r.denom()), (-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+        assert_eq!(a.recip(), Rational::from_integer(2));
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::from_integer(2) > Rational::new(3, 2));
+        assert_eq!(Rational::new(2, 4).cmp(&Rational::new(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 1).to_string(), "3");
+        assert_eq!(Rational::new(3, 4).to_string(), "3/4");
+        assert_eq!(Rational::new(-3, 4).to_string(), "-3/4");
+    }
+
+    #[test]
+    fn smallest_integer_vector_scales_to_coprime() {
+        let v = vec![Rational::new(1, 2), Rational::new(1, 4), Rational::ONE];
+        assert_eq!(smallest_integer_vector(&v), Some(vec![2, 1, 4]));
+        let v = vec![Rational::from_integer(2), Rational::from_integer(4)];
+        assert_eq!(smallest_integer_vector(&v), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn smallest_integer_vector_rejects_negative_or_zero() {
+        let v = vec![Rational::new(-1, 2), Rational::ONE];
+        assert_eq!(smallest_integer_vector(&v), None);
+        let v = vec![Rational::ZERO, Rational::ZERO];
+        assert_eq!(smallest_integer_vector(&v), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Explicit-state reachability exploration.
+//!
+//! Reachability is decidable for Petri nets but expensive in general; the explorer here is
+//! a budgeted breadth-first construction of the reachability graph, sufficient for the net
+//! sizes handled by a quasi-static scheduler and for validating schedules produced by the
+//! `fcpn-qss` crate.
+
+use crate::{Marking, PetriNet, TransitionId};
+use std::collections::{HashMap, VecDeque};
+
+/// Budget and cut-offs for state-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachabilityOptions {
+    /// Maximum number of distinct markings to explore before declaring the result
+    /// incomplete.
+    pub max_markings: usize,
+    /// Markings with any place above this bound are not expanded (they are recorded as
+    /// frontier states). This keeps nets with source transitions explorable.
+    pub max_tokens_per_place: u64,
+}
+
+impl Default for ReachabilityOptions {
+    fn default() -> Self {
+        ReachabilityOptions {
+            max_markings: 100_000,
+            max_tokens_per_place: 64,
+        }
+    }
+}
+
+/// An edge of the reachability graph: firing `transition` in marking `from` yields `to`
+/// (indices into [`ReachabilityGraph::markings`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachabilityEdge {
+    /// Index of the source marking.
+    pub from: usize,
+    /// Transition fired.
+    pub transition: TransitionId,
+    /// Index of the target marking.
+    pub to: usize,
+}
+
+/// The (possibly truncated) reachability graph of a marked net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachabilityGraph {
+    /// All distinct markings discovered; index 0 is the initial marking.
+    pub markings: Vec<Marking>,
+    /// Firing edges between discovered markings.
+    pub edges: Vec<ReachabilityEdge>,
+    /// `true` if the whole reachable state space was enumerated within the budget and
+    /// token cut-off (no marking was left unexpanded).
+    pub complete: bool,
+    /// Indices of markings that were discovered but not expanded because of the cut-offs.
+    pub frontier: Vec<usize>,
+}
+
+impl ReachabilityGraph {
+    /// Explores the state space of `net` from its initial marking.
+    pub fn explore(net: &PetriNet, options: ReachabilityOptions) -> Self {
+        Self::explore_from(net, net.initial_marking().clone(), options)
+    }
+
+    /// Explores the state space of `net` from an arbitrary marking.
+    pub fn explore_from(net: &PetriNet, initial: Marking, options: ReachabilityOptions) -> Self {
+        let mut markings = Vec::new();
+        let mut edges = Vec::new();
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut frontier = Vec::new();
+        let mut queue = VecDeque::new();
+        let mut complete = true;
+
+        index.insert(initial.clone(), 0);
+        markings.push(initial);
+        queue.push_back(0usize);
+
+        while let Some(current) = queue.pop_front() {
+            let marking = markings[current].clone();
+            if marking.max_tokens() > options.max_tokens_per_place {
+                frontier.push(current);
+                complete = false;
+                continue;
+            }
+            for t in net.transitions() {
+                if !net.is_enabled(&marking, t) {
+                    continue;
+                }
+                let mut next = marking.clone();
+                if net.fire(&mut next, t).is_err() {
+                    continue;
+                }
+                let target = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        if markings.len() >= options.max_markings {
+                            complete = false;
+                            continue;
+                        }
+                        let i = markings.len();
+                        index.insert(next.clone(), i);
+                        markings.push(next);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                edges.push(ReachabilityEdge {
+                    from: current,
+                    transition: t,
+                    to: target,
+                });
+            }
+        }
+
+        ReachabilityGraph {
+            markings,
+            edges,
+            complete,
+            frontier,
+        }
+    }
+
+    /// Number of distinct markings discovered.
+    pub fn marking_count(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// Returns `true` if `marking` was discovered during exploration.
+    pub fn contains(&self, marking: &Marking) -> bool {
+        self.markings.iter().any(|m| m == marking)
+    }
+
+    /// Index of `marking` in the graph, if discovered.
+    pub fn index_of(&self, marking: &Marking) -> Option<usize> {
+        self.markings.iter().position(|m| m == marking)
+    }
+
+    /// Outgoing edges of the marking at `index`.
+    pub fn successors(&self, index: usize) -> impl Iterator<Item = &ReachabilityEdge> + '_ {
+        self.edges.iter().filter(move |e| e.from == index)
+    }
+
+    /// The largest token count observed in any place across all discovered markings.
+    pub fn max_tokens_observed(&self) -> u64 {
+        self.markings.iter().map(Marking::max_tokens).max().unwrap_or(0)
+    }
+
+    /// Indices of markings with no outgoing edge (dead markings). Only meaningful when the
+    /// graph is [`complete`](Self::complete).
+    pub fn dead_markings(&self) -> Vec<usize> {
+        (0..self.markings.len())
+            .filter(|&i| self.successors(i).next().is_none())
+            .collect()
+    }
+
+    /// Computes, for every marking index, whether a marking enabling `transition` is
+    /// reachable from it (backward reachability over the graph).
+    pub fn can_eventually_fire(&self, net: &PetriNet, transition: TransitionId) -> Vec<bool> {
+        let n = self.markings.len();
+        let mut can = vec![false; n];
+        // Seed: markings that enable the transition directly.
+        for (i, m) in self.markings.iter().enumerate() {
+            if net.is_enabled(m, transition) {
+                can[i] = true;
+            }
+        }
+        // Propagate backwards until a fixpoint: if any successor can, the predecessor can.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for e in &self.edges {
+                if can[e.to] && !can[e.from] {
+                    can[e.from] = true;
+                    changed = true;
+                }
+            }
+        }
+        can
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    fn bounded_cycle() -> PetriNet {
+        // p1 -> t1 -> p2 -> t2 -> p1 with one token: two reachable markings.
+        let mut b = NetBuilder::new("cycle");
+        let p1 = b.place("p1", 1);
+        let t1 = b.transition("t1");
+        let p2 = b.place("p2", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(p1, t1, 1).unwrap();
+        b.arc_t_p(t1, p2, 1).unwrap();
+        b.arc_p_t(p2, t2, 1).unwrap();
+        b.arc_t_p(t2, p1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn explores_bounded_cycle_completely() {
+        let net = bounded_cycle();
+        let g = ReachabilityGraph::explore(&net, ReachabilityOptions::default());
+        assert!(g.complete);
+        assert_eq!(g.marking_count(), 2);
+        assert_eq!(g.edges.len(), 2);
+        assert!(g.dead_markings().is_empty());
+        assert_eq!(g.max_tokens_observed(), 1);
+        assert!(g.contains(net.initial_marking()));
+        assert_eq!(g.index_of(net.initial_marking()), Some(0));
+    }
+
+    #[test]
+    fn respects_marking_budget() {
+        let net = bounded_cycle();
+        let g = ReachabilityGraph::explore(
+            &net,
+            ReachabilityOptions {
+                max_markings: 1,
+                max_tokens_per_place: 64,
+            },
+        );
+        assert!(!g.complete);
+        assert_eq!(g.marking_count(), 1);
+    }
+
+    #[test]
+    fn source_transition_nets_hit_token_cutoff() {
+        let mut b = NetBuilder::new("source");
+        let t1 = b.transition("t1");
+        let p = b.place("p", 0);
+        b.arc_t_p(t1, p, 1).unwrap();
+        let net = b.build().unwrap();
+        let g = ReachabilityGraph::explore(
+            &net,
+            ReachabilityOptions {
+                max_markings: 1000,
+                max_tokens_per_place: 5,
+            },
+        );
+        assert!(!g.complete);
+        assert!(!g.frontier.is_empty());
+        assert!(g.max_tokens_observed() >= 5);
+    }
+
+    #[test]
+    fn dead_marking_detected() {
+        // t1 -> p -> t2, single shot: firing t1 then t2 leads to a dead empty marking
+        // only if t1 cannot re-fire; make t1 consume from a one-token place.
+        let mut b = NetBuilder::new("oneshot");
+        let start = b.place("start", 1);
+        let t1 = b.transition("t1");
+        let p = b.place("p", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(start, t1, 1).unwrap();
+        b.arc_t_p(t1, p, 1).unwrap();
+        b.arc_p_t(p, t2, 1).unwrap();
+        let net = b.build().unwrap();
+        let g = ReachabilityGraph::explore(&net, ReachabilityOptions::default());
+        assert!(g.complete);
+        assert_eq!(g.dead_markings().len(), 1);
+    }
+
+    #[test]
+    fn can_eventually_fire_propagates_backwards() {
+        let net = bounded_cycle();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let g = ReachabilityGraph::explore(&net, ReachabilityOptions::default());
+        let can = g.can_eventually_fire(&net, t2);
+        // From both reachable markings t2 can eventually fire (it is a live cycle).
+        assert_eq!(can, vec![true, true]);
+    }
+}

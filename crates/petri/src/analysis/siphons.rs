@@ -1,0 +1,333 @@
+//! Siphons, traps and Commoner's liveness condition for free-choice nets.
+//!
+//! A *siphon* is a set of places whose every producing transition is also a consumer of
+//! the set: once a siphon is emptied it can never regain tokens, permanently disabling
+//! its output transitions. A *trap* is the dual: once marked it can never be emptied.
+//! Hack's theorem (Commoner's condition) states that a free-choice net is live iff every
+//! minimal siphon contains an initially marked trap. The quasi-static scheduler does not
+//! need liveness per se, but the analysis is the classical structural companion of the
+//! MG-decomposition the paper builds on, and it gives designers an orthogonal diagnosis
+//! when a specification deadlocks.
+
+use crate::{Marking, PetriNet, PlaceId};
+use std::collections::BTreeSet;
+
+/// Limit on the number of candidate place subsets examined during minimal-siphon
+/// enumeration; beyond this the result is flagged as truncated.
+const ENUMERATION_LIMIT: usize = 200_000;
+
+/// A set of places (siphon or trap), kept sorted.
+pub type PlaceSet = Vec<PlaceId>;
+
+/// Result of the siphon/trap analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiphonAnalysis {
+    /// Minimal (non-empty) siphons of the net.
+    pub minimal_siphons: Vec<PlaceSet>,
+    /// Maximal trap contained in each minimal siphon (empty when none exists).
+    pub traps_in_siphons: Vec<PlaceSet>,
+    /// Whether the enumeration completed within its budget.
+    pub complete: bool,
+}
+
+impl SiphonAnalysis {
+    /// Runs the analysis on `net`.
+    pub fn of(net: &PetriNet) -> Self {
+        let minimal_siphons = minimal_siphons(net);
+        let complete = minimal_siphons.len() < ENUMERATION_LIMIT;
+        let traps_in_siphons = minimal_siphons
+            .iter()
+            .map(|siphon| maximal_trap_within(net, siphon))
+            .collect();
+        SiphonAnalysis {
+            minimal_siphons,
+            traps_in_siphons,
+            complete,
+        }
+    }
+
+    /// Commoner's condition: every minimal siphon contains a trap marked under `marking`.
+    ///
+    /// For free-choice nets this is equivalent to liveness (Hack's theorem); for other
+    /// classes it is sufficient for deadlock-freedom.
+    pub fn commoner_holds(&self, marking: &Marking) -> bool {
+        self.minimal_siphons
+            .iter()
+            .zip(self.traps_in_siphons.iter())
+            .all(|(_, trap)| {
+                !trap.is_empty() && trap.iter().any(|&p| marking.tokens(p) > 0)
+            })
+    }
+
+    /// Siphons that are unmarked under `marking` — each is a certificate that the
+    /// transitions consuming from it can die.
+    pub fn unmarked_siphons(&self, marking: &Marking) -> Vec<&PlaceSet> {
+        self.minimal_siphons
+            .iter()
+            .filter(|siphon| siphon.iter().all(|&p| marking.tokens(p) == 0))
+            .collect()
+    }
+}
+
+/// Returns `true` if `places` is a siphon: every transition producing into the set also
+/// consumes from it (`•S ⊆ S•`).
+pub fn is_siphon(net: &PetriNet, places: &[PlaceId]) -> bool {
+    if places.is_empty() {
+        return false;
+    }
+    let set: BTreeSet<PlaceId> = places.iter().copied().collect();
+    for &p in places {
+        for &(producer, _) in net.producers(p) {
+            let consumes_from_set = net
+                .inputs(producer)
+                .iter()
+                .any(|&(q, _)| set.contains(&q));
+            if !consumes_from_set {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns `true` if `places` is a trap: every transition consuming from the set also
+/// produces into it (`S• ⊆ •S`).
+pub fn is_trap(net: &PetriNet, places: &[PlaceId]) -> bool {
+    if places.is_empty() {
+        return false;
+    }
+    let set: BTreeSet<PlaceId> = places.iter().copied().collect();
+    for &p in places {
+        for &(consumer, _) in net.consumers(p) {
+            let produces_into_set = net
+                .outputs(consumer)
+                .iter()
+                .any(|&(q, _)| set.contains(&q));
+            if !produces_into_set {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Shrinks an arbitrary place set to the largest siphon it contains (possibly empty):
+/// repeatedly drop places that have a producer not consuming from the set.
+pub fn largest_siphon_within(net: &PetriNet, places: &[PlaceId]) -> PlaceSet {
+    shrink(net, places, |net, set, p| {
+        net.producers(p).iter().all(|&(producer, _)| {
+            net.inputs(producer).iter().any(|&(q, _)| set.contains(&q))
+        })
+    })
+}
+
+/// Shrinks an arbitrary place set to the largest trap it contains (possibly empty).
+pub fn maximal_trap_within(net: &PetriNet, places: &[PlaceId]) -> PlaceSet {
+    shrink(net, places, |net, set, p| {
+        net.consumers(p).iter().all(|&(consumer, _)| {
+            net.outputs(consumer).iter().any(|&(q, _)| set.contains(&q))
+        })
+    })
+}
+
+fn shrink(
+    net: &PetriNet,
+    places: &[PlaceId],
+    keep: impl Fn(&PetriNet, &BTreeSet<PlaceId>, PlaceId) -> bool,
+) -> PlaceSet {
+    let mut set: BTreeSet<PlaceId> = places.iter().copied().collect();
+    while let Some(&drop) = set.iter().find(|&&p| !keep(net, &set, p)) {
+        set.remove(&drop);
+        if set.is_empty() {
+            break;
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Enumerates the minimal (inclusion-wise) non-empty siphons of `net`.
+///
+/// The enumeration grows candidate sets place by place, closing each candidate under the
+/// "producers must consume from the set" rule, which is exact for the net sizes handled by
+/// the scheduler (tens of places).
+pub fn minimal_siphons(net: &PetriNet) -> Vec<PlaceSet> {
+    let mut found: Vec<BTreeSet<PlaceId>> = Vec::new();
+    let mut examined = 0usize;
+    for seed in net.places() {
+        if examined > ENUMERATION_LIMIT {
+            break;
+        }
+        // Close the seed under the siphon condition: whenever a producer of a member does
+        // not consume from the set, one of its input places must be added; branch over the
+        // alternatives.
+        let mut stack: Vec<BTreeSet<PlaceId>> = vec![[seed].into_iter().collect()];
+        while let Some(candidate) = stack.pop() {
+            examined += 1;
+            if examined > ENUMERATION_LIMIT {
+                break;
+            }
+            // Find a violation.
+            let violation = candidate.iter().copied().find_map(|p| {
+                net.producers(p)
+                    .iter()
+                    .map(|&(producer, _)| producer)
+                    .find(|&producer| {
+                        !net.inputs(producer)
+                            .iter()
+                            .any(|&(q, _)| candidate.contains(&q))
+                    })
+            });
+            match violation {
+                None => {
+                    if !candidate.is_empty()
+                        && !found.iter().any(|s| s.is_subset(&candidate))
+                    {
+                        found.retain(|s| !candidate.is_subset(s) || s == &candidate);
+                        found.push(candidate);
+                    }
+                }
+                Some(producer) => {
+                    let inputs = net.inputs(producer);
+                    if inputs.is_empty() {
+                        // A source transition produces into the candidate: no superset can
+                        // ever be a siphon, drop this branch.
+                        continue;
+                    }
+                    for &(q, _) in inputs {
+                        let mut next = candidate.clone();
+                        next.insert(q);
+                        if !found.iter().any(|s| s.is_subset(&next)) {
+                            stack.push(next);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut result: Vec<PlaceSet> = found
+        .into_iter()
+        .map(|s| s.into_iter().collect::<Vec<_>>())
+        .collect();
+    result.sort();
+    result.dedup();
+    // Keep only inclusion-minimal sets.
+    let snapshot = result.clone();
+    result.retain(|candidate| {
+        !snapshot.iter().any(|other| {
+            other.len() < candidate.len() && other.iter().all(|p| candidate.contains(p))
+        })
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    /// A live token ring: p1 -> t1 -> p2 -> t2 -> p1 with one token.
+    fn ring() -> PetriNet {
+        let mut b = NetBuilder::new("ring");
+        let p1 = b.place("p1", 1);
+        let t1 = b.transition("t1");
+        let p2 = b.place("p2", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(p1, t1, 1).unwrap();
+        b.arc_t_p(t1, p2, 1).unwrap();
+        b.arc_p_t(p2, t2, 1).unwrap();
+        b.arc_t_p(t2, p1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    /// The classic non-live free-choice example: two rings sharing a place that one ring
+    /// can steal from the other permanently.
+    fn unmarked_siphon_net() -> PetriNet {
+        let mut b = NetBuilder::new("dead");
+        let start = b.place("start", 1);
+        let grab = b.transition("grab");
+        let held = b.place("held", 0);
+        let consume = b.transition("consume");
+        let gone = b.place("gone", 0);
+        let sink = b.transition("sink");
+        b.arc_p_t(start, grab, 1).unwrap();
+        b.arc_t_p(grab, held, 1).unwrap();
+        b.arc_p_t(held, consume, 1).unwrap();
+        b.arc_t_p(consume, gone, 1).unwrap();
+        b.arc_p_t(gone, sink, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_places_form_a_siphon_and_a_trap() {
+        let net = ring();
+        let all: Vec<PlaceId> = net.places().collect();
+        assert!(is_siphon(&net, &all));
+        assert!(is_trap(&net, &all));
+        assert!(!is_siphon(&net, &[]));
+        // A single place of the ring is neither (its producer takes from the other place).
+        assert!(!is_siphon(&net, &all[..1]));
+        assert!(!is_trap(&net, &all[..1]));
+    }
+
+    #[test]
+    fn ring_satisfies_commoner() {
+        let net = ring();
+        let analysis = SiphonAnalysis::of(&net);
+        assert!(analysis.complete);
+        assert_eq!(analysis.minimal_siphons.len(), 1);
+        assert!(analysis.commoner_holds(net.initial_marking()));
+        assert!(analysis.unmarked_siphons(net.initial_marking()).is_empty());
+        // Empty the ring: the siphon is now unmarked and Commoner fails.
+        let empty = Marking::zeroes(net.place_count());
+        assert!(!analysis.commoner_holds(&empty));
+        assert_eq!(analysis.unmarked_siphons(&empty).len(), 1);
+    }
+
+    #[test]
+    fn chain_siphons_reveal_finite_execution() {
+        let net = unmarked_siphon_net();
+        let analysis = SiphonAnalysis::of(&net);
+        // {start} is a minimal siphon with no trap inside: once consumed the chain dies —
+        // the structural counterpart of the paper's "source place means finite execution".
+        let start = net.place_by_name("start").unwrap();
+        assert!(analysis.minimal_siphons.contains(&vec![start]));
+        assert!(!analysis.commoner_holds(net.initial_marking()));
+    }
+
+    #[test]
+    fn shrinking_finds_largest_substructures() {
+        let net = ring();
+        let all: Vec<PlaceId> = net.places().collect();
+        assert_eq!(largest_siphon_within(&net, &all), all);
+        assert_eq!(maximal_trap_within(&net, &all), all);
+        assert!(largest_siphon_within(&net, &all[..1]).is_empty());
+    }
+
+    #[test]
+    fn figure5_has_no_unmarked_siphon_trouble() {
+        // The schedulable figure 5 net is open (source transitions feed it), so its
+        // siphons are all replenishable from the environment; the analysis must simply
+        // not report spurious structures containing the source-fed places.
+        let net = crate::gallery::figure5();
+        let analysis = SiphonAnalysis::of(&net);
+        for siphon in &analysis.minimal_siphons {
+            assert!(is_siphon(&net, siphon));
+        }
+    }
+
+    #[test]
+    fn traps_inside_siphons_are_traps() {
+        let net = ring();
+        let analysis = SiphonAnalysis::of(&net);
+        for (siphon, trap) in analysis
+            .minimal_siphons
+            .iter()
+            .zip(analysis.traps_in_siphons.iter())
+        {
+            if !trap.is_empty() {
+                assert!(is_trap(&net, trap));
+                assert!(trap.iter().all(|p| siphon.contains(p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The token game: enabledness, firing, and firing sequences.
+
+use crate::{Marking, PetriError, PetriNet, Result, TransitionId};
+
+impl PetriNet {
+    /// Returns `true` if `transition` is enabled in `marking`, i.e. every input place
+    /// holds at least as many tokens as the arc weight requires.
+    ///
+    /// Source transitions (empty pre-set) are always enabled: they model inputs arriving
+    /// from the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the marking length does not match the net (use
+    /// [`PetriNet::check_marking`] to validate first when the marking is untrusted).
+    pub fn is_enabled(&self, marking: &Marking, transition: TransitionId) -> bool {
+        self.pre[transition.index()]
+            .iter()
+            .all(|&(p, w)| marking.tokens(p) >= w)
+    }
+
+    /// All transitions enabled in `marking`, in index order.
+    pub fn enabled_transitions(&self, marking: &Marking) -> Vec<TransitionId> {
+        self.transitions()
+            .filter(|&t| self.is_enabled(marking, t))
+            .collect()
+    }
+
+    /// Returns `true` if no transition is enabled in `marking` (a dead marking).
+    ///
+    /// Note that a net with at least one source transition can never deadlock in this
+    /// sense, since source transitions are always enabled.
+    pub fn is_deadlocked(&self, marking: &Marking) -> bool {
+        self.transitions().all(|t| !self.is_enabled(marking, t))
+    }
+
+    /// Fires `transition`, updating `marking` in place: removes `F(p, t)` tokens from each
+    /// input place and adds `F(t, p)` tokens to each output place.
+    ///
+    /// # Errors
+    ///
+    /// * [`PetriError::UnknownTransition`] if the transition does not belong to the net.
+    /// * [`PetriError::MarkingLengthMismatch`] if the marking does not match the net.
+    /// * [`PetriError::NotEnabled`] if the transition is not enabled; the marking is left
+    ///   unchanged in that case.
+    /// * [`PetriError::TokenOverflow`] if an output place would exceed `u64::MAX`.
+    pub fn fire(&self, marking: &mut Marking, transition: TransitionId) -> Result<()> {
+        self.check_transition(transition)?;
+        self.check_marking(marking)?;
+        if !self.is_enabled(marking, transition) {
+            return Err(PetriError::NotEnabled(transition));
+        }
+        for &(p, w) in &self.pre[transition.index()] {
+            marking.remove(p, w)?;
+        }
+        for &(p, w) in &self.post[transition.index()] {
+            marking.add(p, w)?;
+        }
+        Ok(())
+    }
+
+    /// Fires a whole sequence of transitions, stopping at the first failure.
+    ///
+    /// On error the marking reflects all firings made before the failing one, and the
+    /// error carries the failing transition.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PetriNet::fire`].
+    pub fn fire_sequence(&self, marking: &mut Marking, sequence: &[TransitionId]) -> Result<()> {
+        for &t in sequence {
+            self.fire(marking, t)?;
+        }
+        Ok(())
+    }
+
+    /// Checks whether `sequence` is fireable from `from` and returns the resulting marking
+    /// without mutating the input.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PetriNet::fire`].
+    pub fn marking_after(&self, from: &Marking, sequence: &[TransitionId]) -> Result<Marking> {
+        let mut m = from.clone();
+        self.fire_sequence(&mut m, sequence)?;
+        Ok(m)
+    }
+
+    /// Returns `true` if firing `sequence` from `from` succeeds and returns the net to
+    /// exactly the marking `from` — i.e. the sequence is a *finite complete cycle* in the
+    /// sense of Section 2 of the paper.
+    pub fn is_finite_complete_cycle(&self, from: &Marking, sequence: &[TransitionId]) -> bool {
+        match self.marking_after(from, sequence) {
+            Ok(m) => m == *from,
+            Err(_) => false,
+        }
+    }
+
+    /// Counts the occurrences of every transition in `sequence` (the firing count vector
+    /// `f(σ)` of the paper), indexed by transition id.
+    pub fn firing_count_vector(&self, sequence: &[TransitionId]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.transition_count()];
+        for &t in sequence {
+            counts[t.index()] += 1;
+        }
+        counts
+    }
+
+    /// Records the peak number of tokens observed in any place while firing `sequence`
+    /// from `from`. This is the buffer bound the schedule implies for a software
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PetriNet::fire`].
+    pub fn peak_tokens(&self, from: &Marking, sequence: &[TransitionId]) -> Result<Vec<u64>> {
+        let mut m = from.clone();
+        let mut peak: Vec<u64> = from.as_slice().to_vec();
+        for &t in sequence {
+            self.fire(&mut m, t)?;
+            for (i, &k) in m.as_slice().iter().enumerate() {
+                if k > peak[i] {
+                    peak[i] = k;
+                }
+            }
+        }
+        Ok(peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    /// The multirate chain of Figure 2: t1 -> p1 (consume 2 by t2) -> t2 -> p2 (consume 2 by t3) -> t3.
+    fn figure2() -> PetriNet {
+        let mut b = NetBuilder::new("figure2");
+        let t1 = b.transition("t1");
+        let p1 = b.place("p1", 0);
+        let t2 = b.transition("t2");
+        let p2 = b.place("p2", 0);
+        let t3 = b.transition("t3");
+        b.arc_t_p(t1, p1, 1).unwrap();
+        b.arc_p_t(p1, t2, 2).unwrap();
+        b.arc_t_p(t2, p2, 1).unwrap();
+        b.arc_p_t(p2, t3, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn source_transitions_are_always_enabled() {
+        let net = figure2();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let m = net.initial_marking().clone();
+        assert!(net.is_enabled(&m, t1));
+        assert_eq!(net.enabled_transitions(&m), vec![t1]);
+        assert!(!net.is_deadlocked(&m));
+    }
+
+    #[test]
+    fn firing_moves_tokens_respecting_weights() {
+        let net = figure2();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let p1 = net.place_by_name("p1").unwrap();
+        let mut m = net.initial_marking().clone();
+        net.fire(&mut m, t1).unwrap();
+        assert_eq!(m.tokens(p1), 1);
+        assert!(!net.is_enabled(&m, t2));
+        net.fire(&mut m, t1).unwrap();
+        assert!(net.is_enabled(&m, t2));
+        net.fire(&mut m, t2).unwrap();
+        assert_eq!(m.tokens(p1), 0);
+    }
+
+    #[test]
+    fn firing_disabled_transition_fails_without_mutation() {
+        let net = figure2();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let mut m = net.initial_marking().clone();
+        let before = m.clone();
+        let err = net.fire(&mut m, t2).unwrap_err();
+        assert_eq!(err, PetriError::NotEnabled(t2));
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn marking_length_is_validated() {
+        let net = figure2();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let mut short = Marking::zeroes(1);
+        assert!(matches!(
+            net.fire(&mut short, t1),
+            Err(PetriError::MarkingLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn figure2_cycle_is_a_finite_complete_cycle() {
+        // The paper's σ = t1 t1 t1 t1 t2 t2 t3 with f(σ) = (4, 2, 1).
+        let net = figure2();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let t3 = net.transition_by_name("t3").unwrap();
+        let sigma = vec![t1, t1, t1, t1, t2, t2, t3];
+        let m0 = net.initial_marking().clone();
+        assert!(net.is_finite_complete_cycle(&m0, &sigma));
+        assert_eq!(net.firing_count_vector(&sigma), vec![4, 2, 1]);
+        // A truncated sequence is not a complete cycle.
+        assert!(!net.is_finite_complete_cycle(&m0, &sigma[..5]));
+    }
+
+    #[test]
+    fn peak_tokens_tracks_buffer_bound() {
+        let net = figure2();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let t3 = net.transition_by_name("t3").unwrap();
+        let sigma = vec![t1, t1, t1, t1, t2, t2, t3];
+        let peaks = net.peak_tokens(net.initial_marking(), &sigma).unwrap();
+        // p1 peaks at 4 tokens (after four t1 firings), p2 at 2.
+        assert_eq!(peaks, vec![4, 2]);
+    }
+
+    #[test]
+    fn fire_sequence_reports_first_failure() {
+        let net = figure2();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let t3 = net.transition_by_name("t3").unwrap();
+        let mut m = net.initial_marking().clone();
+        let err = net.fire_sequence(&mut m, &[t1, t3]).unwrap_err();
+        assert_eq!(err, PetriError::NotEnabled(t3));
+        // The successful prefix has been applied.
+        assert_eq!(m.total_tokens(), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! The nets used in the figures of the paper, reconstructed for tests, examples and
+//! benchmarks.
+//!
+//! Each constructor documents the figure it reproduces and the property the paper uses it
+//! to illustrate. Transition and place names follow the paper (`t1`, `p1`, …), so firing
+//! sequences printed by the scheduler can be compared with the text directly.
+
+use crate::{NetBuilder, PetriNet};
+
+/// Figure 1a: a free-choice conflict — one place with two output transitions, each of
+/// which has that place as its only input.
+pub fn figure1a() -> PetriNet {
+    let mut b = NetBuilder::new("figure1a");
+    let p = b.place("p1", 1);
+    let t1 = b.transition("t1");
+    let t2 = b.transition("t2");
+    b.arc_p_t(p, t1, 1).expect("arc");
+    b.arc_p_t(p, t2, 1).expect("arc");
+    b.build().expect("figure 1a is a valid net")
+}
+
+/// Figure 1b: *not* free choice — `t3` shares its input place with `t2` but also has a
+/// private input place, so there is a marking enabling `t3` and not `t2`.
+pub fn figure1b() -> PetriNet {
+    let mut b = NetBuilder::new("figure1b");
+    let p1 = b.place("p1", 1);
+    let p2 = b.place("p2", 0);
+    let t1 = b.transition("t1");
+    let t2 = b.transition("t2");
+    let t3 = b.transition("t3");
+    b.arc_t_p(t1, p2, 1).expect("arc");
+    b.arc_p_t(p1, t2, 1).expect("arc");
+    b.arc_p_t(p1, t3, 1).expect("arc");
+    b.arc_p_t(p2, t3, 1).expect("arc");
+    b.build().expect("figure 1b is a valid net")
+}
+
+/// Figure 2: the multirate marked-graph chain whose minimal T-invariant is `(4, 2, 1)`
+/// and whose static schedule is `t1 t1 t1 t1 t2 t2 t3`.
+pub fn figure2() -> PetriNet {
+    let mut b = NetBuilder::new("figure2");
+    let t1 = b.transition("t1");
+    let p1 = b.place("p1", 0);
+    let t2 = b.transition("t2");
+    let p2 = b.place("p2", 0);
+    let t3 = b.transition("t3");
+    b.arc_t_p(t1, p1, 1).expect("arc");
+    b.arc_p_t(p1, t2, 2).expect("arc");
+    b.arc_t_p(t2, p2, 1).expect("arc");
+    b.arc_p_t(p2, t3, 2).expect("arc");
+    b.build().expect("figure 2 is a valid net")
+}
+
+/// Figure 3a: a schedulable FCPN — whatever way the conflict between `t2` and `t3` is
+/// resolved, a finite complete cycle exists (`(t1 t2 t4)` or `(t1 t3 t5)`).
+pub fn figure3a() -> PetriNet {
+    let mut b = NetBuilder::new("figure3a");
+    let t1 = b.transition("t1");
+    let p1 = b.place("p1", 0);
+    let t2 = b.transition("t2");
+    let t3 = b.transition("t3");
+    let p2 = b.place("p2", 0);
+    let p3 = b.place("p3", 0);
+    let t4 = b.transition("t4");
+    let t5 = b.transition("t5");
+    b.arc_t_p(t1, p1, 1).expect("arc");
+    b.arc_p_t(p1, t2, 1).expect("arc");
+    b.arc_p_t(p1, t3, 1).expect("arc");
+    b.arc_t_p(t2, p2, 1).expect("arc");
+    b.arc_t_p(t3, p3, 1).expect("arc");
+    b.arc_p_t(p2, t4, 1).expect("arc");
+    b.arc_p_t(p3, t5, 1).expect("arc");
+    b.build().expect("figure 3a is a valid net")
+}
+
+/// Figure 3b: a non-schedulable FCPN — `t4` synchronises both branches of the choice, so
+/// an adversary that always resolves the conflict the same way accumulates tokens without
+/// bound in `p2` or `p3`.
+pub fn figure3b() -> PetriNet {
+    let mut b = NetBuilder::new("figure3b");
+    let t1 = b.transition("t1");
+    let p1 = b.place("p1", 0);
+    let t2 = b.transition("t2");
+    let t3 = b.transition("t3");
+    let p2 = b.place("p2", 0);
+    let p3 = b.place("p3", 0);
+    let t4 = b.transition("t4");
+    b.arc_t_p(t1, p1, 1).expect("arc");
+    b.arc_p_t(p1, t2, 1).expect("arc");
+    b.arc_p_t(p1, t3, 1).expect("arc");
+    b.arc_t_p(t2, p2, 1).expect("arc");
+    b.arc_t_p(t3, p3, 1).expect("arc");
+    b.arc_p_t(p2, t4, 1).expect("arc");
+    b.arc_p_t(p3, t4, 1).expect("arc");
+    b.build().expect("figure 3b is a valid net")
+}
+
+/// Figure 4: the schedulable net with weighted arcs whose valid schedule is
+/// `{(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}`; Section 4 synthesises its C code.
+pub fn figure4() -> PetriNet {
+    let mut b = NetBuilder::new("figure4");
+    let t1 = b.transition("t1");
+    let p1 = b.place("p1", 0);
+    let t2 = b.transition("t2");
+    let t3 = b.transition("t3");
+    let p2 = b.place("p2", 0);
+    let p3 = b.place("p3", 0);
+    let t4 = b.transition("t4");
+    let t5 = b.transition("t5");
+    b.arc_t_p(t1, p1, 1).expect("arc");
+    b.arc_p_t(p1, t2, 1).expect("arc");
+    b.arc_p_t(p1, t3, 1).expect("arc");
+    b.arc_t_p(t2, p2, 1).expect("arc");
+    b.arc_p_t(p2, t4, 2).expect("arc");
+    b.arc_t_p(t3, p3, 2).expect("arc");
+    b.arc_p_t(p3, t5, 1).expect("arc");
+    b.build().expect("figure 4 is a valid net")
+}
+
+/// Figure 5: the nine-transition net with two source transitions (`t1`, `t8`) and one
+/// free choice (`p1 → t2 | t3`). Its T-reductions `R1`/`R2` have the T-invariants quoted
+/// in the paper (`(1,1,0,2,0,4,0,0,0)` and `(0,0,0,0,0,1,0,1,1)` for `R1`), and the valid
+/// schedule is `{(t1 t2 t4 t4 t6 t6 t6 t6 t8 t9 t6), (t1 t3 t5 t7 t7 t8 t9 t6)}`.
+pub fn figure5() -> PetriNet {
+    let mut b = NetBuilder::new("figure5");
+    let t1 = b.transition("t1");
+    let t2 = b.transition("t2");
+    let t3 = b.transition("t3");
+    let t4 = b.transition("t4");
+    let t5 = b.transition("t5");
+    let t6 = b.transition("t6");
+    let t7 = b.transition("t7");
+    let t8 = b.transition("t8");
+    let t9 = b.transition("t9");
+    let p1 = b.place("p1", 0);
+    let p2 = b.place("p2", 0);
+    let p3 = b.place("p3", 0);
+    let p4 = b.place("p4", 0);
+    let p5 = b.place("p5", 0);
+    let p6 = b.place("p6", 0);
+    let p7 = b.place("p7", 0);
+    // Source t1 feeds the free choice p1 between t2 and t3.
+    b.arc_t_p(t1, p1, 1).expect("arc");
+    b.arc_p_t(p1, t2, 1).expect("arc");
+    b.arc_p_t(p1, t3, 1).expect("arc");
+    // Branch 1: t2 -(2)-> p2 -> t4 -(2)-> p4 -> t6.
+    b.arc_t_p(t2, p2, 2).expect("arc");
+    b.arc_p_t(p2, t4, 1).expect("arc");
+    b.arc_t_p(t4, p4, 2).expect("arc");
+    b.arc_p_t(p4, t6, 1).expect("arc");
+    // Branch 2: t3 -> p3 -> t5 -(2)-> {p5, p6} -> t7 (two places joined at t7).
+    b.arc_t_p(t3, p3, 1).expect("arc");
+    b.arc_p_t(p3, t5, 1).expect("arc");
+    b.arc_t_p(t5, p5, 2).expect("arc");
+    b.arc_t_p(t5, p6, 2).expect("arc");
+    b.arc_p_t(p5, t7, 1).expect("arc");
+    b.arc_p_t(p6, t7, 1).expect("arc");
+    // Second independent-rate source: t8 -> p7 -> t9, merging into p4 before t6.
+    b.arc_t_p(t8, p7, 1).expect("arc");
+    b.arc_p_t(p7, t9, 1).expect("arc");
+    b.arc_t_p(t9, p4, 1).expect("arc");
+    b.build().expect("figure 5 is a valid net")
+}
+
+/// Figure 7: a non-schedulable FCPN — both T-reductions keep a source place that can only
+/// provide finitely many tokens, so each reduction is inconsistent and firing its cycle
+/// forever accumulates tokens (e.g. in `p4` for `R1`).
+pub fn figure7() -> PetriNet {
+    let mut b = NetBuilder::new("figure7");
+    let t1 = b.transition("t1");
+    let t2 = b.transition("t2");
+    let t3 = b.transition("t3");
+    let t4 = b.transition("t4");
+    let t5 = b.transition("t5");
+    let t6 = b.transition("t6");
+    let t7 = b.transition("t7");
+    let p1 = b.place("p1", 0);
+    let p2 = b.place("p2", 0);
+    let p3 = b.place("p3", 0);
+    let p4 = b.place("p4", 0);
+    let p5 = b.place("p5", 0);
+    let p6 = b.place("p6", 0);
+    b.arc_t_p(t1, p1, 1).expect("arc");
+    b.arc_p_t(p1, t2, 1).expect("arc");
+    b.arc_p_t(p1, t3, 1).expect("arc");
+    b.arc_t_p(t2, p2, 1).expect("arc");
+    b.arc_p_t(p2, t4, 1).expect("arc");
+    b.arc_t_p(t3, p3, 1).expect("arc");
+    b.arc_p_t(p3, t5, 1).expect("arc");
+    b.arc_t_p(t4, p4, 1).expect("arc");
+    b.arc_t_p(t5, p5, 1).expect("arc");
+    b.arc_t_p(t5, p6, 1).expect("arc");
+    // t6 synchronises the two branches; t7 drains the private part of branch 2.
+    b.arc_p_t(p4, t6, 1).expect("arc");
+    b.arc_p_t(p5, t6, 1).expect("arc");
+    b.arc_p_t(p6, t7, 1).expect("arc");
+    b.build().expect("figure 7 is a valid net")
+}
+
+/// A parametric chain of `n` free choices used by the scaling ablation: each choice place
+/// has two successor transitions which both rejoin before the next choice. The number of
+/// T-allocations (and T-reductions) is `2^n`, matching the paper's complexity remark.
+pub fn choice_chain(n: usize) -> PetriNet {
+    let mut b = NetBuilder::new(format!("choice-chain-{n}"));
+    let source = b.transition("src");
+    let mut upstream = b.place("c0", 0);
+    b.arc_t_p(source, upstream, 1).expect("arc");
+    for i in 0..n {
+        let a = b.transition(format!("a{i}"));
+        let c = b.transition(format!("b{i}"));
+        b.arc_p_t(upstream, a, 1).expect("arc");
+        b.arc_p_t(upstream, c, 1).expect("arc");
+        let join = b.place(format!("j{i}"), 0);
+        b.arc_t_p(a, join, 1).expect("arc");
+        b.arc_t_p(c, join, 1).expect("arc");
+        let next = b.transition(format!("m{i}"));
+        b.arc_p_t(join, next, 1).expect("arc");
+        let out = b.place(format!("c{}", i + 1), 0);
+        b.arc_t_p(next, out, 1).expect("arc");
+        upstream = out;
+    }
+    let sink = b.transition("sink");
+    b.arc_p_t(upstream, sink, 1).expect("arc");
+    b.build().expect("choice chain is a valid net")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Classification, InvariantAnalysis, NetClass};
+
+    #[test]
+    fn figure1_classification_matches_paper() {
+        assert!(figure1a().is_free_choice());
+        assert!(!figure1b().is_free_choice());
+    }
+
+    #[test]
+    fn figure2_is_a_marked_graph_with_known_invariant() {
+        let net = figure2();
+        assert_eq!(Classification::of(&net).class, NetClass::MarkedGraph);
+        let inv = InvariantAnalysis::of(&net);
+        assert_eq!(inv.t_semiflows.len(), 1);
+        assert_eq!(inv.t_semiflows[0].vector, vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn figure3_and_4_nets_are_free_choice() {
+        assert!(figure3a().is_free_choice());
+        assert!(figure3b().is_free_choice());
+        assert!(figure4().is_free_choice());
+    }
+
+    #[test]
+    fn figure5_shape_matches_paper() {
+        let net = figure5();
+        assert_eq!(net.transition_count(), 9);
+        assert_eq!(net.place_count(), 7);
+        assert!(net.is_free_choice());
+        assert_eq!(net.choice_places().len(), 1);
+        // Two independent-rate sources: t1 and t8.
+        let sources = net.source_transitions();
+        assert_eq!(sources.len(), 2);
+        assert_eq!(net.transition_name(sources[0]), "t1");
+        assert_eq!(net.transition_name(sources[1]), "t8");
+        // p4 is a merge place (t4 and t9 both feed it).
+        let p4 = net.place_by_name("p4").unwrap();
+        assert!(net.is_merge_place(p4));
+    }
+
+    #[test]
+    fn figure5_paper_cycles_are_finite_complete_cycles() {
+        let net = figure5();
+        let by_name = |n: &str| net.transition_by_name(n).unwrap();
+        let cycle1: Vec<_> = ["t1", "t2", "t4", "t4", "t6", "t6", "t6", "t6", "t8", "t9", "t6"]
+            .iter()
+            .map(|n| by_name(n))
+            .collect();
+        let cycle2: Vec<_> = ["t1", "t3", "t5", "t7", "t7", "t8", "t9", "t6"]
+            .iter()
+            .map(|n| by_name(n))
+            .collect();
+        let m0 = net.initial_marking();
+        assert!(net.is_finite_complete_cycle(m0, &cycle1));
+        assert!(net.is_finite_complete_cycle(m0, &cycle2));
+    }
+
+    #[test]
+    fn figure7_shape_matches_paper() {
+        let net = figure7();
+        assert_eq!(net.transition_count(), 7);
+        assert_eq!(net.place_count(), 6);
+        assert!(net.is_free_choice());
+    }
+
+    #[test]
+    fn figure7_is_inconsistent_when_restricted_to_one_branch() {
+        // The full net *is* consistent only through combinations that mix both branches,
+        // which a static choice cannot realise; the QSS crate exercises the reductions.
+        let net = figure7();
+        let inv = InvariantAnalysis::of(&net);
+        // No minimal semiflow uses t2 without t3 (they must cooperate through t6), which
+        // is exactly why both reductions are inconsistent.
+        for s in &inv.t_semiflows {
+            let t2 = net.transition_by_name("t2").unwrap();
+            let t3 = net.transition_by_name("t3").unwrap();
+            assert_eq!(s.contains(t2.index()), s.contains(t3.index()));
+        }
+    }
+
+    #[test]
+    fn choice_chain_scales_choices() {
+        let net = choice_chain(3);
+        assert_eq!(net.choice_places().len(), 3);
+        assert!(net.is_free_choice());
+        let net = choice_chain(0);
+        assert_eq!(net.choice_places().len(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Strongly-typed identifiers for places and transitions.
+//!
+//! Nodes of a [`PetriNet`](crate::PetriNet) are referred to by dense indices wrapped in
+//! newtypes so that a place index can never be confused with a transition index
+//! (C-NEWTYPE). Identifiers are only meaningful for the net that created them.
+
+use std::fmt;
+
+/// Identifier of a place within a [`PetriNet`](crate::PetriNet).
+///
+/// # Examples
+///
+/// ```
+/// use fcpn_petri::PlaceId;
+/// let p = PlaceId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlaceId(usize);
+
+/// Identifier of a transition within a [`PetriNet`](crate::PetriNet).
+///
+/// # Examples
+///
+/// ```
+/// use fcpn_petri::TransitionId;
+/// let t = TransitionId::new(0);
+/// assert_eq!(t.index(), 0);
+/// assert_eq!(t.to_string(), "t0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransitionId(usize);
+
+impl PlaceId {
+    /// Wraps a raw index as a place identifier.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        PlaceId(index)
+    }
+
+    /// Returns the dense index of this place.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl TransitionId {
+    /// Wraps a raw index as a transition identifier.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        TransitionId(index)
+    }
+
+    /// Returns the dense index of this transition.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<PlaceId> for usize {
+    fn from(id: PlaceId) -> usize {
+        id.index()
+    }
+}
+
+impl From<TransitionId> for usize {
+    fn from(id: TransitionId) -> usize {
+        id.index()
+    }
+}
+
+/// A node of the bipartite Petri-net graph: either a place or a transition.
+///
+/// Used by generic graph utilities (pre-set / post-set queries, DOT export).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeId {
+    /// A place node.
+    Place(PlaceId),
+    /// A transition node.
+    Transition(TransitionId),
+}
+
+impl NodeId {
+    /// Returns the place identifier if this node is a place.
+    pub fn as_place(self) -> Option<PlaceId> {
+        match self {
+            NodeId::Place(p) => Some(p),
+            NodeId::Transition(_) => None,
+        }
+    }
+
+    /// Returns the transition identifier if this node is a transition.
+    pub fn as_transition(self) -> Option<TransitionId> {
+        match self {
+            NodeId::Transition(t) => Some(t),
+            NodeId::Place(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Place(p) => write!(f, "{p}"),
+            NodeId::Transition(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<PlaceId> for NodeId {
+    fn from(p: PlaceId) -> Self {
+        NodeId::Place(p)
+    }
+}
+
+impl From<TransitionId> for NodeId {
+    fn from(t: TransitionId) -> Self {
+        NodeId::Transition(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_id_roundtrip() {
+        let p = PlaceId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(usize::from(p), 7);
+        assert_eq!(format!("{p}"), "p7");
+    }
+
+    #[test]
+    fn transition_id_roundtrip() {
+        let t = TransitionId::new(12);
+        assert_eq!(t.index(), 12);
+        assert_eq!(usize::from(t), 12);
+        assert_eq!(format!("{t}"), "t12");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(PlaceId::new(1) < PlaceId::new(2));
+        assert!(TransitionId::new(0) < TransitionId::new(5));
+    }
+
+    #[test]
+    fn node_id_projections() {
+        let n: NodeId = PlaceId::new(1).into();
+        assert_eq!(n.as_place(), Some(PlaceId::new(1)));
+        assert_eq!(n.as_transition(), None);
+        let m: NodeId = TransitionId::new(2).into();
+        assert_eq!(m.as_transition(), Some(TransitionId::new(2)));
+        assert_eq!(m.as_place(), None);
+        assert_eq!(format!("{n} {m}"), "p1 t2");
+    }
+}

@@ -1,0 +1,138 @@
+//! Graphviz DOT export of Petri-net graphs.
+
+use crate::{Marking, PetriNet};
+use std::fmt::Write as _;
+
+/// Options controlling DOT rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DotOptions {
+    /// Render arc weights greater than one as edge labels.
+    pub show_weights: bool,
+    /// Render the token count of marked places.
+    pub show_tokens: bool,
+}
+
+impl DotOptions {
+    /// Options that show both weights and tokens, the most common rendering.
+    pub fn verbose() -> Self {
+        DotOptions {
+            show_weights: true,
+            show_tokens: true,
+        }
+    }
+}
+
+/// Renders `net` (with an optional explicit marking, defaulting to the initial marking)
+/// as a Graphviz `digraph`: places are circles, transitions are boxes.
+///
+/// # Examples
+///
+/// ```
+/// use fcpn_petri::{NetBuilder, io::{to_dot, DotOptions}};
+///
+/// # fn main() -> Result<(), fcpn_petri::PetriError> {
+/// let mut b = NetBuilder::new("demo");
+/// let t = b.transition("t");
+/// let p = b.place("p", 1);
+/// b.arc_t_p(t, p, 2)?;
+/// let dot = to_dot(&b.build()?, None, DotOptions::verbose());
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("shape=circle"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(net: &PetriNet, marking: Option<&Marking>, options: DotOptions) -> String {
+    let marking = marking.unwrap_or(net.initial_marking());
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", net.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for p in net.places() {
+        let tokens = marking.tokens(p);
+        let label = if options.show_tokens && tokens > 0 {
+            format!("{}\\n{}", net.place_name(p), tokens)
+        } else {
+            net.place_name(p).to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=circle, label=\"{}\"];",
+            net.place_name(p),
+            label
+        );
+    }
+    for t in net.transitions() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, style=filled, fillcolor=lightgray];",
+            net.transition_name(t)
+        );
+    }
+    for t in net.transitions() {
+        for &(p, w) in net.inputs(t) {
+            let _ = write_edge(&mut out, net.place_name(p), net.transition_name(t), w, options);
+        }
+        for &(p, w) in net.outputs(t) {
+            let _ = write_edge(&mut out, net.transition_name(t), net.place_name(p), w, options);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn write_edge(
+    out: &mut String,
+    from: &str,
+    to: &str,
+    weight: u64,
+    options: DotOptions,
+) -> std::fmt::Result {
+    if options.show_weights && weight > 1 {
+        writeln!(out, "  \"{from}\" -> \"{to}\" [label=\"{weight}\"];")
+    } else {
+        writeln!(out, "  \"{from}\" -> \"{to}\";")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    fn net() -> PetriNet {
+        let mut b = NetBuilder::new("dot-test");
+        let t1 = b.transition("t1");
+        let p1 = b.place("p1", 2);
+        let t2 = b.transition("t2");
+        b.arc_t_p(t1, p1, 3).unwrap();
+        b.arc_p_t(p1, t2, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dot = to_dot(&net(), None, DotOptions::default());
+        assert!(dot.starts_with("digraph \"dot-test\""));
+        assert!(dot.contains("\"p1\" [shape=circle"));
+        assert!(dot.contains("\"t1\" [shape=box"));
+        assert!(dot.contains("\"t1\" -> \"p1\""));
+        assert!(dot.contains("\"p1\" -> \"t2\""));
+        // Weights hidden by default.
+        assert!(!dot.contains("label=\"3\""));
+    }
+
+    #[test]
+    fn verbose_options_show_weights_and_tokens() {
+        let dot = to_dot(&net(), None, DotOptions::verbose());
+        assert!(dot.contains("label=\"3\""));
+        assert!(dot.contains("p1\\n2"));
+    }
+
+    #[test]
+    fn explicit_marking_overrides_initial() {
+        let n = net();
+        let mut m = n.initial_marking().clone();
+        m.set(n.place_by_name("p1").unwrap(), 7);
+        let dot = to_dot(&n, Some(&m), DotOptions::verbose());
+        assert!(dot.contains("p1\\n7"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Import/export of nets: Graphviz DOT rendering and a small textual format.
+
+mod dot;
+mod text;
+
+pub use dot::{to_dot, DotOptions};
+pub use text::{parse_net, to_text};

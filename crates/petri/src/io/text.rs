@@ -1,0 +1,244 @@
+//! A small line-oriented textual format for nets, round-trippable with the builder.
+//!
+//! Grammar (one statement per line, `#` starts a comment):
+//!
+//! ```text
+//! net <name>
+//! place <name> [tokens]
+//! transition <name>
+//! arc <from> -> <to> [weight]
+//! ```
+//!
+//! Arcs must connect a place to a transition or vice versa; the node kind is inferred from
+//! the earlier declarations.
+
+use crate::{NetBuilder, PetriError, PetriNet, Result};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeKind {
+    Place(crate::PlaceId),
+    Transition(crate::TransitionId),
+}
+
+/// Parses the textual net format.
+///
+/// # Errors
+///
+/// Returns [`PetriError::Parse`] with the offending line number for any syntactic or
+/// referential problem, and propagates builder errors (duplicate names, zero weights).
+pub fn parse_net(input: &str) -> Result<PetriNet> {
+    let mut name = String::from("net");
+    let mut builder: Option<NetBuilder> = None;
+    let mut nodes: HashMap<String, NodeKind> = HashMap::new();
+    let mut pending_arcs: Vec<(usize, String, String, u64)> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().unwrap_or("");
+        let lineno = lineno + 1;
+        match keyword {
+            "net" => {
+                name = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing net name"))?
+                    .to_string();
+                builder = Some(NetBuilder::new(name.clone()));
+            }
+            "place" => {
+                let b = builder.get_or_insert_with(|| NetBuilder::new(name.clone()));
+                let pname = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing place name"))?;
+                let tokens: u64 = match parts.next() {
+                    Some(tok) => tok
+                        .parse()
+                        .map_err(|_| parse_err(lineno, "invalid token count"))?,
+                    None => 0,
+                };
+                let id = b.place(pname, tokens);
+                nodes.insert(pname.to_string(), NodeKind::Place(id));
+            }
+            "transition" => {
+                let b = builder.get_or_insert_with(|| NetBuilder::new(name.clone()));
+                let tname = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing transition name"))?;
+                let id = b.transition(tname);
+                nodes.insert(tname.to_string(), NodeKind::Transition(id));
+            }
+            "arc" => {
+                let from = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing arc source"))?;
+                let arrow = parts.next();
+                if arrow != Some("->") {
+                    return Err(parse_err(lineno, "expected `->` between arc endpoints"));
+                }
+                let to = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing arc target"))?;
+                let weight: u64 = match parts.next() {
+                    Some(w) => w
+                        .parse()
+                        .map_err(|_| parse_err(lineno, "invalid arc weight"))?,
+                    None => 1,
+                };
+                pending_arcs.push((lineno, from.to_string(), to.to_string(), weight));
+            }
+            other => {
+                return Err(parse_err(lineno, &format!("unknown keyword `{other}`")));
+            }
+        }
+    }
+
+    let mut builder = builder.unwrap_or_else(|| NetBuilder::new(name));
+    for (lineno, from, to, weight) in pending_arcs {
+        let from_kind = nodes
+            .get(&from)
+            .ok_or_else(|| parse_err(lineno, &format!("unknown node `{from}`")))?;
+        let to_kind = nodes
+            .get(&to)
+            .ok_or_else(|| parse_err(lineno, &format!("unknown node `{to}`")))?;
+        match (from_kind, to_kind) {
+            (NodeKind::Place(p), NodeKind::Transition(t)) => builder.arc_p_t(*p, *t, weight)?,
+            (NodeKind::Transition(t), NodeKind::Place(p)) => builder.arc_t_p(*t, *p, weight)?,
+            _ => {
+                return Err(parse_err(
+                    lineno,
+                    "arcs must connect a place and a transition",
+                ))
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Serialises `net` back to the textual format accepted by [`parse_net`].
+pub fn to_text(net: &PetriNet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "net {}", net.name());
+    for p in net.places() {
+        let tokens = net.initial_marking().tokens(p);
+        if tokens > 0 {
+            let _ = writeln!(out, "place {} {}", net.place_name(p), tokens);
+        } else {
+            let _ = writeln!(out, "place {}", net.place_name(p));
+        }
+    }
+    for t in net.transitions() {
+        let _ = writeln!(out, "transition {}", net.transition_name(t));
+    }
+    for t in net.transitions() {
+        for &(p, w) in net.inputs(t) {
+            if w > 1 {
+                let _ = writeln!(out, "arc {} -> {} {}", net.place_name(p), net.transition_name(t), w);
+            } else {
+                let _ = writeln!(out, "arc {} -> {}", net.place_name(p), net.transition_name(t));
+            }
+        }
+        for &(p, w) in net.outputs(t) {
+            if w > 1 {
+                let _ = writeln!(out, "arc {} -> {} {}", net.transition_name(t), net.place_name(p), w);
+            } else {
+                let _ = writeln!(out, "arc {} -> {}", net.transition_name(t), net.place_name(p));
+            }
+        }
+    }
+    out
+}
+
+fn parse_err(line: usize, message: &str) -> PetriError {
+    PetriError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE4: &str = "
+        net figure4
+        transition t1
+        place p1        # choice place
+        transition t2
+        transition t3
+        place p2
+        place p3
+        transition t4
+        transition t5
+        arc t1 -> p1
+        arc p1 -> t2
+        arc p1 -> t3
+        arc t2 -> p2
+        arc p2 -> t4 2
+        arc t3 -> p3 2
+        arc p3 -> t5
+    ";
+
+    #[test]
+    fn parses_figure4() {
+        let net = parse_net(FIGURE4).unwrap();
+        assert_eq!(net.name(), "figure4");
+        assert_eq!(net.place_count(), 3);
+        assert_eq!(net.transition_count(), 5);
+        let p2 = net.place_by_name("p2").unwrap();
+        let t4 = net.transition_by_name("t4").unwrap();
+        assert_eq!(net.arc_weight_pt(p2, t4), 2);
+        assert!(net.is_free_choice());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let net = parse_net(FIGURE4).unwrap();
+        let text = to_text(&net);
+        let again = parse_net(&text).unwrap();
+        assert_eq!(net.place_count(), again.place_count());
+        assert_eq!(net.transition_count(), again.transition_count());
+        assert_eq!(net.arc_count(), again.arc_count());
+        assert_eq!(net.initial_marking(), again.initial_marking());
+    }
+
+    #[test]
+    fn tokens_are_parsed() {
+        let net = parse_net("net m\nplace p 5\ntransition t\narc p -> t").unwrap();
+        assert_eq!(net.initial_marking().total_tokens(), 5);
+    }
+
+    #[test]
+    fn unknown_keyword_is_rejected_with_line() {
+        let err = parse_net("net x\nfoo bar").unwrap_err();
+        match err {
+            PetriError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("foo"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arc_between_two_places_is_rejected() {
+        let err = parse_net("net x\nplace a\nplace b\narc a -> b").unwrap_err();
+        assert!(matches!(err, PetriError::Parse { line: 4, .. }));
+    }
+
+    #[test]
+    fn arc_to_unknown_node_is_rejected() {
+        let err = parse_net("net x\nplace a\narc a -> ghost").unwrap_err();
+        assert!(matches!(err, PetriError::Parse { .. }));
+    }
+
+    #[test]
+    fn missing_arrow_is_rejected() {
+        let err = parse_net("net x\nplace a\ntransition t\narc a t").unwrap_err();
+        assert!(matches!(err, PetriError::Parse { line: 4, .. }));
+    }
+}

@@ -1,0 +1,74 @@
+//! # fcpn-petri — Petri-net kernel for quasi-static scheduling
+//!
+//! This crate is the substrate of the reproduction of *Synthesis of Embedded Software
+//! Using Free-Choice Petri Nets* (Sgroi, Lavagno, Watanabe, Sangiovanni-Vincentelli,
+//! DAC 1999). It provides:
+//!
+//! * weighted Petri nets `(P, T, F)` with an initial marking ([`PetriNet`],
+//!   [`NetBuilder`], [`Marking`]);
+//! * the token game: enabledness, firing, firing sequences and finite complete cycles;
+//! * structural analysis: incidence matrices, T-/P-invariants via the Farkas algorithm,
+//!   consistency, net-class classification (marked graph / conflict free / free choice)
+//!   and the Equal Conflict Relation ([`analysis`]);
+//! * behavioural analysis: budgeted reachability, boundedness (with unboundedness
+//!   witnesses), deadlock and liveness checks ([`analysis`]);
+//! * import/export: Graphviz DOT and a small textual format ([`io`]);
+//! * the nets of the paper's figures, reconstructed for tests and benchmarks
+//!   ([`gallery`]).
+//!
+//! # Quick example
+//!
+//! The multirate chain of Figure 2 of the paper and its repetition vector:
+//!
+//! ```
+//! use fcpn_petri::{gallery, analysis::InvariantAnalysis};
+//!
+//! let net = gallery::figure2();
+//! let invariants = InvariantAnalysis::of(&net);
+//! assert_eq!(invariants.t_semiflows[0].vector, vec![4, 2, 1]);
+//! ```
+//!
+//! Higher layers live in the companion crates: `fcpn-sdf` (static scheduling of marked
+//! graphs), `fcpn-qss` (quasi-static scheduling of FCPNs), `fcpn-codegen` (C code
+//! synthesis), `fcpn-rtos` (run-time simulation) and `fcpn-atm` (the ATM-server case
+//! study).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod builder;
+mod error;
+mod firing;
+pub mod gallery;
+mod ids;
+pub mod io;
+mod marking;
+mod net;
+
+pub use builder::NetBuilder;
+pub use error::{PetriError, Result};
+pub use ids::{NodeId, PlaceId, TransitionId};
+pub use marking::Marking;
+pub use net::{NetStats, PetriNet, Place, SubnetMap, Transition};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PetriNet>();
+        assert_send_sync::<Marking>();
+        assert_send_sync::<PetriError>();
+        assert_send_sync::<NetBuilder>();
+    }
+
+    #[test]
+    fn crate_level_example_compiles() {
+        let net = gallery::figure2();
+        assert_eq!(net.transition_count(), 3);
+    }
+}

@@ -1,0 +1,261 @@
+//! Markings: token distributions over the places of a net.
+
+use crate::{PetriError, PlaceId, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A marking assigns a non-negative number of tokens to every place of a net.
+///
+/// The marking is stored densely, indexed by [`PlaceId`]. A marking is only meaningful
+/// together with the [`PetriNet`](crate::PetriNet) whose places it describes; the net's
+/// firing methods check the length on entry.
+///
+/// # Examples
+///
+/// ```
+/// use fcpn_petri::{Marking, PlaceId};
+/// let mut m = Marking::zeroes(3);
+/// m.set(PlaceId::new(1), 2);
+/// assert_eq!(m.tokens(PlaceId::new(1)), 2);
+/// assert_eq!(m.total_tokens(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Marking {
+    tokens: Vec<u64>,
+}
+
+impl Marking {
+    /// Creates a marking with `places` places, all empty.
+    pub fn zeroes(places: usize) -> Self {
+        Marking {
+            tokens: vec![0; places],
+        }
+    }
+
+    /// Creates a marking from an explicit token vector.
+    pub fn from_vec(tokens: Vec<u64>) -> Self {
+        Marking { tokens }
+    }
+
+    /// Number of places covered by this marking.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Returns `true` if the marking covers zero places.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Tokens currently in `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range for this marking.
+    pub fn tokens(&self, place: PlaceId) -> u64 {
+        self.tokens[place.index()]
+    }
+
+    /// Sets the token count of `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range for this marking.
+    pub fn set(&mut self, place: PlaceId, count: u64) {
+        self.tokens[place.index()] = count;
+    }
+
+    /// Adds `count` tokens to `place`, reporting overflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::TokenOverflow`] if the place count would exceed `u64::MAX`.
+    pub fn add(&mut self, place: PlaceId, count: u64) -> Result<()> {
+        let slot = &mut self.tokens[place.index()];
+        *slot = slot
+            .checked_add(count)
+            .ok_or(PetriError::TokenOverflow(place))?;
+        Ok(())
+    }
+
+    /// Removes `count` tokens from `place`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::StructuralViolation`] if fewer than `count` tokens are present.
+    pub fn remove(&mut self, place: PlaceId, count: u64) -> Result<()> {
+        let slot = &mut self.tokens[place.index()];
+        *slot = slot.checked_sub(count).ok_or_else(|| {
+            PetriError::StructuralViolation(format!(
+                "cannot remove {count} tokens from {place} holding {slot}"
+            ))
+        })?;
+        Ok(())
+    }
+
+    /// Total number of tokens across all places.
+    pub fn total_tokens(&self) -> u64 {
+        self.tokens.iter().sum()
+    }
+
+    /// Largest per-place token count (useful for k-boundedness reporting).
+    pub fn max_tokens(&self) -> u64 {
+        self.tokens.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Returns `true` if every place holds at least as many tokens as in `other`.
+    ///
+    /// This is the component-wise `>=` used by coverability-style unboundedness
+    /// detection: if a path leads from `other` to a strictly larger `self`, the pumped
+    /// suffix can repeat forever and the net is unbounded along that path.
+    pub fn covers(&self, other: &Marking) -> bool {
+        self.tokens.len() == other.tokens.len()
+            && self
+                .tokens
+                .iter()
+                .zip(other.tokens.iter())
+                .all(|(a, b)| a >= b)
+    }
+
+    /// Returns `true` if `self` covers `other` and holds strictly more tokens in some place.
+    pub fn strictly_covers(&self, other: &Marking) -> bool {
+        self.covers(other) && self.tokens != other.tokens
+    }
+
+    /// Iterates over `(place, tokens)` pairs, including empty places.
+    pub fn iter(&self) -> impl Iterator<Item = (PlaceId, u64)> + '_ {
+        self.tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (PlaceId::new(i), k))
+    }
+
+    /// Iterates over the places currently holding at least one token.
+    pub fn marked_places(&self) -> impl Iterator<Item = (PlaceId, u64)> + '_ {
+        self.iter().filter(|&(_, k)| k > 0)
+    }
+
+    /// Exposes the underlying token vector.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.tokens
+    }
+
+    /// Consumes the marking and returns the underlying token vector.
+    pub fn into_vec(self) -> Vec<u64> {
+        self.tokens
+    }
+}
+
+impl Index<PlaceId> for Marking {
+    type Output = u64;
+
+    fn index(&self, place: PlaceId) -> &u64 {
+        &self.tokens[place.index()]
+    }
+}
+
+impl IndexMut<PlaceId> for Marking {
+    fn index_mut(&mut self, place: PlaceId) -> &mut u64 {
+        &mut self.tokens[place.index()]
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, k) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<u64>> for Marking {
+    fn from(tokens: Vec<u64>) -> Self {
+        Marking::from_vec(tokens)
+    }
+}
+
+impl FromIterator<u64> for Marking {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Marking {
+            tokens: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Marking::zeroes(4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.total_tokens(), 0);
+        m.set(PlaceId::new(2), 5);
+        assert_eq!(m[PlaceId::new(2)], 5);
+        m[PlaceId::new(0)] = 1;
+        assert_eq!(m.total_tokens(), 6);
+        assert_eq!(m.max_tokens(), 5);
+    }
+
+    #[test]
+    fn add_and_remove() {
+        let mut m = Marking::from_vec(vec![1, 0]);
+        m.add(PlaceId::new(1), 3).unwrap();
+        assert_eq!(m.tokens(PlaceId::new(1)), 3);
+        m.remove(PlaceId::new(1), 2).unwrap();
+        assert_eq!(m.tokens(PlaceId::new(1)), 1);
+        assert!(m.remove(PlaceId::new(1), 5).is_err());
+    }
+
+    #[test]
+    fn add_overflow_is_reported() {
+        let mut m = Marking::from_vec(vec![u64::MAX]);
+        let err = m.add(PlaceId::new(0), 1).unwrap_err();
+        assert_eq!(err, PetriError::TokenOverflow(PlaceId::new(0)));
+    }
+
+    #[test]
+    fn covering_relation() {
+        let a = Marking::from_vec(vec![1, 2, 0]);
+        let b = Marking::from_vec(vec![1, 1, 0]);
+        assert!(a.covers(&b));
+        assert!(a.strictly_covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.covers(&a));
+        assert!(!a.strictly_covers(&a));
+        let c = Marking::from_vec(vec![1, 1]);
+        assert!(!a.covers(&c));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let m = Marking::from_vec(vec![0, 0]);
+        assert_eq!(m.to_string(), "(0, 0)");
+        let m = Marking::from_vec(vec![4, 2, 1]);
+        assert_eq!(m.to_string(), "(4, 2, 1)");
+    }
+
+    #[test]
+    fn marked_places_skips_empty() {
+        let m = Marking::from_vec(vec![0, 3, 0, 1]);
+        let marked: Vec<_> = m.marked_places().collect();
+        assert_eq!(
+            marked,
+            vec![(PlaceId::new(1), 3), (PlaceId::new(3), 1)]
+        );
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: Marking = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(m.as_slice(), &[1, 2, 3]);
+        assert_eq!(m.clone().into_vec(), vec![1, 2, 3]);
+    }
+}

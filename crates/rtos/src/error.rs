@@ -1,0 +1,63 @@
+//! Errors reported by the run-time simulator.
+
+use fcpn_codegen::CodegenError;
+use fcpn_petri::TransitionId;
+use std::fmt;
+
+/// Errors produced while building workloads or simulating task execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtosError {
+    /// An event refers to a source transition that no synthesised task is bound to.
+    UnboundSource(TransitionId),
+    /// The workload is empty, so there is nothing to simulate.
+    EmptyWorkload,
+    /// Executing a generated task failed (e.g. a counter underflow).
+    Execution(CodegenError),
+}
+
+impl fmt::Display for RtosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtosError::UnboundSource(t) => {
+                write!(f, "no task is bound to source transition {t}")
+            }
+            RtosError::EmptyWorkload => write!(f, "workload contains no events"),
+            RtosError::Execution(e) => write!(f, "task execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RtosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtosError::Execution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodegenError> for RtosError {
+    fn from(e: CodegenError) -> Self {
+        RtosError::Execution(e)
+    }
+}
+
+/// Result alias for the crate.
+pub type Result<T, E = RtosError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RtosError::EmptyWorkload.to_string().contains("no events"));
+        assert!(RtosError::UnboundSource(TransitionId::new(2))
+            .to_string()
+            .contains("t2"));
+        let e: RtosError = CodegenError::EmptySchedule.into();
+        assert!(e.to_string().contains("task execution failed"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

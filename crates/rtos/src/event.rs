@@ -1,0 +1,157 @@
+//! Workloads: timed streams of environment events that activate tasks.
+//!
+//! The paper's ATM example has two inputs: `Cell`, an interrupt arriving at irregular
+//! times, and `Tick`, a strictly periodic event. Both are represented here as sequences
+//! of [`Event`]s tagged with the source transition they fire.
+
+use fcpn_petri::TransitionId;
+
+/// One environment event: at `time`, the input modelled by `source` occurs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// Occurrence time in abstract time units (monotone within a workload).
+    pub time: u64,
+    /// The source transition of the net this event fires.
+    pub source: TransitionId,
+}
+
+/// A timed sequence of events, sorted by time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Workload {
+    events: Vec<Event>,
+}
+
+impl Workload {
+    /// Creates an empty workload.
+    pub fn new() -> Self {
+        Workload::default()
+    }
+
+    /// Creates a workload from explicit events (they are sorted by time).
+    pub fn from_events(mut events: Vec<Event>) -> Self {
+        events.sort();
+        Workload { events }
+    }
+
+    /// A strictly periodic stream: `count` events for `source`, one every `period` time
+    /// units starting at `offset`.
+    pub fn periodic(source: TransitionId, period: u64, count: usize, offset: u64) -> Self {
+        let events = (0..count)
+            .map(|i| Event {
+                time: offset + period * i as u64,
+                source,
+            })
+            .collect();
+        Workload { events }
+    }
+
+    /// An irregular stream: `count` events whose inter-arrival times are produced by the
+    /// caller-supplied iterator (e.g. drawn from a random distribution).
+    pub fn irregular<I>(source: TransitionId, interarrivals: I, count: usize, offset: u64) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut time = offset;
+        let mut events = Vec::with_capacity(count);
+        for gap in interarrivals.into_iter().take(count) {
+            time += gap;
+            events.push(Event { time, source });
+        }
+        Workload { events }
+    }
+
+    /// Merges two workloads, preserving global time order.
+    pub fn merge(mut self, other: Workload) -> Self {
+        self.events.extend(other.events);
+        self.events.sort();
+        self
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the workload has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events attributed to `source`.
+    pub fn count_for(&self, source: TransitionId) -> usize {
+        self.events.iter().filter(|e| e.source == source).count()
+    }
+
+    /// Time of the last event, or 0 for an empty workload.
+    pub fn horizon(&self) -> u64 {
+        self.events.last().map(|e| e.time).unwrap_or(0)
+    }
+}
+
+impl FromIterator<Event> for Workload {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Workload::from_events(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC_A: TransitionId = TransitionId::new(0);
+    const SRC_B: TransitionId = TransitionId::new(1);
+
+    #[test]
+    fn periodic_stream_is_evenly_spaced() {
+        let w = Workload::periodic(SRC_A, 10, 5, 3);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.events()[0].time, 3);
+        assert_eq!(w.events()[4].time, 43);
+        assert_eq!(w.horizon(), 43);
+        assert_eq!(w.count_for(SRC_A), 5);
+        assert_eq!(w.count_for(SRC_B), 0);
+    }
+
+    #[test]
+    fn irregular_stream_accumulates_gaps() {
+        let w = Workload::irregular(SRC_B, [5u64, 1, 7], 3, 0);
+        let times: Vec<u64> = w.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![5, 6, 13]);
+    }
+
+    #[test]
+    fn merge_keeps_time_order() {
+        let a = Workload::periodic(SRC_A, 10, 3, 0);
+        let b = Workload::irregular(SRC_B, [4u64, 4, 4], 3, 0);
+        let merged = a.merge(b);
+        assert_eq!(merged.len(), 6);
+        let times: Vec<u64> = merged.events().iter().map(|e| e.time).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn from_events_sorts() {
+        let w: Workload = vec![
+            Event { time: 9, source: SRC_A },
+            Event { time: 1, source: SRC_B },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(w.events()[0].time, 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::new();
+        assert!(w.is_empty());
+        assert_eq!(w.horizon(), 0);
+    }
+}

@@ -1,0 +1,456 @@
+//! The run-time simulator: executes an implementation against a workload and accounts
+//! clock cycles.
+//!
+//! Two implementation styles can be simulated, matching the two rows of the paper's
+//! Table I:
+//!
+//! * [`simulate_program`] runs a quasi-statically scheduled [`fcpn_codegen::Program`]
+//!   (one task per independent-rate input);
+//! * [`simulate_functional_partition`] runs a *functional task partitioning* baseline,
+//!   where every functional module of the specification is its own RTOS task and tokens
+//!   crossing module boundaries go through communication queues.
+//!
+//! Both charge costs from the same [`CostModel`], so the comparison isolates the effect
+//! of the task structure: fewer tasks ⇒ fewer activations and queue transfers ⇒ fewer
+//! cycles.
+
+use crate::{CostModel, Event, Result, RtosError, Workload};
+use fcpn_codegen::{ChoiceResolver, Interpreter, Program};
+use fcpn_petri::{Marking, PetriNet, TransitionId};
+
+/// Per-task accounting of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskActivation {
+    /// Task name.
+    pub name: String,
+    /// Number of times the RTOS activated the task.
+    pub activations: u64,
+    /// Cycles spent inside the task (including its activation overhead).
+    pub cycles: u64,
+}
+
+/// Result of simulating an implementation over a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Total clock cycles charged.
+    pub total_cycles: u64,
+    /// Number of workload events processed.
+    pub events_processed: usize,
+    /// Total task activations (the count the activation overhead was paid for).
+    pub activations: u64,
+    /// Per-task breakdown.
+    pub per_task: Vec<TaskActivation>,
+    /// How many times each transition of the net fired.
+    pub fire_counts: Vec<u64>,
+    /// Largest number of buffered tokens (or counter values) observed at any instant.
+    pub peak_buffer_tokens: u64,
+}
+
+impl SimReport {
+    /// Fires of a specific transition.
+    pub fn fires_of(&self, transition: TransitionId) -> u64 {
+        self.fire_counts[transition.index()]
+    }
+
+    /// Average cycles per event.
+    pub fn cycles_per_event(&self) -> f64 {
+        if self.events_processed == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.events_processed as f64
+        }
+    }
+}
+
+/// Simulates the quasi-statically scheduled implementation: every workload event activates
+/// the synthesised task bound to its source transition.
+///
+/// # Errors
+///
+/// * [`RtosError::EmptyWorkload`] when there are no events.
+/// * [`RtosError::UnboundSource`] when an event's source has no task.
+/// * [`RtosError::Execution`] when the generated code misbehaves (counter underflow).
+pub fn simulate_program<R: ChoiceResolver + ?Sized>(
+    program: &Program,
+    net: &PetriNet,
+    cost: &CostModel,
+    workload: &Workload,
+    resolver: &mut R,
+) -> Result<SimReport> {
+    if workload.is_empty() {
+        return Err(RtosError::EmptyWorkload);
+    }
+    let mut interpreter = Interpreter::new(program, net);
+    let mut per_task: Vec<TaskActivation> = program
+        .tasks
+        .iter()
+        .map(|t| TaskActivation {
+            name: t.name.clone(),
+            activations: 0,
+            cycles: 0,
+        })
+        .collect();
+    let mut total_cycles = 0u64;
+    let mut activations = 0u64;
+
+    for &Event { source, .. } in workload.events() {
+        let task_index = program
+            .tasks
+            .iter()
+            .position(|t| t.source == Some(source))
+            .ok_or(RtosError::UnboundSource(source))?;
+        let trace = interpreter.run_task(task_index, resolver)?;
+        let mut cycles = cost.activation_overhead;
+        for &fired in &trace.fired {
+            cycles += cost.transition_cost(fired);
+            if net
+                .inputs(fired)
+                .iter()
+                .any(|&(p, _)| net.is_choice_place(p))
+            {
+                cycles += cost.choice_cost;
+            }
+        }
+        per_task[task_index].activations += 1;
+        per_task[task_index].cycles += cycles;
+        activations += 1;
+        total_cycles += cycles;
+    }
+
+    let peak_buffer_tokens = interpreter
+        .peak_counters()
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(0) as u64;
+    Ok(SimReport {
+        total_cycles,
+        events_processed: workload.len(),
+        activations,
+        per_task,
+        fire_counts: interpreter.fire_counts().to_vec(),
+        peak_buffer_tokens,
+    })
+}
+
+/// A functional task of the baseline partitioning: a named group of transitions (one of
+/// the specification's modules) implemented as its own RTOS task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalTask {
+    /// Module/task name.
+    pub name: String,
+    /// The transitions implemented by this task.
+    pub transitions: Vec<TransitionId>,
+}
+
+/// Simulates the functional-partitioning baseline directly on the token game of the net:
+/// every event fires its source transition, then enabled transitions are executed to
+/// quiescence. Each time control moves to a different functional task the RTOS activation
+/// overhead is paid, and every token crossing a task boundary pays the queue-transfer
+/// cost.
+///
+/// # Errors
+///
+/// * [`RtosError::EmptyWorkload`] when there are no events.
+/// * [`RtosError::UnboundSource`] when an event's source transition belongs to no task.
+pub fn simulate_functional_partition<R: ChoiceResolver + ?Sized>(
+    net: &PetriNet,
+    tasks: &[FunctionalTask],
+    cost: &CostModel,
+    workload: &Workload,
+    resolver: &mut R,
+) -> Result<SimReport> {
+    if workload.is_empty() {
+        return Err(RtosError::EmptyWorkload);
+    }
+    // Map every transition to its owning task.
+    let mut owner = vec![usize::MAX; net.transition_count()];
+    for (index, task) in tasks.iter().enumerate() {
+        for &t in &task.transitions {
+            owner[t.index()] = index;
+        }
+    }
+    for t in net.transitions() {
+        if owner[t.index()] == usize::MAX && net.is_source_transition(t) {
+            return Err(RtosError::UnboundSource(t));
+        }
+    }
+
+    let mut per_task: Vec<TaskActivation> = tasks
+        .iter()
+        .map(|t| TaskActivation {
+            name: t.name.clone(),
+            activations: 0,
+            cycles: 0,
+        })
+        .collect();
+    let mut marking: Marking = net.initial_marking().clone();
+    let mut fire_counts = vec![0u64; net.transition_count()];
+    let mut total_cycles = 0u64;
+    let mut activations = 0u64;
+    let mut peak_buffer_tokens = marking.total_tokens();
+
+    for &Event { source, .. } in workload.events() {
+        let mut current_task: Option<usize> = None;
+        let mut fire = |t: TransitionId,
+                        marking: &mut Marking,
+                        current_task: &mut Option<usize>,
+                        per_task: &mut Vec<TaskActivation>|
+         -> Result<u64> {
+            let task = owner[t.index()];
+            let mut cycles = 0;
+            if *current_task != Some(task) {
+                cycles += cost.activation_overhead;
+                activations += 1;
+                per_task[task].activations += 1;
+                *current_task = Some(task);
+            }
+            cycles += cost.transition_cost(t);
+            if net.inputs(t).iter().any(|&(p, _)| net.is_choice_place(p)) {
+                cycles += cost.choice_cost;
+            }
+            net.fire(marking, t)
+                .map_err(|e| RtosError::Execution(fcpn_codegen::CodegenError::Petri(e)))?;
+            // Tokens produced into places consumed by a *different* task go through an
+            // inter-task queue.
+            for &(place, produced) in net.outputs(t) {
+                let crosses = net
+                    .consumers(place)
+                    .iter()
+                    .any(|&(consumer, _)| owner[consumer.index()] != task);
+                if crosses {
+                    cycles += cost.queue_transfer_cost * produced;
+                }
+            }
+            fire_counts[t.index()] += 1;
+            per_task[task].cycles += cycles;
+            Ok(cycles)
+        };
+
+        // The event fires its source transition, then the cascade runs to quiescence.
+        total_cycles += fire(source, &mut marking, &mut current_task, &mut per_task)?;
+        peak_buffer_tokens = peak_buffer_tokens.max(marking.total_tokens());
+        loop {
+            let enabled: Vec<TransitionId> = net
+                .transitions()
+                .filter(|&t| !net.is_source_transition(t) && net.is_enabled(&marking, t))
+                .collect();
+            if enabled.is_empty() {
+                break;
+            }
+            // Resolve data-dependent choices through the same resolver the QSS
+            // implementation uses, so both simulations see the same data.
+            let next = {
+                let choice = enabled.iter().copied().find(|&t| {
+                    net.inputs(t).iter().any(|&(p, _)| net.is_choice_place(p))
+                });
+                match choice {
+                    Some(conflicted) => {
+                        let place = net
+                            .inputs(conflicted)
+                            .iter()
+                            .map(|&(p, _)| p)
+                            .find(|&p| net.is_choice_place(p))
+                            .expect("conflicted transition has a choice input");
+                        let candidates: Vec<TransitionId> = net
+                            .consumers(place)
+                            .iter()
+                            .map(|&(t, _)| t)
+                            .filter(|t| enabled.contains(t))
+                            .collect();
+                        resolver.resolve(place, &candidates)
+                    }
+                    None => enabled[0],
+                }
+            };
+            total_cycles += fire(next, &mut marking, &mut current_task, &mut per_task)?;
+            peak_buffer_tokens = peak_buffer_tokens.max(marking.total_tokens());
+        }
+    }
+
+    Ok(SimReport {
+        total_cycles,
+        events_processed: workload.len(),
+        activations,
+        per_task,
+        fire_counts,
+        peak_buffer_tokens,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcpn_codegen::{synthesize, FixedResolver, RoundRobinResolver, SynthesisOptions};
+    use fcpn_petri::gallery;
+    use fcpn_qss::{quasi_static_schedule, QssOptions};
+
+    fn program_for(net: &PetriNet) -> Program {
+        let schedule = quasi_static_schedule(net, &QssOptions::default())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        synthesize(net, &schedule, SynthesisOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn qss_simulation_counts_events_and_cycles() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let t1 = net.transition_by_name("t1").unwrap();
+        let workload = Workload::periodic(t1, 10, 20, 0);
+        let mut resolver = RoundRobinResolver::default();
+        let report = simulate_program(
+            &program,
+            &net,
+            &CostModel::default(),
+            &workload,
+            &mut resolver,
+        )
+        .unwrap();
+        assert_eq!(report.events_processed, 20);
+        assert_eq!(report.activations, 20);
+        assert_eq!(report.fires_of(t1), 20);
+        assert!(report.total_cycles >= 20 * CostModel::default().activation_overhead);
+        assert!(report.cycles_per_event() > 0.0);
+        assert_eq!(report.per_task.len(), 1);
+        assert_eq!(report.per_task[0].activations, 20);
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let mut resolver = FixedResolver::default();
+        assert_eq!(
+            simulate_program(
+                &program,
+                &net,
+                &CostModel::default(),
+                &Workload::new(),
+                &mut resolver
+            )
+            .unwrap_err(),
+            RtosError::EmptyWorkload
+        );
+    }
+
+    #[test]
+    fn unbound_event_source_is_rejected() {
+        let net = gallery::figure5();
+        let program = program_for(&net);
+        // Build a workload firing a non-source transition (t2): no task is bound to it.
+        let t2 = net.transition_by_name("t2").unwrap();
+        let workload = Workload::periodic(t2, 5, 3, 0);
+        let mut resolver = FixedResolver::default();
+        assert_eq!(
+            simulate_program(
+                &program,
+                &net,
+                &CostModel::default(),
+                &workload,
+                &mut resolver
+            )
+            .unwrap_err(),
+            RtosError::UnboundSource(t2)
+        );
+    }
+
+    #[test]
+    fn functional_partition_pays_more_overhead_than_qss() {
+        // Figure 5 with both inputs active: QSS (2 tasks) vs a per-module partitioning
+        // (each pipeline stage its own task).
+        let net = gallery::figure5();
+        let program = program_for(&net);
+        let by_name = |n: &str| net.transition_by_name(n).unwrap();
+        let t1 = by_name("t1");
+        let t8 = by_name("t8");
+        let workload = Workload::periodic(t1, 10, 50, 0)
+            .merge(Workload::periodic(t8, 25, 20, 3));
+        let cost = CostModel::default();
+
+        let mut qss_resolver = RoundRobinResolver::default();
+        let qss = simulate_program(&program, &net, &cost, &workload, &mut qss_resolver).unwrap();
+
+        let tasks = vec![
+            FunctionalTask {
+                name: "input".into(),
+                transitions: vec![t1, by_name("t2"), by_name("t3")],
+            },
+            FunctionalTask {
+                name: "branch1".into(),
+                transitions: vec![by_name("t4")],
+            },
+            FunctionalTask {
+                name: "branch2".into(),
+                transitions: vec![by_name("t5"), by_name("t7")],
+            },
+            FunctionalTask {
+                name: "output".into(),
+                transitions: vec![by_name("t6")],
+            },
+            FunctionalTask {
+                name: "tick".into(),
+                transitions: vec![t8, by_name("t9")],
+            },
+        ];
+        let mut func_resolver = RoundRobinResolver::default();
+        let functional = simulate_functional_partition(
+            &net,
+            &tasks,
+            &cost,
+            &workload,
+            &mut func_resolver,
+        )
+        .unwrap();
+
+        assert_eq!(functional.events_processed, qss.events_processed);
+        // The shape of Table I: more tasks -> more activations -> more cycles.
+        assert!(functional.activations > qss.activations);
+        assert!(functional.total_cycles > qss.total_cycles);
+    }
+
+    #[test]
+    fn functional_partition_requires_sources_to_be_owned() {
+        let net = gallery::figure5();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let tasks = vec![FunctionalTask {
+            name: "only-t1".into(),
+            transitions: vec![t1],
+        }];
+        let workload = Workload::periodic(t1, 10, 5, 0);
+        let mut resolver = FixedResolver::default();
+        let err = simulate_functional_partition(
+            &net,
+            &tasks,
+            &CostModel::default(),
+            &workload,
+            &mut resolver,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtosError::UnboundSource(_)));
+    }
+
+    #[test]
+    fn both_simulators_agree_on_fire_counts() {
+        // With the same workload and the same (deterministic) choice policy, the QSS
+        // implementation and the functional baseline perform the same computations; only
+        // the overhead differs.
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let t1 = net.transition_by_name("t1").unwrap();
+        let workload = Workload::periodic(t1, 7, 30, 0);
+        let cost = CostModel::default();
+        let mut r1 = FixedResolver { arm: 0 };
+        let qss = simulate_program(&program, &net, &cost, &workload, &mut r1).unwrap();
+        let tasks = vec![FunctionalTask {
+            name: "all".into(),
+            transitions: net.transitions().collect(),
+        }];
+        let mut r2 = FixedResolver { arm: 0 };
+        let func =
+            simulate_functional_partition(&net, &tasks, &cost, &workload, &mut r2).unwrap();
+        assert_eq!(qss.fire_counts, func.fire_counts);
+    }
+}

@@ -1,0 +1,102 @@
+//! Errors reported by the static scheduler.
+
+use fcpn_petri::{PetriError, TransitionId};
+use std::fmt;
+
+/// Errors produced while building SDF graphs or computing static schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SdfError {
+    /// The graph's balance equations only admit the trivial all-zero solution, so no
+    /// repetition vector exists (the graph has inconsistent sample rates).
+    InconsistentRates,
+    /// The graph (or net) contains no actors/transitions.
+    Empty,
+    /// A deadlock was reached while simulating the candidate schedule: the remaining
+    /// firing counts are non-zero but no transition is enabled.
+    Deadlock {
+        /// Firing counts still owed when the simulation got stuck.
+        remaining: Vec<u64>,
+        /// The partial sequence fired before the deadlock.
+        fired: Vec<TransitionId>,
+    },
+    /// The requested firing-count vector has the wrong length for the net.
+    CountLengthMismatch {
+        /// Entries expected (one per transition).
+        expected: usize,
+        /// Entries provided.
+        found: usize,
+    },
+    /// The net passed to the conflict-free scheduler contains a choice place.
+    NotConflictFree,
+    /// An actor or channel index was out of range.
+    UnknownActor(usize),
+    /// An underlying Petri-net operation failed.
+    Petri(PetriError),
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::InconsistentRates => {
+                write!(f, "graph has inconsistent rates: no repetition vector exists")
+            }
+            SdfError::Empty => write!(f, "graph has no actors"),
+            SdfError::Deadlock { remaining, .. } => write!(
+                f,
+                "schedule simulation deadlocked with {} firings remaining",
+                remaining.iter().sum::<u64>()
+            ),
+            SdfError::CountLengthMismatch { expected, found } => write!(
+                f,
+                "firing count vector has {found} entries but the net has {expected} transitions"
+            ),
+            SdfError::NotConflictFree => {
+                write!(f, "net contains a choice place; static scheduling requires a conflict-free net")
+            }
+            SdfError::UnknownActor(i) => write!(f, "unknown actor index {i}"),
+            SdfError::Petri(e) => write!(f, "petri net error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdfError::Petri(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PetriError> for SdfError {
+    fn from(e: PetriError) -> Self {
+        SdfError::Petri(e)
+    }
+}
+
+/// Result alias for the crate.
+pub type Result<T, E = SdfError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SdfError::InconsistentRates.to_string().contains("repetition"));
+        assert!(SdfError::NotConflictFree.to_string().contains("choice"));
+        let e = SdfError::Deadlock {
+            remaining: vec![1, 2],
+            fired: vec![],
+        };
+        assert!(e.to_string().contains("3 firings"));
+    }
+
+    #[test]
+    fn petri_errors_convert() {
+        let e: SdfError = PetriError::ZeroWeightArc.into();
+        assert!(matches!(e, SdfError::Petri(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

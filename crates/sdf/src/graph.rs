@@ -1,0 +1,249 @@
+//! Synchronous Dataflow graphs and their translation to marked graphs.
+//!
+//! SDF graphs (Lee & Messerschmitt) are the "pure dataflow" specification style the paper
+//! contrasts with FCPNs: every actor produces and consumes a fixed number of tokens per
+//! firing, so a fully static schedule can be computed at compile time. As Section 2 of the
+//! paper notes, an SDF graph is exactly a *marked graph* when mapped to a Petri net:
+//! actors become transitions and channels become places.
+
+use crate::{Result, SdfError};
+use fcpn_petri::{NetBuilder, PetriNet};
+use std::fmt;
+
+/// Identifier of an actor within an [`SdfGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub usize);
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// An SDF actor: a computation that fires atomically with fixed rates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Actor {
+    /// Actor name, unique within the graph.
+    pub name: String,
+}
+
+/// A channel between two actors with fixed production/consumption rates and an initial
+/// number of tokens (delays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    /// Producing actor.
+    pub from: ActorId,
+    /// Consuming actor.
+    pub to: ActorId,
+    /// Tokens produced per firing of `from`.
+    pub produce: u64,
+    /// Tokens consumed per firing of `to`.
+    pub consume: u64,
+    /// Initial tokens (delays) on the channel.
+    pub initial_tokens: u64,
+}
+
+/// A Synchronous Dataflow graph.
+///
+/// # Examples
+///
+/// The two-actor downsampler (`src` produces 1, `ds` consumes 2):
+///
+/// ```
+/// use fcpn_sdf::SdfGraph;
+///
+/// # fn main() -> Result<(), fcpn_sdf::SdfError> {
+/// let mut g = SdfGraph::new("downsample");
+/// let src = g.actor("src");
+/// let ds = g.actor("ds");
+/// g.channel(src, 1, ds, 2, 0)?;
+/// let r = g.repetition_vector()?;
+/// assert_eq!(r, vec![2, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdfGraph {
+    name: String,
+    actors: Vec<Actor>,
+    channels: Vec<Channel>,
+}
+
+impl SdfGraph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        SdfGraph {
+            name: name.into(),
+            actors: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// Name of the graph.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an actor and returns its identifier.
+    pub fn actor(&mut self, name: impl Into<String>) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(Actor { name: name.into() });
+        id
+    }
+
+    /// Adds a channel from `from` to `to` with the given rates and initial tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::UnknownActor`] if either endpoint has not been declared, and
+    /// [`SdfError::Petri`] if a rate is zero.
+    pub fn channel(
+        &mut self,
+        from: ActorId,
+        produce: u64,
+        to: ActorId,
+        consume: u64,
+        initial_tokens: u64,
+    ) -> Result<()> {
+        if from.0 >= self.actors.len() {
+            return Err(SdfError::UnknownActor(from.0));
+        }
+        if to.0 >= self.actors.len() {
+            return Err(SdfError::UnknownActor(to.0));
+        }
+        if produce == 0 || consume == 0 {
+            return Err(SdfError::Petri(fcpn_petri::PetriError::ZeroWeightArc));
+        }
+        self.channels.push(Channel {
+            from,
+            to,
+            produce,
+            consume,
+            initial_tokens,
+        });
+        Ok(())
+    }
+
+    /// Number of actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Actor metadata.
+    pub fn actors(&self) -> &[Actor] {
+        &self.actors
+    }
+
+    /// Channel metadata.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Name of `actor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor does not belong to this graph.
+    pub fn actor_name(&self, actor: ActorId) -> &str {
+        &self.actors[actor.0].name
+    }
+
+    /// Translates the graph to the equivalent marked graph: one transition per actor and
+    /// one place per channel, with arc weights equal to the rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::Petri`] if the underlying builder rejects the structure.
+    pub fn to_petri_net(&self) -> Result<PetriNet> {
+        let mut b = NetBuilder::new(self.name.clone());
+        let transitions: Vec<_> = self
+            .actors
+            .iter()
+            .map(|a| b.transition(a.name.clone()))
+            .collect();
+        for (i, ch) in self.channels.iter().enumerate() {
+            b.channel_weighted(
+                format!("ch{i}"),
+                transitions[ch.from.0],
+                ch.produce,
+                transitions[ch.to.0],
+                ch.consume,
+                ch.initial_tokens,
+            )?;
+        }
+        Ok(b.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcpn_petri::analysis::Classification;
+
+    #[test]
+    fn graph_construction_and_lookup() {
+        let mut g = SdfGraph::new("g");
+        let a = g.actor("a");
+        let b = g.actor("b");
+        g.channel(a, 2, b, 3, 1).unwrap();
+        assert_eq!(g.actor_count(), 2);
+        assert_eq!(g.channel_count(), 1);
+        assert_eq!(g.actor_name(a), "a");
+        assert_eq!(g.channels()[0].initial_tokens, 1);
+        assert_eq!(g.name(), "g");
+    }
+
+    #[test]
+    fn unknown_actor_is_rejected() {
+        let mut g = SdfGraph::new("g");
+        let a = g.actor("a");
+        assert_eq!(
+            g.channel(a, 1, ActorId(7), 1, 0).unwrap_err(),
+            SdfError::UnknownActor(7)
+        );
+    }
+
+    #[test]
+    fn zero_rate_is_rejected() {
+        let mut g = SdfGraph::new("g");
+        let a = g.actor("a");
+        let b = g.actor("b");
+        assert!(matches!(
+            g.channel(a, 0, b, 1, 0),
+            Err(SdfError::Petri(_))
+        ));
+    }
+
+    #[test]
+    fn conversion_yields_a_marked_graph() {
+        let mut g = SdfGraph::new("fft");
+        let src = g.actor("src");
+        let fft = g.actor("fft");
+        let sink = g.actor("sink");
+        g.channel(src, 1, fft, 64, 0).unwrap();
+        g.channel(fft, 64, sink, 1, 0).unwrap();
+        let net = g.to_petri_net().unwrap();
+        assert!(Classification::of(&net).is_marked_graph());
+        assert_eq!(net.transition_count(), 3);
+        assert_eq!(net.place_count(), 2);
+        let src_t = net.transition_by_name("src").unwrap();
+        let ch0 = net.place_by_name("ch0").unwrap();
+        assert_eq!(net.arc_weight_tp(src_t, ch0), 1);
+    }
+
+    #[test]
+    fn initial_tokens_become_initial_marking() {
+        let mut g = SdfGraph::new("loop");
+        let a = g.actor("a");
+        let b = g.actor("b");
+        g.channel(a, 1, b, 1, 0).unwrap();
+        g.channel(b, 1, a, 1, 3).unwrap();
+        let net = g.to_petri_net().unwrap();
+        assert_eq!(net.initial_marking().total_tokens(), 3);
+    }
+}

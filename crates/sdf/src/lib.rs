@@ -1,0 +1,58 @@
+//! # fcpn-sdf — static scheduling of Synchronous Dataflow graphs
+//!
+//! The fully static scheduling baseline of the reproduction of *Synthesis of Embedded
+//! Software Using Free-Choice Petri Nets* (DAC 1999). Section 2 of the paper recalls the
+//! Lee–Messerschmitt result that pure dataflow specifications (SDF graphs, equivalently
+//! marked graphs) admit a compile-time schedule: solve the balance equations for the
+//! repetition vector, then simulate one period to obtain a finite complete cycle and the
+//! buffer bounds it implies. The quasi-static scheduler in `fcpn-qss` reuses
+//! [`schedule_conflict_free`] to schedule each conflict-free component it extracts from a
+//! Free-Choice net.
+//!
+//! # Example
+//!
+//! ```
+//! use fcpn_sdf::{FiringPolicy, SdfGraph};
+//!
+//! # fn main() -> Result<(), fcpn_sdf::SdfError> {
+//! // Figure 2 of the paper as an SDF chain with a 2:1 downsampling at each hop.
+//! let mut g = SdfGraph::new("figure2");
+//! let t1 = g.actor("t1");
+//! let t2 = g.actor("t2");
+//! let t3 = g.actor("t3");
+//! g.channel(t1, 1, t2, 2, 0)?;
+//! g.channel(t2, 1, t3, 2, 0)?;
+//! let schedule = g.static_schedule(FiringPolicy::Eager)?;
+//! assert_eq!(schedule.repetition, vec![4, 2, 1]);
+//! assert_eq!(schedule.length(), 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod graph;
+mod looped;
+mod repetition;
+mod schedule;
+
+pub use error::{Result, SdfError};
+pub use graph::{Actor, ActorId, Channel, SdfGraph};
+pub use looped::{LoopTerm, LoopedSchedule, ScheduleTradeoff};
+pub use schedule::{schedule_conflict_free, FiringPolicy, StaticSchedule};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SdfGraph>();
+        assert_send_sync::<StaticSchedule>();
+        assert_send_sync::<SdfError>();
+    }
+}

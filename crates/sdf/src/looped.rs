@@ -1,0 +1,312 @@
+//! Looped (single-appearance) schedules: the compact nested-loop form of a static
+//! schedule, trading buffer memory for code size.
+//!
+//! The paper's conclusions mention exploring "tradeoffs between code and buffer size";
+//! for the fully static (SDF) part of a specification the classical instrument is the
+//! *single-appearance schedule*: every actor appears exactly once inside nested loops,
+//! e.g. Figure 2's `t1 t1 t1 t1 t2 t2 t3` becomes `(4 t1)(2 t2)(1 t3)`. Code size becomes
+//! linear in the number of actors (each actor is emitted once), while buffers grow to the
+//! full per-period token volume; the flat schedule is the opposite corner.
+
+use crate::{Result, SdfError, SdfGraph, StaticSchedule};
+use fcpn_petri::{PetriNet, TransitionId};
+use std::fmt;
+
+/// One term of a looped schedule: `count` repetitions of either a single actor firing or
+/// a nested loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopTerm {
+    /// `count` consecutive firings of one transition.
+    Fire {
+        /// The transition fired.
+        transition: TransitionId,
+        /// Number of consecutive firings.
+        count: u64,
+    },
+    /// `count` repetitions of a sub-schedule.
+    Loop {
+        /// Number of repetitions.
+        count: u64,
+        /// The repeated body.
+        body: Vec<LoopTerm>,
+    },
+}
+
+/// A looped schedule: a sequence of loop terms whose expansion is a finite complete
+/// cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopedSchedule {
+    /// Top-level terms.
+    pub terms: Vec<LoopTerm>,
+}
+
+impl LoopedSchedule {
+    /// Builds the flat single-appearance schedule of a graph in topological order: one
+    /// `(q_i  a_i)` term per actor, where `q` is the repetition vector.
+    ///
+    /// This is the minimal-code-size corner of the design space and is valid for acyclic
+    /// graphs (and for cyclic graphs whose delays make the topological order feasible —
+    /// feasibility is re-checked by expansion).
+    ///
+    /// # Errors
+    ///
+    /// * [`SdfError::InconsistentRates`] / [`SdfError::Empty`] from the repetition vector.
+    /// * [`SdfError::Deadlock`] if the single-appearance expansion is not fireable (e.g. a
+    ///   delay-free cycle).
+    pub fn single_appearance(graph: &SdfGraph) -> Result<LoopedSchedule> {
+        let repetition = graph.repetition_vector()?;
+        let net = graph.to_petri_net()?;
+        let order = topological_order(&net);
+        let terms: Vec<LoopTerm> = order
+            .into_iter()
+            .filter(|t| repetition[t.index()] > 0)
+            .map(|transition| LoopTerm::Fire {
+                transition,
+                count: repetition[transition.index()],
+            })
+            .collect();
+        let schedule = LoopedSchedule { terms };
+        // Validate by expansion against the token game.
+        let flat = schedule.expand();
+        let mut marking = net.initial_marking().clone();
+        for &t in &flat {
+            if net.fire(&mut marking, t).is_err() {
+                let mut remaining = repetition.clone();
+                for &fired in &flat {
+                    if remaining[fired.index()] > 0 {
+                        remaining[fired.index()] -= 1;
+                    }
+                }
+                return Err(SdfError::Deadlock {
+                    remaining,
+                    fired: flat,
+                });
+            }
+        }
+        Ok(schedule)
+    }
+
+    /// Expands the looped schedule into the flat firing sequence it denotes.
+    pub fn expand(&self) -> Vec<TransitionId> {
+        fn expand_terms(terms: &[LoopTerm], into: &mut Vec<TransitionId>) {
+            for term in terms {
+                match term {
+                    LoopTerm::Fire { transition, count } => {
+                        for _ in 0..*count {
+                            into.push(*transition);
+                        }
+                    }
+                    LoopTerm::Loop { count, body } => {
+                        for _ in 0..*count {
+                            expand_terms(body, into);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        expand_terms(&self.terms, &mut out);
+        out
+    }
+
+    /// Number of actor appearances in the schedule text (the code-size proxy: each
+    /// appearance becomes one inlined code block).
+    pub fn appearances(&self) -> usize {
+        fn count(terms: &[LoopTerm]) -> usize {
+            terms
+                .iter()
+                .map(|t| match t {
+                    LoopTerm::Fire { .. } => 1,
+                    LoopTerm::Loop { body, .. } => count(body),
+                })
+                .sum()
+        }
+        count(&self.terms)
+    }
+
+    /// Buffer bounds implied by executing the expansion on `net` (indexed by place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::Petri`] if the expansion is not fireable on `net`.
+    pub fn buffer_bounds(&self, net: &PetriNet) -> Result<Vec<u64>> {
+        Ok(net.peak_tokens(net.initial_marking(), &self.expand())?)
+    }
+
+    /// Renders the schedule with net names, e.g. `(4 t1)(2 t2)(1 t3)`.
+    pub fn describe(&self, net: &PetriNet) -> String {
+        fn render(terms: &[LoopTerm], net: &PetriNet, out: &mut String) {
+            for term in terms {
+                match term {
+                    LoopTerm::Fire { transition, count } => {
+                        out.push_str(&format!("({count} {})", net.transition_name(*transition)));
+                    }
+                    LoopTerm::Loop { count, body } => {
+                        out.push_str(&format!("({count} "));
+                        render(body, net, out);
+                        out.push(')');
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        render(&self.terms, net, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for LoopedSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "looped schedule with {} appearance(s)", self.appearances())
+    }
+}
+
+/// Compares the two corners of the code-size / buffer-size design space for a graph: the
+/// flat (interleaved) schedule and the single-appearance schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleTradeoff {
+    /// Actor appearances in the flat schedule (its length) — the code-size proxy.
+    pub flat_appearances: usize,
+    /// Total buffer tokens required by the flat schedule.
+    pub flat_buffer_tokens: u64,
+    /// Actor appearances in the single-appearance schedule (= number of actors).
+    pub looped_appearances: usize,
+    /// Total buffer tokens required by the single-appearance schedule.
+    pub looped_buffer_tokens: u64,
+}
+
+impl ScheduleTradeoff {
+    /// Evaluates both corners for `graph`, scheduling the flat corner with `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures from either corner.
+    pub fn evaluate(graph: &SdfGraph, flat: &StaticSchedule) -> Result<ScheduleTradeoff> {
+        let net = graph.to_petri_net()?;
+        let looped = LoopedSchedule::single_appearance(graph)?;
+        let looped_bounds = looped.buffer_bounds(&net)?;
+        Ok(ScheduleTradeoff {
+            flat_appearances: flat.length(),
+            flat_buffer_tokens: flat.total_buffer_tokens(),
+            looped_appearances: looped.appearances(),
+            looped_buffer_tokens: looped_bounds.iter().sum(),
+        })
+    }
+}
+
+/// A topological order of the transitions (actors) of a marked graph; cycles are broken
+/// at initially marked places, falling back to index order.
+fn topological_order(net: &PetriNet) -> Vec<TransitionId> {
+    let mut order = Vec::with_capacity(net.transition_count());
+    let mut placed = vec![false; net.transition_count()];
+    while order.len() < net.transition_count() {
+        let mut progressed = false;
+        for t in net.transitions() {
+            if placed[t.index()] {
+                continue;
+            }
+            let ready = net.inputs(t).iter().all(|&(p, _)| {
+                net.initial_marking().tokens(p) > 0
+                    || net
+                        .producers(p)
+                        .iter()
+                        .all(|&(producer, _)| placed[producer.index()])
+            });
+            if ready {
+                placed[t.index()] = true;
+                order.push(t);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            if let Some(t) = net.transitions().find(|t| !placed[t.index()]) {
+                placed[t.index()] = true;
+                order.push(t);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FiringPolicy;
+
+    fn figure2_graph() -> SdfGraph {
+        let mut g = SdfGraph::new("figure2");
+        let t1 = g.actor("t1");
+        let t2 = g.actor("t2");
+        let t3 = g.actor("t3");
+        g.channel(t1, 1, t2, 2, 0).unwrap();
+        g.channel(t2, 1, t3, 2, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn figure2_single_appearance_schedule() {
+        let graph = figure2_graph();
+        let net = graph.to_petri_net().unwrap();
+        let looped = LoopedSchedule::single_appearance(&graph).unwrap();
+        assert_eq!(looped.describe(&net), "(4 t1)(2 t2)(1 t3)");
+        assert_eq!(looped.appearances(), 3);
+        let flat = looped.expand();
+        assert_eq!(flat.len(), 7);
+        assert!(net.is_finite_complete_cycle(net.initial_marking(), &flat));
+        assert_eq!(looped.buffer_bounds(&net).unwrap(), vec![4, 2]);
+    }
+
+    #[test]
+    fn tradeoff_flat_vs_looped() {
+        let graph = figure2_graph();
+        let flat = graph.static_schedule(FiringPolicy::DemandDriven).unwrap();
+        let tradeoff = ScheduleTradeoff::evaluate(&graph, &flat).unwrap();
+        // The flat schedule pays code size (7 appearances) but needs smaller buffers; the
+        // looped schedule has one appearance per actor but larger buffers.
+        assert_eq!(tradeoff.flat_appearances, 7);
+        assert_eq!(tradeoff.looped_appearances, 3);
+        assert!(tradeoff.flat_buffer_tokens <= tradeoff.looped_buffer_tokens);
+    }
+
+    #[test]
+    fn delay_free_cycle_is_rejected() {
+        let mut g = SdfGraph::new("cycle");
+        let a = g.actor("a");
+        let b = g.actor("b");
+        g.channel(a, 1, b, 1, 0).unwrap();
+        g.channel(b, 1, a, 1, 0).unwrap();
+        assert!(matches!(
+            LoopedSchedule::single_appearance(&g),
+            Err(SdfError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_with_delay_is_accepted() {
+        let mut g = SdfGraph::new("loop");
+        let a = g.actor("a");
+        let b = g.actor("b");
+        g.channel(a, 1, b, 1, 0).unwrap();
+        g.channel(b, 1, a, 1, 1).unwrap();
+        let looped = LoopedSchedule::single_appearance(&g).unwrap();
+        assert_eq!(looped.appearances(), 2);
+    }
+
+    #[test]
+    fn nested_loops_expand_correctly() {
+        let t0 = TransitionId::new(0);
+        let t1 = TransitionId::new(1);
+        let schedule = LoopedSchedule {
+            terms: vec![LoopTerm::Loop {
+                count: 2,
+                body: vec![
+                    LoopTerm::Fire { transition: t0, count: 2 },
+                    LoopTerm::Fire { transition: t1, count: 1 },
+                ],
+            }],
+        };
+        assert_eq!(schedule.expand(), vec![t0, t0, t1, t0, t0, t1]);
+        assert_eq!(schedule.appearances(), 2);
+        assert!(schedule.to_string().contains("2 appearance(s)"));
+    }
+}

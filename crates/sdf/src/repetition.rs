@@ -1,0 +1,165 @@
+//! Repetition vectors: the balance-equation solution that fixes how many times each actor
+//! fires per schedule period.
+
+use crate::{Result, SdfError, SdfGraph};
+use fcpn_petri::analysis::{lcm_u64, Rational};
+
+impl SdfGraph {
+    /// Computes the smallest positive repetition vector of the graph: for every channel
+    /// `produce · r[from] = consume · r[to]`, scaled per connected component so that the
+    /// entries are coprime integers.
+    ///
+    /// # Errors
+    ///
+    /// * [`SdfError::Empty`] if the graph has no actors.
+    /// * [`SdfError::InconsistentRates`] if the balance equations admit only the zero
+    ///   solution (sample-rate inconsistency), in which case unbounded token accumulation
+    ///   is unavoidable.
+    pub fn repetition_vector(&self) -> Result<Vec<u64>> {
+        let n = self.actor_count();
+        if n == 0 {
+            return Err(SdfError::Empty);
+        }
+        // Propagate rational rates over each connected component.
+        let mut rate: Vec<Option<Rational>> = vec![None; n];
+        let mut component: Vec<usize> = vec![usize::MAX; n];
+        let mut adjacency: Vec<Vec<(usize, Rational)>> = vec![Vec::new(); n];
+        for ch in self.channels() {
+            // r[to] = r[from] * produce / consume
+            let forward = Rational::new(ch.produce as i128, ch.consume as i128);
+            adjacency[ch.from.0].push((ch.to.0, forward));
+            adjacency[ch.to.0].push((ch.from.0, forward.recip()));
+        }
+        let mut component_count = 0;
+        for start in 0..n {
+            if rate[start].is_some() {
+                continue;
+            }
+            rate[start] = Some(Rational::ONE);
+            component[start] = component_count;
+            let mut stack = vec![start];
+            while let Some(current) = stack.pop() {
+                let current_rate = rate[current].expect("visited actors have a rate");
+                for &(next, factor) in &adjacency[current] {
+                    let implied = current_rate * factor;
+                    match rate[next] {
+                        None => {
+                            rate[next] = Some(implied);
+                            component[next] = component_count;
+                            stack.push(next);
+                        }
+                        Some(existing) if existing != implied => {
+                            return Err(SdfError::InconsistentRates);
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            component_count += 1;
+        }
+        // Scale each connected component to its smallest integer vector independently.
+        let rates: Vec<Rational> = rate.into_iter().map(|r| r.expect("all visited")).collect();
+        let mut result = vec![0u64; n];
+        for comp in 0..component_count {
+            let members: Vec<usize> = (0..n).filter(|&i| component[i] == comp).collect();
+            let mut lcm_den: u64 = 1;
+            for &i in &members {
+                lcm_den = lcm_u64(lcm_den, rates[i].denom() as u64);
+            }
+            let mut scaled: Vec<u64> = members
+                .iter()
+                .map(|&i| (rates[i].numer() as u64) * (lcm_den / rates[i].denom() as u64))
+                .collect();
+            let mut g = 0u64;
+            for &v in &scaled {
+                g = fcpn_petri::analysis::gcd_u64(g, v);
+            }
+            let g = g.max(1);
+            for v in &mut scaled {
+                *v /= g;
+            }
+            for (&i, &v) in members.iter().zip(scaled.iter()) {
+                result[i] = v;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Verifies that the balance equations hold for a candidate repetition vector.
+    pub fn is_repetition_vector(&self, candidate: &[u64]) -> bool {
+        if candidate.len() != self.actor_count() || candidate.iter().all(|&c| c == 0) {
+            return false;
+        }
+        self.channels().iter().all(|ch| {
+            ch.produce * candidate[ch.from.0] == ch.consume * candidate[ch.to.0]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_chain_repetition_vector() {
+        // Figure 2 of the paper as an SDF graph: rates 1 -> 2, 1 -> 2.
+        let mut g = SdfGraph::new("figure2");
+        let t1 = g.actor("t1");
+        let t2 = g.actor("t2");
+        let t3 = g.actor("t3");
+        g.channel(t1, 1, t2, 2, 0).unwrap();
+        g.channel(t2, 1, t3, 2, 0).unwrap();
+        let r = g.repetition_vector().unwrap();
+        assert_eq!(r, vec![4, 2, 1]);
+        assert!(g.is_repetition_vector(&r));
+        assert!(g.is_repetition_vector(&[8, 4, 2]));
+        assert!(!g.is_repetition_vector(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn inconsistent_rates_are_detected() {
+        // Classic inconsistent triangle: a->b 1:1, b->c 1:1, a->c 2:1.
+        let mut g = SdfGraph::new("bad");
+        let a = g.actor("a");
+        let b = g.actor("b");
+        let c = g.actor("c");
+        g.channel(a, 1, b, 1, 0).unwrap();
+        g.channel(b, 1, c, 1, 0).unwrap();
+        g.channel(a, 2, c, 1, 0).unwrap();
+        assert_eq!(g.repetition_vector().unwrap_err(), SdfError::InconsistentRates);
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let g = SdfGraph::new("empty");
+        assert_eq!(g.repetition_vector().unwrap_err(), SdfError::Empty);
+    }
+
+    #[test]
+    fn disconnected_components_are_each_minimal() {
+        let mut g = SdfGraph::new("two");
+        let a = g.actor("a");
+        let b = g.actor("b");
+        let c = g.actor("c");
+        let d = g.actor("d");
+        g.channel(a, 1, b, 3, 0).unwrap();
+        g.channel(c, 2, d, 1, 0).unwrap();
+        let r = g.repetition_vector().unwrap();
+        assert_eq!(r, vec![3, 1, 1, 2]);
+    }
+
+    #[test]
+    fn isolated_actor_fires_once() {
+        let mut g = SdfGraph::new("solo");
+        g.actor("only");
+        assert_eq!(g.repetition_vector().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn candidate_with_wrong_length_rejected() {
+        let mut g = SdfGraph::new("g");
+        g.actor("a");
+        assert!(!g.is_repetition_vector(&[]));
+        assert!(!g.is_repetition_vector(&[0]));
+    }
+}

@@ -1,0 +1,258 @@
+//! Static schedule construction by simulation (the PASS of Lee & Messerschmitt).
+//!
+//! Given a target firing-count vector (a T-invariant / repetition vector), the scheduler
+//! simulates the token game, firing transitions that are enabled and still owe firings,
+//! until every count is exhausted (success: the sequence is a finite complete cycle) or
+//! nothing can fire (deadlock). For conflict-free nets — which is all the quasi-static
+//! scheduler ever asks about — greedy simulation is sufficient, because conflict-free
+//! nets are persistent: firing one enabled transition can never disable another.
+
+use crate::{Result, SdfError, SdfGraph};
+use fcpn_petri::{Marking, PetriNet, TransitionId};
+
+/// A static (fully compile-time) schedule: one period of a periodic admissible sequential
+/// schedule, together with the buffer bounds it implies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticSchedule {
+    /// The firing sequence of one period (a finite complete cycle).
+    pub sequence: Vec<TransitionId>,
+    /// How many times each transition fires per period (indexed by transition).
+    pub repetition: Vec<u64>,
+    /// Peak number of tokens observed in each place during the period (indexed by place),
+    /// i.e. the buffer capacity a software implementation must reserve.
+    pub buffer_bounds: Vec<u64>,
+}
+
+impl StaticSchedule {
+    /// Total number of firings per period.
+    pub fn length(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Total buffer capacity (sum of per-place bounds), the paper's memory-size metric.
+    pub fn total_buffer_tokens(&self) -> u64 {
+        self.buffer_bounds.iter().sum()
+    }
+}
+
+/// Scheduling policy used when several transitions are simultaneously fireable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FiringPolicy {
+    /// Scan transitions in index order and fire each as many times as currently possible.
+    /// This reproduces the burst-style sequences the paper prints (e.g.
+    /// `t1 t1 t1 t1 t2 t2 t3` for Figure 2) and is the default.
+    #[default]
+    Eager,
+    /// At every step fire a single firing of the enabled transition with the *highest*
+    /// index that still owes firings. With the usual upstream-to-downstream declaration
+    /// order this drains data as soon as it is produced and keeps buffers small.
+    DemandDriven,
+}
+
+/// Simulates `net` from its initial marking until each transition `t` has fired exactly
+/// `counts[t]` times.
+///
+/// # Errors
+///
+/// * [`SdfError::CountLengthMismatch`] if `counts` has the wrong length.
+/// * [`SdfError::NotConflictFree`] if the net has a choice place (the greedy simulation
+///   would then not be adequate).
+/// * [`SdfError::Deadlock`] if the simulation gets stuck before exhausting the counts —
+///   the T-invariant is not realisable from the initial marking (Definition 3.5(3) fails).
+pub fn schedule_conflict_free(
+    net: &PetriNet,
+    counts: &[u64],
+    policy: FiringPolicy,
+) -> Result<StaticSchedule> {
+    if counts.len() != net.transition_count() {
+        return Err(SdfError::CountLengthMismatch {
+            expected: net.transition_count(),
+            found: counts.len(),
+        });
+    }
+    if !net.is_conflict_free() {
+        return Err(SdfError::NotConflictFree);
+    }
+    let mut remaining: Vec<u64> = counts.to_vec();
+    let mut marking: Marking = net.initial_marking().clone();
+    let mut sequence = Vec::new();
+    let mut peaks: Vec<u64> = marking.as_slice().to_vec();
+    let total: u64 = remaining.iter().sum();
+    let mut fired_total = 0u64;
+
+    let fire_one = |t: TransitionId,
+                        marking: &mut Marking,
+                        remaining: &mut Vec<u64>,
+                        sequence: &mut Vec<TransitionId>,
+                        peaks: &mut Vec<u64>|
+     -> Result<()> {
+        net.fire(marking, t)?;
+        remaining[t.index()] -= 1;
+        sequence.push(t);
+        for (i, &k) in marking.as_slice().iter().enumerate() {
+            if k > peaks[i] {
+                peaks[i] = k;
+            }
+        }
+        Ok(())
+    };
+
+    while fired_total < total {
+        let mut progress = 0u64;
+        match policy {
+            FiringPolicy::Eager => {
+                for t in net.transitions() {
+                    while remaining[t.index()] > 0 && net.is_enabled(&marking, t) {
+                        fire_one(t, &mut marking, &mut remaining, &mut sequence, &mut peaks)?;
+                        progress += 1;
+                    }
+                }
+            }
+            FiringPolicy::DemandDriven => {
+                let candidate = net
+                    .transitions()
+                    .filter(|&t| remaining[t.index()] > 0 && net.is_enabled(&marking, t))
+                    .last();
+                if let Some(t) = candidate {
+                    fire_one(t, &mut marking, &mut remaining, &mut sequence, &mut peaks)?;
+                    progress += 1;
+                }
+            }
+        }
+        if progress == 0 {
+            return Err(SdfError::Deadlock {
+                remaining,
+                fired: sequence,
+            });
+        }
+        fired_total += progress;
+    }
+
+    Ok(StaticSchedule {
+        sequence,
+        repetition: counts.to_vec(),
+        buffer_bounds: peaks,
+    })
+}
+
+impl SdfGraph {
+    /// Computes a complete static schedule for the graph: repetition vector, firing
+    /// sequence and buffer bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rate inconsistency ([`SdfError::InconsistentRates`]) and simulation
+    /// deadlock ([`SdfError::Deadlock`], e.g. a delay-free cycle).
+    pub fn static_schedule(&self, policy: FiringPolicy) -> Result<StaticSchedule> {
+        let repetition = self.repetition_vector()?;
+        let net = self.to_petri_net()?;
+        schedule_conflict_free(&net, &repetition, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcpn_petri::gallery;
+
+    #[test]
+    fn figure2_eager_schedule_matches_paper_sequence() {
+        let net = gallery::figure2();
+        let schedule =
+            schedule_conflict_free(&net, &[4, 2, 1], FiringPolicy::Eager).unwrap();
+        let names: Vec<&str> = schedule
+            .sequence
+            .iter()
+            .map(|&t| net.transition_name(t))
+            .collect();
+        // The paper's σ = t1 t1 t1 t1 t2 t2 t3.
+        assert_eq!(names, vec!["t1", "t1", "t1", "t1", "t2", "t2", "t3"]);
+        assert_eq!(schedule.repetition, vec![4, 2, 1]);
+        assert!(net.is_finite_complete_cycle(net.initial_marking(), &schedule.sequence));
+        assert_eq!(schedule.buffer_bounds, vec![4, 2]);
+        assert_eq!(schedule.total_buffer_tokens(), 6);
+        assert_eq!(schedule.length(), 7);
+    }
+
+    #[test]
+    fn demand_driven_policy_reduces_buffer_bounds() {
+        let net = gallery::figure2();
+        let schedule =
+            schedule_conflict_free(&net, &[4, 2, 1], FiringPolicy::DemandDriven).unwrap();
+        assert!(net.is_finite_complete_cycle(net.initial_marking(), &schedule.sequence));
+        // Data is consumed as soon as possible: p1 never holds more than 2 tokens.
+        assert_eq!(schedule.buffer_bounds, vec![2, 2]);
+        assert!(schedule.total_buffer_tokens() < 6);
+    }
+
+    #[test]
+    fn count_length_is_validated() {
+        let net = gallery::figure2();
+        assert!(matches!(
+            schedule_conflict_free(&net, &[1, 2], FiringPolicy::default()),
+            Err(SdfError::CountLengthMismatch { expected: 3, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn choice_nets_are_rejected() {
+        let net = gallery::figure3a();
+        let counts = vec![1; net.transition_count()];
+        assert_eq!(
+            schedule_conflict_free(&net, &counts, FiringPolicy::default()).unwrap_err(),
+            SdfError::NotConflictFree
+        );
+    }
+
+    #[test]
+    fn delay_free_cycle_deadlocks() {
+        let mut g = SdfGraph::new("deadlock");
+        let a = g.actor("a");
+        let b = g.actor("b");
+        g.channel(a, 1, b, 1, 0).unwrap();
+        g.channel(b, 1, a, 1, 0).unwrap();
+        let err = g.static_schedule(FiringPolicy::default()).unwrap_err();
+        match err {
+            SdfError::Deadlock { remaining, fired } => {
+                assert_eq!(remaining, vec![1, 1]);
+                assert!(fired.is_empty());
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_with_delay_schedules() {
+        let mut g = SdfGraph::new("loop");
+        let a = g.actor("a");
+        let b = g.actor("b");
+        g.channel(a, 1, b, 1, 0).unwrap();
+        g.channel(b, 1, a, 1, 1).unwrap();
+        let s = g.static_schedule(FiringPolicy::default()).unwrap();
+        assert_eq!(s.repetition, vec![1, 1]);
+        assert_eq!(s.length(), 2);
+    }
+
+    #[test]
+    fn downsampler_end_to_end() {
+        let mut g = SdfGraph::new("downsample");
+        let src = g.actor("src");
+        let ds = g.actor("ds");
+        let sink = g.actor("sink");
+        g.channel(src, 1, ds, 4, 0).unwrap();
+        g.channel(ds, 1, sink, 1, 0).unwrap();
+        let s = g.static_schedule(FiringPolicy::default()).unwrap();
+        assert_eq!(s.repetition, vec![4, 1, 1]);
+        assert_eq!(s.length(), 6);
+        let net = g.to_petri_net().unwrap();
+        assert!(net.is_finite_complete_cycle(net.initial_marking(), &s.sequence));
+    }
+
+    #[test]
+    fn multiples_of_the_repetition_vector_also_schedule() {
+        let net = gallery::figure2();
+        let s = schedule_conflict_free(&net, &[8, 4, 2], FiringPolicy::Eager).unwrap();
+        assert_eq!(s.length(), 14);
+        assert!(net.is_finite_complete_cycle(net.initial_marking(), &s.sequence));
+    }
+}

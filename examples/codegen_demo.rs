@@ -1,0 +1,48 @@
+//! Shows the full synthesis pipeline on the paper's Figure 4 net — the same example whose
+//! C code Section 4 prints — and then executes the generated program to demonstrate that
+//! it preserves the net's semantics.
+//!
+//! Run with `cargo run --example codegen_demo`.
+
+use fcpn::codegen::{
+    emit_c, synthesize, CEmitOptions, FixedResolver, Interpreter, SynthesisOptions,
+};
+use fcpn::petri::gallery;
+use fcpn::qss::{quasi_static_schedule, QssOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = gallery::figure4();
+    let schedule = quasi_static_schedule(&net, &QssOptions::default())?
+        .schedule()
+        .expect("figure 4 is schedulable");
+    println!("valid schedule: {}", schedule.describe(&net));
+
+    let program = synthesize(&net, &schedule, SynthesisOptions::default())?;
+    println!("generated C:");
+    println!("{}", emit_c(&program, &net, CEmitOptions::default()));
+
+    // Execute the generated tasks directly: always take the t2 branch for six input
+    // events, then the t3 branch for three more, and report the firing counts.
+    let mut interpreter = Interpreter::new(&program, &net);
+    let mut take_t2 = FixedResolver { arm: 0 };
+    for _ in 0..6 {
+        interpreter.run_task(0, &mut take_t2)?;
+    }
+    let mut take_t3 = FixedResolver { arm: 1 };
+    for _ in 0..3 {
+        interpreter.run_task(0, &mut take_t3)?;
+    }
+    println!("fires per transition after 9 input events:");
+    for t in net.transitions() {
+        println!(
+            "  {:<4} fired {:>2} times",
+            net.transition_name(t),
+            interpreter.fire_counts()[t.index()]
+        );
+    }
+    println!(
+        "peak software buffer occupancy: {:?}",
+        interpreter.peak_counters()
+    );
+    Ok(())
+}

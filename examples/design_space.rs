@@ -1,0 +1,77 @@
+//! Exploring the code-size / buffer-size tradeoff the paper's conclusions point at:
+//! for the static (dataflow) part of a specification, compare the flat interleaved
+//! schedule against the single-appearance looped schedule, and for the quasi-static part
+//! compare the C and Rust back ends.
+//!
+//! Run with `cargo run --example design_space`.
+
+use fcpn::codegen::{emit_c, emit_rust, synthesize, CEmitOptions, RustEmitOptions, SynthesisOptions};
+use fcpn::petri::gallery;
+use fcpn::qss::{quasi_static_schedule, QssOptions};
+use fcpn::sdf::{FiringPolicy, LoopedSchedule, ScheduleTradeoff, SdfGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Static part: a 1:4 downsampling chain (FFT-style multirate pipeline). ---
+    let mut graph = SdfGraph::new("downsampling-pipeline");
+    let src = graph.actor("sample");
+    let filt = graph.actor("filter");
+    let dec = graph.actor("decimate");
+    let out = graph.actor("output");
+    graph.channel(src, 1, filt, 1, 0)?;
+    graph.channel(filt, 4, dec, 8, 0)?;
+    graph.channel(dec, 1, out, 1, 0)?;
+
+    let net = graph.to_petri_net()?;
+    let flat = graph.static_schedule(FiringPolicy::DemandDriven)?;
+    let looped = LoopedSchedule::single_appearance(&graph)?;
+    let tradeoff = ScheduleTradeoff::evaluate(&graph, &flat)?;
+
+    println!("static pipeline `{}`:", graph.name());
+    println!("  repetition vector      : {:?}", flat.repetition);
+    println!(
+        "  flat schedule          : {} ({} appearances, {} buffer tokens)",
+        net.format_sequence(&flat.sequence),
+        tradeoff.flat_appearances,
+        tradeoff.flat_buffer_tokens
+    );
+    println!(
+        "  single-appearance form : {} ({} appearances, {} buffer tokens)",
+        looped.describe(&net),
+        tradeoff.looped_appearances,
+        tradeoff.looped_buffer_tokens
+    );
+
+    // --- Quasi-static part: figure 5, emitted to both back ends. ---
+    let net = gallery::figure5();
+    let schedule = quasi_static_schedule(&net, &QssOptions::default())?
+        .schedule()
+        .expect("figure 5 is schedulable");
+    let program = synthesize(&net, &schedule, SynthesisOptions::default())?;
+    let c = emit_c(&program, &net, CEmitOptions::default());
+    let rust = emit_rust(&program, &net, RustEmitOptions::default());
+    println!();
+    println!("quasi-static figure 5:");
+    println!(
+        "  C back end    : {} non-blank lines",
+        c.lines().filter(|l| !l.trim().is_empty()).count()
+    );
+    println!(
+        "  Rust back end : {} non-blank lines",
+        rust.lines().filter(|l| !l.trim().is_empty()).count()
+    );
+    println!();
+    println!("--- generated Rust (task_t8) ---");
+    let mut printing = false;
+    for line in rust.lines() {
+        if line.contains("pub fn task_t8") {
+            printing = true;
+        }
+        if printing {
+            println!("{line}");
+            if line == "}" {
+                break;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! A small command-line front end: read a net in the textual format of
+//! `fcpn_petri::io`, check quasi-static schedulability, and print the valid schedule,
+//! the generated C (or Rust), or a Graphviz rendering.
+//!
+//! ```text
+//! fcpn-cli schedule  <net.pn>      # schedulability verdict + valid schedule
+//! fcpn-cli codegen   <net.pn>      # generated C code
+//! fcpn-cli codegen-rust <net.pn>   # generated Rust code
+//! fcpn-cli dot       <net.pn>      # Graphviz DOT of the net
+//! fcpn-cli stats     <net.pn>      # structural statistics and net class
+//! ```
+
+use fcpn::codegen::{
+    emit_c, emit_rust, synthesize, CEmitOptions, CodeMetrics, RustEmitOptions, SynthesisOptions,
+};
+use fcpn::petri::analysis::Classification;
+use fcpn::petri::io::{parse_net, to_dot, DotOptions};
+use fcpn::petri::PetriNet;
+use fcpn::qss::{quasi_static_schedule, QssOptions, QssOutcome, ValidSchedule};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, path) = match args.as_slice() {
+        [command, path] => (command.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: fcpn-cli <schedule|codegen|codegen-rust|dot|stats> <net.pn>");
+            return ExitCode::from(2);
+        }
+    };
+    match run(command, path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: &str, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let net = parse_net(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    match command {
+        "stats" => {
+            println!("{}", net.stats());
+            println!("class: {}", Classification::of(&net).class);
+            Ok(())
+        }
+        "dot" => {
+            print!("{}", to_dot(&net, None, DotOptions::verbose()));
+            Ok(())
+        }
+        "schedule" => {
+            let schedule = schedule(&net)?;
+            println!("schedulable: valid schedule with {} cycle(s)", schedule.cycle_count());
+            println!("S = {}", schedule.describe(&net));
+            println!("buffer bounds: {:?}", schedule.buffer_bounds(&net));
+            Ok(())
+        }
+        "codegen" => {
+            let schedule = schedule(&net)?;
+            let program = synthesize(&net, &schedule, SynthesisOptions::default())
+                .map_err(|e| e.to_string())?;
+            eprintln!("// {}", CodeMetrics::of(&program, &net));
+            print!("{}", emit_c(&program, &net, CEmitOptions::default()));
+            Ok(())
+        }
+        "codegen-rust" => {
+            let schedule = schedule(&net)?;
+            let program = synthesize(&net, &schedule, SynthesisOptions::default())
+                .map_err(|e| e.to_string())?;
+            print!("{}", emit_rust(&program, &net, RustEmitOptions::default()));
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn schedule(net: &PetriNet) -> Result<ValidSchedule, String> {
+    match quasi_static_schedule(net, &QssOptions::default()).map_err(|e| e.to_string())? {
+        QssOutcome::Schedulable(schedule) => Ok(schedule),
+        QssOutcome::NotSchedulable(report) => Err(format!(
+            "net is not quasi-statically schedulable: {report}"
+        )),
+    }
+}

@@ -1,0 +1,58 @@
+//! # fcpn — quasi-static scheduling and software synthesis from Free-Choice Petri Nets
+//!
+//! This is the facade crate of the reproduction of *Synthesis of Embedded Software Using
+//! Free-Choice Petri Nets* (Sgroi, Lavagno, Watanabe, Sangiovanni-Vincentelli, DAC 1999).
+//! It re-exports the workspace crates under stable module names so applications can use a
+//! single dependency:
+//!
+//! * [`petri`] — Petri-net kernel: nets, markings, token game, structural analysis,
+//!   T-invariants, net classes, DOT/text I/O, and the paper's figure nets.
+//! * [`sdf`] — static scheduling of Synchronous Dataflow graphs / marked graphs
+//!   (Lee–Messerschmitt baseline).
+//! * [`qss`] — the paper's contribution: T-allocations, T-reductions, schedulability and
+//!   valid schedules.
+//! * [`codegen`] — software synthesis: task partitioning, task IR, C emission, an IR
+//!   interpreter.
+//! * [`rtos`] — run-time substrate: workloads, cost model, cycle-accounting simulators.
+//! * [`atm`] — the ATM-server case study and the Table I harness.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fcpn::petri::gallery;
+//! use fcpn::qss::{quasi_static_schedule, QssOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = gallery::figure4();
+//! let schedule = quasi_static_schedule(&net, &QssOptions::default())?
+//!     .schedule()
+//!     .expect("figure 4 is schedulable");
+//! assert_eq!(schedule.describe(&net), "{(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The ATM-server case study and Table I harness (re-export of `fcpn-atm`).
+pub use fcpn_atm as atm;
+/// Software synthesis from valid schedules (re-export of `fcpn-codegen`).
+pub use fcpn_codegen as codegen;
+/// Petri-net kernel (re-export of `fcpn-petri`).
+pub use fcpn_petri as petri;
+/// Quasi-static scheduling (re-export of `fcpn-qss`).
+pub use fcpn_qss as qss;
+/// Run-time simulation substrate (re-export of `fcpn-rtos`).
+pub use fcpn_rtos as rtos;
+/// Static SDF scheduling (re-export of `fcpn-sdf`).
+pub use fcpn_sdf as sdf;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_usable() {
+        let net = crate::petri::gallery::figure2();
+        assert_eq!(net.transition_count(), 3);
+    }
+}

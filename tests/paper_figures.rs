@@ -1,0 +1,108 @@
+//! Integration tests spanning the whole stack: every worked example of the paper is
+//! pushed through classification, scheduling and (where applicable) code generation, and
+//! the outputs are compared with the statements the paper makes about it.
+
+use fcpn::codegen::{emit_c, synthesize, CEmitOptions, SynthesisOptions};
+use fcpn::petri::analysis::{Classification, InvariantAnalysis, NetClass};
+use fcpn::petri::gallery;
+use fcpn::qss::{quasi_static_schedule, QssOptions, QssOutcome};
+use fcpn::sdf::{schedule_conflict_free, FiringPolicy};
+
+#[test]
+fn figure1_free_choice_classification() {
+    assert_eq!(
+        Classification::of(&gallery::figure1a()).class,
+        NetClass::FreeChoice
+    );
+    assert_eq!(
+        Classification::of(&gallery::figure1b()).class,
+        NetClass::General
+    );
+}
+
+#[test]
+fn figure2_static_schedule_and_invariant() {
+    let net = gallery::figure2();
+    let invariants = InvariantAnalysis::of(&net);
+    assert_eq!(invariants.t_semiflows.len(), 1);
+    assert_eq!(invariants.t_semiflows[0].vector, vec![4, 2, 1]);
+    let schedule = schedule_conflict_free(&net, &[4, 2, 1], FiringPolicy::Eager).unwrap();
+    assert_eq!(
+        net.format_sequence(&schedule.sequence),
+        "t1 t1 t1 t1 t2 t2 t3"
+    );
+    assert!(net.is_finite_complete_cycle(net.initial_marking(), &schedule.sequence));
+}
+
+#[test]
+fn figure3a_is_schedulable_and_3b_is_not() {
+    let good = quasi_static_schedule(&gallery::figure3a(), &QssOptions::default()).unwrap();
+    assert!(good.is_schedulable());
+    let bad = quasi_static_schedule(&gallery::figure3b(), &QssOptions::default()).unwrap();
+    assert!(!bad.is_schedulable());
+}
+
+#[test]
+fn figure4_schedule_code_and_semantics() {
+    let net = gallery::figure4();
+    let schedule = quasi_static_schedule(&net, &QssOptions::default())
+        .unwrap()
+        .schedule()
+        .unwrap();
+    assert_eq!(
+        schedule.describe(&net),
+        "{(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}"
+    );
+    assert!(schedule.is_valid(&net));
+    // Every cycle really is a finite complete cycle of the token game.
+    for cycle in &schedule.cycles {
+        assert!(net.is_finite_complete_cycle(net.initial_marking(), &cycle.sequence));
+    }
+    // The synthesised C matches the structure printed in Section 4.
+    let program = synthesize(&net, &schedule, SynthesisOptions::default()).unwrap();
+    let c = emit_c(&program, &net, CEmitOptions::default());
+    assert!(c.contains("if (count_p2 >= 2) {"));
+    assert!(c.contains("while (count_p3 >= 1) {"));
+}
+
+#[test]
+fn figure5_schedule_matches_paper_and_generates_two_tasks() {
+    let net = gallery::figure5();
+    let schedule = quasi_static_schedule(&net, &QssOptions::default())
+        .unwrap()
+        .schedule()
+        .unwrap();
+    assert_eq!(
+        schedule.describe(&net),
+        "{(t1 t2 t4 t4 t6 t6 t6 t6 t8 t9 t6), (t1 t3 t5 t7 t7 t8 t9 t6)}"
+    );
+    let program = synthesize(&net, &schedule, SynthesisOptions::default()).unwrap();
+    assert_eq!(program.task_count(), 2);
+}
+
+#[test]
+fn figure7_reductions_are_diagnosed_as_inconsistent() {
+    let net = gallery::figure7();
+    let QssOutcome::NotSchedulable(report) =
+        quasi_static_schedule(&net, &QssOptions::default()).unwrap()
+    else {
+        panic!("figure 7 must not be schedulable");
+    };
+    assert_eq!(report.components_examined, 2);
+    assert_eq!(report.failures.len(), 2);
+}
+
+#[test]
+fn schedulable_nets_have_bounded_buffer_requirements() {
+    for net in [gallery::figure3a(), gallery::figure4(), gallery::figure5()] {
+        let schedule = quasi_static_schedule(&net, &QssOptions::default())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        let bounds = schedule.buffer_bounds(&net);
+        assert_eq!(bounds.len(), net.place_count());
+        assert!(schedule.total_buffer_tokens(&net) > 0);
+        // No place needs more than a handful of slots in these small nets.
+        assert!(bounds.iter().all(|&b| b <= 4), "bounds {bounds:?}");
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end pipeline tests: net → valid schedule → task IR → C text → interpreted
+//! execution → RTOS simulation, checking that each stage preserves what the previous one
+//! promised.
+
+use fcpn::codegen::{
+    emit_c, synthesize, CEmitOptions, CodeMetrics, Interpreter, RoundRobinResolver,
+    SynthesisOptions,
+};
+use fcpn::petri::gallery;
+use fcpn::qss::{quasi_static_schedule, QssOptions};
+use fcpn::rtos::{simulate_program, CostModel, Workload};
+
+#[test]
+fn interpreted_code_matches_schedule_rates_on_figure5() {
+    let net = gallery::figure5();
+    let schedule = quasi_static_schedule(&net, &QssOptions::default())
+        .unwrap()
+        .schedule()
+        .unwrap();
+    let program = synthesize(&net, &schedule, SynthesisOptions::default()).unwrap();
+    let mut interpreter = Interpreter::new(&program, &net);
+    let t1 = net.transition_by_name("t1").unwrap();
+    let t8 = net.transition_by_name("t8").unwrap();
+
+    // Drive 40 t1 events and 40 t8 events alternating branches; every counter must stay
+    // within the buffer bound the schedule computed.
+    let mut resolver = RoundRobinResolver::default();
+    for _ in 0..40 {
+        interpreter.run_task_for_source(t1, &mut resolver).unwrap();
+        interpreter.run_task_for_source(t8, &mut resolver).unwrap();
+    }
+    let bounds = schedule.buffer_bounds(&net);
+    for (index, &peak) in interpreter.peak_counters().iter().enumerate() {
+        let place = fcpn::petri::PlaceId::new(index);
+        if program.is_counter_place(place) {
+            assert!(
+                peak as u64 <= bounds[index].max(1),
+                "place {} peaked at {} > bound {}",
+                net.place_name(place),
+                peak,
+                bounds[index]
+            );
+        }
+    }
+    // Rates: every t8 event fires t9 and t6 exactly once.
+    let t9 = net.transition_by_name("t9").unwrap();
+    assert_eq!(interpreter.fire_counts()[t9.index()], 40);
+}
+
+#[test]
+fn simulation_cycles_scale_with_activation_overhead() {
+    let net = gallery::figure4();
+    let schedule = quasi_static_schedule(&net, &QssOptions::default())
+        .unwrap()
+        .schedule()
+        .unwrap();
+    let program = synthesize(&net, &schedule, SynthesisOptions::default()).unwrap();
+    let t1 = net.transition_by_name("t1").unwrap();
+    let workload = Workload::periodic(t1, 10, 100, 0);
+
+    let cheap = CostModel::new(10, 40, 4, 12);
+    let expensive = CostModel::new(1000, 40, 4, 12);
+    let mut r1 = RoundRobinResolver::default();
+    let mut r2 = RoundRobinResolver::default();
+    let low = simulate_program(&program, &net, &cheap, &workload, &mut r1).unwrap();
+    let high = simulate_program(&program, &net, &expensive, &workload, &mut r2).unwrap();
+    assert_eq!(low.activations, high.activations);
+    assert_eq!(low.fire_counts, high.fire_counts);
+    assert_eq!(
+        high.total_cycles - low.total_cycles,
+        (1000 - 10) * low.activations
+    );
+}
+
+#[test]
+fn emitted_c_and_metrics_are_consistent() {
+    for net in [gallery::figure3a(), gallery::figure4(), gallery::figure5()] {
+        let schedule = quasi_static_schedule(&net, &QssOptions::default())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        let program = synthesize(&net, &schedule, SynthesisOptions::default()).unwrap();
+        let metrics = CodeMetrics::of(&program, &net);
+        let c = emit_c(&program, &net, CEmitOptions::default());
+        assert_eq!(
+            metrics.lines_of_c,
+            c.lines().filter(|l| !l.trim().is_empty()).count()
+        );
+        assert_eq!(metrics.tasks, net.source_transitions().len().max(1));
+        // Every task function appears in the emitted text.
+        for task in &program.tasks {
+            assert!(c.contains(&format!("void {}(void)", task.name)));
+        }
+    }
+}
+
+#[test]
+fn choice_chain_end_to_end() {
+    // A chain of four choices: 16 cycles, but linear code, bounded counters, and a
+    // simulation that processes every event.
+    let net = gallery::choice_chain(4);
+    let schedule = quasi_static_schedule(&net, &QssOptions::default())
+        .unwrap()
+        .schedule()
+        .unwrap();
+    assert_eq!(schedule.cycle_count(), 16);
+    let program = synthesize(&net, &schedule, SynthesisOptions::default()).unwrap();
+    assert_eq!(program.task_count(), 1);
+    let source = net.transition_by_name("src").unwrap();
+    let workload = Workload::periodic(source, 5, 64, 0);
+    let mut resolver = RoundRobinResolver::default();
+    let report = simulate_program(
+        &program,
+        &net,
+        &CostModel::default(),
+        &workload,
+        &mut resolver,
+    )
+    .unwrap();
+    assert_eq!(report.events_processed, 64);
+    let sink = net.transition_by_name("sink").unwrap();
+    assert_eq!(report.fires_of(sink), 64);
+}

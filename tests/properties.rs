@@ -1,0 +1,235 @@
+//! Property-based tests (proptest) over randomly generated dataflow graphs, free-choice
+//! nets and workloads. These check the invariants the paper's constructions rely on:
+//! repetition vectors satisfy the balance equations, valid schedules are sets of finite
+//! complete cycles, generated code never drives a software buffer negative, and the
+//! number of cycles equals the number of choice resolutions.
+
+use fcpn::codegen::{synthesize, Interpreter, SynthesisOptions};
+use fcpn::petri::analysis::{IncidenceMatrix, InvariantAnalysis};
+use fcpn::petri::{NetBuilder, PetriNet, PlaceId, TransitionId};
+use fcpn::qss::{quasi_static_schedule, QssOptions, QssOutcome};
+use fcpn::sdf::{FiringPolicy, SdfGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random multirate SDF chain (the Figure 2 family).
+fn sdf_chain() -> impl Strategy<Value = SdfGraph> {
+    (2usize..7, proptest::collection::vec((1u64..5, 1u64..5), 1..6)).prop_map(
+        |(actors, rates)| {
+            let mut graph = SdfGraph::new("random-chain");
+            let ids: Vec<_> = (0..actors).map(|i| graph.actor(format!("a{i}"))).collect();
+            for (i, window) in ids.windows(2).enumerate() {
+                let (produce, consume) = rates[i % rates.len()];
+                graph
+                    .channel(window[0], produce, window[1], consume, 0)
+                    .expect("valid channel");
+            }
+            graph
+        },
+    )
+}
+
+/// Strategy: a random schedulable free-choice net built as a tree of choices rooted at a
+/// single source, where every branch drains into its own sink (the Figure 3a family),
+/// with an optional weighted (multirate) tail on each branch (the Figure 4 family).
+fn free_choice_tree() -> impl Strategy<Value = PetriNet> {
+    (
+        1usize..3,
+        proptest::collection::vec((2usize..4, 1u64..4), 1..4),
+    )
+        .prop_map(|(depth, shape)| {
+            let mut b = NetBuilder::new("random-fc-tree");
+            let source = b.transition("src");
+            let root = b.place("root", 0);
+            b.arc_t_p(source, root, 1).expect("arc");
+            let mut frontier: Vec<PlaceId> = vec![root];
+            let mut counter = 0usize;
+            for level in 0..depth {
+                let (branches, weight) = shape[level % shape.len()];
+                let mut next = Vec::new();
+                for place in frontier {
+                    for branch in 0..branches {
+                        counter += 1;
+                        let t = b.transition(format!("t{level}_{branch}_{counter}"));
+                        b.arc_p_t(place, t, 1).expect("arc");
+                        let out = b.place(format!("p{level}_{branch}_{counter}"), 0);
+                        // Weighted production followed by a unit-rate drain keeps the
+                        // branch consistent while exercising multirate code paths.
+                        b.arc_t_p(t, out, weight).expect("arc");
+                        let drain = b.transition(format!("d{level}_{branch}_{counter}"));
+                        b.arc_p_t(out, drain, 1).expect("arc");
+                        if level + 1 < depth {
+                            let cont = b.place(format!("c{level}_{branch}_{counter}"), 0);
+                            b.arc_t_p(drain, cont, 1).expect("arc");
+                            next.push(cont);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            b.build().expect("random tree is a valid net")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn repetition_vectors_satisfy_balance_equations(graph in sdf_chain()) {
+        let repetition = graph.repetition_vector().expect("chains are always consistent");
+        prop_assert!(graph.is_repetition_vector(&repetition));
+        // Minimality: dividing by any common factor > 1 must break integrality.
+        let gcd = repetition.iter().copied().fold(0, fcpn::petri::analysis::gcd_u64);
+        prop_assert_eq!(gcd, 1);
+    }
+
+    #[test]
+    fn sdf_schedules_are_finite_complete_cycles(graph in sdf_chain()) {
+        let schedule = graph.static_schedule(FiringPolicy::Eager).expect("chains schedule");
+        let net = graph.to_petri_net().expect("conversion");
+        prop_assert!(net.is_finite_complete_cycle(net.initial_marking(), &schedule.sequence));
+        // The eager and demand-driven policies realise the same firing counts.
+        let demand = graph.static_schedule(FiringPolicy::DemandDriven).expect("schedules");
+        prop_assert_eq!(&schedule.repetition, &demand.repetition);
+        // Demand-driven scheduling never needs more total buffering than eager bursts.
+        prop_assert!(demand.total_buffer_tokens() <= schedule.total_buffer_tokens());
+    }
+
+    #[test]
+    fn sdf_invariants_match_farkas_analysis(graph in sdf_chain()) {
+        let net = graph.to_petri_net().expect("conversion");
+        let repetition = graph.repetition_vector().expect("consistent");
+        let matrix = IncidenceMatrix::from_net(&net);
+        prop_assert!(matrix.is_t_invariant(&repetition));
+        let analysis = InvariantAnalysis::of(&net);
+        prop_assert!(analysis.is_consistent(net.transition_count()));
+    }
+
+    #[test]
+    fn free_choice_trees_are_schedulable_with_one_cycle_per_resolution(net in free_choice_tree()) {
+        let outcome = quasi_static_schedule(&net, &QssOptions::default()).expect("fc input");
+        let QssOutcome::Schedulable(schedule) = outcome else {
+            return Err(TestCaseError::fail("tree nets must be schedulable"));
+        };
+        // One finite complete cycle per combination of choice resolutions.
+        let expected: usize = net
+            .choice_places()
+            .iter()
+            .map(|&p| net.consumers(p).len())
+            .product();
+        prop_assert_eq!(schedule.cycle_count(), expected.max(1));
+        for cycle in &schedule.cycles {
+            prop_assert!(net.is_finite_complete_cycle(net.initial_marking(), &cycle.sequence));
+            // Every cycle contains the source exactly once (single-rate input).
+            let source = net.source_transitions()[0];
+            prop_assert_eq!(cycle.counts[source.index()], 1);
+        }
+    }
+
+    #[test]
+    fn generated_code_keeps_counters_bounded(
+        net in free_choice_tree(),
+        decisions in proptest::collection::vec(0usize..4, 32),
+    ) {
+        let schedule = quasi_static_schedule(&net, &QssOptions::default())
+            .expect("fc input")
+            .schedule()
+            .expect("tree nets are schedulable");
+        let program = synthesize(&net, &schedule, SynthesisOptions::default()).expect("synthesis");
+        prop_assert_eq!(program.task_count(), 1);
+        let mut interpreter = Interpreter::new(&program, &net);
+        let mut cursor = 0usize;
+        let mut resolver = |_: PlaceId, candidates: &[TransitionId]| {
+            let pick = candidates[decisions[cursor % decisions.len()] % candidates.len()];
+            cursor += 1;
+            pick
+        };
+        for _ in 0..decisions.len() {
+            interpreter.run_task(0, &mut resolver).expect("execution never underflows");
+        }
+        // Counters never exceed the schedule's buffer bound and end up non-negative.
+        let bounds = schedule.buffer_bounds(&net);
+        for (index, &peak) in interpreter.peak_counters().iter().enumerate() {
+            prop_assert!(peak >= 0);
+            if program.is_counter_place(PlaceId::new(index)) {
+                prop_assert!(peak as u64 <= bounds[index].max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_code_agrees_with_the_token_game(net in free_choice_tree()) {
+        // Cross-validation of the two execution models: running the synthesised program
+        // (fcpn-codegen interpreter) and playing the token game directly (fcpn-rtos
+        // functional simulation with a single task) must perform exactly the same
+        // computations when they see the same choice outcomes.
+        use fcpn::codegen::FixedResolver;
+        use fcpn::rtos::{
+            simulate_functional_partition, simulate_program, CostModel, FunctionalTask, Workload,
+        };
+        let schedule = quasi_static_schedule(&net, &QssOptions::default())
+            .expect("fc input")
+            .schedule()
+            .expect("tree nets are schedulable");
+        let program = synthesize(&net, &schedule, SynthesisOptions::default()).expect("synthesis");
+        let source = net.source_transitions()[0];
+        let workload = Workload::periodic(source, 3, 24, 0);
+        let cost = CostModel::default();
+        let mut qss_resolver = FixedResolver { arm: 0 };
+        let qss = simulate_program(&program, &net, &cost, &workload, &mut qss_resolver)
+            .expect("qss simulation");
+        let all = vec![FunctionalTask {
+            name: "all".into(),
+            transitions: net.transitions().collect(),
+        }];
+        let mut functional_resolver = FixedResolver { arm: 0 };
+        let functional =
+            simulate_functional_partition(&net, &all, &cost, &workload, &mut functional_resolver)
+                .expect("token-game simulation");
+        prop_assert_eq!(qss.fire_counts, functional.fire_counts);
+        prop_assert_eq!(qss.events_processed, functional.events_processed);
+    }
+
+    #[test]
+    fn c_and_rust_backends_agree_on_structure(net in free_choice_tree()) {
+        use fcpn::codegen::{emit_c, emit_rust, CEmitOptions, RustEmitOptions};
+        let schedule = quasi_static_schedule(&net, &QssOptions::default())
+            .expect("fc input")
+            .schedule()
+            .expect("tree nets are schedulable");
+        let program = synthesize(&net, &schedule, SynthesisOptions::default()).expect("synthesis");
+        let c = emit_c(&program, &net, CEmitOptions::default());
+        let rust = emit_rust(&program, &net, RustEmitOptions::default());
+        // Both back ends contain every task and every counter place, and are brace-balanced.
+        for task in &program.tasks {
+            prop_assert!(c.contains(&task.name));
+            prop_assert!(rust.contains(&task.name));
+        }
+        for &place in &program.counter_places {
+            let c_counter = format!("count_{}", net.place_name(place));
+            let rust_counter = format!("pub {}: u64", net.place_name(place));
+            let c_has_counter = c.contains(&c_counter);
+            let rust_has_counter = rust.contains(&rust_counter);
+            prop_assert!(c_has_counter, "missing counter {} in C", c_counter);
+            prop_assert!(rust_has_counter, "missing counter {} in Rust", rust_counter);
+        }
+        prop_assert_eq!(c.matches('{').count(), c.matches('}').count());
+        prop_assert_eq!(rust.matches('{').count(), rust.matches('}').count());
+    }
+
+    #[test]
+    fn schedule_buffer_bounds_dominate_every_cycle(net in free_choice_tree()) {
+        let schedule = quasi_static_schedule(&net, &QssOptions::default())
+            .expect("fc input")
+            .schedule()
+            .expect("tree nets are schedulable");
+        let bounds = schedule.buffer_bounds(&net);
+        for cycle in &schedule.cycles {
+            let peaks = net
+                .peak_tokens(net.initial_marking(), &cycle.sequence)
+                .expect("cycle is fireable");
+            for (bound, peak) in bounds.iter().zip(peaks.iter()) {
+                prop_assert!(bound >= peak);
+            }
+        }
+    }
+}
