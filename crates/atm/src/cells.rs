@@ -136,10 +136,8 @@ impl ChoiceResolver for AtmChoicePolicy {
                 self.queue_cursor += 1;
                 pick
             }
-            "queue occupancy below threshold?" => self.pick_with_probability(
-                candidates,
-                1.0 - self.config.above_threshold_probability,
-            ),
+            "queue occupancy below threshold?" => self
+                .pick_with_probability(candidates, 1.0 - self.config.above_threshold_probability),
             "incremental or full recomputation?" => {
                 self.pick_with_probability(candidates, 1.0 - self.config.wfq_full_probability)
             }
@@ -185,12 +183,8 @@ mod tests {
         let model = AtmModel::build(AtmConfig::small()).unwrap();
         let mut policy = AtmChoicePolicy::new(&model, TrafficConfig::paper(), 1);
         for &(place, _) in &model.choices {
-            let candidates: Vec<TransitionId> = model
-                .net
-                .consumers(place)
-                .iter()
-                .map(|&(t, _)| t)
-                .collect();
+            let candidates: Vec<TransitionId> =
+                model.net.consumers(place).iter().map(|&(t, _)| t).collect();
             let chosen = policy.resolve(place, &candidates);
             assert!(candidates.contains(&chosen));
         }

@@ -160,11 +160,7 @@ pub fn emit_functional_c(model: &AtmModel) -> String {
         let _ = writeln!(out, "  {}_state.activations++;", module_name(module));
         for &p in &reads {
             let _ = writeln!(out, "  if (!queue_empty(&q_{})) {{", net.place_name(p));
-            let _ = writeln!(
-                out,
-                "    in_{0} = queue_read(&q_{0});",
-                net.place_name(p)
-            );
+            let _ = writeln!(out, "    in_{0} = queue_read(&q_{0});", net.place_name(p));
             let _ = writeln!(out, "  }}");
         }
         for &t in &transitions {
@@ -178,11 +174,7 @@ pub fn emit_functional_c(model: &AtmModel) -> String {
                     .map(|&(p, _)| p)
                     .find(|&p| net.is_choice_place(p))
                     .expect("transition has a choice input");
-                let _ = writeln!(
-                    out,
-                    "  switch (token_tag_{}()) {{",
-                    net.place_name(place)
-                );
+                let _ = writeln!(out, "  switch (token_tag_{}()) {{", net.place_name(place));
                 let _ = writeln!(out, "  case TAG_{}:", name.to_uppercase());
                 let _ = writeln!(out, "    if (ready_{name}()) {{ {name}(); }}");
                 let _ = writeln!(out, "    break;");
@@ -198,11 +190,7 @@ pub fn emit_functional_c(model: &AtmModel) -> String {
             // module state, boundary places go through the consumer task's queue.
             for &(p, _) in net.outputs(t) {
                 if queues.contains(&p) {
-                    let _ = writeln!(
-                        out,
-                        "  queue_write(&q_{0}, out_{0});",
-                        net.place_name(p)
-                    );
+                    let _ = writeln!(out, "  queue_write(&q_{0}, out_{0});", net.place_name(p));
                 } else if internal.contains(&p) {
                     let _ = writeln!(
                         out,
@@ -214,11 +202,7 @@ pub fn emit_functional_c(model: &AtmModel) -> String {
             }
         }
         for &p in &writes {
-            let _ = writeln!(
-                out,
-                "  rtos_notify(owner_of_q_{}());",
-                net.place_name(p)
-            );
+            let _ = writeln!(out, "  rtos_notify(owner_of_q_{}());", net.place_name(p));
         }
         let _ = writeln!(out, "}}");
         let _ = writeln!(out);

@@ -139,8 +139,13 @@ pub fn run_table1(model: &AtmModel, config: &Table1Config) -> Result<Table1> {
 
     let workload = generate_workload(model, &config.traffic, config.seed);
     let mut qss_policy = AtmChoicePolicy::new(model, config.traffic, config.seed);
-    let qss_report =
-        simulate_program(&program, &model.net, &config.cost, &workload, &mut qss_policy)?;
+    let qss_report = simulate_program(
+        &program,
+        &model.net,
+        &config.cost,
+        &workload,
+        &mut qss_policy,
+    )?;
 
     // --- Functional baseline: per-module tasks -> emit C skeleton -> simulate. ---
     let tasks = functional_partition(model);

@@ -10,7 +10,9 @@ use std::hint::black_box;
 fn bench_classification(c: &mut Criterion) {
     let fig1a = gallery::figure1a();
     let fig1b = gallery::figure1b();
-    let atm = AtmModel::build(AtmConfig::paper()).expect("atm model builds").net;
+    let atm = AtmModel::build(AtmConfig::paper())
+        .expect("atm model builds")
+        .net;
     println!("figure 1a -> {}", Classification::of(&fig1a).class);
     println!("figure 1b -> {}", Classification::of(&fig1b).class);
     println!("atm-server -> {}", Classification::of(&atm).class);

@@ -46,7 +46,11 @@ fn bench_static_schedule(c: &mut Criterion) {
             BenchmarkId::new("downsampling_chain", actors),
             &graph,
             |b, graph| {
-                b.iter(|| graph.static_schedule(FiringPolicy::Eager).expect("schedules"))
+                b.iter(|| {
+                    graph
+                        .static_schedule(FiringPolicy::Eager)
+                        .expect("schedules")
+                })
             },
         );
     }

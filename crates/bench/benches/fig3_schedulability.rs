@@ -10,7 +10,9 @@ fn bench_schedulability(c: &mut Criterion) {
     let fig3a = gallery::figure3a();
     let fig3b = gallery::figure3b();
     match quasi_static_schedule(&fig3a, &QssOptions::default()).expect("fc input") {
-        QssOutcome::Schedulable(s) => println!("figure 3a: schedulable, S = {}", s.describe(&fig3a)),
+        QssOutcome::Schedulable(s) => {
+            println!("figure 3a: schedulable, S = {}", s.describe(&fig3a))
+        }
         QssOutcome::NotSchedulable(_) => println!("figure 3a: UNEXPECTEDLY not schedulable"),
     }
     match quasi_static_schedule(&fig3b, &QssOptions::default()).expect("fc input") {

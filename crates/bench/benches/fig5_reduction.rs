@@ -13,8 +13,7 @@ fn bench_figure5(c: &mut Criterion) {
     let allocations =
         enumerate_allocations(&net, AllocationOptions::default()).expect("figure 5 is FC");
     for allocation in &allocations {
-        let reduction =
-            TReduction::compute(&net, allocation.clone()).expect("reduction succeeds");
+        let reduction = TReduction::compute(&net, allocation.clone()).expect("reduction succeeds");
         if let ComponentVerdict::Schedulable(cycle) = check_component(&net, &reduction) {
             println!(
                 "figure 5, allocation [{}]: cycle ({})",

@@ -1,24 +1,202 @@
-//! Prints the scaling ablation table (choice-chain sweep) used by EXPERIMENTS.md.
+//! Emits the machine-readable benchmark baseline consumed by the `BENCH_*.json`
+//! trajectory at the repository root, plus the scaling ablation table (choice-chain
+//! sweep) used by EXPERIMENTS.md.
 //!
-//! Run with `cargo run --release -p fcpn-bench --example scaling_table`.
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p fcpn-bench --example scaling_table -- --out BENCH_statespace.json
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout. `FCPN_BENCH_SAMPLES` controls the number of
+//! interleaved measurement pairs per case (default 9).
+//!
+//! Speedups are measured with **interleaved pairs** — each sample times one engine
+//! explore immediately followed by one naive explore, and the recorded speedup is the
+//! median of the per-pair ratios. On a machine with background load this is far more
+//! stable than comparing two independently taken medians.
 
 use fcpn_bench::program_of;
 use fcpn_codegen::CodeMetrics;
-use fcpn_petri::gallery;
+use fcpn_petri::analysis::{ReachabilityGraph, ReachabilityOptions};
+use fcpn_petri::statespace::StateSpace;
+use fcpn_petri::{gallery, PetriNet};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct ExploreCase {
+    label: &'static str,
+    net: PetriNet,
+    options: ReachabilityOptions,
+}
+
+struct ExploreRow {
+    label: &'static str,
+    options: ReachabilityOptions,
+    states: usize,
+    edges: usize,
+    complete: bool,
+    engine_ms: f64,
+    naive_ms: f64,
+    speedup: f64,
+    states_per_sec: f64,
+}
+
+fn samples() -> usize {
+    std::env::var("FCPN_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9)
+}
+
+fn measure_explore(case: &ExploreCase) -> ExploreRow {
+    let space = StateSpace::explore(&case.net, case.options);
+    let (states, edges, complete) = (space.state_count(), space.edge_count(), space.is_complete());
+    drop(space);
+
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for _ in 0..samples() {
+        let start = Instant::now();
+        black_box(StateSpace::explore(black_box(&case.net), case.options));
+        let engine = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        black_box(ReachabilityGraph::explore_naive(
+            black_box(&case.net),
+            case.options,
+        ));
+        let naive = start.elapsed().as_secs_f64();
+        pairs.push((engine, naive));
+    }
+    let mut ratios: Vec<f64> = pairs.iter().map(|(e, n)| n / e).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let speedup = ratios[ratios.len() / 2];
+    let engine_best = pairs.iter().map(|&(e, _)| e).fold(f64::INFINITY, f64::min);
+    let naive_best = pairs.iter().map(|&(_, n)| n).fold(f64::INFINITY, f64::min);
+    ExploreRow {
+        label: case.label,
+        options: case.options,
+        states,
+        edges,
+        complete,
+        engine_ms: engine_best * 1e3,
+        naive_ms: naive_best * 1e3,
+        speedup,
+        states_per_sec: states as f64 / engine_best,
+    }
+}
 
 fn main() {
-    println!("choices | cycles | IR stmts | C lines | wall time");
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let open = ReachabilityOptions {
+        max_markings: 60_000,
+        max_tokens_per_place: 8,
+    };
+    let cases = [
+        ExploreCase {
+            label: "choice_chain(8)",
+            net: gallery::choice_chain(8),
+            options: open,
+        },
+        ExploreCase {
+            label: "cycle_bank(14)",
+            net: gallery::cycle_bank(14),
+            options: ReachabilityOptions::default(),
+        },
+        ExploreCase {
+            label: "marked_ring(12,6)",
+            net: gallery::marked_ring(12, 6),
+            options: ReachabilityOptions::default(),
+        },
+        ExploreCase {
+            label: "figure5",
+            net: gallery::figure5(),
+            options: open,
+        },
+    ];
+
+    eprintln!(
+        "measuring explore throughput ({} interleaved pairs per case)...",
+        samples()
+    );
+    let rows: Vec<ExploreRow> = cases.iter().map(measure_explore).collect();
+    for row in &rows {
+        eprintln!(
+            "  {:<20} {:>7} states {:>8} edges  engine {:>9.3}ms  naive {:>9.3}ms  speedup {:.2}x",
+            row.label, row.states, row.edges, row.engine_ms, row.naive_ms, row.speedup
+        );
+    }
+
+    // The paper's complexity ablation: schedule + synthesise a sweep of choice chains.
+    eprintln!("measuring QSS + codegen scaling sweep...");
+    let mut scaling = Vec::new();
     for n in [1usize, 2, 4, 6, 8, 10] {
         let net = gallery::choice_chain(n);
-        let start = std::time::Instant::now();
+        let start = Instant::now();
         let (schedule, program) = program_of(&net);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let metrics = CodeMetrics::of(&program, &net);
-        println!(
-            "{n:>7} | {:>6} | {:>8} | {:>7} | {:?}",
+        scaling.push((
+            n,
             schedule.cycle_count(),
             metrics.ir_statements,
             metrics.lines_of_c,
-            start.elapsed()
+            wall_ms,
+        ));
+        eprintln!(
+            "  choices={n:>2} cycles={:>4} ir={:>5} c_lines={:>5} wall={wall_ms:.2}ms",
+            schedule.cycle_count(),
+            metrics.ir_statements,
+            metrics.lines_of_c
         );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"fcpn-bench/statespace-v1\",\n");
+    json.push_str(&format!("  \"samples_per_case\": {},\n", samples()));
+    json.push_str("  \"explore\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"net\": \"{}\", \"max_markings\": {}, \"max_tokens_per_place\": {}, \
+             \"states\": {}, \"edges\": {}, \"complete\": {}, \
+             \"engine_best_ms\": {:.3}, \"naive_best_ms\": {:.3}, \
+             \"speedup_median\": {:.2}, \"engine_states_per_sec\": {:.0}}}{}\n",
+            row.label,
+            row.options.max_markings,
+            row.options.max_tokens_per_place,
+            row.states,
+            row.edges,
+            row.complete,
+            row.engine_ms,
+            row.naive_ms,
+            row.speedup,
+            row.states_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"qss_scaling\": [\n");
+    for (i, (n, cycles, ir, c_lines, wall_ms)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"choices\": {n}, \"cycles\": {cycles}, \"ir_statements\": {ir}, \
+             \"lines_of_c\": {c_lines}, \"wall_ms\": {wall_ms:.3}}}{}\n",
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write baseline JSON");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
     }
 }

@@ -13,8 +13,8 @@
 //!   often — exactly the cases the paper's `Task` routine distinguishes.
 
 use crate::{ChoiceArm, CodegenError, Program, Result, Stmt, Task};
-use fcpn_qss::{FiniteCompleteCycle, ValidSchedule};
 use fcpn_petri::{PetriNet, PlaceId, TransitionId};
+use fcpn_qss::{FiniteCompleteCycle, ValidSchedule};
 use std::collections::BTreeSet;
 
 /// Options controlling software synthesis.
@@ -91,8 +91,8 @@ pub fn synthesize(
         for &source in &sources {
             let mut slices = Vec::new();
             for cycle in &schedule.cycles {
-                let slice = slice_for(cycle, source)
-                    .ok_or(CodegenError::MissingSlice { source })?;
+                let slice =
+                    slice_for(cycle, source).ok_or(CodegenError::MissingSlice { source })?;
                 let order = causal_order(net, &slice, Some(source));
                 slices.push(TaskSlice {
                     order,
@@ -148,11 +148,7 @@ fn slice_for(cycle: &FiniteCompleteCycle, source: TransitionId) -> Option<Vec<u6
 /// own source first, then every transition once all of its in-support producers have been
 /// placed. This is the order in which the task's code executes the computations when its
 /// input event arrives, independent of how the full cycle interleaves other tasks.
-fn causal_order(
-    net: &PetriNet,
-    counts: &[u64],
-    source: Option<TransitionId>,
-) -> Vec<TransitionId> {
+fn causal_order(net: &PetriNet, counts: &[u64], source: Option<TransitionId>) -> Vec<TransitionId> {
     let support: Vec<TransitionId> = net
         .transitions()
         .filter(|t| counts[t.index()] > 0)
@@ -180,7 +176,9 @@ fn causal_order(
                     .filter(|producer| in_support.contains(producer))
                     .collect();
                 producers_in_support.is_empty()
-                    || producers_in_support.iter().any(|producer| placed.contains(producer))
+                    || producers_in_support
+                        .iter()
+                        .any(|producer| placed.contains(producer))
                     || net.initial_marking().tokens(p) > 0
             });
             if ready {
@@ -359,7 +357,11 @@ fn build_segment(
                     let heads: Vec<TaskSlice> = group
                         .iter()
                         .map(|s| TaskSlice {
-                            order: s.order.get(..split.min(s.order.len())).unwrap_or(&[]).to_vec(),
+                            order: s
+                                .order
+                                .get(..split.min(s.order.len()))
+                                .unwrap_or(&[])
+                                .to_vec(),
                             counts: s.counts.clone(),
                         })
                         .collect();
@@ -502,10 +504,7 @@ mod tests {
             .unwrap();
         assert!(matches!(arm_t2.body[0], Stmt::Fire(_)));
         assert!(matches!(arm_t2.body[1], Stmt::IncCount { amount: 1, .. }));
-        assert!(matches!(
-            arm_t2.body[2],
-            Stmt::IfCount { at_least: 2, .. }
-        ));
+        assert!(matches!(arm_t2.body[2], Stmt::IfCount { at_least: 2, .. }));
         // Arm for t3: fire t3, count(p3) += 2, while (count(p3) >= 1) { t5; count -= 1 }.
         let arm_t3 = arms
             .iter()
@@ -528,8 +527,7 @@ mod tests {
         // The t8 task handles the tick-like input: t8, t9, and the shared t6.
         let t8_task = &program.tasks[1];
         let fired = t8_task.transitions();
-        let fired_names: Vec<&str> =
-            fired.iter().map(|&t| net.transition_name(t)).collect();
+        let fired_names: Vec<&str> = fired.iter().map(|&t| net.transition_name(t)).collect();
         assert_eq!(fired_names, vec!["t8", "t9", "t6"]);
         // t6 is shared between both tasks (merge place p4), as the paper notes.
         let t1_task = &program.tasks[0];

@@ -46,7 +46,10 @@ impl fmt::Display for CodegenError {
                 write!(f, "counter for place {place} went negative")
             }
             CodegenError::InvalidChoiceResolution { place, chosen } => {
-                write!(f, "transition {chosen} is not an arm of the choice at {place}")
+                write!(
+                    f,
+                    "transition {chosen} is not an arm of the choice at {place}"
+                )
             }
             CodegenError::Petri(e) => write!(f, "petri net error: {e}"),
         }
@@ -77,7 +80,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CodegenError::EmptySchedule.to_string().contains("no cycles"));
+        assert!(CodegenError::EmptySchedule
+            .to_string()
+            .contains("no cycles"));
         let e = CodegenError::NegativeCounter {
             place: PlaceId::new(3),
         };

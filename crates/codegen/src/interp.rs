@@ -191,13 +191,12 @@ impl<'a> Interpreter<'a> {
             Stmt::Choice { place, arms } => {
                 let candidates: Vec<TransitionId> = arms.iter().map(|a| a.transition).collect();
                 let chosen = resolver.resolve(*place, &candidates);
-                let arm = arms
-                    .iter()
-                    .find(|a| a.transition == chosen)
-                    .ok_or(CodegenError::InvalidChoiceResolution {
+                let arm = arms.iter().find(|a| a.transition == chosen).ok_or(
+                    CodegenError::InvalidChoiceResolution {
                         place: *place,
                         chosen,
-                    })?;
+                    },
+                )?;
                 let body = arm.body.clone();
                 self.run_block(&body, resolver, trace)?;
             }
@@ -348,9 +347,8 @@ mod tests {
         let program = program_for(&net);
         let mut interp = Interpreter::new(&program, &net);
         let t3 = net.transition_by_name("t3").unwrap();
-        let mut resolver = move |_place: PlaceId, candidates: &[TransitionId]| {
-            *candidates.last().unwrap()
-        };
+        let mut resolver =
+            move |_place: PlaceId, candidates: &[TransitionId]| *candidates.last().unwrap();
         let trace = interp.run_task(0, &mut resolver).unwrap();
         assert!(trace.fired.contains(&t3));
     }

@@ -38,9 +38,7 @@ mod task_ir;
 pub use build::{synthesize, SynthesisOptions};
 pub use c_emit::{emit_c, CEmitOptions};
 pub use error::{CodegenError, Result};
-pub use interp::{
-    ChoiceResolver, FixedResolver, Interpreter, InvocationTrace, RoundRobinResolver,
-};
+pub use interp::{ChoiceResolver, FixedResolver, Interpreter, InvocationTrace, RoundRobinResolver};
 pub use metrics::CodeMetrics;
 pub use rust_emit::{emit_rust, RustEmitOptions};
 pub use task_ir::{ChoiceArm, Program, Stmt, Task};

@@ -1,8 +1,8 @@
 //! The top-level quasi-static scheduling algorithm (Section 3, Steps 1–3).
 
 use crate::{
-    check_component, enumerate_allocations, AllocationOptions, ComponentFailure,
-    ComponentVerdict, Result, TReduction, ValidSchedule,
+    check_component, enumerate_allocations, AllocationOptions, ComponentFailure, ComponentVerdict,
+    Result, TReduction, ValidSchedule,
 };
 use fcpn_petri::{PetriNet, TransitionId};
 use std::fmt;

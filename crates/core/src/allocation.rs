@@ -239,7 +239,13 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, QssError::TooManyAllocations { required: 32, limit: 16 }));
+        assert!(matches!(
+            err,
+            QssError::TooManyAllocations {
+                required: 32,
+                limit: 16
+            }
+        ));
     }
 
     #[test]

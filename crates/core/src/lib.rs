@@ -45,8 +45,8 @@ mod schedulability;
 mod schedule;
 
 pub use algorithm::{
-    is_schedulable, quasi_static_schedule, ComponentDiagnostic, NotSchedulableReport,
-    QssOptions, QssOutcome,
+    is_schedulable, quasi_static_schedule, ComponentDiagnostic, NotSchedulableReport, QssOptions,
+    QssOutcome,
 };
 pub use allocation::{enumerate_allocations, AllocationOptions, TAllocation};
 pub use error::{QssError, Result};

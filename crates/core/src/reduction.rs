@@ -340,10 +340,7 @@ mod tests {
         let parent_seq = r.sequence_to_parent(&seq);
         assert_eq!(parent_seq.len(), 3);
         for (&child, &parent) in seq.iter().zip(parent_seq.iter()) {
-            assert_eq!(
-                r.net.transition_name(child),
-                net.transition_name(parent)
-            );
+            assert_eq!(r.net.transition_name(child), net.transition_name(parent));
         }
     }
 }

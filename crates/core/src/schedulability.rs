@@ -9,7 +9,7 @@
 
 use crate::{FiniteCompleteCycle, TReduction};
 use fcpn_petri::analysis::{IncidenceMatrix, InvariantAnalysis};
-use fcpn_petri::{Marking, PetriNet, TransitionId};
+use fcpn_petri::{PetriNet, TransitionId};
 
 /// Why a component (T-reduction) failed the schedulability test of Definition 3.5.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,8 +115,9 @@ pub fn check_component(parent: &PetriNet, reduction: &TReduction) -> ComponentVe
             }
             let mut parent_bounds = vec![0u64; parent.place_count()];
             for (child_index, &peak) in peaks.iter().enumerate() {
-                let parent_place =
-                    reduction.map.parent_place(fcpn_petri::PlaceId::new(child_index));
+                let parent_place = reduction
+                    .map
+                    .parent_place(fcpn_petri::PlaceId::new(child_index));
                 parent_bounds[parent_place.index()] = peak;
             }
             // Slice the cycle per input: for each source transition, the sum of the
@@ -130,8 +131,9 @@ pub fn check_component(parent: &PetriNet, reduction: &TReduction) -> ComponentVe
                 let mut slice = vec![0u64; parent.transition_count()];
                 for flow in invariants.t_semiflows_containing(child) {
                     for (child_index, &count) in flow.vector.iter().enumerate() {
-                        let parent_t =
-                            reduction.map.parent_transition(TransitionId::new(child_index));
+                        let parent_t = reduction
+                            .map
+                            .parent_transition(TransitionId::new(child_index));
                         slice[parent_t.index()] += count;
                     }
                 }
@@ -169,6 +171,10 @@ pub fn check_component(parent: &PetriNet, reduction: &TReduction) -> ComponentVe
 /// transitions) are fired first whenever they are enabled — this "decide the choice as
 /// soon as its token arrives" order is the one the paper's examples use.
 ///
+/// The simulation runs on the state-space engine's firing fast path: flat token buffers,
+/// [`PetriNet::fire_into`] with precomputed delta rows, and peak tracking restricted to
+/// the places each firing actually touches — no `Marking` clone or validation per step.
+///
 /// Returns the firing sequence and per-place peak token counts, or
 /// `Err((remaining, fired))` on deadlock.
 #[allow(clippy::type_complexity)]
@@ -178,14 +184,15 @@ pub fn simulate_cycle(
     priority: &[TransitionId],
 ) -> Result<(Vec<TransitionId>, Vec<u64>), (Vec<u64>, Vec<TransitionId>)> {
     let mut remaining: Vec<u64> = counts.to_vec();
-    let mut marking: Marking = net.initial_marking().clone();
+    let mut marking: Vec<u64> = net.initial_marking().as_slice().to_vec();
+    let mut scratch: Vec<u64> = vec![0; marking.len()];
     let mut sequence = Vec::new();
-    let mut peaks: Vec<u64> = marking.as_slice().to_vec();
+    let mut peaks: Vec<u64> = marking.clone();
     let total: u64 = remaining.iter().sum();
     let mut fired = 0u64;
     while fired < total {
-        let fireable = |t: TransitionId, remaining: &[u64], marking: &Marking| {
-            remaining[t.index()] > 0 && net.is_enabled(marking, t)
+        let fireable = |t: TransitionId, remaining: &[u64], marking: &[u64]| {
+            remaining[t.index()] > 0 && net.is_enabled_at(marking, t)
         };
         let next = priority
             .iter()
@@ -198,13 +205,21 @@ pub fn simulate_cycle(
         let Some(t) = next else {
             return Err((remaining, sequence));
         };
-        net.fire(&mut marking, t).expect("transition was enabled");
+        // The transition was selected as enabled, so fire_into can only fail on token
+        // overflow; `scratch` is unspecified then, so aborting (like the safe path's
+        // `.expect` used to) is the only sound option.
+        assert!(
+            net.fire_into(&marking, &mut scratch, t),
+            "firing {t} overflowed a place's token count"
+        );
+        std::mem::swap(&mut marking, &mut scratch);
         remaining[t.index()] -= 1;
         sequence.push(t);
         fired += 1;
-        for (i, &k) in marking.as_slice().iter().enumerate() {
-            if k > peaks[i] {
-                peaks[i] = k;
+        // Only places this transition produced into can set a new peak.
+        for &(p, delta) in net.delta_row(t) {
+            if delta > 0 && marking[p.index()] > peaks[p.index()] {
+                peaks[p.index()] = marking[p.index()];
             }
         }
     }

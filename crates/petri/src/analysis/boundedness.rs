@@ -1,7 +1,8 @@
 //! Boundedness analysis: k-boundedness over the explored state space and structural
 //! unboundedness detection via a coverability (Karp–Miller style) search.
 
-use crate::{Marking, PetriNet, PlaceId, TransitionId};
+use crate::statespace::MarkingArena;
+use crate::{PetriNet, PlaceId, TransitionId};
 use std::collections::VecDeque;
 
 /// Outcome of a boundedness query.
@@ -49,71 +50,76 @@ impl Default for BoundednessOptions {
     }
 }
 
-struct Node {
-    marking: Marking,
-    parent: Option<usize>,
-    via: Option<TransitionId>,
+/// Returns `true` if `a` covers `b` component-wise with strict excess somewhere.
+fn strictly_covers(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b.iter()).all(|(x, y)| x >= y) && a != b
 }
 
 /// Decides boundedness of `net` from its initial marking with a coverability-style
 /// breadth-first search: a marking strictly covering one of its ancestors witnesses
 /// unboundedness (the classical Karp–Miller argument), while exhaustion of the finite
 /// state space without such a witness proves boundedness.
+///
+/// The search runs on the state-space engine's primitives: discovered markings are
+/// interned in a [`MarkingArena`] (the former `Vec<Marking>` membership scan was O(V)
+/// per successor) and successors are generated with the allocation-free
+/// [`PetriNet::fire_into`] fast path.
 pub fn check_boundedness(net: &PetriNet, options: BoundednessOptions) -> Boundedness {
-    let mut nodes: Vec<Node> = vec![Node {
-        marking: net.initial_marking().clone(),
-        parent: None,
-        via: None,
-    }];
-    let mut queue: VecDeque<usize> = VecDeque::new();
+    let places = net.place_count();
+    let mut arena = MarkingArena::new(places);
+    arena.intern(net.initial_marking().as_slice());
+    // Parent pointers and firing labels, parallel to the arena's state ids.
+    let mut parents: Vec<Option<u32>> = vec![None];
+    let mut via: Vec<Option<TransitionId>> = vec![None];
+    let mut queue: VecDeque<u32> = VecDeque::new();
     queue.push_back(0);
-    let mut seen: Vec<Marking> = vec![net.initial_marking().clone()];
     let mut max_tokens = net.initial_marking().max_tokens();
 
-    while let Some(current) = queue.pop_front() {
-        if nodes.len() > options.max_nodes {
+    let mut current = vec![0u64; places];
+    let mut scratch = vec![0u64; places];
+
+    while let Some(node) = queue.pop_front() {
+        if arena.len() > options.max_nodes {
             return Boundedness::Unknown;
         }
-        let marking = nodes[current].marking.clone();
+        current.copy_from_slice(arena.state(node));
         for t in net.transitions() {
-            if !net.is_enabled(&marking, t) {
-                continue;
-            }
-            let mut next = marking.clone();
-            if net.fire(&mut next, t).is_err() {
+            if !net.fire_into(&current, &mut scratch, t) {
                 continue;
             }
             // Walk ancestors: a strictly covered ancestor proves unboundedness.
-            let mut ancestor = Some(current);
+            let mut ancestor = Some(node);
             while let Some(a) = ancestor {
-                if next.strictly_covers(&nodes[a].marking) {
-                    let places = next
+                if strictly_covers(&scratch, arena.state(a)) {
+                    let pumped = arena.state(a);
+                    let places = scratch
                         .iter()
-                        .filter(|&(p, k)| k > nodes[a].marking.tokens(p))
-                        .map(|(p, _)| p)
+                        .enumerate()
+                        .filter(|&(p, &k)| k > pumped[p])
+                        .map(|(p, _)| PlaceId::new(p))
                         .collect();
                     let mut witness = vec![t];
-                    let mut walk = current;
-                    while let (Some(parent), Some(via)) = (nodes[walk].parent, nodes[walk].via) {
-                        witness.push(via);
+                    let mut walk = node;
+                    while let (Some(parent), Some(fired)) =
+                        (parents[walk as usize], via[walk as usize])
+                    {
+                        witness.push(fired);
                         walk = parent;
                     }
                     witness.reverse();
                     return Boundedness::Unbounded { places, witness };
                 }
-                ancestor = nodes[a].parent;
+                ancestor = parents[a as usize];
             }
-            if seen.contains(&next) {
+            let (id, inserted) = arena.intern(&scratch);
+            if !inserted {
                 continue;
             }
-            max_tokens = max_tokens.max(next.max_tokens());
-            seen.push(next.clone());
-            nodes.push(Node {
-                marking: next,
-                parent: Some(current),
-                via: Some(t),
-            });
-            queue.push_back(nodes.len() - 1);
+            max_tokens = max_tokens.max(scratch.iter().copied().max().unwrap_or(0));
+            parents.push(Some(node));
+            via.push(Some(t));
+            debug_assert_eq!(parents.len(), arena.len());
+            queue.push_back(id);
         }
     }
     Boundedness::Bounded { k: max_tokens }
@@ -157,7 +163,10 @@ mod tests {
         let result = check_boundedness(&net, BoundednessOptions::default());
         assert_eq!(result, Boundedness::Bounded { k: 1 });
         assert_eq!(is_safe(&net, BoundednessOptions::default()), Some(true));
-        assert_eq!(is_k_bounded(&net, 3, BoundednessOptions::default()), Some(true));
+        assert_eq!(
+            is_k_bounded(&net, 3, BoundednessOptions::default()),
+            Some(true)
+        );
     }
 
     #[test]
@@ -196,7 +205,10 @@ mod tests {
             Boundedness::Bounded { k: 2 }
         );
         assert_eq!(is_safe(&net, BoundednessOptions::default()), Some(false));
-        assert_eq!(is_k_bounded(&net, 2, BoundednessOptions::default()), Some(true));
+        assert_eq!(
+            is_k_bounded(&net, 2, BoundednessOptions::default()),
+            Some(true)
+        );
     }
 
     #[test]

@@ -99,9 +99,7 @@ fn free_choice_violations(net: &PetriNet) -> Vec<PlaceId> {
             continue;
         }
         // `p` is a choice: every arc p -> t must be the unique incoming arc of t.
-        let violated = consumers
-            .iter()
-            .any(|&(t, _)| net.inputs(t).len() != 1);
+        let violated = consumers.iter().any(|&(t, _)| net.inputs(t).len() != 1);
         if violated {
             violations.push(p);
         }
@@ -178,7 +176,10 @@ mod tests {
         let c = Classification::of(&net);
         assert_eq!(c.class, NetClass::General);
         assert!(!c.is_free_choice());
-        assert_eq!(c.free_choice_violations, vec![net.place_by_name("p").unwrap()]);
+        assert_eq!(
+            c.free_choice_violations,
+            vec![net.place_by_name("p").unwrap()]
+        );
         assert!(!net.is_free_choice());
     }
 

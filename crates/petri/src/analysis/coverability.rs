@@ -67,7 +67,11 @@ impl OmegaMarking {
     /// Lifts a concrete marking to an ω-marking.
     pub fn from_marking(marking: &Marking) -> Self {
         OmegaMarking {
-            tokens: marking.as_slice().iter().map(|&k| Tokens::Finite(k)).collect(),
+            tokens: marking
+                .as_slice()
+                .iter()
+                .map(|&k| Tokens::Finite(k))
+                .collect(),
         }
     }
 
@@ -88,15 +92,20 @@ impl OmegaMarking {
 
     /// Component-wise ≥ (with ω above every finite value).
     pub fn covers(&self, other: &OmegaMarking) -> bool {
-        self.tokens.iter().zip(other.tokens.iter()).all(|(a, b)| match (a, b) {
-            (Tokens::Omega, _) => true,
-            (Tokens::Finite(_), Tokens::Omega) => false,
-            (Tokens::Finite(x), Tokens::Finite(y)) => x >= y,
-        })
+        self.tokens
+            .iter()
+            .zip(other.tokens.iter())
+            .all(|(a, b)| match (a, b) {
+                (Tokens::Omega, _) => true,
+                (Tokens::Finite(_), Tokens::Omega) => false,
+                (Tokens::Finite(x), Tokens::Finite(y)) => x >= y,
+            })
     }
 
     fn is_enabled(&self, net: &PetriNet, t: TransitionId) -> bool {
-        net.inputs(t).iter().all(|&(p, w)| self.tokens[p.index()].at_least(w))
+        net.inputs(t)
+            .iter()
+            .all(|&(p, w)| self.tokens[p.index()].at_least(w))
     }
 
     fn fire(&self, net: &PetriNet, t: TransitionId) -> OmegaMarking {
@@ -243,9 +252,7 @@ impl CoverabilityGraph {
     /// Coverability query: can a marking with at least `needed` tokens in `place` be
     /// covered?
     pub fn can_cover(&self, place: PlaceId, needed: u64) -> bool {
-        self.nodes
-            .iter()
-            .any(|n| n.tokens(place).at_least(needed))
+        self.nodes.iter().any(|n| n.tokens(place).at_least(needed))
     }
 }
 
@@ -322,10 +329,7 @@ mod tests {
     #[test]
     fn node_budget_marks_incomplete() {
         let net = gallery::figure5();
-        let graph = CoverabilityGraph::build(
-            &net,
-            CoverabilityOptions { max_nodes: 2 },
-        );
+        let graph = CoverabilityGraph::build(&net, CoverabilityOptions { max_nodes: 2 });
         assert!(!graph.complete);
         assert!(graph.nodes.len() <= 2);
     }

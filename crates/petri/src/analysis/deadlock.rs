@@ -1,6 +1,7 @@
 //! Deadlock detection over the explored state space.
 
-use super::reachability::{ReachabilityGraph, ReachabilityOptions};
+use super::reachability::ReachabilityOptions;
+use crate::statespace::StateSpace;
 use crate::{Marking, PetriNet, TransitionId};
 
 /// Outcome of a deadlock search.
@@ -32,57 +33,24 @@ impl DeadlockReport {
 /// enabled; the search still runs and simply reports [`DeadlockReport::DeadlockFree`] when
 /// the explored space is complete.
 pub fn find_deadlock(net: &PetriNet, options: ReachabilityOptions) -> DeadlockReport {
-    let graph = ReachabilityGraph::explore(net, options);
-    // A marking with no outgoing edge may simply have had its successors cut off by the
+    let space = StateSpace::explore(net, options);
+    // A state with no outgoing edge may simply have had its successors cut off by the
     // exploration budget; confirm it is genuinely dead before reporting it.
-    let dead: Vec<usize> = graph
-        .dead_markings()
-        .into_iter()
-        .filter(|&i| net.is_deadlocked(&graph.markings[i]))
-        .collect();
-    if let Some(&target) = dead.first() {
-        // Reconstruct a path from marking 0 to `target` with a BFS over the edges.
-        let trace = path_to(&graph, target);
+    let target = space.dead_states().into_iter().find(|&s| {
+        let tokens = space.tokens(s);
+        net.transitions().all(|t| !net.is_enabled_at(tokens, t))
+    });
+    if let Some(target) = target {
         return DeadlockReport::Deadlock {
-            marking: graph.markings[target].clone(),
-            trace,
+            marking: space.marking(target),
+            trace: space.path_to(target),
         };
     }
-    if graph.complete {
+    if space.is_complete() {
         DeadlockReport::DeadlockFree
     } else {
         DeadlockReport::Unknown
     }
-}
-
-fn path_to(graph: &ReachabilityGraph, target: usize) -> Vec<TransitionId> {
-    use std::collections::VecDeque;
-    let n = graph.markings.len();
-    let mut prev: Vec<Option<(usize, TransitionId)>> = vec![None; n];
-    let mut visited = vec![false; n];
-    let mut queue = VecDeque::new();
-    visited[0] = true;
-    queue.push_back(0usize);
-    while let Some(current) = queue.pop_front() {
-        if current == target {
-            break;
-        }
-        for e in graph.successors(current) {
-            if !visited[e.to] {
-                visited[e.to] = true;
-                prev[e.to] = Some((current, e.transition));
-                queue.push_back(e.to);
-            }
-        }
-    }
-    let mut trace = Vec::new();
-    let mut cursor = target;
-    while let Some((parent, t)) = prev[cursor] {
-        trace.push(t);
-        cursor = parent;
-    }
-    trace.reverse();
-    trace
 }
 
 #[cfg(test)]

@@ -195,10 +195,7 @@ mod tests {
         assert_eq!(d.marking_change(&[4, 2, 1]), vec![0, 0]);
         assert_eq!(d.marking_change(&[4, 0, 0]), vec![4, 0]);
         let m0 = net.initial_marking().clone();
-        assert_eq!(
-            d.apply(&m0, &[4, 0, 0]).unwrap().as_slice(),
-            &[4, 0]
-        );
+        assert_eq!(d.apply(&m0, &[4, 0, 0]).unwrap().as_slice(), &[4, 0]);
         // Firing t2 twice from empty p1 is not realisable even algebraically.
         assert!(d.apply(&m0, &[0, 2, 0]).is_none());
     }

@@ -187,8 +187,7 @@ fn farkas(rows: &[Vec<i128>]) -> (Vec<Semiflow>, bool) {
 
     for col in 0..m {
         let mut next: Vec<(Vec<i128>, Vec<i128>)> = Vec::new();
-        let (zeros, nonzeros): (Vec<_>, Vec<_>) =
-            work.into_iter().partition(|(d, _)| d[col] == 0);
+        let (zeros, nonzeros): (Vec<_>, Vec<_>) = work.into_iter().partition(|(d, _)| d[col] == 0);
         next.extend(zeros);
         let positives: Vec<&(Vec<i128>, Vec<i128>)> =
             nonzeros.iter().filter(|(d, _)| d[col] > 0).collect();
@@ -420,8 +419,7 @@ mod tests {
         let net = figure3a();
         let inv = InvariantAnalysis::of(&net);
         assert_eq!(inv.t_semiflows.len(), 2);
-        let mut vectors: Vec<Vec<u64>> =
-            inv.t_semiflows.iter().map(|s| s.vector.clone()).collect();
+        let mut vectors: Vec<Vec<u64>> = inv.t_semiflows.iter().map(|s| s.vector.clone()).collect();
         vectors.sort();
         assert_eq!(vectors, vec![vec![1, 0, 1, 0, 1], vec![1, 1, 0, 1, 0]]);
         assert!(inv.is_consistent(net.transition_count()));

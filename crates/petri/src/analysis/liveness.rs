@@ -1,6 +1,7 @@
 //! Liveness analysis over the explored state space.
 
-use super::reachability::{ReachabilityGraph, ReachabilityOptions};
+use super::reachability::ReachabilityOptions;
+use crate::statespace::StateSpace;
 use crate::{PetriNet, TransitionId};
 
 /// Outcome of a liveness query.
@@ -31,13 +32,13 @@ impl LivenessReport {
 /// The check is exact when the reachability graph is complete within `options`; otherwise
 /// [`LivenessReport::Unknown`] is returned.
 pub fn check_liveness(net: &PetriNet, options: ReachabilityOptions) -> LivenessReport {
-    let graph = ReachabilityGraph::explore(net, options);
-    if !graph.complete {
+    let space = StateSpace::explore(net, options);
+    if !space.is_complete() {
         return LivenessReport::Unknown;
     }
     let mut not_live = Vec::new();
     for t in net.transitions() {
-        let can = graph.can_eventually_fire(net, t);
+        let can = space.can_eventually_fire(net, t);
         if can.iter().any(|&c| !c) {
             not_live.push(t);
         }

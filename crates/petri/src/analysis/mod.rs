@@ -25,13 +25,11 @@ pub use coverability::{
 };
 pub use deadlock::{find_deadlock, DeadlockReport};
 pub use incidence::IncidenceMatrix;
-pub use invariants::{
-    incidence_rank, t_invariant_space_dimension, InvariantAnalysis, Semiflow,
-};
+pub use invariants::{incidence_rank, t_invariant_space_dimension, InvariantAnalysis, Semiflow};
 pub use liveness::{check_liveness, LivenessReport};
 pub use rational::{gcd_u64, lcm_u64, smallest_integer_vector, Rational};
 pub use reachability::{ReachabilityEdge, ReachabilityGraph, ReachabilityOptions};
 pub use siphons::{
-    is_siphon, is_trap, largest_siphon_within, maximal_trap_within, minimal_siphons,
-    PlaceSet, SiphonAnalysis,
+    is_siphon, is_trap, largest_siphon_within, maximal_trap_within, minimal_siphons, PlaceSet,
+    SiphonAnalysis,
 };

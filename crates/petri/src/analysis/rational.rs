@@ -209,7 +209,10 @@ pub fn smallest_integer_vector(values: &[Rational]) -> Option<Vec<u64>> {
         let d = v.denom();
         lcm = lcm / gcd_i128(lcm, d) * d;
     }
-    let scaled: Vec<i128> = values.iter().map(|v| v.numer() * (lcm / v.denom())).collect();
+    let scaled: Vec<i128> = values
+        .iter()
+        .map(|v| v.numer() * (lcm / v.denom()))
+        .collect();
     let mut g: i128 = 0;
     for &s in &scaled {
         g = gcd_i128(g, s);
@@ -257,7 +260,10 @@ mod tests {
     fn ordering() {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::from_integer(2) > Rational::new(3, 2));
-        assert_eq!(Rational::new(2, 4).cmp(&Rational::new(1, 2)), Ordering::Equal);
+        assert_eq!(
+            Rational::new(2, 4).cmp(&Rational::new(1, 2)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -4,7 +4,16 @@
 //! a budgeted breadth-first construction of the reachability graph, sufficient for the net
 //! sizes handled by a quasi-static scheduler and for validating schedules produced by the
 //! `fcpn-qss` crate.
+//!
+//! Since the introduction of the arena-interned engine
+//! ([`StateSpace`](crate::statespace::StateSpace)), [`ReachabilityGraph`] is a thin
+//! compatibility view: [`ReachabilityGraph::explore`] delegates to the engine and then
+//! materialises owned [`Marking`]s and an edge list for callers that want them. The
+//! pre-engine explorer is retained as [`ReachabilityGraph::explore_naive`] — it is the
+//! reference implementation the property tests compare the engine against, and the
+//! baseline the benchmark suite measures speedups over.
 
+use crate::statespace::{SliceTable, StateSpace};
 use crate::{Marking, PetriNet, TransitionId};
 use std::collections::{HashMap, VecDeque};
 
@@ -41,27 +50,110 @@ pub struct ReachabilityEdge {
 }
 
 /// The (possibly truncated) reachability graph of a marked net.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Edges are stored sorted by source marking (the construction is breadth-first, so they
+/// come out in that order), which lets [`successors`](ReachabilityGraph::successors)
+/// binary-search its row instead of scanning the whole edge list.
+///
+/// The public fields are kept for compatibility with pre-engine code but should be
+/// treated as **read-only views**: the accelerated queries rely on construction
+/// invariants — `edges` sorted by `from`, and a private hash index over `markings` —
+/// that direct mutation would silently invalidate. Build graphs through the `explore*`
+/// constructors (or [`ReachabilityGraph::from_statespace`]) only.
+#[derive(Debug, Clone)]
 pub struct ReachabilityGraph {
-    /// All distinct markings discovered; index 0 is the initial marking.
+    /// All distinct markings discovered; index 0 is the initial marking. Read-only:
+    /// [`contains`](ReachabilityGraph::contains) / [`index_of`](ReachabilityGraph::index_of)
+    /// answer from a hash index built at construction time.
     pub markings: Vec<Marking>,
-    /// Firing edges between discovered markings.
+    /// Firing edges between discovered markings, sorted by `from`. Read-only:
+    /// [`successors`](ReachabilityGraph::successors) binary-searches on that order.
     pub edges: Vec<ReachabilityEdge>,
     /// `true` if the whole reachable state space was enumerated within the budget and
     /// token cut-off (no marking was left unexpanded).
     pub complete: bool,
     /// Indices of markings that were discovered but not expanded because of the cut-offs.
     pub frontier: Vec<usize>,
+    /// Hash-of-slice lookup backing [`contains`](ReachabilityGraph::contains) /
+    /// [`index_of`](ReachabilityGraph::index_of) in O(1).
+    index: SliceTable,
 }
 
+impl PartialEq for ReachabilityGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The lookup table is derived data; two graphs are equal iff their observable
+        // parts are.
+        self.markings == other.markings
+            && self.edges == other.edges
+            && self.complete == other.complete
+            && self.frontier == other.frontier
+    }
+}
+
+impl Eq for ReachabilityGraph {}
+
 impl ReachabilityGraph {
-    /// Explores the state space of `net` from its initial marking.
+    /// Explores the state space of `net` from its initial marking using the
+    /// arena-interned engine.
     pub fn explore(net: &PetriNet, options: ReachabilityOptions) -> Self {
-        Self::explore_from(net, net.initial_marking().clone(), options)
+        Self::from_statespace(StateSpace::explore(net, options))
     }
 
-    /// Explores the state space of `net` from an arbitrary marking.
+    /// Explores the state space of `net` from an arbitrary marking using the
+    /// arena-interned engine.
     pub fn explore_from(net: &PetriNet, initial: Marking, options: ReachabilityOptions) -> Self {
+        Self::from_statespace(StateSpace::explore_from(net, initial, options))
+    }
+
+    /// Converts an explored [`StateSpace`] into the owned-marking view.
+    pub fn from_statespace(space: StateSpace) -> Self {
+        let parts = space.into_parts();
+        let states = parts.fwd_offsets.len() - 1;
+        let markings: Vec<Marking> = (0..states)
+            .map(|s| {
+                Marking::from_vec(parts.arena[s * parts.places..(s + 1) * parts.places].to_vec())
+            })
+            .collect();
+        let mut edges = Vec::with_capacity(parts.edge_to.len());
+        for from in 0..states {
+            let (start, end) = (
+                parts.fwd_offsets[from] as usize,
+                parts.fwd_offsets[from + 1] as usize,
+            );
+            for e in start..end {
+                edges.push(ReachabilityEdge {
+                    from,
+                    transition: TransitionId::new(parts.edge_transition[e] as usize),
+                    to: parts.edge_to[e] as usize,
+                });
+            }
+        }
+        ReachabilityGraph {
+            markings,
+            edges,
+            complete: parts.complete,
+            frontier: parts.frontier.into_iter().map(|s| s as usize).collect(),
+            index: parts.table,
+        }
+    }
+
+    /// The pre-engine breadth-first explorer: clones a [`Marking`] per expansion and
+    /// interns through a `HashMap<Marking, usize>`.
+    ///
+    /// Retained as the reference implementation — `tests/properties.rs` asserts the
+    /// engine discovers identical markings, edges and frontiers, and the
+    /// `statespace` benchmark measures the engine's speedup against it. Prefer
+    /// [`ReachabilityGraph::explore`] everywhere else.
+    pub fn explore_naive(net: &PetriNet, options: ReachabilityOptions) -> Self {
+        Self::explore_naive_from(net, net.initial_marking().clone(), options)
+    }
+
+    /// [`ReachabilityGraph::explore_naive`] from an arbitrary marking.
+    pub fn explore_naive_from(
+        net: &PetriNet,
+        initial: Marking,
+        options: ReachabilityOptions,
+    ) -> Self {
         let mut markings = Vec::new();
         let mut edges = Vec::new();
         let mut index: HashMap<Marking, usize> = HashMap::new();
@@ -110,11 +202,13 @@ impl ReachabilityGraph {
             }
         }
 
+        let index = SliceTable::index_markings(&markings);
         ReachabilityGraph {
             markings,
             edges,
             complete,
             frontier,
+            index,
         }
     }
 
@@ -123,53 +217,96 @@ impl ReachabilityGraph {
         self.markings.len()
     }
 
-    /// Returns `true` if `marking` was discovered during exploration.
+    /// Returns `true` if `marking` was discovered during exploration — O(1) via the
+    /// interner's hash lookup.
     pub fn contains(&self, marking: &Marking) -> bool {
-        self.markings.iter().any(|m| m == marking)
+        self.index_of(marking).is_some()
     }
 
-    /// Index of `marking` in the graph, if discovered.
+    /// Index of `marking` in the graph, if discovered — O(1) via the interner's hash
+    /// lookup.
     pub fn index_of(&self, marking: &Marking) -> Option<usize> {
-        self.markings.iter().position(|m| m == marking)
+        if self
+            .markings
+            .first()
+            .is_some_and(|m| m.len() != marking.len())
+        {
+            return None;
+        }
+        self.index
+            .find(marking.as_slice(), |id| {
+                self.markings[id as usize].as_slice()
+            })
+            .map(|id| id as usize)
     }
 
-    /// Outgoing edges of the marking at `index`.
+    /// Outgoing edges of the marking at `index` — O(log E + out-degree) thanks to the
+    /// sorted edge list.
     pub fn successors(&self, index: usize) -> impl Iterator<Item = &ReachabilityEdge> + '_ {
-        self.edges.iter().filter(move |e| e.from == index)
+        let start = self.edges.partition_point(|e| e.from < index);
+        self.edges[start..]
+            .iter()
+            .take_while(move |e| e.from == index)
     }
 
     /// The largest token count observed in any place across all discovered markings.
     pub fn max_tokens_observed(&self) -> u64 {
-        self.markings.iter().map(Marking::max_tokens).max().unwrap_or(0)
+        self.markings
+            .iter()
+            .map(Marking::max_tokens)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Indices of markings with no outgoing edge (dead markings). Only meaningful when the
-    /// graph is [`complete`](Self::complete).
+    /// Indices of markings with no outgoing edge (dead markings), via one O(V + E)
+    /// out-degree pass. Only meaningful when the graph is
+    /// [`complete`](Self::complete).
     pub fn dead_markings(&self) -> Vec<usize> {
-        (0..self.markings.len())
-            .filter(|&i| self.successors(i).next().is_none())
+        let mut has_out = vec![false; self.markings.len()];
+        for e in &self.edges {
+            has_out[e.from] = true;
+        }
+        has_out
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, out)| !out)
+            .map(|(i, _)| i)
             .collect()
     }
 
     /// Computes, for every marking index, whether a marking enabling `transition` is
-    /// reachable from it (backward reachability over the graph).
+    /// reachable from it — one seed scan plus one backward traversal over a reverse
+    /// adjacency built on the fly: O(V + E) instead of the former O(V·E) fixpoint.
     pub fn can_eventually_fire(&self, net: &PetriNet, transition: TransitionId) -> Vec<bool> {
         let n = self.markings.len();
+        // Reverse CSR by counting sort.
+        let mut offsets = vec![0u32; n + 1];
+        for e in &self.edges {
+            offsets[e.to + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut preds = vec![0u32; self.edges.len()];
+        let mut fill = offsets.clone();
+        for e in &self.edges {
+            preds[fill[e.to] as usize] = e.from as u32;
+            fill[e.to] += 1;
+        }
+
         let mut can = vec![false; n];
-        // Seed: markings that enable the transition directly.
+        let mut stack: Vec<usize> = Vec::new();
         for (i, m) in self.markings.iter().enumerate() {
             if net.is_enabled(m, transition) {
                 can[i] = true;
+                stack.push(i);
             }
         }
-        // Propagate backwards until a fixpoint: if any successor can, the predecessor can.
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for e in &self.edges {
-                if can[e.to] && !can[e.from] {
-                    can[e.from] = true;
-                    changed = true;
+        while let Some(s) = stack.pop() {
+            for &p in &preds[offsets[s] as usize..offsets[s + 1] as usize] {
+                if !can[p as usize] {
+                    can[p as usize] = true;
+                    stack.push(p as usize);
                 }
             }
         }
@@ -207,6 +344,22 @@ mod tests {
         assert_eq!(g.max_tokens_observed(), 1);
         assert!(g.contains(net.initial_marking()));
         assert_eq!(g.index_of(net.initial_marking()), Some(0));
+    }
+
+    #[test]
+    fn engine_and_naive_agree_on_cycle() {
+        let net = bounded_cycle();
+        let engine = ReachabilityGraph::explore(&net, ReachabilityOptions::default());
+        let naive = ReachabilityGraph::explore_naive(&net, ReachabilityOptions::default());
+        assert_eq!(engine, naive);
+    }
+
+    #[test]
+    fn lookups_reject_foreign_markings() {
+        let net = bounded_cycle();
+        let g = ReachabilityGraph::explore(&net, ReachabilityOptions::default());
+        assert_eq!(g.index_of(&Marking::from_vec(vec![5, 5])), None);
+        assert!(!g.contains(&Marking::from_vec(vec![1, 1, 1])));
     }
 
     #[test]
@@ -268,5 +421,22 @@ mod tests {
         let can = g.can_eventually_fire(&net, t2);
         // From both reachable markings t2 can eventually fire (it is a live cycle).
         assert_eq!(can, vec![true, true]);
+    }
+
+    #[test]
+    fn successors_row_is_exact() {
+        let net = crate::gallery::figure5();
+        let g = ReachabilityGraph::explore(
+            &net,
+            ReachabilityOptions {
+                max_markings: 2_000,
+                max_tokens_per_place: 4,
+            },
+        );
+        for i in 0..g.marking_count() {
+            let via_scan: Vec<_> = g.edges.iter().filter(|e| e.from == i).collect();
+            let via_row: Vec<_> = g.successors(i).collect();
+            assert_eq!(via_scan, via_row);
+        }
     }
 }

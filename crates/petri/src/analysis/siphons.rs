@@ -54,9 +54,7 @@ impl SiphonAnalysis {
         self.minimal_siphons
             .iter()
             .zip(self.traps_in_siphons.iter())
-            .all(|(_, trap)| {
-                !trap.is_empty() && trap.iter().any(|&p| marking.tokens(p) > 0)
-            })
+            .all(|(_, trap)| !trap.is_empty() && trap.iter().any(|&p| marking.tokens(p) > 0))
     }
 
     /// Siphons that are unmarked under `marking` — each is a certificate that the
@@ -78,10 +76,7 @@ pub fn is_siphon(net: &PetriNet, places: &[PlaceId]) -> bool {
     let set: BTreeSet<PlaceId> = places.iter().copied().collect();
     for &p in places {
         for &(producer, _) in net.producers(p) {
-            let consumes_from_set = net
-                .inputs(producer)
-                .iter()
-                .any(|&(q, _)| set.contains(&q));
+            let consumes_from_set = net.inputs(producer).iter().any(|&(q, _)| set.contains(&q));
             if !consumes_from_set {
                 return false;
             }
@@ -99,10 +94,7 @@ pub fn is_trap(net: &PetriNet, places: &[PlaceId]) -> bool {
     let set: BTreeSet<PlaceId> = places.iter().copied().collect();
     for &p in places {
         for &(consumer, _) in net.consumers(p) {
-            let produces_into_set = net
-                .outputs(consumer)
-                .iter()
-                .any(|&(q, _)| set.contains(&q));
+            let produces_into_set = net.outputs(consumer).iter().any(|&(q, _)| set.contains(&q));
             if !produces_into_set {
                 return false;
             }
@@ -115,18 +107,18 @@ pub fn is_trap(net: &PetriNet, places: &[PlaceId]) -> bool {
 /// repeatedly drop places that have a producer not consuming from the set.
 pub fn largest_siphon_within(net: &PetriNet, places: &[PlaceId]) -> PlaceSet {
     shrink(net, places, |net, set, p| {
-        net.producers(p).iter().all(|&(producer, _)| {
-            net.inputs(producer).iter().any(|&(q, _)| set.contains(&q))
-        })
+        net.producers(p)
+            .iter()
+            .all(|&(producer, _)| net.inputs(producer).iter().any(|&(q, _)| set.contains(&q)))
     })
 }
 
 /// Shrinks an arbitrary place set to the largest trap it contains (possibly empty).
 pub fn maximal_trap_within(net: &PetriNet, places: &[PlaceId]) -> PlaceSet {
     shrink(net, places, |net, set, p| {
-        net.consumers(p).iter().all(|&(consumer, _)| {
-            net.outputs(consumer).iter().any(|&(q, _)| set.contains(&q))
-        })
+        net.consumers(p)
+            .iter()
+            .all(|&(consumer, _)| net.outputs(consumer).iter().any(|&(q, _)| set.contains(&q)))
     })
 }
 
@@ -179,9 +171,7 @@ pub fn minimal_siphons(net: &PetriNet) -> Vec<PlaceSet> {
             });
             match violation {
                 None => {
-                    if !candidate.is_empty()
-                        && !found.iter().any(|s| s.is_subset(&candidate))
-                    {
+                    if !candidate.is_empty() && !found.iter().any(|s| s.is_subset(&candidate)) {
                         found.retain(|s| !candidate.is_subset(s) || s == &candidate);
                         found.push(candidate);
                     }

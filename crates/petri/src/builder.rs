@@ -205,9 +205,9 @@ impl NetBuilder {
             post[t.index()].push((p, w));
             place_in[p.index()].push((t, w));
         }
-        let initial_marking = Marking::from_vec(
-            self.places.iter().map(|p| p.initial_tokens).collect(),
-        );
+        let initial_marking =
+            Marking::from_vec(self.places.iter().map(|p| p.initial_tokens).collect());
+        let delta = crate::net::compute_delta(&pre, &post);
         Ok(PetriNet {
             name: self.name,
             places: self.places,
@@ -216,6 +216,7 @@ impl NetBuilder {
             post,
             place_in,
             place_out,
+            delta,
             initial_marking,
         })
     }

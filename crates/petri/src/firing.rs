@@ -59,6 +59,59 @@ impl PetriNet {
         Ok(())
     }
 
+    /// Enabledness test on a raw token slice — the allocation-free twin of
+    /// [`PetriNet::is_enabled`] used by the state-space engine and the schedulers' hot
+    /// loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is shorter than the net's place count or `transition` is out of
+    /// range (callers own the validation; this is the fast path).
+    #[inline]
+    pub fn is_enabled_at(&self, tokens: &[u64], transition: TransitionId) -> bool {
+        self.pre[transition.index()]
+            .iter()
+            .all(|&(p, w)| tokens[p.index()] >= w)
+    }
+
+    /// The unchecked firing fast path: if `transition` is enabled in `src`, copies `src`
+    /// into `dst`, applies the transition's precomputed delta row and returns `true`.
+    /// Returns `false` — leaving `dst` unspecified — when the transition is disabled or
+    /// an output place would overflow `u64::MAX`.
+    ///
+    /// Unlike [`PetriNet::fire`] this performs no id validation, no marking-length check
+    /// and only a single pass over the input arcs, and it never allocates: the caller
+    /// provides the scratch buffer. It is the engine primitive behind
+    /// [`StateSpace::explore`](crate::statespace::StateSpace::explore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are shorter than the net's place count or `transition` is
+    /// out of range.
+    #[inline]
+    pub fn fire_into(&self, src: &[u64], dst: &mut [u64], transition: TransitionId) -> bool {
+        if !self.is_enabled_at(src, transition) {
+            return false;
+        }
+        dst.copy_from_slice(src);
+        for &(p, d) in &self.delta[transition.index()] {
+            let slot = &mut dst[p.index()];
+            if d >= 0 {
+                match slot.checked_add(d as u64) {
+                    Some(v) => *slot = v,
+                    // Mirror the safe path's TokenOverflow: report failure instead of
+                    // wrapping, so both explorers drop exactly the same edges.
+                    None => return false,
+                }
+            } else {
+                // Cannot underflow: |d| ≤ the pre-arc weight, and enabledness guarantees
+                // the place holds at least that many tokens.
+                *slot -= d.unsigned_abs();
+            }
+        }
+        true
+    }
+
     /// Fires a whole sequence of transitions, stopping at the first failure.
     ///
     /// On error the marking reflects all firings made before the failing one, and the

@@ -224,6 +224,55 @@ pub fn choice_chain(n: usize) -> PetriNet {
     b.build().expect("choice chain is a valid net")
 }
 
+/// A parametric marked graph used by the state-space benchmarks: a single cycle of
+/// `places` places (`p0 → t0 → p1 → … → p(n−1) → t(n−1) → p0`) with `tokens` tokens
+/// initially in `p0`.
+///
+/// Every distribution of the `tokens` tokens over the `places` places is reachable, so
+/// the reachability graph has exactly `C(places + tokens − 1, places − 1)` states — a
+/// combinatorially large, *bounded* state space with no data-dependent choices
+/// (`marked_ring(12, 6)` has 12 376 states). This complements [`choice_chain`], whose
+/// state space is only explorable under a token cut-off.
+///
+/// # Panics
+///
+/// Panics if `places` is zero.
+pub fn marked_ring(places: usize, tokens: u64) -> PetriNet {
+    assert!(places > 0, "a ring needs at least one place");
+    let mut b = NetBuilder::new(format!("marked-ring-{places}-{tokens}"));
+    let ps: Vec<_> = (0..places)
+        .map(|i| b.place(format!("p{i}"), if i == 0 { tokens } else { 0 }))
+        .collect();
+    for i in 0..places {
+        let t = b.transition(format!("t{i}"));
+        b.arc_p_t(ps[i], t, 1).expect("arc");
+        b.arc_t_p(t, ps[(i + 1) % places], 1).expect("arc");
+    }
+    b.build().expect("marked ring is a valid net")
+}
+
+/// A bank of `n` independent two-place cycles, each carrying one token — the product of
+/// `n` two-state components, so the reachability graph is the `n`-dimensional hypercube:
+/// exactly `2^n` states and `n·2^n` edges (`cycle_bank(14)` has 16 384 states).
+///
+/// This is the maximally concurrent counterpart of [`marked_ring`]: wide markings (2·n
+/// places) with `n` transitions enabled everywhere, which stresses per-state hashing and
+/// interning rather than the BFS frontier.
+pub fn cycle_bank(n: usize) -> PetriNet {
+    let mut b = NetBuilder::new(format!("cycle-bank-{n}"));
+    for i in 0..n {
+        let idle = b.place(format!("idle{i}"), 1);
+        let busy = b.place(format!("busy{i}"), 0);
+        let start = b.transition(format!("start{i}"));
+        let finish = b.transition(format!("finish{i}"));
+        b.arc_p_t(idle, start, 1).expect("arc");
+        b.arc_t_p(start, busy, 1).expect("arc");
+        b.arc_p_t(busy, finish, 1).expect("arc");
+        b.arc_t_p(finish, idle, 1).expect("arc");
+    }
+    b.build().expect("cycle bank is a valid net")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,10 +321,12 @@ mod tests {
     fn figure5_paper_cycles_are_finite_complete_cycles() {
         let net = figure5();
         let by_name = |n: &str| net.transition_by_name(n).unwrap();
-        let cycle1: Vec<_> = ["t1", "t2", "t4", "t4", "t6", "t6", "t6", "t6", "t8", "t9", "t6"]
-            .iter()
-            .map(|n| by_name(n))
-            .collect();
+        let cycle1: Vec<_> = [
+            "t1", "t2", "t4", "t4", "t6", "t6", "t6", "t6", "t8", "t9", "t6",
+        ]
+        .iter()
+        .map(|n| by_name(n))
+        .collect();
         let cycle2: Vec<_> = ["t1", "t3", "t5", "t7", "t7", "t8", "t9", "t6"]
             .iter()
             .map(|n| by_name(n))
@@ -306,6 +357,34 @@ mod tests {
             let t3 = net.transition_by_name("t3").unwrap();
             assert_eq!(s.contains(t2.index()), s.contains(t3.index()));
         }
+    }
+
+    #[test]
+    fn marked_ring_is_a_marked_graph_with_binomial_state_space() {
+        let net = marked_ring(6, 3);
+        assert_eq!(Classification::of(&net).class, NetClass::MarkedGraph);
+        assert_eq!(net.initial_marking().total_tokens(), 3);
+        let space = crate::statespace::StateSpace::explore(
+            &net,
+            crate::analysis::ReachabilityOptions::default(),
+        );
+        // C(6+3-1, 6-1) = C(8, 5) = 56 distributions of 3 tokens over 6 places.
+        assert!(space.is_complete());
+        assert_eq!(space.state_count(), 56);
+    }
+
+    #[test]
+    fn cycle_bank_state_space_is_a_hypercube() {
+        let net = cycle_bank(6);
+        assert_eq!(Classification::of(&net).class, NetClass::MarkedGraph);
+        let space = crate::statespace::StateSpace::explore(
+            &net,
+            crate::analysis::ReachabilityOptions::default(),
+        );
+        assert!(space.is_complete());
+        assert_eq!(space.state_count(), 64);
+        assert_eq!(space.edge_count(), 6 * 64);
+        assert!(space.dead_states().is_empty());
     }
 
     #[test]

@@ -69,10 +69,22 @@ pub fn to_dot(net: &PetriNet, marking: Option<&Marking>, options: DotOptions) ->
     }
     for t in net.transitions() {
         for &(p, w) in net.inputs(t) {
-            let _ = write_edge(&mut out, net.place_name(p), net.transition_name(t), w, options);
+            let _ = write_edge(
+                &mut out,
+                net.place_name(p),
+                net.transition_name(t),
+                w,
+                options,
+            );
         }
         for &(p, w) in net.outputs(t) {
-            let _ = write_edge(&mut out, net.transition_name(t), net.place_name(p), w, options);
+            let _ = write_edge(
+                &mut out,
+                net.transition_name(t),
+                net.place_name(p),
+                w,
+                options,
+            );
         }
     }
     let _ = writeln!(out, "}}");

@@ -137,16 +137,38 @@ pub fn to_text(net: &PetriNet) -> String {
     for t in net.transitions() {
         for &(p, w) in net.inputs(t) {
             if w > 1 {
-                let _ = writeln!(out, "arc {} -> {} {}", net.place_name(p), net.transition_name(t), w);
+                let _ = writeln!(
+                    out,
+                    "arc {} -> {} {}",
+                    net.place_name(p),
+                    net.transition_name(t),
+                    w
+                );
             } else {
-                let _ = writeln!(out, "arc {} -> {}", net.place_name(p), net.transition_name(t));
+                let _ = writeln!(
+                    out,
+                    "arc {} -> {}",
+                    net.place_name(p),
+                    net.transition_name(t)
+                );
             }
         }
         for &(p, w) in net.outputs(t) {
             if w > 1 {
-                let _ = writeln!(out, "arc {} -> {} {}", net.transition_name(t), net.place_name(p), w);
+                let _ = writeln!(
+                    out,
+                    "arc {} -> {} {}",
+                    net.transition_name(t),
+                    net.place_name(p),
+                    w
+                );
             } else {
-                let _ = writeln!(out, "arc {} -> {}", net.transition_name(t), net.place_name(p));
+                let _ = writeln!(
+                    out,
+                    "arc {} -> {}",
+                    net.transition_name(t),
+                    net.place_name(p)
+                );
             }
         }
     }

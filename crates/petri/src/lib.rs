@@ -46,6 +46,7 @@ mod ids;
 pub mod io;
 mod marking;
 mod net;
+pub mod statespace;
 
 pub use builder::NetBuilder;
 pub use error::{PetriError, Result};

@@ -246,10 +246,7 @@ mod tests {
     fn marked_places_skips_empty() {
         let m = Marking::from_vec(vec![0, 3, 0, 1]);
         let marked: Vec<_> = m.marked_places().collect();
-        assert_eq!(
-            marked,
-            vec![(PlaceId::new(1), 3), (PlaceId::new(3), 1)]
-        );
+        assert_eq!(marked, vec![(PlaceId::new(1), 3), (PlaceId::new(3), 1)]);
     }
 
     #[test]

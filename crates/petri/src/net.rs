@@ -65,7 +65,41 @@ pub struct PetriNet {
     pub(crate) place_in: Vec<Vec<(TransitionId, u64)>>,
     /// For each place, the transitions consuming from it `(transition, weight)`.
     pub(crate) place_out: Vec<Vec<(TransitionId, u64)>>,
+    /// For each transition, its net token effect `(place, post − pre)` with pre and post
+    /// arcs merged per place — the rows used by the unchecked firing fast path
+    /// ([`PetriNet::fire_into`]) and the state-space engine.
+    pub(crate) delta: Vec<Vec<(PlaceId, i64)>>,
     pub(crate) initial_marking: Marking,
+}
+
+/// Merges the `pre`/`post` columns into per-transition net-effect rows.
+///
+/// # Panics
+///
+/// Panics if an arc weight exceeds `i64::MAX` (far beyond any marking a bounded analysis
+/// could visit; the token game itself would overflow `u64` first).
+pub(crate) fn compute_delta(
+    pre: &[Vec<(PlaceId, u64)>],
+    post: &[Vec<(PlaceId, u64)>],
+) -> Vec<Vec<(PlaceId, i64)>> {
+    let as_i64 = |w: u64| i64::try_from(w).expect("arc weight exceeds i64::MAX");
+    pre.iter()
+        .zip(post.iter())
+        .map(|(ins, outs)| {
+            let mut row: Vec<(PlaceId, i64)> = Vec::with_capacity(ins.len() + outs.len());
+            for &(p, w) in ins {
+                row.push((p, -as_i64(w)));
+            }
+            for &(p, w) in outs {
+                match row.iter_mut().find(|(q, _)| *q == p) {
+                    Some((_, d)) => *d += as_i64(w),
+                    None => row.push((p, as_i64(w))),
+                }
+            }
+            row.retain(|&(_, d)| d != 0);
+            row
+        })
+        .collect()
 }
 
 impl PetriNet {
@@ -166,6 +200,13 @@ impl PetriNet {
     /// Transitions consuming from `place`, with arc weights — the post-set `p•`.
     pub fn consumers(&self, place: PlaceId) -> &[(TransitionId, u64)] {
         &self.place_out[place.index()]
+    }
+
+    /// The precomputed net token effect of `transition`: `(place, post − pre)` pairs with
+    /// pre and post arcs merged per place and zero-effect places dropped. This is the row
+    /// the firing fast path ([`PetriNet::fire_into`]) applies.
+    pub fn delta_row(&self, transition: TransitionId) -> &[(PlaceId, i64)] {
+        &self.delta[transition.index()]
     }
 
     /// Weight of the arc from `place` to `transition`, or 0 if absent.
@@ -360,11 +401,13 @@ impl fmt::Display for PetriNet {
             )?;
         }
         for t in self.transitions() {
-            let ins: Vec<String> = self.inputs(t)
+            let ins: Vec<String> = self
+                .inputs(t)
                 .iter()
                 .map(|&(p, w)| format!("{}*{}", self.place_name(p), w))
                 .collect();
-            let outs: Vec<String> = self.outputs(t)
+            let outs: Vec<String> = self
+                .outputs(t)
                 .iter()
                 .map(|&(p, w)| format!("{}*{}", self.place_name(p), w))
                 .collect();
@@ -492,6 +535,7 @@ impl PetriNet {
                 .collect(),
         );
 
+        let delta = compute_delta(&pre, &post);
         let net = PetriNet {
             name: format!("{}-subnet", self.name),
             places,
@@ -500,6 +544,7 @@ impl PetriNet {
             post,
             place_in,
             place_out,
+            delta,
             initial_marking,
         };
         let map = SubnetMap {
@@ -604,9 +649,7 @@ mod tests {
     #[test]
     fn induced_subnet_rejects_foreign_ids() {
         let net = simple_net();
-        let err = net
-            .induced_subnet(&[PlaceId::new(99)], &[])
-            .unwrap_err();
+        let err = net.induced_subnet(&[PlaceId::new(99)], &[]).unwrap_err();
         assert_eq!(err, PetriError::UnknownPlace(PlaceId::new(99)));
     }
 

@@ -1,0 +1,912 @@
+//! The arena-interned state-space engine.
+//!
+//! This module is the performance substrate behind every explicit-state analysis in the
+//! crate (reachability, deadlock, liveness, schedule validation). Where the naive
+//! explorer ([`ReachabilityGraph::explore_naive`](crate::analysis::ReachabilityGraph::explore_naive))
+//! clones a full [`Marking`] per expansion and hashes whole token vectors into a
+//! `HashMap<Marking, usize>`, the engine here:
+//!
+//! * stores every discovered marking contiguously in **one flat `Vec<u64>` token arena**,
+//!   addressed by dense `u32` state ids — no per-state allocation, no pointer chasing;
+//! * interns states through an open-addressing **hash-of-slice table** that stores only
+//!   `(hash, id)` pairs and compares candidate slices directly against the arena — a
+//!   successor marking is hashed exactly once, in its scratch buffer, before any copy;
+//! * fires transitions through the unchecked fast path
+//!   ([`PetriNet::fire_into`](crate::PetriNet::fire_into)) driven by precomputed
+//!   per-transition delta rows — no id validation, no marking-length check, no double
+//!   enabledness scan per firing;
+//! * exposes the reachability graph as **CSR forward/backward adjacency**, so
+//!   [`successors`](StateSpace::successors) is O(out-degree),
+//!   [`dead_states`](StateSpace::dead_states) is O(V) and
+//!   [`can_eventually_fire`](StateSpace::can_eventually_fire) is a single O(V+E)
+//!   backward traversal instead of an O(V·E) fixpoint.
+//!
+//! The exploration order and truncation semantics (state budget, per-place token
+//! cut-off) are **bit-for-bit identical** to the naive explorer: both assign the same
+//! state ids, discover the same edges in the same order and report the same frontier.
+//! `tests/properties.rs` holds that equivalence over the gallery nets and randomly
+//! generated nets.
+//!
+//! # Example
+//!
+//! ```
+//! use fcpn_petri::{gallery, analysis::ReachabilityOptions, statespace::StateSpace};
+//!
+//! let net = gallery::marked_ring(6, 3);
+//! let space = StateSpace::explore(&net, ReachabilityOptions::default());
+//! assert!(space.is_complete());
+//! assert_eq!(space.state_count(), 56); // C(6+3-1, 6-1) distributions of 3 tokens
+//! assert!(space.dead_states().is_empty());
+//! ```
+
+use crate::analysis::ReachabilityOptions;
+use crate::{Marking, PetriNet, TransitionId};
+
+/// Dense identifier of a discovered state; index 0 is the initial marking.
+pub type StateId = u32;
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// SplitMix64 finalizer: spreads an accumulated sum over all 64 bits before probing.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-place Zobrist-style multiplier, a pure function of the place index so every
+/// component (explorer, arena, compatibility view) hashes markings identically without
+/// sharing state.
+#[inline]
+fn place_key(place: usize) -> u64 {
+    mix((place as u64).wrapping_add(0x9e37_79b9_7f4a_7c15)) | 1
+}
+
+/// Raw additive marking hash: `Σ tokens[p] · key(p)` (wrapping).
+///
+/// Additivity is the point — firing a transition shifts the raw hash by a constant
+/// (`Σ delta[p] · key(p)`), so the explorer updates successor hashes in O(1) from the
+/// parent instead of rehashing the whole token vector.
+#[inline]
+fn raw_hash(tokens: &[u64]) -> u64 {
+    tokens.iter().enumerate().fold(0u64, |h, (p, &k)| {
+        h.wrapping_add(k.wrapping_mul(place_key(p)))
+    })
+}
+
+/// The table hash of a token slice: finalized raw hash.
+#[inline]
+fn hash_tokens(tokens: &[u64]) -> u64 {
+    mix(raw_hash(tokens))
+}
+
+/// Open-addressing interner mapping token slices to state ids.
+///
+/// Only `(hash, id)` pairs live in the table; the token data itself stays in the arena,
+/// so growth and probing never touch markings, and equality is checked against the arena
+/// slice only on a hash hit.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SliceTable {
+    /// `(hash, id)` per slot, `id == EMPTY_SLOT` marking vacancy. One combined array so
+    /// a probe touches a single cache line per slot.
+    entries: Vec<(u64, u32)>,
+    len: usize,
+}
+
+enum Probe {
+    Found(StateId),
+    Vacant(usize),
+}
+
+impl SliceTable {
+    fn with_capacity(states: usize) -> Self {
+        let capacity = (states * 2).next_power_of_two().max(16);
+        SliceTable {
+            entries: vec![(0, EMPTY_SLOT); capacity],
+            len: 0,
+        }
+    }
+
+    /// Finds `tokens` in the table, or the slot where it belongs.
+    ///
+    /// `state_of` resolves a stored id to its arena slice for the equality check.
+    fn probe<'a>(
+        &self,
+        hash: u64,
+        tokens: &[u64],
+        state_of: impl Fn(StateId) -> &'a [u64],
+    ) -> Probe {
+        let mask = self.entries.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let (stored_hash, id) = self.entries[slot];
+            if id == EMPTY_SLOT {
+                return Probe::Vacant(slot);
+            }
+            if stored_hash == hash && state_of(id) == tokens {
+                return Probe::Found(id);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn insert_at(&mut self, slot: usize, hash: u64, id: StateId) {
+        self.entries[slot] = (hash, id);
+        self.len += 1;
+    }
+
+    fn needs_growth(&self) -> bool {
+        // Resize at 50% load so probe chains stay short.
+        self.len * 2 >= self.entries.len()
+    }
+
+    /// Doubles the table; only the stored hashes are needed, never the token data.
+    fn grow(&mut self) {
+        let capacity = self.entries.len() * 2;
+        let mask = capacity - 1;
+        let mut entries = vec![(0u64, EMPTY_SLOT); capacity];
+        for &(h, id) in &self.entries {
+            if id == EMPTY_SLOT {
+                continue;
+            }
+            let mut slot = (h as usize) & mask;
+            while entries[slot].1 != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            entries[slot] = (h, id);
+        }
+        self.entries = entries;
+    }
+
+    /// Builds a table over markings already held in a `Vec<Marking>` (used by the
+    /// compatibility view and the naive explorer).
+    pub(crate) fn index_markings(markings: &[Marking]) -> Self {
+        let mut table = SliceTable::with_capacity(markings.len().max(1));
+        for (i, m) in markings.iter().enumerate() {
+            let hash = hash_tokens(m.as_slice());
+            if let Probe::Vacant(slot) =
+                table.probe(hash, m.as_slice(), |id| markings[id as usize].as_slice())
+            {
+                table.insert_at(slot, hash, i as u32);
+            }
+        }
+        table
+    }
+
+    /// Looks `tokens` up against externally stored markings.
+    pub(crate) fn find<'a>(
+        &self,
+        tokens: &[u64],
+        state_of: impl Fn(StateId) -> &'a [u64],
+    ) -> Option<StateId> {
+        match self.probe(hash_tokens(tokens), tokens, state_of) {
+            Probe::Found(id) => Some(id),
+            Probe::Vacant(_) => None,
+        }
+    }
+}
+
+/// A growable arena of equal-length token vectors addressed by [`StateId`].
+///
+/// Used directly by analyses that need interned marking storage without the full graph
+/// (e.g. the boundedness search), and internally by [`StateSpace`].
+#[derive(Debug, Clone)]
+pub struct MarkingArena {
+    places: usize,
+    tokens: Vec<u64>,
+    table: SliceTable,
+}
+
+impl MarkingArena {
+    /// Creates an empty arena for markings over `places` places.
+    pub fn new(places: usize) -> Self {
+        MarkingArena {
+            places,
+            tokens: Vec::with_capacity(places * 64),
+            table: SliceTable::with_capacity(64),
+        }
+    }
+
+    /// Number of interned markings.
+    pub fn len(&self) -> usize {
+        self.table.len
+    }
+
+    /// Returns `true` if no marking has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The token slice of state `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`MarkingArena::intern`].
+    #[inline]
+    pub fn state(&self, id: StateId) -> &[u64] {
+        let start = id as usize * self.places;
+        &self.tokens[start..start + self.places]
+    }
+
+    /// Interns `tokens`, returning the state id and whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` does not have one entry per place.
+    pub fn intern(&mut self, tokens: &[u64]) -> (StateId, bool) {
+        assert_eq!(tokens.len(), self.places, "marking length mismatch");
+        if self.table.needs_growth() {
+            self.table.grow();
+        }
+        let hash = hash_tokens(tokens);
+        let places = self.places;
+        let arena = &self.tokens;
+        match self.table.probe(hash, tokens, |id| {
+            let start = id as usize * places;
+            &arena[start..start + places]
+        }) {
+            Probe::Found(id) => (id, false),
+            Probe::Vacant(slot) => {
+                let id = self.len() as StateId;
+                self.tokens.extend_from_slice(tokens);
+                self.table.insert_at(slot, hash, id);
+                (id, true)
+            }
+        }
+    }
+
+    /// Looks `tokens` up without inserting.
+    pub fn find(&self, tokens: &[u64]) -> Option<StateId> {
+        if tokens.len() != self.places {
+            return None;
+        }
+        self.table.find(tokens, |id| {
+            let start = id as usize * self.places;
+            &self.tokens[start..start + self.places]
+        })
+    }
+}
+
+/// The arena-interned reachability graph of a marked net.
+///
+/// Construction ([`StateSpace::explore`]) is a breadth-first enumeration with the same
+/// budget/cut-off semantics as [`ReachabilityOptions`]; queries run over CSR adjacency.
+#[derive(Debug)]
+pub struct StateSpace {
+    places: usize,
+    arena: Vec<u64>,
+    table: SliceTable,
+    /// CSR row offsets into `edge_to`/`edge_transition`; row `s` holds the out-edges of
+    /// state `s` in transition-index order.
+    fwd_offsets: Vec<u32>,
+    edge_to: Vec<u32>,
+    edge_transition: Vec<u32>,
+    /// Backward CSR, built lazily on the first predecessor-side query so pure
+    /// explorations don't pay for it.
+    back: std::sync::OnceLock<BackCsr>,
+    complete: bool,
+    frontier: Vec<StateId>,
+}
+
+/// Reverse adjacency in CSR form: incoming edges of each state.
+#[derive(Debug, Clone)]
+struct BackCsr {
+    offsets: Vec<u32>,
+    from: Vec<u32>,
+    transition: Vec<u32>,
+}
+
+impl Clone for StateSpace {
+    fn clone(&self) -> Self {
+        let back = std::sync::OnceLock::new();
+        if let Some(b) = self.back.get() {
+            let _ = back.set(b.clone());
+        }
+        StateSpace {
+            places: self.places,
+            arena: self.arena.clone(),
+            table: self.table.clone(),
+            fwd_offsets: self.fwd_offsets.clone(),
+            edge_to: self.edge_to.clone(),
+            edge_transition: self.edge_transition.clone(),
+            back,
+            complete: self.complete,
+            frontier: self.frontier.clone(),
+        }
+    }
+}
+
+impl StateSpace {
+    /// Explores the state space of `net` from its initial marking.
+    pub fn explore(net: &PetriNet, options: ReachabilityOptions) -> Self {
+        Self::explore_from(net, net.initial_marking().clone(), options)
+    }
+
+    /// Explores the state space of `net` from an arbitrary marking.
+    ///
+    /// The hot loop works entirely in place: the current state's tokens sit in one
+    /// scratch buffer, each enabled transition's precomputed delta row is applied to it,
+    /// the successor is probed (its hash derived in O(1) from the parent's via the
+    /// transition's constant hash shift), and the delta is reverted — the only per-state
+    /// copies are one read from the arena on expansion and one append on insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` does not have one entry per place of `net`.
+    pub fn explore_from(net: &PetriNet, initial: Marking, options: ReachabilityOptions) -> Self {
+        let places = net.place_count();
+        assert_eq!(initial.len(), places, "marking length mismatch");
+
+        // Flatten the per-transition input arcs and delta rows into CSR arrays, and
+        // precompute each transition's constant raw-hash shift.
+        let transition_count = net.transition_count();
+        let mut pre_offsets: Vec<u32> = Vec::with_capacity(transition_count + 1);
+        let mut pre_rows: Vec<(u32, u64)> = Vec::new();
+        let mut delta_offsets: Vec<u32> = Vec::with_capacity(transition_count + 1);
+        let mut delta_rows: Vec<(u32, i64)> = Vec::new();
+        let mut hash_shift: Vec<u64> = Vec::with_capacity(transition_count);
+        pre_offsets.push(0);
+        delta_offsets.push(0);
+        for t in net.transitions() {
+            for &(p, w) in net.inputs(t) {
+                pre_rows.push((p.index() as u32, w));
+            }
+            pre_offsets.push(pre_rows.len() as u32);
+            let mut shift = 0u64;
+            for &(p, d) in net.delta_row(t) {
+                delta_rows.push((p.index() as u32, d));
+                shift = shift.wrapping_add((d as u64).wrapping_mul(place_key(p.index())));
+            }
+            delta_offsets.push(delta_rows.len() as u32);
+            hash_shift.push(shift);
+        }
+
+        // Candidate generation: only transitions consuming from a currently marked place
+        // (plus the always-enabled source transitions) can be enabled, so each state
+        // gathers its candidates by OR-ing the consumer bitmasks of its marked places
+        // and walking the set bits — which come out in transition-index order for free,
+        // keeping the edge order identical to the naive explorer's full scan.
+        let mask_words = transition_count.div_ceil(64).max(1);
+        let mut consumer_masks: Vec<u64> = vec![0; places * mask_words];
+        for p in net.places() {
+            for &(t, _) in net.consumers(p) {
+                consumer_masks[p.index() * mask_words + t.index() / 64] |= 1 << (t.index() % 64);
+            }
+        }
+        // Source transitions (empty pre-set) are always enabled, so they seed every
+        // state's candidate mask.
+        let mut source_mask: Vec<u64> = vec![0; mask_words];
+        for t in net.source_transitions() {
+            source_mask[t.index() / 64] |= 1 << (t.index() % 64);
+        }
+        let mut candidate_mask: Vec<u64> = vec![0; mask_words];
+
+        let mut arena: Vec<u64> = Vec::with_capacity(places.max(1) * 256);
+        arena.extend_from_slice(initial.as_slice());
+        let mut raw_hashes: Vec<u64> = Vec::with_capacity(256);
+        raw_hashes.push(raw_hash(initial.as_slice()));
+        let mut table = SliceTable::with_capacity(256);
+        if let Probe::Vacant(slot) = table.probe(mix(raw_hashes[0]), initial.as_slice(), |_| &[]) {
+            table.insert_at(slot, mix(raw_hashes[0]), 0);
+        }
+
+        let mut fwd_offsets: Vec<u32> = Vec::with_capacity(256);
+        fwd_offsets.push(0);
+        let mut edge_to: Vec<u32> = Vec::new();
+        let mut edge_transition: Vec<u32> = Vec::new();
+        let mut frontier: Vec<StateId> = Vec::new();
+        let mut complete = true;
+
+        let mut current: Vec<u64> = vec![0; places];
+
+        // BFS. State ids are assigned in discovery order and the queue is FIFO, so the
+        // expansion order *is* the id order — no explicit queue needed, and the edge list
+        // comes out sorted by source (CSR rows for free).
+        let mut state_count = 1usize;
+        let mut cursor = 0usize;
+        'states: while cursor < state_count {
+            let id = cursor;
+            cursor += 1;
+            current.copy_from_slice(&arena[id * places..(id + 1) * places]);
+            let current_hash = raw_hashes[id];
+
+            // One fused pass: the token cut-off check and the candidate-mask gathering
+            // from marked places.
+            candidate_mask.copy_from_slice(&source_mask);
+            let mut max_tokens = 0u64;
+            for (p, &count) in current.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                max_tokens = max_tokens.max(count);
+                let row = &consumer_masks[p * mask_words..(p + 1) * mask_words];
+                for (acc, &bits) in candidate_mask.iter_mut().zip(row) {
+                    *acc |= bits;
+                }
+            }
+            if max_tokens > options.max_tokens_per_place {
+                frontier.push(id as StateId);
+                complete = false;
+                fwd_offsets.push(edge_to.len() as u32);
+                continue 'states;
+            }
+
+            for (word, &mask_bits) in candidate_mask.iter().enumerate() {
+                let mut bits = mask_bits;
+                'transitions: while bits != 0 {
+                    let t = word * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let pre = &pre_rows[pre_offsets[t] as usize..pre_offsets[t + 1] as usize];
+                    if !pre.iter().all(|&(p, w)| current[p as usize] >= w) {
+                        continue 'transitions;
+                    }
+                    // Fire in place; on (astronomically unlikely) token overflow, revert the
+                    // applied prefix and drop the edge, mirroring the safe path's
+                    // TokenOverflow behaviour.
+                    let delta =
+                        &delta_rows[delta_offsets[t] as usize..delta_offsets[t + 1] as usize];
+                    for (applied, &(p, d)) in delta.iter().enumerate() {
+                        let slot = &mut current[p as usize];
+                        if d >= 0 {
+                            match slot.checked_add(d as u64) {
+                                Some(v) => *slot = v,
+                                None => {
+                                    for &(q, e) in &delta[..applied] {
+                                        let undo = &mut current[q as usize];
+                                        *undo = undo.wrapping_sub(e as u64);
+                                    }
+                                    continue 'transitions;
+                                }
+                            }
+                        } else {
+                            *slot -= d.unsigned_abs();
+                        }
+                    }
+                    let successor_hash = current_hash.wrapping_add(hash_shift[t]);
+                    let mixed = mix(successor_hash);
+                    let target = match table.probe(mixed, &current, |s| {
+                        let start = s as usize * places;
+                        &arena[start..start + places]
+                    }) {
+                        Probe::Found(existing) => Some(existing),
+                        Probe::Vacant(slot) => {
+                            if state_count >= options.max_markings {
+                                complete = false;
+                                None
+                            } else {
+                                let new_id = state_count as StateId;
+                                arena.extend_from_slice(&current);
+                                raw_hashes.push(successor_hash);
+                                table.insert_at(slot, mixed, new_id);
+                                // Growing after insertion keeps the load factor below ~50%,
+                                // so every probe is guaranteed a vacant slot.
+                                if table.needs_growth() {
+                                    table.grow();
+                                }
+                                state_count += 1;
+                                Some(new_id)
+                            }
+                        }
+                    };
+                    // Revert the delta so `current` is the expanded state again.
+                    for &(p, d) in delta {
+                        let slot = &mut current[p as usize];
+                        *slot = slot.wrapping_sub(d as u64);
+                    }
+                    if let Some(target) = target {
+                        edge_to.push(target);
+                        edge_transition.push(t as u32);
+                    }
+                }
+            }
+            fwd_offsets.push(edge_to.len() as u32);
+        }
+
+        StateSpace {
+            places,
+            arena,
+            table,
+            fwd_offsets,
+            edge_to,
+            edge_transition,
+            back: std::sync::OnceLock::new(),
+            complete,
+            frontier,
+        }
+    }
+
+    /// The backward CSR, built by counting sort over the forward edges on first use.
+    fn back(&self) -> &BackCsr {
+        self.back.get_or_init(|| {
+            let state_count = self.state_count();
+            let edge_count = self.edge_to.len();
+            let mut offsets = vec![0u32; state_count + 1];
+            for &to in &self.edge_to {
+                offsets[to as usize + 1] += 1;
+            }
+            for i in 0..state_count {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut from = vec![0u32; edge_count];
+            let mut transition = vec![0u32; edge_count];
+            let mut fill = offsets.clone();
+            for source in 0..state_count {
+                let (start, end) = (
+                    self.fwd_offsets[source] as usize,
+                    self.fwd_offsets[source + 1] as usize,
+                );
+                for e in start..end {
+                    let slot = fill[self.edge_to[e] as usize] as usize;
+                    from[slot] = source as u32;
+                    transition[slot] = self.edge_transition[e];
+                    fill[self.edge_to[e] as usize] += 1;
+                }
+            }
+            BackCsr {
+                offsets,
+                from,
+                transition,
+            }
+        })
+    }
+
+    /// Number of distinct markings discovered.
+    pub fn state_count(&self) -> usize {
+        self.fwd_offsets.len() - 1
+    }
+
+    /// Number of firing edges discovered.
+    pub fn edge_count(&self) -> usize {
+        self.edge_to.len()
+    }
+
+    /// `true` if the whole reachable state space was enumerated within the budget and
+    /// token cut-off.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// States that were discovered but not expanded because of the token cut-off.
+    pub fn frontier(&self) -> &[StateId] {
+        &self.frontier
+    }
+
+    /// The token slice of state `id` — a view into the arena, no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn tokens(&self, id: StateId) -> &[u64] {
+        let start = id as usize * self.places;
+        &self.arena[start..start + self.places]
+    }
+
+    /// The marking of state `id` as an owned [`Marking`].
+    pub fn marking(&self, id: StateId) -> Marking {
+        Marking::from_vec(self.tokens(id).to_vec())
+    }
+
+    /// Iterates over all discovered markings as token slices, in id order.
+    pub fn states(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        (0..self.state_count()).map(|s| self.tokens(s as StateId))
+    }
+
+    /// O(1) membership test through the interner.
+    pub fn contains(&self, marking: &Marking) -> bool {
+        self.index_of(marking).is_some()
+    }
+
+    /// O(1) id lookup through the interner.
+    pub fn index_of(&self, marking: &Marking) -> Option<StateId> {
+        self.index_of_tokens(marking.as_slice())
+    }
+
+    /// O(1) id lookup of a raw token slice.
+    pub fn index_of_tokens(&self, tokens: &[u64]) -> Option<StateId> {
+        if tokens.len() != self.places {
+            return None;
+        }
+        self.table.find(tokens, |id| {
+            let start = id as usize * self.places;
+            &self.arena[start..start + self.places]
+        })
+    }
+
+    /// Outgoing edges of `state` as `(transition, successor)` pairs — O(out-degree).
+    pub fn successors(&self, state: StateId) -> impl Iterator<Item = (TransitionId, StateId)> + '_ {
+        let (start, end) = (
+            self.fwd_offsets[state as usize] as usize,
+            self.fwd_offsets[state as usize + 1] as usize,
+        );
+        self.edge_transition[start..end]
+            .iter()
+            .zip(self.edge_to[start..end].iter())
+            .map(|(&t, &to)| (TransitionId::new(t as usize), to))
+    }
+
+    /// Incoming edges of `state` as `(transition, predecessor)` pairs — O(in-degree)
+    /// (plus a one-off O(V + E) backward-CSR build on the first predecessor query).
+    pub fn predecessors(
+        &self,
+        state: StateId,
+    ) -> impl Iterator<Item = (TransitionId, StateId)> + '_ {
+        let back = self.back();
+        let (start, end) = (
+            back.offsets[state as usize] as usize,
+            back.offsets[state as usize + 1] as usize,
+        );
+        back.transition[start..end]
+            .iter()
+            .zip(back.from[start..end].iter())
+            .map(|(&t, &from)| (TransitionId::new(t as usize), from))
+    }
+
+    /// All edges in source order as `(from, transition, to)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (StateId, TransitionId, StateId)> + '_ {
+        (0..self.state_count()).flat_map(move |s| {
+            self.successors(s as StateId)
+                .map(move |(t, to)| (s as StateId, t, to))
+        })
+    }
+
+    /// Out-degree of `state`.
+    pub fn out_degree(&self, state: StateId) -> usize {
+        (self.fwd_offsets[state as usize + 1] - self.fwd_offsets[state as usize]) as usize
+    }
+
+    /// States with no outgoing edge — a single O(V) pass over the CSR row offsets. Only
+    /// meaningful when the space is [`complete`](StateSpace::is_complete).
+    pub fn dead_states(&self) -> Vec<StateId> {
+        (0..self.state_count() as StateId)
+            .filter(|&s| self.out_degree(s) == 0)
+            .collect()
+    }
+
+    /// The largest token count observed in any place across all discovered states.
+    pub fn max_tokens_observed(&self) -> u64 {
+        self.arena[..self.state_count() * self.places]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// For every state, whether a state enabling `transition` is reachable from it.
+    ///
+    /// One scan to seed (states enabling the transition) plus one backward BFS over the
+    /// CSR reverse adjacency: O(V + E) total, replacing the naive O(V·E) edge-list
+    /// fixpoint.
+    pub fn can_eventually_fire(&self, net: &PetriNet, transition: TransitionId) -> Vec<bool> {
+        let n = self.state_count();
+        let mut can = vec![false; n];
+        let mut queue: Vec<StateId> = Vec::new();
+        for (s, state) in can.iter_mut().enumerate() {
+            if net.is_enabled_at(self.tokens(s as StateId), transition) {
+                *state = true;
+                queue.push(s as StateId);
+            }
+        }
+        while let Some(s) = queue.pop() {
+            for (_, pred) in self.predecessors(s) {
+                if !can[pred as usize] {
+                    can[pred as usize] = true;
+                    queue.push(pred);
+                }
+            }
+        }
+        can
+    }
+
+    /// A shortest firing sequence from the initial state to `target`, reconstructed with
+    /// a forward BFS over the CSR adjacency — O(V + E).
+    pub fn path_to(&self, target: StateId) -> Vec<TransitionId> {
+        let n = self.state_count();
+        let mut prev: Vec<Option<(StateId, TransitionId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[0] = true;
+        queue.push_back(0 as StateId);
+        'bfs: while let Some(current) = queue.pop_front() {
+            for (t, to) in self.successors(current) {
+                if !visited[to as usize] {
+                    visited[to as usize] = true;
+                    prev[to as usize] = Some((current, t));
+                    if to == target {
+                        break 'bfs;
+                    }
+                    queue.push_back(to);
+                }
+            }
+        }
+        let mut trace = Vec::new();
+        let mut cursor = target;
+        while let Some((parent, t)) = prev[cursor as usize] {
+            trace.push(t);
+            cursor = parent;
+        }
+        trace.reverse();
+        trace
+    }
+
+    pub(crate) fn into_parts(self) -> StateSpaceParts {
+        StateSpaceParts {
+            places: self.places,
+            arena: self.arena,
+            table: self.table,
+            fwd_offsets: self.fwd_offsets,
+            edge_to: self.edge_to,
+            edge_transition: self.edge_transition,
+            complete: self.complete,
+            frontier: self.frontier,
+        }
+    }
+}
+
+/// Raw pieces handed to the `ReachabilityGraph` compatibility view.
+pub(crate) struct StateSpaceParts {
+    pub places: usize,
+    pub arena: Vec<u64>,
+    pub table: SliceTable,
+    pub fwd_offsets: Vec<u32>,
+    pub edge_to: Vec<u32>,
+    pub edge_transition: Vec<u32>,
+    pub complete: bool,
+    pub frontier: Vec<StateId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gallery, NetBuilder};
+
+    fn bounded_cycle() -> PetriNet {
+        let mut b = NetBuilder::new("cycle");
+        let p1 = b.place("p1", 1);
+        let t1 = b.transition("t1");
+        let p2 = b.place("p2", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(p1, t1, 1).unwrap();
+        b.arc_t_p(t1, p2, 1).unwrap();
+        b.arc_p_t(p2, t2, 1).unwrap();
+        b.arc_t_p(t2, p1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn explores_bounded_cycle_completely() {
+        let net = bounded_cycle();
+        let space = StateSpace::explore(&net, ReachabilityOptions::default());
+        assert!(space.is_complete());
+        assert_eq!(space.state_count(), 2);
+        assert_eq!(space.edge_count(), 2);
+        assert!(space.dead_states().is_empty());
+        assert_eq!(space.max_tokens_observed(), 1);
+        assert!(space.contains(net.initial_marking()));
+        assert_eq!(space.index_of(net.initial_marking()), Some(0));
+        assert_eq!(space.tokens(0), net.initial_marking().as_slice());
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_inverse() {
+        let net = gallery::marked_ring(5, 2);
+        let space = StateSpace::explore(&net, ReachabilityOptions::default());
+        for s in 0..space.state_count() as StateId {
+            for (t, to) in space.successors(s) {
+                assert!(space
+                    .predecessors(to)
+                    .any(|(bt, from)| bt == t && from == s));
+            }
+            for (t, from) in space.predecessors(s) {
+                assert!(space.successors(from).any(|(ft, to)| ft == t && to == s));
+            }
+        }
+        assert_eq!(
+            space.edges().count(),
+            space.edge_count(),
+            "edges() covers the CSR"
+        );
+    }
+
+    #[test]
+    fn respects_marking_budget() {
+        let net = bounded_cycle();
+        let space = StateSpace::explore(
+            &net,
+            ReachabilityOptions {
+                max_markings: 1,
+                max_tokens_per_place: 64,
+            },
+        );
+        assert!(!space.is_complete());
+        assert_eq!(space.state_count(), 1);
+    }
+
+    #[test]
+    fn token_cutoff_populates_frontier() {
+        let mut b = NetBuilder::new("source");
+        let t1 = b.transition("t1");
+        let p = b.place("p", 0);
+        b.arc_t_p(t1, p, 1).unwrap();
+        let net = b.build().unwrap();
+        let space = StateSpace::explore(
+            &net,
+            ReachabilityOptions {
+                max_markings: 1000,
+                max_tokens_per_place: 5,
+            },
+        );
+        assert!(!space.is_complete());
+        assert!(!space.frontier().is_empty());
+        assert!(space.max_tokens_observed() >= 5);
+    }
+
+    #[test]
+    fn can_eventually_fire_matches_live_cycle() {
+        let net = bounded_cycle();
+        let t2 = net.transition_by_name("t2").unwrap();
+        let space = StateSpace::explore(&net, ReachabilityOptions::default());
+        assert_eq!(space.can_eventually_fire(&net, t2), vec![true, true]);
+    }
+
+    #[test]
+    fn path_to_reaches_dead_state() {
+        let mut b = NetBuilder::new("oneshot");
+        let start = b.place("start", 1);
+        let t1 = b.transition("t1");
+        let p = b.place("p", 0);
+        let t2 = b.transition("t2");
+        b.arc_p_t(start, t1, 1).unwrap();
+        b.arc_t_p(t1, p, 1).unwrap();
+        b.arc_p_t(p, t2, 1).unwrap();
+        let net = b.build().unwrap();
+        let space = StateSpace::explore(&net, ReachabilityOptions::default());
+        let dead = space.dead_states();
+        assert_eq!(dead.len(), 1);
+        let trace = space.path_to(dead[0]);
+        assert_eq!(trace, vec![t1, t2]);
+    }
+
+    #[test]
+    fn marking_arena_interns_and_finds() {
+        let mut arena = MarkingArena::new(3);
+        assert!(arena.is_empty());
+        let (a, new_a) = arena.intern(&[1, 0, 2]);
+        let (b, new_b) = arena.intern(&[0, 0, 0]);
+        let (a2, new_a2) = arena.intern(&[1, 0, 2]);
+        assert!(new_a && new_b && !new_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.state(a), &[1, 0, 2]);
+        assert_eq!(arena.find(&[0, 0, 0]), Some(b));
+        assert_eq!(arena.find(&[9, 9, 9]), None);
+        assert_eq!(arena.find(&[1, 0]), None);
+    }
+
+    #[test]
+    fn interner_survives_growth() {
+        let mut arena = MarkingArena::new(2);
+        for i in 0..500u64 {
+            arena.intern(&[i, i % 7]);
+        }
+        assert_eq!(arena.len(), 500);
+        for i in 0..500u64 {
+            let id = arena
+                .find(&[i, i % 7])
+                .expect("interned marking is findable");
+            assert_eq!(arena.state(id), &[i, i % 7]);
+        }
+    }
+
+    #[test]
+    fn empty_net_has_single_state() {
+        let net = NetBuilder::new("empty").build().unwrap();
+        let space = StateSpace::explore(&net, ReachabilityOptions::default());
+        assert_eq!(space.state_count(), 1);
+        assert_eq!(space.edge_count(), 0);
+        assert!(space.is_complete());
+        assert_eq!(space.dead_states(), vec![0]);
+    }
+}

@@ -139,8 +139,14 @@ mod tests {
     #[test]
     fn from_events_sorts() {
         let w: Workload = vec![
-            Event { time: 9, source: SRC_A },
-            Event { time: 1, source: SRC_B },
+            Event {
+                time: 9,
+                source: SRC_A,
+            },
+            Event {
+                time: 1,
+                source: SRC_B,
+            },
         ]
         .into_iter()
         .collect();

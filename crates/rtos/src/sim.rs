@@ -242,9 +242,10 @@ pub fn simulate_functional_partition<R: ChoiceResolver + ?Sized>(
             // Resolve data-dependent choices through the same resolver the QSS
             // implementation uses, so both simulations see the same data.
             let next = {
-                let choice = enabled.iter().copied().find(|&t| {
-                    net.inputs(t).iter().any(|&(p, _)| net.is_choice_place(p))
-                });
+                let choice = enabled
+                    .iter()
+                    .copied()
+                    .find(|&t| net.inputs(t).iter().any(|&(p, _)| net.is_choice_place(p)));
                 match choice {
                     Some(conflicted) => {
                         let place = net
@@ -366,8 +367,7 @@ mod tests {
         let by_name = |n: &str| net.transition_by_name(n).unwrap();
         let t1 = by_name("t1");
         let t8 = by_name("t8");
-        let workload = Workload::periodic(t1, 10, 50, 0)
-            .merge(Workload::periodic(t8, 25, 20, 3));
+        let workload = Workload::periodic(t1, 10, 50, 0).merge(Workload::periodic(t8, 25, 20, 3));
         let cost = CostModel::default();
 
         let mut qss_resolver = RoundRobinResolver::default();
@@ -396,14 +396,9 @@ mod tests {
             },
         ];
         let mut func_resolver = RoundRobinResolver::default();
-        let functional = simulate_functional_partition(
-            &net,
-            &tasks,
-            &cost,
-            &workload,
-            &mut func_resolver,
-        )
-        .unwrap();
+        let functional =
+            simulate_functional_partition(&net, &tasks, &cost, &workload, &mut func_resolver)
+                .unwrap();
 
         assert_eq!(functional.events_processed, qss.events_processed);
         // The shape of Table I: more tasks -> more activations -> more cycles.
@@ -449,8 +444,7 @@ mod tests {
             transitions: net.transitions().collect(),
         }];
         let mut r2 = FixedResolver { arm: 0 };
-        let func =
-            simulate_functional_partition(&net, &tasks, &cost, &workload, &mut r2).unwrap();
+        let func = simulate_functional_partition(&net, &tasks, &cost, &workload, &mut r2).unwrap();
         assert_eq!(qss.fire_counts, func.fire_counts);
     }
 }

@@ -39,7 +39,10 @@ impl fmt::Display for SdfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SdfError::InconsistentRates => {
-                write!(f, "graph has inconsistent rates: no repetition vector exists")
+                write!(
+                    f,
+                    "graph has inconsistent rates: no repetition vector exists"
+                )
             }
             SdfError::Empty => write!(f, "graph has no actors"),
             SdfError::Deadlock { remaining, .. } => write!(
@@ -52,7 +55,10 @@ impl fmt::Display for SdfError {
                 "firing count vector has {found} entries but the net has {expected} transitions"
             ),
             SdfError::NotConflictFree => {
-                write!(f, "net contains a choice place; static scheduling requires a conflict-free net")
+                write!(
+                    f,
+                    "net contains a choice place; static scheduling requires a conflict-free net"
+                )
             }
             SdfError::UnknownActor(i) => write!(f, "unknown actor index {i}"),
             SdfError::Petri(e) => write!(f, "petri net error: {e}"),
@@ -84,7 +90,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SdfError::InconsistentRates.to_string().contains("repetition"));
+        assert!(SdfError::InconsistentRates
+            .to_string()
+            .contains("repetition"));
         assert!(SdfError::NotConflictFree.to_string().contains("choice"));
         let e = SdfError::Deadlock {
             remaining: vec![1, 2],

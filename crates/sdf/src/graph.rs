@@ -213,10 +213,7 @@ mod tests {
         let mut g = SdfGraph::new("g");
         let a = g.actor("a");
         let b = g.actor("b");
-        assert!(matches!(
-            g.channel(a, 0, b, 1, 0),
-            Err(SdfError::Petri(_))
-        ));
+        assert!(matches!(g.channel(a, 0, b, 1, 0), Err(SdfError::Petri(_))));
     }
 
     #[test]

@@ -157,7 +157,11 @@ impl LoopedSchedule {
 
 impl fmt::Display for LoopedSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "looped schedule with {} appearance(s)", self.appearances())
+        write!(
+            f,
+            "looped schedule with {} appearance(s)",
+            self.appearances()
+        )
     }
 }
 
@@ -300,8 +304,14 @@ mod tests {
             terms: vec![LoopTerm::Loop {
                 count: 2,
                 body: vec![
-                    LoopTerm::Fire { transition: t0, count: 2 },
-                    LoopTerm::Fire { transition: t1, count: 1 },
+                    LoopTerm::Fire {
+                        transition: t0,
+                        count: 2,
+                    },
+                    LoopTerm::Fire {
+                        transition: t1,
+                        count: 1,
+                    },
                 ],
             }],
         };

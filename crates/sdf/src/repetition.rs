@@ -90,9 +90,9 @@ impl SdfGraph {
         if candidate.len() != self.actor_count() || candidate.iter().all(|&c| c == 0) {
             return false;
         }
-        self.channels().iter().all(|ch| {
-            ch.produce * candidate[ch.from.0] == ch.consume * candidate[ch.to.0]
-        })
+        self.channels()
+            .iter()
+            .all(|ch| ch.produce * candidate[ch.from.0] == ch.consume * candidate[ch.to.0])
     }
 }
 
@@ -126,7 +126,10 @@ mod tests {
         g.channel(a, 1, b, 1, 0).unwrap();
         g.channel(b, 1, c, 1, 0).unwrap();
         g.channel(a, 2, c, 1, 0).unwrap();
-        assert_eq!(g.repetition_vector().unwrap_err(), SdfError::InconsistentRates);
+        assert_eq!(
+            g.repetition_vector().unwrap_err(),
+            SdfError::InconsistentRates
+        );
     }
 
     #[test]

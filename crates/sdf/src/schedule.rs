@@ -81,10 +81,10 @@ pub fn schedule_conflict_free(
     let mut fired_total = 0u64;
 
     let fire_one = |t: TransitionId,
-                        marking: &mut Marking,
-                        remaining: &mut Vec<u64>,
-                        sequence: &mut Vec<TransitionId>,
-                        peaks: &mut Vec<u64>|
+                    marking: &mut Marking,
+                    remaining: &mut Vec<u64>,
+                    sequence: &mut Vec<TransitionId>,
+                    peaks: &mut Vec<u64>|
      -> Result<()> {
         net.fire(marking, t)?;
         remaining[t.index()] -= 1;
@@ -158,8 +158,7 @@ mod tests {
     #[test]
     fn figure2_eager_schedule_matches_paper_sequence() {
         let net = gallery::figure2();
-        let schedule =
-            schedule_conflict_free(&net, &[4, 2, 1], FiringPolicy::Eager).unwrap();
+        let schedule = schedule_conflict_free(&net, &[4, 2, 1], FiringPolicy::Eager).unwrap();
         let names: Vec<&str> = schedule
             .sequence
             .iter()
@@ -190,7 +189,10 @@ mod tests {
         let net = gallery::figure2();
         assert!(matches!(
             schedule_conflict_free(&net, &[1, 2], FiringPolicy::default()),
-            Err(SdfError::CountLengthMismatch { expected: 3, found: 2 })
+            Err(SdfError::CountLengthMismatch {
+                expected: 3,
+                found: 2
+            })
         ));
     }
 

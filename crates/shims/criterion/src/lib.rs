@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate covering the API subset this
+//! workspace uses: `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! `criterion_group!` / `criterion_main!` and `black_box`.
+//!
+//! Unlike a mock, the shim genuinely measures: each benchmark is warmed up,
+//! then timed over `sample_size` samples with an iteration count calibrated so
+//! a sample lasts at least ~2 ms, and the median/min per-iteration time is
+//! printed. `FCPN_BENCH_SAMPLES` overrides the sample count (CI smoke runs set
+//! it to 3). See `crates/shims/README.md` for why this shim exists.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call, if any.
+    result: Option<MeasuredTime>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasuredTime {
+    median: Duration,
+    min: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: run until ~TARGET_SAMPLE_TIME is filled to
+        // pick the per-sample iteration count.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_start.elapsed() < TARGET_SAMPLE_TIME {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let iters = calibration_iters.max(1);
+
+        let mut per_iteration: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iteration.push(start.elapsed() / iters as u32);
+        }
+        per_iteration.sort();
+        self.result = Some(MeasuredTime {
+            median: per_iteration[per_iteration.len() / 2],
+            min: per_iteration[0],
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size = std::env::var("FCPN_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { sample_size }
+    }
+}
+
+impl Criterion {
+    /// Configures the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Configures the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&id, self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(m) => println!(
+            "bench {id:<48} median {:>12?}  min {:>12?}  ({} samples x {} iters)",
+            m.median, m.min, samples, m.iters_per_sample
+        ),
+        None => println!("bench {id:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Collects benchmark functions into a runnable group, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -5,7 +5,9 @@
 //!
 //! Run with `cargo run --example design_space`.
 
-use fcpn::codegen::{emit_c, emit_rust, synthesize, CEmitOptions, RustEmitOptions, SynthesisOptions};
+use fcpn::codegen::{
+    emit_c, emit_rust, synthesize, CEmitOptions, RustEmitOptions, SynthesisOptions,
+};
 use fcpn::petri::gallery;
 use fcpn::qss::{quasi_static_schedule, QssOptions};
 use fcpn::sdf::{FiringPolicy, LoopedSchedule, ScheduleTradeoff, SdfGraph};

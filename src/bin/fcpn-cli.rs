@@ -52,7 +52,10 @@ fn run(command: &str, path: &str) -> Result<(), String> {
         }
         "schedule" => {
             let schedule = schedule(&net)?;
-            println!("schedulable: valid schedule with {} cycle(s)", schedule.cycle_count());
+            println!(
+                "schedulable: valid schedule with {} cycle(s)",
+                schedule.cycle_count()
+            );
             println!("S = {}", schedule.describe(&net));
             println!("buffer bounds: {:?}", schedule.buffer_bounds(&net));
             Ok(())
@@ -79,8 +82,8 @@ fn run(command: &str, path: &str) -> Result<(), String> {
 fn schedule(net: &PetriNet) -> Result<ValidSchedule, String> {
     match quasi_static_schedule(net, &QssOptions::default()).map_err(|e| e.to_string())? {
         QssOutcome::Schedulable(schedule) => Ok(schedule),
-        QssOutcome::NotSchedulable(report) => Err(format!(
-            "net is not quasi-statically schedulable: {report}"
-        )),
+        QssOutcome::NotSchedulable(report) => {
+            Err(format!("net is not quasi-statically schedulable: {report}"))
+        }
     }
 }

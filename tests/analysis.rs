@@ -22,7 +22,11 @@ fn open_nets_are_behaviourally_unbounded_but_quasi_statically_schedulable() {
             net.name()
         );
         let outcome = quasi_static_schedule(&net, &QssOptions::default()).unwrap();
-        assert!(outcome.is_schedulable(), "{} must be schedulable", net.name());
+        assert!(
+            outcome.is_schedulable(),
+            "{} must be schedulable",
+            net.name()
+        );
     }
 }
 

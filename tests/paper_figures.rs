@@ -49,10 +49,7 @@ fn figure4_schedule_code_and_semantics() {
         .unwrap()
         .schedule()
         .unwrap();
-    assert_eq!(
-        schedule.describe(&net),
-        "{(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}"
-    );
+    assert_eq!(schedule.describe(&net), "{(t1 t2 t1 t2 t4), (t1 t3 t5 t5)}");
     assert!(schedule.is_valid(&net));
     // Every cycle really is a finite complete cycle of the token game.
     for cycle in &schedule.cycles {
