@@ -1,0 +1,65 @@
+//! Parallel-explorer scaling: the sharded explorer at 1/2/4 workers against the
+//! sequential engine (u64 and adaptive narrow arenas) on the truncated open nets and
+//! the bounded hypercube.
+//!
+//! The multi-thread points are meaningful only relative to the host's core count
+//! (printed first): on a single-core host the sharded explorer serialises onto one CPU
+//! and the measurement shows pure coordination overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcpn_petri::analysis::ReachabilityOptions;
+use fcpn_petri::gallery;
+use fcpn_petri::statespace::{ExploreOptions, StateSpace, TokenWidth};
+use std::hint::black_box;
+
+fn open_net_options() -> ReachabilityOptions {
+    ReachabilityOptions {
+        max_markings: 60_000,
+        max_tokens_per_place: 8,
+    }
+}
+
+fn bench_parallel_explore(c: &mut Criterion) {
+    println!(
+        "host cores: {}",
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    );
+    let mut group = c.benchmark_group("parallel_explore");
+    let cases = [
+        (
+            "choice_chain_8",
+            gallery::choice_chain(8),
+            open_net_options(),
+        ),
+        ("figure5", gallery::figure5(), open_net_options()),
+        (
+            "cycle_bank_14",
+            gallery::cycle_bank(14),
+            ReachabilityOptions::default(),
+        ),
+    ];
+    for (name, net, reach) in &cases {
+        let configs = [
+            ("seq_u64", 1, TokenWidth::U64),
+            ("seq_narrow", 1, TokenWidth::Auto),
+            ("par2", 2, TokenWidth::Auto),
+            ("par4", 4, TokenWidth::Auto),
+        ];
+        for (label, threads, width) in configs {
+            let options = ExploreOptions {
+                reach: *reach,
+                threads,
+                width,
+            };
+            group.bench_with_input(BenchmarkId::new(label, name), net, |b, net| {
+                b.iter(|| StateSpace::explore_with(black_box(net), &options))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_explore);
+criterion_main!(benches);

@@ -9,18 +9,22 @@
 //! ```
 //!
 //! Without `--out` the JSON goes to stdout. `FCPN_BENCH_SAMPLES` controls the number of
-//! interleaved measurement pairs per case (default 9).
+//! interleaved measurement rounds per case (default 9).
 //!
-//! Speedups are measured with **interleaved pairs** — each sample times one engine
-//! explore immediately followed by one naive explore, and the recorded speedup is the
-//! median of the per-pair ratios. On a machine with background load this is far more
-//! stable than comparing two independently taken medians.
+//! Schema v2: every explore case records one row per engine configuration —
+//! `(threads, token_width)` — alongside the retained naive and sequential-`u64`
+//! baselines, and the QSS sweep records the component-cache wall time against the
+//! uncached path. Speedups are measured with **interleaved rounds** — each round times
+//! every configuration back to back, and the recorded speedup is the median of the
+//! per-round ratios. On a machine with background load this is far more stable than
+//! comparing two independently taken medians.
 
-use fcpn_bench::program_of;
+use fcpn_bench::program_of_with;
 use fcpn_codegen::CodeMetrics;
 use fcpn_petri::analysis::{ReachabilityGraph, ReachabilityOptions};
-use fcpn_petri::statespace::StateSpace;
+use fcpn_petri::statespace::{ExploreOptions, StateSpace, TokenWidth};
 use fcpn_petri::{gallery, PetriNet};
+use fcpn_qss::QssOptions;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -30,16 +34,30 @@ struct ExploreCase {
     options: ReachabilityOptions,
 }
 
+/// One engine configuration measured per case, next to the naive baseline.
+struct EngineConfig {
+    threads: usize,
+    width: TokenWidth,
+}
+
+struct EngineRow {
+    threads: usize,
+    /// Resolved width name (`Auto` resolves at explore time).
+    width: &'static str,
+    best_ms: f64,
+    speedup_vs_naive: f64,
+    /// Median per-round ratio against the sequential u64 engine (the PR 1 baseline).
+    speedup_vs_seq_u64: f64,
+}
+
 struct ExploreRow {
     label: &'static str,
     options: ReachabilityOptions,
     states: usize,
     edges: usize,
     complete: bool,
-    engine_ms: f64,
     naive_ms: f64,
-    speedup: f64,
-    states_per_sec: f64,
+    engine: Vec<EngineRow>,
 }
 
 fn samples() -> usize {
@@ -49,39 +67,99 @@ fn samples() -> usize {
         .unwrap_or(9)
 }
 
-fn measure_explore(case: &ExploreCase) -> ExploreRow {
-    let space = StateSpace::explore(&case.net, case.options);
-    let (states, edges, complete) = (space.state_count(), space.edge_count(), space.is_complete());
-    drop(space);
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values[values.len() / 2]
+}
 
-    let mut pairs: Vec<(f64, f64)> = Vec::new();
+fn measure_explore(case: &ExploreCase) -> ExploreRow {
+    let configs = [
+        EngineConfig {
+            threads: 1,
+            width: TokenWidth::U64,
+        },
+        EngineConfig {
+            threads: 1,
+            width: TokenWidth::Auto,
+        },
+        EngineConfig {
+            threads: 2,
+            width: TokenWidth::Auto,
+        },
+        EngineConfig {
+            threads: 4,
+            width: TokenWidth::Auto,
+        },
+    ];
+    let explore_options = |c: &EngineConfig| ExploreOptions {
+        reach: case.options,
+        threads: c.threads,
+        width: c.width,
+    };
+
+    let reference = StateSpace::explore(&case.net, case.options);
+    let (states, edges, complete) = (
+        reference.state_count(),
+        reference.edge_count(),
+        reference.is_complete(),
+    );
+    drop(reference);
+
+    // Interleaved rounds: one naive + one of each engine configuration per round. The
+    // resolved width name is captured from the first round's space rather than from
+    // extra untimed explorations.
+    let mut naive_times: Vec<f64> = Vec::new();
+    let mut engine_times: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let mut resolved_widths: Vec<&'static str> = vec![""; configs.len()];
     for _ in 0..samples() {
-        let start = Instant::now();
-        black_box(StateSpace::explore(black_box(&case.net), case.options));
-        let engine = start.elapsed().as_secs_f64();
         let start = Instant::now();
         black_box(ReachabilityGraph::explore_naive(
             black_box(&case.net),
             case.options,
         ));
-        let naive = start.elapsed().as_secs_f64();
-        pairs.push((engine, naive));
+        naive_times.push(start.elapsed().as_secs_f64());
+        for (i, config) in configs.iter().enumerate() {
+            let options = explore_options(config);
+            let start = Instant::now();
+            let space = StateSpace::explore_with(black_box(&case.net), &options);
+            let width = black_box(space.token_width());
+            drop(space);
+            engine_times[i].push(start.elapsed().as_secs_f64());
+            resolved_widths[i] = width.name();
+        }
     }
-    let mut ratios: Vec<f64> = pairs.iter().map(|(e, n)| n / e).collect();
-    ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
-    let speedup = ratios[ratios.len() / 2];
-    let engine_best = pairs.iter().map(|&(e, _)| e).fold(f64::INFINITY, f64::min);
-    let naive_best = pairs.iter().map(|&(_, n)| n).fold(f64::INFINITY, f64::min);
+
+    let engine = configs
+        .iter()
+        .enumerate()
+        .map(|(i, config)| {
+            let times = &engine_times[i];
+            EngineRow {
+                threads: config.threads,
+                width: resolved_widths[i],
+                best_ms: times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3,
+                speedup_vs_naive: median(
+                    naive_times.iter().zip(times).map(|(n, e)| n / e).collect(),
+                ),
+                speedup_vs_seq_u64: median(
+                    engine_times[0]
+                        .iter()
+                        .zip(times)
+                        .map(|(u, e)| u / e)
+                        .collect(),
+                ),
+            }
+        })
+        .collect();
+
     ExploreRow {
         label: case.label,
         options: case.options,
         states,
         edges,
         complete,
-        engine_ms: engine_best * 1e3,
-        naive_ms: naive_best * 1e3,
-        speedup,
-        states_per_sec: states as f64 / engine_best,
+        naive_ms: naive_times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3,
+        engine,
     }
 }
 
@@ -121,25 +199,61 @@ fn main() {
     ];
 
     eprintln!(
-        "measuring explore throughput ({} interleaved pairs per case)...",
+        "measuring explore throughput ({} interleaved rounds per case)...",
         samples()
     );
     let rows: Vec<ExploreRow> = cases.iter().map(measure_explore).collect();
     for row in &rows {
         eprintln!(
-            "  {:<20} {:>7} states {:>8} edges  engine {:>9.3}ms  naive {:>9.3}ms  speedup {:.2}x",
-            row.label, row.states, row.edges, row.engine_ms, row.naive_ms, row.speedup
+            "  {:<20} {:>7} states {:>8} edges  naive {:>9.3}ms",
+            row.label, row.states, row.edges, row.naive_ms
         );
+        for engine in &row.engine {
+            eprintln!(
+                "    threads={} width={:<4} best {:>9.3}ms  vs naive {:>5.2}x  vs seq-u64 {:>5.2}x",
+                engine.threads,
+                engine.width,
+                engine.best_ms,
+                engine.speedup_vs_naive,
+                engine.speedup_vs_seq_u64
+            );
+        }
     }
 
-    // The paper's complexity ablation: schedule + synthesise a sweep of choice chains.
-    eprintln!("measuring QSS + codegen scaling sweep...");
+    // The paper's complexity ablation: schedule + synthesise a sweep of choice chains,
+    // with the component cache on (the default) and off.
+    eprintln!("measuring QSS + codegen scaling sweep (cache on/off)...");
+    let cached_options = QssOptions::default();
+    let uncached_options = QssOptions {
+        reuse_component_cache: false,
+        ..QssOptions::default()
+    };
     let mut scaling = Vec::new();
     for n in [1usize, 2, 4, 6, 8, 10] {
         let net = gallery::choice_chain(n);
-        let start = Instant::now();
-        let (schedule, program) = program_of(&net);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        // Warm-up (also provides the metrics), then interleaved cached/uncached rounds —
+        // a single ordered pair would charge process warm-up to whichever ran first and
+        // make the small-n ratios pure noise.
+        let (schedule, program) = program_of_with(&net, &cached_options);
+        let mut cached_times: Vec<f64> = Vec::new();
+        let mut uncached_times: Vec<f64> = Vec::new();
+        for _ in 0..samples() {
+            let start = Instant::now();
+            black_box(program_of_with(black_box(&net), &cached_options));
+            cached_times.push(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            black_box(program_of_with(black_box(&net), &uncached_options));
+            uncached_times.push(start.elapsed().as_secs_f64());
+        }
+        let wall_ms = cached_times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3;
+        let wall_uncached_ms = uncached_times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3;
+        let cache_speedup = median(
+            cached_times
+                .iter()
+                .zip(&uncached_times)
+                .map(|(c, u)| u / c)
+                .collect(),
+        );
         let metrics = CodeMetrics::of(&program, &net);
         scaling.push((
             n,
@@ -147,45 +261,68 @@ fn main() {
             metrics.ir_statements,
             metrics.lines_of_c,
             wall_ms,
+            wall_uncached_ms,
+            cache_speedup,
         ));
         eprintln!(
-            "  choices={n:>2} cycles={:>4} ir={:>5} c_lines={:>5} wall={wall_ms:.2}ms",
+            "  choices={n:>2} cycles={:>4} ir={:>5} c_lines={:>5} wall={wall_ms:.2}ms uncached={wall_uncached_ms:.2}ms ({cache_speedup:.2}x)",
             schedule.cycle_count(),
             metrics.ir_statements,
-            metrics.lines_of_c
+            metrics.lines_of_c,
         );
     }
 
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"fcpn-bench/statespace-v1\",\n");
+    json.push_str("  \"schema\": \"fcpn-bench/statespace-v2\",\n");
     json.push_str(&format!("  \"samples_per_case\": {},\n", samples()));
+    // Multi-threaded rows are only meaningful relative to this: with a single host
+    // core the parallel explorer serialises onto one CPU and pays pure coordination
+    // overhead, so its speedup reads < 1 regardless of implementation quality.
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str("  \"explore\": [\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"net\": \"{}\", \"max_markings\": {}, \"max_tokens_per_place\": {}, \
-             \"states\": {}, \"edges\": {}, \"complete\": {}, \
-             \"engine_best_ms\": {:.3}, \"naive_best_ms\": {:.3}, \
-             \"speedup_median\": {:.2}, \"engine_states_per_sec\": {:.0}}}{}\n",
+             \"states\": {}, \"edges\": {}, \"complete\": {}, \"naive_best_ms\": {:.3},\n",
             row.label,
             row.options.max_markings,
             row.options.max_tokens_per_place,
             row.states,
             row.edges,
             row.complete,
-            row.engine_ms,
             row.naive_ms,
-            row.speedup,
-            row.states_per_sec,
+        ));
+        json.push_str("     \"engine\": [\n");
+        for (j, engine) in row.engine.iter().enumerate() {
+            json.push_str(&format!(
+                "       {{\"threads\": {}, \"token_width\": \"{}\", \"best_ms\": {:.3}, \
+                 \"speedup_vs_naive\": {:.2}, \"speedup_vs_seq_u64\": {:.2}}}{}\n",
+                engine.threads,
+                engine.width,
+                engine.best_ms,
+                engine.speedup_vs_naive,
+                engine.speedup_vs_seq_u64,
+                if j + 1 < row.engine.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "     ]}}{}\n",
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
     json.push_str("  \"qss_scaling\": [\n");
-    for (i, (n, cycles, ir, c_lines, wall_ms)) in scaling.iter().enumerate() {
+    for (i, (n, cycles, ir, c_lines, wall_ms, wall_uncached_ms, cache_speedup)) in
+        scaling.iter().enumerate()
+    {
         json.push_str(&format!(
             "    {{\"choices\": {n}, \"cycles\": {cycles}, \"ir_statements\": {ir}, \
-             \"lines_of_c\": {c_lines}, \"wall_ms\": {wall_ms:.3}}}{}\n",
+             \"lines_of_c\": {c_lines}, \"wall_ms\": {wall_ms:.3}, \
+             \"wall_ms_uncached\": {wall_uncached_ms:.3}, \"cache_speedup\": {cache_speedup:.2}}}{}\n",
             if i + 1 < scaling.len() { "," } else { "" }
         ));
     }

@@ -30,7 +30,20 @@ pub fn schedule_of(net: &PetriNet) -> ValidSchedule {
 ///
 /// Panics if the net is not schedulable.
 pub fn program_of(net: &PetriNet) -> (ValidSchedule, Program) {
-    let schedule = schedule_of(net);
+    program_of_with(net, &QssOptions::default())
+}
+
+/// [`program_of`] under explicit scheduler options (used by the baseline emitter to
+/// measure the component cache on and off).
+///
+/// # Panics
+///
+/// Panics if the net is not schedulable.
+pub fn program_of_with(net: &PetriNet, options: &QssOptions) -> (ValidSchedule, Program) {
+    let schedule = quasi_static_schedule(net, options)
+        .expect("net is a valid free-choice input")
+        .schedule()
+        .expect("net is schedulable");
     let program = synthesize(net, &schedule, SynthesisOptions::default())
         .expect("schedulable nets synthesise");
     (schedule, program)

@@ -1,17 +1,32 @@
 //! The top-level quasi-static scheduling algorithm (Section 3, Steps 1–3).
 
 use crate::{
-    check_component, enumerate_allocations, AllocationOptions, ComponentFailure, ComponentVerdict,
-    Result, TReduction, ValidSchedule,
+    allocation_iter, check_component, check_component_with, AllocationOptions, ComponentCache,
+    ComponentFailure, ComponentVerdict, Result, TReduction, ValidSchedule,
 };
 use fcpn_petri::{PetriNet, TransitionId};
 use std::fmt;
 
 /// Options for the quasi-static scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QssOptions {
     /// Limits for T-allocation enumeration (exponential in the number of choices).
     pub allocation: AllocationOptions,
+    /// Share a [`ComponentCache`] across the T-reductions, so structurally identical
+    /// components (ubiquitous in nets with symmetric choices) reuse the invariant basis
+    /// and simulated cycle instead of re-running the Farkas analysis per allocation.
+    /// The verdict is identical either way; disabling is only useful for benchmarking
+    /// the cache itself.
+    pub reuse_component_cache: bool,
+}
+
+impl Default for QssOptions {
+    fn default() -> Self {
+        QssOptions {
+            allocation: AllocationOptions::default(),
+            reuse_component_cache: true,
+        }
+    }
 }
 
 /// Diagnosis of a single non-schedulable component, with enough context to explain the
@@ -104,13 +119,22 @@ impl QssOutcome {
 /// # }
 /// ```
 pub fn quasi_static_schedule(net: &PetriNet, options: &QssOptions) -> Result<QssOutcome> {
-    let allocations = enumerate_allocations(net, options.allocation)?;
-    let mut cycles = Vec::with_capacity(allocations.len());
+    // T-allocations are streamed, not materialised: peak memory stays O(choices) even
+    // though the number of allocations is exponential in the number of choices.
+    let allocations = allocation_iter(net, options.allocation)?;
+    let mut cache = ComponentCache::default();
+    let mut cycles = Vec::new();
     let mut failures = Vec::new();
-    let components_examined = allocations.len();
+    let mut components_examined = 0usize;
     for allocation in allocations {
+        components_examined += 1;
         let reduction = TReduction::compute(net, allocation)?;
-        match check_component(net, &reduction) {
+        let verdict = if options.reuse_component_cache {
+            check_component_with(net, &reduction, &mut cache)
+        } else {
+            check_component(net, &reduction)
+        };
+        match verdict {
             ComponentVerdict::Schedulable(cycle) => cycles.push(cycle),
             ComponentVerdict::NotSchedulable(failure) => failures.push(ComponentDiagnostic {
                 allocation: reduction.allocation.describe(net),

@@ -91,32 +91,154 @@ impl Default for AllocationOptions {
     }
 }
 
-/// Enumerates every T-allocation of `net` (the cartesian product of the choice places'
-/// output transitions).
+/// A lazy stream over every T-allocation of `net`, in the same mixed-radix order the
+/// eager enumeration produced (slot 0 — the lowest choice place — varies fastest).
+///
+/// The number of allocations is the product of the choice places' out-degrees and is
+/// exponential in the number of choices; streaming lets callers process (and discard)
+/// one allocation at a time instead of materialising all `2^n` up front, which turns the
+/// scheduler's peak memory from O(2^n) into O(n).
+///
+/// Work shared between consecutive allocations is deduplicated: the excluded-transition
+/// set of slots `s..` (the *suffix* of the counter, which only changes when a carry
+/// propagates past slot `s`) is cached as a pre-merged sorted list, so advancing the
+/// counter re-merges only the slots below the carry instead of rebuilding and re-sorting
+/// the full conflict-loser set per allocation.
+#[derive(Debug, Clone)]
+pub struct AllocationIter {
+    /// `(choice place, its output transitions)`, ascending place order.
+    choices: Vec<(PlaceId, Vec<TransitionId>)>,
+    /// `losers[slot][pick]`: the sorted conflict losers of taking `pick` at `slot`.
+    losers: Vec<Vec<Vec<TransitionId>>>,
+    cursor: Vec<usize>,
+    /// `tails[slot]`: merged sorted losers of slots `slot..` under the current cursor;
+    /// `tails[choices.len()]` is empty. Shared across every allocation whose counter
+    /// suffix agrees.
+    tails: Vec<Vec<TransitionId>>,
+    remaining: u128,
+    total: u128,
+}
+
+impl AllocationIter {
+    fn new(choices: Vec<(PlaceId, Vec<TransitionId>)>, total: u128) -> Self {
+        let losers: Vec<Vec<Vec<TransitionId>>> = choices
+            .iter()
+            .map(|(_, outs)| {
+                (0..outs.len())
+                    .map(|pick| {
+                        let mut l: Vec<TransitionId> =
+                            outs.iter().copied().filter(|&t| t != outs[pick]).collect();
+                        l.sort();
+                        l
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut iter = AllocationIter {
+            cursor: vec![0; choices.len()],
+            tails: vec![Vec::new(); choices.len() + 1],
+            choices,
+            losers,
+            remaining: total,
+            total,
+        };
+        iter.remerge_tails_from(iter.choices.len());
+        iter
+    }
+
+    /// Total number of allocations the stream yields.
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// Allocations not yet yielded.
+    pub fn remaining(&self) -> u128 {
+        self.remaining
+    }
+
+    /// Rebuilds `tails[s]` for `s = from-1 .. 0` (everything below a carry at `from`).
+    fn remerge_tails_from(&mut self, from: usize) {
+        for s in (0..from).rev() {
+            let mut merged =
+                Vec::with_capacity(self.losers[s][self.cursor[s]].len() + self.tails[s + 1].len());
+            let (mut a, mut b) = (0, 0);
+            let (left, right) = (&self.losers[s][self.cursor[s]], &self.tails[s + 1]);
+            while a < left.len() || b < right.len() {
+                let pick_left = match (left.get(a), right.get(b)) {
+                    (Some(x), Some(y)) => x <= y,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                let next = if pick_left {
+                    let v = left[a];
+                    a += 1;
+                    v
+                } else {
+                    let v = right[b];
+                    b += 1;
+                    v
+                };
+                if merged.last() != Some(&next) {
+                    merged.push(next);
+                }
+            }
+            self.tails[s] = merged;
+        }
+    }
+}
+
+impl Iterator for AllocationIter {
+    type Item = TAllocation;
+
+    fn next(&mut self) -> Option<TAllocation> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let chosen: Vec<(PlaceId, TransitionId)> = self
+            .choices
+            .iter()
+            .zip(&self.cursor)
+            .map(|((place, outs), &pick)| (*place, outs[pick]))
+            .collect();
+        let allocation = TAllocation {
+            choices: chosen,
+            excluded: self.tails[0].clone(),
+        };
+        // Advance the mixed-radix counter (slot 0 fastest) and re-merge the tails the
+        // carry invalidated.
+        if self.remaining > 0 {
+            let mut slot = 0;
+            loop {
+                self.cursor[slot] += 1;
+                if self.cursor[slot] < self.choices[slot].1.len() {
+                    break;
+                }
+                self.cursor[slot] = 0;
+                slot += 1;
+            }
+            self.remerge_tails_from(slot + 1);
+        }
+        Some(allocation)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match usize::try_from(self.remaining) {
+            Ok(n) => (n, Some(n)),
+            Err(_) => (usize::MAX, None),
+        }
+    }
+}
+
+/// Opens a lazy stream over every T-allocation of `net` (the cartesian product of the
+/// choice places' output transitions) without materialising them.
 ///
 /// # Errors
 ///
 /// * [`QssError::NotFreeChoice`] if the net violates the free-choice condition.
+/// * [`QssError::Empty`] if the net has no transitions.
 /// * [`QssError::TooManyAllocations`] if the product exceeds `options.max_allocations`.
-///
-/// # Examples
-///
-/// ```
-/// use fcpn_petri::gallery;
-/// use fcpn_qss::{enumerate_allocations, AllocationOptions};
-///
-/// # fn main() -> Result<(), fcpn_qss::QssError> {
-/// let net = gallery::figure5();
-/// let allocations = enumerate_allocations(&net, AllocationOptions::default())?;
-/// // One choice (p1 -> t2 | t3) gives exactly two allocations, A1 and A2.
-/// assert_eq!(allocations.len(), 2);
-/// # Ok(())
-/// # }
-/// ```
-pub fn enumerate_allocations(
-    net: &PetriNet,
-    options: AllocationOptions,
-) -> Result<Vec<TAllocation>> {
+pub fn allocation_iter(net: &PetriNet, options: AllocationOptions) -> Result<AllocationIter> {
     let classification = fcpn_petri::analysis::Classification::of(net);
     if !classification.is_free_choice() {
         return Err(QssError::NotFreeChoice {
@@ -139,44 +261,35 @@ pub fn enumerate_allocations(
             });
         }
     }
+    Ok(AllocationIter::new(choices, required))
+}
 
-    let mut allocations = Vec::with_capacity(required as usize);
-    let mut cursor = vec![0usize; choices.len()];
-    loop {
-        let mut chosen = Vec::with_capacity(choices.len());
-        let mut excluded = Vec::new();
-        for (slot, (place, outs)) in choices.iter().enumerate() {
-            let pick = outs[cursor[slot]];
-            chosen.push((*place, pick));
-            for &t in outs {
-                if t != pick {
-                    excluded.push(t);
-                }
-            }
-        }
-        excluded.sort();
-        excluded.dedup();
-        allocations.push(TAllocation {
-            choices: chosen,
-            excluded,
-        });
-        // Advance the mixed-radix counter.
-        let mut slot = 0;
-        loop {
-            if slot == choices.len() {
-                return Ok(allocations);
-            }
-            cursor[slot] += 1;
-            if cursor[slot] < choices[slot].1.len() {
-                break;
-            }
-            cursor[slot] = 0;
-            slot += 1;
-        }
-        if choices.is_empty() {
-            return Ok(allocations);
-        }
-    }
+/// Enumerates every T-allocation of `net` eagerly — a thin `collect()` over
+/// [`allocation_iter`], kept for callers that genuinely need the whole set.
+///
+/// # Errors
+///
+/// Same as [`allocation_iter`].
+///
+/// # Examples
+///
+/// ```
+/// use fcpn_petri::gallery;
+/// use fcpn_qss::{enumerate_allocations, AllocationOptions};
+///
+/// # fn main() -> Result<(), fcpn_qss::QssError> {
+/// let net = gallery::figure5();
+/// let allocations = enumerate_allocations(&net, AllocationOptions::default())?;
+/// // One choice (p1 -> t2 | t3) gives exactly two allocations, A1 and A2.
+/// assert_eq!(allocations.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate_allocations(
+    net: &PetriNet,
+    options: AllocationOptions,
+) -> Result<Vec<TAllocation>> {
+    Ok(allocation_iter(net, options)?.collect())
 }
 
 #[cfg(test)]
@@ -226,6 +339,37 @@ mod tests {
         // Every allocation excludes exactly one transition per choice.
         for a in &allocations {
             assert_eq!(a.excluded_transitions().len(), 4);
+        }
+    }
+
+    #[test]
+    fn iterator_streams_the_same_sequence_the_eager_api_collects() {
+        let net = gallery::choice_chain(6);
+        let eager = enumerate_allocations(&net, AllocationOptions::default()).unwrap();
+        let mut iter = allocation_iter(&net, AllocationOptions::default()).unwrap();
+        assert_eq!(iter.total(), 64);
+        assert_eq!(iter.size_hint(), (64, Some(64)));
+        let streamed: Vec<TAllocation> = iter.by_ref().collect();
+        assert_eq!(streamed, eager);
+        assert_eq!(iter.remaining(), 0);
+        assert_eq!(iter.next(), None);
+    }
+
+    #[test]
+    fn iterator_is_lazy() {
+        // 2^16 allocations exist, but taking three only ever materialises three.
+        let net = gallery::choice_chain(16);
+        let mut iter = allocation_iter(&net, AllocationOptions::default()).unwrap();
+        assert_eq!(iter.total(), 1 << 16);
+        let first: Vec<TAllocation> = iter.by_ref().take(3).collect();
+        assert_eq!(first.len(), 3);
+        assert_eq!(iter.remaining(), (1 << 16) - 3);
+        // The three differ only in the lowest choice slot.
+        assert_eq!(first[0].choices()[1..], first[1].choices()[1..]);
+        assert_ne!(first[0].choices()[0], first[1].choices()[0]);
+        // Every allocation excludes exactly one transition per choice.
+        for a in &first {
+            assert_eq!(a.excluded_transitions().len(), 16);
         }
     }
 

@@ -48,10 +48,15 @@ pub use algorithm::{
     is_schedulable, quasi_static_schedule, ComponentDiagnostic, NotSchedulableReport, QssOptions,
     QssOutcome,
 };
-pub use allocation::{enumerate_allocations, AllocationOptions, TAllocation};
+pub use allocation::{
+    allocation_iter, enumerate_allocations, AllocationIter, AllocationOptions, TAllocation,
+};
 pub use error::{QssError, Result};
 pub use reduction::{ReductionStep, TReduction};
-pub use schedulability::{check_component, simulate_cycle, ComponentFailure, ComponentVerdict};
+pub use schedulability::{
+    check_component, check_component_with, simulate_cycle, ComponentCache, ComponentFailure,
+    ComponentVerdict,
+};
 pub use schedule::{FiniteCompleteCycle, ValidSchedule};
 
 #[cfg(test)]

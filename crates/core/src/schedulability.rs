@@ -10,6 +10,8 @@
 use crate::{FiniteCompleteCycle, TReduction};
 use fcpn_petri::analysis::{IncidenceMatrix, InvariantAnalysis};
 use fcpn_petri::{PetriNet, TransitionId};
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Why a component (T-reduction) failed the schedulability test of Definition 3.5.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,11 +55,80 @@ impl ComponentVerdict {
     }
 }
 
+/// The result of one token-game simulation, cached per `(net structure, priority)`.
+type CycleResult = Result<(Vec<TransitionId>, Vec<u64>), (Vec<u64>, Vec<TransitionId>)>;
+
+/// Memoises the expensive, structure-only parts of [`check_component`] across the
+/// T-reductions of one scheduling run.
+///
+/// Different allocations routinely produce *structurally identical* reduced nets — e.g.
+/// every allocation of a symmetric choice chain reduces to the same conflict-free
+/// skeleton, just relabelled — and both the Farkas invariant analysis and the cycle
+/// simulation are pure functions of that structure (plus, for the simulation, the
+/// priority list in child indices). The cache keys both by a structural signature of the
+/// reduced net (arc lists + initial marking, names excluded), so a run over `2^n`
+/// allocations performs the invariant analysis once per *distinct* component shape
+/// instead of once per allocation. Everything identifier-dependent (the mapping back to
+/// parent transitions, source slices, diagnostics) is recomputed per reduction.
+#[derive(Debug, Default)]
+pub struct ComponentCache {
+    invariants: HashMap<Vec<u64>, Rc<InvariantAnalysis>>,
+    cycles: HashMap<(Vec<u64>, Vec<u32>), Rc<CycleResult>>,
+}
+
+/// A structural fingerprint of a net: place/transition counts, the initial marking and
+/// the full weighted arc lists in index order. Two nets with equal signatures have
+/// identical incidence structure and token game, hence identical invariant bases and
+/// simulation outcomes.
+fn net_signature(net: &PetriNet) -> Vec<u64> {
+    let mut sig = Vec::with_capacity(2 + net.place_count() + 4 * net.arc_count());
+    sig.push(net.place_count() as u64);
+    sig.push(net.transition_count() as u64);
+    sig.extend_from_slice(net.initial_marking().as_slice());
+    for t in net.transitions() {
+        sig.push(net.inputs(t).len() as u64);
+        for &(p, w) in net.inputs(t) {
+            sig.push(p.index() as u64);
+            sig.push(w);
+        }
+        sig.push(net.outputs(t).len() as u64);
+        for &(p, w) in net.outputs(t) {
+            sig.push(p.index() as u64);
+            sig.push(w);
+        }
+    }
+    sig
+}
+
 /// Checks Definition 3.5 for one T-reduction of `parent` and, if it holds, produces the
 /// component's finite complete cycle expressed in parent identifiers.
+///
+/// One-shot convenience over [`check_component_with`]; loops over many reductions (the
+/// quasi-static scheduler) should share a [`ComponentCache`] instead.
 pub fn check_component(parent: &PetriNet, reduction: &TReduction) -> ComponentVerdict {
+    check_component_with(parent, reduction, &mut ComponentCache::default())
+}
+
+/// [`check_component`] with a shared [`ComponentCache`]: structurally identical reduced
+/// nets reuse the invariant basis and the simulated cycle. The verdict is identical to
+/// the uncached path.
+pub fn check_component_with(
+    parent: &PetriNet,
+    reduction: &TReduction,
+    cache: &mut ComponentCache,
+) -> ComponentVerdict {
     let net = &reduction.net;
-    let invariants = InvariantAnalysis::of(net);
+    let signature = net_signature(net);
+    let invariants: Rc<InvariantAnalysis> = match cache.invariants.get(&signature) {
+        Some(cached) => Rc::clone(cached),
+        None => {
+            let computed = Rc::new(InvariantAnalysis::of(net));
+            cache
+                .invariants
+                .insert(signature.clone(), Rc::clone(&computed));
+            computed
+        }
+    };
 
     // (1) Consistency: every transition of the component lies in some T-semiflow.
     let covered = {
@@ -106,9 +177,21 @@ pub fn check_component(parent: &PetriNet, reduction: &TReduction) -> ComponentVe
         .iter()
         .filter_map(|&(_, chosen)| reduction.map.child_transition(chosen))
         .collect();
-    match simulate_cycle(net, &counts, &priority) {
+    let priority_key: Vec<u32> = priority.iter().map(|t| t.index() as u32).collect();
+    let simulated: Rc<CycleResult> =
+        match cache.cycles.get(&(signature.clone(), priority_key.clone())) {
+            Some(cached) => Rc::clone(cached),
+            None => {
+                let computed = Rc::new(simulate_cycle(net, &counts, &priority));
+                cache
+                    .cycles
+                    .insert((signature, priority_key), Rc::clone(&computed));
+                computed
+            }
+        };
+    match &*simulated {
         Ok((sequence, peaks)) => {
-            let parent_sequence = reduction.sequence_to_parent(&sequence);
+            let parent_sequence = reduction.sequence_to_parent(sequence);
             let mut parent_counts = vec![0u64; parent.transition_count()];
             for &t in &parent_sequence {
                 parent_counts[t.index()] += 1;
@@ -149,7 +232,8 @@ pub fn check_component(parent: &PetriNet, reduction: &TReduction) -> ComponentVe
         }
         Err((remaining, fired)) => {
             let remaining = remaining
-                .into_iter()
+                .iter()
+                .copied()
                 .enumerate()
                 .filter(|&(_, count)| count > 0)
                 .map(|(index, count)| {
@@ -159,7 +243,7 @@ pub fn check_component(parent: &PetriNet, reduction: &TReduction) -> ComponentVe
                     )
                 })
                 .collect();
-            let fired = reduction.sequence_to_parent(&fired);
+            let fired = reduction.sequence_to_parent(fired);
             ComponentVerdict::NotSchedulable(ComponentFailure::Deadlock { remaining, fired })
         }
     }

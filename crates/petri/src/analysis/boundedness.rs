@@ -1,7 +1,8 @@
 //! Boundedness analysis: k-boundedness over the explored state space and structural
 //! unboundedness detection via a coverability (Karp–Miller style) search.
 
-use crate::statespace::MarkingArena;
+use super::reachability::ReachabilityOptions;
+use crate::statespace::{ExploreOptions, MarkingArena, StateSpace};
 use crate::{PetriNet, PlaceId, TransitionId};
 use std::collections::VecDeque;
 
@@ -65,6 +66,41 @@ fn strictly_covers(a: &[u64], b: &[u64]) -> bool {
 /// per successor) and successors are generated with the allocation-free
 /// [`PetriNet::fire_into`] fast path.
 pub fn check_boundedness(net: &PetriNet, options: BoundednessOptions) -> Boundedness {
+    check_boundedness_covering(net, options)
+}
+
+/// [`check_boundedness`] with explicit engine configuration.
+///
+/// With `explore.threads > 1` a (parallel, narrow-arena) reachability exploration is run
+/// first, bounded by `options.max_nodes` states and `explore.reach.max_tokens_per_place`
+/// tokens per place: a *complete* exploration enumerates the full reachable set, which
+/// proves boundedness directly with `k` the largest token count observed — the same `k`
+/// the covering search reports. When the exploration is truncated (by either bound, in
+/// particular for every unbounded net) the verdict falls back to the sequential
+/// Karp–Miller covering search, whose ancestor walks are inherently order-dependent and
+/// therefore not sharded.
+pub fn check_boundedness_with(
+    net: &PetriNet,
+    options: BoundednessOptions,
+    explore: &ExploreOptions,
+) -> Boundedness {
+    if explore.resolved_threads() > 1 {
+        let reach = ReachabilityOptions {
+            max_markings: options.max_nodes,
+            max_tokens_per_place: explore.reach.max_tokens_per_place,
+        };
+        let space = StateSpace::explore_with(net, &ExploreOptions { reach, ..*explore });
+        if space.is_complete() {
+            return Boundedness::Bounded {
+                k: space.max_tokens_observed(),
+            };
+        }
+    }
+    check_boundedness_covering(net, options)
+}
+
+/// The sequential coverability-style covering search (see [`check_boundedness`]).
+fn check_boundedness_covering(net: &PetriNet, options: BoundednessOptions) -> Boundedness {
     let places = net.place_count();
     let mut arena = MarkingArena::new(places);
     arena.intern(net.initial_marking().as_slice());
@@ -226,6 +262,32 @@ mod tests {
         let result = check_boundedness(&net, BoundednessOptions { max_nodes: 2 });
         assert_eq!(result, Boundedness::Unknown);
         assert_eq!(is_safe(&net, BoundednessOptions { max_nodes: 2 }), None);
+    }
+
+    #[test]
+    fn parallel_fast_path_agrees_with_covering_search() {
+        use crate::gallery;
+        let explore = ExploreOptions {
+            threads: 2,
+            ..ExploreOptions::default()
+        };
+        // Bounded: the parallel fast path proves it with the same k.
+        let net = gallery::marked_ring(6, 3);
+        assert_eq!(
+            check_boundedness_with(&net, BoundednessOptions::default(), &explore),
+            check_boundedness(&net, BoundednessOptions::default())
+        );
+        // Unbounded: the exploration is truncated, so the verdict falls back to the
+        // covering search and keeps its witness.
+        let mut b = NetBuilder::new("source");
+        let t1 = b.transition("t1");
+        let p = b.place("p", 0);
+        b.arc_t_p(t1, p, 1).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(
+            check_boundedness_with(&net, BoundednessOptions::default(), &explore),
+            check_boundedness(&net, BoundednessOptions::default())
+        );
     }
 
     #[test]

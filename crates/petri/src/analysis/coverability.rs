@@ -7,9 +7,19 @@
 //! supports coverability queries ("can a marking with at least k tokens in p be
 //! reached?") that are useful when diagnosing a specification the scheduler rejected.
 
+use crate::statespace::SliceTable;
 use crate::{Marking, PetriNet, PlaceId, TransitionId};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// The `u64` code of the symbolic ω value in the interned node encoding.
+///
+/// A finite count can never legitimately reach this value in practice: token counts that
+/// large would have overflowed the token game long before, and the Karp–Miller
+/// acceleration turns any strictly growing place into ω well below it. Should a
+/// pathological input produce one anyway, [`OmegaMarking::encode_into`] reports the
+/// ambiguity and the build double-checks interner hits against the actual nodes.
+const OMEGA_CODE: u64 = u64::MAX;
 
 /// A token count that may be the symbolic value ω (arbitrarily many).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,6 +129,21 @@ impl OmegaMarking {
         next
     }
 
+    /// Appends the node's `u64` encoding (ω as [`OMEGA_CODE`]) to a flat arena, for the
+    /// hash-of-slice interner. Returns `true` when a *finite* count collided with the ω
+    /// code, i.e. the encoding is ambiguous and interner hits need re-verification.
+    fn encode_into(&self, arena: &mut Vec<u64>) -> bool {
+        let mut ambiguous = false;
+        arena.extend(self.tokens.iter().map(|t| match t {
+            Tokens::Finite(k) => {
+                ambiguous |= *k == OMEGA_CODE;
+                *k
+            }
+            Tokens::Omega => OMEGA_CODE,
+        }));
+        ambiguous
+    }
+
     /// Accelerates `self` with respect to an ancestor it strictly covers: places where it
     /// is strictly larger become ω (the Karp–Miller acceleration).
     fn accelerate(&mut self, ancestor: &OmegaMarking) {
@@ -183,7 +208,94 @@ impl Default for CoverabilityOptions {
 
 impl CoverabilityGraph {
     /// Builds the coverability graph of `net` from its initial marking.
+    ///
+    /// Node identity is resolved through the state-space engine's hash-of-slice interner
+    /// (ω encoded as a sentinel word): each successor costs one hash and, on a hit, one
+    /// slice comparison, instead of the former `nodes.iter().position(..)` scan that made
+    /// construction O(V) *per successor* — O(V·E) overall. The discovery order, and hence
+    /// the node numbering and edge list, are identical to
+    /// [`CoverabilityGraph::build_naive`]'s.
     pub fn build(net: &PetriNet, options: CoverabilityOptions) -> Self {
+        let places = net.place_count();
+        let mut nodes = vec![OmegaMarking::from_marking(net.initial_marking())];
+        let mut encoded: Vec<u64> = Vec::with_capacity(places * 64);
+        // Once any node encodes a *finite* u64::MAX (pathological, but expressible),
+        // encodings stop being injective and every interner hit is re-verified against
+        // the actual nodes; a mismatch falls back to the exact linear scan.
+        let mut ambiguous = nodes[0].encode_into(&mut encoded);
+        let mut table = SliceTable::with_capacity(64);
+        let mut scratch: Vec<u64> = Vec::with_capacity(places);
+        table.insert_unique(crate::statespace::hash_tokens(&encoded[..places]), 0);
+        let mut parents: Vec<Option<usize>> = vec![None];
+        let mut edges = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::from([0usize]);
+        let mut complete = true;
+
+        while let Some(current) = queue.pop_front() {
+            for t in net.transitions() {
+                if !nodes[current].is_enabled(net, t) {
+                    continue;
+                }
+                let mut next = nodes[current].fire(net, t);
+                // Accelerate against every ancestor on the path that the successor covers.
+                let mut ancestor = Some(current);
+                while let Some(a) = ancestor {
+                    if next.covers(&nodes[a]) && next != nodes[a] {
+                        next.accelerate(&nodes[a]);
+                    }
+                    ancestor = parents[a];
+                }
+                scratch.clear();
+                ambiguous |= next.encode_into(&mut scratch);
+                let found = table
+                    .find(&scratch, |id| {
+                        let start = id as usize * places;
+                        &encoded[start..start + places]
+                    })
+                    .map(|id| id as usize)
+                    .filter(|&id| !ambiguous || nodes[id] == next)
+                    .or_else(|| {
+                        if ambiguous {
+                            nodes.iter().position(|n| n == &next)
+                        } else {
+                            None
+                        }
+                    });
+                let target = match found {
+                    Some(existing) => existing,
+                    None => {
+                        if nodes.len() >= options.max_nodes {
+                            complete = false;
+                            continue;
+                        }
+                        let id = nodes.len();
+                        encoded.extend_from_slice(&scratch);
+                        table.insert_unique(crate::statespace::hash_tokens(&scratch), id as u32);
+                        nodes.push(next);
+                        parents.push(Some(current));
+                        queue.push_back(id);
+                        id
+                    }
+                };
+                edges.push(CoverabilityEdge {
+                    from: current,
+                    transition: t,
+                    to: target,
+                });
+            }
+        }
+        CoverabilityGraph {
+            nodes,
+            edges,
+            complete,
+        }
+    }
+
+    /// The pre-interner construction, retained as the reference implementation: node
+    /// identity is resolved by a linear `nodes.iter().position(..)` scan, O(V) per
+    /// successor. The `coverability` benchmark measures [`CoverabilityGraph::build`]'s
+    /// asymptotic win against it, and the property tests pin their equivalence.
+    pub fn build_naive(net: &PetriNet, options: CoverabilityOptions) -> Self {
         let mut nodes = vec![OmegaMarking::from_marking(net.initial_marking())];
         let mut parents: Vec<Option<usize>> = vec![None];
         let mut edges = Vec::new();
@@ -324,6 +436,47 @@ mod tests {
         assert!(!b.covers(&a));
         assert_eq!(a.to_string(), "(2, ω)");
         assert_eq!(a.omega_places(), vec![PlaceId::new(1)]);
+    }
+
+    #[test]
+    fn interned_build_matches_naive_reference() {
+        let cases: Vec<(&str, crate::PetriNet, CoverabilityOptions)> = vec![
+            (
+                "figure3b",
+                gallery::figure3b(),
+                CoverabilityOptions::default(),
+            ),
+            (
+                "figure5",
+                gallery::figure5(),
+                CoverabilityOptions::default(),
+            ),
+            (
+                "figure7",
+                gallery::figure7(),
+                CoverabilityOptions::default(),
+            ),
+            (
+                "marked_ring(8,4)",
+                gallery::marked_ring(8, 4),
+                CoverabilityOptions::default(),
+            ),
+            (
+                "choice_chain(3)",
+                gallery::choice_chain(3),
+                CoverabilityOptions::default(),
+            ),
+            (
+                "figure5-budget",
+                gallery::figure5(),
+                CoverabilityOptions { max_nodes: 5 },
+            ),
+        ];
+        for (label, net, options) in cases {
+            let interned = CoverabilityGraph::build(&net, options);
+            let naive = CoverabilityGraph::build_naive(&net, options);
+            assert_eq!(interned, naive, "{label}");
+        }
     }
 
     #[test]

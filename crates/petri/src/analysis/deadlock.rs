@@ -1,7 +1,7 @@
 //! Deadlock detection over the explored state space.
 
 use super::reachability::ReachabilityOptions;
-use crate::statespace::StateSpace;
+use crate::statespace::{ExploreOptions, StateSpace};
 use crate::{Marking, PetriNet, TransitionId};
 
 /// Outcome of a deadlock search.
@@ -33,7 +33,13 @@ impl DeadlockReport {
 /// enabled; the search still runs and simply reports [`DeadlockReport::DeadlockFree`] when
 /// the explored space is complete.
 pub fn find_deadlock(net: &PetriNet, options: ReachabilityOptions) -> DeadlockReport {
-    let space = StateSpace::explore(net, options);
+    find_deadlock_with(net, &ExploreOptions::from(options))
+}
+
+/// [`find_deadlock`] with explicit engine configuration (thread count and token-arena
+/// width); the verdict is identical for every configuration.
+pub fn find_deadlock_with(net: &PetriNet, options: &ExploreOptions) -> DeadlockReport {
+    let space = StateSpace::explore_with(net, options);
     // A state with no outgoing edge may simply have had its successors cut off by the
     // exploration budget; confirm it is genuinely dead before reporting it.
     let target = space.dead_states().into_iter().find(|&s| {

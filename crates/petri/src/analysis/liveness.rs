@@ -1,7 +1,7 @@
 //! Liveness analysis over the explored state space.
 
 use super::reachability::ReachabilityOptions;
-use crate::statespace::StateSpace;
+use crate::statespace::{ExploreOptions, StateSpace};
 use crate::{PetriNet, TransitionId};
 
 /// Outcome of a liveness query.
@@ -32,7 +32,13 @@ impl LivenessReport {
 /// The check is exact when the reachability graph is complete within `options`; otherwise
 /// [`LivenessReport::Unknown`] is returned.
 pub fn check_liveness(net: &PetriNet, options: ReachabilityOptions) -> LivenessReport {
-    let space = StateSpace::explore(net, options);
+    check_liveness_with(net, &ExploreOptions::from(options))
+}
+
+/// [`check_liveness`] with explicit engine configuration (thread count and token-arena
+/// width); the verdict is identical for every configuration.
+pub fn check_liveness_with(net: &PetriNet, options: &ExploreOptions) -> LivenessReport {
+    let space = StateSpace::explore_with(net, options);
     if !space.is_complete() {
         return LivenessReport::Unknown;
     }

@@ -17,16 +17,19 @@ mod rational;
 mod reachability;
 mod siphons;
 
-pub use boundedness::{check_boundedness, is_k_bounded, is_safe, Boundedness, BoundednessOptions};
+pub use boundedness::{
+    check_boundedness, check_boundedness_with, is_k_bounded, is_safe, Boundedness,
+    BoundednessOptions,
+};
 pub use classification::{Classification, NetClass};
 pub use conflict::ConflictAnalysis;
 pub use coverability::{
     CoverabilityEdge, CoverabilityGraph, CoverabilityOptions, OmegaMarking, Tokens,
 };
-pub use deadlock::{find_deadlock, DeadlockReport};
+pub use deadlock::{find_deadlock, find_deadlock_with, DeadlockReport};
 pub use incidence::IncidenceMatrix;
 pub use invariants::{incidence_rank, t_invariant_space_dimension, InvariantAnalysis, Semiflow};
-pub use liveness::{check_liveness, LivenessReport};
+pub use liveness::{check_liveness, check_liveness_with, LivenessReport};
 pub use rational::{gcd_u64, lcm_u64, smallest_integer_vector, Rational};
 pub use reachability::{ReachabilityEdge, ReachabilityGraph, ReachabilityOptions};
 pub use siphons::{

@@ -13,7 +13,7 @@
 //! reference implementation the property tests compare the engine against, and the
 //! baseline the benchmark suite measures speedups over.
 
-use crate::statespace::{SliceTable, StateSpace};
+use crate::statespace::{ExploreOptions, SliceTable, StateSpace};
 use crate::{Marking, PetriNet, TransitionId};
 use std::collections::{HashMap, VecDeque};
 
@@ -103,6 +103,13 @@ impl ReachabilityGraph {
     /// arena-interned engine.
     pub fn explore_from(net: &PetriNet, initial: Marking, options: ReachabilityOptions) -> Self {
         Self::from_statespace(StateSpace::explore_from(net, initial, options))
+    }
+
+    /// [`ReachabilityGraph::explore`] with explicit engine configuration — thread count
+    /// and token-arena width ([`ExploreOptions`]). The resulting graph is canonical:
+    /// identical to the sequential default for every configuration.
+    pub fn explore_with(net: &PetriNet, options: &ExploreOptions) -> Self {
+        Self::from_statespace(StateSpace::explore_with(net, options))
     }
 
     /// Converts an explored [`StateSpace`] into the owned-marking view.

@@ -1,0 +1,607 @@
+//! The sharded parallel explorer.
+//!
+//! # Design
+//!
+//! Markings are sharded by hash range: shard `s` owns every marking whose finalized
+//! hash maps to `s` under a fixed multiply-shift, and each worker thread owns exactly
+//! one shard — a private token arena, hash table and per-state metadata that no other
+//! thread ever touches concurrently. Exploration proceeds in breadth-first **levels**
+//! (the sequential engine's FIFO order is level order, since ids are assigned in
+//! discovery order), and each level runs three phases:
+//!
+//! 1. **Expand** (parallel): every worker fires the enabled transitions of the level's
+//!    states it owns, in canonical order. Successors hashing into the worker's own shard
+//!    are interned immediately; cross-shard successors are appended — tokens plus the
+//!    O(1)-derived raw hash — to the per-pair outbox `outbox[src][dst]`, and the edge is
+//!    recorded with a pending reference to that outbox slot.
+//! 2. **Drain** (parallel): every worker drains the outboxes addressed to it in fixed
+//!    sender order, interning each candidate into its shard and writing the resolved
+//!    local id into the outbox's reply slot.
+//! 3. **Admit** (sequential, cheap): the coordinator walks the level's states in
+//!    canonical order and each state's recorded edges in transition order — exactly the
+//!    sequential engine's discovery order — assigning canonical ids to newly reached
+//!    states, applying the state budget and token cut-off *in that order*, and emitting
+//!    the CSR rows. No token vector is hashed or compared here; the pass only chases
+//!    already-resolved `(shard, local)` references.
+//!
+//! Termination detection is the natural consequence of the level structure: when an
+//! admission pass produces an empty next level, every worker is parked at the barrier
+//! and the coordinator signals shutdown.
+//!
+//! Because admission replays the sequential discovery order, the resulting state
+//! numbering, edge list, frontier and completeness flag are **bit-for-bit identical** to
+//! the sequential explorer's for any shard count — including truncated explorations,
+//! where which states fall inside the budget depends on the discovery order. States the
+//! budget rejects may transiently occupy shard arenas (they were interned before the
+//! admission pass ruled on them), but they are never renumbered, never expanded and
+//! never emitted.
+
+use super::arena::TokenWord;
+use super::engine::{NetTables, RawSpace};
+use super::interner::{Probe, SliceTable};
+use super::{mix, raw_hash, StateId, EMPTY_SLOT};
+use crate::analysis::ReachabilityOptions;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// Marks a `rec_target` entry as an unresolved outbox reference.
+const PENDING_BIT: u64 = 1 << 63;
+
+#[inline]
+fn shard_of(mixed_hash: u64, shards: usize) -> usize {
+    // Multiply-shift maps the hash uniformly onto 0..shards without division.
+    ((mixed_hash as u128 * shards as u128) >> 64) as usize
+}
+
+#[inline]
+fn encode_direct(shard: usize, local: u32) -> u64 {
+    ((shard as u64) << 32) | local as u64
+}
+
+#[inline]
+fn encode_pending(dst: usize, index: u32) -> u64 {
+    PENDING_BIT | ((dst as u64) << 32) | index as u64
+}
+
+/// One worker's private slice of the state space.
+struct Shard<W> {
+    /// Flat token arena of every marking interned into this shard (admitted or not).
+    tokens: Vec<W>,
+    /// Raw (pre-finalizer) hash per local state, for O(1) successor hash derivation.
+    raw_hashes: Vec<u64>,
+    /// Largest token count per local state, for the cut-off check at admission.
+    max_tok: Vec<u64>,
+    /// Canonical id per local state; `EMPTY_SLOT` until the admission pass accepts it.
+    canon: Vec<u32>,
+    table: SliceTable,
+    /// Local ids this worker expands in the current level, in canonical order.
+    worklist: Vec<u32>,
+    /// Flat edge records of the current level: fired transition per record…
+    rec_t: Vec<u32>,
+    /// …and the successor as either a direct `(shard, local)` or a pending outbox slot.
+    rec_target: Vec<u64>,
+    /// Records per worklist entry, in worklist order.
+    rec_counts: Vec<u32>,
+}
+
+impl<W: TokenWord> Shard<W> {
+    fn new() -> Self {
+        Shard {
+            tokens: Vec::new(),
+            raw_hashes: Vec::new(),
+            max_tok: Vec::new(),
+            canon: Vec::new(),
+            table: SliceTable::with_capacity(64),
+            worklist: Vec::new(),
+            rec_t: Vec::new(),
+            rec_target: Vec::new(),
+            rec_counts: Vec::new(),
+        }
+    }
+
+    /// Interns `tokens` (with its precomputed raw hash), returning the local id.
+    fn intern(&mut self, tokens: &[W], raw: u64, places: usize) -> u32 {
+        if self.table.needs_growth() {
+            self.table.grow();
+        }
+        let mixed = mix(raw);
+        let Shard {
+            tokens: arena,
+            raw_hashes,
+            max_tok,
+            canon,
+            table,
+            ..
+        } = self;
+        match table.probe(mixed, tokens, |id| {
+            let start = id as usize * places;
+            &arena[start..start + places]
+        }) {
+            Probe::Found(id) => id,
+            Probe::Vacant(slot) => {
+                let id = raw_hashes.len() as u32;
+                arena.extend_from_slice(tokens);
+                raw_hashes.push(raw);
+                max_tok.push(tokens.iter().map(|&k| k.to_u64()).max().unwrap_or(0));
+                canon.push(EMPTY_SLOT);
+                table.insert_at(slot, mixed, id);
+                id
+            }
+        }
+    }
+}
+
+/// Cross-shard successor traffic for one `(sender, receiver)` pair and one level.
+///
+/// The mutexes are phase-exclusive — the sender fills `tokens`/`hashes` during the
+/// expand phase, the receiver fills `replies` during the drain phase, the coordinator
+/// reads during admission — so every lock is taken once per phase, uncontended.
+struct Outbox<W> {
+    /// Flattened candidate token vectors, `places` words each.
+    tokens: Vec<W>,
+    /// Raw hash per candidate (computed by the sender via the O(1) hash shift).
+    hashes: Vec<u64>,
+    /// Resolved local id in the receiving shard, one per candidate, in send order.
+    replies: Vec<u32>,
+}
+
+impl<W> Default for Outbox<W> {
+    fn default() -> Self {
+        Outbox {
+            tokens: Vec::new(),
+            hashes: Vec::new(),
+            replies: Vec::new(),
+        }
+    }
+}
+
+/// One state of the current breadth-first level, in canonical order.
+#[derive(Clone, Copy)]
+struct LevelEntry {
+    shard: u32,
+    local: u32,
+    /// Past the token cut-off: gets an empty CSR row and joins the frontier instead of
+    /// being expanded.
+    frontier: bool,
+}
+
+/// Explores the state space with `threads` workers over `threads` hash shards.
+///
+/// The output is bit-for-bit identical to [`explore_seq`](super::engine)'s for the same
+/// options, for any thread count.
+pub(crate) fn explore_parallel<W: TokenWord>(
+    tables: &NetTables,
+    initial: &[u64],
+    options: ReachabilityOptions,
+    threads: usize,
+) -> RawSpace<W> {
+    let places = tables.places;
+    let shard_count = threads;
+    let shards: Vec<Mutex<Shard<W>>> = (0..shard_count).map(|_| Mutex::new(Shard::new())).collect();
+    let outboxes: Vec<Vec<Mutex<Outbox<W>>>> = (0..shard_count)
+        .map(|_| {
+            (0..shard_count)
+                .map(|_| Mutex::new(Outbox::default()))
+                .collect()
+        })
+        .collect();
+    let barrier = Barrier::new(threads + 1);
+    let done = AtomicBool::new(false);
+
+    // Seed the initial state: canonical id 0, owned by its hash shard.
+    let initial_w: Vec<W> = initial.iter().map(|&k| W::from_u64(k)).collect();
+    let initial_raw = raw_hash(&initial_w);
+    let seed_shard = shard_of(mix(initial_raw), shard_count);
+    {
+        let mut shard = shards[seed_shard].lock().unwrap();
+        let local = shard.intern(&initial_w, initial_raw, places);
+        debug_assert_eq!(local, 0);
+        shard.canon[0] = 0;
+    }
+    let initial_frontier =
+        initial.iter().copied().max().unwrap_or(0) > options.max_tokens_per_place;
+    let mut level_order = vec![LevelEntry {
+        shard: seed_shard as u32,
+        local: 0,
+        frontier: initial_frontier,
+    }];
+    if !initial_frontier {
+        shards[seed_shard].lock().unwrap().worklist.push(0);
+    }
+
+    // Canonical bookkeeping, owned by the coordinator.
+    let mut canon_src: Vec<(u32, u32)> = vec![(seed_shard as u32, 0)];
+    let mut fwd_offsets: Vec<u32> = vec![0];
+    let mut edge_to: Vec<u32> = Vec::new();
+    let mut edge_transition: Vec<u32> = Vec::new();
+    let mut frontier: Vec<StateId> = Vec::new();
+    let mut complete = true;
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let shards = &shards;
+            let outboxes = &outboxes;
+            let barrier = &barrier;
+            let done = &done;
+            scope.spawn(move || {
+                let mut current: Vec<W> = vec![W::from_u64(0); places];
+                let mut mask = tables.candidate_buffer();
+                loop {
+                    barrier.wait();
+                    if done.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    expand_phase(
+                        me,
+                        tables,
+                        &mut shards[me].lock().unwrap(),
+                        &outboxes[me],
+                        shard_count,
+                        &mut current,
+                        &mut mask,
+                    );
+                    barrier.wait();
+                    drain_phase(me, &mut shards[me].lock().unwrap(), outboxes, places);
+                    barrier.wait();
+                }
+            });
+        }
+
+        loop {
+            if level_order.is_empty() {
+                done.store(true, Ordering::SeqCst);
+                barrier.wait();
+                break;
+            }
+            barrier.wait(); // release the workers into the expand phase
+            barrier.wait(); // expand done → drain
+            barrier.wait(); // drain done → exclusive admission
+
+            // All workers are parked at the top-of-loop barrier; the coordinator has
+            // exclusive access until it waits again.
+            let mut shard_guards: Vec<MutexGuard<'_, Shard<W>>> =
+                shards.iter().map(|m| m.lock().unwrap()).collect();
+            let outbox_guards: Vec<Vec<MutexGuard<'_, Outbox<W>>>> = outboxes
+                .iter()
+                .map(|row| row.iter().map(|m| m.lock().unwrap()).collect())
+                .collect();
+
+            // Pass 1 (read-only): resolve every record of the level to (transition,
+            // shard, local), chasing pending outbox references through the replies.
+            let mut row_counts: Vec<u32> = Vec::with_capacity(level_order.len());
+            let mut resolved: Vec<(u32, u32, u32)> = Vec::new();
+            let mut wl_cursor = vec![0usize; shard_count];
+            let mut rec_cursor = vec![0usize; shard_count];
+            for entry in &level_order {
+                if entry.frontier {
+                    row_counts.push(0);
+                    continue;
+                }
+                let s = entry.shard as usize;
+                let shard = &shard_guards[s];
+                debug_assert_eq!(shard.worklist[wl_cursor[s]], entry.local);
+                let count = shard.rec_counts[wl_cursor[s]];
+                wl_cursor[s] += 1;
+                for _ in 0..count {
+                    let t = shard.rec_t[rec_cursor[s]];
+                    let enc = shard.rec_target[rec_cursor[s]];
+                    rec_cursor[s] += 1;
+                    let hi = ((enc >> 32) & 0x7fff_ffff) as u32;
+                    let lo = enc as u32;
+                    let (ds, dl) = if enc & PENDING_BIT != 0 {
+                        (hi, outbox_guards[s][hi as usize].replies[lo as usize])
+                    } else {
+                        (hi, lo)
+                    };
+                    resolved.push((t, ds, dl));
+                }
+                row_counts.push(count);
+            }
+
+            // Pass 2: the canonical admission — the same (state, transition) order the
+            // sequential engine discovers successors in, with the same budget and
+            // cut-off decisions.
+            let mut next_level: Vec<LevelEntry> = Vec::new();
+            let mut cursor = 0usize;
+            for (entry, &count) in level_order.iter().zip(&row_counts) {
+                if entry.frontier {
+                    frontier.push(shard_guards[entry.shard as usize].canon[entry.local as usize]);
+                    complete = false;
+                    fwd_offsets.push(edge_to.len() as u32);
+                    continue;
+                }
+                for &(t, ds, dl) in &resolved[cursor..cursor + count as usize] {
+                    let known = shard_guards[ds as usize].canon[dl as usize];
+                    if known != EMPTY_SLOT {
+                        edge_to.push(known);
+                        edge_transition.push(t);
+                    } else if canon_src.len() >= options.max_markings {
+                        complete = false;
+                    } else {
+                        let id = canon_src.len() as u32;
+                        let shard = &mut shard_guards[ds as usize];
+                        shard.canon[dl as usize] = id;
+                        canon_src.push((ds, dl));
+                        next_level.push(LevelEntry {
+                            shard: ds,
+                            local: dl,
+                            frontier: shard.max_tok[dl as usize] > options.max_tokens_per_place,
+                        });
+                        edge_to.push(id);
+                        edge_transition.push(t);
+                    }
+                }
+                cursor += count as usize;
+                fwd_offsets.push(edge_to.len() as u32);
+            }
+
+            // Hand the next level's work lists to the workers.
+            for shard in shard_guards.iter_mut() {
+                shard.worklist.clear();
+            }
+            for entry in &next_level {
+                if !entry.frontier {
+                    shard_guards[entry.shard as usize]
+                        .worklist
+                        .push(entry.local);
+                }
+            }
+            level_order = next_level;
+        }
+    });
+
+    // Renumber the shard arenas into the canonical order: one widened copy per admitted
+    // state and one hash re-insertion (no token comparisons — all states are distinct).
+    let shards: Vec<Shard<W>> = shards
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect();
+    let mut arena: Vec<W> = Vec::with_capacity(canon_src.len() * places);
+    let mut table = SliceTable::with_capacity(canon_src.len().max(1));
+    for (id, &(s, l)) in canon_src.iter().enumerate() {
+        let shard = &shards[s as usize];
+        let start = l as usize * places;
+        arena.extend_from_slice(&shard.tokens[start..start + places]);
+        table.insert_unique(mix(shard.raw_hashes[l as usize]), id as u32);
+    }
+
+    RawSpace {
+        arena,
+        table,
+        fwd_offsets,
+        edge_to,
+        edge_transition,
+        complete,
+        frontier,
+    }
+}
+
+/// Expand phase: fire the enabled transitions of every owned state in the level.
+fn expand_phase<W: TokenWord>(
+    me: usize,
+    tables: &NetTables,
+    shard: &mut Shard<W>,
+    my_outboxes: &[Mutex<Outbox<W>>],
+    shard_count: usize,
+    current: &mut [W],
+    mask: &mut [u64],
+) {
+    let places = tables.places;
+    let mut outs: Vec<MutexGuard<'_, Outbox<W>>> =
+        my_outboxes.iter().map(|m| m.lock().unwrap()).collect();
+    for out in outs.iter_mut() {
+        out.tokens.clear();
+        out.hashes.clear();
+        out.replies.clear();
+    }
+    shard.rec_t.clear();
+    shard.rec_target.clear();
+    shard.rec_counts.clear();
+
+    for slot in 0..shard.worklist.len() {
+        let local = shard.worklist[slot] as usize;
+        current.copy_from_slice(&shard.tokens[local * places..(local + 1) * places]);
+        let parent_hash = shard.raw_hashes[local];
+        // The coordinator already excluded cut-off states from the worklist, so the
+        // gathered max token count is not re-checked here.
+        tables.gather_candidates(current, mask);
+        let row_start = shard.rec_t.len();
+        for (word, &mask_bits) in mask.iter().enumerate() {
+            let mut bits = mask_bits;
+            while bits != 0 {
+                let t = word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if !tables.enabled(current, t) {
+                    continue;
+                }
+                if !tables.apply_delta_in_place(current, t) {
+                    continue;
+                }
+                let successor_raw = parent_hash.wrapping_add(tables.hash_shift[t]);
+                let dst = shard_of(mix(successor_raw), shard_count);
+                let target = if dst == me {
+                    encode_direct(me, shard.intern(current, successor_raw, places))
+                } else {
+                    let out = &mut outs[dst];
+                    let index = out.hashes.len() as u32;
+                    out.tokens.extend_from_slice(current);
+                    out.hashes.push(successor_raw);
+                    encode_pending(dst, index)
+                };
+                tables.revert_delta_in_place(current, t);
+                shard.rec_t.push(t as u32);
+                shard.rec_target.push(target);
+            }
+        }
+        shard
+            .rec_counts
+            .push((shard.rec_t.len() - row_start) as u32);
+    }
+}
+
+/// Drain phase: intern every candidate other workers sent to this shard, in fixed
+/// sender order, and publish the resolved local ids.
+fn drain_phase<W: TokenWord>(
+    me: usize,
+    shard: &mut Shard<W>,
+    outboxes: &[Vec<Mutex<Outbox<W>>>],
+    places: usize,
+) {
+    for (src, row) in outboxes.iter().enumerate() {
+        if src == me {
+            continue;
+        }
+        let mut inbox = row[me].lock().unwrap();
+        let Outbox {
+            tokens,
+            hashes,
+            replies,
+        } = &mut *inbox;
+        replies.clear();
+        for (i, &raw) in hashes.iter().enumerate() {
+            let candidate = &tokens[i * places..(i + 1) * places];
+            replies.push(shard.intern(candidate, raw, places));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ExploreOptions, StateSpace, TokenWidth};
+    use crate::analysis::ReachabilityOptions;
+    use crate::{gallery, NetBuilder, PetriNet};
+
+    fn parallel_options(reach: ReachabilityOptions, threads: usize) -> ExploreOptions {
+        ExploreOptions {
+            reach,
+            threads,
+            width: TokenWidth::Auto,
+        }
+    }
+
+    fn assert_spaces_equal(par: &StateSpace, seq: &StateSpace, threads: usize) {
+        assert_eq!(par.state_count(), seq.state_count(), "{threads} threads");
+        assert_eq!(par.edge_count(), seq.edge_count(), "{threads} threads");
+        assert_eq!(par.is_complete(), seq.is_complete(), "{threads} threads");
+        assert_eq!(par.frontier(), seq.frontier(), "{threads} threads");
+        for id in 0..seq.state_count() as u32 {
+            assert_eq!(par.tokens(id), seq.tokens(id), "state {id}");
+            let seq_row: Vec<_> = seq.successors(id).collect();
+            let par_row: Vec<_> = par.successors(id).collect();
+            assert_eq!(par_row, seq_row, "row {id}");
+        }
+        // The canonical interner answers lookups exactly like the sequential one.
+        for id in 0..seq.state_count() as u32 {
+            assert_eq!(par.index_of_tokens(seq.tokens(id)), Some(id));
+        }
+    }
+
+    fn assert_identical(net: &PetriNet, reach: ReachabilityOptions, threads: usize) {
+        let seq = StateSpace::explore_with(
+            net,
+            &ExploreOptions {
+                reach,
+                threads: 1,
+                width: TokenWidth::U64,
+            },
+        );
+        let par = StateSpace::explore_with(net, &parallel_options(reach, threads));
+        assert_spaces_equal(&par, &seq, threads);
+    }
+
+    #[test]
+    fn single_worker_parallel_path_matches_sequential() {
+        // `explore_with(threads: 1)` dispatches to the sequential engine, so the
+        // one-shard parallel machinery is pinned here by calling it directly.
+        use super::super::engine::NetTables;
+        let net = gallery::figure5();
+        let reach = ReachabilityOptions {
+            max_markings: 300,
+            max_tokens_per_place: 4,
+        };
+        let tables = NetTables::build(&net);
+        let raw =
+            super::explore_parallel::<u8>(&tables, net.initial_marking().as_slice(), reach, 1);
+        let par = StateSpace::from_raw(raw, net.place_count(), TokenWidth::U8);
+        let seq = StateSpace::explore_with(
+            &net,
+            &ExploreOptions {
+                reach,
+                threads: 1,
+                width: TokenWidth::U64,
+            },
+        );
+        assert_spaces_equal(&par, &seq, 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_complete_spaces() {
+        for threads in [1, 2, 3, 4] {
+            assert_identical(
+                &gallery::marked_ring(8, 4),
+                ReachabilityOptions::default(),
+                threads,
+            );
+            assert_identical(
+                &gallery::cycle_bank(8),
+                ReachabilityOptions::default(),
+                threads,
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_truncated_spaces() {
+        let reach = ReachabilityOptions {
+            max_markings: 700,
+            max_tokens_per_place: 4,
+        };
+        for threads in [1, 2, 4] {
+            assert_identical(&gallery::figure5(), reach, threads);
+            assert_identical(&gallery::choice_chain(4), reach, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_handles_tiny_budgets_and_cutoffs() {
+        let net = gallery::figure5();
+        for max_markings in [1usize, 2, 7] {
+            let reach = ReachabilityOptions {
+                max_markings,
+                max_tokens_per_place: 3,
+            };
+            for threads in [2, 4] {
+                assert_identical(&net, reach, threads);
+            }
+        }
+        // Cut-off zero: the initial state itself is the frontier.
+        assert_identical(
+            &net,
+            ReachabilityOptions {
+                max_markings: 100,
+                max_tokens_per_place: 0,
+            },
+            2,
+        );
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_nets() {
+        let empty = NetBuilder::new("empty").build().unwrap();
+        assert_identical(&empty, ReachabilityOptions::default(), 2);
+
+        let mut b = NetBuilder::new("source-only");
+        let t = b.transition("src");
+        let p = b.place("p", 0);
+        b.arc_t_p(t, p, 1).unwrap();
+        let source = b.build().unwrap();
+        assert_identical(
+            &source,
+            ReachabilityOptions {
+                max_markings: 50,
+                max_tokens_per_place: 5,
+            },
+            3,
+        );
+    }
+}

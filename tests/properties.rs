@@ -15,7 +15,7 @@ use fcpn::codegen::{synthesize, Interpreter, SynthesisOptions};
 use fcpn::petri::analysis::{
     IncidenceMatrix, InvariantAnalysis, ReachabilityGraph, ReachabilityOptions,
 };
-use fcpn::petri::statespace::StateSpace;
+use fcpn::petri::statespace::{ExploreOptions, StateSpace, TokenWidth};
 use fcpn::petri::{gallery, NetBuilder, PetriNet, PlaceId, TransitionId};
 use fcpn::qss::{quasi_static_schedule, QssOptions, QssOutcome};
 use fcpn::sdf::{FiringPolicy, SdfGraph};
@@ -408,6 +408,65 @@ fn assert_engines_agree(net: &PetriNet, options: ReachabilityOptions, label: &st
     }
 }
 
+/// Asserts every engine variant — narrow `u8`/`u16` arenas and the sharded parallel
+/// explorer at 1/2/4 threads — produces exactly the canonical graph the sequential
+/// `u64` engine does: same markings in the same id order, same edge lists, same
+/// completeness/frontier and same dead markings.
+fn assert_variants_canonical(net: &PetriNet, options: ReachabilityOptions, label: &str) {
+    let baseline = StateSpace::explore_with(
+        net,
+        &ExploreOptions {
+            reach: options,
+            threads: 1,
+            width: TokenWidth::U64,
+        },
+    );
+    let variants = [
+        ("u8", 1, TokenWidth::U8),
+        ("u16", 1, TokenWidth::U16),
+        ("par1-auto", 1, TokenWidth::Auto),
+        ("par2-auto", 2, TokenWidth::Auto),
+        ("par4-auto", 4, TokenWidth::Auto),
+        ("par2-u64", 2, TokenWidth::U64),
+        ("par4-u8", 4, TokenWidth::U8),
+    ];
+    for (name, threads, width) in variants {
+        let space = StateSpace::explore_with(
+            net,
+            &ExploreOptions {
+                reach: options,
+                threads,
+                width,
+            },
+        );
+        let tag = format!("{label} [{name}]");
+        assert_eq!(space.state_count(), baseline.state_count(), "{tag}: states");
+        assert_eq!(space.edge_count(), baseline.edge_count(), "{tag}: edges");
+        assert_eq!(
+            space.is_complete(),
+            baseline.is_complete(),
+            "{tag}: completeness"
+        );
+        assert_eq!(space.frontier(), baseline.frontier(), "{tag}: frontier");
+        assert_eq!(
+            space.dead_states(),
+            baseline.dead_states(),
+            "{tag}: dead markings"
+        );
+        for id in 0..baseline.state_count() as u32 {
+            assert_eq!(space.tokens(id), baseline.tokens(id), "{tag}: marking {id}");
+            let base_row: Vec<_> = baseline.successors(id).collect();
+            let row: Vec<_> = space.successors(id).collect();
+            assert_eq!(row, base_row, "{tag}: out-edges of {id}");
+            assert_eq!(
+                space.index_of_tokens(baseline.tokens(id)),
+                Some(id),
+                "{tag}: interner lookup of {id}"
+            );
+        }
+    }
+}
+
 /// Truncation budget for nets with source transitions (unbounded state spaces).
 fn truncated() -> ReachabilityOptions {
     ReachabilityOptions {
@@ -439,6 +498,74 @@ fn engine_matches_naive_on_every_gallery_net() {
     ] {
         assert_engines_agree(&net, ReachabilityOptions::default(), label);
     }
+}
+
+#[test]
+fn engine_variants_are_canonical_on_every_gallery_net() {
+    let open_nets: Vec<(&str, PetriNet)> = vec![
+        ("figure1a", gallery::figure1a()),
+        ("figure1b", gallery::figure1b()),
+        ("figure2", gallery::figure2()),
+        ("figure3a", gallery::figure3a()),
+        ("figure3b", gallery::figure3b()),
+        ("figure4", gallery::figure4()),
+        ("figure5", gallery::figure5()),
+        ("figure7", gallery::figure7()),
+        ("choice_chain(3)", gallery::choice_chain(3)),
+    ];
+    for (label, net) in &open_nets {
+        assert_variants_canonical(net, truncated(), label);
+    }
+    for (label, net) in [
+        ("marked_ring(6,3)", gallery::marked_ring(6, 3)),
+        ("marked_ring(10,4)", gallery::marked_ring(10, 4)),
+        ("cycle_bank(8)", gallery::cycle_bank(8)),
+    ] {
+        assert_variants_canonical(&net, ReachabilityOptions::default(), label);
+    }
+}
+
+#[test]
+fn engine_variants_are_canonical_on_random_nets() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xACE ^ seed);
+        let net = random_net(&mut rng);
+        let options = ReachabilityOptions {
+            max_markings: 1_500,
+            max_tokens_per_place: 6,
+        };
+        assert_variants_canonical(&net, options, &format!("random net seed {seed}"));
+    }
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1CE ^ seed);
+        let net = free_choice_tree(&mut rng);
+        assert_variants_canonical(&net, truncated(), &format!("fc tree seed {seed}"));
+    }
+}
+
+#[test]
+fn engine_variants_are_canonical_under_tight_budgets() {
+    // Budget truncation is where discovery order matters most: which states fall inside
+    // the budget depends on it, so this pins the parallel admission pass byte-for-byte.
+    let net = gallery::figure5();
+    for max_markings in [1usize, 2, 7, 50, 333] {
+        assert_variants_canonical(
+            &net,
+            ReachabilityOptions {
+                max_markings,
+                max_tokens_per_place: 3,
+            },
+            &format!("figure5 budget={max_markings}"),
+        );
+    }
+    assert_variants_canonical(
+        &net,
+        ReachabilityOptions {
+            max_markings: 100,
+            max_tokens_per_place: 0,
+        },
+        "figure5 cutoff=0",
+    );
 }
 
 #[test]
