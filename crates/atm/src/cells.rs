@@ -7,6 +7,12 @@
 //! the model (congestion, message boundaries, destination queue, buffer occupancy, WFQ
 //! mode) with configurable probabilities, so that both the QSS implementation and the
 //! functional baseline process statistically identical traffic.
+//!
+//! Determinism is what makes the Table I fast path checkable: the workload and the
+//! policy are pure functions of their seed, so the session-backed functional simulator
+//! and the retained naive one can be replayed on *identical* stimulus and pinned to
+//! identical reports (see [`run_table1`](crate::run_table1) /
+//! [`run_table1_naive`](crate::run_table1_naive)).
 
 use crate::AtmModel;
 use fcpn_codegen::ChoiceResolver;

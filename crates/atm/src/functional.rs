@@ -6,6 +6,11 @@
 //! emits the corresponding C skeleton: every module becomes an RTOS task with its own
 //! input queues, dispatch loop and inter-task writes, which is where the extra lines of
 //! code and the extra run-time overhead come from.
+//!
+//! The partitioning built by [`functional_partition`] is executed by
+//! [`fcpn_rtos::simulate_functional_partition`] — since PR 3 on the
+//! [`FiringSession`](fcpn_petri::statespace::FiringSession) firing fast path — while
+//! this module's [`emit_functional_c`] supplies the "Lines of C code" row of Table I.
 
 use crate::{AtmModel, Module, MODULES};
 use fcpn_petri::{PlaceId, TransitionId};

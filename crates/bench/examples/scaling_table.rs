@@ -11,20 +11,29 @@
 //! Without `--out` the JSON goes to stdout. `FCPN_BENCH_SAMPLES` controls the number of
 //! interleaved measurement rounds per case (default 9).
 //!
-//! Schema v2: every explore case records one row per engine configuration —
+//! Schema v3: every explore case records one row per engine configuration —
 //! `(threads, token_width)` — alongside the retained naive and sequential-`u64`
-//! baselines, and the QSS sweep records the component-cache wall time against the
-//! uncached path. Speedups are measured with **interleaved rounds** — each round times
-//! every configuration back to back, and the recorded speedup is the median of the
-//! per-round ratios. On a machine with background load this is far more stable than
-//! comparing two independently taken medians.
+//! baselines; the QSS sweep records the component-cache wall time against the uncached
+//! path; the `firing_session` rows time the [`FiringSession`] trace fast path against
+//! the seed token game; and the `table1` section records the ATM functional-baseline
+//! simulation (and the full Table I harness) on both paths. Speedups are measured with
+//! **interleaved rounds** — each round times every configuration back to back, and the
+//! recorded speedup is the median of the per-round ratios. On a machine with background
+//! load this is far more stable than comparing two independently taken medians.
+//!
+//! [`FiringSession`]: fcpn_petri::statespace::FiringSession
 
-use fcpn_bench::program_of_with;
+use fcpn_atm::{
+    functional_partition, generate_workload, run_table1, run_table1_naive, AtmChoicePolicy,
+    AtmConfig, AtmModel, Table1Config, TrafficConfig,
+};
+use fcpn_bench::{program_of_with, run_naive_trace, run_session_trace};
 use fcpn_codegen::CodeMetrics;
 use fcpn_petri::analysis::{ReachabilityGraph, ReachabilityOptions};
 use fcpn_petri::statespace::{ExploreOptions, StateSpace, TokenWidth};
 use fcpn_petri::{gallery, PetriNet};
 use fcpn_qss::QssOptions;
+use fcpn_rtos::{simulate_functional_partition, simulate_functional_partition_naive, CostModel};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -163,6 +172,127 @@ fn measure_explore(case: &ExploreCase) -> ExploreRow {
     }
 }
 
+/// One row of the firing-session trace comparison: the deterministic rotating trace of
+/// `fcpn_bench::run_naive_trace` / `run_session_trace`, timed head to head.
+struct TraceRow {
+    label: &'static str,
+    firings: u64,
+    naive_best_ms: f64,
+    session_best_ms: f64,
+    speedup: f64,
+}
+
+const TRACE_STEPS: usize = 20_000;
+
+fn measure_trace(label: &'static str, net: &PetriNet) -> TraceRow {
+    // The two paths must execute the identical trace before anything is timed.
+    let (naive_fired, naive_marking) = run_naive_trace(net, TRACE_STEPS);
+    let (session_fired, session_marking) = run_session_trace(net, TRACE_STEPS);
+    assert_eq!(naive_fired, session_fired, "trace diverged on {label}");
+    assert_eq!(
+        naive_marking, session_marking,
+        "marking diverged on {label}"
+    );
+
+    let mut naive_times: Vec<f64> = Vec::new();
+    let mut session_times: Vec<f64> = Vec::new();
+    for _ in 0..samples() {
+        let start = Instant::now();
+        black_box(run_naive_trace(black_box(net), TRACE_STEPS));
+        naive_times.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(run_session_trace(black_box(net), TRACE_STEPS));
+        session_times.push(start.elapsed().as_secs_f64());
+    }
+    TraceRow {
+        label,
+        firings: naive_fired,
+        naive_best_ms: naive_times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3,
+        session_best_ms: session_times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3,
+        speedup: median(
+            naive_times
+                .iter()
+                .zip(&session_times)
+                .map(|(n, s)| n / s)
+                .collect(),
+        ),
+    }
+}
+
+/// The Table I section: the ATM functional-baseline simulation and the full harness on
+/// the session fast path versus the retained naive simulator.
+struct Table1Rows {
+    model: String,
+    events: usize,
+    qss_cycles: u64,
+    functional_cycles: u64,
+    cycle_ratio: f64,
+    sim_naive_best_ms: f64,
+    sim_session_best_ms: f64,
+    sim_speedup: f64,
+    harness_naive_best_ms: f64,
+    harness_session_best_ms: f64,
+    harness_speedup: f64,
+}
+
+fn measure_table1() -> Table1Rows {
+    let atm_config = AtmConfig::paper();
+    let model = AtmModel::build(atm_config).expect("atm model builds");
+    let traffic = TrafficConfig::paper();
+    let workload = generate_workload(&model, &traffic, 1999);
+    let tasks = functional_partition(&model);
+    let cost = CostModel::default();
+    let config = Table1Config::default();
+
+    // Equivalence gate: identical tables on both simulators before timing.
+    let fast = run_table1(&model, &config).expect("table 1 runs");
+    let naive = run_table1_naive(&model, &config).expect("table 1 runs");
+    assert_eq!(fast.functional, naive.functional, "table 1 diverged");
+    assert_eq!(fast.qss, naive.qss, "table 1 diverged");
+
+    let mut sim_naive: Vec<f64> = Vec::new();
+    let mut sim_session: Vec<f64> = Vec::new();
+    let mut harness_naive: Vec<f64> = Vec::new();
+    let mut harness_session: Vec<f64> = Vec::new();
+    for _ in 0..samples() {
+        let start = Instant::now();
+        let mut policy = AtmChoicePolicy::new(&model, traffic, 1999);
+        black_box(
+            simulate_functional_partition_naive(&model.net, &tasks, &cost, &workload, &mut policy)
+                .expect("simulation"),
+        );
+        sim_naive.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let mut policy = AtmChoicePolicy::new(&model, traffic, 1999);
+        black_box(
+            simulate_functional_partition(&model.net, &tasks, &cost, &workload, &mut policy)
+                .expect("simulation"),
+        );
+        sim_session.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(run_table1_naive(&model, &config).expect("table 1 runs"));
+        harness_naive.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(run_table1(&model, &config).expect("table 1 runs"));
+        harness_session.push(start.elapsed().as_secs_f64());
+    }
+    let best = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3;
+    let ratio = |a: &[f64], b: &[f64]| median(a.iter().zip(b).map(|(x, y)| x / y).collect());
+    Table1Rows {
+        model: format!("atm(queues={})", atm_config.queues),
+        events: fast.qss_report.events_processed,
+        qss_cycles: fast.qss.clock_cycles,
+        functional_cycles: fast.functional.clock_cycles,
+        cycle_ratio: fast.cycle_ratio(),
+        sim_naive_best_ms: best(&sim_naive),
+        sim_session_best_ms: best(&sim_session),
+        sim_speedup: ratio(&sim_naive, &sim_session),
+        harness_naive_best_ms: best(&harness_naive),
+        harness_session_best_ms: best(&harness_session),
+        harness_speedup: ratio(&harness_naive, &harness_session),
+    }
+}
+
 fn main() {
     let out_path = {
         let args: Vec<String> = std::env::args().collect();
@@ -219,6 +349,38 @@ fn main() {
             );
         }
     }
+
+    eprintln!(
+        "measuring firing-session trace throughput ({TRACE_STEPS} steps, {} rounds)...",
+        samples()
+    );
+    let trace_rows: Vec<TraceRow> = vec![
+        measure_trace("figure5", &gallery::figure5()),
+        measure_trace("choice_chain(8)", &gallery::choice_chain(8)),
+        measure_trace("marked_ring(12,6)", &gallery::marked_ring(12, 6)),
+        measure_trace("cycle_bank(12)", &gallery::cycle_bank(12)),
+    ];
+    for row in &trace_rows {
+        eprintln!(
+            "  {:<20} {:>7} firings  naive {:>8.3}ms  session {:>8.3}ms  {:>5.2}x",
+            row.label, row.firings, row.naive_best_ms, row.session_best_ms, row.speedup
+        );
+    }
+
+    eprintln!("measuring Table I on the session vs naive functional simulator...");
+    let table1 = measure_table1();
+    eprintln!(
+        "  functional sim: naive {:>8.3}ms  session {:>8.3}ms  {:>5.2}x  ({} cycles, {} events)",
+        table1.sim_naive_best_ms,
+        table1.sim_session_best_ms,
+        table1.sim_speedup,
+        table1.functional_cycles,
+        table1.events
+    );
+    eprintln!(
+        "  full harness:   naive {:>8.3}ms  session {:>8.3}ms  {:>5.2}x (dominated by scheduling + synthesis)",
+        table1.harness_naive_best_ms, table1.harness_session_best_ms, table1.harness_speedup
+    );
 
     // The paper's complexity ablation: schedule + synthesise a sweep of choice chains,
     // with the component cache on (the default) and off.
@@ -277,7 +439,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"fcpn-bench/statespace-v2\",\n");
+    json.push_str("  \"schema\": \"fcpn-bench/statespace-v3\",\n");
     json.push_str(&format!("  \"samples_per_case\": {},\n", samples()));
     // Multi-threaded rows are only meaningful relative to this: with a single host
     // core the parallel explorer serialises onto one CPU and pays pure coordination
@@ -315,6 +477,40 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"firing_session\": [\n");
+    for (i, row) in trace_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"net\": \"{}\", \"trace_steps\": {}, \"firings\": {}, \
+             \"naive_best_ms\": {:.3}, \"session_best_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            row.label,
+            TRACE_STEPS,
+            row.firings,
+            row.naive_best_ms,
+            row.session_best_ms,
+            row.speedup,
+            if i + 1 < trace_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"table1\": {{\"model\": \"{}\", \"events\": {}, \"qss_cycles\": {}, \
+         \"functional_cycles\": {}, \"cycle_ratio\": {:.2},\n",
+        table1.model,
+        table1.events,
+        table1.qss_cycles,
+        table1.functional_cycles,
+        table1.cycle_ratio
+    ));
+    json.push_str(&format!(
+        "    \"functional_sim\": {{\"naive_best_ms\": {:.3}, \"session_best_ms\": {:.3}, \
+         \"speedup\": {:.2}}},\n",
+        table1.sim_naive_best_ms, table1.sim_session_best_ms, table1.sim_speedup
+    ));
+    json.push_str(&format!(
+        "    \"run_table1\": {{\"naive_best_ms\": {:.3}, \"session_best_ms\": {:.3}, \
+         \"speedup\": {:.2}}}}},\n",
+        table1.harness_naive_best_ms, table1.harness_session_best_ms, table1.harness_speedup
+    ));
     json.push_str("  \"qss_scaling\": [\n");
     for (i, (n, cycles, ir, c_lines, wall_ms, wall_uncached_ms, cache_speedup)) in
         scaling.iter().enumerate()

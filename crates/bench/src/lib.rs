@@ -8,7 +8,8 @@
 #![warn(missing_docs)]
 
 use fcpn_codegen::{synthesize, Program, SynthesisOptions};
-use fcpn_petri::PetriNet;
+use fcpn_petri::statespace::FiringSession;
+use fcpn_petri::{Marking, PetriNet};
 use fcpn_qss::{quasi_static_schedule, QssOptions, ValidSchedule};
 
 /// Computes the valid schedule of a net that is known to be schedulable.
@@ -49,10 +50,69 @@ pub fn program_of_with(net: &PetriNet, options: &QssOptions) -> (ValidSchedule, 
     (schedule, program)
 }
 
+/// Drives `steps` deterministic token-game steps on the seed path: owned [`Marking`],
+/// checked [`PetriNet::fire`], full `enabled_transitions` rescan per step. The next
+/// transition is picked by rotating over the enabled set, so the trace is reproducible
+/// and identical to [`run_session_trace`]. Returns the number of firings and the final
+/// marking (for cross-path equality assertions).
+pub fn run_naive_trace(net: &PetriNet, steps: usize) -> (u64, Marking) {
+    let mut marking = net.initial_marking().clone();
+    let mut fired = 0u64;
+    let mut cursor = 0usize;
+    for _ in 0..steps {
+        let enabled = net.enabled_transitions(&marking);
+        if enabled.is_empty() {
+            break;
+        }
+        let t = enabled[cursor % enabled.len()];
+        cursor = cursor.wrapping_add(1);
+        net.fire(&mut marking, t).expect("enabled transition fires");
+        fired += 1;
+    }
+    (fired, marking)
+}
+
+/// The same deterministic trace as [`run_naive_trace`], executed on the
+/// [`FiringSession`] fast path (flat width-adaptive buffer, delta-row firing, bitmask
+/// enabled-set queries into a reused vector). The two functions fire the exact same
+/// sequence; benches time them head to head and tests assert the final markings agree.
+pub fn run_session_trace(net: &PetriNet, steps: usize) -> (u64, Marking) {
+    let mut session = FiringSession::new(net);
+    let mut enabled = Vec::new();
+    let mut fired = 0u64;
+    let mut cursor = 0usize;
+    for _ in 0..steps {
+        session.enabled_into(&mut enabled);
+        if enabled.is_empty() {
+            break;
+        }
+        let t = enabled[cursor % enabled.len()];
+        cursor = cursor.wrapping_add(1);
+        session.fire(t).expect("enabled transition fires");
+        fired += 1;
+    }
+    (fired, session.marking())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fcpn_petri::gallery;
+
+    #[test]
+    fn trace_helpers_agree_across_paths() {
+        for net in [
+            gallery::figure2(),
+            gallery::figure5(),
+            gallery::marked_ring(8, 4),
+            gallery::choice_chain(5),
+        ] {
+            let (naive_fired, naive_marking) = run_naive_trace(&net, 2_000);
+            let (session_fired, session_marking) = run_session_trace(&net, 2_000);
+            assert_eq!(naive_fired, session_fired);
+            assert_eq!(naive_marking, session_marking);
+        }
+    }
 
     #[test]
     fn helpers_work_on_figure4() {

@@ -1,5 +1,18 @@
 //! Token storage: the [`TokenWord`] abstraction over narrow arena words and the
 //! [`MarkingArena`] used by analyses that need interned markings without the full graph.
+//!
+//! # Example
+//!
+//! ```
+//! use fcpn_petri::statespace::MarkingArena;
+//!
+//! let mut arena = MarkingArena::new(3);
+//! let (id, fresh) = arena.intern(&[1, 0, 2]);
+//! assert!(fresh);
+//! assert_eq!(arena.intern(&[1, 0, 2]), (id, false)); // deduplicated
+//! assert_eq!(arena.state(id), &[1, 0, 2]);
+//! assert_eq!(arena.find(&[9, 9, 9]), None);
+//! ```
 
 use super::interner::{Probe, SliceTable};
 use super::{hash_tokens, StateId};

@@ -1,4 +1,28 @@
 //! The sequential explorer, adaptive width selection and the [`StateSpace`] graph.
+//!
+//! # Example
+//!
+//! Exploring with explicit engine knobs — here forcing the full-width arena — produces
+//! the same canonical graph as the adaptive default:
+//!
+//! ```
+//! use fcpn_petri::analysis::ReachabilityOptions;
+//! use fcpn_petri::gallery;
+//! use fcpn_petri::statespace::{ExploreOptions, StateSpace, TokenWidth};
+//!
+//! let net = gallery::marked_ring(5, 2);
+//! let auto = StateSpace::explore(&net, ReachabilityOptions::default());
+//! let wide = StateSpace::explore_with(
+//!     &net,
+//!     &ExploreOptions {
+//!         width: TokenWidth::U64,
+//!         ..ExploreOptions::default()
+//!     },
+//! );
+//! assert_eq!(auto.token_width(), TokenWidth::U8); // narrow arena chosen automatically
+//! assert_eq!(auto.state_count(), wide.state_count());
+//! assert_eq!(auto.edge_count(), wide.edge_count());
+//! ```
 
 use super::arena::{widen_arena, TokenWord};
 use super::interner::{Probe, SliceTable};
@@ -45,7 +69,7 @@ impl TokenWidth {
         }
     }
 
-    fn rank(self) -> u8 {
+    pub(crate) fn rank(self) -> u8 {
         match self {
             TokenWidth::U8 => 0,
             TokenWidth::U16 => 1,
@@ -134,9 +158,10 @@ fn select_width(net: &PetriNet, initial: &[u64], options: &ExploreOptions) -> To
     }
 }
 
-/// Flattened per-net firing tables shared by the sequential explorer and every parallel
-/// worker: CSR input arcs and delta rows, per-transition constant hash shifts, and the
-/// per-place consumer bitmasks driving candidate generation.
+/// Flattened per-net firing tables shared by the sequential explorer, every parallel
+/// worker and the firing session: CSR input arcs and delta rows, per-transition constant
+/// hash shifts, and the per-place consumer bitmasks driving candidate generation.
+#[derive(Debug, Clone)]
 pub(crate) struct NetTables {
     pub(crate) places: usize,
     pre_offsets: Vec<u32>,

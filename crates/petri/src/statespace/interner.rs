@@ -1,4 +1,19 @@
 //! The open-addressing hash-of-slice interner shared by every arena variant.
+//!
+//! The table itself is crate-private; its behaviour is observable through every
+//! interned surface — e.g. the O(1) membership queries of an explored space:
+//!
+//! ```
+//! use fcpn_petri::analysis::ReachabilityOptions;
+//! use fcpn_petri::gallery;
+//! use fcpn_petri::statespace::StateSpace;
+//!
+//! let net = gallery::marked_ring(4, 2);
+//! let space = StateSpace::explore(&net, ReachabilityOptions::default());
+//! // Interner-backed: one hash + one slice compare, not a scan over all states.
+//! assert_eq!(space.index_of(net.initial_marking()), Some(0));
+//! assert_eq!(space.index_of_tokens(&[9, 9, 9, 9]), None);
+//! ```
 
 use super::arena::TokenWord;
 use super::{hash_tokens, StateId, EMPTY_SLOT};

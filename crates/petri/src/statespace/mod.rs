@@ -10,7 +10,7 @@
 //!   by dense `u32` state ids — no per-state allocation, no pointer chasing;
 //! * picks the arena's word size **adaptively**: when the exploration bounds prove that
 //!   no stored token can exceed `u8::MAX` (or `u16::MAX`), tokens are stored in a narrow
-//!   `u8`/`u16` arena monomorphised over [`TokenWord`](arena::TokenWord), cutting the
+//!   `u8`/`u16` arena monomorphised over [`TokenWord`], cutting the
 //!   memory traffic of the hot loop (state copies, probe comparisons, arena appends)
 //!   4–8× relative to `u64`;
 //! * interns states through an open-addressing **hash-of-slice table** that stores only
@@ -18,7 +18,7 @@
 //!   successor marking is hashed exactly once, in its scratch buffer, before any copy;
 //! * fires transitions through precomputed per-transition delta rows — no id validation,
 //!   no marking-length check, no double enabledness scan per firing;
-//! * optionally explores in **parallel** ([`parallel`]): markings are sharded by hash
+//! * optionally explores in **parallel**: markings are sharded by hash
 //!   range over worker-private arenas/interners, cross-shard successors travel through
 //!   per-pair outboxes, and a deterministic admission pass renumbers states into the
 //!   exact canonical order the sequential engine produces;
@@ -26,7 +26,12 @@
 //!   [`successors`](StateSpace::successors) is O(out-degree),
 //!   [`dead_states`](StateSpace::dead_states) is O(V) and
 //!   [`can_eventually_fire`](StateSpace::can_eventually_fire) is a single O(V+E)
-//!   backward traversal instead of an O(V·E) fixpoint.
+//!   backward traversal instead of an O(V·E) fixpoint;
+//! * re-exposes the same machinery for **sequential trace execution**:
+//!   [`FiringSession`] is a long-lived token-game cursor (fire/undo, bitmask
+//!   enabled-set queries, checkpoint/rollback, on-demand width widening) used by the
+//!   RTOS simulators and the ATM Table I harness instead of the owned-`Marking`
+//!   token game.
 //!
 //! The exploration order and truncation semantics (state budget, per-place token
 //! cut-off) are **bit-for-bit identical** to the naive explorer for every combination of
@@ -50,10 +55,12 @@ mod arena;
 mod engine;
 mod interner;
 mod parallel;
+mod session;
 
 pub use arena::{MarkingArena, TokenWord};
 pub use engine::{ExploreOptions, StateSpace, TokenWidth};
 pub(crate) use interner::SliceTable;
+pub use session::FiringSession;
 
 /// Dense identifier of a discovered state; index 0 is the initial marking.
 pub type StateId = u32;

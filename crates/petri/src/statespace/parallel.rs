@@ -1,5 +1,32 @@
 //! The sharded parallel explorer.
 //!
+//! # Example
+//!
+//! The parallel explorer is reached through [`ExploreOptions::threads`]; its output is
+//! bit-for-bit identical to the sequential engine's for any thread count:
+//!
+//! ```
+//! use fcpn_petri::analysis::ReachabilityOptions;
+//! use fcpn_petri::gallery;
+//! use fcpn_petri::statespace::{ExploreOptions, StateSpace};
+//!
+//! let net = gallery::cycle_bank(8);
+//! let sequential = StateSpace::explore(&net, ReachabilityOptions::default());
+//! let parallel = StateSpace::explore_with(
+//!     &net,
+//!     &ExploreOptions {
+//!         threads: 2,
+//!         ..ExploreOptions::default()
+//!     },
+//! );
+//! assert_eq!(sequential.state_count(), parallel.state_count());
+//! assert_eq!(sequential.edge_count(), parallel.edge_count());
+//! assert!((0..sequential.state_count() as u32)
+//!     .all(|s| sequential.tokens(s) == parallel.tokens(s)));
+//! ```
+//!
+//! [`ExploreOptions::threads`]: super::ExploreOptions::threads
+//!
 //! # Design
 //!
 //! Markings are sharded by hash range: shard `s` owns every marking whose finalized

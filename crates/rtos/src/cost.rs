@@ -7,6 +7,19 @@
 //! computation cost, and inter-task communication pays a per-token cost. Implementations
 //! with fewer tasks therefore pay the activation overhead less often, which is exactly the
 //! mechanism behind Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use fcpn_petri::TransitionId;
+//! use fcpn_rtos::CostModel;
+//!
+//! let dsp_op = TransitionId::new(3);
+//! let cost = CostModel::new(250, 40, 4, 12).with_transition_cost(dsp_op, 900);
+//! assert_eq!(cost.transition_cost(dsp_op), 900);
+//! assert_eq!(cost.transition_cost(TransitionId::new(0)), 40); // default
+//! assert!(cost.activation_overhead > cost.choice_cost);
+//! ```
 
 use fcpn_petri::TransitionId;
 use std::collections::HashMap;

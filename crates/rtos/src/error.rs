@@ -1,4 +1,15 @@
 //! Errors reported by the run-time simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use fcpn_petri::TransitionId;
+//! use fcpn_rtos::RtosError;
+//!
+//! let err = RtosError::UnboundSource(TransitionId::new(2));
+//! assert!(err.to_string().contains("t2"));
+//! assert_eq!(RtosError::EmptyWorkload.to_string(), "workload contains no events");
+//! ```
 
 use fcpn_codegen::CodegenError;
 use fcpn_petri::TransitionId;

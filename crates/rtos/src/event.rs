@@ -3,6 +3,23 @@
 //! The paper's ATM example has two inputs: `Cell`, an interrupt arriving at irregular
 //! times, and `Tick`, a strictly periodic event. Both are represented here as sequences
 //! of [`Event`]s tagged with the source transition they fire.
+//!
+//! # Example
+//!
+//! ```
+//! use fcpn_petri::TransitionId;
+//! use fcpn_rtos::Workload;
+//!
+//! let cell = TransitionId::new(0);
+//! let tick = TransitionId::new(1);
+//! // An irregular interrupt stream merged with a strictly periodic one.
+//! let workload = Workload::irregular(cell, [5u64, 2, 9], 3, 0)
+//!     .merge(Workload::periodic(tick, 6, 4, 1));
+//! assert_eq!(workload.len(), 7);
+//! assert_eq!(workload.count_for(tick), 4);
+//! // Events come out in global time order regardless of source.
+//! assert!(workload.events().windows(2).all(|w| w[0].time <= w[1].time));
+//! ```
 
 use fcpn_petri::TransitionId;
 

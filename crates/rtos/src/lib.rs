@@ -5,7 +5,11 @@
 //! processor [`CostModel`] (activation overhead, per-transition cost, queue transfers),
 //! and two simulators — [`simulate_program`] for the quasi-statically scheduled
 //! implementation and [`simulate_functional_partition`] for the per-module baseline —
-//! whose outputs feed the Table I comparison in `fcpn-atm`.
+//! whose outputs feed the Table I comparison in `fcpn-atm`. The functional baseline
+//! plays the token game on the `fcpn_petri::statespace::FiringSession` fast path; the
+//! seed marking-by-marking loop is retained as
+//! [`simulate_functional_partition_naive`], the reference the fast path is pinned
+//! against.
 //!
 //! ```
 //! use fcpn_petri::gallery;
@@ -39,7 +43,8 @@ pub use cost::CostModel;
 pub use error::{Result, RtosError};
 pub use event::{Event, Workload};
 pub use sim::{
-    simulate_functional_partition, simulate_program, FunctionalTask, SimReport, TaskActivation,
+    simulate_functional_partition, simulate_functional_partition_naive, simulate_program,
+    FunctionalTask, SimReport, TaskActivation,
 };
 
 #[cfg(test)]

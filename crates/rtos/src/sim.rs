@@ -13,10 +13,48 @@
 //! Both charge costs from the same [`CostModel`], so the comparison isolates the effect
 //! of the task structure: fewer tasks ⇒ fewer activations and queue transfers ⇒ fewer
 //! cycles.
+//!
+//! The functional baseline plays the token game directly, so it is the hot loop of the
+//! Table I experiment: [`simulate_functional_partition`] runs it on the
+//! [`FiringSession`](fcpn_petri::statespace::FiringSession) firing fast path, while
+//! [`simulate_functional_partition_naive`] retains the seed marking-by-marking
+//! implementation as the reference oracle the fast path is pinned against.
+//!
+//! # Example
+//!
+//! Both functional simulators produce identical reports (here with every transition in
+//! one task, so only transition and activation costs accrue):
+//!
+//! ```
+//! use fcpn_codegen::FixedResolver;
+//! use fcpn_petri::gallery;
+//! use fcpn_rtos::{
+//!     simulate_functional_partition, simulate_functional_partition_naive, CostModel,
+//!     FunctionalTask, Workload,
+//! };
+//!
+//! # fn main() -> Result<(), fcpn_rtos::RtosError> {
+//! let net = gallery::figure4();
+//! let tasks = vec![FunctionalTask {
+//!     name: "everything".into(),
+//!     transitions: net.transitions().collect(),
+//! }];
+//! let workload = Workload::periodic(net.transition_by_name("t1").unwrap(), 10, 25, 0);
+//! let cost = CostModel::default();
+//! let fast = simulate_functional_partition(
+//!     &net, &tasks, &cost, &workload, &mut FixedResolver::default())?;
+//! let naive = simulate_functional_partition_naive(
+//!     &net, &tasks, &cost, &workload, &mut FixedResolver::default())?;
+//! assert_eq!(fast, naive);
+//! assert_eq!(fast.events_processed, 25);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::{CostModel, Event, Result, RtosError, Workload};
 use fcpn_codegen::{ChoiceResolver, Interpreter, Program};
-use fcpn_petri::{Marking, PetriNet, TransitionId};
+use fcpn_petri::statespace::FiringSession;
+use fcpn_petri::{Marking, PetriNet, PlaceId, TransitionId};
 
 /// Per-task accounting of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,11 +182,36 @@ pub struct FunctionalTask {
     pub transitions: Vec<TransitionId>,
 }
 
+/// Maps every transition to its owning task and verifies that every source transition —
+/// the ones workload events can fire — is owned by some task.
+fn task_owner_map(net: &PetriNet, tasks: &[FunctionalTask]) -> Result<Vec<usize>> {
+    let mut owner = vec![usize::MAX; net.transition_count()];
+    for (index, task) in tasks.iter().enumerate() {
+        for &t in &task.transitions {
+            owner[t.index()] = index;
+        }
+    }
+    for t in net.transitions() {
+        if owner[t.index()] == usize::MAX && net.is_source_transition(t) {
+            return Err(RtosError::UnboundSource(t));
+        }
+    }
+    Ok(owner)
+}
+
 /// Simulates the functional-partitioning baseline directly on the token game of the net:
 /// every event fires its source transition, then enabled transitions are executed to
 /// quiescence. Each time control moves to a different functional task the RTOS activation
 /// overhead is paid, and every token crossing a task boundary pays the queue-transfer
 /// cost.
+///
+/// This is the fast path: the token game runs on a
+/// [`FiringSession`](fcpn_petri::statespace::FiringSession) (flat width-adaptive token
+/// buffer, delta-row firing, bitmask enabled-set queries into a reused buffer), so the
+/// cascade loop performs no per-step allocation and never scans transitions whose input
+/// places are all empty. The seed marking-by-marking implementation is retained as
+/// [`simulate_functional_partition_naive`] and the two are pinned to identical reports
+/// by tests here, in `fcpn-atm` and in `tests/firing_session.rs`.
 ///
 /// # Errors
 ///
@@ -164,19 +227,151 @@ pub fn simulate_functional_partition<R: ChoiceResolver + ?Sized>(
     if workload.is_empty() {
         return Err(RtosError::EmptyWorkload);
     }
-    // Map every transition to its owning task.
-    let mut owner = vec![usize::MAX; net.transition_count()];
-    for (index, task) in tasks.iter().enumerate() {
-        for &t in &task.transitions {
-            owner[t.index()] = index;
-        }
-    }
-    for t in net.transitions() {
-        if owner[t.index()] == usize::MAX && net.is_source_transition(t) {
-            return Err(RtosError::UnboundSource(t));
+    let owner = task_owner_map(net, tasks)?;
+    let mut per_task: Vec<TaskActivation> = tasks
+        .iter()
+        .map(|t| TaskActivation {
+            name: t.name.clone(),
+            activations: 0,
+            cycles: 0,
+        })
+        .collect();
+    // Per-transition constants of (net, tasks, cost), hoisted out of the firing loop:
+    // the transition's own cost plus the choice-evaluation surcharge plus the
+    // queue-transfer cost of every token its outputs push across a task boundary.
+    let step_cost: Vec<u64> = net
+        .transitions()
+        .map(|t| {
+            let task = owner[t.index()];
+            let mut cycles = cost.transition_cost(t);
+            if net.inputs(t).iter().any(|&(p, _)| net.is_choice_place(p)) {
+                cycles += cost.choice_cost;
+            }
+            for &(place, produced) in net.outputs(t) {
+                let crosses = net
+                    .consumers(place)
+                    .iter()
+                    .any(|&(consumer, _)| owner[consumer.index()] != task);
+                if crosses {
+                    cycles += cost.queue_transfer_cost * produced;
+                }
+            }
+            cycles
+        })
+        .collect();
+    // First choice input place of each transition (None for unconflicted ones) and the
+    // source flags, so the cascade loop never rescans arc lists.
+    let choice_place: Vec<Option<PlaceId>> = net
+        .transitions()
+        .map(|t| {
+            net.inputs(t)
+                .iter()
+                .map(|&(p, _)| p)
+                .find(|&p| net.is_choice_place(p))
+        })
+        .collect();
+    let is_source: Vec<bool> = net
+        .transitions()
+        .map(|t| net.is_source_transition(t))
+        .collect();
+    let mut session = FiringSession::new(net);
+    let mut fire_counts = vec![0u64; net.transition_count()];
+    let mut total_cycles = 0u64;
+    let mut activations = 0u64;
+    let mut peak_buffer_tokens = session.total_tokens();
+    // Reused across every cascade step: `enabled_into` clears and refills it.
+    let mut enabled: Vec<TransitionId> = Vec::new();
+
+    for &Event { source, .. } in workload.events() {
+        let mut current_task: Option<usize> = None;
+        let mut fire = |t: TransitionId,
+                        session: &mut FiringSession,
+                        current_task: &mut Option<usize>,
+                        per_task: &mut Vec<TaskActivation>|
+         -> Result<u64> {
+            let task = owner[t.index()];
+            let mut cycles = 0;
+            if *current_task != Some(task) {
+                cycles += cost.activation_overhead;
+                activations += 1;
+                per_task[task].activations += 1;
+                *current_task = Some(task);
+            }
+            cycles += step_cost[t.index()];
+            session
+                .fire(t)
+                .map_err(|e| RtosError::Execution(fcpn_codegen::CodegenError::Petri(e)))?;
+            fire_counts[t.index()] += 1;
+            per_task[task].cycles += cycles;
+            Ok(cycles)
+        };
+
+        // The event fires its source transition, then the cascade runs to quiescence.
+        total_cycles += fire(source, &mut session, &mut current_task, &mut per_task)?;
+        peak_buffer_tokens = peak_buffer_tokens.max(session.total_tokens());
+        loop {
+            session.enabled_into(&mut enabled);
+            enabled.retain(|&t| !is_source[t.index()]);
+            if enabled.is_empty() {
+                break;
+            }
+            // Resolve data-dependent choices through the same resolver the QSS
+            // implementation uses, so both simulations see the same data.
+            let next = {
+                let choice = enabled
+                    .iter()
+                    .copied()
+                    .find(|&t| choice_place[t.index()].is_some());
+                match choice {
+                    Some(conflicted) => {
+                        let place = choice_place[conflicted.index()]
+                            .expect("conflicted transition has a choice input");
+                        let candidates: Vec<TransitionId> = net
+                            .consumers(place)
+                            .iter()
+                            .map(|&(t, _)| t)
+                            .filter(|t| enabled.contains(t))
+                            .collect();
+                        resolver.resolve(place, &candidates)
+                    }
+                    None => enabled[0],
+                }
+            };
+            total_cycles += fire(next, &mut session, &mut current_task, &mut per_task)?;
+            peak_buffer_tokens = peak_buffer_tokens.max(session.total_tokens());
         }
     }
 
+    Ok(SimReport {
+        total_cycles,
+        events_processed: workload.len(),
+        activations,
+        per_task,
+        fire_counts,
+        peak_buffer_tokens,
+    })
+}
+
+/// The seed marking-by-marking functional simulator, retained verbatim as the reference
+/// oracle for [`simulate_functional_partition`]: it clones an owned [`Marking`], fires
+/// through the checked [`PetriNet::fire`] path and rebuilds the enabled set with a full
+/// transition scan (and a fresh `Vec`) per cascade step. Property tests pin the fast
+/// path's reports bit-for-bit against this one.
+///
+/// # Errors
+///
+/// Same as [`simulate_functional_partition`].
+pub fn simulate_functional_partition_naive<R: ChoiceResolver + ?Sized>(
+    net: &PetriNet,
+    tasks: &[FunctionalTask],
+    cost: &CostModel,
+    workload: &Workload,
+    resolver: &mut R,
+) -> Result<SimReport> {
+    if workload.is_empty() {
+        return Err(RtosError::EmptyWorkload);
+    }
+    let owner = task_owner_map(net, tasks)?;
     let mut per_task: Vec<TaskActivation> = tasks
         .iter()
         .map(|t| TaskActivation {
@@ -425,6 +620,50 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, RtosError::UnboundSource(_)));
+    }
+
+    #[test]
+    fn functional_fast_path_matches_naive_reference() {
+        // The session-backed simulator and the seed marking-by-marking simulator must
+        // produce bit-for-bit identical reports: same cycles, same activations, same
+        // per-task breakdown, same peaks — on a workload that exercises choices, merges
+        // and both input rates.
+        let net = gallery::figure5();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let t8 = net.transition_by_name("t8").unwrap();
+        let workload = Workload::periodic(t1, 10, 40, 0).merge(Workload::periodic(t8, 25, 16, 3));
+        let cost = CostModel::default();
+        let tasks = vec![
+            FunctionalTask {
+                name: "input".into(),
+                transitions: vec![
+                    t1,
+                    net.transition_by_name("t2").unwrap(),
+                    net.transition_by_name("t3").unwrap(),
+                ],
+            },
+            FunctionalTask {
+                name: "rest".into(),
+                transitions: net
+                    .transitions()
+                    .filter(|t| !["t1", "t2", "t3"].contains(&net.transition_name(*t)))
+                    .collect(),
+            },
+        ];
+        let mut fast_resolver = RoundRobinResolver::default();
+        let fast =
+            simulate_functional_partition(&net, &tasks, &cost, &workload, &mut fast_resolver)
+                .unwrap();
+        let mut naive_resolver = RoundRobinResolver::default();
+        let naive = simulate_functional_partition_naive(
+            &net,
+            &tasks,
+            &cost,
+            &workload,
+            &mut naive_resolver,
+        )
+        .unwrap();
+        assert_eq!(fast, naive);
     }
 
     #[test]
