@@ -11,12 +11,16 @@
 //! Without `--out` the JSON goes to stdout. `FCPN_BENCH_SAMPLES` controls the number of
 //! interleaved measurement rounds per case (default 9).
 //!
-//! Schema v3: every explore case records one row per engine configuration —
+//! Schema v4: every explore case records one row per engine configuration —
 //! `(threads, token_width)` — alongside the retained naive and sequential-`u64`
 //! baselines; the QSS sweep records the component-cache wall time against the uncached
 //! path; the `firing_session` rows time the [`FiringSession`] trace fast path against
-//! the seed token game; and the `table1` section records the ATM functional-baseline
-//! simulation (and the full Table I harness) on both paths. Speedups are measured with
+//! the seed token game; the `table1` section records the ATM functional-baseline
+//! simulation (and the full Table I harness) on both paths; and the `scheduler` section
+//! holds the zero-allocation scheduling pipeline (gray-code sweep + workspace
+//! reductions + fingerprint cache + sparse fraction-free Farkas) against the retained
+//! seed pipeline — end to end (cached, uncached, 2/4 threads) and per layer (the
+//! reduction sweep and the Farkas elimination in isolation). Speedups are measured with
 //! **interleaved rounds** — each round times every configuration back to back, and the
 //! recorded speedup is the median of the per-round ratios. On a machine with background
 //! load this is far more stable than comparing two independently taken medians.
@@ -29,10 +33,15 @@ use fcpn_atm::{
 };
 use fcpn_bench::{program_of_with, run_naive_trace, run_session_trace};
 use fcpn_codegen::CodeMetrics;
-use fcpn_petri::analysis::{ReachabilityGraph, ReachabilityOptions};
+use fcpn_petri::analysis::{
+    IncidenceMatrix, InvariantAnalysis, ReachabilityGraph, ReachabilityOptions,
+};
 use fcpn_petri::statespace::{ExploreOptions, StateSpace, TokenWidth};
 use fcpn_petri::{gallery, PetriNet};
-use fcpn_qss::QssOptions;
+use fcpn_qss::{
+    allocation_iter, allocation_iter_gray, quasi_static_schedule, quasi_static_schedule_naive,
+    AllocationOptions, QssOptions, ReductionWorkspace, TReduction,
+};
 use fcpn_rtos::{simulate_functional_partition, simulate_functional_partition_naive, CostModel};
 use std::hint::black_box;
 use std::time::Instant;
@@ -293,6 +302,150 @@ fn measure_table1() -> Table1Rows {
     }
 }
 
+/// One net of the `scheduler` section: the production pipeline versus the retained seed
+/// pipeline, end to end and per layer.
+struct SchedulerRow {
+    label: String,
+    allocations: u128,
+    /// End-to-end `quasi_static_schedule` walls: component cache disabled (isolates the
+    /// per-allocation pipeline — reduction, signature, Farkas, cycle simulation) and
+    /// enabled (the production default).
+    uncached_naive_ms: f64,
+    uncached_fast_ms: f64,
+    uncached_speedup: f64,
+    cached_naive_ms: f64,
+    cached_fast_ms: f64,
+    cached_speedup: f64,
+    /// Sharded sweep at 2/4 threads (cached), relative to the 1-thread fast path.
+    threads: Vec<(usize, f64, f64)>,
+    /// Layer ablation: the reduction sweep alone (seed BTreeSets vs gray+workspace).
+    reduce_naive_ms: f64,
+    reduce_workspace_ms: f64,
+    reduce_speedup: f64,
+    /// Layer ablation: one representative component's invariant analysis (dense vs
+    /// sparse fraction-free Farkas, T- and P-sides as `of_matrix` computes them).
+    farkas_naive_ms: f64,
+    farkas_sparse_ms: f64,
+    farkas_speedup: f64,
+}
+
+fn measure_scheduler(label: &str, net: &PetriNet) -> SchedulerRow {
+    let options = |cache: bool, threads: usize| QssOptions {
+        reuse_component_cache: cache,
+        threads,
+        ..QssOptions::default()
+    };
+    // Equivalence gate before timing: the production pipeline must reproduce the seed
+    // pipeline bit for bit in every measured configuration.
+    let reference = quasi_static_schedule_naive(net, &options(false, 1)).expect("fc input");
+    for threads in [1usize, 2, 4] {
+        for cache in [true, false] {
+            let outcome = quasi_static_schedule(net, &options(cache, threads)).expect("fc input");
+            assert_eq!(
+                reference, outcome,
+                "{label}: threads={threads} cache={cache}"
+            );
+        }
+    }
+    let allocations = allocation_iter_gray(net, AllocationOptions::default())
+        .expect("fc input")
+        .total();
+    // A representative component for the Farkas layer: the first allocation's reduction
+    // (symmetric nets reduce every allocation to this shape).
+    let first_allocation = allocation_iter(net, AllocationOptions::default())
+        .expect("fc input")
+        .next()
+        .expect("at least one allocation");
+    let component = TReduction::compute(net, first_allocation)
+        .expect("reduce")
+        .net;
+    let component_matrix = IncidenceMatrix::from_net(&component);
+
+    let mut uncached_naive: Vec<f64> = Vec::new();
+    let mut uncached_fast: Vec<f64> = Vec::new();
+    let mut cached_naive: Vec<f64> = Vec::new();
+    let mut cached_fast: Vec<f64> = Vec::new();
+    let mut threads_times: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    let mut reduce_naive: Vec<f64> = Vec::new();
+    let mut reduce_workspace: Vec<f64> = Vec::new();
+    let mut farkas_naive: Vec<f64> = Vec::new();
+    let mut farkas_sparse: Vec<f64> = Vec::new();
+    let time = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+    for _ in 0..samples() {
+        uncached_naive.push(time(&mut || {
+            black_box(quasi_static_schedule_naive(black_box(net), &options(false, 1)).unwrap());
+        }));
+        uncached_fast.push(time(&mut || {
+            black_box(quasi_static_schedule(black_box(net), &options(false, 1)).unwrap());
+        }));
+        cached_naive.push(time(&mut || {
+            black_box(quasi_static_schedule_naive(black_box(net), &options(true, 1)).unwrap());
+        }));
+        cached_fast.push(time(&mut || {
+            black_box(quasi_static_schedule(black_box(net), &options(true, 1)).unwrap());
+        }));
+        for (i, threads) in [2usize, 4].into_iter().enumerate() {
+            threads_times[i].push(time(&mut || {
+                black_box(quasi_static_schedule(black_box(net), &options(true, threads)).unwrap());
+            }));
+        }
+        reduce_naive.push(time(&mut || {
+            for allocation in allocation_iter(net, AllocationOptions::default()).unwrap() {
+                black_box(TReduction::compute(net, allocation).unwrap());
+            }
+        }));
+        reduce_workspace.push(time(&mut || {
+            let mut ws = ReductionWorkspace::new();
+            for (_, allocation) in allocation_iter_gray(net, AllocationOptions::default()).unwrap()
+            {
+                ws.reduce(net, &allocation, false);
+                black_box(ws.kept_transitions());
+            }
+        }));
+        farkas_naive.push(time(&mut || {
+            black_box(InvariantAnalysis::of_matrix_naive(black_box(
+                &component_matrix,
+            )));
+        }));
+        farkas_sparse.push(time(&mut || {
+            black_box(InvariantAnalysis::of_matrix(black_box(&component_matrix)));
+        }));
+    }
+    let best = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3;
+    let ratio = |a: &[f64], b: &[f64]| median(a.iter().zip(b).map(|(x, y)| x / y).collect());
+    SchedulerRow {
+        label: label.to_string(),
+        allocations,
+        uncached_naive_ms: best(&uncached_naive),
+        uncached_fast_ms: best(&uncached_fast),
+        uncached_speedup: ratio(&uncached_naive, &uncached_fast),
+        cached_naive_ms: best(&cached_naive),
+        cached_fast_ms: best(&cached_fast),
+        cached_speedup: ratio(&cached_naive, &cached_fast),
+        threads: [2usize, 4]
+            .into_iter()
+            .enumerate()
+            .map(|(i, threads)| {
+                (
+                    threads,
+                    best(&threads_times[i]),
+                    ratio(&cached_fast, &threads_times[i]),
+                )
+            })
+            .collect(),
+        reduce_naive_ms: best(&reduce_naive),
+        reduce_workspace_ms: best(&reduce_workspace),
+        reduce_speedup: ratio(&reduce_naive, &reduce_workspace),
+        farkas_naive_ms: best(&farkas_naive),
+        farkas_sparse_ms: best(&farkas_sparse),
+        farkas_speedup: ratio(&farkas_naive, &farkas_sparse),
+    }
+}
+
 fn main() {
     let out_path = {
         let args: Vec<String> = std::env::args().collect();
@@ -382,6 +535,54 @@ fn main() {
         table1.harness_naive_best_ms, table1.harness_session_best_ms, table1.harness_speedup
     );
 
+    // The scheduling pipeline: production (gray + workspace + fingerprint cache +
+    // sparse Farkas) against the retained seed pipeline, on the paper figures, the
+    // choice-chain sweep sizes and both ATM model sizes.
+    eprintln!(
+        "measuring scheduler pipeline ({} interleaved rounds per net)...",
+        samples()
+    );
+    let atm_small = AtmModel::build(AtmConfig::small()).expect("atm model builds");
+    let atm_paper = AtmModel::build(AtmConfig::paper()).expect("atm model builds");
+    let owned_nets: Vec<(String, PetriNet)> = vec![
+        ("figure2".into(), gallery::figure2()),
+        ("figure5".into(), gallery::figure5()),
+        ("figure7".into(), gallery::figure7()),
+        ("choice_chain(10)".into(), gallery::choice_chain(10)),
+        ("choice_chain(12)".into(), gallery::choice_chain(12)),
+        ("choice_chain(14)".into(), gallery::choice_chain(14)),
+        ("atm(queues=2)".into(), atm_small.net.clone()),
+        ("atm(queues=4)".into(), atm_paper.net.clone()),
+    ];
+    let scheduler_rows: Vec<SchedulerRow> = owned_nets
+        .iter()
+        .map(|(label, net)| {
+            let row = measure_scheduler(label, net);
+            eprintln!(
+                "  {:<18} {:>6} allocs  uncached {:>9.2} -> {:>8.2}ms ({:>5.2}x)  cached {:>8.2} -> {:>7.2}ms ({:>5.2}x)",
+                row.label,
+                row.allocations,
+                row.uncached_naive_ms,
+                row.uncached_fast_ms,
+                row.uncached_speedup,
+                row.cached_naive_ms,
+                row.cached_fast_ms,
+                row.cached_speedup,
+            );
+            eprintln!(
+                "  {:<18} layers: reduce {:>8.3} -> {:>7.3}ms ({:>5.2}x)  farkas {:>7.4} -> {:>7.4}ms ({:>5.2}x)",
+                "",
+                row.reduce_naive_ms,
+                row.reduce_workspace_ms,
+                row.reduce_speedup,
+                row.farkas_naive_ms,
+                row.farkas_sparse_ms,
+                row.farkas_speedup,
+            );
+            row
+        })
+        .collect();
+
     // The paper's complexity ablation: schedule + synthesise a sweep of choice chains,
     // with the component cache on (the default) and off.
     eprintln!("measuring QSS + codegen scaling sweep (cache on/off)...");
@@ -439,7 +640,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"fcpn-bench/statespace-v3\",\n");
+    json.push_str("  \"schema\": \"fcpn-bench/statespace-v4\",\n");
     json.push_str(&format!("  \"samples_per_case\": {},\n", samples()));
     // Multi-threaded rows are only meaningful relative to this: with a single host
     // core the parallel explorer serialises onto one CPU and pays pure coordination
@@ -511,6 +712,46 @@ fn main() {
          \"speedup\": {:.2}}}}},\n",
         table1.harness_naive_best_ms, table1.harness_session_best_ms, table1.harness_speedup
     ));
+    json.push_str("  \"scheduler\": [\n");
+    for (i, row) in scheduler_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"net\": \"{}\", \"allocations\": {},\n",
+            row.label, row.allocations
+        ));
+        json.push_str(&format!(
+            "     \"uncached\": {{\"naive_ms\": {:.3}, \"fast_ms\": {:.3}, \"speedup\": {:.2}}},\n",
+            row.uncached_naive_ms, row.uncached_fast_ms, row.uncached_speedup
+        ));
+        json.push_str(&format!(
+            "     \"cached\": {{\"naive_ms\": {:.3}, \"fast_ms\": {:.3}, \"speedup\": {:.2}}},\n",
+            row.cached_naive_ms, row.cached_fast_ms, row.cached_speedup
+        ));
+        json.push_str("     \"threads\": [");
+        for (j, &(threads, best_ms, speedup)) in row.threads.iter().enumerate() {
+            json.push_str(&format!(
+                "{{\"threads\": {threads}, \"best_ms\": {best_ms:.3}, \"speedup_vs_1\": {speedup:.2}}}{}",
+                if j + 1 < row.threads.len() { ", " } else { "" }
+            ));
+        }
+        json.push_str("],\n");
+        json.push_str(&format!(
+            "     \"layers\": {{\"reduce_naive_ms\": {:.3}, \"reduce_workspace_ms\": {:.3}, \
+             \"reduce_speedup\": {:.2}, \"farkas_naive_ms\": {:.4}, \"farkas_sparse_ms\": {:.4}, \
+             \"farkas_speedup\": {:.2}}}}}{}\n",
+            row.reduce_naive_ms,
+            row.reduce_workspace_ms,
+            row.reduce_speedup,
+            row.farkas_naive_ms,
+            row.farkas_sparse_ms,
+            row.farkas_speedup,
+            if i + 1 < scheduler_rows.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"qss_scaling\": [\n");
     for (i, (n, cycles, ir, c_lines, wall_ms, wall_uncached_ms, cache_speedup)) in
         scaling.iter().enumerate()

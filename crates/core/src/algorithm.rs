@@ -1,8 +1,19 @@
 //! The top-level quasi-static scheduling algorithm (Section 3, Steps 1–3).
+//!
+//! The production sweep walks the allocation space in gray-code order on the
+//! zero-allocation pipeline (workspace reductions, fingerprint-keyed component cache)
+//! and, with [`QssOptions::threads`] > 1, shards contiguous gray ranges across worker
+//! threads; per-allocation results carry their seed (counting-order) rank and are merged
+//! back into that order, so the outcome — verdict, cycle order, diagnostics order — is
+//! bit-for-bit identical to the seed scheduler for **any** thread count. The seed
+//! pipeline itself (counting-order enumeration, fresh `BTreeSet` reductions, `Vec`-keyed
+//! cache, dense Farkas) is retained as [`quasi_static_schedule_naive`], the baseline the
+//! `qss_pipeline` benchmark and the equivalence suite measure against.
 
 use crate::{
-    allocation_iter, check_component, check_component_with, AllocationOptions, ComponentCache,
-    ComponentFailure, ComponentVerdict, Result, TReduction, ValidSchedule,
+    allocation_iter, allocation_iter_gray, check_component_naive_with, AllocationOptions,
+    ComponentCache, ComponentChecker, ComponentFailure, ComponentVerdict, FiniteCompleteCycle,
+    GrayAllocationIter, NaiveComponentCache, ReductionWorkspace, Result, TReduction, ValidSchedule,
 };
 use fcpn_petri::{PetriNet, TransitionId};
 use std::fmt;
@@ -18,6 +29,12 @@ pub struct QssOptions {
     /// The verdict is identical either way; disabling is only useful for benchmarking
     /// the cache itself.
     pub reuse_component_cache: bool,
+    /// Number of worker threads for the allocation sweep. With `threads > 1` the
+    /// gray-code allocation space is split into contiguous ranges, one per worker (each
+    /// with its own reduction workspace and component cache), and the per-allocation
+    /// results are merged back into seed order — the outcome is bit-for-bit identical
+    /// for any thread count. `0` and `1` both mean sequential.
+    pub threads: usize,
 }
 
 impl Default for QssOptions {
@@ -25,6 +42,7 @@ impl Default for QssOptions {
         QssOptions {
             allocation: AllocationOptions::default(),
             reuse_component_cache: true,
+            threads: 1,
         }
     }
 }
@@ -119,21 +137,118 @@ impl QssOutcome {
 /// # }
 /// ```
 pub fn quasi_static_schedule(net: &PetriNet, options: &QssOptions) -> Result<QssOutcome> {
-    // T-allocations are streamed, not materialised: peak memory stays O(choices) even
-    // though the number of allocations is exponential in the number of choices.
-    let allocations = allocation_iter(net, options.allocation)?;
+    // T-allocations are streamed in gray-code order, not materialised: peak memory stays
+    // O(choices) even though the number of allocations is exponential in the number of
+    // choices, and consecutive allocations differ in a single choice so the pipeline's
+    // per-allocation state (loser tails, workspace flags) changes by a delta.
+    let allocations = allocation_iter_gray(net, options.allocation)?;
+    let total = allocations.total();
+    let threads = options
+        .threads
+        .clamp(1, usize::MAX)
+        .min(total.max(1) as usize);
+    let mut results: Vec<(u128, SweepItem)> = if threads > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let start = total * w as u128 / threads as u128;
+                    let end = total * (w as u128 + 1) / threads as u128;
+                    let chunk = allocations.clone().range(start, end);
+                    scope.spawn(move || sweep_range(net, chunk, options))
+                })
+                .collect();
+            let mut merged = Vec::with_capacity(total as usize);
+            for handle in handles {
+                merged.extend(handle.join().expect("sweep worker panicked"));
+            }
+            merged
+        })
+    } else {
+        sweep_range(net, allocations, options)
+    };
+    // Merge back into the seed (counting) enumeration order: the public outcome is
+    // bit-for-bit the seed scheduler's regardless of sweep order or thread count.
+    results.sort_by_key(|&(rank, _)| rank);
+    let components_examined = results.len();
+    let mut cycles = Vec::new();
+    let mut failures = Vec::new();
+    for (_, item) in results {
+        match item {
+            SweepItem::Cycle(cycle) => cycles.push(*cycle),
+            SweepItem::Failure(diagnostic) => failures.push(*diagnostic),
+        }
+    }
+    if failures.is_empty() {
+        Ok(QssOutcome::Schedulable(ValidSchedule { cycles }))
+    } else {
+        Ok(QssOutcome::NotSchedulable(NotSchedulableReport {
+            components_examined,
+            failures,
+        }))
+    }
+}
+
+/// One per-allocation result of the sweep, tagged with the allocation's seed rank.
+enum SweepItem {
+    Cycle(Box<FiniteCompleteCycle>),
+    Failure(Box<ComponentDiagnostic>),
+}
+
+/// Sweeps one contiguous gray range of the allocation space on the zero-allocation
+/// pipeline: a reusable [`ReductionWorkspace`], a [`ComponentChecker`] and (when
+/// enabled) a range-local [`ComponentCache`].
+fn sweep_range(
+    net: &PetriNet,
+    range: GrayAllocationIter,
+    options: &QssOptions,
+) -> Vec<(u128, SweepItem)> {
+    let mut checker = ComponentChecker::new(net);
+    let mut workspace = ReductionWorkspace::new();
     let mut cache = ComponentCache::default();
+    let mut out = Vec::with_capacity(range.remaining() as usize);
+    for (rank, allocation) in range {
+        if !options.reuse_component_cache {
+            cache.clear();
+        }
+        let verdict = checker.check(&allocation, &mut workspace, &mut cache);
+        let item = match verdict {
+            ComponentVerdict::Schedulable(cycle) => SweepItem::Cycle(Box::new(cycle)),
+            ComponentVerdict::NotSchedulable(failure) => {
+                SweepItem::Failure(Box::new(ComponentDiagnostic {
+                    allocation: allocation.describe(net),
+                    transitions: workspace.kept_transitions().to_vec(),
+                    failure,
+                }))
+            }
+        };
+        out.push((rank, item));
+    }
+    out
+}
+
+/// The seed scheduling pipeline, retained end to end: counting-order enumeration
+/// ([`allocation_iter`]), fresh-`BTreeSet` reductions ([`TReduction::compute`]), the
+/// `Vec<u64>`-keyed component cache and the dense Farkas elimination
+/// ([`check_component_naive_with`]). Always sequential. The outcome is bit-for-bit
+/// identical to [`quasi_static_schedule`]'s — pinned by the equivalence suite — and the
+/// `qss_pipeline` benchmark measures the pipeline win against it.
+///
+/// # Errors
+///
+/// Same as [`quasi_static_schedule`].
+pub fn quasi_static_schedule_naive(net: &PetriNet, options: &QssOptions) -> Result<QssOutcome> {
+    let allocations = allocation_iter(net, options.allocation)?;
+    let mut cache = NaiveComponentCache::default();
     let mut cycles = Vec::new();
     let mut failures = Vec::new();
     let mut components_examined = 0usize;
     for allocation in allocations {
         components_examined += 1;
         let reduction = TReduction::compute(net, allocation)?;
-        let verdict = if options.reuse_component_cache {
-            check_component_with(net, &reduction, &mut cache)
-        } else {
-            check_component(net, &reduction)
-        };
+        if !options.reuse_component_cache {
+            cache = NaiveComponentCache::default();
+        }
+        let verdict = check_component_naive_with(net, &reduction, &mut cache);
         match verdict {
             ComponentVerdict::Schedulable(cycle) => cycles.push(cycle),
             ComponentVerdict::NotSchedulable(failure) => failures.push(ComponentDiagnostic {

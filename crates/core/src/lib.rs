@@ -45,17 +45,18 @@ mod schedulability;
 mod schedule;
 
 pub use algorithm::{
-    is_schedulable, quasi_static_schedule, ComponentDiagnostic, NotSchedulableReport, QssOptions,
-    QssOutcome,
+    is_schedulable, quasi_static_schedule, quasi_static_schedule_naive, ComponentDiagnostic,
+    NotSchedulableReport, QssOptions, QssOutcome,
 };
 pub use allocation::{
-    allocation_iter, enumerate_allocations, AllocationIter, AllocationOptions, TAllocation,
+    allocation_iter, allocation_iter_gray, enumerate_allocations, AllocationIter,
+    AllocationOptions, GrayAllocationIter, TAllocation,
 };
 pub use error::{QssError, Result};
-pub use reduction::{ReductionStep, TReduction};
+pub use reduction::{ReductionStep, ReductionWorkspace, TReduction};
 pub use schedulability::{
-    check_component, check_component_with, simulate_cycle, ComponentCache, ComponentFailure,
-    ComponentVerdict,
+    check_component, check_component_naive_with, check_component_with, simulate_cycle,
+    ComponentCache, ComponentChecker, ComponentFailure, ComponentVerdict, NaiveComponentCache,
 };
 pub use schedule::{FiniteCompleteCycle, ValidSchedule};
 

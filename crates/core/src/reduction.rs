@@ -4,6 +4,13 @@
 //! The algorithm is Hack's MG-decomposition modified — exactly as in the paper — to
 //! tolerate source and sink transitions, which embedded-system models need to represent
 //! interaction with the environment.
+//!
+//! Two entry points compute the same reduction: [`TReduction::compute`] is the seed
+//! implementation (fresh `BTreeSet`s and an always-on trace per call) and
+//! [`TReduction::compute_in`] is the scheduler's hot path — it runs the identical
+//! fixpoint on a reusable [`ReductionWorkspace`] (flag arrays and scratch buffers that
+//! are allocated once per sweep, not once per allocation) with trace recording opt-in.
+//! The equivalence suite pins the two against each other, traces included.
 
 use crate::{Result, TAllocation};
 use fcpn_petri::{PetriNet, PlaceId, SubnetMap, TransitionId};
@@ -146,6 +153,35 @@ impl TReduction {
         })
     }
 
+    /// Computes the same T-reduction as [`TReduction::compute`] on a reusable
+    /// [`ReductionWorkspace`]: the fixpoint runs on the workspace's flag arrays and
+    /// scratch buffers (no per-call `BTreeSet`s), and the step trace is only recorded
+    /// when `record_trace` is set (the scheduler never reads it; diagnostics callers
+    /// opt back in).
+    ///
+    /// The reduced net, map and (when recorded) trace are identical to
+    /// [`TReduction::compute`]'s — pinned by the seeded equivalence suite.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TReduction::compute`].
+    pub fn compute_in(
+        parent: &PetriNet,
+        allocation: TAllocation,
+        workspace: &mut ReductionWorkspace,
+        record_trace: bool,
+    ) -> Result<TReduction> {
+        workspace.reduce(parent, &allocation, record_trace);
+        let (net, map) =
+            parent.induced_subnet(workspace.kept_places(), workspace.kept_transitions())?;
+        Ok(TReduction {
+            allocation,
+            net,
+            map,
+            trace: workspace.trace.clone(),
+        })
+    }
+
     /// The parent-net transitions that survive in this reduction, ascending.
     pub fn parent_transitions(&self) -> Vec<TransitionId> {
         self.map.transition_to_parent.clone()
@@ -200,6 +236,210 @@ fn has_kept_producer(
         .producers(place)
         .iter()
         .any(|&(t, _)| kept_transitions.contains(&t))
+}
+
+/// Reusable scratch state for the Reduction Algorithm: flag arrays over the parent net,
+/// the removal worklist, and the kept-node lists with their child-index ranks.
+///
+/// One workspace serves an entire allocation sweep: after the first call every buffer is
+/// at capacity and [`ReductionWorkspace::reduce`] allocates nothing. After a `reduce`
+/// the workspace *is* the reduction — the kept lists double as the
+/// [`SubnetMap`] arrays (child index `i` is the `i`-th kept parent node), so the
+/// scheduler can fingerprint, map and diagnose a component without ever materialising
+/// the reduced [`PetriNet`] (which [`TReduction::compute_in`] still builds for callers
+/// that need the net itself).
+#[derive(Debug, Default)]
+pub struct ReductionWorkspace {
+    kept_transitions: Vec<bool>,
+    kept_places: Vec<bool>,
+    worklist: Vec<TransitionId>,
+    remaining: Vec<PlaceId>,
+    /// Child index of each kept parent transition (`u32::MAX` for removed ones).
+    transition_rank: Vec<u32>,
+    /// Child index of each kept parent place (`u32::MAX` for removed ones).
+    place_rank: Vec<u32>,
+    kept_transition_list: Vec<TransitionId>,
+    kept_place_list: Vec<PlaceId>,
+    trace: Vec<ReductionStep>,
+}
+
+impl ReductionWorkspace {
+    /// Creates an empty workspace; buffers grow to the parent net's size on first use.
+    pub fn new() -> Self {
+        ReductionWorkspace::default()
+    }
+
+    /// Runs the Reduction Algorithm for `allocation` over `parent`, leaving the result
+    /// in the workspace. The fixpoint, removal order and (when `record_trace` is set)
+    /// the trace are identical to [`TReduction::compute`]'s; only the storage differs —
+    /// flag arrays and reused buffers instead of fresh `BTreeSet`s per call.
+    pub fn reduce(&mut self, parent: &PetriNet, allocation: &TAllocation, record_trace: bool) {
+        let nt = parent.transition_count();
+        let np = parent.place_count();
+        self.kept_transitions.clear();
+        self.kept_transitions.resize(nt, true);
+        self.kept_places.clear();
+        self.kept_places.resize(np, true);
+        self.worklist.clear();
+        self.trace.clear();
+
+        // Step 2(a): remove every transition the allocation does not choose.
+        for &t in allocation.excluded_transitions() {
+            self.kept_transitions[t.index()] = false;
+            self.worklist.push(t);
+            if record_trace {
+                self.trace.push(ReductionStep::RemoveUnallocated(t));
+            }
+        }
+
+        // Steps 2(b)-(d): propagate removals until a fixpoint.
+        while let Some(removed) = self.worklist.pop() {
+            // (b) Examine the successor places of the removed transition.
+            for &(s, _) in parent.outputs(removed) {
+                if !self.kept_places[s.index()] {
+                    continue;
+                }
+                // (b)(i) keep the place if it still has another (kept) producer.
+                let has_other_producer = parent
+                    .producers(s)
+                    .iter()
+                    .any(|&(t, _)| t != removed && self.kept_transitions[t.index()]);
+                if has_other_producer {
+                    continue;
+                }
+                // (b)(ii) keep the place (as a source place of the component) if some
+                // kept consumer of it has another kept, non-source input place.
+                let keeps_as_source = parent.consumers(s).iter().any(|&(consumer, _)| {
+                    self.kept_transitions[consumer.index()]
+                        && parent.inputs(consumer).iter().any(|&(other, _)| {
+                            other != s
+                                && self.kept_places[other.index()]
+                                && self.has_kept_producer(parent, other)
+                        })
+                });
+                if keeps_as_source {
+                    if record_trace {
+                        self.trace.push(ReductionStep::KeepPlaceAsSource(s));
+                    }
+                    continue;
+                }
+                self.kept_places[s.index()] = false;
+                if record_trace {
+                    self.trace.push(ReductionStep::RemovePlace(s));
+                }
+                // (c) A consumer of the removed place is itself removed when it has no
+                // remaining input places, or when all of its remaining inputs are
+                // unproducible source places (which are then removed with it).
+                for &(consumer, _) in parent.consumers(s) {
+                    if !self.kept_transitions[consumer.index()] {
+                        continue;
+                    }
+                    self.remaining.clear();
+                    let kept_places = &self.kept_places;
+                    self.remaining.extend(
+                        parent
+                            .inputs(consumer)
+                            .iter()
+                            .map(|&(p, _)| p)
+                            .filter(|p| kept_places[p.index()]),
+                    );
+                    let all_sources = self
+                        .remaining
+                        .iter()
+                        .all(|&p| !self.has_kept_producer(parent, p));
+                    if self.remaining.is_empty() || all_sources {
+                        for i in 0..self.remaining.len() {
+                            let p = self.remaining[i];
+                            self.kept_places[p.index()] = false;
+                            if record_trace {
+                                self.trace.push(ReductionStep::RemovePlace(p));
+                            }
+                        }
+                        self.kept_transitions[consumer.index()] = false;
+                        if record_trace {
+                            self.trace
+                                .push(ReductionStep::RemoveStarvedTransition(consumer));
+                        }
+                        self.worklist.push(consumer);
+                    }
+                }
+            }
+        }
+
+        // Kept lists in ascending order; ranks map parent index → child index.
+        self.transition_rank.clear();
+        self.transition_rank.resize(nt, u32::MAX);
+        self.place_rank.clear();
+        self.place_rank.resize(np, u32::MAX);
+        self.kept_transition_list.clear();
+        self.kept_place_list.clear();
+        for (i, &kept) in self.kept_transitions.iter().enumerate() {
+            if kept {
+                self.transition_rank[i] = self.kept_transition_list.len() as u32;
+                self.kept_transition_list.push(TransitionId::new(i));
+            }
+        }
+        for (i, &kept) in self.kept_places.iter().enumerate() {
+            if kept {
+                self.place_rank[i] = self.kept_place_list.len() as u32;
+                self.kept_place_list.push(PlaceId::new(i));
+            }
+        }
+    }
+
+    fn has_kept_producer(&self, parent: &PetriNet, place: PlaceId) -> bool {
+        parent
+            .producers(place)
+            .iter()
+            .any(|&(t, _)| self.kept_transitions[t.index()])
+    }
+
+    /// The parent transitions that survived the last [`reduce`](Self::reduce), ascending
+    /// (equals the child net's `transition_to_parent` map).
+    pub fn kept_transitions(&self) -> &[TransitionId] {
+        &self.kept_transition_list
+    }
+
+    /// The parent places that survived the last [`reduce`](Self::reduce), ascending
+    /// (equals the child net's `place_to_parent` map).
+    pub fn kept_places(&self) -> &[PlaceId] {
+        &self.kept_place_list
+    }
+
+    /// `true` if the parent transition survived the last reduction.
+    pub fn keeps_transition(&self, parent: TransitionId) -> bool {
+        self.kept_transitions[parent.index()]
+    }
+
+    /// The child index of a surviving parent transition, if it survived.
+    pub fn child_transition(&self, parent: TransitionId) -> Option<TransitionId> {
+        match self.transition_rank[parent.index()] {
+            u32::MAX => None,
+            rank => Some(TransitionId::new(rank as usize)),
+        }
+    }
+
+    /// The child index of a surviving parent place, if it survived.
+    pub fn child_place(&self, parent: PlaceId) -> Option<PlaceId> {
+        match self.place_rank[parent.index()] {
+            u32::MAX => None,
+            rank => Some(PlaceId::new(rank as usize)),
+        }
+    }
+
+    /// The steps recorded by the last [`reduce`](Self::reduce) (empty unless trace
+    /// recording was requested).
+    pub fn trace(&self) -> &[ReductionStep] {
+        &self.trace
+    }
+
+    /// Materialises the last reduction's [`SubnetMap`] (one clone of each kept list).
+    pub fn subnet_map(&self) -> SubnetMap {
+        SubnetMap {
+            place_to_parent: self.kept_place_list.clone(),
+            transition_to_parent: self.kept_transition_list.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

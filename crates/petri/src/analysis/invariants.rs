@@ -6,10 +6,19 @@
 //! existence of such vectors is the algebraic half of schedulability (Definition 2.1 of the
 //! paper); the other half — deadlock-free realisability — is checked by simulation in
 //! [`crate::analysis`]'s callers.
+//!
+//! The production elimination ([`InvariantAnalysis::of_matrix`]) works on **sparse,
+//! fraction-free integer rows**: incidence matrices of real nets are overwhelmingly
+//! sparse, every row combination stays in (gcd-normalised) integers, identical rows are
+//! deduplicated through a hash table, and the minimal-support pruning runs on bitsets.
+//! The seed's dense implementation is retained verbatim as
+//! [`InvariantAnalysis::of_matrix_naive`] — the oracle the equivalence tests pin the
+//! sparse path against (the semiflow bases are identical).
 
 use super::incidence::IncidenceMatrix;
 use super::rational::Rational;
 use crate::{PetriNet, TransitionId};
+use std::collections::HashMap;
 
 /// Maximum number of intermediate rows the Farkas elimination may generate before the
 /// computation is considered intractable for the calling analysis.
@@ -25,13 +34,25 @@ pub struct Semiflow {
 
 impl Semiflow {
     /// Indices with a non-zero entry.
+    ///
+    /// Allocates a fresh `Vec` per call; hot loops (the per-component covering checks of
+    /// the scheduler) should use the allocation-free [`Semiflow::support_iter`] instead.
     pub fn support(&self) -> Vec<usize> {
+        self.support_iter().collect()
+    }
+
+    /// Iterates over the indices with a non-zero entry without allocating.
+    pub fn support_iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.vector
             .iter()
             .enumerate()
             .filter(|&(_, &v)| v > 0)
             .map(|(i, _)| i)
-            .collect()
+    }
+
+    /// Number of non-zero entries (the support cardinality), without allocating.
+    pub fn support_len(&self) -> usize {
+        self.vector.iter().filter(|&&v| v > 0).count()
     }
 
     /// Returns `true` if the entry at `index` is non-zero.
@@ -52,14 +73,88 @@ pub struct InvariantAnalysis {
 }
 
 impl InvariantAnalysis {
-    /// Runs the full invariant analysis on `net`.
+    /// Runs the full invariant analysis on `net` (the sparse fraction-free elimination).
     pub fn of(net: &PetriNet) -> Self {
         let d = IncidenceMatrix::from_net(net);
         InvariantAnalysis::of_matrix(&d)
     }
 
-    /// Runs the analysis on a pre-computed incidence matrix.
+    /// Runs the full invariant analysis on `net` through the retained dense elimination
+    /// ([`InvariantAnalysis::of_matrix_naive`]).
+    pub fn of_naive(net: &PetriNet) -> Self {
+        let d = IncidenceMatrix::from_net(net);
+        InvariantAnalysis::of_matrix_naive(&d)
+    }
+
+    /// Computes only the T-semiflow side of the analysis, building the sparse rows
+    /// straight from the net's precomputed delta rows — no dense incidence matrix is
+    /// ever materialised. Returns the minimal T-semiflows and the completeness flag.
+    ///
+    /// This is the scheduler's per-component entry: Definition 3.5 never consults
+    /// P-semiflows, so the transpose elimination (roughly half of
+    /// [`InvariantAnalysis::of`]'s work) is skipped entirely on that path.
+    pub fn t_semiflows_of(net: &PetriNet) -> (Vec<Semiflow>, bool) {
+        let rows: Vec<Vec<(u32, i128)>> = net
+            .transitions()
+            .map(|t| {
+                let mut row: Vec<(u32, i128)> = net
+                    .delta_row(t)
+                    .iter()
+                    .map(|&(p, d)| (p.index() as u32, d as i128))
+                    .collect();
+                row.sort_by_key(|&(c, _)| c);
+                row
+            })
+            .collect();
+        farkas_sparse(&rows, net.transition_count())
+    }
+
+    /// Runs the analysis on a pre-computed incidence matrix using the sparse
+    /// fraction-free Farkas elimination: rows are sorted `(index, value)` lists, row
+    /// combinations are integer (Bareiss-style cross-multiplication followed by gcd
+    /// normalisation, so no rationals ever appear), exact duplicate rows are dropped
+    /// through a hash table as they are generated, and minimal-support pruning runs on
+    /// per-row support bitsets. The semiflow basis is identical to
+    /// [`InvariantAnalysis::of_matrix_naive`]'s.
     pub fn of_matrix(d: &IncidenceMatrix) -> Self {
+        let nt = d.transition_count();
+        let np = d.place_count();
+        // Row i is transition i's row of D, in sparse form.
+        let t_rows: Vec<Vec<(u32, i128)>> = (0..nt)
+            .map(|t| {
+                (0..np)
+                    .filter_map(|p| {
+                        let v = d.entry(TransitionId::new(t), crate::PlaceId::new(p));
+                        (v != 0).then_some((p as u32, v as i128))
+                    })
+                    .collect()
+            })
+            .collect();
+        let (t_semiflows, t_complete) = farkas_sparse(&t_rows, nt);
+        // For P-semiflows solve D · y = 0, i.e. run Farkas on the transpose.
+        let p_rows: Vec<Vec<(u32, i128)>> = (0..np)
+            .map(|p| {
+                (0..nt)
+                    .filter_map(|t| {
+                        let v = d.entry(TransitionId::new(t), crate::PlaceId::new(p));
+                        (v != 0).then_some((t as u32, v as i128))
+                    })
+                    .collect()
+            })
+            .collect();
+        let (p_semiflows, p_complete) = farkas_sparse(&p_rows, np);
+        InvariantAnalysis {
+            t_semiflows,
+            p_semiflows,
+            complete: t_complete && p_complete,
+        }
+    }
+
+    /// Runs the analysis on a pre-computed incidence matrix with the seed's dense
+    /// `Vec<Vec<i128>>` elimination — the reference oracle for
+    /// [`InvariantAnalysis::of_matrix`], retained verbatim and pinned to identical
+    /// semiflow bases by the seeded equivalence suite.
+    pub fn of_matrix_naive(d: &IncidenceMatrix) -> Self {
         let nt = d.transition_count();
         let np = d.place_count();
         // Row i of `t_rows` is transition i's row of D.
@@ -93,7 +188,7 @@ impl InvariantAnalysis {
     pub fn is_consistent(&self, transition_count: usize) -> bool {
         let mut covered = vec![false; transition_count];
         for s in &self.t_semiflows {
-            for i in s.support() {
+            for i in s.support_iter() {
                 covered[i] = true;
             }
         }
@@ -105,7 +200,7 @@ impl InvariantAnalysis {
     pub fn is_conservative(&self, place_count: usize) -> bool {
         let mut covered = vec![false; place_count];
         for s in &self.p_semiflows {
-            for i in s.support() {
+            for i in s.support_iter() {
                 covered[i] = true;
             }
         }
@@ -150,7 +245,7 @@ impl InvariantAnalysis {
             let best = self
                 .t_semiflows_containing(t)
                 .into_iter()
-                .min_by_key(|s| s.support().len())?;
+                .min_by_key(|s| s.support_len())?;
             for (i, &v) in best.vector.iter().enumerate() {
                 sum[i] += v;
             }
@@ -225,6 +320,263 @@ fn farkas(rows: &[Vec<i128>]) -> (Vec<Semiflow>, bool) {
         .filter(|(d, id)| d.iter().all(|&v| v == 0) && id.iter().any(|&v| v > 0))
         .map(|(_, id)| Semiflow {
             vector: id.iter().map(|&v| v as u64).collect(),
+        })
+        .collect();
+    flows.sort_by(|a, b| a.vector.cmp(&b.vector));
+    flows.dedup();
+    (prune_non_minimal_flows(flows), complete)
+}
+
+/// One working row of the sparse elimination: the remaining matrix part and the
+/// identity (solution) part, both as `(index, value)` lists sorted by index with no
+/// zero values, plus the id-part support as a bitset for O(words) minimality checks.
+#[derive(Debug, Clone)]
+struct SparseRow {
+    d: Vec<(u32, i128)>,
+    id: Vec<(u32, i128)>,
+    /// Bitset over the `n` unknowns: bit set ⇔ the id part has a non-zero entry there.
+    support: Vec<u64>,
+    /// Popcount of `support`, cached for the strict-subset pruning.
+    support_len: u32,
+}
+
+impl SparseRow {
+    /// The value at column `col` of the d part (0 if absent).
+    fn d_at(&self, col: u32) -> i128 {
+        match self.d.binary_search_by_key(&col, |&(c, _)| c) {
+            Ok(i) => self.d[i].1,
+            Err(_) => 0,
+        }
+    }
+}
+
+/// `out = a·x + b·y` over sorted sparse vectors, dropping cancelled entries.
+fn sparse_axpby(
+    a: i128,
+    x: &[(u32, i128)],
+    b: i128,
+    y: &[(u32, i128)],
+    out: &mut Vec<(u32, i128)>,
+) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < x.len() || j < y.len() {
+        match (x.get(i), y.get(j)) {
+            (Some(&(cx, vx)), Some(&(cy, vy))) if cx == cy => {
+                let v = a * vx + b * vy;
+                if v != 0 {
+                    out.push((cx, v));
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some(&(cx, vx)), Some(&(cy, _))) if cx < cy => {
+                out.push((cx, a * vx));
+                i += 1;
+            }
+            (Some(_), Some(&(cy, vy))) => {
+                out.push((cy, b * vy));
+                j += 1;
+            }
+            (Some(&(cx, vx)), None) => {
+                out.push((cx, a * vx));
+                i += 1;
+            }
+            (None, Some(&(cy, vy))) => {
+                out.push((cy, b * vy));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+}
+
+/// Divides every value of a combined row by the gcd of all its values (fraction-free
+/// normalisation: the row stays integer and as small as possible).
+fn normalise_sparse(d: &mut [(u32, i128)], id: &mut [(u32, i128)]) {
+    let mut g: i128 = 0;
+    for &(_, v) in d.iter().chain(id.iter()) {
+        g = gcd(g, v.abs());
+    }
+    if g > 1 {
+        for (_, v) in d.iter_mut() {
+            *v /= g;
+        }
+        for (_, v) in id.iter_mut() {
+            *v /= g;
+        }
+    }
+}
+
+/// The SplitMix64 finalizer: a cheap, well-dispersed `u64 → u64` mixer. Used here to
+/// hash elimination rows for duplicate removal, and by downstream crates (the scheduler's
+/// structural fingerprints) so the workspace keeps a single copy of the constants.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Content hash of a normalised row, used to drop exact duplicates as they are
+/// generated (duplicate rows breed duplicate offspring, so early removal can shrink the
+/// elimination exponentially without changing the final basis).
+fn hash_sparse_row(d: &[(u32, i128)], id: &[(u32, i128)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |x: u64| {
+        h = (h ^ splitmix64(x)).wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for &(c, v) in d {
+        fold(c as u64);
+        fold(v as u64);
+        fold((v >> 64) as u64);
+    }
+    fold(u64::MAX); // separator between the two parts
+    for &(c, v) in id {
+        fold(c as u64);
+        fold(v as u64);
+        fold((v >> 64) as u64);
+    }
+    h
+}
+
+/// `true` if `small`'s bits are a strict subset of `big`'s (callers pre-compare the
+/// cached popcounts, so equality never reaches here with `small_len < big_len`).
+fn bitset_strict_subset(small: &[u64], big: &[u64]) -> bool {
+    small.iter().zip(big).all(|(&s, &b)| s & !b == 0)
+}
+
+/// Sparse fraction-free Farkas: computes the minimal semi-positive solutions of
+/// `x · rows = 0` (one unknown per row, columns indexed up to the largest index present).
+/// Returns the semiflows and whether the computation stayed within the row budget. The
+/// result is identical to the dense [`farkas`]'s.
+fn farkas_sparse(rows: &[Vec<(u32, i128)>], n: usize) -> (Vec<Semiflow>, bool) {
+    if n == 0 {
+        return (Vec::new(), true);
+    }
+    let m = rows
+        .iter()
+        .flat_map(|r| r.iter().map(|&(c, _)| c as usize + 1))
+        .max()
+        .unwrap_or(0);
+    let words = n.div_ceil(64);
+    let mut work: Vec<SparseRow> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut support = vec![0u64; words];
+            support[i / 64] |= 1u64 << (i % 64);
+            SparseRow {
+                d: r.clone(),
+                id: vec![(i as u32, 1)],
+                support,
+                support_len: 1,
+            }
+        })
+        .collect();
+    let mut complete = true;
+    let mut d_buf: Vec<(u32, i128)> = Vec::new();
+    let mut id_buf: Vec<(u32, i128)> = Vec::new();
+
+    for col in 0..m as u32 {
+        // Partition preserving order: zero rows survive, signed rows combine pairwise.
+        let mut next: Vec<SparseRow> = Vec::with_capacity(work.len());
+        let mut positives: Vec<SparseRow> = Vec::new();
+        let mut negatives: Vec<SparseRow> = Vec::new();
+        for row in work {
+            match row.d_at(col).signum() {
+                0 => next.push(row),
+                1 => positives.push(row),
+                _ => negatives.push(row),
+            }
+        }
+        // Hash-dedup table over the rows combined at *this* column (surviving zero rows
+        // are already mutually distinct — their content never changes — so only the new
+        // rows need hashing): content hash → indices into `next` to compare.
+        let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut combined_any = false;
+        'combine: for pos in &positives {
+            for neg in &negatives {
+                let a = pos.d_at(col);
+                let b = -neg.d_at(col);
+                // d/id = b·pos + a·neg: the entries at `col` cancel exactly.
+                sparse_axpby(b, &pos.d, a, &neg.d, &mut d_buf);
+                sparse_axpby(b, &pos.id, a, &neg.id, &mut id_buf);
+                normalise_sparse(&mut d_buf, &mut id_buf);
+                let h = hash_sparse_row(&d_buf, &id_buf);
+                let slot = seen.entry(h).or_default();
+                if slot
+                    .iter()
+                    .any(|&i| next[i].d == d_buf && next[i].id == id_buf)
+                {
+                    continue; // exact duplicate: identical offspring, drop it now
+                }
+                let mut support = vec![0u64; words];
+                for &(c, _) in &id_buf {
+                    support[c as usize / 64] |= 1u64 << (c as usize % 64);
+                }
+                let support_len = id_buf.len() as u32;
+                slot.push(next.len());
+                combined_any = true;
+                next.push(SparseRow {
+                    d: d_buf.clone(),
+                    id: id_buf.clone(),
+                    support,
+                    support_len,
+                });
+                if next.len() > FARKAS_ROW_LIMIT {
+                    complete = false;
+                    break 'combine;
+                }
+            }
+        }
+        // Prune rows whose id-part support strictly contains another row's support;
+        // only minimal-support rows can yield minimal semiflows. When the column
+        // combined nothing, the surviving rows were already mutually minimal after the
+        // previous prune (dropping unpaired rows cannot create new subset relations),
+        // so the quadratic pass is skipped.
+        if combined_any {
+            let mut keep = vec![true; next.len()];
+            for i in 0..next.len() {
+                if !keep[i] {
+                    continue;
+                }
+                for j in 0..next.len() {
+                    if i == j || !keep[j] {
+                        continue;
+                    }
+                    if next[j].support_len < next[i].support_len
+                        && bitset_strict_subset(&next[j].support, &next[i].support)
+                    {
+                        keep[i] = false;
+                        break;
+                    }
+                }
+            }
+            let mut kept = Vec::with_capacity(next.len());
+            for (row, k) in next.into_iter().zip(keep) {
+                if k {
+                    kept.push(row);
+                }
+            }
+            work = kept;
+        } else {
+            work = next;
+        }
+        if !complete {
+            break;
+        }
+    }
+
+    let mut flows: Vec<Semiflow> = work
+        .into_iter()
+        .filter(|row| row.d.is_empty() && row.id.iter().any(|&(_, v)| v > 0))
+        .map(|row| {
+            let mut vector = vec![0u64; n];
+            for &(c, v) in &row.id {
+                vector[c as usize] = v as u64;
+            }
+            Semiflow { vector }
         })
         .collect();
     flows.sort_by(|a, b| a.vector.cmp(&b.vector));

@@ -28,7 +28,9 @@ pub use coverability::{
 };
 pub use deadlock::{find_deadlock, find_deadlock_with, DeadlockReport};
 pub use incidence::IncidenceMatrix;
-pub use invariants::{incidence_rank, t_invariant_space_dimension, InvariantAnalysis, Semiflow};
+pub use invariants::{
+    incidence_rank, splitmix64, t_invariant_space_dimension, InvariantAnalysis, Semiflow,
+};
 pub use liveness::{check_liveness, check_liveness_with, LivenessReport};
 pub use rational::{gcd_u64, lcm_u64, smallest_integer_vector, Rational};
 pub use reachability::{ReachabilityEdge, ReachabilityGraph, ReachabilityOptions};

@@ -66,6 +66,12 @@ impl Rational {
     /// Panics if `den` is zero.
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "rational denominator must be non-zero");
+        // Integer fast path: a fraction over 1 is already normalised, so the gcd loop —
+        // the dominant cost when rationals are built from integer matrix entries — can
+        // be skipped entirely.
+        if den == 1 {
+            return Rational { num, den: 1 };
+        }
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd_i128(num, den).max(1);
         Rational {
@@ -241,6 +247,19 @@ mod tests {
         let r = Rational::new(3, -6);
         assert_eq!((r.numer(), r.denom()), (-1, 2));
         assert_eq!(Rational::new(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    fn integer_fast_path_matches_general_construction() {
+        // den == 1 short-circuits the gcd; the result must be indistinguishable from the
+        // general path (and from from_integer) for positive, negative and zero values.
+        for num in [-7i128, -1, 0, 1, 2, 41] {
+            let fast = Rational::new(num, 1);
+            assert_eq!(fast, Rational::from_integer(num));
+            assert_eq!((fast.numer(), fast.denom()), (num, 1));
+            // Equivalent fraction through the slow path reduces to the same value.
+            assert_eq!(Rational::new(num * 3, 3), fast);
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use error::{Result, RtosError};
 pub use event::{Event, Workload};
 pub use sim::{
     simulate_functional_partition, simulate_functional_partition_naive, simulate_program,
-    FunctionalTask, SimReport, TaskActivation,
+    FunctionalSimBatch, FunctionalTask, SimReport, TaskActivation,
 };
 
 #[cfg(test)]

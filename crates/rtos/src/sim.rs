@@ -53,7 +53,7 @@
 
 use crate::{CostModel, Event, Result, RtosError, Workload};
 use fcpn_codegen::{ChoiceResolver, Interpreter, Program};
-use fcpn_petri::statespace::FiringSession;
+use fcpn_petri::statespace::{FiringSession, StateId};
 use fcpn_petri::{Marking, PetriNet, PlaceId, TransitionId};
 
 /// Per-task accounting of a simulation run.
@@ -224,132 +224,205 @@ pub fn simulate_functional_partition<R: ChoiceResolver + ?Sized>(
     workload: &Workload,
     resolver: &mut R,
 ) -> Result<SimReport> {
-    if workload.is_empty() {
-        return Err(RtosError::EmptyWorkload);
-    }
-    let owner = task_owner_map(net, tasks)?;
-    let mut per_task: Vec<TaskActivation> = tasks
-        .iter()
-        .map(|t| TaskActivation {
-            name: t.name.clone(),
-            activations: 0,
-            cycles: 0,
-        })
-        .collect();
-    // Per-transition constants of (net, tasks, cost), hoisted out of the firing loop:
-    // the transition's own cost plus the choice-evaluation surcharge plus the
-    // queue-transfer cost of every token its outputs push across a task boundary.
-    let step_cost: Vec<u64> = net
-        .transitions()
-        .map(|t| {
-            let task = owner[t.index()];
-            let mut cycles = cost.transition_cost(t);
-            if net.inputs(t).iter().any(|&(p, _)| net.is_choice_place(p)) {
-                cycles += cost.choice_cost;
-            }
-            for &(place, produced) in net.outputs(t) {
-                let crosses = net
-                    .consumers(place)
-                    .iter()
-                    .any(|&(consumer, _)| owner[consumer.index()] != task);
-                if crosses {
-                    cycles += cost.queue_transfer_cost * produced;
+    FunctionalSimBatch::new(net, tasks, cost)?.run(workload, resolver)
+}
+
+/// A reusable functional-partition simulation: the per-transition cost tables, ownership
+/// maps and the [`FiringSession`] are built **once**, and every
+/// [`run`](FunctionalSimBatch::run) restores the session to the initial marking through
+/// its checkpoint arena (one O(places) rollback) instead of rebuilding the firing
+/// tables from scratch.
+///
+/// This is the Monte-Carlo shape of the Table I experiment: sweeping many traffic seeds
+/// re-executes the same net under different workloads, so the batch amortises the
+/// session setup across the whole sweep (`--seeds N` on the `table1_qss_vs_functional`
+/// benchmark drives it). A single [`simulate_functional_partition`] call is just a
+/// one-run batch.
+#[derive(Debug)]
+pub struct FunctionalSimBatch<'a> {
+    net: &'a PetriNet,
+    owner: Vec<usize>,
+    task_names: Vec<String>,
+    /// Per-transition constants of (net, tasks, cost), hoisted out of the firing loop:
+    /// the transition's own cost plus the choice-evaluation surcharge plus the
+    /// queue-transfer cost of every token its outputs push across a task boundary.
+    step_cost: Vec<u64>,
+    /// First choice input place of each transition (`None` for unconflicted ones).
+    choice_place: Vec<Option<PlaceId>>,
+    is_source: Vec<bool>,
+    activation_overhead: u64,
+    session: FiringSession,
+    /// Checkpoint of the initial marking; every run starts by rolling back to it.
+    start: StateId,
+    /// Reused across every cascade step: `enabled_into` clears and refills it.
+    enabled: Vec<TransitionId>,
+}
+
+impl<'a> FunctionalSimBatch<'a> {
+    /// Prepares a batch for simulating `tasks` over `net` under `cost`.
+    ///
+    /// # Errors
+    ///
+    /// [`RtosError::UnboundSource`] when a source transition belongs to no task.
+    pub fn new(net: &'a PetriNet, tasks: &[FunctionalTask], cost: &CostModel) -> Result<Self> {
+        let owner = task_owner_map(net, tasks)?;
+        let step_cost: Vec<u64> = net
+            .transitions()
+            .map(|t| {
+                let task = owner[t.index()];
+                let mut cycles = cost.transition_cost(t);
+                if net.inputs(t).iter().any(|&(p, _)| net.is_choice_place(p)) {
+                    cycles += cost.choice_cost;
                 }
-            }
-            cycles
-        })
-        .collect();
-    // First choice input place of each transition (None for unconflicted ones) and the
-    // source flags, so the cascade loop never rescans arc lists.
-    let choice_place: Vec<Option<PlaceId>> = net
-        .transitions()
-        .map(|t| {
-            net.inputs(t)
-                .iter()
-                .map(|&(p, _)| p)
-                .find(|&p| net.is_choice_place(p))
-        })
-        .collect();
-    let is_source: Vec<bool> = net
-        .transitions()
-        .map(|t| net.is_source_transition(t))
-        .collect();
-    let mut session = FiringSession::new(net);
-    let mut fire_counts = vec![0u64; net.transition_count()];
-    let mut total_cycles = 0u64;
-    let mut activations = 0u64;
-    let mut peak_buffer_tokens = session.total_tokens();
-    // Reused across every cascade step: `enabled_into` clears and refills it.
-    let mut enabled: Vec<TransitionId> = Vec::new();
-
-    for &Event { source, .. } in workload.events() {
-        let mut current_task: Option<usize> = None;
-        let mut fire = |t: TransitionId,
-                        session: &mut FiringSession,
-                        current_task: &mut Option<usize>,
-                        per_task: &mut Vec<TaskActivation>|
-         -> Result<u64> {
-            let task = owner[t.index()];
-            let mut cycles = 0;
-            if *current_task != Some(task) {
-                cycles += cost.activation_overhead;
-                activations += 1;
-                per_task[task].activations += 1;
-                *current_task = Some(task);
-            }
-            cycles += step_cost[t.index()];
-            session
-                .fire(t)
-                .map_err(|e| RtosError::Execution(fcpn_codegen::CodegenError::Petri(e)))?;
-            fire_counts[t.index()] += 1;
-            per_task[task].cycles += cycles;
-            Ok(cycles)
-        };
-
-        // The event fires its source transition, then the cascade runs to quiescence.
-        total_cycles += fire(source, &mut session, &mut current_task, &mut per_task)?;
-        peak_buffer_tokens = peak_buffer_tokens.max(session.total_tokens());
-        loop {
-            session.enabled_into(&mut enabled);
-            enabled.retain(|&t| !is_source[t.index()]);
-            if enabled.is_empty() {
-                break;
-            }
-            // Resolve data-dependent choices through the same resolver the QSS
-            // implementation uses, so both simulations see the same data.
-            let next = {
-                let choice = enabled
-                    .iter()
-                    .copied()
-                    .find(|&t| choice_place[t.index()].is_some());
-                match choice {
-                    Some(conflicted) => {
-                        let place = choice_place[conflicted.index()]
-                            .expect("conflicted transition has a choice input");
-                        let candidates: Vec<TransitionId> = net
-                            .consumers(place)
-                            .iter()
-                            .map(|&(t, _)| t)
-                            .filter(|t| enabled.contains(t))
-                            .collect();
-                        resolver.resolve(place, &candidates)
+                for &(place, produced) in net.outputs(t) {
+                    let crosses = net
+                        .consumers(place)
+                        .iter()
+                        .any(|&(consumer, _)| owner[consumer.index()] != task);
+                    if crosses {
+                        cycles += cost.queue_transfer_cost * produced;
                     }
-                    None => enabled[0],
                 }
-            };
-            total_cycles += fire(next, &mut session, &mut current_task, &mut per_task)?;
-            peak_buffer_tokens = peak_buffer_tokens.max(session.total_tokens());
-        }
+                cycles
+            })
+            .collect();
+        let choice_place: Vec<Option<PlaceId>> = net
+            .transitions()
+            .map(|t| {
+                net.inputs(t)
+                    .iter()
+                    .map(|&(p, _)| p)
+                    .find(|&p| net.is_choice_place(p))
+            })
+            .collect();
+        let is_source: Vec<bool> = net
+            .transitions()
+            .map(|t| net.is_source_transition(t))
+            .collect();
+        let mut session = FiringSession::new(net);
+        let start = session.checkpoint(); // id 0 = the starting marking
+        Ok(FunctionalSimBatch {
+            net,
+            owner,
+            task_names: tasks.iter().map(|t| t.name.clone()).collect(),
+            step_cost,
+            choice_place,
+            is_source,
+            activation_overhead: cost.activation_overhead,
+            session,
+            start,
+            enabled: Vec::new(),
+        })
     }
 
-    Ok(SimReport {
-        total_cycles,
-        events_processed: workload.len(),
-        activations,
-        per_task,
-        fire_counts,
-        peak_buffer_tokens,
-    })
+    /// Simulates one workload from the initial marking (the shared session is rolled
+    /// back to its start checkpoint first). The report is identical to
+    /// [`simulate_functional_partition`]'s for the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// * [`RtosError::EmptyWorkload`] when there are no events.
+    /// * [`RtosError::Execution`] when a firing fails mid-cascade.
+    pub fn run<R: ChoiceResolver + ?Sized>(
+        &mut self,
+        workload: &Workload,
+        resolver: &mut R,
+    ) -> Result<SimReport> {
+        if workload.is_empty() {
+            return Err(RtosError::EmptyWorkload);
+        }
+        self.session.rollback(self.start);
+        let net = self.net;
+        let owner = &self.owner;
+        let step_cost = &self.step_cost;
+        let choice_place = &self.choice_place;
+        let is_source = &self.is_source;
+        let activation_overhead = self.activation_overhead;
+        let session = &mut self.session;
+        let enabled = &mut self.enabled;
+        let mut per_task: Vec<TaskActivation> = self
+            .task_names
+            .iter()
+            .map(|name| TaskActivation {
+                name: name.clone(),
+                activations: 0,
+                cycles: 0,
+            })
+            .collect();
+        let mut fire_counts = vec![0u64; net.transition_count()];
+        let mut total_cycles = 0u64;
+        let mut activations = 0u64;
+        let mut peak_buffer_tokens = session.total_tokens();
+
+        for &Event { source, .. } in workload.events() {
+            let mut current_task: Option<usize> = None;
+            let mut fire = |t: TransitionId,
+                            session: &mut FiringSession,
+                            current_task: &mut Option<usize>,
+                            per_task: &mut Vec<TaskActivation>|
+             -> Result<u64> {
+                let task = owner[t.index()];
+                let mut cycles = 0;
+                if *current_task != Some(task) {
+                    cycles += activation_overhead;
+                    activations += 1;
+                    per_task[task].activations += 1;
+                    *current_task = Some(task);
+                }
+                cycles += step_cost[t.index()];
+                session
+                    .fire(t)
+                    .map_err(|e| RtosError::Execution(fcpn_codegen::CodegenError::Petri(e)))?;
+                fire_counts[t.index()] += 1;
+                per_task[task].cycles += cycles;
+                Ok(cycles)
+            };
+
+            // The event fires its source transition, then the cascade runs to quiescence.
+            total_cycles += fire(source, session, &mut current_task, &mut per_task)?;
+            peak_buffer_tokens = peak_buffer_tokens.max(session.total_tokens());
+            loop {
+                session.enabled_into(enabled);
+                enabled.retain(|&t| !is_source[t.index()]);
+                if enabled.is_empty() {
+                    break;
+                }
+                // Resolve data-dependent choices through the same resolver the QSS
+                // implementation uses, so both simulations see the same data.
+                let next = {
+                    let choice = enabled
+                        .iter()
+                        .copied()
+                        .find(|&t| choice_place[t.index()].is_some());
+                    match choice {
+                        Some(conflicted) => {
+                            let place = choice_place[conflicted.index()]
+                                .expect("conflicted transition has a choice input");
+                            let candidates: Vec<TransitionId> = net
+                                .consumers(place)
+                                .iter()
+                                .map(|&(t, _)| t)
+                                .filter(|t| enabled.contains(t))
+                                .collect();
+                            resolver.resolve(place, &candidates)
+                        }
+                        None => enabled[0],
+                    }
+                };
+                total_cycles += fire(next, session, &mut current_task, &mut per_task)?;
+                peak_buffer_tokens = peak_buffer_tokens.max(session.total_tokens());
+            }
+        }
+
+        Ok(SimReport {
+            total_cycles,
+            events_processed: workload.len(),
+            activations,
+            per_task,
+            fire_counts,
+            peak_buffer_tokens,
+        })
+    }
 }
 
 /// The seed marking-by-marking functional simulator, retained verbatim as the reference
@@ -664,6 +737,44 @@ mod tests {
         )
         .unwrap();
         assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn batch_reuse_across_workloads_matches_fresh_runs() {
+        // One FunctionalSimBatch rolled back between runs must reproduce, bit for bit,
+        // what a fresh simulator produces for every workload — the contract the
+        // Monte-Carlo seed sweep (`table1 --seeds N`) relies on. Run an interleaved
+        // pattern so stale session state from a previous workload would be caught.
+        let net = gallery::figure5();
+        let t1 = net.transition_by_name("t1").unwrap();
+        let t8 = net.transition_by_name("t8").unwrap();
+        let cost = CostModel::default();
+        let tasks = vec![FunctionalTask {
+            name: "all".into(),
+            transitions: net.transitions().collect(),
+        }];
+        let workloads = [
+            Workload::periodic(t1, 10, 30, 0).merge(Workload::periodic(t8, 25, 12, 3)),
+            Workload::periodic(t1, 7, 11, 2),
+            Workload::periodic(t8, 5, 8, 0).merge(Workload::periodic(t1, 9, 21, 1)),
+        ];
+        let mut batch = FunctionalSimBatch::new(&net, &tasks, &cost).unwrap();
+        for workload in workloads.iter().chain(workloads.iter().rev()) {
+            let mut batch_resolver = RoundRobinResolver::default();
+            let from_batch = batch.run(workload, &mut batch_resolver).unwrap();
+            let mut fresh_resolver = RoundRobinResolver::default();
+            let fresh =
+                simulate_functional_partition(&net, &tasks, &cost, workload, &mut fresh_resolver)
+                    .unwrap();
+            assert_eq!(from_batch, fresh);
+        }
+        // Empty workloads are still rejected per run, not per batch.
+        assert_eq!(
+            batch
+                .run(&Workload::new(), &mut FixedResolver::default())
+                .unwrap_err(),
+            RtosError::EmptyWorkload
+        );
     }
 
     #[test]
