@@ -11,6 +11,11 @@
 //! Without `--out` the JSON goes to stdout. `FCPN_BENCH_SAMPLES` controls the number of
 //! interleaved measurement rounds per case (default 9).
 //!
+//! Schema v5 adds the `server` section: the `fcpn-serve` daemon is spawned in-process
+//! on an ephemeral port and the gallery + ATM nets are replayed against `/schedule` and
+//! `/analyze` from concurrent connections, recording p50/p95 request latency,
+//! throughput and the result-cache hit rate (see `fcpn_bench::serveload`).
+//!
 //! Schema v4: every explore case records one row per engine configuration —
 //! `(threads, token_width)` — alongside the retained naive and sequential-`u64`
 //! baselines; the QSS sweep records the component-cache wall time against the uncached
@@ -583,6 +588,26 @@ fn main() {
         })
         .collect();
 
+    // The daemon under load: in-process server, concurrent connections replaying the
+    // gallery + ATM nets (the state budget on /analyze keeps the per-miss exploration
+    // proportionate to a smoke run; cache hits dominate after the first pass anyway).
+    eprintln!("measuring daemon load (in-process fcpn-serve)...");
+    let server_spec = fcpn_bench::serveload::ServerBenchSpec {
+        connections: 16,
+        requests_per_connection: 8,
+        workers: 4,
+        endpoints: vec![
+            "/schedule".to_string(),
+            "/analyze?max_markings=20000".to_string(),
+        ],
+        include_atm: true,
+        ..fcpn_bench::serveload::ServerBenchSpec::default()
+    };
+    let server_section = fcpn_bench::serveload::run_in_process(&server_spec);
+    for row in &server_section.rows {
+        eprintln!("  {}", row.summary_line());
+    }
+
     // The paper's complexity ablation: schedule + synthesise a sweep of choice chains,
     // with the component cache on (the default) and off.
     eprintln!("measuring QSS + codegen scaling sweep (cache on/off)...");
@@ -640,7 +665,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"fcpn-bench/statespace-v4\",\n");
+    json.push_str("  \"schema\": \"fcpn-bench/statespace-v5\",\n");
     json.push_str(&format!("  \"samples_per_case\": {},\n", samples()));
     // Multi-threaded rows are only meaningful relative to this: with a single host
     // core the parallel explorer serialises onto one CPU and pays pure coordination
@@ -752,6 +777,7 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!("  \"server\": {},\n", server_section.render()));
     json.push_str("  \"qss_scaling\": [\n");
     for (i, (n, cycles, ir, c_lines, wall_ms, wall_uncached_ms, cache_speedup)) in
         scaling.iter().enumerate()

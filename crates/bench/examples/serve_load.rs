@@ -1,0 +1,106 @@
+//! `serve_load` — the standalone load generator for the `fcpn-serve` daemon.
+//!
+//! Replays the gallery and ATM nets from N concurrent connections and reports request
+//! latency quantiles (p50/p95), throughput, shed (503) counts and the daemon's cache
+//! hit rate — the numbers that populate the `server` section of
+//! `BENCH_statespace.json` (schema v5).
+//!
+//! ```text
+//! # against an in-process daemon (spawned on an ephemeral port):
+//! cargo run --release -p fcpn-bench --example serve_load
+//!
+//! # against an already-running daemon:
+//! cargo run --release -p fcpn-bench --example serve_load -- --addr 127.0.0.1:7411
+//!
+//! # knobs:
+//! serve_load [--addr HOST:PORT] [--connections N] [--requests N] [--workers N]
+//!            [--endpoint /schedule[?query]]... [--no-atm] [--out FILE]
+//! ```
+//!
+//! With `--out FILE` the rendered `server` JSON section is written to `FILE`; it always
+//! goes to stdout.
+
+use fcpn_bench::serveload::{run_against, run_in_process, ServerBenchSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_load [--addr HOST:PORT] [--connections N] [--requests N] \
+         [--workers N] [--endpoint PATH]... [--no-atm] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = ServerBenchSpec {
+        connections: 64,
+        requests_per_connection: 16,
+        workers: 8,
+        ..ServerBenchSpec::default()
+    };
+    let mut addr: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut endpoints: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> String { args.get(i + 1).cloned().unwrap_or_else(|| usage()) };
+        let number = |i: usize| -> usize { value(i).parse().unwrap_or_else(|_| usage()) };
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(value(i));
+                i += 2;
+            }
+            "--connections" => {
+                spec.connections = number(i).max(1);
+                i += 2;
+            }
+            "--requests" => {
+                spec.requests_per_connection = number(i).max(1);
+                i += 2;
+            }
+            "--workers" => {
+                spec.workers = number(i).max(1);
+                i += 2;
+            }
+            "--endpoint" => {
+                endpoints.push(value(i));
+                i += 2;
+            }
+            "--out" => {
+                out = Some(value(i));
+                i += 2;
+            }
+            "--no-atm" => {
+                spec.include_atm = false;
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if !endpoints.is_empty() {
+        spec.endpoints = endpoints;
+    }
+
+    eprintln!(
+        "replaying {} connections x {} requests per endpoint ({:?})...",
+        spec.connections, spec.requests_per_connection, spec.endpoints
+    );
+    let section = match &addr {
+        Some(addr) => run_against(addr, &spec),
+        None => run_in_process(&spec),
+    };
+    for row in &section.rows {
+        eprintln!("  {}", row.summary_line());
+    }
+
+    let json = section.render();
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write server section");
+        eprintln!("wrote {path}");
+    }
+}

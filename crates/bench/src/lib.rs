@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serveload;
+
 use fcpn_codegen::{synthesize, Program, SynthesisOptions};
 use fcpn_petri::statespace::FiringSession;
 use fcpn_petri::{Marking, PetriNet};

@@ -1,0 +1,254 @@
+//! The daemon load benchmark behind the `server` section of `BENCH_statespace.json`.
+//!
+//! Spawns an in-process [`fcpn_serve::Server`] on an ephemeral port, replays the
+//! gallery and ATM nets from N concurrent connections per endpoint (via
+//! [`fcpn_serve::load::run_load`]) and renders the results as the schema-v5 `server`
+//! JSON section. Both the `serve_load` example (the standalone load generator) and the
+//! `scaling_table` baseline emitter call into this module, so the section always has
+//! one shape.
+
+use fcpn_atm::{AtmConfig, AtmModel};
+use fcpn_petri::gallery;
+use fcpn_petri::io::to_text;
+use fcpn_serve::json::Json;
+use fcpn_serve::load::{run_load, LoadReport, LoadSpec};
+use fcpn_serve::{Server, ServerConfig};
+use std::time::Duration;
+
+/// Configuration of one server-bench run.
+#[derive(Debug, Clone)]
+pub struct ServerBenchSpec {
+    /// Concurrent client connections per endpoint pass.
+    pub connections: usize,
+    /// Requests each connection issues per endpoint pass.
+    pub requests_per_connection: usize,
+    /// Daemon worker threads.
+    pub workers: usize,
+    /// Daemon accept-queue capacity.
+    pub queue_capacity: usize,
+    /// Endpoints to exercise (path + query).
+    pub endpoints: Vec<String>,
+    /// Include the ATM case-study nets next to the gallery nets.
+    pub include_atm: bool,
+}
+
+impl Default for ServerBenchSpec {
+    fn default() -> Self {
+        ServerBenchSpec {
+            connections: 16,
+            requests_per_connection: 8,
+            workers: 4,
+            queue_capacity: 64,
+            endpoints: vec!["/schedule".into(), "/analyze".into()],
+            include_atm: true,
+        }
+    }
+}
+
+/// One endpoint's aggregated outcome.
+#[derive(Debug)]
+pub struct EndpointRow {
+    /// Path + query replayed.
+    pub endpoint: String,
+    /// The load report for this pass.
+    pub report: LoadReport,
+}
+
+impl EndpointRow {
+    /// One human-readable summary line, shared by every binary that prints a run.
+    pub fn summary_line(&self) -> String {
+        let r = &self.report;
+        format!(
+            "{:<30} {:>5} ok {:>3} shed {:>3} err  p50 {:>9.1}us  p95 {:>10.1}us  \
+             {:>8.1} req/s  cache {:>5.1}%",
+            self.endpoint,
+            r.ok,
+            r.rejected,
+            r.errors,
+            r.p50_us,
+            r.p95_us,
+            r.throughput_rps,
+            r.cache_hit_rate() * 100.0
+        )
+    }
+}
+
+/// The whole `server` section, ready to render.
+#[derive(Debug)]
+pub struct ServerSection {
+    /// The spec that produced it.
+    pub spec: ServerBenchSpec,
+    /// Labels of the replayed nets.
+    pub net_labels: Vec<String>,
+    /// One row per endpoint pass.
+    pub rows: Vec<EndpointRow>,
+}
+
+impl ServerSection {
+    /// Cache hit rate across all passes.
+    pub fn overall_cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.rows.iter().map(|r| r.report.cache_hits).sum();
+        let misses: u64 = self.rows.iter().map(|r| r.report.cache_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Renders the section as a JSON object (the value of the top-level `"server"`
+    /// key in schema v5).
+    pub fn render(&self) -> String {
+        Json::obj([
+            ("workers", Json::from(self.spec.workers)),
+            ("queue_capacity", Json::from(self.spec.queue_capacity)),
+            ("connections", Json::from(self.spec.connections)),
+            (
+                "requests_per_connection",
+                Json::from(self.spec.requests_per_connection),
+            ),
+            (
+                "nets",
+                Json::arr(self.net_labels.iter().map(|l| Json::from(l.as_str()))),
+            ),
+            (
+                "endpoints",
+                Json::arr(self.rows.iter().map(|row| {
+                    let r = &row.report;
+                    Json::obj([
+                        ("endpoint", Json::from(row.endpoint.as_str())),
+                        ("requests", Json::from(r.requests)),
+                        ("ok", Json::from(r.ok)),
+                        ("rejected_503", Json::from(r.rejected)),
+                        ("errors", Json::from(r.errors)),
+                        ("p50_us", Json::from(r.p50_us)),
+                        ("p95_us", Json::from(r.p95_us)),
+                        ("max_us", Json::from(r.max_us)),
+                        ("wall_ms", Json::from(r.wall_ms)),
+                        ("throughput_rps", Json::from(r.throughput_rps)),
+                        ("cache_hits", Json::from(r.cache_hits)),
+                        ("cache_misses", Json::from(r.cache_misses)),
+                        ("cache_hit_rate", Json::from(r.cache_hit_rate())),
+                    ])
+                })),
+            ),
+            ("cache_hit_rate", Json::from(self.overall_cache_hit_rate())),
+        ])
+        .render()
+    }
+}
+
+/// The nets the load generator replays: the paper's schedulable figures, a choice
+/// chain, and (optionally) both ATM model sizes.
+///
+/// # Panics
+///
+/// Panics if the ATM models fail to build (they are fixed constructions).
+pub fn bench_nets(include_atm: bool) -> Vec<(String, String)> {
+    let mut nets = vec![
+        ("figure3a".to_string(), to_text(&gallery::figure3a())),
+        ("figure4".to_string(), to_text(&gallery::figure4())),
+        ("figure5".to_string(), to_text(&gallery::figure5())),
+        (
+            "choice_chain(8)".to_string(),
+            to_text(&gallery::choice_chain(8)),
+        ),
+    ];
+    if include_atm {
+        let small = AtmModel::build(AtmConfig::small()).expect("atm model builds");
+        let paper = AtmModel::build(AtmConfig::paper()).expect("atm model builds");
+        nets.push(("atm(queues=2)".to_string(), to_text(&small.net)));
+        nets.push(("atm(queues=4)".to_string(), to_text(&paper.net)));
+    }
+    nets
+}
+
+/// Runs the bench against an already-running daemon at `addr`.
+///
+/// # Panics
+///
+/// Panics if a load pass fails at the transport level (cannot reach `addr`).
+pub fn run_against(addr: &str, spec: &ServerBenchSpec) -> ServerSection {
+    let nets = bench_nets(spec.include_atm);
+    let rows = spec
+        .endpoints
+        .iter()
+        .map(|endpoint| {
+            let load_spec = LoadSpec {
+                connections: spec.connections,
+                requests_per_connection: spec.requests_per_connection,
+                target: endpoint.clone(),
+                nets: nets.clone(),
+                timeout: Duration::from_secs(60),
+            };
+            let report = run_load(addr, &load_spec).expect("load pass reaches the daemon");
+            EndpointRow {
+                endpoint: endpoint.clone(),
+                report,
+            }
+        })
+        .collect();
+    ServerSection {
+        spec: spec.clone(),
+        net_labels: nets.into_iter().map(|(label, _)| label).collect(),
+        rows,
+    }
+}
+
+/// Spawns an in-process daemon on an ephemeral port, runs the bench against it and
+/// shuts it down.
+///
+/// # Panics
+///
+/// Panics if the daemon cannot bind a loopback port or a load pass fails.
+pub fn run_in_process(spec: &ServerBenchSpec) -> ServerSection {
+    let handle = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: spec.workers,
+        queue_capacity: spec.queue_capacity,
+        ..ServerConfig::default()
+    })
+    .expect("daemon binds an ephemeral loopback port");
+    let section = run_against(&handle.addr().to_string(), spec);
+    handle.shutdown();
+    section
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcpn_serve::json::parse;
+
+    #[test]
+    fn in_process_bench_produces_a_complete_section() {
+        let spec = ServerBenchSpec {
+            connections: 4,
+            requests_per_connection: 4,
+            workers: 2,
+            endpoints: vec!["/schedule".into()],
+            include_atm: false,
+            ..ServerBenchSpec::default()
+        };
+        let section = run_in_process(&spec);
+        assert_eq!(section.rows.len(), 1);
+        let report = &section.rows[0].report;
+        assert_eq!(report.requests, 16);
+        assert_eq!(
+            report.ok, 16,
+            "errors={} rejected={}",
+            report.errors, report.rejected
+        );
+        // 4 nets × 1 option set: at least one miss per distinct key, but concurrent
+        // first requests for the same net may both miss before the first insert lands,
+        // so the split is a range, not an exact count.
+        assert_eq!(report.cache_hits + report.cache_misses, 16);
+        assert!(report.cache_misses >= 4, "misses {}", report.cache_misses);
+        assert!(report.cache_hits >= 4, "hits {}", report.cache_hits);
+        let rendered = parse(&section.render()).expect("section renders valid JSON");
+        assert_eq!(
+            rendered.get("endpoints").unwrap().as_arr().unwrap().len(),
+            1
+        );
+        assert!(rendered.get("cache_hit_rate").unwrap().as_f64().unwrap() > 0.5);
+    }
+}

@@ -24,7 +24,8 @@
 //! suite and the `qss_pipeline` benchmark measure the fast path against.
 
 use crate::{FiniteCompleteCycle, ReductionWorkspace, TAllocation, TReduction};
-use fcpn_petri::analysis::{splitmix64, IncidenceMatrix, InvariantAnalysis};
+use fcpn_petri::analysis::{IncidenceMatrix, InvariantAnalysis};
+use fcpn_petri::Fingerprint128;
 use fcpn_petri::{PetriNet, PlaceId, TransitionId};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -78,34 +79,6 @@ type CycleResult = Result<(Vec<TransitionId>, Vec<u64>), (Vec<u64>, Vec<Transiti
 // Structural signatures: the streaming walk, the 128-bit fingerprint fold, and
 // the materialised form used for collision checks and the naive cache.
 // ---------------------------------------------------------------------------
-
-/// Two-lane FNV/SplitMix fold producing a 128-bit fingerprint of a `u64` stream.
-#[derive(Debug, Clone, Copy)]
-struct Fingerprint {
-    a: u64,
-    b: u64,
-}
-
-impl Fingerprint {
-    fn new() -> Self {
-        Fingerprint {
-            a: 0xcbf2_9ce4_8422_2325,
-            b: 0x6c62_272e_07bb_0142,
-        }
-    }
-
-    fn fold(&mut self, x: u64) {
-        self.a = (self.a ^ splitmix64(x)).wrapping_mul(0x0000_0100_0000_01B3);
-        self.b = self
-            .b
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(splitmix64(x ^ 0xA5A5_A5A5_A5A5_A5A5));
-    }
-
-    fn finish(self) -> u128 {
-        ((self.a as u128) << 64) | self.b as u128
-    }
-}
 
 /// Walks the structural signature of a whole net: place/transition counts, the initial
 /// marking, and the full weighted arc lists in index order. The `emit` callback returns
@@ -213,7 +186,7 @@ impl SignatureSource<'_> {
 
     /// The 128-bit fingerprint of the signature stream (no allocation).
     fn fingerprint(&self) -> u128 {
-        let mut fp = Fingerprint::new();
+        let mut fp = Fingerprint128::new();
         self.walk(&mut |x| {
             fp.fold(x);
             true
@@ -365,7 +338,7 @@ enum InvariantLookup {
 /// Key for the cycle cache: the structural fingerprint folded together with the
 /// priority list.
 fn cycle_key(structure: u128, priority: &[u32]) -> u128 {
-    let mut fp = Fingerprint::new();
+    let mut fp = Fingerprint128::new();
     fp.fold(structure as u64);
     fp.fold((structure >> 64) as u64);
     fp.fold(priority.len() as u64);
@@ -1103,6 +1076,25 @@ mod tests {
                 assert_eq!(from_ws.fingerprint(), from_net.fingerprint());
                 assert!(from_ws.matches(&from_net.materialise()));
             }
+        }
+    }
+
+    #[test]
+    fn cache_fingerprint_agrees_with_public_net_structural_fingerprint() {
+        // `fcpn_petri::net_structural_fingerprint` advertises the exact fold this cache
+        // keys on; the two must never drift apart.
+        for net in [
+            gallery::figure2(),
+            gallery::figure5(),
+            gallery::figure7(),
+            gallery::choice_chain(4),
+        ] {
+            assert_eq!(
+                SignatureSource::Net(&net).fingerprint(),
+                fcpn_petri::net_structural_fingerprint(&net),
+                "net {}",
+                net.name()
+            );
         }
     }
 }

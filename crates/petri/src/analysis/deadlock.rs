@@ -39,7 +39,14 @@ pub fn find_deadlock(net: &PetriNet, options: ReachabilityOptions) -> DeadlockRe
 /// [`find_deadlock`] with explicit engine configuration (thread count and token-arena
 /// width); the verdict is identical for every configuration.
 pub fn find_deadlock_with(net: &PetriNet, options: &ExploreOptions) -> DeadlockReport {
-    let space = StateSpace::explore_with(net, options);
+    find_deadlock_in(net, &StateSpace::explore_with(net, options))
+}
+
+/// [`find_deadlock`] on an already-explored state space, so callers that run several
+/// analyses over the same bounds (e.g. the `fcpn-serve` `/analyze` endpoint) pay for
+/// one exploration instead of one per check. The verdict is the one
+/// [`find_deadlock_with`] would produce for the options `space` was explored with.
+pub fn find_deadlock_in(net: &PetriNet, space: &StateSpace) -> DeadlockReport {
     // A state with no outgoing edge may simply have had its successors cut off by the
     // exploration budget; confirm it is genuinely dead before reporting it.
     let target = space.dead_states().into_iter().find(|&s| {

@@ -38,7 +38,13 @@ pub fn check_liveness(net: &PetriNet, options: ReachabilityOptions) -> LivenessR
 /// [`check_liveness`] with explicit engine configuration (thread count and token-arena
 /// width); the verdict is identical for every configuration.
 pub fn check_liveness_with(net: &PetriNet, options: &ExploreOptions) -> LivenessReport {
-    let space = StateSpace::explore_with(net, options);
+    check_liveness_in(net, &StateSpace::explore_with(net, options))
+}
+
+/// [`check_liveness`] on an already-explored state space, so callers running several
+/// analyses over the same bounds share one exploration. The verdict is the one
+/// [`check_liveness_with`] would produce for the options `space` was explored with.
+pub fn check_liveness_in(net: &PetriNet, space: &StateSpace) -> LivenessReport {
     if !space.is_complete() {
         return LivenessReport::Unknown;
     }

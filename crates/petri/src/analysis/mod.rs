@@ -26,12 +26,12 @@ pub use conflict::ConflictAnalysis;
 pub use coverability::{
     CoverabilityEdge, CoverabilityGraph, CoverabilityOptions, OmegaMarking, Tokens,
 };
-pub use deadlock::{find_deadlock, find_deadlock_with, DeadlockReport};
+pub use deadlock::{find_deadlock, find_deadlock_in, find_deadlock_with, DeadlockReport};
 pub use incidence::IncidenceMatrix;
 pub use invariants::{
     incidence_rank, splitmix64, t_invariant_space_dimension, InvariantAnalysis, Semiflow,
 };
-pub use liveness::{check_liveness, check_liveness_with, LivenessReport};
+pub use liveness::{check_liveness, check_liveness_in, check_liveness_with, LivenessReport};
 pub use rational::{gcd_u64, lcm_u64, smallest_integer_vector, Rational};
 pub use reachability::{ReachabilityEdge, ReachabilityGraph, ReachabilityOptions};
 pub use siphons::{

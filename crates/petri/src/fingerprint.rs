@@ -1,0 +1,233 @@
+//! Whole-net structural fingerprints.
+//!
+//! The quasi-static scheduler's component cache (in `fcpn-qss`) keys memoised invariant
+//! analyses by a 128-bit fingerprint folded over a net's structural signature — counts,
+//! initial marking and weighted arc lists. This module makes that fold a public,
+//! reusable primitive:
+//!
+//! * [`Fingerprint128`] — the two-lane FNV/SplitMix fold over a `u64` stream (the exact
+//!   fold the component cache uses, so fingerprints agree across crates);
+//! * [`net_structural_fingerprint`] — the fingerprint of a net's *structure* only
+//!   (identical nets up to renaming collide on purpose: verdicts that depend only on the
+//!   token game may be shared between them);
+//! * [`net_fingerprint`] — the structural stream extended with the net, place and
+//!   transition *names*. This is the key a result cache serving rendered output (e.g.
+//!   the `fcpn-serve` daemon's JSON responses, which spell out transition names) must
+//!   use: two nets that differ only in naming produce different responses.
+//!
+//! A 128-bit fingerprint is used directly as a cache key. Unlike the component cache —
+//! which stores the materialised signature and stream-compares it on every hit, so a
+//! collision degrades to an uncached computation — callers keying on the bare
+//! fingerprint accept the (astronomically small, ~2⁻¹²⁸ per pair) collision probability.
+//!
+//! # Example
+//!
+//! ```
+//! use fcpn_petri::fingerprint::{net_fingerprint, net_structural_fingerprint};
+//! use fcpn_petri::gallery;
+//!
+//! let a = gallery::figure4();
+//! let b = gallery::figure4();
+//! assert_eq!(net_fingerprint(&a), net_fingerprint(&b));
+//! assert_ne!(
+//!     net_structural_fingerprint(&a),
+//!     net_structural_fingerprint(&gallery::figure5())
+//! );
+//! ```
+
+use crate::analysis::splitmix64;
+use crate::PetriNet;
+
+/// Two-lane FNV/SplitMix fold producing a 128-bit fingerprint of a `u64` stream.
+///
+/// Lane `a` is an FNV-1a variant over SplitMix-diffused words; lane `b` is a
+/// golden-ratio multiply–accumulate over independently diffused words. The lanes share
+/// no state, so a collision requires both 64-bit folds to collide simultaneously.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint128 {
+    a: u64,
+    b: u64,
+}
+
+impl Default for Fingerprint128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint128 {
+    /// A fresh fold (FNV offset bases).
+    pub fn new() -> Self {
+        Fingerprint128 {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    /// Folds one word into both lanes.
+    pub fn fold(&mut self, x: u64) {
+        self.a = (self.a ^ splitmix64(x)).wrapping_mul(0x0000_0100_0000_01B3);
+        self.b = self
+            .b
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(splitmix64(x ^ 0xA5A5_A5A5_A5A5_A5A5));
+    }
+
+    /// Folds a byte string: its length, then the bytes packed into little-endian words.
+    ///
+    /// The length prefix keeps concatenation unambiguous (`"ab" + "c"` and
+    /// `"a" + "bc"` fold differently).
+    pub fn fold_bytes(&mut self, bytes: &[u8]) {
+        self.fold(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    /// The 128-bit digest (`a` in the high half).
+    pub fn finish(self) -> u128 {
+        ((self.a as u128) << 64) | self.b as u128
+    }
+}
+
+/// Streams a net's structural signature into `fp`: place/transition counts, the initial
+/// marking, then per transition the weighted input and output arc lists in index order.
+///
+/// This is the exact `u64` stream the `fcpn-qss` component cache folds for a
+/// materialised net, so structural fingerprints agree across the two crates (pinned by a
+/// test in `fcpn-qss`).
+pub fn fold_net_structure(net: &PetriNet, fp: &mut Fingerprint128) {
+    fp.fold(net.place_count() as u64);
+    fp.fold(net.transition_count() as u64);
+    for &tokens in net.initial_marking().as_slice() {
+        fp.fold(tokens);
+    }
+    for t in net.transitions() {
+        fp.fold(net.inputs(t).len() as u64);
+        for &(p, w) in net.inputs(t) {
+            fp.fold(p.index() as u64);
+            fp.fold(w);
+        }
+        fp.fold(net.outputs(t).len() as u64);
+        for &(p, w) in net.outputs(t) {
+            fp.fold(p.index() as u64);
+            fp.fold(w);
+        }
+    }
+}
+
+/// The 128-bit fingerprint of a net's structure (counts, initial marking, weighted arc
+/// lists) — names excluded, matching the component cache's notion of structural
+/// identity.
+pub fn net_structural_fingerprint(net: &PetriNet) -> u128 {
+    let mut fp = Fingerprint128::new();
+    fold_net_structure(net, &mut fp);
+    fp.finish()
+}
+
+/// The 128-bit fingerprint of a whole net *including its naming*: the structural stream
+/// of [`net_structural_fingerprint`] followed by the net name and every place and
+/// transition name in index order.
+///
+/// Use this to key caches of rendered output (reports, generated code, JSON responses):
+/// renaming a node changes the fingerprint, so a structurally identical but differently
+/// named net never receives another net's rendered result.
+pub fn net_fingerprint(net: &PetriNet) -> u128 {
+    let mut fp = Fingerprint128::new();
+    fold_net_structure(net, &mut fp);
+    fp.fold_bytes(net.name().as_bytes());
+    for p in net.places() {
+        fp.fold_bytes(net.place_name(p).as_bytes());
+    }
+    for t in net.transitions() {
+        fp.fold_bytes(net.transition_name(t).as_bytes());
+    }
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gallery, NetBuilder};
+
+    #[test]
+    fn fingerprints_are_deterministic_and_discriminating() {
+        let nets = [
+            gallery::figure2(),
+            gallery::figure3a(),
+            gallery::figure3b(),
+            gallery::figure4(),
+            gallery::figure5(),
+            gallery::figure7(),
+            gallery::choice_chain(4),
+            gallery::marked_ring(6, 2),
+        ];
+        let fps: Vec<u128> = nets.iter().map(net_fingerprint).collect();
+        for (i, fp) in fps.iter().enumerate() {
+            assert_eq!(*fp, net_fingerprint(&nets[i]), "deterministic");
+            for (j, other) in fps.iter().enumerate() {
+                if i != j {
+                    assert_ne!(fp, other, "nets {i} and {j} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn renaming_changes_full_but_not_structural_fingerprint() {
+        let build = |name: &str, pname: &str| {
+            let mut b = NetBuilder::new(name);
+            let t = b.transition("t");
+            let p = b.place(pname, 1);
+            b.arc_p_t(p, t, 1).unwrap();
+            b.build().unwrap()
+        };
+        let a = build("a", "p");
+        let b = build("a", "q");
+        let c = build("c", "p");
+        assert_eq!(
+            net_structural_fingerprint(&a),
+            net_structural_fingerprint(&b)
+        );
+        assert_eq!(
+            net_structural_fingerprint(&a),
+            net_structural_fingerprint(&c)
+        );
+        assert_ne!(net_fingerprint(&a), net_fingerprint(&b));
+        assert_ne!(net_fingerprint(&a), net_fingerprint(&c));
+    }
+
+    #[test]
+    fn marking_and_weights_reach_the_structural_fingerprint() {
+        let build = |tokens: u64, weight: u64| {
+            let mut b = NetBuilder::new("m");
+            let t = b.transition("t");
+            let p = b.place("p", tokens);
+            b.arc_p_t(p, t, weight).unwrap();
+            b.build().unwrap()
+        };
+        assert_ne!(
+            net_structural_fingerprint(&build(1, 1)),
+            net_structural_fingerprint(&build(2, 1))
+        );
+        assert_ne!(
+            net_structural_fingerprint(&build(1, 1)),
+            net_structural_fingerprint(&build(1, 2))
+        );
+    }
+
+    #[test]
+    fn fold_bytes_is_prefix_unambiguous() {
+        let digest = |parts: &[&str]| {
+            let mut fp = Fingerprint128::new();
+            for part in parts {
+                fp.fold_bytes(part.as_bytes());
+            }
+            fp.finish()
+        };
+        assert_ne!(digest(&["ab", "c"]), digest(&["a", "bc"]));
+        assert_ne!(digest(&["", "x"]), digest(&["x", ""]));
+    }
+}

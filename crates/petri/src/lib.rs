@@ -13,6 +13,7 @@
 //! * behavioural analysis: budgeted reachability, boundedness (with unboundedness
 //!   witnesses), deadlock and liveness checks ([`analysis`]);
 //! * import/export: Graphviz DOT and a small textual format ([`io`]);
+//! * 128-bit whole-net fingerprints for result caches ([`fingerprint`]);
 //! * the nets of the paper's figures, reconstructed for tests and benchmarks
 //!   ([`gallery`]).
 //!
@@ -40,6 +41,7 @@
 pub mod analysis;
 mod builder;
 mod error;
+pub mod fingerprint;
 mod firing;
 pub mod gallery;
 mod ids;
@@ -50,6 +52,7 @@ pub mod statespace;
 
 pub use builder::NetBuilder;
 pub use error::{PetriError, Result};
+pub use fingerprint::{net_fingerprint, net_structural_fingerprint, Fingerprint128};
 pub use ids::{NodeId, PlaceId, TransitionId};
 pub use marking::Marking;
 pub use net::{NetStats, PetriNet, Place, SubnetMap, Transition};

@@ -25,6 +25,16 @@ pub enum RtosError {
     EmptyWorkload,
     /// Executing a generated task failed (e.g. a counter underflow).
     Execution(CodegenError),
+    /// The per-run firing budget was exhausted before the workload drained.
+    ///
+    /// A functional cascade runs the token game to quiescence after every event; on a
+    /// hostile (unbounded, self-feeding) net that cascade never quiesces, so
+    /// [`FunctionalSimBatch`](crate::FunctionalSimBatch) bounds each run. Long-running
+    /// services turn this into a typed refusal instead of a hung worker.
+    StepBudgetExhausted {
+        /// The configured budget that was exceeded.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for RtosError {
@@ -35,6 +45,9 @@ impl fmt::Display for RtosError {
             }
             RtosError::EmptyWorkload => write!(f, "workload contains no events"),
             RtosError::Execution(e) => write!(f, "task execution failed: {e}"),
+            RtosError::StepBudgetExhausted { limit } => {
+                write!(f, "simulation exceeded its firing budget of {limit} steps")
+            }
         }
     }
 }

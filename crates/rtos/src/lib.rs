@@ -44,7 +44,7 @@ pub use error::{Result, RtosError};
 pub use event::{Event, Workload};
 pub use sim::{
     simulate_functional_partition, simulate_functional_partition_naive, simulate_program,
-    FunctionalSimBatch, FunctionalTask, SimReport, TaskActivation,
+    FunctionalSimBatch, FunctionalTask, SimReport, TaskActivation, DEFAULT_STEP_BUDGET,
 };
 
 #[cfg(test)]

@@ -256,7 +256,15 @@ pub struct FunctionalSimBatch<'a> {
     start: StateId,
     /// Reused across every cascade step: `enabled_into` clears and refills it.
     enabled: Vec<TransitionId>,
+    /// Per-run firing budget (see [`FunctionalSimBatch::set_step_budget`]).
+    step_budget: u64,
 }
+
+/// Default per-run firing budget: far above any legitimate workload this repository
+/// simulates (the paper's Table I run fires a few thousand transitions), yet bounded so
+/// a hostile self-feeding net returns [`RtosError::StepBudgetExhausted`] instead of
+/// cascading forever.
+pub const DEFAULT_STEP_BUDGET: u64 = 50_000_000;
 
 impl<'a> FunctionalSimBatch<'a> {
     /// Prepares a batch for simulating `tasks` over `net` under `cost`.
@@ -312,7 +320,25 @@ impl<'a> FunctionalSimBatch<'a> {
             session,
             start,
             enabled: Vec::new(),
+            step_budget: DEFAULT_STEP_BUDGET,
         })
+    }
+
+    /// The per-run firing budget currently in force.
+    pub fn step_budget(&self) -> u64 {
+        self.step_budget
+    }
+
+    /// Bounds every subsequent [`run`](Self::run) to at most `budget` firings.
+    ///
+    /// A cascade on an ill-behaved net (one whose non-source transitions feed
+    /// themselves faster than they consume) never reaches quiescence; the budget turns
+    /// that into a typed [`RtosError::StepBudgetExhausted`] so a long-running service
+    /// reusing this batch never wedges a worker or aborts. The default
+    /// ([`DEFAULT_STEP_BUDGET`]) is far beyond any legitimate workload, so results on
+    /// well-behaved nets are unaffected.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.step_budget = budget.max(1);
     }
 
     /// Simulates one workload from the initial marking (the shared session is rolled
@@ -323,6 +349,9 @@ impl<'a> FunctionalSimBatch<'a> {
     ///
     /// * [`RtosError::EmptyWorkload`] when there are no events.
     /// * [`RtosError::Execution`] when a firing fails mid-cascade.
+    /// * [`RtosError::StepBudgetExhausted`] when the run fires more than the configured
+    ///   [`step_budget`](Self::step_budget) — the refusal path for hostile nets whose
+    ///   cascades never quiesce.
     pub fn run<R: ChoiceResolver + ?Sized>(
         &mut self,
         workload: &Workload,
@@ -331,6 +360,7 @@ impl<'a> FunctionalSimBatch<'a> {
         if workload.is_empty() {
             return Err(RtosError::EmptyWorkload);
         }
+        let step_budget = self.step_budget;
         self.session.rollback(self.start);
         let net = self.net;
         let owner = &self.owner;
@@ -352,6 +382,7 @@ impl<'a> FunctionalSimBatch<'a> {
         let mut fire_counts = vec![0u64; net.transition_count()];
         let mut total_cycles = 0u64;
         let mut activations = 0u64;
+        let mut steps = 0u64;
         let mut peak_buffer_tokens = session.total_tokens();
 
         for &Event { source, .. } in workload.events() {
@@ -361,6 +392,10 @@ impl<'a> FunctionalSimBatch<'a> {
                             current_task: &mut Option<usize>,
                             per_task: &mut Vec<TaskActivation>|
              -> Result<u64> {
+                steps += 1;
+                if steps > step_budget {
+                    return Err(RtosError::StepBudgetExhausted { limit: step_budget });
+                }
                 let task = owner[t.index()];
                 let mut cycles = 0;
                 if *current_task != Some(task) {
@@ -796,5 +831,86 @@ mod tests {
         let mut r2 = FixedResolver { arm: 0 };
         let func = simulate_functional_partition(&net, &tasks, &cost, &workload, &mut r2).unwrap();
         assert_eq!(qss.fire_counts, func.fire_counts);
+    }
+
+    #[test]
+    fn hostile_cascade_returns_typed_budget_error_not_a_hang() {
+        // A self-feeding non-source transition (consume 1, produce 2) never quiesces:
+        // one event starts a cascade that would run forever. The step budget must turn
+        // that into a typed error — a daemon worker can report it and move on.
+        let mut b = fcpn_petri::NetBuilder::new("hostile");
+        let t_src = b.transition("t_src");
+        let t_loop = b.transition("t_loop");
+        let p = b.place("p", 0);
+        b.arc_t_p(t_src, p, 1).unwrap();
+        b.arc_p_t(p, t_loop, 1).unwrap();
+        b.arc_t_p(t_loop, p, 2).unwrap();
+        let net = b.build().unwrap();
+        let tasks = vec![FunctionalTask {
+            name: "all".into(),
+            transitions: net.transitions().collect(),
+        }];
+        let mut batch = FunctionalSimBatch::new(&net, &tasks, &CostModel::default()).unwrap();
+        assert_eq!(batch.step_budget(), DEFAULT_STEP_BUDGET);
+        batch.set_step_budget(1_000);
+        let src = net.transition_by_name("t_src").unwrap();
+        let workload = Workload::periodic(src, 1, 1, 0);
+        let err = batch
+            .run(&workload, &mut FixedResolver::default())
+            .unwrap_err();
+        assert_eq!(err, RtosError::StepBudgetExhausted { limit: 1_000 });
+        // The budget error must not poison the batch: a benign run still works after a
+        // rollback (raise the budget back first).
+        batch.set_step_budget(DEFAULT_STEP_BUDGET);
+        let err_again = batch
+            .run(&Workload::new(), &mut FixedResolver::default())
+            .unwrap_err();
+        assert_eq!(err_again, RtosError::EmptyWorkload);
+    }
+
+    #[test]
+    fn batch_reuse_survives_token_width_widening() {
+        // The daemon's reuse pattern: one batch, many runs, on a net whose token counts
+        // saturate the narrow u8 arena mid-run (a place must accumulate 256 tokens
+        // before its consumer fires). The start checkpoint is recorded at u8 width;
+        // later runs roll back across the widening boundary and must still reproduce a
+        // fresh simulator bit for bit.
+        let mut b = fcpn_petri::NetBuilder::new("widening");
+        let t_in = b.transition("t_in");
+        let t_out = b.transition("t_out");
+        let t_sink = b.transition("t_sink");
+        let p = b.place("p", 0);
+        let q = b.place("q", 0);
+        b.arc_t_p(t_in, p, 1).unwrap();
+        b.arc_p_t(p, t_out, 256).unwrap();
+        b.arc_t_p(t_out, q, 1).unwrap();
+        b.arc_p_t(q, t_sink, 1).unwrap();
+        let net = b.build().unwrap();
+        let tasks = vec![FunctionalTask {
+            name: "all".into(),
+            transitions: net.transitions().collect(),
+        }];
+        let cost = CostModel::default();
+        let src = net.transition_by_name("t_in").unwrap();
+        let mut batch = FunctionalSimBatch::new(&net, &tasks, &cost).unwrap();
+        // 600 events push `p` through the u8 saturation point twice; 300 crosses once;
+        // 100 stays narrow. Interleave so rollback happens before, across and after the
+        // widening.
+        for events in [600usize, 100, 300, 600] {
+            let workload = Workload::periodic(src, 1, events, 0);
+            let mut batch_resolver = FixedResolver::default();
+            let from_batch = batch.run(&workload, &mut batch_resolver).unwrap();
+            let mut fresh_resolver = FixedResolver::default();
+            let fresh = simulate_functional_partition_naive(
+                &net,
+                &tasks,
+                &cost,
+                &workload,
+                &mut fresh_resolver,
+            )
+            .unwrap();
+            assert_eq!(from_batch, fresh, "{events} events diverged");
+            assert_eq!(from_batch.fires_of(src), events as u64);
+        }
     }
 }

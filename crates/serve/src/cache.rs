@@ -1,0 +1,175 @@
+//! The mutex-sharded, fingerprint-keyed result cache.
+//!
+//! Synthesis queries are expensive and repeat-heavy (the same net is scheduled again and
+//! again as designers iterate), so the daemon memoises whole rendered responses keyed by
+//! the 128-bit [`net_fingerprint`](fcpn_petri::net_fingerprint) of the request's net
+//! folded together with the endpoint and every effective option. Sharding bounds lock
+//! contention: a lookup locks one of [`ResultCache::shard_count`] independent mutexes,
+//! so concurrent workers serving different nets rarely collide.
+//!
+//! Keys are used directly — no stored-signature verification like the scheduler's
+//! component cache — so a 128-bit collision would serve the colliding entry's response.
+//! With two independent 64-bit lanes the expected collision rate is ~2⁻¹²⁸ per pair of
+//! distinct requests; the trade is documented in [`crate::json`]'s consumer, the
+//! handlers.
+//!
+//! Eviction is coarse: when a shard reaches its capacity it is cleared wholesale. The
+//! cache never grows past `shard_count × shard_capacity` entries, each worker sees at
+//! most one clear per `shard_capacity` inserts, and a cleared shard simply refills from
+//! subsequent traffic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One memoised response: status plus the rendered (deterministic) JSON body, shared
+/// so a hit hands the same allocation to the response writer.
+#[derive(Debug)]
+pub struct CachedResponse {
+    /// HTTP status of the memoised response.
+    pub status: u16,
+    /// The rendered JSON body.
+    pub body: Arc<String>,
+}
+
+/// A sharded map from 128-bit request fingerprints to rendered responses.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<HashMap<u128, Arc<CachedResponse>>>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache of `shards` independent mutexes holding at most `total_capacity` entries
+    /// overall (each shard caps at `total_capacity / shards`, minimum 1).
+    pub fn new(shards: usize, total_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        ResultCache {
+            shard_capacity: (total_capacity / shards).max(1),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: u128) -> MutexGuard<'_, HashMap<u128, Arc<CachedResponse>>> {
+        let index = ((key as u64) ^ ((key >> 64) as u64)) as usize % self.shards.len();
+        // A poisoned mutex only means another worker panicked mid-insert; the map
+        // itself is still structurally sound, and the daemon must keep serving.
+        match self.shards[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks a response up, counting the hit or miss.
+    pub fn get(&self, key: u128) -> Option<Arc<CachedResponse>> {
+        let found = self.shard(key).get(&key).cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a response (first insert wins on a racing double-compute — both computed
+    /// the same body).
+    pub fn insert(&self, key: u128, response: Arc<CachedResponse>) {
+        let mut shard = self.shard(key);
+        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
+            shard.clear();
+        }
+        shard.entry(key).or_insert(response);
+    }
+
+    /// Total entries across shards (locks each shard briefly).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(guard) => guard.len(),
+                Err(poisoned) => poisoned.into_inner().len(),
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit counter.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss counter.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(body: &str) -> Arc<CachedResponse> {
+        Arc::new(CachedResponse {
+            status: 200,
+            body: Arc::new(body.to_string()),
+        })
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache = ResultCache::new(4, 64);
+        assert!(cache.get(7).is_none());
+        cache.insert(7, entry("a"));
+        assert_eq!(*cache.get(7).unwrap().body, "a");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_hold_under_many_inserts() {
+        let shards = 4;
+        let total = 16;
+        let cache = ResultCache::new(shards, total);
+        for key in 0..10_000u128 {
+            cache.insert(key.wrapping_mul(0x9E37_79B9), entry("x"));
+            assert!(cache.len() <= shards * (total / shards));
+        }
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let cache = ResultCache::new(1, 8);
+        cache.insert(1, entry("first"));
+        cache.insert(1, entry("second"));
+        assert_eq!(*cache.get(1).unwrap().body, "first");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(ResultCache::new(8, 256));
+        std::thread::scope(|scope| {
+            for worker in 0..8u128 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..500u128 {
+                        let key = (worker << 64) | i;
+                        cache.insert(key, entry("b"));
+                        assert!(cache.get(key).is_some() || cache.len() <= 256);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,971 @@
+//! The daemon's API endpoints: `/schedule`, `/analyze`, `/codegen`.
+//!
+//! Every POST endpoint accepts a net in the `fcpn_petri::io::text` format as the request
+//! body, per-request options as query parameters, and answers deterministic JSON — the
+//! body is a pure function of `(endpoint, net, options)`, which is what makes whole
+//! responses cacheable by fingerprint and lets tests assert bit-identical agreement with
+//! direct library calls. Volatile facts (cache disposition, elapsed time) travel in
+//! `X-Fcpn-*` response headers, never in the body.
+//!
+//! ## Guards
+//!
+//! Per-request work is bounded three ways, so a hostile or merely enormous net cannot
+//! pin a worker:
+//!
+//! * **state budgets** — `max_markings`, `max_tokens_per_place` and `max_nodes` are
+//!   clamped to server-configured caps and passed into
+//!   [`ExploreOptions`]/[`BoundednessOptions`]; truncated analyses answer honestly with
+//!   `"unknown"` verdicts rather than running unbounded;
+//! * **allocation budgets** — `max_allocations` is clamped and passed into
+//!   [`AllocationOptions`]; the scheduler's typed `TooManyAllocations` error becomes a
+//!   `422` instead of an exponential sweep;
+//! * **deadlines** — `deadline_ms` (clamped to a cap) is checked **between** pipeline
+//!   stages (the four `/analyze` checks; `/codegen`'s schedule → synthesize → emit
+//!   chain); a blown deadline answers `503` with `"deadline exceeded"`. A single stage
+//!   is never preempted — its bound is the corresponding state/allocation budget, which
+//!   is why the default `max_allocations` cap is sized so one sweep stays in the
+//!   seconds range. A bare `/schedule` is one stage, so for it the deadline only
+//!   matters when the sweep is preceded by other stages; budget accordingly.
+
+use crate::cache::{CachedResponse, ResultCache};
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use fcpn_codegen::{
+    emit_c, emit_rust, synthesize, CEmitOptions, CodeMetrics, RustEmitOptions, SynthesisOptions,
+};
+use fcpn_petri::analysis::{
+    check_boundedness_with, check_liveness_in, find_deadlock_in, Boundedness, BoundednessOptions,
+    DeadlockReport, LivenessReport, ReachabilityOptions,
+};
+use fcpn_petri::statespace::ExploreOptions;
+use fcpn_petri::{io::parse_net, net_fingerprint, Fingerprint128, PetriNet};
+use fcpn_qss::{
+    quasi_static_schedule, AllocationOptions, ComponentFailure, QssError, QssOptions, QssOutcome,
+};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server-side caps that per-request options are clamped against.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestLimits {
+    /// Largest per-request worker thread count (`threads` query parameter).
+    pub max_threads: usize,
+    /// Cap on `max_markings` for reachability-based analyses.
+    pub max_markings: usize,
+    /// Cap on `max_tokens_per_place`.
+    pub max_tokens_per_place: u64,
+    /// Cap on the coverability search's `max_nodes`.
+    pub max_coverability_nodes: usize,
+    /// Cap on `max_allocations` for the scheduling sweep.
+    pub max_allocations: u128,
+    /// Largest honoured `deadline_ms`.
+    pub max_deadline_ms: u64,
+    /// Deadline applied when the request does not name one.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        RequestLimits {
+            max_threads: 4,
+            max_markings: 200_000,
+            max_tokens_per_place: 1024,
+            max_coverability_nodes: 200_000,
+            // One sweep is never preempted (see the module docs), so the default cap
+            // keeps its worst case in the seconds range; operators with bigger nets
+            // raise it deliberately.
+            max_allocations: 1 << 16,
+            max_deadline_ms: 30_000,
+            default_deadline_ms: 10_000,
+        }
+    }
+}
+
+/// What a handler needs besides the request: caps, the shared result cache and the
+/// counters.
+#[derive(Debug, Clone, Copy)]
+pub struct HandlerCtx<'a> {
+    /// Server-side caps.
+    pub limits: &'a RequestLimits,
+    /// The fingerprint-keyed response cache.
+    pub cache: &'a ResultCache,
+    /// Request counters.
+    pub metrics: &'a Metrics,
+}
+
+/// A per-request deadline, checked between pipeline stages.
+struct Deadline {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    fn check(&self, metrics: &Metrics) -> Result<(), Response> {
+        if self.start.elapsed() > self.limit {
+            metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            Err(Response::error(503, "deadline exceeded"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Routes an API request. `GET /healthz` and `GET /metrics` are answered by the server
+/// itself (they need queue state); everything else lands here.
+pub fn handle(ctx: &HandlerCtx<'_>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/schedule") => {
+            ctx.metrics
+                .schedule_requests
+                .fetch_add(1, Ordering::Relaxed);
+            cached_endpoint(ctx, request, Endpoint::Schedule)
+        }
+        ("POST", "/analyze") => {
+            ctx.metrics.analyze_requests.fetch_add(1, Ordering::Relaxed);
+            cached_endpoint(ctx, request, Endpoint::Analyze)
+        }
+        ("POST", "/codegen") => {
+            ctx.metrics.codegen_requests.fetch_add(1, Ordering::Relaxed);
+            cached_endpoint(ctx, request, Endpoint::Codegen)
+        }
+        (_, "/schedule" | "/analyze" | "/codegen") => {
+            Response::error(405, "use POST with the net text as the request body")
+        }
+        ("GET" | "POST", _) => Response::error(404, "unknown endpoint"),
+        _ => Response::error(405, "unsupported method"),
+    }
+}
+
+/// The cacheable endpoints, with the tag folded into cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Schedule,
+    Analyze,
+    Codegen,
+}
+
+impl Endpoint {
+    fn tag(self) -> u64 {
+        match self {
+            Endpoint::Schedule => 1,
+            Endpoint::Analyze => 2,
+            Endpoint::Codegen => 3,
+        }
+    }
+}
+
+/// Shared POST plumbing: parse the net, resolve options, consult the cache, compute on
+/// miss, memoise, and stamp the `X-Fcpn-Cache` header.
+fn cached_endpoint(ctx: &HandlerCtx<'_>, request: &Request, endpoint: Endpoint) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) if !text.trim().is_empty() => text,
+        Ok(_) => return Response::error(400, "empty body; POST a net in the text format"),
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let net = match parse_net(text) {
+        Ok(net) => net,
+        Err(e) => return Response::error(400, &format!("net parse failed: {e}")),
+    };
+    let options = match RequestOptions::from_query(request, ctx.limits) {
+        Ok(options) => options,
+        Err(response) => return response,
+    };
+
+    let key = options.cache_key(endpoint, net_fingerprint(&net));
+    if options.use_result_cache {
+        if let Some(hit) = ctx.cache.get(key) {
+            return Response::json_shared(hit.status, Arc::clone(&hit.body))
+                .with_header("X-Fcpn-Cache", "hit");
+        }
+    }
+
+    let deadline = Deadline {
+        start: Instant::now(),
+        limit: Duration::from_millis(options.deadline_ms),
+    };
+    let response = match endpoint {
+        Endpoint::Schedule => schedule(ctx, &net, &options, &deadline),
+        Endpoint::Analyze => analyze(ctx, &net, &options, &deadline),
+        Endpoint::Codegen => codegen(ctx, &net, &options, &deadline),
+    };
+    // Deterministic outcomes (including 4xx verdicts about the net itself) are
+    // memoised; deadline 503s are not — they depend on load, not on the request.
+    if options.use_result_cache && response.status != 503 {
+        ctx.cache.insert(
+            key,
+            Arc::new(CachedResponse {
+                status: response.status,
+                body: Arc::clone(&response.body),
+            }),
+        );
+    }
+    response.with_header("X-Fcpn-Cache", "miss")
+}
+
+/// Effective per-request options after clamping against [`RequestLimits`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RequestOptions {
+    threads: usize,
+    reuse_component_cache: bool,
+    use_result_cache: bool,
+    max_allocations: u128,
+    max_markings: usize,
+    max_tokens_per_place: u64,
+    max_nodes: usize,
+    deadline_ms: u64,
+    /// `/analyze` check selection, as a bitmask over [`CHECKS`].
+    checks: u8,
+    /// `/codegen` target language.
+    rust: bool,
+}
+
+/// The `/analyze` checks in bitmask order.
+const CHECKS: [&str; 4] = ["reachability", "deadlock", "liveness", "boundedness"];
+
+impl RequestOptions {
+    fn from_query(request: &Request, limits: &RequestLimits) -> Result<Self, Response> {
+        let bad = |name: &str| Response::error(400, &format!("invalid value for `{name}`"));
+        let parse_u64 = |name: &str, default: u64| -> Result<u64, Response> {
+            match request.query_param(name) {
+                None => Ok(default),
+                Some(v) => v.parse::<u64>().map_err(|_| bad(name)),
+            }
+        };
+        let parse_bool = |name: &str, default: bool| -> Result<bool, Response> {
+            match request.query_param(name) {
+                None => Ok(default),
+                Some("1") | Some("true") => Ok(true),
+                Some("0") | Some("false") => Ok(false),
+                Some(_) => Err(bad(name)),
+            }
+        };
+
+        let threads = (parse_u64("threads", 1)? as usize).clamp(1, limits.max_threads);
+        let defaults = ReachabilityOptions::default();
+        let max_markings = (parse_u64("max_markings", defaults.max_markings as u64)? as usize)
+            .clamp(1, limits.max_markings);
+        let max_tokens_per_place =
+            parse_u64("max_tokens_per_place", defaults.max_tokens_per_place)?
+                .clamp(1, limits.max_tokens_per_place);
+        let max_nodes = (parse_u64("max_nodes", BoundednessOptions::default().max_nodes as u64)?
+            as usize)
+            .clamp(1, limits.max_coverability_nodes);
+        let max_allocations = match request.query_param("max_allocations") {
+            None => AllocationOptions::default()
+                .max_allocations
+                .min(limits.max_allocations),
+            Some(v) => v
+                .parse::<u128>()
+                .map_err(|_| bad("max_allocations"))?
+                .clamp(1, limits.max_allocations),
+        };
+        let deadline_ms =
+            parse_u64("deadline_ms", limits.default_deadline_ms)?.clamp(1, limits.max_deadline_ms);
+
+        let checks = match request.query_param("checks") {
+            None => 0b1111u8,
+            Some(list) => {
+                let mut mask = 0u8;
+                for name in list.split(',').filter(|s| !s.is_empty()) {
+                    match CHECKS.iter().position(|&c| c == name) {
+                        Some(bit) => mask |= 1 << bit,
+                        None => {
+                            return Err(Response::error(
+                                400,
+                                &format!(
+                                    "unknown check `{name}` (expected one of {})",
+                                    CHECKS.join(", ")
+                                ),
+                            ))
+                        }
+                    }
+                }
+                if mask == 0 {
+                    return Err(bad("checks"));
+                }
+                mask
+            }
+        };
+        let rust = match request.query_param("lang") {
+            None | Some("c") => false,
+            Some("rust") => true,
+            Some(_) => return Err(bad("lang")),
+        };
+
+        Ok(RequestOptions {
+            threads,
+            reuse_component_cache: parse_bool("component_cache", true)?,
+            use_result_cache: parse_bool("cache", true)?,
+            max_allocations,
+            max_markings,
+            max_tokens_per_place,
+            max_nodes,
+            deadline_ms,
+            checks,
+            rust,
+        })
+    }
+
+    fn wants(&self, check: &str) -> bool {
+        CHECKS
+            .iter()
+            .position(|&c| c == check)
+            .is_some_and(|bit| self.checks & (1 << bit) != 0)
+    }
+
+    /// Folds every response-relevant option with the endpoint tag and the net
+    /// fingerprint into the result-cache key. `deadline_ms` and `use_result_cache` are
+    /// deliberately excluded: they never change the body of a completed response.
+    fn cache_key(&self, endpoint: Endpoint, fingerprint: u128) -> u128 {
+        let mut fp = Fingerprint128::new();
+        fp.fold(endpoint.tag());
+        fp.fold(fingerprint as u64);
+        fp.fold((fingerprint >> 64) as u64);
+        fp.fold(self.threads as u64);
+        fp.fold(self.reuse_component_cache as u64);
+        fp.fold(self.max_allocations as u64);
+        fp.fold((self.max_allocations >> 64) as u64);
+        fp.fold(self.max_markings as u64);
+        fp.fold(self.max_tokens_per_place);
+        fp.fold(self.max_nodes as u64);
+        fp.fold(self.checks as u64);
+        fp.fold(self.rust as u64);
+        fp.finish()
+    }
+
+    fn qss(&self) -> QssOptions {
+        QssOptions {
+            allocation: AllocationOptions {
+                max_allocations: self.max_allocations,
+            },
+            reuse_component_cache: self.reuse_component_cache,
+            threads: self.threads,
+        }
+    }
+
+    fn explore(&self) -> ExploreOptions {
+        ExploreOptions {
+            reach: ReachabilityOptions {
+                max_markings: self.max_markings,
+                max_tokens_per_place: self.max_tokens_per_place,
+            },
+            threads: self.threads,
+            ..ExploreOptions::default()
+        }
+    }
+}
+
+fn fingerprint_hex(net: &PetriNet) -> String {
+    format!("0x{:032x}", net_fingerprint(net))
+}
+
+fn names(net: &PetriNet, transitions: &[fcpn_petri::TransitionId]) -> Json {
+    Json::arr(
+        transitions
+            .iter()
+            .map(|&t| Json::from(net.transition_name(t))),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// /schedule
+// ---------------------------------------------------------------------------
+
+fn schedule(
+    _ctx: &HandlerCtx<'_>,
+    net: &PetriNet,
+    options: &RequestOptions,
+    _deadline: &Deadline,
+) -> Response {
+    // No deadline check here: the handler starts at elapsed ~0 and the sweep is a
+    // single stage, so the only meaningful bound on it is `max_allocations`.
+    match quasi_static_schedule(net, &options.qss()) {
+        Ok(outcome) => Response::json(200, schedule_response_body(net, &outcome)),
+        Err(e) => qss_error_response(net, &e),
+    }
+}
+
+/// Renders the deterministic `/schedule` response body for an outcome. Public so tests
+/// and the load generator can assert the daemon's answers are bit-identical to direct
+/// library calls.
+pub fn schedule_response_body(net: &PetriNet, outcome: &QssOutcome) -> String {
+    let mut pairs = vec![
+        ("net".to_string(), Json::from(net.name())),
+        ("fingerprint".to_string(), Json::from(fingerprint_hex(net))),
+        (
+            "schedulable".to_string(),
+            Json::from(outcome.is_schedulable()),
+        ),
+    ];
+    match outcome {
+        QssOutcome::Schedulable(schedule) => {
+            pairs.push((
+                "components_examined".to_string(),
+                Json::from(schedule.cycle_count()),
+            ));
+            pairs.push((
+                "cycles".to_string(),
+                Json::arr(schedule.cycles.iter().map(|cycle| {
+                    Json::obj([
+                        ("allocation", Json::from(cycle.allocation.describe(net))),
+                        ("sequence", names(net, &cycle.sequence)),
+                        (
+                            "counts",
+                            Json::arr(cycle.counts.iter().map(|&c| Json::from(c))),
+                        ),
+                        (
+                            "buffer_bounds",
+                            Json::arr(cycle.buffer_bounds.iter().map(|&b| Json::from(b))),
+                        ),
+                    ])
+                })),
+            ));
+        }
+        QssOutcome::NotSchedulable(report) => {
+            pairs.push((
+                "components_examined".to_string(),
+                Json::from(report.components_examined),
+            ));
+            pairs.push((
+                "failures".to_string(),
+                Json::arr(report.failures.iter().map(|failure| {
+                    Json::obj([
+                        ("allocation", Json::from(failure.allocation.as_str())),
+                        ("transitions", names(net, &failure.transitions)),
+                        ("reason", failure_json(net, &failure.failure)),
+                    ])
+                })),
+            ));
+        }
+    }
+    Json::Obj(pairs).render()
+}
+
+fn failure_json(net: &PetriNet, failure: &ComponentFailure) -> Json {
+    match failure {
+        ComponentFailure::Inconsistent { uncovered } => Json::obj([
+            ("kind", Json::from("inconsistent")),
+            ("uncovered", names(net, uncovered)),
+        ]),
+        ComponentFailure::SourceNotCovered { source } => Json::obj([
+            ("kind", Json::from("source-not-covered")),
+            ("source", Json::from(net.transition_name(*source))),
+        ]),
+        ComponentFailure::Deadlock { remaining, fired } => Json::obj([
+            ("kind", Json::from("deadlock")),
+            (
+                "remaining",
+                Json::arr(remaining.iter().map(|&(t, owed)| {
+                    Json::obj([
+                        ("transition", Json::from(net.transition_name(t))),
+                        ("owed", Json::from(owed)),
+                    ])
+                })),
+            ),
+            ("fired", names(net, fired)),
+        ]),
+    }
+}
+
+fn qss_error_response(net: &PetriNet, error: &QssError) -> Response {
+    match error {
+        QssError::NotFreeChoice { violations } => Response::json(
+            422,
+            Json::obj([
+                ("error", Json::from("not a free-choice net")),
+                (
+                    "violations",
+                    Json::arr(violations.iter().map(|&p| Json::from(net.place_name(p)))),
+                ),
+            ])
+            .render(),
+        ),
+        QssError::Empty => Response::error(422, "net has no transitions"),
+        QssError::TooManyAllocations { required, limit } => Response::json(
+            422,
+            Json::obj([
+                ("error", Json::from("too many allocations")),
+                ("required", Json::from(required.to_string())),
+                ("limit", Json::from(limit.to_string())),
+            ])
+            .render(),
+        ),
+        other => Response::error(500, &format!("scheduling failed: {other}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// /analyze
+// ---------------------------------------------------------------------------
+
+fn analyze(
+    ctx: &HandlerCtx<'_>,
+    net: &PetriNet,
+    options: &RequestOptions,
+    deadline: &Deadline,
+) -> Response {
+    let explore = options.explore();
+    let mut results: Vec<(String, Json)> = Vec::new();
+
+    // Reachability, deadlock and liveness all read the same bounded state space, so
+    // one exploration serves every requested check (boundedness runs its own covering
+    // search below). The deadline is still checked between the checks themselves.
+    let space = if options.wants("reachability")
+        || options.wants("deadlock")
+        || options.wants("liveness")
+    {
+        if let Err(response) = deadline.check(ctx.metrics) {
+            return response;
+        }
+        Some(fcpn_petri::statespace::StateSpace::explore_with(
+            net, &explore,
+        ))
+    } else {
+        None
+    };
+
+    if options.wants("reachability") {
+        let space = space.as_ref().expect("explored above");
+        // Same numbers `ReachabilityGraph::from_statespace` would expose, read off the
+        // space directly so the deadlock/liveness checks can reuse it.
+        results.push((
+            "reachability".to_string(),
+            Json::obj([
+                ("states", Json::from(space.state_count())),
+                ("edges", Json::from(space.edge_count())),
+                ("complete", Json::from(space.is_complete())),
+                (
+                    "max_tokens_observed",
+                    Json::from(space.max_tokens_observed()),
+                ),
+                ("dead_markings", Json::from(space.dead_states().len())),
+            ]),
+        ));
+    }
+    if options.wants("deadlock") {
+        if let Err(response) = deadline.check(ctx.metrics) {
+            return response;
+        }
+        let report = find_deadlock_in(net, space.as_ref().expect("explored above"));
+        results.push((
+            "deadlock".to_string(),
+            match report {
+                DeadlockReport::DeadlockFree => {
+                    Json::obj([("verdict", Json::from("deadlock-free"))])
+                }
+                DeadlockReport::Deadlock { marking, trace } => Json::obj([
+                    ("verdict", Json::from("deadlock")),
+                    (
+                        "marking",
+                        Json::arr(marking.as_slice().iter().map(|&t| Json::from(t))),
+                    ),
+                    ("trace", names(net, &trace)),
+                ]),
+                DeadlockReport::Unknown => Json::obj([("verdict", Json::from("unknown"))]),
+            },
+        ));
+    }
+    if options.wants("liveness") {
+        if let Err(response) = deadline.check(ctx.metrics) {
+            return response;
+        }
+        let report = check_liveness_in(net, space.as_ref().expect("explored above"));
+        results.push((
+            "liveness".to_string(),
+            match report {
+                LivenessReport::Live => Json::obj([("verdict", Json::from("live"))]),
+                LivenessReport::NotLive { transitions } => Json::obj([
+                    ("verdict", Json::from("not-live")),
+                    ("not_live", names(net, &transitions)),
+                ]),
+                LivenessReport::Unknown => Json::obj([("verdict", Json::from("unknown"))]),
+            },
+        ));
+    }
+    if options.wants("boundedness") {
+        if let Err(response) = deadline.check(ctx.metrics) {
+            return response;
+        }
+        // A *complete* shared exploration already enumerates the full reachable set,
+        // which proves boundedness directly with the same `k` the covering search
+        // would report (the exact shortcut `check_boundedness_with` uses for its
+        // parallel path); only fall back to Karp–Miller when no complete space is at
+        // hand.
+        let verdict = match space.as_ref() {
+            Some(space) if space.is_complete() => Boundedness::Bounded {
+                k: space.max_tokens_observed(),
+            },
+            _ => check_boundedness_with(
+                net,
+                BoundednessOptions {
+                    max_nodes: options.max_nodes,
+                },
+                &explore,
+            ),
+        };
+        results.push((
+            "boundedness".to_string(),
+            match verdict {
+                Boundedness::Bounded { k } => {
+                    Json::obj([("verdict", Json::from("bounded")), ("k", Json::from(k))])
+                }
+                Boundedness::Unbounded { places, witness } => Json::obj([
+                    ("verdict", Json::from("unbounded")),
+                    (
+                        "places",
+                        Json::arr(places.iter().map(|&p| Json::from(net.place_name(p)))),
+                    ),
+                    ("witness", names(net, &witness)),
+                ]),
+                Boundedness::Unknown => Json::obj([("verdict", Json::from("unknown"))]),
+            },
+        ));
+    }
+
+    Response::json(
+        200,
+        Json::obj([
+            ("net".to_string(), Json::from(net.name())),
+            ("fingerprint".to_string(), Json::from(fingerprint_hex(net))),
+            ("results".to_string(), Json::Obj(results)),
+        ])
+        .render(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// /codegen
+// ---------------------------------------------------------------------------
+
+fn codegen(
+    ctx: &HandlerCtx<'_>,
+    net: &PetriNet,
+    options: &RequestOptions,
+    deadline: &Deadline,
+) -> Response {
+    let outcome = match quasi_static_schedule(net, &options.qss()) {
+        Ok(outcome) => outcome,
+        Err(e) => return qss_error_response(net, &e),
+    };
+    let schedule = match outcome {
+        QssOutcome::Schedulable(schedule) => schedule,
+        QssOutcome::NotSchedulable(report) => {
+            return Response::json(
+                422,
+                Json::obj([
+                    (
+                        "error",
+                        Json::from("net is not quasi-statically schedulable"),
+                    ),
+                    (
+                        "components_examined",
+                        Json::from(report.components_examined),
+                    ),
+                    ("failing_components", Json::from(report.failures.len())),
+                ])
+                .render(),
+            )
+        }
+    };
+    if let Err(response) = deadline.check(ctx.metrics) {
+        return response;
+    }
+    let program = match synthesize(net, &schedule, SynthesisOptions::default()) {
+        Ok(program) => program,
+        Err(e) => return Response::error(500, &format!("synthesis failed: {e}")),
+    };
+    if let Err(response) = deadline.check(ctx.metrics) {
+        return response;
+    }
+    let (language, code) = if options.rust {
+        ("rust", emit_rust(&program, net, RustEmitOptions::default()))
+    } else {
+        ("c", emit_c(&program, net, CEmitOptions::default()))
+    };
+    let metrics = CodeMetrics::of(&program, net);
+    Response::json(
+        200,
+        Json::obj([
+            ("net", Json::from(net.name())),
+            ("fingerprint", Json::from(fingerprint_hex(net))),
+            ("schedulable", Json::from(true)),
+            ("cycles", Json::from(schedule.cycle_count())),
+            (
+                "metrics",
+                Json::obj([
+                    ("tasks", Json::from(metrics.tasks)),
+                    ("lines_of_c", Json::from(metrics.lines_of_c)),
+                    ("ir_statements", Json::from(metrics.ir_statements)),
+                    ("max_nesting", Json::from(metrics.max_nesting)),
+                ]),
+            ),
+            ("language", Json::from(language)),
+            ("code", Json::from(code)),
+        ])
+        .render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use fcpn_petri::gallery;
+    use fcpn_petri::io::to_text;
+
+    fn ctx_parts() -> (RequestLimits, ResultCache, Metrics) {
+        (
+            RequestLimits::default(),
+            ResultCache::new(4, 64),
+            Metrics::new(),
+        )
+    }
+
+    fn post(path_query: &str, body: &str) -> Request {
+        let (path, query_raw) = match path_query.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path_query, ""),
+        };
+        let query = query_raw
+            .split('&')
+            .filter(|s| !s.is_empty())
+            .map(|pair| {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn schedule_body_matches_library_call_bit_for_bit() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        for net in [gallery::figure3a(), gallery::figure4(), gallery::figure5()] {
+            let request = post("/schedule", &to_text(&net));
+            let response = handle(&ctx, &request);
+            assert_eq!(response.status, 200);
+            let expected = schedule_response_body(
+                &net,
+                &quasi_static_schedule(&net, &QssOptions::default()).unwrap(),
+            );
+            assert_eq!(*response.body, expected, "net {}", net.name());
+        }
+    }
+
+    #[test]
+    fn schedule_serves_second_request_from_cache() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        let request = post("/schedule", &to_text(&gallery::figure4()));
+        let first = handle(&ctx, &request);
+        let second = handle(&ctx, &request);
+        assert_eq!(first.body, second.body);
+        assert_eq!(cache.hits(), 1);
+        let header = |r: &Response| {
+            r.extra_headers
+                .iter()
+                .find(|(k, _)| k == "X-Fcpn-Cache")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(header(&first).as_deref(), Some("miss"));
+        assert_eq!(header(&second).as_deref(), Some("hit"));
+    }
+
+    #[test]
+    fn distinct_options_use_distinct_cache_slots() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        let text = to_text(&gallery::figure4());
+        handle(&ctx, &post("/schedule?threads=1", &text));
+        handle(&ctx, &post("/schedule?threads=2", &text));
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn not_free_choice_is_422_with_violations() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        let response = handle(&ctx, &post("/schedule", &to_text(&gallery::figure1b())));
+        assert_eq!(response.status, 422);
+        let value = parse(&response.body).unwrap();
+        assert!(!value
+            .get("violations")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn allocation_budget_maps_to_422() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        let text = to_text(&gallery::choice_chain(6));
+        let response = handle(&ctx, &post("/schedule?max_allocations=4", &text));
+        assert_eq!(response.status, 422);
+        let value = parse(&response.body).unwrap();
+        assert_eq!(
+            value.get("error").unwrap().as_str(),
+            Some("too many allocations")
+        );
+    }
+
+    #[test]
+    fn analyze_reports_all_checks_by_default() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        let response = handle(&ctx, &post("/analyze", &to_text(&gallery::figure2())));
+        assert_eq!(response.status, 200);
+        let value = parse(&response.body).unwrap();
+        let results = value.get("results").unwrap();
+        for check in CHECKS {
+            assert!(results.get(check).is_some(), "missing {check}");
+        }
+        // Figure 2 has a source transition, so it is structurally unbounded.
+        assert_eq!(
+            results
+                .get("boundedness")
+                .unwrap()
+                .get("verdict")
+                .unwrap()
+                .as_str(),
+            Some("unbounded")
+        );
+        // A closed ring is bounded, and the analyzer reports the observed k.
+        let ring = handle(
+            &ctx,
+            &post(
+                "/analyze?checks=boundedness",
+                &to_text(&gallery::marked_ring(4, 2)),
+            ),
+        );
+        let ring_value = parse(&ring.body).unwrap();
+        let verdict = ring_value
+            .get("results")
+            .unwrap()
+            .get("boundedness")
+            .unwrap();
+        assert_eq!(verdict.get("verdict").unwrap().as_str(), Some("bounded"));
+        assert_eq!(verdict.get("k").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn analyze_check_subset_and_unknown_check() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        let text = to_text(&gallery::figure2());
+        let response = handle(&ctx, &post("/analyze?checks=deadlock", &text));
+        let value = parse(&response.body).unwrap();
+        let results = value.get("results").unwrap().as_obj().unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, "deadlock");
+        let bad = handle(&ctx, &post("/analyze?checks=nonsense", &text));
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn codegen_emits_compilable_looking_c() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        let response = handle(&ctx, &post("/codegen", &to_text(&gallery::figure4())));
+        assert_eq!(response.status, 200);
+        let value = parse(&response.body).unwrap();
+        assert!(value
+            .get("code")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("void"));
+        assert_eq!(value.get("language").unwrap().as_str(), Some("c"));
+        assert!(value.get("metrics").unwrap().get("tasks").unwrap().as_u64() >= Some(1));
+    }
+
+    #[test]
+    fn malformed_net_is_400_with_line() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        let response = handle(&ctx, &post("/schedule", "net x\nbogus line"));
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains("line 2"));
+    }
+
+    #[test]
+    fn unknown_path_and_wrong_method() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        assert_eq!(handle(&ctx, &post("/nope", "x")).status, 404);
+        let mut get = post("/schedule", "");
+        get.method = "GET".into();
+        assert_eq!(handle(&ctx, &get).status, 405);
+    }
+
+    #[test]
+    fn bad_option_values_are_400() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+        };
+        let text = to_text(&gallery::figure4());
+        for query in [
+            "/schedule?threads=abc",
+            "/schedule?component_cache=maybe",
+            "/analyze?max_markings=-2",
+            "/codegen?lang=fortran",
+        ] {
+            let response = handle(&ctx, &post(query, &text));
+            assert_eq!(response.status, 400, "{query}");
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! A minimal HTTP/1.1 layer: request parsing with hard limits, response writing.
+//!
+//! The daemon speaks just enough HTTP for its POST/GET endpoints: request line,
+//! headers, `Content-Length` bodies, percent-encoded query strings and keep-alive.
+//! Everything is bounded — head size, header count, body size, and (via the `deadline`
+//! handed to [`read_request`]) total wall-clock per request read — so a hostile peer
+//! can exhaust neither memory nor a worker's time: the per-`read` socket timeout alone
+//! would not stop a slow-loris client dripping one byte per interval, but the deadline
+//! is checked after every read, so a request that has not arrived in full by then is
+//! dropped. No chunked transfer encoding: requests carrying `Transfer-Encoding` are
+//! rejected with `411 Length Required` semantics (the daemon's clients always know
+//! their body length up front).
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hard limits applied while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum header count.
+    pub max_headers: usize,
+    /// Maximum `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component of the target (no query string).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a header (name matched case-insensitively against the stored
+    /// lower-case form).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to be closed after this response.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed (or timed out) before sending a complete request; nothing to
+    /// answer.
+    Disconnected,
+    /// The request was syntactically invalid or exceeded a limit; the server should
+    /// answer with this status and close.
+    Malformed {
+        /// Suggested response status (400, 413, …).
+        status: u16,
+        /// Human-readable reason, echoed in the error body.
+        message: String,
+    },
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> Self {
+        HttpError::Malformed {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one request from `reader`.
+///
+/// Returns `Ok(None)` when the peer closed before sending any byte (the normal end of a
+/// keep-alive connection). `deadline`, when given, bounds the **total** wall-clock
+/// spent reading this request (checked after every read): a slow-loris peer dripping
+/// bytes under the socket timeout still loses its worker at the deadline. The
+/// keep-alive idle wait (blocking for the first byte) is bounded by the socket read
+/// timeout, not the deadline.
+///
+/// # Errors
+///
+/// [`HttpError::Disconnected`] on mid-request EOF, socket timeout or a blown deadline;
+/// [`HttpError::Malformed`] (with a suggested status) on syntax errors or exceeded
+/// limits.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    limits: &HttpLimits,
+    deadline: Option<Instant>,
+) -> Result<Option<Request>, HttpError> {
+    let mut head_bytes = 0usize;
+    let request_line = match read_line(reader, limits, deadline, &mut head_bytes)? {
+        None => return Ok(None),
+        Some(line) if line.is_empty() => {
+            // Tolerate a stray CRLF between pipelined requests.
+            match read_line(reader, limits, deadline, &mut head_bytes)? {
+                None => return Ok(None),
+                Some(line) => line,
+            }
+        }
+        Some(line) => line,
+    };
+
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::bad("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad(format!("unsupported version {version}")));
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path =
+        percent_decode(raw_path, false).ok_or_else(|| HttpError::bad("bad path encoding"))?;
+    let query = match raw_query {
+        None => Vec::new(),
+        Some(q) => parse_query(q).ok_or_else(|| HttpError::bad("bad query encoding"))?,
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match read_line(reader, limits, deadline, &mut head_bytes)? {
+            None => return Err(HttpError::Disconnected),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::Malformed {
+                status: 431,
+                message: format!("more than {} headers", limits.max_headers),
+            });
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::bad("header line without `:`"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed {
+            status: 411,
+            message: "chunked bodies are not supported; send Content-Length".into(),
+        });
+    }
+    // RFC 7230: conflicting Content-Length values must be rejected, not resolved —
+    // behind a proxy that honours a different occurrence this is a request-smuggling
+    // desync.
+    let mut content_lengths = headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str());
+    let content_length = match content_lengths.next() {
+        None => 0usize,
+        Some(first) => {
+            if content_lengths.any(|other| other != first) {
+                return Err(HttpError::bad("conflicting Content-Length headers"));
+            }
+            // RFC 9110: DIGIT-only — `parse` alone would accept a `+` prefix, another
+            // front-proxy disagreement to refuse outright.
+            if first.is_empty() || !first.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::bad("invalid Content-Length"));
+            }
+            first
+                .parse::<usize>()
+                .map_err(|_| HttpError::bad("invalid Content-Length"))?
+        }
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::Malformed {
+            status: 413,
+            message: format!(
+                "body of {content_length} bytes exceeds the {} byte limit",
+                limits.max_body_bytes
+            ),
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        // Chunked reads with a deadline check between them, so a body dripped under
+        // the socket timeout still cannot hold the worker past the deadline.
+        let mut filled = 0usize;
+        while filled < content_length {
+            if deadline.is_some_and(|d| Instant::now() > d) {
+                return Err(HttpError::Disconnected);
+            }
+            let end = (filled + 8192).min(content_length);
+            reader
+                .read_exact(&mut body[filled..end])
+                .map_err(|_| HttpError::Disconnected)?;
+            filled = end;
+        }
+    }
+
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Reads one CRLF- (or LF-) terminated line, enforcing the head-byte budget and the
+/// per-request deadline. `Ok(None)` only on EOF before the first byte of the line.
+fn read_line(
+    reader: &mut impl BufRead,
+    limits: &HttpLimits,
+    deadline: Option<Instant>,
+    head_bytes: &mut usize,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Disconnected);
+            }
+            Ok(_) => {
+                *head_bytes += 1;
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    return Err(HttpError::Disconnected);
+                }
+                if *head_bytes > limits.max_head_bytes {
+                    return Err(HttpError::Malformed {
+                        status: 431,
+                        message: format!("request head exceeds {} bytes", limits.max_head_bytes),
+                    });
+                }
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return match String::from_utf8(line) {
+                        Ok(s) => Ok(Some(s)),
+                        Err(_) => Err(HttpError::bad("non-UTF-8 request head")),
+                    };
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Timeout or reset mid-head: the connection is unusable either way.
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+    }
+}
+
+/// Splits and percent-decodes `a=b&c=d`; `None` on invalid encoding.
+fn parse_query(raw: &str) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for pair in raw.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k, true)?, percent_decode(v, true)?));
+    }
+    Some(out)
+}
+
+/// Decodes `%XX` escapes (strict two-hex-digit form) and, only when
+/// `plus_as_space` (the `application/x-www-form-urlencoded` query convention — a `+`
+/// in a *path* is a literal plus), `+`-as-space. `None` on truncated/invalid escapes
+/// or non-UTF-8 results.
+fn percent_decode(raw: &str, plus_as_space: bool) -> Option<String> {
+    if !(raw.contains('%') || plus_as_space && raw.contains('+')) {
+        return Some(raw.to_string());
+    }
+    let bytes = raw.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                // `from_str_radix` would accept a sign prefix; require hex digits.
+                if !hex.iter().all(u8::is_ascii_hexdigit) {
+                    return None;
+                }
+                let hex = std::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// A response ready to be serialised.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) — e.g. the cache disposition.
+    pub extra_headers: Vec<(String, String)>,
+    /// The body, behind an [`Arc`] so cache hits share it instead of copying it.
+    pub body: Arc<String>,
+}
+
+impl Response {
+    /// A JSON response from an owned body.
+    pub fn json(status: u16, body: String) -> Self {
+        Self::json_shared(status, Arc::new(body))
+    }
+
+    /// A JSON response from an already-shared body (the cache-hit path: no copy).
+    pub fn json_shared(status: u16, body: Arc<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A JSON error body `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            crate::json::Json::obj([("error", crate::json::Json::from(message))]).render(),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// The standard reason phrase for the status codes the daemon emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialises `response` onto `stream` (HTTP/1.1, explicit `Content-Length`,
+/// `Connection: close` when `close`).
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response(stream: &mut impl Write, response: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_str(input: &str) -> Result<Option<Request>, HttpError> {
+        read_request(
+            &mut BufReader::new(input.as_bytes()),
+            &HttpLimits::default(),
+            None,
+        )
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse_str(
+            "POST /schedule?threads=2&cache=0 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/schedule");
+        assert_eq!(req.query_param("threads"), Some("2"));
+        assert_eq!(req.query_param("cache"), Some("0"));
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn percent_decoding_reaches_query_values() {
+        let req = parse_str("GET /x?a=b%20c&d=e+f HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.query_param("a"), Some("b c"));
+        assert_eq!(req.query_param("d"), Some("e f"));
+    }
+
+    #[test]
+    fn plus_in_path_is_literal_and_bad_escapes_are_rejected() {
+        // `+` is a space only in form-encoded query strings, never in paths.
+        let req = parse_str("GET /a+b HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.path, "/a+b");
+        // `from_str_radix` alone would accept the sign prefix in `%+a`.
+        for target in ["/x%+a", "/x%4", "/x%zz"] {
+            let err = parse_str(&format!("GET {target} HTTP/1.1\r\n\r\n")).unwrap_err();
+            assert!(
+                matches!(err, HttpError::Malformed { status: 400, .. }),
+                "{target}"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_content_length_headers_are_rejected() {
+        // Resolving the conflict either way is a request-smuggling desync behind a
+        // proxy that resolves it the other way.
+        let err =
+            parse_str("POST / HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap_err();
+        assert!(matches!(err, HttpError::Malformed { status: 400, .. }));
+        // Repeated but agreeing values are harmless.
+        let req =
+            parse_str("POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        assert!(parse_str("").unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let limits = HttpLimits {
+            max_body_bytes: 4,
+            ..HttpLimits::default()
+        };
+        let err = read_request(
+            &mut BufReader::new(&b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789"[..]),
+            &limits,
+            None,
+        )
+        .unwrap_err();
+        match err {
+            HttpError::Malformed { status, .. } => assert_eq!(status, 413),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_disconnected() {
+        let err = parse_str("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(err, HttpError::Disconnected));
+    }
+
+    #[test]
+    fn garbage_request_line_is_malformed() {
+        assert!(matches!(
+            parse_str("NONSENSE\r\n\r\n"),
+            Err(HttpError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn response_serialisation_includes_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

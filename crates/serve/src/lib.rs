@@ -1,0 +1,85 @@
+//! # fcpn-serve — a concurrent scheduler daemon for Free-Choice Petri Nets
+//!
+//! The service layer of the reproduction of *Synthesis of Embedded Software Using
+//! Free-Choice Petri Nets* (DAC 1999): a long-running daemon that serves synthesis
+//! requests over HTTP/1.1 on a plain [`std::net::TcpListener`] — the workspace is
+//! offline, so the protocol layer, the JSON layer and the load generator are all
+//! hand-rolled, following the `crates/shims` precedent of zero external dependencies.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Method | Body | Answer |
+//! |---|---|---|---|
+//! | `/schedule` | POST | net (text format) | quasi-static schedule or diagnosis |
+//! | `/analyze` | POST | net (text format) | reachability / deadlock / liveness / boundedness |
+//! | `/codegen` | POST | net (text format) | synthesised C (or Rust) + code metrics |
+//! | `/healthz` | GET | — | liveness probe |
+//! | `/metrics` | GET | — | request/cache/queue counters |
+//!
+//! Per-request options ride in the query string (`?threads=2&max_markings=50000&…`),
+//! clamped against server-side caps and mapped onto the engine's
+//! [`ExploreOptions`](fcpn_petri::statespace::ExploreOptions) /
+//! [`QssOptions`](fcpn_qss::QssOptions) knobs. Responses are deterministic JSON, which
+//! makes them cacheable whole: a mutex-sharded cache keyed by the 128-bit
+//! [`net_fingerprint`](fcpn_petri::net_fingerprint) (folded with endpoint + options)
+//! serves repeat queries without touching the scheduler. Saturation is explicit — past
+//! the bounded accept queue the daemon answers `503` immediately instead of stacking
+//! latency.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fcpn_serve::{Client, Server, ServerConfig};
+//! use std::time::Duration;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let handle = Server::spawn(ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServerConfig::default()
+//! })?;
+//! let net = fcpn_petri::io::to_text(&fcpn_petri::gallery::figure4());
+//! let mut client = Client::connect(&handle.addr().to_string(), Duration::from_secs(5))?;
+//! let response = client.request("POST", "/schedule", net.as_bytes())?;
+//! assert_eq!(response.status, 200);
+//! assert!(response.body.contains("\"schedulable\":true"));
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `fcpn-served` binary (in the workspace root) wires this up as a standalone
+//! process; `fcpn-bench`'s `serve_load` example replays gallery/ATM nets against it and
+//! reports latency quantiles and cache hit rate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod load;
+mod metrics;
+mod server;
+
+pub use cache::{CachedResponse, ResultCache};
+pub use handlers::{schedule_response_body, HandlerCtx, RequestLimits};
+pub use http::{HttpLimits, Request, Response};
+pub use load::{Client, ClientResponse, LoadReport, LoadSpec};
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig, ServerHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServerConfig>();
+        assert_send_sync::<ResultCache>();
+        assert_send_sync::<Metrics>();
+        assert_send_sync::<LoadSpec>();
+    }
+}

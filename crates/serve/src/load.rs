@@ -1,0 +1,356 @@
+//! A raw-socket HTTP client and a concurrent load generator.
+//!
+//! The client is deliberately tiny — enough HTTP/1.1 to talk to the daemon over a
+//! keep-alive [`TcpStream`] — and the load generator replays a set of nets from N
+//! concurrent connections, collecting per-request latencies into p50/p95 quantiles and
+//! reading the daemon's cache counters off `/metrics`. The `serve_load` example in
+//! `fcpn-bench` drives this module from the command line, and the benchmark baseline
+//! emitter uses it to populate the `server` section of `BENCH_statespace.json`.
+
+use crate::json::{parse, Json};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A keep-alive client connection to the daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+/// One response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First value of a header (lower-case name).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7411"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error, timeout, or malformed response head.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {path_and_query} HTTP/1.1\r\nHost: fcpn\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("EOF in response head"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad("malformed header"))?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
+            }
+            headers.push((name, value));
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// What the load generator replays.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_connection: usize,
+    /// Endpoint path + query, e.g. `"/schedule?threads=1"`.
+    pub target: String,
+    /// The nets to replay: `(label, text-format body)`. Connections round-robin over
+    /// them, each starting at its own offset so the mix is uniform.
+    pub nets: Vec<(String, String)>,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            connections: 8,
+            requests_per_connection: 32,
+            target: "/schedule".into(),
+            nets: Vec::new(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregate outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests attempted (`connections × requests_per_connection`).
+    pub requests: usize,
+    /// `200` responses.
+    pub ok: usize,
+    /// `503` responses (saturation or deadline).
+    pub rejected: usize,
+    /// Any other status or transport error.
+    pub errors: usize,
+    /// Median request latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency in microseconds.
+    pub p95_us: f64,
+    /// Worst observed latency in microseconds.
+    pub max_us: f64,
+    /// Wall-clock time of the whole run in milliseconds.
+    pub wall_ms: f64,
+    /// Completed requests per second over the wall clock.
+    pub throughput_rps: f64,
+    /// Daemon cache hits during the run (delta of `/metrics`).
+    pub cache_hits: u64,
+    /// Daemon cache misses during the run (delta of `/metrics`).
+    pub cache_misses: u64,
+}
+
+impl LoadReport {
+    /// Cache hit rate over the run (`0.0` when no cacheable request completed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+fn quantile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn cache_counters(addr: &str, timeout: Duration) -> io::Result<(u64, u64)> {
+    let mut client = Client::connect(addr, timeout)?;
+    let response = client.request("GET", "/metrics", b"")?;
+    if response.status != 200 {
+        // A shed (503) probe parses as JSON too — failing loudly beats publishing a
+        // zero-delta cache rate into the benchmark baseline.
+        return Err(io::Error::other(format!(
+            "/metrics answered {}",
+            response.status
+        )));
+    }
+    let value = parse(&response.body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let read = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+    Ok((read("cache_hits"), read("cache_misses")))
+}
+
+/// Runs the load: `spec.connections` threads each replay
+/// `spec.requests_per_connection` requests against `addr`, round-robin over
+/// `spec.nets`.
+///
+/// # Errors
+///
+/// Only setup failures (connecting for the `/metrics` snapshots) error out; individual
+/// request failures are counted in the report.
+///
+/// # Panics
+///
+/// Panics if `spec.nets` is empty.
+pub fn run_load(addr: &str, spec: &LoadSpec) -> io::Result<LoadReport> {
+    assert!(!spec.nets.is_empty(), "load spec has no nets to replay");
+    let (hits_before, misses_before) = cache_counters(addr, spec.timeout)?;
+    let started = Instant::now();
+
+    struct ConnOutcome {
+        latencies_us: Vec<f64>,
+        ok: usize,
+        rejected: usize,
+        errors: usize,
+    }
+
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.connections)
+            .map(|conn_index| {
+                scope.spawn(move || {
+                    let mut outcome = ConnOutcome {
+                        latencies_us: Vec::with_capacity(spec.requests_per_connection),
+                        ok: 0,
+                        rejected: 0,
+                        errors: 0,
+                    };
+                    let mut client = None;
+                    for i in 0..spec.requests_per_connection {
+                        if client.is_none() {
+                            client = Client::connect(addr, spec.timeout).ok();
+                        }
+                        let Some(active) = client.as_mut() else {
+                            outcome.errors += 1;
+                            continue;
+                        };
+                        let (_, text) = &spec.nets[(conn_index + i) % spec.nets.len()];
+                        let sent = Instant::now();
+                        match active.request("POST", &spec.target, text.as_bytes()) {
+                            Ok(response) => {
+                                outcome
+                                    .latencies_us
+                                    .push(sent.elapsed().as_secs_f64() * 1e6);
+                                match response.status {
+                                    200 => outcome.ok += 1,
+                                    503 => outcome.rejected += 1,
+                                    _ => outcome.errors += 1,
+                                }
+                                // Honour the server's close (shed connections always
+                                // carry `Connection: close`): reusing the socket would
+                                // fail the next request and masquerade as an error.
+                                if response
+                                    .header("connection")
+                                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                                {
+                                    client = None;
+                                }
+                            }
+                            Err(_) => {
+                                outcome.errors += 1;
+                                client = None; // reconnect on the next request
+                            }
+                        }
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load connection thread panicked"))
+            .collect()
+    });
+
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let (hits_after, misses_after) = cache_counters(addr, spec.timeout)?;
+    let mut latencies: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let completed = latencies.len();
+    Ok(LoadReport {
+        requests: spec.connections * spec.requests_per_connection,
+        ok: outcomes.iter().map(|o| o.ok).sum(),
+        rejected: outcomes.iter().map(|o| o.rejected).sum(),
+        errors: outcomes.iter().map(|o| o.errors).sum(),
+        p50_us: quantile(&latencies, 0.50),
+        p95_us: quantile(&latencies, 0.95),
+        max_us: latencies.last().copied().unwrap_or(0.0),
+        wall_ms,
+        throughput_rps: if wall_ms > 0.0 {
+            completed as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        cache_hits: hits_after.saturating_sub(hits_before),
+        cache_misses: misses_after.saturating_sub(misses_before),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_series() {
+        // Nearest-rank on 0-based indices: 0.50·99 rounds to index 50, 0.95·99 to 94.
+        let series: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(quantile(&series, 0.50), 51.0);
+        assert_eq!(quantile(&series, 0.95), 95.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_traffic() {
+        let report = LoadReport {
+            requests: 0,
+            ok: 0,
+            rejected: 0,
+            errors: 0,
+            p50_us: 0.0,
+            p95_us: 0.0,
+            max_us: 0.0,
+            wall_ms: 0.0,
+            throughput_rps: 0.0,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        assert_eq!(report.cache_hit_rate(), 0.0);
+    }
+}

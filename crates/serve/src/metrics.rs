@@ -1,0 +1,134 @@
+//! Lock-free request counters behind `GET /metrics`.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counters the daemon maintains with relaxed atomics (exactness across a racing read
+/// is not required; monotonicity per counter is).
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Requests fully read and dispatched (any endpoint, any outcome).
+    pub requests_total: AtomicU64,
+    /// Per-endpoint dispatch counts.
+    pub schedule_requests: AtomicU64,
+    /// See [`Metrics::schedule_requests`].
+    pub analyze_requests: AtomicU64,
+    /// See [`Metrics::schedule_requests`].
+    pub codegen_requests: AtomicU64,
+    /// 2xx responses written.
+    pub responses_ok: AtomicU64,
+    /// 4xx responses written.
+    pub responses_client_error: AtomicU64,
+    /// 5xx responses written (including saturation 503s).
+    pub responses_server_error: AtomicU64,
+    /// Connections rejected at accept time because the queue was full.
+    pub rejected_saturated: AtomicU64,
+    /// Requests cut short by their deadline guard.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests currently being parsed/handled by a worker.
+    pub in_flight: AtomicU64,
+    /// Connections accepted into the queue.
+    pub connections_accepted: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters; `started` anchors the uptime report.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            schedule_requests: AtomicU64::new(0),
+            analyze_requests: AtomicU64::new(0),
+            codegen_requests: AtomicU64::new(0),
+            responses_ok: AtomicU64::new(0),
+            responses_client_error: AtomicU64::new(0),
+            responses_server_error: AtomicU64::new(0),
+            rejected_saturated: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+        }
+    }
+
+    /// Tallies a written response into the right status class.
+    pub fn count_response(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_ok,
+            400..=499 => &self.responses_client_error,
+            _ => &self.responses_server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the `/metrics` JSON body. Cache counters and queue state live outside
+    /// this struct and are passed in by the server.
+    pub fn render(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_entries: usize,
+        queue_depth: usize,
+        queue_capacity: usize,
+        workers: usize,
+    ) -> String {
+        let get = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
+        Json::obj([
+            ("uptime_s", Json::from(self.started.elapsed().as_secs())),
+            ("requests_total", get(&self.requests_total)),
+            ("schedule_requests", get(&self.schedule_requests)),
+            ("analyze_requests", get(&self.analyze_requests)),
+            ("codegen_requests", get(&self.codegen_requests)),
+            ("responses_ok", get(&self.responses_ok)),
+            ("responses_client_error", get(&self.responses_client_error)),
+            ("responses_server_error", get(&self.responses_server_error)),
+            ("rejected_saturated", get(&self.rejected_saturated)),
+            ("deadline_exceeded", get(&self.deadline_exceeded)),
+            ("in_flight", get(&self.in_flight)),
+            ("connections_accepted", get(&self.connections_accepted)),
+            ("cache_hits", Json::from(cache_hits)),
+            ("cache_misses", Json::from(cache_misses)),
+            ("cache_entries", Json::from(cache_entries)),
+            ("queue_depth", Json::from(queue_depth)),
+            ("queue_capacity", Json::from(queue_capacity)),
+            ("workers", Json::from(workers)),
+        ])
+        .render()
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn render_is_valid_json_with_all_counters() {
+        let metrics = Metrics::new();
+        metrics.requests_total.fetch_add(3, Ordering::Relaxed);
+        metrics.count_response(200);
+        metrics.count_response(404);
+        metrics.count_response(503);
+        let body = metrics.render(5, 7, 2, 1, 64, 8);
+        let value = parse(&body).unwrap();
+        assert_eq!(value.get("requests_total").unwrap().as_u64(), Some(3));
+        assert_eq!(value.get("responses_ok").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            value.get("responses_client_error").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            value.get("responses_server_error").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(value.get("cache_hits").unwrap().as_u64(), Some(5));
+        assert_eq!(value.get("queue_capacity").unwrap().as_u64(), Some(64));
+    }
+}

@@ -1,0 +1,344 @@
+//! The daemon: accept loop, bounded connection queue, worker pool, graceful shutdown.
+//!
+//! ## Concurrency model
+//!
+//! One accept thread owns the [`TcpListener`]; accepted connections are pushed into a
+//! bounded FIFO guarded by a mutex + condvar. A fixed pool of worker threads pops
+//! connections and serves them request-by-request (HTTP/1.1 keep-alive, socket read
+//! timeout as the idle bound). **Backpressure is immediate and explicit**: when the
+//! queue is full the accept thread answers `503 Service Unavailable` itself and closes —
+//! a saturated daemon sheds load in microseconds instead of stacking latency. In-flight
+//! capacity is therefore `workers + queue_capacity` connections.
+//!
+//! Per-request CPU is bounded by the handler guards (state budgets, allocation budgets,
+//! deadlines — see [`crate::handlers`]); per-request memory by the HTTP limits; worker
+//! loss by the panic shield around each request (a panicking handler answers `500`,
+//! never takes down the worker).
+
+use crate::cache::ResultCache;
+use crate::handlers::{self, HandlerCtx, RequestLimits};
+use crate::http::{self, HttpError, HttpLimits, Request, Response};
+use crate::metrics::Metrics;
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything the daemon is configured with.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (the bound address is reported by
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Bounded accept-queue capacity; connections beyond `workers + queue_capacity`
+    /// in flight are answered `503`.
+    pub queue_capacity: usize,
+    /// Total result-cache entries across shards.
+    pub cache_entries: usize,
+    /// Result-cache shard count (mutex granularity).
+    pub cache_shards: usize,
+    /// Socket read timeout: bounds each blocking `read` and therefore the keep-alive
+    /// idle wait.
+    pub read_timeout: Duration,
+    /// Total wall-clock budget for reading one request (head + body), checked after
+    /// every read. This is the slow-loris bound: a client dripping bytes under
+    /// `read_timeout` still loses the worker when this elapses. The clock starts when
+    /// the worker begins waiting for the request, so it also covers (and must exceed)
+    /// one keep-alive idle wait.
+    pub request_read_deadline: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Most requests served on one keep-alive connection before it is closed.
+    pub max_requests_per_connection: usize,
+    /// HTTP parsing limits (head/header/body sizes).
+    pub http: HttpLimits,
+    /// Caps for per-request options.
+    pub limits: RequestLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7411".into(),
+            workers: 8,
+            queue_capacity: 64,
+            cache_entries: 4096,
+            cache_shards: 16,
+            read_timeout: Duration::from_secs(5),
+            request_read_deadline: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 4096,
+            http: HttpLimits::default(),
+            limits: RequestLimits::default(),
+        }
+    }
+}
+
+/// State shared by the accept thread and the workers.
+#[derive(Debug)]
+struct Shared {
+    config: ServerConfig,
+    metrics: Metrics,
+    cache: ResultCache,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+        match self.queue.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A running daemon: its bound address and the handles needed to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+/// Builder entry point for the daemon.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and spawns the accept thread and worker pool; returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(config.cache_shards, config.cache_entries),
+            metrics: Metrics::new(),
+            queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity)),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let worker_threads = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fcpn-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fcpn-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the daemon is actually bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon stops (i.e. until [`shutdown`](Self::shutdown) is called
+    /// from another thread — the accept loop runs until told to stop).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        for worker in self.worker_threads.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops the daemon: no new connections are accepted, queued connections are
+    /// dropped, workers finish their current request and exit. Blocks until all
+    /// threads have joined.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept thread with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.ready.notify_all();
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        // Workers may be parked in the condvar or blocked in a socket read (bounded by
+        // the read timeout); keep nudging until each exits.
+        self.shared.lock_queue().clear();
+        self.shared.ready.notify_all();
+        for worker in self.worker_threads.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (EMFILE under fd pressure, say) would
+                // otherwise hard-spin this thread; back off briefly and retry.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared
+            .metrics
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let mut queue = shared.lock_queue();
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            shared
+                .metrics
+                .rejected_saturated
+                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.count_response(503);
+            reject_saturated(stream, shared);
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.ready.notify_one();
+        }
+    }
+}
+
+/// Answers `503` on the accept thread itself — the whole point of the bounded queue is
+/// that saturation costs one small write, not a worker.
+fn reject_saturated(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let response =
+        Response::error(503, "server saturated; retry later").with_header("Retry-After", "1");
+    let _ = http::write_response(&mut stream, &response, true);
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                queue = match shared.ready.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        serve_connection(stream, shared);
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    for served in 0.. {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let deadline = std::time::Instant::now() + shared.config.request_read_deadline;
+        let request = match http::read_request(&mut reader, &shared.config.http, Some(deadline)) {
+            Ok(Some(request)) => request,
+            Ok(None) | Err(HttpError::Disconnected) => return,
+            Err(HttpError::Malformed { status, message }) => {
+                let response = Response::error(status, &message);
+                shared.metrics.count_response(response.status);
+                let _ = http::write_response(reader.get_mut(), &response, true);
+                return;
+            }
+        };
+        shared
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
+        let response = dispatch(shared, &request);
+        let elapsed_us = started.elapsed().as_micros();
+        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.count_response(response.status);
+        let response = response.with_header("X-Fcpn-Elapsed-Us", &elapsed_us.to_string());
+        let close = request.wants_close()
+            || served + 1 >= shared.config.max_requests_per_connection
+            || shared.shutdown.load(Ordering::SeqCst);
+        if http::write_response(reader.get_mut(), &response, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Routes one request: the two GET probes are answered here (they need queue state),
+/// everything else goes through the API handlers. Handler panics (there should be none:
+/// the pipeline returns typed errors — but the daemon must outlive a bug) become `500`s.
+fn dispatch(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            crate::json::Json::obj([("status", crate::json::Json::from("ok"))]).render(),
+        ),
+        ("GET", "/metrics") => {
+            let queue_depth = shared.lock_queue().len();
+            Response::json(
+                200,
+                shared.metrics.render(
+                    shared.cache.hits(),
+                    shared.cache.misses(),
+                    shared.cache.len(),
+                    queue_depth,
+                    shared.config.queue_capacity,
+                    shared.config.workers,
+                ),
+            )
+        }
+        _ => {
+            let ctx = HandlerCtx {
+                limits: &shared.config.limits,
+                cache: &shared.cache,
+                metrics: &shared.metrics,
+            };
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handlers::handle(&ctx, request)
+            })) {
+                Ok(response) => response,
+                Err(_) => Response::error(500, "internal error while handling the request"),
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! End-to-end tests of the daemon over real sockets: concurrency, bit-identical
+//! agreement with direct library calls, backpressure, hostile input, shutdown.
+
+use fcpn_petri::io::to_text;
+use fcpn_petri::{gallery, PetriNet};
+use fcpn_qss::{quasi_static_schedule, QssOptions};
+use fcpn_serve::{
+    schedule_response_body, Client, LoadSpec, RequestLimits, Server, ServerConfig, ServerHandle,
+};
+use std::time::Duration;
+
+fn spawn(config: ServerConfig) -> ServerHandle {
+    Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("daemon binds an ephemeral port")
+}
+
+fn client(handle: &ServerHandle) -> Client {
+    Client::connect(&handle.addr().to_string(), Duration::from_secs(30)).expect("client connects")
+}
+
+fn expected_schedule_body(net: &PetriNet) -> String {
+    schedule_response_body(
+        net,
+        &quasi_static_schedule(net, &QssOptions::default()).expect("valid input"),
+    )
+}
+
+#[test]
+fn serves_64_concurrent_schedule_requests_bit_identical_to_library() {
+    // 16 workers + a 64-deep queue: 64 concurrent one-shot connections all fit in
+    // flight, so none may be rejected and every body must equal the library's answer —
+    // on the gallery nets and on the ATM case study.
+    let handle = spawn(ServerConfig {
+        workers: 16,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    });
+    let atm = fcpn_atm::AtmModel::build(fcpn_atm::AtmConfig::small()).expect("atm model builds");
+    let nets: Vec<PetriNet> = vec![
+        gallery::figure3a(),
+        gallery::figure4(),
+        gallery::figure5(),
+        gallery::choice_chain(5),
+        atm.net.clone(),
+    ];
+    let expected: Vec<String> = nets.iter().map(expected_schedule_body).collect();
+    let texts: Vec<String> = nets.iter().map(to_text).collect();
+
+    // Warm the result cache sequentially so the concurrent burst below measures the
+    // serving path, not 16 workers of one debug-mode ATM sweep each racing the same
+    // cold key on a single-core CI host.
+    {
+        let mut warm = client(&handle);
+        for (text, want) in texts.iter().zip(&expected) {
+            let response = warm
+                .request("POST", "/schedule", text.as_bytes())
+                .expect("warm request");
+            assert_eq!(response.status, 200);
+            assert_eq!(&response.body, want, "warm body diverged");
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for i in 0..64 {
+            let handle = &handle;
+            let texts = &texts;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = client(handle);
+                let which = i % texts.len();
+                let response = client
+                    .request("POST", "/schedule", texts[which].as_bytes())
+                    .expect("request completes");
+                assert_eq!(response.status, 200, "request {i}");
+                assert_eq!(response.body, expected[which], "request {i} body diverged");
+            });
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn saturation_returns_503_not_a_hang() {
+    // One worker and a 2-deep queue: 8 connections opened before any request is sent
+    // exceed in-flight capacity (1 + 2), so at least one must be shed with a 503 and
+    // every connection must get a definite answer (no hang, no abort).
+    let handle = spawn(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+    let text = to_text(&gallery::figure4());
+    let outcomes: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = handle.addr().to_string();
+                let text = text.clone();
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect(&addr, Duration::from_secs(30)).expect("connect");
+                    // Hold the connection open so all 8 are in flight simultaneously
+                    // before the single worker can drain any of them.
+                    std::thread::sleep(Duration::from_millis(300));
+                    match client.request("POST", "/schedule", text.as_bytes()) {
+                        Ok(response) => response.status,
+                        // A shed connection may already be closed by the time we write.
+                        Err(_) => 503,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ok = outcomes.iter().filter(|&&s| s == 200).count();
+    let shed = outcomes.iter().filter(|&&s| s == 503).count();
+    assert_eq!(ok + shed, 8, "every connection got a definite outcome");
+    assert!(shed >= 1, "expected shedding, got statuses {outcomes:?}");
+    // Everything that made it into the queue must be served. Whether the worker had
+    // already popped a connection when the burst arrived depends on scheduling (on a
+    // single-core CI host it often has not), so the guaranteed floor is the queue
+    // capacity alone.
+    assert!(
+        ok >= 2,
+        "queued connections must still be served: {outcomes:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests_with_cache_hits() {
+    let handle = spawn(ServerConfig::default());
+    let net = gallery::figure5();
+    let expected = expected_schedule_body(&net);
+    let text = to_text(&net);
+    let mut client = client(&handle);
+    let mut dispositions = Vec::new();
+    for _ in 0..10 {
+        let response = client
+            .request("POST", "/schedule", text.as_bytes())
+            .expect("keep-alive request");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, expected);
+        dispositions.push(response.header("x-fcpn-cache").unwrap_or("?").to_string());
+    }
+    assert_eq!(dispositions[0], "miss");
+    assert!(
+        dispositions[1..].iter().all(|d| d == "hit"),
+        "repeat queries must hit the cache: {dispositions:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn load_generator_reports_latencies_and_hit_rate() {
+    let handle = spawn(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let spec = LoadSpec {
+        connections: 8,
+        requests_per_connection: 8,
+        target: "/schedule".into(),
+        nets: vec![
+            ("figure3a".into(), to_text(&gallery::figure3a())),
+            ("figure5".into(), to_text(&gallery::figure5())),
+        ],
+        timeout: Duration::from_secs(30),
+    };
+    let report =
+        fcpn_serve::load::run_load(&handle.addr().to_string(), &spec).expect("load run completes");
+    assert_eq!(report.requests, 64);
+    assert_eq!(
+        report.ok, 64,
+        "errors={} rejected={}",
+        report.errors, report.rejected
+    );
+    assert!(report.p50_us > 0.0 && report.p95_us >= report.p50_us);
+    // 64 requests over 2 distinct (net, options) keys: at least one miss per key, but
+    // concurrent cold requests on the same key may each miss before the first insert
+    // lands, so the split is a range, not an exact count.
+    assert_eq!(report.cache_hits + report.cache_misses, 64);
+    assert!(report.cache_misses >= 2, "misses {}", report.cache_misses);
+    assert!(report.cache_hits >= 32, "hits {}", report.cache_hits);
+    assert!(report.cache_hit_rate() >= 0.5);
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_metrics_and_hostile_inputs() {
+    let handle = spawn(ServerConfig {
+        limits: RequestLimits {
+            // Tiny caps so the guard paths trigger instantly.
+            max_allocations: 8,
+            ..RequestLimits::default()
+        },
+        http: fcpn_serve::HttpLimits {
+            max_body_bytes: 4096,
+            ..fcpn_serve::HttpLimits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut c = client(&handle);
+
+    let health = c.request("GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"ok\""));
+
+    // Garbage net text: 400 with the offending line, connection stays usable.
+    let bad = c
+        .request("POST", "/schedule", b"net x\nfoo bar")
+        .expect("bad net answered");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("line 2"));
+
+    // Non-free-choice input: a typed 422 verdict, not a 500.
+    let nfc = c
+        .request(
+            "POST",
+            "/schedule",
+            to_text(&gallery::figure1b()).as_bytes(),
+        )
+        .expect("nfc answered");
+    assert_eq!(nfc.status, 422);
+
+    // An allocation-budget blowup: typed 422 with the required count.
+    let big = c
+        .request(
+            "POST",
+            "/schedule",
+            to_text(&gallery::choice_chain(8)).as_bytes(),
+        )
+        .expect("budget answered");
+    assert_eq!(big.status, 422);
+    assert!(big.body.contains("too many allocations"));
+
+    // Oversized body: shed with 413.
+    let huge = "#".repeat(8192);
+    // The server may close right after writing the 413, so a transport error is also
+    // acceptable; what matters is that it did not crash.
+    if let Ok(response) = c.request("POST", "/schedule", huge.as_bytes()) {
+        assert_eq!(response.status, 413);
+    }
+
+    // The daemon survived all of it.
+    let mut c2 = client(&handle);
+    let metrics = c2.request("GET", "/metrics", b"").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+    assert!(value.get("requests_total").unwrap().as_u64().unwrap() >= 4);
+    assert!(
+        value
+            .get("responses_client_error")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 2
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn per_request_thread_option_matches_sequential_answer() {
+    // The sharded scheduler pins bit-identical outcomes for any thread count; the
+    // daemon must preserve that through the options plumbing.
+    let handle = spawn(ServerConfig::default());
+    let net = gallery::choice_chain(6);
+    let text = to_text(&net);
+    let expected = expected_schedule_body(&net);
+    let mut c = client(&handle);
+    for query in ["/schedule", "/schedule?threads=2", "/schedule?threads=4"] {
+        let response = c.request("POST", query, text.as_bytes()).expect("request");
+        assert_eq!(response.status, 200, "{query}");
+        assert_eq!(response.body, expected, "{query} diverged");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_request_is_dropped_at_the_read_deadline() {
+    // A client dripping head bytes under the socket read timeout must still lose its
+    // worker at the per-request read deadline — otherwise `workers` cheap connections
+    // would pin the whole pool.
+    use std::io::{Read, Write};
+    let handle = spawn(ServerConfig {
+        request_read_deadline: Duration::from_millis(300),
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .write_all(b"POST /schedule HTTP/1.1\r\nContent-")
+        .unwrap();
+    // One byte every 100ms: each read succeeds within the 200ms socket timeout, but
+    // the 300ms total deadline blows well before the head completes.
+    for _ in 0..8 {
+        std::thread::sleep(Duration::from_millis(100));
+        if stream.write_all(b"x").is_err() {
+            break; // server already reset us — exactly what we want
+        }
+    }
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    match stream.read(&mut buf) {
+        Ok(0) => {} // clean close: the worker was released
+        Err(e)
+            if !matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) => {} // reset: also released
+        other => panic!("server kept the slow connection alive: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_port_is_released() {
+    let handle = spawn(ServerConfig::default());
+    let addr = handle.addr();
+    let mut c = Client::connect(&addr.to_string(), Duration::from_secs(5)).unwrap();
+    assert_eq!(c.request("GET", "/healthz", b"").unwrap().status, 200);
+    handle.shutdown();
+    // The listener is gone: a fresh bind of the same port succeeds.
+    let rebound = std::net::TcpListener::bind(addr);
+    assert!(rebound.is_ok(), "port was not released: {rebound:?}");
+}

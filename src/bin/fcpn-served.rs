@@ -1,0 +1,78 @@
+//! `fcpn-served` — the standalone scheduler daemon.
+//!
+//! Binds a TCP address and serves the `fcpn-serve` endpoints until the process is
+//! terminated (SIGTERM/SIGINT; the process relies on the default signal disposition, so
+//! a TERM is an immediate, stateless stop — every completed response has already been
+//! written, and the kernel closes what was in flight).
+//!
+//! ```text
+//! fcpn-served [--addr 127.0.0.1:7411] [--workers N] [--queue N]
+//!             [--cache-entries N] [--max-threads N] [--deadline-ms N]
+//!             [--read-timeout-ms N]
+//! ```
+
+use fcpn_serve::{Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fcpn-served [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--cache-entries N] [--max-threads N] [--deadline-ms N] [--read-timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        let parse_num = |i: usize| -> u64 { value(i).parse().unwrap_or_else(|_| usage()) };
+        match args[i].as_str() {
+            "--addr" => config.addr = value(i).to_string(),
+            "--workers" => config.workers = parse_num(i) as usize,
+            "--queue" => config.queue_capacity = parse_num(i) as usize,
+            "--cache-entries" => config.cache_entries = parse_num(i) as usize,
+            "--max-threads" => config.limits.max_threads = (parse_num(i) as usize).max(1),
+            "--deadline-ms" => {
+                let ms = parse_num(i).max(1);
+                config.limits.default_deadline_ms = ms;
+                // The per-request clamp works against max_deadline_ms; an operator
+                // asking for a longer default must get it, not a silent 30s cap.
+                config.limits.max_deadline_ms = config.limits.max_deadline_ms.max(ms);
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout = Duration::from_millis(parse_num(i).max(1));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+        i += 2;
+    }
+
+    let handle = match Server::spawn(config.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("fcpn-served: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    // Machine-greppable readiness line (the CI smoke job waits for it).
+    println!(
+        "fcpn-served listening on {} ({} workers, queue {})",
+        handle.addr(),
+        config.workers,
+        config.queue_capacity
+    );
+    // Serve until the process is killed: the accept loop only returns on shutdown(),
+    // which nothing triggers here — SIGTERM terminates the whole process instead.
+    handle.join();
+}

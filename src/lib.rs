@@ -15,6 +15,8 @@
 //!   interpreter.
 //! * [`rtos`] — run-time substrate: workloads, cost model, cycle-accounting simulators.
 //! * [`atm`] — the ATM-server case study and the Table I harness.
+//! * [`serve`] — the scheduler daemon: HTTP endpoints, worker pool, result cache, load
+//!   generator (also shipped standalone as the `fcpn-served` binary).
 //!
 //! # Quick start
 //!
@@ -47,6 +49,8 @@ pub use fcpn_qss as qss;
 pub use fcpn_rtos as rtos;
 /// Static SDF scheduling (re-export of `fcpn-sdf`).
 pub use fcpn_sdf as sdf;
+/// The scheduler daemon (re-export of `fcpn-serve`).
+pub use fcpn_serve as serve;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,197 @@
+//! Property tests pinning `parse_net(to_text(net))` identity on gallery and seeded
+//! random nets.
+//!
+//! The `fcpn-serve` daemon makes the textual net format an **untrusted input surface**:
+//! every request body goes through `parse_net`, and cached responses are keyed by the
+//! fingerprint of whatever it produced. These tests pin (1) that serialisation is a
+//! lossless inverse of parsing — structure, weights, marking, names and fingerprints all
+//! survive the round trip, including isolated nodes and weighted arcs — and (2) that
+//! malformed input fails with a typed parse error carrying the right line number, never
+//! a panic.
+
+use fcpn::petri::io::{parse_net, to_text};
+use fcpn::petri::{gallery, net_fingerprint, NetBuilder, PetriError, PetriNet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Structural equality after a round trip: ids are assigned in declaration order and
+/// `to_text` writes nodes in index order, so everything must match index for index.
+fn assert_roundtrip_identity(net: &PetriNet, context: &str) {
+    let text = to_text(net);
+    let again = parse_net(&text).unwrap_or_else(|e| panic!("{context}: reparse failed: {e}"));
+    assert_eq!(net.name(), again.name(), "{context}: name");
+    assert_eq!(net.place_count(), again.place_count(), "{context}: places");
+    assert_eq!(
+        net.transition_count(),
+        again.transition_count(),
+        "{context}: transitions"
+    );
+    assert_eq!(net.arc_count(), again.arc_count(), "{context}: arcs");
+    assert_eq!(
+        net.initial_marking(),
+        again.initial_marking(),
+        "{context}: marking"
+    );
+    for p in net.places() {
+        assert_eq!(net.place_name(p), again.place_name(p), "{context}: {p:?}");
+    }
+    for t in net.transitions() {
+        assert_eq!(
+            net.transition_name(t),
+            again.transition_name(t),
+            "{context}: {t:?}"
+        );
+        assert_eq!(net.inputs(t), again.inputs(t), "{context}: inputs of {t:?}");
+        assert_eq!(
+            net.outputs(t),
+            again.outputs(t),
+            "{context}: outputs of {t:?}"
+        );
+    }
+    // The fingerprint folds counts, marking, weighted arcs and names — one equality
+    // that catches any drift the field-by-field checks might miss, and exactly the key
+    // the daemon's result cache would use for both copies.
+    assert_eq!(
+        net_fingerprint(net),
+        net_fingerprint(&again),
+        "{context}: fingerprint"
+    );
+    // And serialisation is deterministic: a second trip emits identical text.
+    assert_eq!(text, to_text(&again), "{context}: text not a fixpoint");
+}
+
+/// A random net: places with random initial tokens, transitions, weighted arcs in both
+/// directions, and (often) isolated places/transitions with no arcs at all.
+fn random_net(rng: &mut StdRng, seed: u64) -> PetriNet {
+    let mut b = NetBuilder::new(format!("random-{seed}"));
+    let place_count = rng.gen_range(1..10usize);
+    let transition_count = rng.gen_range(1..10usize);
+    let places: Vec<_> = (0..place_count)
+        .map(|i| b.place(format!("p{i}"), rng.gen_range(0..50u64)))
+        .collect();
+    let transitions: Vec<_> = (0..transition_count)
+        .map(|i| b.transition(format!("t{i}")))
+        .collect();
+    // Random weighted arcs; duplicates are skipped (the builder rejects them), so some
+    // nodes stay isolated — the round trip must keep them.
+    let mut used = std::collections::HashSet::new();
+    for _ in 0..rng.gen_range(0..18usize) {
+        let p = places[rng.gen_range(0..places.len())];
+        let t = transitions[rng.gen_range(0..transitions.len())];
+        let weight = rng.gen_range(1..9u64);
+        if rng.gen_bool(0.5) {
+            if used.insert((p.index(), t.index(), true)) {
+                b.arc_p_t(p, t, weight).expect("fresh arc");
+            }
+        } else if used.insert((p.index(), t.index(), false)) {
+            b.arc_t_p(t, p, weight).expect("fresh arc");
+        }
+    }
+    b.build().expect("random net is valid")
+}
+
+#[test]
+fn gallery_nets_roundtrip_exactly() {
+    let nets = [
+        gallery::figure1a(),
+        gallery::figure1b(),
+        gallery::figure2(),
+        gallery::figure3a(),
+        gallery::figure3b(),
+        gallery::figure4(),
+        gallery::figure5(),
+        gallery::figure7(),
+        gallery::choice_chain(6),
+        gallery::marked_ring(9, 3),
+        gallery::cycle_bank(5),
+    ];
+    for net in &nets {
+        assert_roundtrip_identity(net, net.name());
+    }
+}
+
+#[test]
+fn seeded_random_nets_roundtrip_exactly() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xF0C5_0000 + seed);
+        let net = random_net(&mut rng, seed);
+        assert_roundtrip_identity(&net, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn isolated_nodes_survive_the_roundtrip() {
+    let mut b = NetBuilder::new("isolated");
+    b.place("lonely_place", 7);
+    b.transition("lonely_transition");
+    let p = b.place("connected", 1);
+    let t = b.transition("consumer");
+    b.arc_p_t(p, t, 3).unwrap();
+    let net = b.build().unwrap();
+    assert_roundtrip_identity(&net, "isolated");
+    let again = parse_net(&to_text(&net)).unwrap();
+    assert_eq!(
+        again.initial_marking().tokens(fcpn::petri::PlaceId::new(0)),
+        7
+    );
+    assert_eq!(again.arc_count(), 1);
+}
+
+#[test]
+fn malformed_inputs_fail_with_the_right_line() {
+    let cases: [(&str, usize); 7] = [
+        ("net x\nbogus keyword", 2),
+        ("net x\nplace", 2),
+        ("net x\ntransition", 2),
+        ("net x\nplace p\narc p", 3),
+        ("net x\nplace p\ntransition t\narc p t", 4),
+        ("net x\nplace p\ntransition t\narc p -> t zero", 4),
+        ("net x\nplace a\nplace b\narc a -> b", 4),
+    ];
+    for (input, expected_line) in cases {
+        match parse_net(input) {
+            Err(PetriError::Parse { line, .. }) => {
+                assert_eq!(line, expected_line, "input {input:?}")
+            }
+            other => panic!("input {input:?} produced {other:?}"),
+        }
+    }
+    // References to undeclared nodes carry the arc's line.
+    match parse_net("net x\nplace p\narc p -> ghost") {
+        Err(PetriError::Parse { line, message }) => {
+            assert_eq!(line, 3);
+            assert!(message.contains("ghost"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn builder_errors_propagate_through_the_parser() {
+    // Not parse errors: structurally invalid declarations hit the builder's own typed
+    // errors and must come back as such, not as panics.
+    assert!(matches!(
+        parse_net("net x\nplace dup\nplace dup"),
+        Err(PetriError::DuplicateName(_))
+    ));
+    assert!(matches!(
+        parse_net("net x\nplace p\ntransition t\narc p -> t 0"),
+        Err(PetriError::ZeroWeightArc)
+    ));
+    assert!(matches!(
+        parse_net("net x\nplace p\ntransition t\narc p -> t\narc p -> t 2"),
+        Err(PetriError::DuplicateArc(_))
+    ));
+}
+
+#[test]
+fn token_counts_and_weights_hit_their_extremes() {
+    // Tokens go up to the full u64 range; arc weights are capped at i64::MAX by the
+    // engine's signed delta rows.
+    let mut b = NetBuilder::new("extremes");
+    let p = b.place("p", u64::MAX);
+    let t = b.transition("t");
+    b.arc_p_t(p, t, i64::MAX as u64).unwrap();
+    let net = b.build().unwrap();
+    assert_roundtrip_identity(&net, "extremes");
+}
