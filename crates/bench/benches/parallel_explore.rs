@@ -52,6 +52,7 @@ fn bench_parallel_explore(c: &mut Criterion) {
                 reach: *reach,
                 threads,
                 width,
+                ..ExploreOptions::default()
             };
             group.bench_with_input(BenchmarkId::new(label, name), net, |b, net| {
                 b.iter(|| StateSpace::explore_with(black_box(net), &options))

@@ -1,0 +1,250 @@
+//! `chaos_harness` — fault-injection runs against a *real* `fcpn-served` process.
+//!
+//! The socket tests exercise the daemon in-process; this harness exercises the shipped
+//! binary the way an operator's worst day does: blown deadlines mid-sweep, clients that
+//! drip or vanish mid-request, and a `kill -9` straight through a persistent-cache
+//! append followed by a restart on the same directory. Each run prints `ok`/`FAIL` and
+//! the process exits non-zero if any run failed — the CI `chaos-smoke` job gates on it.
+//!
+//! ```text
+//! cargo build --release --bin fcpn-served
+//! cargo run --release -p fcpn-bench --example chaos_harness -- \
+//!     --bin ./target/release/fcpn-served
+//! ```
+//!
+//! Runs, in order:
+//!
+//! 1. **cancellation-latency** — `/schedule?deadline_ms=1&cache=0&threads=1` on
+//!    `choice_chain(12)` (4096 allocations, far beyond 1ms) must answer `503` within
+//!    50ms of the deadline, and `/metrics` must show `cancelled_in_stage >= 1`.
+//! 2. **slow-loris / disconnect** — a dripping client and a mid-body hangup, after
+//!    which `/healthz` must still answer `200` promptly.
+//! 3. **kill-9 + recovery** — warm the persistent cache, then `kill -9` the daemon
+//!    while a writer thread is churning fresh cache appends, restart it on the same
+//!    `--cache-dir`, and require every warmed response byte-identical to the
+//!    library-computed oracle plus readable `persist_*` metrics.
+
+use fcpn_petri::io::to_text;
+use fcpn_petri::{gallery, PetriNet};
+use fcpn_qss::{quasi_static_schedule, QssOptions};
+use fcpn_serve::chaos::{
+    fetch, healthz_ok, probe_cancellation, probe_mid_request_disconnect, probe_slow_loris,
+    DaemonProcess,
+};
+use fcpn_serve::schedule_response_body;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: chaos_harness --bin PATH/TO/fcpn-served [--keep-cache-dir]");
+    std::process::exit(2);
+}
+
+fn expected_body(net: &PetriNet) -> String {
+    schedule_response_body(
+        net,
+        &quasi_static_schedule(net, &QssOptions::default()).expect("gallery net schedules"),
+    )
+}
+
+/// Reads one numeric counter out of the `/metrics` JSON body (flat object, numeric
+/// values) without a JSON dependency: finds `"key":` and parses the digits after it.
+fn metrics_counter(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &body[body.find(&needle)? + needle.len()..];
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+struct Outcomes {
+    failed: usize,
+}
+
+impl Outcomes {
+    fn run(&mut self, name: &str, result: Result<(), String>) {
+        match result {
+            Ok(()) => println!("ok    {name}"),
+            Err(why) => {
+                self.failed += 1;
+                println!("FAIL  {name}: {why}");
+            }
+        }
+    }
+}
+
+fn spawn(binary: &str, cache_dir: &str) -> DaemonProcess {
+    DaemonProcess::spawn(
+        binary,
+        &[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--cache-dir",
+            cache_dir,
+        ],
+    )
+    .expect("spawn fcpn-served")
+}
+
+fn cancellation_latency(addr: &str) -> Result<(), String> {
+    let net_text = to_text(&gallery::choice_chain(12));
+    let deadline_ms = 1u64;
+    let probe = probe_cancellation(addr, &net_text, deadline_ms, Duration::from_secs(10))
+        .map_err(|e| format!("probe failed: {e}"))?;
+    if probe.status != 503 {
+        return Err(format!("expected 503, got {}", probe.status));
+    }
+    let bound = Duration::from_millis(deadline_ms + 50);
+    if probe.elapsed > bound {
+        return Err(format!(
+            "503 took {:?}, more than 50ms past the {deadline_ms}ms deadline",
+            probe.elapsed
+        ));
+    }
+    let metrics = fetch(addr, "GET", "/metrics", b"", Duration::from_secs(5))
+        .map_err(|e| format!("metrics fetch failed: {e}"))?;
+    match metrics_counter(&metrics.body, "cancelled_in_stage") {
+        Some(n) if n >= 1 => Ok(()),
+        other => Err(format!(
+            "cancelled_in_stage should be >= 1 after the probe, got {other:?}"
+        )),
+    }
+}
+
+fn hostile_clients(addr: &str) -> Result<(), String> {
+    probe_slow_loris(addr, Duration::from_secs(3)).map_err(|e| format!("slow-loris: {e}"))?;
+    probe_mid_request_disconnect(addr, &[b'x'; 8192]).map_err(|e| format!("disconnect: {e}"))?;
+    match healthz_ok(addr, Duration::from_secs(5)) {
+        Ok(true) => Ok(()),
+        Ok(false) => Err("healthz not 200 after hostile clients".into()),
+        Err(e) => Err(format!("healthz: {e}")),
+    }
+}
+
+fn kill9_recovery(binary: &str, cache_dir: &str) -> Result<(), String> {
+    let warm: Vec<(String, String, String)> = [gallery::figure4(), gallery::figure5()]
+        .iter()
+        .map(|net| (net.name().to_string(), to_text(net), expected_body(net)))
+        .collect();
+
+    let daemon = spawn(binary, cache_dir);
+    let addr = daemon.addr().to_string();
+    for (name, text, expected) in &warm {
+        let response = fetch(
+            &addr,
+            "POST",
+            "/schedule",
+            text.as_bytes(),
+            Duration::from_secs(10),
+        )
+        .map_err(|e| format!("warm {name}: {e}"))?;
+        if response.status != 200 || &response.body != expected {
+            return Err(format!("warm {name}: bad response ({})", response.status));
+        }
+    }
+    // Churn distinct cache appends from a writer thread so the kill lands with the
+    // shard logs mid-write with high probability.
+    let churn_addr = addr.clone();
+    let writer = std::thread::spawn(move || {
+        for n in 3..64usize {
+            let text = to_text(&gallery::choice_chain(n % 8 + 2));
+            if fetch(
+                &churn_addr,
+                "POST",
+                &format!("/schedule?deadline_ms={}", 10_000 + n),
+                text.as_bytes(),
+                Duration::from_secs(5),
+            )
+            .is_err()
+            {
+                break; // daemon was killed — that is the point
+            }
+        }
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    daemon.kill9().map_err(|e| format!("kill -9: {e}"))?;
+    let _ = writer.join();
+
+    // Restart on the same directory: recovery must never fail startup, the warmed
+    // responses must come back byte-identical, and the persist counters must render.
+    let daemon = spawn(binary, cache_dir);
+    let addr = daemon.addr().to_string();
+    for (name, text, expected) in &warm {
+        let response = fetch(
+            &addr,
+            "POST",
+            "/schedule",
+            text.as_bytes(),
+            Duration::from_secs(10),
+        )
+        .map_err(|e| format!("re-query {name}: {e}"))?;
+        if response.status != 200 {
+            return Err(format!("re-query {name}: status {}", response.status));
+        }
+        if &response.body != expected {
+            return Err(format!("re-query {name}: bytes diverged after recovery"));
+        }
+    }
+    let metrics = fetch(&addr, "GET", "/metrics", b"", Duration::from_secs(5))
+        .map_err(|e| format!("metrics after restart: {e}"))?;
+    let recovered = metrics_counter(&metrics.body, "persist_recovered_entries");
+    let truncations = metrics_counter(&metrics.body, "persist_torn_tail_truncations");
+    match (recovered, truncations) {
+        (Some(r), Some(_)) if r >= 1 => {}
+        other => {
+            return Err(format!(
+                "persist counters missing or empty after restart: {other:?}"
+            ))
+        }
+    }
+    daemon.kill9().map_err(|e| format!("final kill: {e}"))?;
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut binary: Option<String> = None;
+    let mut keep_cache_dir = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bin" => {
+                binary = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--keep-cache-dir" => {
+                keep_cache_dir = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let binary = binary.unwrap_or_else(|| usage());
+    let cache_dir = std::env::temp_dir().join(format!("fcpn-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache_dir = cache_dir.to_string_lossy().into_owned();
+
+    let mut outcomes = Outcomes { failed: 0 };
+
+    {
+        let daemon = spawn(&binary, &cache_dir);
+        let addr = daemon.addr().to_string();
+        outcomes.run("cancellation-latency", cancellation_latency(&addr));
+        outcomes.run("hostile-clients", hostile_clients(&addr));
+        daemon.kill9().expect("tear down first daemon");
+    }
+    outcomes.run("kill9-recovery", kill9_recovery(&binary, &cache_dir));
+
+    if !keep_cache_dir {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+    if outcomes.failed > 0 {
+        eprintln!("{} chaos run(s) failed", outcomes.failed);
+        std::process::exit(1);
+    }
+    println!("all chaos runs passed");
+}

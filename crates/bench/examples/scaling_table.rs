@@ -118,6 +118,7 @@ fn measure_explore(case: &ExploreCase) -> ExploreRow {
         reach: case.options,
         threads: c.threads,
         width: c.width,
+        ..ExploreOptions::default()
     };
 
     let reference = StateSpace::explore(&case.net, case.options);

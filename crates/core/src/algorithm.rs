@@ -15,11 +15,12 @@ use crate::{
     ComponentCache, ComponentChecker, ComponentFailure, ComponentVerdict, FiniteCompleteCycle,
     GrayAllocationIter, NaiveComponentCache, ReductionWorkspace, Result, TReduction, ValidSchedule,
 };
+use fcpn_petri::cancel::{CancelGate, CancelToken, Cancelled};
 use fcpn_petri::{PetriNet, TransitionId};
 use std::fmt;
 
 /// Options for the quasi-static scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QssOptions {
     /// Limits for T-allocation enumeration (exponential in the number of choices).
     pub allocation: AllocationOptions,
@@ -35,6 +36,14 @@ pub struct QssOptions {
     /// results are merged back into seed order — the outcome is bit-for-bit identical
     /// for any thread count. `0` and `1` both mean sequential.
     pub threads: usize,
+    /// Cooperative cancellation: every sweep worker polls this token between
+    /// allocations and the whole sweep returns
+    /// [`QssError::Cancelled`](crate::QssError::Cancelled) when it fires. The default
+    /// ([`CancelToken::never`]) is free and never fires; an armed token that never
+    /// fires leaves the outcome bit-for-bit identical. The retained seed pipeline
+    /// ([`quasi_static_schedule_naive`]) deliberately ignores it — it is the oracle the
+    /// production sweep is measured against, not a service entry point.
+    pub cancel: CancelToken,
 }
 
 impl Default for QssOptions {
@@ -43,6 +52,7 @@ impl Default for QssOptions {
             allocation: AllocationOptions::default(),
             reuse_component_cache: true,
             threads: 1,
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -121,6 +131,8 @@ impl QssOutcome {
 /// [`QssError::TooManyAllocations`](crate::QssError::TooManyAllocations) if the input is
 /// outside the algorithm's domain — these
 /// are input errors, distinct from the legitimate [`QssOutcome::NotSchedulable`] verdict.
+/// Returns [`QssError::Cancelled`](crate::QssError::Cancelled) when `options.cancel`
+/// fires mid-sweep; the partial sweep is discarded.
 ///
 /// # Examples
 ///
@@ -158,14 +170,24 @@ pub fn quasi_static_schedule(net: &PetriNet, options: &QssOptions) -> Result<Qss
                 })
                 .collect();
             let mut merged = Vec::with_capacity(total as usize);
+            let mut cancelled = false;
             for handle in handles {
-                merged.extend(handle.join().expect("sweep worker panicked"));
+                // Join every worker before reporting the cancellation — the scope must
+                // not be poisoned by an early return while threads still run.
+                match handle.join().expect("sweep worker panicked") {
+                    Ok(chunk) => merged.extend(chunk),
+                    Err(Cancelled) => cancelled = true,
+                }
             }
-            merged
+            if cancelled {
+                Err(Cancelled)
+            } else {
+                Ok(merged)
+            }
         })
     } else {
         sweep_range(net, allocations, options)
-    };
+    }?;
     // Merge back into the seed (counting) enumeration order: the public outcome is
     // bit-for-bit the seed scheduler's regardless of sweep order or thread count.
     results.sort_by_key(|&(rank, _)| rank);
@@ -197,16 +219,22 @@ enum SweepItem {
 /// Sweeps one contiguous gray range of the allocation space on the zero-allocation
 /// pipeline: a reusable [`ReductionWorkspace`], a [`ComponentChecker`] and (when
 /// enabled) a range-local [`ComponentCache`].
+///
+/// Polls `options.cancel` between allocations (a component check costs microseconds to
+/// milliseconds, so a small polling stride keeps the cancellation latency far below the
+/// service-level bound) and abandons the range with [`Cancelled`] when it fires.
 fn sweep_range(
     net: &PetriNet,
     range: GrayAllocationIter,
     options: &QssOptions,
-) -> Vec<(u128, SweepItem)> {
+) -> Result<Vec<(u128, SweepItem)>, Cancelled> {
     let mut checker = ComponentChecker::new(net);
     let mut workspace = ReductionWorkspace::new();
     let mut cache = ComponentCache::default();
+    let mut cancel_gate = CancelGate::new(16);
     let mut out = Vec::with_capacity(range.remaining() as usize);
     for (rank, allocation) in range {
+        cancel_gate.check(&options.cancel)?;
         if !options.reuse_component_cache {
             cache.clear();
         }
@@ -223,7 +251,7 @@ fn sweep_range(
         };
         out.push((rank, item));
     }
-    out
+    Ok(out)
 }
 
 /// The seed scheduling pipeline, retained end to end: counting-order enumeration
@@ -359,6 +387,42 @@ mod tests {
             quasi_static_schedule(&net, &QssOptions::default()),
             Err(QssError::NotFreeChoice { .. })
         ));
+    }
+
+    #[test]
+    fn pre_fired_token_cancels_the_sweep_at_any_thread_count() {
+        let net = gallery::choice_chain(6);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        for threads in [1usize, 2, 4] {
+            let options = QssOptions {
+                threads,
+                cancel: cancel.clone(),
+                ..QssOptions::default()
+            };
+            assert!(matches!(
+                quasi_static_schedule(&net, &options),
+                Err(QssError::Cancelled)
+            ));
+        }
+    }
+
+    #[test]
+    fn armed_but_never_firing_token_is_bit_identical() {
+        let net = gallery::choice_chain(5);
+        let baseline = quasi_static_schedule(&net, &QssOptions::default()).unwrap();
+        for threads in [1usize, 2, 4] {
+            let options = QssOptions {
+                threads,
+                cancel: CancelToken::new(),
+                ..QssOptions::default()
+            };
+            assert_eq!(
+                quasi_static_schedule(&net, &options).unwrap(),
+                baseline,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

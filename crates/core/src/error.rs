@@ -33,6 +33,10 @@ pub enum QssError {
     Petri(PetriError),
     /// An underlying static-scheduling operation failed.
     Sdf(SdfError),
+    /// The sweep was abandoned because its [`CancelToken`](fcpn_petri::CancelToken)
+    /// fired (explicit cancel or blown deadline) — a caller decision, not a property of
+    /// the input net.
+    Cancelled,
 }
 
 impl fmt::Display for QssError {
@@ -50,6 +54,7 @@ impl fmt::Display for QssError {
             ),
             QssError::Petri(e) => write!(f, "petri net error: {e}"),
             QssError::Sdf(e) => write!(f, "static scheduling error: {e}"),
+            QssError::Cancelled => write!(f, "scheduling cancelled"),
         }
     }
 }
@@ -73,6 +78,12 @@ impl From<PetriError> for QssError {
 impl From<SdfError> for QssError {
     fn from(e: SdfError) -> Self {
         QssError::Sdf(e)
+    }
+}
+
+impl From<fcpn_petri::Cancelled> for QssError {
+    fn from(_: fcpn_petri::Cancelled) -> Self {
+        QssError::Cancelled
     }
 }
 

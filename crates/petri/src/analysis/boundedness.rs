@@ -2,6 +2,7 @@
 //! unboundedness detection via a coverability (Karp–Miller style) search.
 
 use super::reachability::ReachabilityOptions;
+use crate::cancel::{CancelGate, CancelToken, Cancelled};
 use crate::statespace::{ExploreOptions, MarkingArena, StateSpace};
 use crate::{PetriNet, PlaceId, TransitionId};
 use std::collections::VecDeque;
@@ -66,7 +67,8 @@ fn strictly_covers(a: &[u64], b: &[u64]) -> bool {
 /// per successor) and successors are generated with the allocation-free
 /// [`PetriNet::fire_into`] fast path.
 pub fn check_boundedness(net: &PetriNet, options: BoundednessOptions) -> Boundedness {
-    check_boundedness_covering(net, options)
+    check_boundedness_covering(net, options, &CancelToken::never())
+        .expect("a never-firing token cannot cancel")
 }
 
 /// [`check_boundedness`] with explicit engine configuration.
@@ -84,23 +86,51 @@ pub fn check_boundedness_with(
     options: BoundednessOptions,
     explore: &ExploreOptions,
 ) -> Boundedness {
+    try_check_boundedness_with(net, options, explore).expect(
+        "boundedness check cancelled; use try_check_boundedness_with with an armed CancelToken",
+    )
+}
+
+/// [`check_boundedness_with`] for callers that arm `explore.cancel`: both the parallel
+/// reachability prepass and the covering search poll the token and surface
+/// [`Cancelled`] instead of a verdict when it fires. A never-firing token makes this
+/// identical to [`check_boundedness_with`].
+///
+/// # Errors
+///
+/// [`Cancelled`] when `explore.cancel` fires before a verdict is reached.
+pub fn try_check_boundedness_with(
+    net: &PetriNet,
+    options: BoundednessOptions,
+    explore: &ExploreOptions,
+) -> Result<Boundedness, Cancelled> {
     if explore.resolved_threads() > 1 {
         let reach = ReachabilityOptions {
             max_markings: options.max_nodes,
             max_tokens_per_place: explore.reach.max_tokens_per_place,
         };
-        let space = StateSpace::explore_with(net, &ExploreOptions { reach, ..*explore });
+        let space = StateSpace::try_explore_with(
+            net,
+            &ExploreOptions {
+                reach,
+                ..explore.clone()
+            },
+        )?;
         if space.is_complete() {
-            return Boundedness::Bounded {
+            return Ok(Boundedness::Bounded {
                 k: space.max_tokens_observed(),
-            };
+            });
         }
     }
-    check_boundedness_covering(net, options)
+    check_boundedness_covering(net, options, &explore.cancel)
 }
 
 /// The sequential coverability-style covering search (see [`check_boundedness`]).
-fn check_boundedness_covering(net: &PetriNet, options: BoundednessOptions) -> Boundedness {
+fn check_boundedness_covering(
+    net: &PetriNet,
+    options: BoundednessOptions,
+    cancel: &CancelToken,
+) -> Result<Boundedness, Cancelled> {
     let places = net.place_count();
     let mut arena = MarkingArena::new(places);
     arena.intern(net.initial_marking().as_slice());
@@ -113,10 +143,12 @@ fn check_boundedness_covering(net: &PetriNet, options: BoundednessOptions) -> Bo
 
     let mut current = vec![0u64; places];
     let mut scratch = vec![0u64; places];
+    let mut cancel_gate = CancelGate::new(crate::statespace::CANCEL_STRIDE);
 
     while let Some(node) = queue.pop_front() {
+        cancel_gate.check(cancel)?;
         if arena.len() > options.max_nodes {
-            return Boundedness::Unknown;
+            return Ok(Boundedness::Unknown);
         }
         current.copy_from_slice(arena.state(node));
         for t in net.transitions() {
@@ -143,7 +175,7 @@ fn check_boundedness_covering(net: &PetriNet, options: BoundednessOptions) -> Bo
                         walk = parent;
                     }
                     witness.reverse();
-                    return Boundedness::Unbounded { places, witness };
+                    return Ok(Boundedness::Unbounded { places, witness });
                 }
                 ancestor = parents[a as usize];
             }
@@ -158,7 +190,7 @@ fn check_boundedness_covering(net: &PetriNet, options: BoundednessOptions) -> Bo
             queue.push_back(id);
         }
     }
-    Boundedness::Bounded { k: max_tokens }
+    Ok(Boundedness::Bounded { k: max_tokens })
 }
 
 /// Convenience query: is the net `k`-bounded for the given `k`?

@@ -18,8 +18,8 @@ mod reachability;
 mod siphons;
 
 pub use boundedness::{
-    check_boundedness, check_boundedness_with, is_k_bounded, is_safe, Boundedness,
-    BoundednessOptions,
+    check_boundedness, check_boundedness_with, is_k_bounded, is_safe, try_check_boundedness_with,
+    Boundedness, BoundednessOptions,
 };
 pub use classification::{Classification, NetClass};
 pub use conflict::ConflictAnalysis;

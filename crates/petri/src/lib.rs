@@ -14,6 +14,8 @@
 //!   witnesses), deadlock and liveness checks ([`analysis`]);
 //! * import/export: Graphviz DOT and a small textual format ([`io`]);
 //! * 128-bit whole-net fingerprints for result caches ([`fingerprint`]);
+//! * cooperative cancellation (deadline + explicit flag) for every long-running
+//!   engine loop ([`cancel`]);
 //! * the nets of the paper's figures, reconstructed for tests and benchmarks
 //!   ([`gallery`]).
 //!
@@ -40,6 +42,7 @@
 
 pub mod analysis;
 mod builder;
+pub mod cancel;
 mod error;
 pub mod fingerprint;
 mod firing;
@@ -51,6 +54,7 @@ mod net;
 pub mod statespace;
 
 pub use builder::NetBuilder;
+pub use cancel::{CancelToken, Cancelled};
 pub use error::{PetriError, Result};
 pub use fingerprint::{net_fingerprint, net_structural_fingerprint, Fingerprint128};
 pub use ids::{NodeId, PlaceId, TransitionId};

@@ -28,7 +28,15 @@ use super::arena::{widen_arena, TokenWord};
 use super::interner::{Probe, SliceTable};
 use super::{mix, parallel, place_key, raw_hash, StateId};
 use crate::analysis::ReachabilityOptions;
+use crate::cancel::{CancelGate, CancelToken, Cancelled};
 use crate::{Marking, PetriNet, TransitionId};
+
+/// How many expanded states each explorer processes between cancellation polls.
+///
+/// Expanding one state costs at least a few hundred nanoseconds, so a stride of 256
+/// bounds the polling overhead well below 1% while keeping the cancellation latency
+/// in the tens of microseconds — far inside the service-level 50 ms bound.
+pub(crate) const CANCEL_STRIDE: u64 = 256;
 
 /// The storage width of the token arena.
 ///
@@ -81,7 +89,7 @@ impl TokenWidth {
 /// Exploration configuration beyond the [`ReachabilityOptions`] budget: thread count and
 /// token-arena width. The analysis entry points (`find_deadlock_with`,
 /// `check_liveness_with`, …) accept this struct to expose the same knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreOptions {
     /// State budget and token cut-off (identical semantics to the sequential explorer).
     pub reach: ReachabilityOptions,
@@ -90,6 +98,11 @@ pub struct ExploreOptions {
     pub threads: usize,
     /// Token-arena width selection.
     pub width: TokenWidth,
+    /// Cooperative cancellation: the explorers poll this token every few hundred
+    /// expanded states and abandon the exploration with [`Cancelled`] when it fires.
+    /// The default ([`CancelToken::never`]) costs nothing and never fires; a token
+    /// that never fires leaves the result bit-for-bit identical to the default.
+    pub cancel: CancelToken,
 }
 
 impl Default for ExploreOptions {
@@ -98,6 +111,7 @@ impl Default for ExploreOptions {
             reach: ReachabilityOptions::default(),
             threads: 1,
             width: TokenWidth::Auto,
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -327,8 +341,10 @@ fn explore_seq<W: TokenWord>(
     tables: &NetTables,
     initial: &[u64],
     options: ReachabilityOptions,
-) -> RawSpace<W> {
+    cancel: &CancelToken,
+) -> Result<RawSpace<W>, Cancelled> {
     let places = tables.places;
+    let mut cancel_gate = CancelGate::new(CANCEL_STRIDE);
 
     let mut arena: Vec<W> = Vec::with_capacity(places.max(1) * 256);
     arena.extend(initial.iter().map(|&k| W::from_u64(k)));
@@ -355,6 +371,7 @@ fn explore_seq<W: TokenWord>(
     let mut state_count = 1usize;
     let mut cursor = 0usize;
     'states: while cursor < state_count {
+        cancel_gate.check(cancel)?;
         let id = cursor;
         cursor += 1;
         current.copy_from_slice(&arena[id * places..(id + 1) * places]);
@@ -418,7 +435,7 @@ fn explore_seq<W: TokenWord>(
         fwd_offsets.push(edge_to.len() as u32);
     }
 
-    RawSpace {
+    Ok(RawSpace {
         arena,
         table,
         fwd_offsets,
@@ -426,7 +443,7 @@ fn explore_seq<W: TokenWord>(
         edge_transition,
         complete,
         frontier,
-    }
+    })
 }
 
 /// The arena-interned reachability graph of a marked net.
@@ -501,16 +518,52 @@ impl StateSpace {
     }
 
     /// Explores with explicit width/thread configuration from the initial marking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.cancel` fires mid-exploration; callers that arm a token must
+    /// use [`StateSpace::try_explore_with`] to observe the cancellation as an error.
     pub fn explore_with(net: &PetriNet, options: &ExploreOptions) -> Self {
-        Self::explore_from_with(net, net.initial_marking().clone(), options)
+        Self::try_explore_with(net, options)
+            .expect("exploration cancelled; use try_explore_with with an armed CancelToken")
     }
 
     /// Explores with explicit width/thread configuration from an arbitrary marking.
     ///
     /// # Panics
     ///
-    /// Panics if `initial` does not have one entry per place of `net`.
+    /// Panics if `initial` does not have one entry per place of `net`, or if
+    /// `options.cancel` fires mid-exploration (use
+    /// [`StateSpace::try_explore_from_with`] for armed tokens).
     pub fn explore_from_with(net: &PetriNet, initial: Marking, options: &ExploreOptions) -> Self {
+        Self::try_explore_from_with(net, initial, options)
+            .expect("exploration cancelled; use try_explore_from_with with an armed CancelToken")
+    }
+
+    /// Cancellable exploration from the initial marking.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when `options.cancel` fires before the exploration completes; the
+    /// partially built space is discarded.
+    pub fn try_explore_with(net: &PetriNet, options: &ExploreOptions) -> Result<Self, Cancelled> {
+        Self::try_explore_from_with(net, net.initial_marking().clone(), options)
+    }
+
+    /// Cancellable exploration from an arbitrary marking.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when `options.cancel` fires before the exploration completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` does not have one entry per place of `net`.
+    pub fn try_explore_from_with(
+        net: &PetriNet,
+        initial: Marking,
+        options: &ExploreOptions,
+    ) -> Result<Self, Cancelled> {
         assert_eq!(initial.len(), net.place_count(), "marking length mismatch");
         let width = select_width(net, initial.as_slice(), options);
         let threads = options.resolved_threads();
@@ -532,13 +585,19 @@ impl StateSpace {
         options: &ExploreOptions,
         threads: usize,
         width: TokenWidth,
-    ) -> Self {
+    ) -> Result<Self, Cancelled> {
         let raw = if threads > 1 {
-            parallel::explore_parallel::<W>(tables, initial, options.reach, threads)
+            parallel::explore_parallel::<W>(
+                tables,
+                initial,
+                options.reach,
+                threads,
+                &options.cancel,
+            )?
         } else {
-            explore_seq::<W>(tables, initial, options.reach)
+            explore_seq::<W>(tables, initial, options.reach, &options.cancel)?
         };
-        Self::from_raw(raw, tables.places, width)
+        Ok(Self::from_raw(raw, tables.places, width))
     }
 
     pub(crate) fn from_raw<W: TokenWord>(
@@ -993,6 +1052,7 @@ mod tests {
                 reach,
                 threads: 1,
                 width: TokenWidth::U64,
+                ..ExploreOptions::default()
             },
         );
         for width in [TokenWidth::Auto, TokenWidth::U8, TokenWidth::U16] {
@@ -1002,6 +1062,7 @@ mod tests {
                     reach,
                     threads: 1,
                     width,
+                    ..ExploreOptions::default()
                 },
             );
             assert_eq!(space.state_count(), baseline.state_count());

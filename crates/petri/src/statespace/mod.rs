@@ -58,6 +58,7 @@ mod parallel;
 mod session;
 
 pub use arena::{MarkingArena, TokenWord};
+pub(crate) use engine::CANCEL_STRIDE;
 pub use engine::{ExploreOptions, StateSpace, TokenWidth};
 pub(crate) use interner::SliceTable;
 pub use session::FiringSession;

@@ -64,10 +64,11 @@
 //! never emitted.
 
 use super::arena::TokenWord;
-use super::engine::{NetTables, RawSpace};
+use super::engine::{NetTables, RawSpace, CANCEL_STRIDE};
 use super::interner::{Probe, SliceTable};
 use super::{mix, raw_hash, StateId, EMPTY_SLOT};
 use crate::analysis::ReachabilityOptions;
+use crate::cancel::{CancelGate, CancelToken, Cancelled};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
 
@@ -196,12 +197,22 @@ struct LevelEntry {
 ///
 /// The output is bit-for-bit identical to [`explore_seq`](super::engine)'s for the same
 /// options, for any thread count.
+///
+/// # Cancellation
+///
+/// Workers poll `cancel` with a counter gate inside the expand and drain phases and
+/// simply stop producing records when it fires; because the token is sticky, the
+/// coordinator — which re-checks right after the drain barrier, *before* the admission
+/// pass reads any per-shard record — is then guaranteed to observe the cancellation
+/// too, so truncated record lists are never interpreted. The whole partial exploration
+/// is discarded and [`Cancelled`] returned.
 pub(crate) fn explore_parallel<W: TokenWord>(
     tables: &NetTables,
     initial: &[u64],
     options: ReachabilityOptions,
     threads: usize,
-) -> RawSpace<W> {
+    cancel: &CancelToken,
+) -> Result<RawSpace<W>, Cancelled> {
     let places = tables.places;
     let shard_count = threads;
     let shards: Vec<Mutex<Shard<W>>> = (0..shard_count).map(|_| Mutex::new(Shard::new())).collect();
@@ -243,6 +254,7 @@ pub(crate) fn explore_parallel<W: TokenWord>(
     let mut edge_transition: Vec<u32> = Vec::new();
     let mut frontier: Vec<StateId> = Vec::new();
     let mut complete = true;
+    let mut cancelled = false;
 
     std::thread::scope(|scope| {
         for me in 0..threads {
@@ -266,9 +278,16 @@ pub(crate) fn explore_parallel<W: TokenWord>(
                         shard_count,
                         &mut current,
                         &mut mask,
+                        cancel,
                     );
                     barrier.wait();
-                    drain_phase(me, &mut shards[me].lock().unwrap(), outboxes, places);
+                    drain_phase(
+                        me,
+                        &mut shards[me].lock().unwrap(),
+                        outboxes,
+                        places,
+                        cancel,
+                    );
                     barrier.wait();
                 }
             });
@@ -283,6 +302,17 @@ pub(crate) fn explore_parallel<W: TokenWord>(
             barrier.wait(); // release the workers into the expand phase
             barrier.wait(); // expand done → drain
             barrier.wait(); // drain done → exclusive admission
+
+            // Cancellation must be decided *here*, before the admission passes read any
+            // per-shard records: a cancelled worker stops recording mid-level, and the
+            // token's stickiness guarantees that whenever a worker truncated its
+            // records, this check fires too — so truncated levels are never admitted.
+            if cancel.is_cancelled() {
+                done.store(true, Ordering::SeqCst);
+                barrier.wait();
+                cancelled = true;
+                break;
+            }
 
             // All workers are parked at the top-of-loop barrier; the coordinator has
             // exclusive access until it waits again.
@@ -377,6 +407,10 @@ pub(crate) fn explore_parallel<W: TokenWord>(
         }
     });
 
+    if cancelled {
+        return Err(Cancelled);
+    }
+
     // Renumber the shard arenas into the canonical order: one widened copy per admitted
     // state and one hash re-insertion (no token comparisons — all states are distinct).
     let shards: Vec<Shard<W>> = shards
@@ -392,7 +426,7 @@ pub(crate) fn explore_parallel<W: TokenWord>(
         table.insert_unique(mix(shard.raw_hashes[l as usize]), id as u32);
     }
 
-    RawSpace {
+    Ok(RawSpace {
         arena,
         table,
         fwd_offsets,
@@ -400,10 +434,15 @@ pub(crate) fn explore_parallel<W: TokenWord>(
         edge_transition,
         complete,
         frontier,
-    }
+    })
 }
 
 /// Expand phase: fire the enabled transitions of every owned state in the level.
+///
+/// When `cancel` fires the remaining worklist slots are skipped — the level's records
+/// are left truncated, which is sound because the coordinator re-checks the (sticky)
+/// token before reading them.
+#[allow(clippy::too_many_arguments)]
 fn expand_phase<W: TokenWord>(
     me: usize,
     tables: &NetTables,
@@ -412,8 +451,10 @@ fn expand_phase<W: TokenWord>(
     shard_count: usize,
     current: &mut [W],
     mask: &mut [u64],
+    cancel: &CancelToken,
 ) {
     let places = tables.places;
+    let mut cancel_gate = CancelGate::new(CANCEL_STRIDE);
     let mut outs: Vec<MutexGuard<'_, Outbox<W>>> =
         my_outboxes.iter().map(|m| m.lock().unwrap()).collect();
     for out in outs.iter_mut() {
@@ -426,6 +467,9 @@ fn expand_phase<W: TokenWord>(
     shard.rec_counts.clear();
 
     for slot in 0..shard.worklist.len() {
+        if cancel_gate.check(cancel).is_err() {
+            return;
+        }
         let local = shard.worklist[slot] as usize;
         current.copy_from_slice(&shard.tokens[local * places..(local + 1) * places]);
         let parent_hash = shard.raw_hashes[local];
@@ -468,12 +512,17 @@ fn expand_phase<W: TokenWord>(
 
 /// Drain phase: intern every candidate other workers sent to this shard, in fixed
 /// sender order, and publish the resolved local ids.
+///
+/// Cancellation may leave reply lists truncated; as in the expand phase, the
+/// coordinator never reads them once the (sticky) token has fired.
 fn drain_phase<W: TokenWord>(
     me: usize,
     shard: &mut Shard<W>,
     outboxes: &[Vec<Mutex<Outbox<W>>>],
     places: usize,
+    cancel: &CancelToken,
 ) {
+    let mut cancel_gate = CancelGate::new(CANCEL_STRIDE);
     for (src, row) in outboxes.iter().enumerate() {
         if src == me {
             continue;
@@ -486,6 +535,9 @@ fn drain_phase<W: TokenWord>(
         } = &mut *inbox;
         replies.clear();
         for (i, &raw) in hashes.iter().enumerate() {
+            if cancel_gate.check(cancel).is_err() {
+                return;
+            }
             let candidate = &tokens[i * places..(i + 1) * places];
             replies.push(shard.intern(candidate, raw, places));
         }
@@ -503,6 +555,7 @@ mod tests {
             reach,
             threads,
             width: TokenWidth::Auto,
+            ..ExploreOptions::default()
         }
     }
 
@@ -530,6 +583,7 @@ mod tests {
                 reach,
                 threads: 1,
                 width: TokenWidth::U64,
+                ..ExploreOptions::default()
             },
         );
         let par = StateSpace::explore_with(net, &parallel_options(reach, threads));
@@ -547,8 +601,14 @@ mod tests {
             max_tokens_per_place: 4,
         };
         let tables = NetTables::build(&net);
-        let raw =
-            super::explore_parallel::<u8>(&tables, net.initial_marking().as_slice(), reach, 1);
+        let raw = super::explore_parallel::<u8>(
+            &tables,
+            net.initial_marking().as_slice(),
+            reach,
+            1,
+            &crate::CancelToken::never(),
+        )
+        .expect("never-firing token");
         let par = StateSpace::from_raw(raw, net.place_count(), TokenWidth::U8);
         let seq = StateSpace::explore_with(
             &net,
@@ -556,9 +616,47 @@ mod tests {
                 reach,
                 threads: 1,
                 width: TokenWidth::U64,
+                ..ExploreOptions::default()
             },
         );
         assert_spaces_equal(&par, &seq, 1);
+    }
+
+    #[test]
+    fn pre_fired_token_cancels_parallel_exploration_promptly() {
+        let cancel = crate::CancelToken::new();
+        cancel.cancel();
+        for threads in [1usize, 2, 4] {
+            let options = ExploreOptions {
+                threads,
+                cancel: cancel.clone(),
+                ..ExploreOptions::default()
+            };
+            let result = StateSpace::try_explore_with(&gallery::marked_ring(8, 4), &options);
+            assert!(result.is_err(), "{threads} threads must observe the token");
+        }
+    }
+
+    #[test]
+    fn armed_but_never_firing_token_is_bit_identical() {
+        // The acceptance-criteria equivalence: an armed token that never fires must not
+        // perturb the canonical output in any engine configuration.
+        let reach = ReachabilityOptions {
+            max_markings: 700,
+            max_tokens_per_place: 4,
+        };
+        let baseline = StateSpace::explore_with(&gallery::figure5(), &parallel_options(reach, 1));
+        for threads in [1usize, 2, 4] {
+            let armed = ExploreOptions {
+                reach,
+                threads,
+                width: TokenWidth::Auto,
+                cancel: crate::CancelToken::new(),
+            };
+            let space =
+                StateSpace::try_explore_with(&gallery::figure5(), &armed).expect("never fires");
+            assert_spaces_equal(&space, &baseline, threads);
+        }
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub enum RtosError {
         /// The configured budget that was exceeded.
         limit: u64,
     },
+    /// The simulation's [`CancelToken`](fcpn_petri::CancelToken) fired mid-run
+    /// (explicit cancel or blown deadline); the partial report is discarded.
+    Cancelled,
 }
 
 impl fmt::Display for RtosError {
@@ -48,6 +51,7 @@ impl fmt::Display for RtosError {
             RtosError::StepBudgetExhausted { limit } => {
                 write!(f, "simulation exceeded its firing budget of {limit} steps")
             }
+            RtosError::Cancelled => write!(f, "simulation cancelled"),
         }
     }
 }
@@ -64,6 +68,12 @@ impl std::error::Error for RtosError {
 impl From<CodegenError> for RtosError {
     fn from(e: CodegenError) -> Self {
         RtosError::Execution(e)
+    }
+}
+
+impl From<fcpn_petri::Cancelled> for RtosError {
+    fn from(_: fcpn_petri::Cancelled) -> Self {
+        RtosError::Cancelled
     }
 }
 

@@ -54,7 +54,7 @@
 use crate::{CostModel, Event, Result, RtosError, Workload};
 use fcpn_codegen::{ChoiceResolver, Interpreter, Program};
 use fcpn_petri::statespace::{FiringSession, StateId};
-use fcpn_petri::{Marking, PetriNet, PlaceId, TransitionId};
+use fcpn_petri::{CancelToken, Marking, PetriNet, PlaceId, TransitionId};
 
 /// Per-task accounting of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -258,6 +258,8 @@ pub struct FunctionalSimBatch<'a> {
     enabled: Vec<TransitionId>,
     /// Per-run firing budget (see [`FunctionalSimBatch::set_step_budget`]).
     step_budget: u64,
+    /// Cooperative cancellation (see [`FunctionalSimBatch::set_cancel_token`]).
+    cancel: CancelToken,
 }
 
 /// Default per-run firing budget: far above any legitimate workload this repository
@@ -321,6 +323,7 @@ impl<'a> FunctionalSimBatch<'a> {
             start,
             enabled: Vec::new(),
             step_budget: DEFAULT_STEP_BUDGET,
+            cancel: CancelToken::never(),
         })
     }
 
@@ -341,6 +344,17 @@ impl<'a> FunctionalSimBatch<'a> {
         self.step_budget = budget.max(1);
     }
 
+    /// Installs a cooperative [`CancelToken`] polled (counter-gated, every 1024
+    /// firings) inside the cascade loop of every subsequent [`run`](Self::run).
+    ///
+    /// When the token fires — another thread cancels it, or its deadline passes — the
+    /// run stops with [`RtosError::Cancelled`] within one polling stride, so a service
+    /// simulating a large batch under a request deadline sheds the work mid-cascade
+    /// instead of only between runs. The default token never fires and costs nothing.
+    pub fn set_cancel_token(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
     /// Simulates one workload from the initial marking (the shared session is rolled
     /// back to its start checkpoint first). The report is identical to
     /// [`simulate_functional_partition`]'s for the same inputs.
@@ -352,6 +366,8 @@ impl<'a> FunctionalSimBatch<'a> {
     /// * [`RtosError::StepBudgetExhausted`] when the run fires more than the configured
     ///   [`step_budget`](Self::step_budget) — the refusal path for hostile nets whose
     ///   cascades never quiesce.
+    /// * [`RtosError::Cancelled`] when the installed
+    ///   [`cancel token`](Self::set_cancel_token) fires mid-run.
     pub fn run<R: ChoiceResolver + ?Sized>(
         &mut self,
         workload: &Workload,
@@ -361,6 +377,7 @@ impl<'a> FunctionalSimBatch<'a> {
             return Err(RtosError::EmptyWorkload);
         }
         let step_budget = self.step_budget;
+        let cancel = self.cancel.clone();
         self.session.rollback(self.start);
         let net = self.net;
         let owner = &self.owner;
@@ -395,6 +412,12 @@ impl<'a> FunctionalSimBatch<'a> {
                 steps += 1;
                 if steps > step_budget {
                     return Err(RtosError::StepBudgetExhausted { limit: step_budget });
+                }
+                // Counter-gated cancellation poll: one atomic load (plus a clock read
+                // for deadline tokens) every 1024 firings keeps the overhead invisible
+                // while bounding the cancellation latency to a fraction of a millisecond.
+                if steps & 1023 == 0 && cancel.is_cancelled() {
+                    return Err(RtosError::Cancelled);
                 }
                 let task = owner[t.index()];
                 let mut cycles = 0;
@@ -866,6 +889,53 @@ mod tests {
             .run(&Workload::new(), &mut FixedResolver::default())
             .unwrap_err();
         assert_eq!(err_again, RtosError::EmptyWorkload);
+    }
+
+    #[test]
+    fn cancelled_token_stops_a_hostile_cascade_mid_run() {
+        // The same never-quiescing net as the budget test, but this time the run is cut
+        // short by a pre-fired cancel token — the path a serve worker takes when its
+        // request deadline blows mid-simulation.
+        let mut b = fcpn_petri::NetBuilder::new("hostile");
+        let t_src = b.transition("t_src");
+        let t_loop = b.transition("t_loop");
+        let p = b.place("p", 0);
+        b.arc_t_p(t_src, p, 1).unwrap();
+        b.arc_p_t(p, t_loop, 1).unwrap();
+        b.arc_t_p(t_loop, p, 2).unwrap();
+        let net = b.build().unwrap();
+        let tasks = vec![FunctionalTask {
+            name: "all".into(),
+            transitions: net.transitions().collect(),
+        }];
+        let mut batch = FunctionalSimBatch::new(&net, &tasks, &CostModel::default()).unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        batch.set_cancel_token(cancel);
+        let src = net.transition_by_name("t_src").unwrap();
+        let workload = Workload::periodic(src, 1, 1, 0);
+        let err = batch
+            .run(&workload, &mut FixedResolver::default())
+            .unwrap_err();
+        assert_eq!(err, RtosError::Cancelled);
+        // A fresh never-firing token restores normal behaviour, bit for bit.
+        batch.set_cancel_token(CancelToken::never());
+        let net2 = gallery::figure4();
+        let tasks2 = vec![FunctionalTask {
+            name: "all".into(),
+            transitions: net2.transitions().collect(),
+        }];
+        let mut armed = FunctionalSimBatch::new(&net2, &tasks2, &CostModel::default()).unwrap();
+        armed.set_cancel_token(CancelToken::new());
+        let mut plain = FunctionalSimBatch::new(&net2, &tasks2, &CostModel::default()).unwrap();
+        let t1 = net2.transition_by_name("t1").unwrap();
+        let wl = Workload::periodic(t1, 5, 20, 0);
+        let a = armed.run(&wl, &mut FixedResolver::default()).unwrap();
+        let b = plain.run(&wl, &mut FixedResolver::default()).unwrap();
+        assert_eq!(
+            a, b,
+            "armed but never-firing token must not perturb the report"
+        );
     }
 
     #[test]

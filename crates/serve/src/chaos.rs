@@ -1,0 +1,271 @@
+//! Fault-injection probes for a live daemon: the building blocks of the chaos harness.
+//!
+//! The unit and socket tests exercise the daemon in-process; this module exercises it
+//! as a *process* — spawn the real binary, drip bytes at it, cut connections mid-body,
+//! `kill -9` it mid-write, restart it on the same cache directory — and exposes the
+//! measurements the harness asserts on (cancellation latency, post-recovery response
+//! bytes). Everything here is plain blocking `std::net`/`std::process`, matching the
+//! zero-dependency rule; `fcpn-bench`'s `chaos_harness` example drives these probes
+//! end-to-end and the CI `chaos-smoke` job runs them against a release build.
+
+use crate::load::{Client, ClientResponse};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A daemon running as a real child process, with its readiness line parsed.
+///
+/// Dropping the handle kills the child (`SIGKILL`) and reaps it, so a panicking
+/// harness never leaks daemons.
+#[derive(Debug)]
+pub struct DaemonProcess {
+    child: Child,
+    addr: String,
+}
+
+impl DaemonProcess {
+    /// Spawns `binary` with `args` and blocks until it prints its readiness line
+    /// (`fcpn-served listening on <addr> …`) on stdout, from which the bound address
+    /// is parsed — pass `--addr 127.0.0.1:0` and let the daemon pick a free port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spawn failure; fails with [`io::ErrorKind::InvalidData`] when
+    /// the process exits (or closes stdout) before announcing readiness.
+    pub fn spawn(binary: &str, args: &[&str]) -> io::Result<DaemonProcess> {
+        let mut child = Command::new(binary)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut lines = BufReader::new(stdout).lines();
+        for line in &mut lines {
+            let line = line?;
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                let addr = rest.split_whitespace().next().unwrap_or("").to_string();
+                if !addr.is_empty() {
+                    // Keep draining stdout in the background so the daemon never
+                    // blocks on a full pipe if it logs later.
+                    std::thread::spawn(move || for _ in lines {});
+                    return Ok(DaemonProcess { child, addr });
+                }
+            }
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "daemon exited before printing its readiness line",
+        ))
+    }
+
+    /// The address the daemon reported binding.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The child's process id (for `kill -TERM` style signalling by the harness).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// `kill -9`: the crash end of the crash-safety contract. No flush, no drain —
+    /// the persistent cache may be torn mid-record, which recovery must survive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kill/wait failures (already-exited children are not an error).
+    pub fn kill9(mut self) -> io::Result<()> {
+        self.child.kill()?;
+        self.child.wait()?;
+        Ok(())
+    }
+
+    /// Waits for the child to exit on its own (e.g. after a `SIGTERM` drain) and
+    /// returns whether it exited with status 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wait failures.
+    pub fn wait_success(mut self) -> io::Result<bool> {
+        Ok(self.child.wait()?.success())
+    }
+}
+
+impl Drop for DaemonProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// What [`probe_cancellation`] measured: the response status and how long the daemon
+/// took to produce it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CancellationProbe {
+    /// HTTP status of the response (`503` when the stage cancelled itself).
+    pub status: u16,
+    /// Wall-clock from sending the request to receiving the full response.
+    pub elapsed: Duration,
+}
+
+/// Fires one uncached `/schedule` at `addr` with the given `deadline_ms` and measures
+/// how promptly the daemon answers — the cancellation-latency probe. `threads=1` keeps
+/// the sweep on one worker so the measured latency is the cooperative polling stride,
+/// not thread teardown.
+///
+/// # Errors
+///
+/// Propagates connect/request failures.
+pub fn probe_cancellation(
+    addr: &str,
+    net_text: &str,
+    deadline_ms: u64,
+    timeout: Duration,
+) -> io::Result<CancellationProbe> {
+    let mut client = Client::connect(addr, timeout)?;
+    let started = Instant::now();
+    let response = client.request(
+        "POST",
+        &format!("/schedule?deadline_ms={deadline_ms}&cache=0&threads=1"),
+        net_text.as_bytes(),
+    )?;
+    Ok(CancellationProbe {
+        status: response.status,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Sends one request and returns the full response (status, headers, body) — the
+/// harness's byte-comparison primitive.
+///
+/// # Errors
+///
+/// Propagates connect/request failures.
+pub fn fetch(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let mut client = Client::connect(addr, timeout)?;
+    client.request(method, path_and_query, body)
+}
+
+/// Slow-loris probe: opens a connection that promises a body and then drips a few
+/// bytes of it slowly before going silent, holding the socket open. Returns once the
+/// daemon has (correctly) given up on the connection — closed it — or `hold` elapsed.
+/// Either way the caller should verify `/healthz` still answers promptly: the point is
+/// that a dripping client costs the daemon a bounded amount of worker time.
+///
+/// # Errors
+///
+/// Propagates the connect failure (write errors after connect mean the daemon already
+/// dropped us, which is success for this probe).
+pub fn probe_slow_loris(addr: &str, hold: Duration) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let head = b"POST /schedule HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+    if stream.write_all(head).is_err() {
+        return Ok(());
+    }
+    let until = Instant::now() + hold;
+    while Instant::now() < until {
+        // One byte per tick: each socket read succeeds, so only the request read
+        // *deadline* (not the per-read timeout) can free the worker.
+        if stream
+            .write_all(b"x")
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            return Ok(()); // daemon dropped us — the guard worked
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Ok(())
+}
+
+/// Mid-request disconnect probe: promises a large body, sends half of it, and drops
+/// the socket. The daemon must notice the EOF, discard the partial request without
+/// answering, and return the worker to the pool — verified by the caller probing
+/// `/healthz` afterwards.
+///
+/// # Errors
+///
+/// Propagates the connect failure (later write errors mean the daemon beat us to the
+/// close, which is fine).
+pub fn probe_mid_request_disconnect(addr: &str, body: &[u8]) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let head = format!(
+        "POST /schedule HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(&body[..body.len() / 2]);
+    let _ = stream.flush();
+    drop(stream); // mid-body RST/FIN
+    Ok(())
+}
+
+/// Asserts the daemon at `addr` answers `/healthz` with `200` within `timeout` —
+/// the "still alive and taking work" check after every fault probe.
+///
+/// # Errors
+///
+/// Propagates connect/request failures.
+pub fn healthz_ok(addr: &str, timeout: Duration) -> io::Result<bool> {
+    let mut client = Client::connect(addr, timeout)?;
+    let response = client.request("GET", "/healthz", b"")?;
+    Ok(response.status == 200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use std::time::Duration;
+
+    fn spawn_local() -> crate::server::ServerHandle {
+        Server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            request_read_deadline: Duration::from_millis(300),
+            ..ServerConfig::default()
+        })
+        .expect("spawn in-process daemon")
+    }
+
+    #[test]
+    fn disconnect_mid_body_leaves_daemon_healthy() {
+        let handle = spawn_local();
+        let addr = handle.addr().to_string();
+        probe_mid_request_disconnect(&addr, &[b'n'; 4096]).unwrap();
+        assert!(healthz_ok(&addr, Duration::from_secs(5)).unwrap());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_is_cut_by_the_read_deadline() {
+        let handle = spawn_local();
+        let addr = handle.addr().to_string();
+        // Hold longer than the 300ms request read deadline: the daemon must drop us.
+        probe_slow_loris(&addr, Duration::from_millis(800)).unwrap();
+        assert!(healthz_ok(&addr, Duration::from_secs(5)).unwrap());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn cancellation_probe_reports_status_and_latency() {
+        let handle = spawn_local();
+        let addr = handle.addr().to_string();
+        let net = fcpn_petri::io::to_text(&fcpn_petri::gallery::figure4());
+        // A trivially fast net completes well inside a generous deadline.
+        let probe = probe_cancellation(&addr, &net, 10_000, Duration::from_secs(5)).unwrap();
+        assert_eq!(probe.status, 200);
+        handle.shutdown();
+    }
+}

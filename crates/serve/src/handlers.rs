@@ -19,13 +19,16 @@
 //! * **allocation budgets** — `max_allocations` is clamped and passed into
 //!   [`AllocationOptions`]; the scheduler's typed `TooManyAllocations` error becomes a
 //!   `422` instead of an exponential sweep;
-//! * **deadlines** — `deadline_ms` (clamped to a cap) is checked **between** pipeline
-//!   stages (the four `/analyze` checks; `/codegen`'s schedule → synthesize → emit
-//!   chain); a blown deadline answers `503` with `"deadline exceeded"`. A single stage
-//!   is never preempted — its bound is the corresponding state/allocation budget, which
-//!   is why the default `max_allocations` cap is sized so one sweep stays in the
-//!   seconds range. A bare `/schedule` is one stage, so for it the deadline only
-//!   matters when the sweep is preceded by other stages; budget accordingly.
+//! * **deadlines** — `deadline_ms` (clamped to a cap) arms a
+//!   [`CancelToken`] that is threaded *into* every engine
+//!   stage (the exploration loops, the allocation sweep) and additionally checked
+//!   between pipeline stages (the four `/analyze` checks; `/codegen`'s schedule →
+//!   synthesize → emit chain). A blown deadline answers `503` — `"deadline exceeded"`
+//!   when caught between stages, a cancellation notice when the engine itself bailed
+//!   out mid-stage (counted in the `cancelled_in_stage` metric). The cooperative
+//!   polling is counter-gated (every few hundred iterations), so a worker abandons a
+//!   runaway sweep within milliseconds of its deadline instead of running the stage to
+//!   completion.
 
 use crate::cache::{CachedResponse, ResultCache};
 use crate::http::{Request, Response};
@@ -35,11 +38,11 @@ use fcpn_codegen::{
     emit_c, emit_rust, synthesize, CEmitOptions, CodeMetrics, RustEmitOptions, SynthesisOptions,
 };
 use fcpn_petri::analysis::{
-    check_boundedness_with, check_liveness_in, find_deadlock_in, Boundedness, BoundednessOptions,
-    DeadlockReport, LivenessReport, ReachabilityOptions,
+    check_liveness_in, find_deadlock_in, try_check_boundedness_with, Boundedness,
+    BoundednessOptions, DeadlockReport, LivenessReport, ReachabilityOptions,
 };
 use fcpn_petri::statespace::ExploreOptions;
-use fcpn_petri::{io::parse_net, net_fingerprint, Fingerprint128, PetriNet};
+use fcpn_petri::{io::parse_net, net_fingerprint, CancelToken, Fingerprint128, PetriNet};
 use fcpn_qss::{
     quasi_static_schedule, AllocationOptions, ComponentFailure, QssError, QssOptions, QssOutcome,
 };
@@ -95,13 +98,25 @@ pub struct HandlerCtx<'a> {
     pub metrics: &'a Metrics,
 }
 
-/// A per-request deadline, checked between pipeline stages.
+/// A per-request deadline: checked between pipeline stages here, and threaded *into*
+/// each engine stage as the armed [`CancelToken`] so a stage can abandon itself
+/// mid-loop.
 struct Deadline {
     start: Instant,
     limit: Duration,
+    cancel: CancelToken,
 }
 
 impl Deadline {
+    fn new(limit: Duration) -> Deadline {
+        let start = Instant::now();
+        Deadline {
+            start,
+            limit,
+            cancel: CancelToken::with_deadline(start + limit),
+        }
+    }
+
     fn check(&self, metrics: &Metrics) -> Result<(), Response> {
         if self.start.elapsed() > self.limit {
             metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
@@ -110,6 +125,14 @@ impl Deadline {
             Ok(())
         }
     }
+}
+
+/// The `503` for a stage that cancelled *itself* mid-loop (its [`CancelToken`] fired).
+/// Deliberately not memoised — like deadline 503s, it reflects load, not the request.
+fn cancelled_response(metrics: &Metrics) -> Response {
+    metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    metrics.cancelled_in_stage.fetch_add(1, Ordering::Relaxed);
+    Response::error(503, "cancelled mid-stage: deadline exceeded")
 }
 
 /// Routes an API request. `GET /healthz` and `GET /metrics` are answered by the server
@@ -181,10 +204,7 @@ fn cached_endpoint(ctx: &HandlerCtx<'_>, request: &Request, endpoint: Endpoint) 
         }
     }
 
-    let deadline = Deadline {
-        start: Instant::now(),
-        limit: Duration::from_millis(options.deadline_ms),
-    };
+    let deadline = Deadline::new(Duration::from_millis(options.deadline_ms));
     let response = match endpoint {
         Endpoint::Schedule => schedule(ctx, &net, &options, &deadline),
         Endpoint::Analyze => analyze(ctx, &net, &options, &deadline),
@@ -335,23 +355,25 @@ impl RequestOptions {
         fp.finish()
     }
 
-    fn qss(&self) -> QssOptions {
+    fn qss(&self, cancel: CancelToken) -> QssOptions {
         QssOptions {
             allocation: AllocationOptions {
                 max_allocations: self.max_allocations,
             },
             reuse_component_cache: self.reuse_component_cache,
             threads: self.threads,
+            cancel,
         }
     }
 
-    fn explore(&self) -> ExploreOptions {
+    fn explore(&self, cancel: CancelToken) -> ExploreOptions {
         ExploreOptions {
             reach: ReachabilityOptions {
                 max_markings: self.max_markings,
                 max_tokens_per_place: self.max_tokens_per_place,
             },
             threads: self.threads,
+            cancel,
             ..ExploreOptions::default()
         }
     }
@@ -374,15 +396,17 @@ fn names(net: &PetriNet, transitions: &[fcpn_petri::TransitionId]) -> Json {
 // ---------------------------------------------------------------------------
 
 fn schedule(
-    _ctx: &HandlerCtx<'_>,
+    ctx: &HandlerCtx<'_>,
     net: &PetriNet,
     options: &RequestOptions,
-    _deadline: &Deadline,
+    deadline: &Deadline,
 ) -> Response {
-    // No deadline check here: the handler starts at elapsed ~0 and the sweep is a
-    // single stage, so the only meaningful bound on it is `max_allocations`.
-    match quasi_static_schedule(net, &options.qss()) {
+    // No between-stage deadline check here — the handler starts at elapsed ~0 and the
+    // sweep is a single stage — but the stage itself carries the armed token, so a
+    // blown deadline aborts the sweep from the inside within one polling stride.
+    match quasi_static_schedule(net, &options.qss(deadline.cancel.clone())) {
         Ok(outcome) => Response::json(200, schedule_response_body(net, &outcome)),
+        Err(QssError::Cancelled) => cancelled_response(ctx.metrics),
         Err(e) => qss_error_response(net, &e),
     }
 }
@@ -506,12 +530,13 @@ fn analyze(
     options: &RequestOptions,
     deadline: &Deadline,
 ) -> Response {
-    let explore = options.explore();
+    let explore = options.explore(deadline.cancel.clone());
     let mut results: Vec<(String, Json)> = Vec::new();
 
     // Reachability, deadlock and liveness all read the same bounded state space, so
     // one exploration serves every requested check (boundedness runs its own covering
-    // search below). The deadline is still checked between the checks themselves.
+    // search below). The deadline is checked between the checks themselves, and the
+    // exploration carries the armed token so it can cancel itself mid-loop.
     let space = if options.wants("reachability")
         || options.wants("deadlock")
         || options.wants("liveness")
@@ -519,9 +544,10 @@ fn analyze(
         if let Err(response) = deadline.check(ctx.metrics) {
             return response;
         }
-        Some(fcpn_petri::statespace::StateSpace::explore_with(
-            net, &explore,
-        ))
+        match fcpn_petri::statespace::StateSpace::try_explore_with(net, &explore) {
+            Ok(space) => Some(space),
+            Err(_) => return cancelled_response(ctx.metrics),
+        }
     } else {
         None
     };
@@ -597,13 +623,16 @@ fn analyze(
             Some(space) if space.is_complete() => Boundedness::Bounded {
                 k: space.max_tokens_observed(),
             },
-            _ => check_boundedness_with(
+            _ => match try_check_boundedness_with(
                 net,
                 BoundednessOptions {
                     max_nodes: options.max_nodes,
                 },
                 &explore,
-            ),
+            ) {
+                Ok(verdict) => verdict,
+                Err(_) => return cancelled_response(ctx.metrics),
+            },
         };
         results.push((
             "boundedness".to_string(),
@@ -645,8 +674,9 @@ fn codegen(
     options: &RequestOptions,
     deadline: &Deadline,
 ) -> Response {
-    let outcome = match quasi_static_schedule(net, &options.qss()) {
+    let outcome = match quasi_static_schedule(net, &options.qss(deadline.cancel.clone())) {
         Ok(outcome) => outcome,
+        Err(QssError::Cancelled) => return cancelled_response(ctx.metrics),
         Err(e) => return qss_error_response(net, &e),
     };
     let schedule = match outcome {

@@ -416,6 +416,28 @@ pub fn reason_phrase(status: u16) -> &'static str {
 ///
 /// Propagates socket write errors.
 pub fn write_response(stream: &mut impl Write, response: &Response, close: bool) -> io::Result<()> {
+    write_response_deadline(stream, response, close, None)
+}
+
+/// [`write_response`] with a total wall-clock bound on the write.
+///
+/// The per-`write` socket timeout alone does not bound the whole response: a peer
+/// draining its receive window one byte at a time keeps every individual write under
+/// the timeout while holding the worker indefinitely (the write-side slow-loris). The
+/// body is therefore written in bounded chunks with the deadline checked between them;
+/// a blown deadline aborts with [`io::ErrorKind::TimedOut`] and the caller drops the
+/// connection.
+///
+/// # Errors
+///
+/// Propagates socket write errors; [`io::ErrorKind::TimedOut`] when `deadline` passes
+/// before the response is fully written.
+pub fn write_response_deadline(
+    stream: &mut impl Write,
+    response: &Response,
+    close: bool,
+    deadline: Option<Instant>,
+) -> io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         response.status,
@@ -435,7 +457,19 @@ pub fn write_response(stream: &mut impl Write, response: &Response, close: bool)
         "Connection: keep-alive\r\n\r\n"
     });
     stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    let body = response.body.as_bytes();
+    let mut written = 0usize;
+    while written < body.len() {
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "response write deadline exceeded",
+            ));
+        }
+        let end = (written + 8192).min(body.len());
+        stream.write_all(&body[written..end])?;
+        written = end;
+    }
     stream.flush()
 }
 
@@ -542,6 +576,21 @@ mod tests {
             parse_str("NONSENSE\r\n\r\n"),
             Err(HttpError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn expired_write_deadline_aborts_with_timed_out() {
+        let mut out = Vec::new();
+        let long_body = "x".repeat(64 * 1024);
+        let expired = Instant::now() - std::time::Duration::from_millis(1);
+        let err = write_response_deadline(
+            &mut out,
+            &Response::json(200, long_body),
+            true,
+            Some(expired),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

@@ -56,11 +56,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod chaos;
 pub mod handlers;
 pub mod http;
 pub mod json;
 pub mod load;
 mod metrics;
+pub mod persist;
 mod server;
 
 pub use cache::{CachedResponse, ResultCache};
@@ -68,6 +70,7 @@ pub use handlers::{schedule_response_body, HandlerCtx, RequestLimits};
 pub use http::{HttpLimits, Request, Response};
 pub use load::{Client, ClientResponse, LoadReport, LoadSpec};
 pub use metrics::Metrics;
+pub use persist::RecoveryStats;
 pub use server::{Server, ServerConfig, ServerHandle};
 
 #[cfg(test)]

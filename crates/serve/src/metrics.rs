@@ -27,10 +27,20 @@ pub struct Metrics {
     pub rejected_saturated: AtomicU64,
     /// Requests cut short by their deadline guard.
     pub deadline_exceeded: AtomicU64,
+    /// Requests whose engine stage cancelled *itself* mid-loop (its
+    /// [`CancelToken`](fcpn_petri::CancelToken) fired inside an exploration or sweep),
+    /// as opposed to deadlines caught between stages. Always ≤
+    /// [`Metrics::deadline_exceeded`].
+    pub cancelled_in_stage: AtomicU64,
     /// Requests currently being parsed/handled by a worker.
     pub in_flight: AtomicU64,
     /// Connections accepted into the queue.
     pub connections_accepted: AtomicU64,
+    /// Entries reloaded from the persistent cache logs at startup (0 without
+    /// persistence; set once at spawn).
+    pub persist_recovered_entries: AtomicU64,
+    /// Torn or corrupt log tails truncated during startup recovery (set once at spawn).
+    pub persist_torn_tail_truncations: AtomicU64,
 }
 
 impl Metrics {
@@ -47,8 +57,11 @@ impl Metrics {
             responses_server_error: AtomicU64::new(0),
             rejected_saturated: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            cancelled_in_stage: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
+            persist_recovered_entries: AtomicU64::new(0),
+            persist_torn_tail_truncations: AtomicU64::new(0),
         }
     }
 
@@ -64,11 +77,14 @@ impl Metrics {
 
     /// Renders the `/metrics` JSON body. Cache counters and queue state live outside
     /// this struct and are passed in by the server.
+    #[allow(clippy::too_many_arguments)]
     pub fn render(
         &self,
         cache_hits: u64,
         cache_misses: u64,
         cache_entries: usize,
+        cache_evictions: u64,
+        cache_bytes: u64,
         queue_depth: usize,
         queue_capacity: usize,
         workers: usize,
@@ -85,11 +101,22 @@ impl Metrics {
             ("responses_server_error", get(&self.responses_server_error)),
             ("rejected_saturated", get(&self.rejected_saturated)),
             ("deadline_exceeded", get(&self.deadline_exceeded)),
+            ("cancelled_in_stage", get(&self.cancelled_in_stage)),
             ("in_flight", get(&self.in_flight)),
             ("connections_accepted", get(&self.connections_accepted)),
             ("cache_hits", Json::from(cache_hits)),
             ("cache_misses", Json::from(cache_misses)),
             ("cache_entries", Json::from(cache_entries)),
+            ("cache_evictions", Json::from(cache_evictions)),
+            ("cache_bytes", Json::from(cache_bytes)),
+            (
+                "persist_recovered_entries",
+                get(&self.persist_recovered_entries),
+            ),
+            (
+                "persist_torn_tail_truncations",
+                get(&self.persist_torn_tail_truncations),
+            ),
             ("queue_depth", Json::from(queue_depth)),
             ("queue_capacity", Json::from(queue_capacity)),
             ("workers", Json::from(workers)),
@@ -116,9 +143,23 @@ mod tests {
         metrics.count_response(200);
         metrics.count_response(404);
         metrics.count_response(503);
-        let body = metrics.render(5, 7, 2, 1, 64, 8);
+        metrics
+            .persist_recovered_entries
+            .fetch_add(11, Ordering::Relaxed);
+        let body = metrics.render(5, 7, 2, 9, 4096, 1, 64, 8);
         let value = parse(&body).unwrap();
         assert_eq!(value.get("requests_total").unwrap().as_u64(), Some(3));
+        assert_eq!(value.get("cancelled_in_stage").unwrap().as_u64(), Some(0));
+        assert_eq!(value.get("cache_evictions").unwrap().as_u64(), Some(9));
+        assert_eq!(value.get("cache_bytes").unwrap().as_u64(), Some(4096));
+        assert_eq!(
+            value.get("persist_recovered_entries").unwrap().as_u64(),
+            Some(11)
+        );
+        assert_eq!(
+            value.get("persist_torn_tail_truncations").unwrap().as_u64(),
+            Some(0)
+        );
         assert_eq!(value.get("responses_ok").unwrap().as_u64(), Some(1));
         assert_eq!(
             value.get("responses_client_error").unwrap().as_u64(),

@@ -1,0 +1,418 @@
+//! Crash-safe log-structured persistence for the result cache.
+//!
+//! Each cache shard owns one append-only record file (`shard-NNNN.log` under the
+//! configured cache directory). A file is a fixed 8-byte magic header followed by
+//! length-prefixed, checksummed records:
+//!
+//! ```text
+//! ┌──────────┬──────────────┬──────────────┬───────────────────────────────┐
+//! │ magic 8B │ len: u32 LE  │ check: u64 LE│ payload: len bytes            │
+//! │ FCPNLOG1 │ payload size │ fingerprint  │ key u128 LE · status u16 LE · │
+//! │          │              │ of payload   │ body UTF-8                    │
+//! └──────────┴──────────────┴──────────────┴───────────────────────────────┘
+//! ```
+//!
+//! The checksum is the low 64 bits of the same two-lane
+//! [`Fingerprint128`] fold the cache keys use, so no new
+//! dependency is needed. Appends are *not* fsynced — the crash-safety contract is that
+//! a torn or corrupt tail is **detected and truncated** on recovery, never
+//! interpreted: recovery walks records sequentially and cuts the file at the first
+//! record whose length prefix overruns the file, whose checksum mismatches, or whose
+//! payload fails to parse. Everything before the cut is intact by construction
+//! (checksummed), everything after is discarded and recomputed on demand — a warm
+//! restart at worst loses the entries appended in the final moments before a crash.
+//!
+//! Logs grow monotonically (eviction does not rewrite them), so once a log exceeds a
+//! multiple of its shard's byte budget it is **compacted**: the shard's live entries
+//! are written to a temporary file, fsynced, and atomically renamed over the log —
+//! readers of the old inode are unaffected and a crash at any point leaves either the
+//! complete old file or the complete new one.
+
+use fcpn_petri::Fingerprint128;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a result-cache shard log, version 1.
+const MAGIC: &[u8; 8] = b"FCPNLOG1";
+
+/// Fixed bytes per record before the payload: `len: u32` + `check: u64`.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// Payload bytes before the body: `key: u128` + `status: u16`.
+const PAYLOAD_HEADER: usize = 16 + 2;
+
+/// Upper bound on a single record's payload; anything larger is treated as corruption
+/// (the daemon's HTTP body limit is 1 MiB, so no legitimate response approaches this).
+const MAX_RECORD: usize = 64 << 20;
+
+/// What a recovery pass found in one shard log (aggregated across shards by the
+/// cache and surfaced on `/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Intact entries reloaded from the logs.
+    pub recovered_entries: u64,
+    /// Truncation events: torn/corrupt tails cut off, plus unrecognisable (garbage or
+    /// short) headers that reset a log wholesale.
+    pub torn_tail_truncations: u64,
+}
+
+impl RecoveryStats {
+    /// Component-wise sum, for aggregating per-shard stats.
+    pub(crate) fn merge(&mut self, other: RecoveryStats) {
+        self.recovered_entries += other.recovered_entries;
+        self.torn_tail_truncations += other.torn_tail_truncations;
+    }
+}
+
+/// One entry reloaded from a shard log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RecoveredEntry {
+    pub(crate) key: u128,
+    pub(crate) status: u16,
+    pub(crate) body: String,
+}
+
+/// The append-only record file of one cache shard.
+#[derive(Debug)]
+pub(crate) struct ShardLog {
+    file: File,
+    path: PathBuf,
+    /// Current file size (header + records), maintained without re-statting.
+    bytes: u64,
+}
+
+/// Checksum of a record payload: the low 64 bits of the two-lane fingerprint fold.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut fp = Fingerprint128::new();
+    fp.fold_bytes(payload);
+    fp.finish() as u64
+}
+
+/// Serialises one record (header + payload) into `out`.
+fn encode_record(out: &mut Vec<u8>, key: u128, status: u16, body: &str) {
+    let payload_len = PAYLOAD_HEADER + body.len();
+    let start = out.len();
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 8]); // checksum placeholder
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&status.to_le_bytes());
+    out.extend_from_slice(body.as_bytes());
+    let check = checksum(&out[start + RECORD_HEADER..]);
+    out[start + 4..start + RECORD_HEADER].copy_from_slice(&check.to_le_bytes());
+}
+
+/// Walks `data` (a full log file image) and returns the intact entries plus the byte
+/// offset of the first unusable record — the recovery cut point.
+fn scan(data: &[u8]) -> (Vec<RecoveredEntry>, u64, RecoveryStats) {
+    let mut stats = RecoveryStats::default();
+    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+        // Garbage or short header: nothing in this file can be trusted; reset it.
+        if !data.is_empty() {
+            stats.torn_tail_truncations += 1;
+        }
+        return (Vec::new(), 0, stats);
+    }
+    let mut entries = Vec::new();
+    let mut offset = MAGIC.len();
+    while offset < data.len() {
+        let rest = &data[offset..];
+        let Some(record) = decode_record(rest) else {
+            stats.torn_tail_truncations += 1;
+            break;
+        };
+        let (entry, consumed) = record;
+        entries.push(entry);
+        offset += consumed;
+    }
+    stats.recovered_entries = entries.len() as u64;
+    (entries, offset as u64, stats)
+}
+
+/// Decodes one record from the front of `data`; `None` on any torn or corrupt shape.
+fn decode_record(data: &[u8]) -> Option<(RecoveredEntry, usize)> {
+    if data.len() < RECORD_HEADER {
+        return None;
+    }
+    let payload_len = u32::from_le_bytes(data[..4].try_into().ok()?) as usize;
+    if !(PAYLOAD_HEADER..=MAX_RECORD).contains(&payload_len) {
+        return None;
+    }
+    let check = u64::from_le_bytes(data[4..RECORD_HEADER].try_into().ok()?);
+    let payload = data.get(RECORD_HEADER..RECORD_HEADER + payload_len)?;
+    if checksum(payload) != check {
+        return None;
+    }
+    let key = u128::from_le_bytes(payload[..16].try_into().ok()?);
+    let status = u16::from_le_bytes(payload[16..PAYLOAD_HEADER].try_into().ok()?);
+    let body = String::from_utf8(payload[PAYLOAD_HEADER..].to_vec()).ok()?;
+    Some((
+        RecoveredEntry { key, status, body },
+        RECORD_HEADER + payload_len,
+    ))
+}
+
+impl ShardLog {
+    /// Opens (creating if absent) the shard log at `path`, recovering every intact
+    /// entry and truncating the file at the first torn or corrupt record.
+    pub(crate) fn open(path: &Path) -> io::Result<(ShardLog, Vec<RecoveredEntry>, RecoveryStats)> {
+        let data = match std::fs::read(path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let (entries, valid_end, stats) = scan(&data);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let bytes = if valid_end == 0 {
+            // Fresh, reset, or garbage-headed file: start over with a clean header.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(MAGIC)?;
+            MAGIC.len() as u64
+        } else {
+            if (valid_end as usize) < data.len() {
+                file.set_len(valid_end)?;
+            }
+            file.seek(SeekFrom::Start(valid_end))?;
+            valid_end
+        };
+        Ok((
+            ShardLog {
+                file,
+                path: path.to_path_buf(),
+                bytes,
+            },
+            entries,
+            stats,
+        ))
+    }
+
+    /// Appends one record. Not fsynced — a crash may tear this record off the tail,
+    /// which recovery detects and truncates.
+    pub(crate) fn append(&mut self, key: u128, status: u16, body: &str) -> io::Result<()> {
+        let mut record = Vec::with_capacity(RECORD_HEADER + PAYLOAD_HEADER + body.len());
+        encode_record(&mut record, key, status, body);
+        self.file.write_all(&record)?;
+        self.bytes += record.len() as u64;
+        Ok(())
+    }
+
+    /// Current log size in bytes (header + records, live and stale).
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Rewrites the log to exactly `entries` via a temporary file, fsync, and atomic
+    /// rename — a crash leaves either the complete old log or the complete new one.
+    pub(crate) fn compact<'e>(
+        &mut self,
+        entries: impl Iterator<Item = (u128, u16, &'e str)>,
+    ) -> io::Result<()> {
+        let tmp_path = self.path.with_extension("log.tmp");
+        let mut image = Vec::from(&MAGIC[..]);
+        for (key, status, body) in entries {
+            encode_record(&mut image, key, status, body);
+        }
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&image)?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Best-effort directory fsync so the rename itself survives power loss; not
+        // every filesystem supports syncing a directory handle, hence the tolerance.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(handle) = File::open(dir) {
+                let _ = handle.sync_all();
+            }
+        }
+        // The old handle points at the unlinked inode; reopen the renamed file.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.bytes = image.len() as u64;
+        Ok(())
+    }
+
+    /// Fsyncs the log (drain/shutdown path; appends are otherwise unsynced).
+    pub(crate) fn flush(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+/// The canonical log file name of shard `index`.
+pub(crate) fn shard_log_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:04}.log"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch directory unique to this test, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir().join(format!(
+                "fcpn-persist-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn reopen(path: &Path) -> (Vec<RecoveredEntry>, RecoveryStats) {
+        let (_, entries, stats) = ShardLog::open(path).expect("recovery never fails");
+        (entries, stats)
+    }
+
+    #[test]
+    fn round_trip_append_and_recover() {
+        let dir = TempDir::new("roundtrip");
+        let path = shard_log_path(dir.path(), 0);
+        let (mut log, entries, stats) = ShardLog::open(&path).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(stats, RecoveryStats::default());
+        log.append(42, 200, "{\"a\":1}").unwrap();
+        log.append(u128::MAX, 422, "err").unwrap();
+        log.flush().unwrap();
+        drop(log);
+        let (entries, stats) = reopen(&path);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].key, 42);
+        assert_eq!(entries[0].status, 200);
+        assert_eq!(entries[0].body, "{\"a\":1}");
+        assert_eq!(entries[1].key, u128::MAX);
+        assert_eq!(stats.recovered_entries, 2);
+        assert_eq!(stats.torn_tail_truncations, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_earlier_entries_survive() {
+        let dir = TempDir::new("torn");
+        let path = shard_log_path(dir.path(), 0);
+        let (mut log, _, _) = ShardLog::open(&path).unwrap();
+        log.append(1, 200, "first").unwrap();
+        log.append(2, 200, "second").unwrap();
+        drop(log);
+        // Tear the last record: chop a few bytes off the file tail (a crashed append).
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let (entries, stats) = reopen(&path);
+        assert_eq!(entries.len(), 1, "only the intact prefix survives");
+        assert_eq!(entries[0].body, "first");
+        assert_eq!(stats.torn_tail_truncations, 1);
+        // The truncation is persistent: the next recovery sees a clean file.
+        let (entries, stats) = reopen(&path);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(stats.torn_tail_truncations, 0);
+    }
+
+    #[test]
+    fn corrupted_checksum_cuts_the_log_at_the_bad_record() {
+        let dir = TempDir::new("checksum");
+        let path = shard_log_path(dir.path(), 0);
+        let (mut log, _, _) = ShardLog::open(&path).unwrap();
+        log.append(1, 200, "good").unwrap();
+        log.append(2, 200, "bad").unwrap();
+        log.append(3, 200, "after").unwrap();
+        drop(log);
+        // Flip one body byte of the middle record (bit rot / partial overwrite).
+        let mut data = std::fs::read(&path).unwrap();
+        let second_start = MAGIC.len() + RECORD_HEADER + PAYLOAD_HEADER + "good".len();
+        data[second_start + RECORD_HEADER + PAYLOAD_HEADER] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let (entries, stats) = reopen(&path);
+        assert_eq!(
+            entries.len(),
+            1,
+            "everything from the corrupt record on is cut"
+        );
+        assert_eq!(entries[0].body, "good");
+        assert_eq!(stats.torn_tail_truncations, 1);
+    }
+
+    #[test]
+    fn garbage_header_resets_to_a_working_empty_log() {
+        let dir = TempDir::new("garbage");
+        let path = shard_log_path(dir.path(), 0);
+        std::fs::write(&path, b"this is not a shard log at all").unwrap();
+        let (mut log, entries, stats) = ShardLog::open(&path).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(stats.torn_tail_truncations, 1);
+        // The reset log is immediately usable.
+        log.append(9, 200, "fresh").unwrap();
+        drop(log);
+        let (entries, _) = reopen(&path);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].body, "fresh");
+    }
+
+    #[test]
+    fn empty_file_recovers_to_a_working_empty_log() {
+        let dir = TempDir::new("empty");
+        let path = shard_log_path(dir.path(), 0);
+        std::fs::write(&path, b"").unwrap();
+        let (mut log, entries, stats) = ShardLog::open(&path).unwrap();
+        assert!(entries.is_empty());
+        // A zero-byte file is indistinguishable from "never written": no truncation
+        // event is charged.
+        assert_eq!(stats, RecoveryStats::default());
+        log.append(1, 200, "x").unwrap();
+        drop(log);
+        assert_eq!(reopen(&path).0.len(), 1);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_treated_as_corruption() {
+        let dir = TempDir::new("oversize");
+        let path = shard_log_path(dir.path(), 0);
+        let mut data = Vec::from(&MAGIC[..]);
+        data.extend_from_slice(&u32::MAX.to_le_bytes());
+        data.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &data).unwrap();
+        let (_, entries, stats) = ShardLog::open(&path).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(stats.torn_tail_truncations, 1);
+    }
+
+    #[test]
+    fn compaction_drops_stale_records_and_survives_reopen() {
+        let dir = TempDir::new("compact");
+        let path = shard_log_path(dir.path(), 0);
+        let (mut log, _, _) = ShardLog::open(&path).unwrap();
+        for i in 0..100u128 {
+            log.append(i, 200, "stale-then-live").unwrap();
+        }
+        let before = log.bytes();
+        log.compact([(7u128, 200u16, "live")].into_iter()).unwrap();
+        assert!(log.bytes() < before);
+        // The compacted log stays appendable and recovers cleanly.
+        log.append(8, 200, "appended-after-compact").unwrap();
+        drop(log);
+        let (entries, stats) = reopen(&path);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].key, 7);
+        assert_eq!(entries[1].key, 8);
+        assert_eq!(stats.torn_tail_truncations, 0);
+    }
+}

@@ -22,10 +22,11 @@ use crate::metrics::Metrics;
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything the daemon is configured with.
 #[derive(Debug, Clone)]
@@ -42,6 +43,14 @@ pub struct ServerConfig {
     pub cache_entries: usize,
     /// Result-cache shard count (mutex granularity).
     pub cache_shards: usize,
+    /// Total result-cache byte budget across shards (bodies + fixed per-entry
+    /// overhead); least-recently-used entries are evicted past it.
+    pub cache_bytes: usize,
+    /// Directory for the crash-safe persistent cache logs (one per shard). `None`
+    /// keeps the cache purely in memory. The directory is created if absent; intact
+    /// entries from previous runs warm the cache at spawn, torn or corrupt log tails
+    /// are truncated (see the `persist_*` metrics).
+    pub cache_dir: Option<PathBuf>,
     /// Socket read timeout: bounds each blocking `read` and therefore the keep-alive
     /// idle wait.
     pub read_timeout: Duration,
@@ -53,6 +62,14 @@ pub struct ServerConfig {
     pub request_read_deadline: Duration,
     /// Socket write timeout.
     pub write_timeout: Duration,
+    /// Total wall-clock budget for writing one response, checked between body chunks.
+    /// This is the write-side slow-loris bound: a peer draining its receive window a
+    /// byte at a time keeps each socket write under `write_timeout` but still loses
+    /// the worker when this elapses.
+    pub response_write_deadline: Duration,
+    /// How long [`ServerHandle::drain`] waits for in-flight requests before forcing
+    /// shutdown anyway.
+    pub drain_grace: Duration,
     /// Most requests served on one keep-alive connection before it is closed.
     pub max_requests_per_connection: usize,
     /// HTTP parsing limits (head/header/body sizes).
@@ -69,9 +86,13 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_entries: 4096,
             cache_shards: 16,
+            cache_bytes: 64 << 20,
+            cache_dir: None,
             read_timeout: Duration::from_secs(5),
             request_read_deadline: Duration::from_secs(10),
             write_timeout: Duration::from_secs(5),
+            response_write_deadline: Duration::from_secs(10),
+            drain_grace: Duration::from_secs(5),
             max_requests_per_connection: 4096,
             http: HttpLimits::default(),
             limits: RequestLimits::default(),
@@ -88,6 +109,10 @@ struct Shared {
     queue: Mutex<VecDeque<TcpStream>>,
     ready: Condvar,
     shutdown: AtomicBool,
+    /// Set by [`ServerHandle::drain`]: new connections are refused with `503`,
+    /// in-flight requests run to completion (bounded by their deadlines), keep-alive
+    /// connections are closed after the response in flight.
+    draining: AtomicBool,
 }
 
 impl Shared {
@@ -118,17 +143,41 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, or a filesystem failure while opening the
+    /// persistent cache directory (damaged log *contents* are recovered from, never an
+    /// error).
     pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let cache = match &config.cache_dir {
+            Some(dir) => ResultCache::with_persistence(
+                config.cache_shards,
+                config.cache_entries,
+                config.cache_bytes,
+                dir,
+            )?,
+            None => ResultCache::with_limits(
+                config.cache_shards,
+                config.cache_entries,
+                config.cache_bytes,
+            ),
+        };
+        let metrics = Metrics::new();
+        let recovery = cache.recovery_stats();
+        metrics
+            .persist_recovered_entries
+            .store(recovery.recovered_entries, Ordering::Relaxed);
+        metrics
+            .persist_torn_tail_truncations
+            .store(recovery.torn_tail_truncations, Ordering::Relaxed);
         let shared = Arc::new(Shared {
-            cache: ResultCache::new(config.cache_shards, config.cache_entries),
-            metrics: Metrics::new(),
+            cache,
+            metrics,
             queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity)),
             ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             config,
         });
 
@@ -175,6 +224,29 @@ impl ServerHandle {
         }
     }
 
+    /// Gracefully drains the daemon, then stops it.
+    ///
+    /// From the moment drain starts, new connections are refused with `503` and
+    /// keep-alive connections close after the response in flight. Requests already
+    /// being handled run to completion — each is bounded by its own deadline — waited
+    /// for up to `config.drain_grace`. The persistent cache (if any) is fsynced before
+    /// the threads are stopped, so a drained daemon restarts with a warm, intact
+    /// cache. Blocks until all threads have joined.
+    pub fn drain(self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let grace_until = Instant::now() + self.shared.config.drain_grace;
+        while Instant::now() < grace_until {
+            let in_flight = self.shared.metrics.in_flight.load(Ordering::SeqCst);
+            let queued = self.shared.lock_queue().len();
+            if in_flight == 0 && queued == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let _ = self.shared.cache.flush();
+        self.shutdown();
+    }
+
     /// Stops the daemon: no new connections are accepted, queued connections are
     /// dropped, workers finish their current request and exit. Blocks until all
     /// threads have joined.
@@ -217,6 +289,17 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             .metrics
             .connections_accepted
             .fetch_add(1, Ordering::Relaxed);
+        if shared.draining.load(Ordering::SeqCst) {
+            // A draining daemon sheds new work the same way a saturated one does:
+            // immediately, explicitly, and without tying up a worker.
+            shared
+                .metrics
+                .rejected_saturated
+                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.count_response(503);
+            reject_saturated(stream, shared);
+            continue;
+        }
         let mut queue = shared.lock_queue();
         if queue.len() >= shared.config.queue_capacity {
             drop(queue);
@@ -297,8 +380,13 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         let response = response.with_header("X-Fcpn-Elapsed-Us", &elapsed_us.to_string());
         let close = request.wants_close()
             || served + 1 >= shared.config.max_requests_per_connection
-            || shared.shutdown.load(Ordering::SeqCst);
-        if http::write_response(reader.get_mut(), &response, close).is_err() || close {
+            || shared.shutdown.load(Ordering::SeqCst)
+            || shared.draining.load(Ordering::SeqCst);
+        let write_deadline = std::time::Instant::now() + shared.config.response_write_deadline;
+        if http::write_response_deadline(reader.get_mut(), &response, close, Some(write_deadline))
+            .is_err()
+            || close
+        {
             return;
         }
     }
@@ -321,6 +409,8 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
                     shared.cache.hits(),
                     shared.cache.misses(),
                     shared.cache.len(),
+                    shared.cache.evictions(),
+                    shared.cache.bytes(),
                     queue_depth,
                     shared.config.queue_capacity,
                     shared.config.workers,

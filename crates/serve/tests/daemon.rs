@@ -319,6 +319,133 @@ fn slow_loris_request_is_dropped_at_the_read_deadline() {
 }
 
 #[test]
+fn metrics_exposes_cancellation_and_persistence_counters() {
+    let handle = spawn(ServerConfig::default());
+    let mut c = client(&handle);
+    let metrics = c.request("GET", "/metrics", b"").expect("metrics");
+    let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+    for key in [
+        "cancelled_in_stage",
+        "cache_evictions",
+        "cache_bytes",
+        "persist_recovered_entries",
+        "persist_torn_tail_truncations",
+    ] {
+        assert!(
+            value.get(key).and_then(|v| v.as_u64()).is_some(),
+            "missing or non-numeric metrics key `{key}`"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn blown_deadline_cancels_the_sweep_mid_stage_with_a_503() {
+    // choice_chain(12) has 2^12 = 4096 allocations — a sweep that takes far longer
+    // than 1ms — so the armed token must abort it from *inside* the stage.
+    let handle = spawn(ServerConfig::default());
+    let text = to_text(&gallery::choice_chain(12));
+    let mut c = client(&handle);
+    let response = c
+        .request(
+            "POST",
+            "/schedule?deadline_ms=1&cache=0&threads=1",
+            text.as_bytes(),
+        )
+        .expect("cancelled request still gets an answer");
+    assert_eq!(response.status, 503);
+    let mut c2 = client(&handle);
+    let metrics = c2.request("GET", "/metrics", b"").expect("metrics");
+    let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+    assert!(
+        value.get("cancelled_in_stage").unwrap().as_u64().unwrap() >= 1,
+        "the 503 must come from an in-stage cancellation, not a between-stage check"
+    );
+    // The same request without the hostile deadline still computes fine: the
+    // cancellation left no poisoned state behind.
+    let ok = c2
+        .request("POST", "/schedule?cache=0&threads=1", text.as_bytes())
+        .expect("follow-up request");
+    assert_eq!(ok.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn drain_finishes_in_flight_requests_before_stopping() {
+    let handle = spawn(ServerConfig {
+        drain_grace: Duration::from_secs(30),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr().to_string();
+    // choice_chain(10): slow enough (1024 allocations, debug build) that the drain
+    // below starts while this request is still being computed.
+    let text = to_text(&gallery::choice_chain(10));
+    let in_flight = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr, Duration::from_secs(30)).expect("connect");
+        c.request("POST", "/schedule?cache=0", text.as_bytes())
+            .expect("in-flight request completes through the drain")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    handle.drain();
+    let response = in_flight.join().expect("request thread");
+    assert_eq!(
+        response.status, 200,
+        "drain must let the in-flight request finish"
+    );
+}
+
+#[test]
+fn persistent_cache_survives_restart_with_identical_bytes() {
+    let dir = std::env::temp_dir().join(format!("fcpn-daemon-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let net = gallery::figure5();
+    let text = to_text(&net);
+    let expected = expected_schedule_body(&net);
+
+    let first_body = {
+        let handle = spawn(config());
+        let mut c = client(&handle);
+        let response = c
+            .request("POST", "/schedule", text.as_bytes())
+            .expect("warm request");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, expected);
+        handle.drain(); // flushes the logs
+        response.body
+    };
+
+    let handle = spawn(config());
+    let mut c = client(&handle);
+    let metrics = c.request("GET", "/metrics", b"").expect("metrics");
+    let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+    assert!(
+        value
+            .get("persist_recovered_entries")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1,
+        "restart must reload the persisted entry"
+    );
+    let response = c
+        .request("POST", "/schedule", text.as_bytes())
+        .expect("post-restart request");
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("x-fcpn-cache"),
+        Some("hit"),
+        "the recovered entry must serve the repeat query"
+    );
+    assert_eq!(response.body, first_body, "post-recovery bytes diverged");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shutdown_is_clean_and_port_is_released() {
     let handle = spawn(ServerConfig::default());
     let addr = handle.addr();

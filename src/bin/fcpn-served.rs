@@ -1,15 +1,22 @@
 //! `fcpn-served` — the standalone scheduler daemon.
 //!
 //! Binds a TCP address and serves the `fcpn-serve` endpoints until the process is
-//! terminated (SIGTERM/SIGINT; the process relies on the default signal disposition, so
-//! a TERM is an immediate, stateless stop — every completed response has already been
-//! written, and the kernel closes what was in flight).
+//! told to stop. On Unix, `SIGTERM`/`SIGINT` trigger a **graceful drain**: the daemon
+//! stops accepting new connections (refusing them with `503`), lets in-flight
+//! requests finish (each bounded by its own deadline, waited for up to the drain
+//! grace period), fsyncs the persistent cache if one is configured, and exits `0`. A
+//! `SIGKILL` is the crash path — the cache's log-structured persistence recovers from
+//! a torn tail on the next start.
 //!
 //! ```text
 //! fcpn-served [--addr 127.0.0.1:7411] [--workers N] [--queue N]
-//!             [--cache-entries N] [--max-threads N] [--deadline-ms N]
-//!             [--read-timeout-ms N]
+//!             [--cache-entries N] [--cache-bytes N] [--cache-dir PATH]
+//!             [--max-threads N] [--deadline-ms N] [--read-timeout-ms N]
 //! ```
+//!
+//! With `--cache-dir`, the result cache persists across restarts: one append-only,
+//! checksummed log per shard under `PATH` (created if absent), warm-loaded at startup
+//! with torn or corrupt tails truncated (counted in the `persist_*` metrics).
 
 use fcpn_serve::{Server, ServerConfig};
 use std::time::Duration;
@@ -17,9 +24,43 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: fcpn-served [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache-entries N] [--max-threads N] [--deadline-ms N] [--read-timeout-ms N]"
+         [--cache-entries N] [--cache-bytes N] [--cache-dir PATH] [--max-threads N] \
+         [--deadline-ms N] [--read-timeout-ms N]"
     );
     std::process::exit(2);
+}
+
+/// Process-wide "a termination signal arrived" flag, set from the signal handler.
+#[cfg(unix)]
+mod term {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    // Setting a static atomic flag is async-signal-safe; everything else (draining,
+    // flushing, printing) happens on the main thread once it observes the flag.
+    extern "C" fn on_term(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            let handler = on_term as extern "C" fn(i32) as *const () as usize;
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
 }
 
 fn main() {
@@ -38,6 +79,8 @@ fn main() {
             "--workers" => config.workers = parse_num(i) as usize,
             "--queue" => config.queue_capacity = parse_num(i) as usize,
             "--cache-entries" => config.cache_entries = parse_num(i) as usize,
+            "--cache-bytes" => config.cache_bytes = (parse_num(i) as usize).max(1),
+            "--cache-dir" => config.cache_dir = Some(value(i).into()),
             "--max-threads" => config.limits.max_threads = (parse_num(i) as usize).max(1),
             "--deadline-ms" => {
                 let ms = parse_num(i).max(1);
@@ -58,10 +101,13 @@ fn main() {
         i += 2;
     }
 
+    #[cfg(unix)]
+    term::install();
+
     let handle = match Server::spawn(config.clone()) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("fcpn-served: cannot bind {}: {e}", config.addr);
+            eprintln!("fcpn-served: cannot start on {}: {e}", config.addr);
             std::process::exit(1);
         }
     };
@@ -72,7 +118,21 @@ fn main() {
         config.workers,
         config.queue_capacity
     );
-    // Serve until the process is killed: the accept loop only returns on shutdown(),
-    // which nothing triggers here — SIGTERM terminates the whole process instead.
-    handle.join();
+
+    #[cfg(unix)]
+    {
+        // Serve until a termination signal arrives, then drain: refuse new work,
+        // finish what is in flight, flush the persistent cache, exit 0.
+        while !term::requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        println!("fcpn-served draining (signal received)");
+        handle.drain();
+        println!("fcpn-served stopped");
+    }
+    #[cfg(not(unix))]
+    {
+        // No signal plumbing off Unix: serve until the process is killed.
+        handle.join();
+    }
 }

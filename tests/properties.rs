@@ -419,6 +419,7 @@ fn assert_variants_canonical(net: &PetriNet, options: ReachabilityOptions, label
             reach: options,
             threads: 1,
             width: TokenWidth::U64,
+            ..ExploreOptions::default()
         },
     );
     let variants = [
@@ -437,6 +438,7 @@ fn assert_variants_canonical(net: &PetriNet, options: ReachabilityOptions, label
                 reach: options,
                 threads,
                 width,
+                ..ExploreOptions::default()
             },
         );
         let tag = format!("{label} [{name}]");
@@ -463,6 +465,37 @@ fn assert_variants_canonical(net: &PetriNet, options: ReachabilityOptions, label
                 Some(id),
                 "{tag}: interner lookup of {id}"
             );
+        }
+    }
+    // An armed but never-fired cancellation token is pure observation: the graph it
+    // yields must be the canonical one, bit for bit, sequential and sharded alike.
+    for threads in [1usize, 4] {
+        let watched = StateSpace::try_explore_with(
+            net,
+            &ExploreOptions {
+                reach: options,
+                threads,
+                width: TokenWidth::U64,
+                cancel: fcpn::petri::cancel::CancelToken::new(),
+            },
+        )
+        .expect("an armed-but-idle token never cancels");
+        let tag = format!("{label} [armed-cancel t{threads}]");
+        assert_eq!(
+            watched.state_count(),
+            baseline.state_count(),
+            "{tag}: states"
+        );
+        assert_eq!(watched.edge_count(), baseline.edge_count(), "{tag}: edges");
+        for id in 0..baseline.state_count() as u32 {
+            assert_eq!(
+                watched.tokens(id),
+                baseline.tokens(id),
+                "{tag}: marking {id}"
+            );
+            let base_row: Vec<_> = baseline.successors(id).collect();
+            let row: Vec<_> = watched.successors(id).collect();
+            assert_eq!(row, base_row, "{tag}: out-edges of {id}");
         }
     }
 }

@@ -245,6 +245,20 @@ fn assert_schedules_equal(net: &PetriNet, label: &str) {
             );
         }
     }
+    // An armed but never-fired cancellation token must be invisible in the output:
+    // the gate only *polls* it, so the result stays bit-identical to the default run.
+    for threads in [1usize, 4] {
+        let armed = QssOptions {
+            threads,
+            cancel: fcpn::petri::cancel::CancelToken::new(),
+            ..QssOptions::default()
+        };
+        let watched = quasi_static_schedule(net, &armed).expect(label);
+        assert_eq!(
+            naive, watched,
+            "{label}: armed-but-idle cancel token changed the outcome (threads={threads})"
+        );
+    }
 }
 
 #[test]
