@@ -12,30 +12,45 @@
 //!     --bin ./target/release/fcpn-served
 //! ```
 //!
-//! Runs, in order:
+//! Runs, in order (daemons run in **reactor** mode wherever it exists):
 //!
 //! 1. **cancellation-latency** — `/schedule?deadline_ms=1&cache=0&threads=1` on
 //!    `choice_chain(12)` (4096 allocations, far beyond 1ms) must answer `503` within
 //!    50ms of the deadline, and `/metrics` must show `cancelled_in_stage >= 1`.
 //! 2. **slow-loris / disconnect** — a dripping client and a mid-body hangup, after
 //!    which `/healthz` must still answer `200` promptly.
-//! 3. **kill-9 + recovery** — warm the persistent cache, then `kill -9` the daemon
-//!    while a writer thread is churning fresh cache appends, restart it on the same
-//!    `--cache-dir`, and require every warmed response byte-identical to the
-//!    library-computed oracle plus readable `persist_*` metrics.
+//! 3. **connection-flood** — `--flood` (default 10000) idle sockets parked on the
+//!    daemon, then one real `/schedule` must answer inside 2s: parked connections
+//!    cost buffers, not threads.
+//! 4. **loris-fleet** — `--loris` (default 500) connections dripping one byte per
+//!    tick; every one must be cut at the read deadline and the daemon must keep
+//!    serving throughout.
+//! 5. **rate-limit** — against a *separate* daemon started with `--tenant-rate`: a
+//!    burst past the bucket earns `429`s with a parseable `Retry-After`, and waiting
+//!    out the window restores service (other probes never see throttling).
+//! 6. **sigterm-drain** — `kill -TERM` with a request in flight: the request
+//!    completes, the daemon exits `0`.
+//! 7. **kill-9 + recovery** (skippable with `--skip-kill9`) — warm the persistent
+//!    cache, then `kill -9` the daemon while a writer thread is churning fresh cache
+//!    appends, restart it on the same `--cache-dir`, and require every warmed
+//!    response byte-identical to the library-computed oracle plus readable
+//!    `persist_*` metrics.
 
 use fcpn_petri::io::to_text;
 use fcpn_petri::{gallery, PetriNet};
 use fcpn_qss::{quasi_static_schedule, QssOptions};
 use fcpn_serve::chaos::{
-    fetch, healthz_ok, probe_cancellation, probe_mid_request_disconnect, probe_slow_loris,
-    DaemonProcess,
+    fetch, healthz_ok, probe_cancellation, probe_connection_flood, probe_mid_request_disconnect,
+    probe_rate_limit, probe_slow_loris, probe_slow_loris_fleet, sigterm, DaemonProcess,
 };
 use fcpn_serve::schedule_response_body;
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: chaos_harness --bin PATH/TO/fcpn-served [--keep-cache-dir]");
+    eprintln!(
+        "usage: chaos_harness --bin PATH/TO/fcpn-served [--flood N] [--loris N] \
+         [--skip-kill9] [--keep-cache-dir]"
+    );
     std::process::exit(2);
 }
 
@@ -76,18 +91,15 @@ impl Outcomes {
 }
 
 fn spawn(binary: &str, cache_dir: &str) -> DaemonProcess {
-    DaemonProcess::spawn(
-        binary,
-        &[
-            "--addr",
-            "127.0.0.1:0",
-            "--workers",
-            "4",
-            "--cache-dir",
-            cache_dir,
-        ],
-    )
-    .expect("spawn fcpn-served")
+    spawn_with(binary, &["--cache-dir", cache_dir])
+}
+
+/// Spawns the daemon in reactor mode (the mode under test; off Linux the binary falls
+/// back to threaded by itself) with any extra flags appended.
+fn spawn_with(binary: &str, extra: &[&str]) -> DaemonProcess {
+    let mut args = vec!["--addr", "127.0.0.1:0", "--workers", "4", "--reactor"];
+    args.extend_from_slice(extra);
+    DaemonProcess::spawn(binary, &args).expect("spawn fcpn-served")
 }
 
 fn cancellation_latency(addr: &str) -> Result<(), String> {
@@ -122,6 +134,157 @@ fn hostile_clients(addr: &str) -> Result<(), String> {
         Ok(true) => Ok(()),
         Ok(false) => Err("healthz not 200 after hostile clients".into()),
         Err(e) => Err(format!("healthz: {e}")),
+    }
+}
+
+fn connection_flood(binary: &str, flood: usize) -> Result<(), String> {
+    let max_conns = (flood + 256).to_string();
+    let daemon = spawn_with(binary, &["--max-conns", &max_conns]);
+    let addr = daemon.addr().to_string();
+    let net_text = to_text(&gallery::figure4());
+    // Warm the cache so the flooded request measures the serving path, not a cold
+    // sweep racing the flood on a single-core host.
+    let warm = fetch(
+        &addr,
+        "POST",
+        "/schedule?threads=1",
+        net_text.as_bytes(),
+        Duration::from_secs(10),
+    )
+    .map_err(|e| format!("warm request: {e}"))?;
+    if warm.status != 200 {
+        return Err(format!("warm request: status {}", warm.status));
+    }
+    let probe = probe_connection_flood(&addr, flood, &net_text, Duration::from_secs(10))
+        .map_err(|e| format!("flood probe: {e}"))?;
+    if probe.idle_held != flood {
+        return Err(format!("held {} of {flood} idle sockets", probe.idle_held));
+    }
+    if probe.status != 200 {
+        return Err(format!("real request under flood: status {}", probe.status));
+    }
+    let bound = Duration::from_secs(2);
+    if probe.elapsed > bound {
+        return Err(format!(
+            "real request took {:?} under a {flood}-connection flood (bound {bound:?})",
+            probe.elapsed
+        ));
+    }
+    println!(
+        "      [flood] {} idle conns held, real request in {:?}",
+        probe.idle_held, probe.elapsed
+    );
+    Ok(())
+}
+
+fn loris_fleet(binary: &str, loris: usize) -> Result<(), String> {
+    // A 1s read deadline so the whole fleet is shed inside the 4s hold.
+    let daemon = spawn_with(binary, &["--read-deadline-ms", "1000"]);
+    let addr = daemon.addr().to_string();
+    let probe = probe_slow_loris_fleet(&addr, loris, Duration::from_secs(4))
+        .map_err(|e| format!("fleet probe: {e}"))?;
+    if probe.dropped_by_daemon * 10 < probe.opened * 9 {
+        return Err(format!(
+            "only {} of {} lorises were cut by the read deadline",
+            probe.dropped_by_daemon, probe.opened
+        ));
+    }
+    match healthz_ok(&addr, Duration::from_secs(5)) {
+        Ok(true) => {}
+        Ok(false) => return Err("healthz not 200 after the fleet".into()),
+        Err(e) => return Err(format!("healthz after the fleet: {e}")),
+    }
+    let response = fetch(
+        &addr,
+        "POST",
+        "/schedule",
+        to_text(&gallery::figure4()).as_bytes(),
+        Duration::from_secs(10),
+    )
+    .map_err(|e| format!("request after the fleet: {e}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "request after the fleet: status {}",
+            response.status
+        ));
+    }
+    println!(
+        "      [loris] {}/{} dripping connections shed",
+        probe.dropped_by_daemon, probe.opened
+    );
+    Ok(())
+}
+
+fn rate_limit(binary: &str) -> Result<(), String> {
+    // A separate daemon instance: only this probe runs with metering on, so the
+    // throttle cannot contaminate the other probes' daemons.
+    let daemon = spawn_with(binary, &["--tenant-rate", "2", "--tenant-burst", "4"]);
+    let addr = daemon.addr().to_string();
+    let net_text = to_text(&gallery::figure4());
+    let probe = probe_rate_limit(&addr, "acme", 10, &net_text, Duration::from_secs(10))
+        .map_err(|e| format!("rate-limit probe: {e}"))?;
+    if probe.limited == 0 {
+        return Err(format!(
+            "burst of 10 past a 4-deep bucket was never limited: {probe:?}"
+        ));
+    }
+    if probe.retry_after_s < 1 {
+        return Err(format!("Retry-After must be >= 1s: {probe:?}"));
+    }
+    if !probe.recovered {
+        return Err(format!(
+            "tenant not served after waiting out Retry-After: {probe:?}"
+        ));
+    }
+    let metrics = fetch(&addr, "GET", "/metrics", b"", Duration::from_secs(5))
+        .map_err(|e| format!("metrics fetch: {e}"))?;
+    match metrics_counter(&metrics.body, "rejected_rate_limited") {
+        Some(n) if n as usize >= probe.limited => {}
+        other => {
+            return Err(format!(
+                "rejected_rate_limited should be >= {}, got {other:?}",
+                probe.limited
+            ))
+        }
+    }
+    println!(
+        "      [rate] {} ok, {} limited (Retry-After {}s), recovered",
+        probe.ok, probe.limited, probe.retry_after_s
+    );
+    Ok(())
+}
+
+fn sigterm_drain(binary: &str) -> Result<(), String> {
+    let daemon = spawn_with(binary, &[]);
+    let addr = daemon.addr().to_string();
+    let pid = daemon.pid();
+    // An uncached sweep big enough that the SIGTERM usually lands mid-request; if the
+    // request wins the race anyway, the exit-status check still gates the drain.
+    let in_flight = std::thread::spawn(move || {
+        fetch(
+            &addr,
+            "POST",
+            "/schedule?cache=0&threads=1",
+            to_text(&gallery::choice_chain(13)).as_bytes(),
+            Duration::from_secs(30),
+        )
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    sigterm(pid).map_err(|e| format!("SIGTERM: {e}"))?;
+    let response = in_flight
+        .join()
+        .expect("request thread")
+        .map_err(|e| format!("in-flight request through the drain: {e}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "in-flight request must finish through the drain, got {}",
+            response.status
+        ));
+    }
+    match daemon.wait_success() {
+        Ok(true) => Ok(()),
+        Ok(false) => Err("daemon exited non-zero after SIGTERM".into()),
+        Err(e) => Err(format!("waiting for drained daemon: {e}")),
     }
 }
 
@@ -209,12 +372,33 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut binary: Option<String> = None;
     let mut keep_cache_dir = false;
+    let mut skip_kill9 = false;
+    let mut flood = 10_000usize;
+    let mut loris = 500usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--bin" => {
                 binary = args.get(i + 1).cloned();
                 i += 2;
+            }
+            "--flood" => {
+                flood = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--loris" => {
+                loris = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--skip-kill9" => {
+                skip_kill9 = true;
+                i += 1;
             }
             "--keep-cache-dir" => {
                 keep_cache_dir = true;
@@ -228,6 +412,15 @@ fn main() {
     let _ = std::fs::remove_dir_all(&cache_dir);
     let cache_dir = cache_dir.to_string_lossy().into_owned();
 
+    // The flood probe holds `flood` client-side sockets in this process.
+    #[cfg(target_os = "linux")]
+    {
+        let got = fcpn_serve::reactor::raise_nofile_limit(flood as u64 + 512);
+        if got < flood as u64 + 64 {
+            eprintln!("warning: fd limit {got} may be too low for --flood {flood}");
+        }
+    }
+
     let mut outcomes = Outcomes { failed: 0 };
 
     {
@@ -237,7 +430,15 @@ fn main() {
         outcomes.run("hostile-clients", hostile_clients(&addr));
         daemon.kill9().expect("tear down first daemon");
     }
-    outcomes.run("kill9-recovery", kill9_recovery(&binary, &cache_dir));
+    outcomes.run("connection-flood", connection_flood(&binary, flood));
+    outcomes.run("loris-fleet", loris_fleet(&binary, loris));
+    outcomes.run("rate-limit", rate_limit(&binary));
+    outcomes.run("sigterm-drain", sigterm_drain(&binary));
+    if skip_kill9 {
+        println!("skip  kill9-recovery (--skip-kill9)");
+    } else {
+        outcomes.run("kill9-recovery", kill9_recovery(&binary, &cache_dir));
+    }
 
     if !keep_cache_dir {
         let _ = std::fs::remove_dir_all(&cache_dir);

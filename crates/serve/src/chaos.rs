@@ -8,11 +8,30 @@
 //! zero-dependency rule; `fcpn-bench`'s `chaos_harness` example drives these probes
 //! end-to-end and the CI `chaos-smoke` job runs them against a release build.
 
-use crate::load::{Client, ClientResponse};
+use crate::load::{open_idle_sockets, Client, ClientResponse};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
+
+/// Sends `SIGTERM` to `pid` — the graceful-drain end of the shutdown contract,
+/// shelling out to `kill(1)` to stay inside the zero-dependency rule.
+///
+/// # Errors
+///
+/// Propagates the spawn failure, or [`io::ErrorKind::Other`] when `kill` exits
+/// non-zero (e.g. the process is already gone).
+pub fn sigterm(pid: u32) -> io::Result<()> {
+    let status = Command::new("kill")
+        .arg("-TERM")
+        .arg(pid.to_string())
+        .status()?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(io::Error::other(format!("kill -TERM {pid} failed")))
+    }
+}
 
 /// A daemon running as a real child process, with its readiness line parsed.
 ///
@@ -211,6 +230,199 @@ pub fn probe_mid_request_disconnect(addr: &str, body: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// What [`probe_connection_flood`] measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodProbe {
+    /// Idle sockets successfully opened and held for the duration of the probe.
+    pub idle_held: usize,
+    /// Status of the real request sent while the flood was parked.
+    pub status: u16,
+    /// Latency of that real request, flood and all.
+    pub elapsed: Duration,
+}
+
+/// Connection-flood probe: opens `idle` sockets that never send a byte, holds them all
+/// open, then fires one real request and measures its latency. On an event-driven
+/// front end the parked sockets cost a few KiB each and zero threads, so the real
+/// request must answer as if the flood were not there; a thread-per-connection server
+/// would have exhausted its workers long before 10k.
+///
+/// The idle sockets are dropped when the probe returns.
+///
+/// # Errors
+///
+/// Propagates socket-open failures (including `EMFILE` if the *client* runs out of
+/// fds — raise `ulimit -n` before asking for 10k) and request failures.
+pub fn probe_connection_flood(
+    addr: &str,
+    idle: usize,
+    net_text: &str,
+    timeout: Duration,
+) -> io::Result<FloodProbe> {
+    let parked = open_idle_sockets(addr, idle)?;
+    let mut client = Client::connect(addr, timeout)?;
+    let started = Instant::now();
+    let response = client.request("POST", "/schedule?threads=1", net_text.as_bytes())?;
+    let probe = FloodProbe {
+        idle_held: parked.len(),
+        status: response.status,
+        elapsed: started.elapsed(),
+    };
+    drop(parked);
+    Ok(probe)
+}
+
+/// What [`probe_slow_loris_fleet`] measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LorisFleetProbe {
+    /// Dripping sockets the fleet managed to open.
+    pub opened: usize,
+    /// How many the daemon had dropped (write error on the drip) by the time `hold`
+    /// elapsed. With deadlines shorter than `hold`, this should be all of them.
+    pub dropped_by_daemon: usize,
+}
+
+/// Slow-loris *fleet*: `count` connections all promising a large body and dripping one
+/// byte per tick, driven from this single thread over non-blocking sockets. The point
+/// is scale — one loris is annoying, five hundred must still cost the daemon nothing
+/// but per-connection buffers, and every one of them must be cut by the read deadline
+/// rather than holding a slot forever.
+///
+/// # Errors
+///
+/// Propagates the initial connect failures only; drip-time write errors are the
+/// *daemon* dropping us, which is the success condition and is counted, not raised.
+pub fn probe_slow_loris_fleet(
+    addr: &str,
+    count: usize,
+    hold: Duration,
+) -> io::Result<LorisFleetProbe> {
+    let head = b"POST /schedule HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+    let mut fleet: Vec<Option<TcpStream>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        // The head fits comfortably in the socket buffer, so a blocking write here
+        // cannot stall; everything after goes non-blocking.
+        let _ = stream.write_all(head);
+        stream.set_nonblocking(true)?;
+        fleet.push(Some(stream));
+    }
+    let opened = fleet.len();
+    let mut dropped = 0usize;
+    let until = Instant::now() + hold;
+    while Instant::now() < until && dropped < opened {
+        for slot in &mut fleet {
+            let Some(stream) = slot else { continue };
+            match stream.write(b"x") {
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Connection reset / broken pipe: the daemon cut this loris.
+                    dropped += 1;
+                    *slot = None;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Ok(LorisFleetProbe {
+        opened,
+        dropped_by_daemon: dropped,
+    })
+}
+
+/// What [`probe_rate_limit`] measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimitProbe {
+    /// Requests in the burst answered `200`.
+    pub ok: usize,
+    /// Requests in the burst answered `429`.
+    pub limited: usize,
+    /// The `Retry-After` value (seconds) parsed from the first `429`.
+    pub retry_after_s: u64,
+    /// Whether a request sent after waiting out `Retry-After` succeeded.
+    pub recovered: bool,
+}
+
+/// Rate-limit probe: bursts `burst` requests under one tenant header as fast as the
+/// connection allows, expecting the token bucket to run dry partway through — `429`s
+/// carrying a parseable `Retry-After` — and then verifies that waiting out the
+/// advertised window actually restores service for that tenant.
+///
+/// Run this against a daemon started with `--tenant-rate`; with metering disabled
+/// (the default) every request is admitted and `limited` stays 0.
+///
+/// # Errors
+///
+/// Propagates connect/request failures, and [`io::ErrorKind::InvalidData`] when a
+/// `429` arrives without a parseable `Retry-After` — the header contract is the point
+/// of the probe.
+pub fn probe_rate_limit(
+    addr: &str,
+    tenant: &str,
+    burst: usize,
+    net_text: &str,
+    timeout: Duration,
+) -> io::Result<RateLimitProbe> {
+    let mut client = Client::connect(addr, timeout)?;
+    let headers = [("X-Fcpn-Tenant", tenant)];
+    let mut ok = 0usize;
+    let mut limited = 0usize;
+    let mut retry_after_s = 0u64;
+    for _ in 0..burst {
+        let response = client.request_with_headers(
+            "POST",
+            "/schedule?threads=1",
+            &headers,
+            net_text.as_bytes(),
+        )?;
+        match response.status {
+            200 => ok += 1,
+            429 => {
+                limited += 1;
+                let value = response.header("retry-after").ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "429 without Retry-After")
+                })?;
+                let parsed: u64 = value.trim().parse().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unparseable Retry-After: {value:?}"),
+                    )
+                })?;
+                if retry_after_s == 0 {
+                    retry_after_s = parsed;
+                }
+            }
+            other => {
+                return Err(io::Error::other(format!(
+                    "unexpected status {other} during rate-limit burst"
+                )))
+            }
+        }
+    }
+    let mut recovered = false;
+    if limited > 0 {
+        // Wait out the advertised window (bounded — a daemon advertising an hour is
+        // its own kind of bug) and confirm the tenant is served again.
+        std::thread::sleep(Duration::from_secs(retry_after_s.clamp(1, 10)));
+        let response = client.request_with_headers(
+            "POST",
+            "/schedule?threads=1",
+            &headers,
+            net_text.as_bytes(),
+        )?;
+        recovered = response.status == 200;
+    }
+    Ok(RateLimitProbe {
+        ok,
+        limited,
+        retry_after_s,
+        recovered,
+    })
+}
+
 /// Asserts the daemon at `addr` answers `/healthz` with `200` within `timeout` —
 /// the "still alive and taking work" check after every fault probe.
 ///
@@ -266,6 +478,63 @@ mod tests {
         // A trivially fast net completes well inside a generous deadline.
         let probe = probe_cancellation(&addr, &net, 10_000, Duration::from_secs(5)).unwrap();
         assert_eq!(probe.status, 200);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn rate_limit_probe_sees_429_and_recovers() {
+        let handle = Server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            tenant: crate::tenant::TenantPolicy {
+                rate: 2.0,
+                burst: 2.0,
+                ..crate::tenant::TenantPolicy::default()
+            },
+            ..ServerConfig::default()
+        })
+        .expect("spawn metered daemon");
+        let addr = handle.addr().to_string();
+        let net = fcpn_petri::io::to_text(&fcpn_petri::gallery::figure4());
+        let probe = probe_rate_limit(&addr, "acme", 6, &net, Duration::from_secs(5)).unwrap();
+        assert!(probe.ok >= 2, "burst head should pass: {probe:?}");
+        assert!(probe.limited > 0, "bucket should run dry: {probe:?}");
+        assert!(
+            probe.retry_after_s >= 1,
+            "Retry-After must be >= 1: {probe:?}"
+        );
+        assert!(
+            probe.recovered,
+            "tenant should recover after the window: {probe:?}"
+        );
+        handle.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn connection_flood_probe_answers_through_idle_sockets() {
+        let handle = spawn_local();
+        let addr = handle.addr().to_string();
+        let net = fcpn_petri::io::to_text(&fcpn_petri::gallery::figure4());
+        let probe = probe_connection_flood(&addr, 128, &net, Duration::from_secs(10)).unwrap();
+        assert_eq!(probe.idle_held, 128);
+        assert_eq!(probe.status, 200);
+        handle.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn slow_loris_fleet_is_cut_by_the_read_deadline() {
+        let handle = spawn_local();
+        let addr = handle.addr().to_string();
+        // 300ms read deadline vs a 3s hold: every loris must be cut.
+        let probe = probe_slow_loris_fleet(&addr, 32, Duration::from_secs(3)).unwrap();
+        assert_eq!(probe.opened, 32);
+        assert!(
+            probe.dropped_by_daemon >= probe.opened / 2,
+            "daemon should shed the fleet: {probe:?}"
+        );
+        assert!(healthz_ok(&addr, Duration::from_secs(5)).unwrap());
         handle.shutdown();
     }
 }

@@ -134,6 +134,58 @@ pub fn read_request(
         Some(line) => line,
     };
 
+    let mut header_lines: Vec<String> = Vec::new();
+    loop {
+        let line = match read_line(reader, limits, deadline, &mut head_bytes)? {
+            None => return Err(HttpError::Disconnected),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        // The head-byte budget above bounds memory; the header-count limit is
+        // enforced when the head is assembled.
+        header_lines.push(line);
+    }
+
+    let (mut request, content_length) = assemble_head(
+        &request_line,
+        header_lines.iter().map(String::as_str),
+        limits,
+    )?;
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        // Chunked reads with a deadline check between them, so a body dripped under
+        // the socket timeout still cannot hold the worker past the deadline.
+        let mut filled = 0usize;
+        while filled < content_length {
+            if deadline.is_some_and(|d| Instant::now() > d) {
+                return Err(HttpError::Disconnected);
+            }
+            let end = (filled + 8192).min(content_length);
+            reader
+                .read_exact(&mut body[filled..end])
+                .map_err(|_| HttpError::Disconnected)?;
+            filled = end;
+        }
+    }
+
+    request.body = body;
+    Ok(Some(request))
+}
+
+/// Parses a complete request head (request line + header lines, line terminators
+/// already stripped) into a body-less [`Request`] plus the declared `Content-Length`.
+///
+/// Both front ends go through this: the blocking reader collects lines one blocking
+/// `read` at a time, the reactor's [`IncrementalParser`] splits a buffered head — but
+/// every status code and error message a client can observe comes from this one
+/// function, so the two paths stay bit-identical.
+pub(crate) fn assemble_head<'a>(
+    request_line: &str,
+    header_lines: impl Iterator<Item = &'a str>,
+    limits: &HttpLimits,
+) -> Result<(Request, usize), HttpError> {
     let mut parts = request_line.split(' ');
     let method = parts
         .next()
@@ -162,14 +214,7 @@ pub fn read_request(
     };
 
     let mut headers: Vec<(String, String)> = Vec::new();
-    loop {
-        let line = match read_line(reader, limits, deadline, &mut head_bytes)? {
-            None => return Err(HttpError::Disconnected),
-            Some(line) => line,
-        };
-        if line.is_empty() {
-            break;
-        }
+    for line in header_lines {
         if headers.len() >= limits.max_headers {
             return Err(HttpError::Malformed {
                 status: 431,
@@ -226,30 +271,165 @@ pub fn read_request(
             ),
         });
     }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        // Chunked reads with a deadline check between them, so a body dripped under
-        // the socket timeout still cannot hold the worker past the deadline.
-        let mut filled = 0usize;
-        while filled < content_length {
-            if deadline.is_some_and(|d| Instant::now() > d) {
-                return Err(HttpError::Disconnected);
-            }
-            let end = (filled + 8192).min(content_length);
-            reader
-                .read_exact(&mut body[filled..end])
-                .map_err(|_| HttpError::Disconnected)?;
-            filled = end;
+
+    Ok((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body: Vec::new(),
+        },
+        content_length,
+    ))
+}
+
+/// Incremental HTTP/1.1 request parser for the non-blocking reactor path.
+///
+/// The reactor feeds whatever bytes `read(2)` produced — a byte, a half request, three
+/// pipelined requests — and polls for complete requests. Parsing state survives across
+/// feeds, so a head split at any byte boundary parses identically to one delivered
+/// whole. Limits are enforced *mid-stream*: a head that exceeds `max_head_bytes`
+/// before its terminator arrives is rejected without buffering the rest, which is the
+/// property that makes 10k slow-loris clients cost kilobytes instead of threads.
+#[derive(Debug)]
+pub struct IncrementalParser {
+    limits: HttpLimits,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for the head terminator (scan-resume memo).
+    scanned: usize,
+    state: ParseState,
+}
+
+#[derive(Debug)]
+enum ParseState {
+    Head,
+    Body {
+        request: Box<Request>,
+        content_length: usize,
+    },
+}
+
+impl IncrementalParser {
+    /// A fresh parser enforcing `limits`.
+    pub fn new(limits: HttpLimits) -> Self {
+        IncrementalParser {
+            limits,
+            buf: Vec::new(),
+            scanned: 0,
+            state: ParseState::Head,
         }
     }
 
-    Ok(Some(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-    }))
+    /// Appends bytes read off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the parser holds no partial request (nothing buffered, waiting for a
+    /// request line). Distinguishes an *idle* keep-alive connection from one that went
+    /// quiet mid-request, which the reactor maps to different deadlines and counters.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, ParseState::Head) && self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// `Ok(None)` means "need more bytes". After `Ok(Some(_))`, any pipelined
+    /// remainder stays buffered — poll again before sleeping on the socket.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Malformed`] exactly as the blocking reader would classify the same
+    /// request (the head is assembled by the same code). The parser is unusable after
+    /// an error; the connection must be closed.
+    pub fn poll(&mut self) -> Result<Option<Request>, HttpError> {
+        if let ParseState::Body { content_length, .. } = &self.state {
+            let content_length = *content_length;
+            if self.buf.len() < content_length {
+                return Ok(None);
+            }
+            let state = std::mem::replace(&mut self.state, ParseState::Head);
+            let ParseState::Body { mut request, .. } = state else {
+                unreachable!()
+            };
+            request.body = self.buf.drain(..content_length).collect();
+            self.scanned = 0;
+            return Ok(Some(*request));
+        }
+
+        // Tolerate stray blank lines between pipelined requests (the blocking path's
+        // stray-CRLF leniency, generalised).
+        loop {
+            if self.buf.starts_with(b"\r\n") {
+                self.buf.drain(..2);
+            } else if self.buf.first() == Some(&b'\n') {
+                self.buf.drain(..1);
+            } else {
+                break;
+            }
+            self.scanned = 0;
+        }
+
+        let Some(head_end) = self.find_head_terminator() else {
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(HttpError::Malformed {
+                    status: 431,
+                    message: format!("request head exceeds {} bytes", self.limits.max_head_bytes),
+                });
+            }
+            return Ok(None);
+        };
+        if head_end > self.limits.max_head_bytes {
+            return Err(HttpError::Malformed {
+                status: 431,
+                message: format!("request head exceeds {} bytes", self.limits.max_head_bytes),
+            });
+        }
+
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| HttpError::bad("non-UTF-8 request head"))?;
+        let mut lines = head.lines();
+        let request_line = lines.next().unwrap_or("");
+        // The only empty line in `head` is the terminator itself (the scan stops at
+        // the first blank line), so filtering it out cannot drop a real header.
+        let (request, content_length) =
+            assemble_head(request_line, lines.filter(|l| !l.is_empty()), &self.limits)?;
+        self.buf.drain(..head_end);
+        self.scanned = 0;
+        if content_length == 0 {
+            return Ok(Some(request));
+        }
+        self.state = ParseState::Body {
+            request: Box::new(request),
+            content_length,
+        };
+        self.poll()
+    }
+
+    /// Finds the byte offset one past the blank line ending the head (`\r\n\r\n` or
+    /// `\n\n`, mixed endings tolerated), resuming from the last scan position.
+    fn find_head_terminator(&mut self) -> Option<usize> {
+        // A terminator may straddle the previous feed boundary by up to 2 bytes.
+        let start = self.scanned.saturating_sub(2);
+        for i in start..self.buf.len() {
+            if self.buf[i] != b'\n' {
+                continue;
+            }
+            match self.buf.get(i + 1) {
+                Some(&b'\n') => return Some(i + 2),
+                Some(&b'\r') if self.buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        self.scanned = self.buf.len();
+        None
+    }
 }
 
 /// Reads one CRLF- (or LF-) terminated line, enforcing the head-byte budget and the
@@ -402,11 +582,46 @@ pub fn reason_phrase(status: u16) -> &'static str {
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// Builds the response head exactly as the blocking writer emits it — the reactor
+/// serialises through this same function, which is what keeps the two front ends'
+/// wire bytes identical.
+pub(crate) fn response_head(response: &Response, close: bool) -> String {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    head
+}
+
+/// Serialises a whole response (head + body) into one buffer for non-blocking writes.
+pub(crate) fn serialize_response(response: &Response, close: bool) -> Vec<u8> {
+    let head = response_head(response, close);
+    let mut out = Vec::with_capacity(head.len() + response.body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(response.body.as_bytes());
+    out
 }
 
 /// Serialises `response` onto `stream` (HTTP/1.1, explicit `Content-Length`,
@@ -438,24 +653,7 @@ pub fn write_response_deadline(
     close: bool,
     deadline: Option<Instant>,
 ) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
-        response.status,
-        reason_phrase(response.status),
-        response.content_type,
-        response.body.len()
-    );
-    for (name, value) in &response.extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str(if close {
-        "Connection: close\r\n\r\n"
-    } else {
-        "Connection: keep-alive\r\n\r\n"
-    });
+    let head = response_head(response, close);
     stream.write_all(head.as_bytes())?;
     let body = response.body.as_bytes();
     let mut written = 0usize;
@@ -591,6 +789,126 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn incremental_parser_handles_any_split_boundary() {
+        // One POST with query, headers and body, split at every byte boundary: the
+        // parse must be identical no matter where the reads land.
+        let wire =
+            b"POST /schedule?threads=2 HTTP/1.1\r\nHost: x\r\nX-Fcpn-Tenant: acme\r\nContent-Length: 5\r\n\r\nhello";
+        for split in 0..=wire.len() {
+            let mut parser = IncrementalParser::new(HttpLimits::default());
+            parser.feed(&wire[..split]);
+            let first = parser.poll().unwrap();
+            parser.feed(&wire[split..]);
+            let req = match first {
+                Some(req) => req,
+                None => parser
+                    .poll()
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("no request after full feed (split at {split})")),
+            };
+            assert_eq!(req.method, "POST", "split {split}");
+            assert_eq!(req.path, "/schedule");
+            assert_eq!(req.query_param("threads"), Some("2"));
+            assert_eq!(req.header("x-fcpn-tenant"), Some("acme"));
+            assert_eq!(req.body, b"hello");
+            assert!(parser.is_idle(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn incremental_parser_drains_pipelined_requests_from_one_feed() {
+        let mut parser = IncrementalParser::new(HttpLimits::default());
+        parser.feed(
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /metrics HTTP/1.1\r\n\r\n",
+        );
+        let a = parser.poll().unwrap().unwrap();
+        assert_eq!((a.method.as_str(), a.path.as_str()), ("GET", "/healthz"));
+        let b = parser.poll().unwrap().unwrap();
+        assert_eq!(b.path, "/x");
+        assert_eq!(b.body, b"abc");
+        let c = parser.poll().unwrap().unwrap();
+        assert_eq!(c.path, "/metrics");
+        assert!(parser.poll().unwrap().is_none());
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_head_mid_stream() {
+        // The head never terminates; the parser must reject as soon as the budget is
+        // exceeded rather than buffering the drip-feed forever.
+        let limits = HttpLimits {
+            max_head_bytes: 64,
+            ..HttpLimits::default()
+        };
+        let mut parser = IncrementalParser::new(limits);
+        parser.feed(b"GET /");
+        let mut rejected = None;
+        for chunk in 0..100 {
+            parser.feed(b"aaaaaaaa");
+            match parser.poll() {
+                Ok(None) => continue,
+                Ok(Some(_)) => panic!("unterminated head parsed"),
+                Err(e) => {
+                    rejected = Some((chunk, e));
+                    break;
+                }
+            }
+        }
+        let (chunk, err) = rejected.expect("oversized head never rejected");
+        match err {
+            HttpError::Malformed { status, .. } => assert_eq!(status, 431),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Rejection happened as soon as the budget blew, not at some later horizon.
+        assert!(
+            parser.buffered() <= 64 + 8 + 5,
+            "rejected only at chunk {chunk}"
+        );
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_reader_on_errors() {
+        // Same malformed inputs, same statuses and messages on both paths.
+        for wire in [
+            "NONSENSE\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 5\r\n\r\nhello",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello",
+            "GET /x%zz HTTP/1.1\r\n\r\n",
+        ] {
+            let blocking = parse_str(wire).unwrap_err();
+            let mut parser = IncrementalParser::new(HttpLimits::default());
+            parser.feed(wire.as_bytes());
+            let incremental = parser.poll().unwrap_err();
+            match (blocking, incremental) {
+                (
+                    HttpError::Malformed {
+                        status: sa,
+                        message: ma,
+                    },
+                    HttpError::Malformed {
+                        status: sb,
+                        message: mb,
+                    },
+                ) => {
+                    assert_eq!(sa, sb, "{wire:?}");
+                    assert_eq!(ma, mb, "{wire:?}");
+                }
+                other => panic!("mismatched classification for {wire:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_tolerates_blank_lines_between_requests() {
+        let mut parser = IncrementalParser::new(HttpLimits::default());
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(parser.poll().unwrap().unwrap().path, "/a");
+        assert_eq!(parser.poll().unwrap().unwrap().path, "/b");
+        assert!(parser.poll().unwrap().is_none());
     }
 
     #[test]

@@ -51,7 +51,10 @@
 //! process; `fcpn-bench`'s `serve_load` example replays gallery/ATM nets against it and
 //! reports latency quantiles and cache hit rate.
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the epoll reactor's syscall shim (`reactor::sys`) is the
+// one place allowed to opt back in, with the same minimal-`extern "C"` discipline the
+// daemon binary already uses for `signal(2)`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -63,15 +66,19 @@ pub mod json;
 pub mod load;
 mod metrics;
 pub mod persist;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 mod server;
+pub mod tenant;
 
 pub use cache::{CachedResponse, ResultCache};
 pub use handlers::{schedule_response_body, HandlerCtx, RequestLimits};
-pub use http::{HttpLimits, Request, Response};
-pub use load::{Client, ClientResponse, LoadReport, LoadSpec};
-pub use metrics::Metrics;
+pub use http::{HttpLimits, IncrementalParser, Request, Response};
+pub use load::{Client, ClientResponse, FanoutReport, FanoutSpec, LoadReport, LoadSpec};
+pub use metrics::{Metrics, RuntimeStats};
 pub use persist::RecoveryStats;
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use tenant::{Admission, TenantGovernor, TenantPolicy};
 
 #[cfg(test)]
 mod tests {

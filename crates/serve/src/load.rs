@@ -66,10 +66,22 @@ impl Client {
         path_and_query: &str,
         body: &[u8],
     ) -> io::Result<ClientResponse> {
-        let head = format!(
-            "{method} {path_and_query} HTTP/1.1\r\nHost: fcpn\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        );
+        self.request_with_headers(method, path_and_query, &[], body)
+    }
+
+    /// [`Client::request`] with extra request headers (e.g. `X-Fcpn-Tenant`).
+    ///
+    /// # Errors
+    ///
+    /// Any socket error, timeout, or malformed response head.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let head = build_request_head(method, path_and_query, headers, body.len());
         let stream = self.reader.get_mut();
         stream.write_all(head.as_bytes())?;
         stream.write_all(body)?;
@@ -121,6 +133,40 @@ impl Client {
             body,
         })
     }
+}
+
+fn build_request_head(
+    method: &str,
+    path_and_query: &str,
+    headers: &[(&str, &str)],
+    body_len: usize,
+) -> String {
+    let mut head = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nHost: fcpn\r\nContent-Length: {body_len}\r\n"
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    head
+}
+
+/// Opens `count` TCP connections to `addr` and returns them without sending a byte —
+/// the connection-flood probe's raw material. The sockets stay open until dropped.
+///
+/// # Errors
+///
+/// Propagates the first connect failure (commonly `EMFILE` when the fd limit is lower
+/// than `count`).
+pub fn open_idle_sockets(addr: &str, count: usize) -> io::Result<Vec<TcpStream>> {
+    let mut sockets = Vec::with_capacity(count);
+    for _ in 0..count {
+        sockets.push(TcpStream::connect(addr)?);
+    }
+    Ok(sockets)
 }
 
 /// What the load generator replays.
@@ -321,6 +367,453 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> io::Result<LoadReport> {
         cache_hits: hits_after.saturating_sub(hits_before),
         cache_misses: misses_after.saturating_sub(misses_before),
     })
+}
+
+/// What the non-blocking fanout generator replays.
+///
+/// Unlike [`LoadSpec`] (one thread per connection), a fanout run drives every
+/// connection from **one** thread over epoll, so the generator itself can hold 10k+
+/// sockets open — enough to exercise the reactor's headline number from a single
+/// process. `idle_connections` spectator sockets are opened first and held silent for
+/// the whole run, measuring how flat the active connections' latency stays while the
+/// daemon carries them.
+#[derive(Debug, Clone)]
+pub struct FanoutSpec {
+    /// Actively requesting connections.
+    pub connections: usize,
+    /// Extra silent connections held open for the duration of the run.
+    pub idle_connections: usize,
+    /// Requests issued per active connection.
+    pub requests_per_connection: usize,
+    /// Endpoint path + query, e.g. `"/schedule?threads=1"`.
+    pub target: String,
+    /// The nets to replay: `(label, text-format body)`; connections round-robin.
+    pub nets: Vec<(String, String)>,
+    /// `X-Fcpn-Tenant` values assigned round-robin to active connections; empty
+    /// sends no tenant header (everything lands in the daemon's default bucket).
+    pub tenants: Vec<String>,
+    /// Wall-clock budget for the whole run; pending requests past it are abandoned
+    /// and counted as errors.
+    pub deadline: Duration,
+}
+
+impl Default for FanoutSpec {
+    fn default() -> Self {
+        FanoutSpec {
+            connections: 64,
+            idle_connections: 0,
+            requests_per_connection: 4,
+            target: "/schedule".into(),
+            nets: Vec::new(),
+            tenants: Vec::new(),
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Latency quantiles for one tenant within a fanout run.
+#[derive(Debug, Clone)]
+pub struct TenantLatency {
+    /// The `X-Fcpn-Tenant` value (`"-"` when no header was sent).
+    pub tenant: String,
+    /// Completed requests carrying this tenant header.
+    pub requests: usize,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: f64,
+}
+
+/// Aggregate outcome of one fanout run.
+#[derive(Debug, Clone)]
+pub struct FanoutReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// `200` responses.
+    pub ok: usize,
+    /// `503` responses (saturation/overload).
+    pub rejected: usize,
+    /// `429` responses (tenant rate limit or quota).
+    pub rate_limited: usize,
+    /// Any other status, transport error, or request abandoned at the deadline.
+    pub errors: usize,
+    /// Median latency in microseconds (all tenants).
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds (all tenants).
+    pub p95_us: f64,
+    /// Worst observed latency in microseconds.
+    pub max_us: f64,
+    /// Wall-clock time of the whole run in milliseconds.
+    pub wall_ms: f64,
+    /// Completed requests per second over the wall clock.
+    pub throughput_rps: f64,
+    /// Per-tenant latency quantiles, sorted by tenant key (present when tenant
+    /// headers were sent).
+    pub per_tenant: Vec<TenantLatency>,
+}
+
+/// Runs a non-blocking fanout load: all active connections (plus the idle spectator
+/// sockets) are driven from this one thread over epoll.
+///
+/// # Errors
+///
+/// Setup failures (opening sockets, creating the epoll instance), or
+/// [`io::ErrorKind::Unsupported`] on non-Linux hosts.
+///
+/// # Panics
+///
+/// Panics if `spec.nets` is empty.
+pub fn run_fanout(addr: &str, spec: &FanoutSpec) -> io::Result<FanoutReport> {
+    assert!(!spec.nets.is_empty(), "fanout spec has no nets to replay");
+    #[cfg(target_os = "linux")]
+    {
+        fanout::run(addr, spec)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = addr;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "fanout load generation requires epoll (linux)",
+        ))
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod fanout {
+    use super::*;
+    use crate::reactor::sys;
+    use std::collections::HashMap;
+    use std::os::unix::io::AsRawFd;
+
+    /// Incremental HTTP response reader for one non-blocking connection.
+    struct RespBuf {
+        buf: Vec<u8>,
+        head_end: Option<usize>,
+        status: u16,
+        content_length: usize,
+        close: bool,
+    }
+
+    impl RespBuf {
+        fn new() -> Self {
+            RespBuf {
+                buf: Vec::new(),
+                head_end: None,
+                status: 0,
+                content_length: 0,
+                close: false,
+            }
+        }
+
+        /// Feeds bytes; `Ok(true)` once the response is complete, `Err` on a head the
+        /// client cannot interpret.
+        fn feed(&mut self, bytes: &[u8]) -> io::Result<bool> {
+            self.buf.extend_from_slice(bytes);
+            if self.head_end.is_none() {
+                if let Some(pos) = find_subslice(&self.buf, b"\r\n\r\n") {
+                    let head = std::str::from_utf8(&self.buf[..pos])
+                        .map_err(|_| bad("non-UTF-8 response head"))?;
+                    let mut lines = head.lines();
+                    self.status = lines
+                        .next()
+                        .and_then(|l| l.split(' ').nth(1))
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad("malformed status line"))?;
+                    for line in lines {
+                        let Some((name, value)) = line.split_once(':') else {
+                            continue;
+                        };
+                        let name = name.trim().to_ascii_lowercase();
+                        let value = value.trim();
+                        if name == "content-length" {
+                            self.content_length =
+                                value.parse().map_err(|_| bad("bad Content-Length"))?;
+                        } else if name == "connection" {
+                            self.close = value.eq_ignore_ascii_case("close");
+                        }
+                    }
+                    self.head_end = Some(pos + 4);
+                }
+            }
+            Ok(self
+                .head_end
+                .is_some_and(|end| self.buf.len() >= end + self.content_length))
+        }
+    }
+
+    fn bad(msg: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+    }
+
+    fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+        haystack
+            .windows(needle.len())
+            .position(|window| window == needle)
+    }
+
+    enum ConnPhase {
+        Writing,
+        Reading,
+        Done,
+    }
+
+    struct FanConn {
+        stream: TcpStream,
+        phase: ConnPhase,
+        out: Vec<u8>,
+        written: usize,
+        resp: RespBuf,
+        remaining: usize,
+        next_net: usize,
+        tenant: Option<String>,
+        sent_at: Instant,
+        interest: u32,
+    }
+
+    struct Tally {
+        ok: usize,
+        rejected: usize,
+        rate_limited: usize,
+        errors: usize,
+        attempted: usize,
+        latencies: Vec<f64>,
+        by_tenant: HashMap<String, Vec<f64>>,
+    }
+
+    impl FanConn {
+        fn start_request(&mut self, spec: &FanoutSpec, tally: &mut Tally) {
+            let (_, net) = &spec.nets[self.next_net % spec.nets.len()];
+            self.next_net += 1;
+            let mut headers: Vec<(&str, &str)> = Vec::new();
+            if let Some(tenant) = &self.tenant {
+                headers.push(("X-Fcpn-Tenant", tenant));
+            }
+            let head = build_request_head("POST", &spec.target, &headers, net.len());
+            self.out.clear();
+            self.out.extend_from_slice(head.as_bytes());
+            self.out.extend_from_slice(net.as_bytes());
+            self.written = 0;
+            self.resp = RespBuf::new();
+            self.phase = ConnPhase::Writing;
+            self.sent_at = Instant::now();
+            tally.attempted += 1;
+        }
+
+        /// Drives reads/writes until blocked; `Ok(true)` when the connection must be
+        /// reconnected (server closed it), `Err` when it failed mid-request.
+        fn pump(
+            &mut self,
+            spec: &FanoutSpec,
+            tally: &mut Tally,
+            scratch: &mut [u8],
+        ) -> io::Result<bool> {
+            loop {
+                match self.phase {
+                    ConnPhase::Done => return Ok(false),
+                    ConnPhase::Writing => {
+                        if self.written == self.out.len() {
+                            self.phase = ConnPhase::Reading;
+                            continue;
+                        }
+                        match (&self.stream).write(&self.out[self.written..]) {
+                            Ok(0) => return Err(bad("write returned 0")),
+                            Ok(n) => self.written += n,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    ConnPhase::Reading => match (&self.stream).read(scratch) {
+                        Ok(0) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "server closed mid-response",
+                            ))
+                        }
+                        Ok(n) => {
+                            if self.resp.feed(&scratch[..n])? {
+                                let latency = self.sent_at.elapsed().as_secs_f64() * 1e6;
+                                tally.latencies.push(latency);
+                                let key = self.tenant.clone().unwrap_or_else(|| "-".into());
+                                tally.by_tenant.entry(key).or_default().push(latency);
+                                match self.resp.status {
+                                    200 => tally.ok += 1,
+                                    503 => tally.rejected += 1,
+                                    429 => tally.rate_limited += 1,
+                                    _ => tally.errors += 1,
+                                }
+                                self.remaining -= 1;
+                                let closed = self.resp.close;
+                                if self.remaining == 0 {
+                                    self.phase = ConnPhase::Done;
+                                    return Ok(false);
+                                }
+                                if closed {
+                                    return Ok(true); // reconnect, then next request
+                                }
+                                self.start_request(spec, tally);
+                                continue;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    },
+                }
+            }
+        }
+
+        fn wanted_interest(&self) -> u32 {
+            match self.phase {
+                ConnPhase::Writing if self.written < self.out.len() => sys::EPOLLOUT,
+                ConnPhase::Writing | ConnPhase::Reading => sys::EPOLLIN,
+                ConnPhase::Done => 0,
+            }
+        }
+    }
+
+    pub(super) fn run(addr: &str, spec: &FanoutSpec) -> io::Result<FanoutReport> {
+        let idle = open_idle_sockets(addr, spec.idle_connections)?;
+        let epoll = sys::Epoll::new()?;
+        let mut tally = Tally {
+            ok: 0,
+            rejected: 0,
+            rate_limited: 0,
+            errors: 0,
+            attempted: 0,
+            latencies: Vec::new(),
+            by_tenant: HashMap::new(),
+        };
+        let started = Instant::now();
+        let mut conns: Vec<Option<FanConn>> = Vec::with_capacity(spec.connections);
+        for index in 0..spec.connections {
+            let tenant = if spec.tenants.is_empty() {
+                None
+            } else {
+                Some(spec.tenants[index % spec.tenants.len()].clone())
+            };
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nonblocking(true)?;
+            stream.set_nodelay(true)?;
+            let mut conn = FanConn {
+                stream,
+                phase: ConnPhase::Writing,
+                out: Vec::new(),
+                written: 0,
+                resp: RespBuf::new(),
+                remaining: spec.requests_per_connection,
+                next_net: index,
+                tenant,
+                sent_at: started,
+                interest: 0,
+            };
+            conn.start_request(spec, &mut tally);
+            epoll.add(conn.stream.as_raw_fd(), sys::EPOLLOUT, index as u64)?;
+            conn.interest = sys::EPOLLOUT;
+            conns.push(Some(conn));
+        }
+
+        let mut scratch = vec![0u8; 16 * 1024];
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 1024];
+        let mut active = conns.iter().filter(|c| c.is_some()).count();
+        while active > 0 {
+            if started.elapsed() > spec.deadline {
+                // Whatever is still pending is abandoned and counted as an error.
+                for conn in conns.iter_mut().filter_map(Option::as_mut) {
+                    if !matches!(conn.phase, ConnPhase::Done) {
+                        tally.errors += 1;
+                    }
+                }
+                break;
+            }
+            let n = epoll.wait(&mut events, 100)?;
+            for event in &events[..n] {
+                let index = event.data as usize;
+                let Some(conn) = conns.get_mut(index).and_then(Option::as_mut) else {
+                    continue;
+                };
+                match conn.pump(spec, &mut tally, &mut scratch) {
+                    Ok(false) => {}
+                    Ok(true) => {
+                        // Server closed the connection (shed or keep-alive budget):
+                        // reconnect and continue this connection's quota.
+                        let _ = epoll.delete(conn.stream.as_raw_fd());
+                        match TcpStream::connect(addr) {
+                            Ok(stream) => {
+                                stream.set_nonblocking(true)?;
+                                let _ = stream.set_nodelay(true);
+                                conn.stream = stream;
+                                conn.interest = 0;
+                                conn.start_request(spec, &mut tally);
+                                epoll.add(conn.stream.as_raw_fd(), sys::EPOLLOUT, index as u64)?;
+                                conn.interest = sys::EPOLLOUT;
+                            }
+                            Err(_) => {
+                                tally.errors += conn.remaining;
+                                conn.phase = ConnPhase::Done;
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        tally.errors += 1;
+                        let _ = epoll.delete(conn.stream.as_raw_fd());
+                        conn.phase = ConnPhase::Done;
+                    }
+                }
+                let conn = conns[index].as_mut().unwrap();
+                if matches!(conn.phase, ConnPhase::Done) {
+                    let _ = epoll.delete(conn.stream.as_raw_fd());
+                    conns[index] = None;
+                    active -= 1;
+                } else {
+                    let wanted = conn.wanted_interest();
+                    if wanted != conn.interest {
+                        conn.interest = wanted;
+                        let _ = epoll.modify(conn.stream.as_raw_fd(), wanted, index as u64);
+                    }
+                }
+            }
+        }
+        drop(idle);
+
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        tally
+            .latencies
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let completed = tally.latencies.len();
+        let mut per_tenant: Vec<TenantLatency> = tally
+            .by_tenant
+            .into_iter()
+            .map(|(tenant, mut series)| {
+                series.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+                TenantLatency {
+                    requests: series.len(),
+                    p50_us: quantile(&series, 0.50),
+                    p95_us: quantile(&series, 0.95),
+                    tenant,
+                }
+            })
+            .collect();
+        per_tenant.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        Ok(FanoutReport {
+            requests: tally.attempted,
+            ok: tally.ok,
+            rejected: tally.rejected,
+            rate_limited: tally.rate_limited,
+            errors: tally.errors,
+            p50_us: quantile(&tally.latencies, 0.50),
+            p95_us: quantile(&tally.latencies, 0.95),
+            max_us: tally.latencies.last().copied().unwrap_or(0.0),
+            wall_ms,
+            throughput_rps: if wall_ms > 0.0 {
+                completed as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            per_tenant,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,18 @@ pub struct Metrics {
     pub responses_server_error: AtomicU64,
     /// Connections rejected at accept time because the queue was full.
     pub rejected_saturated: AtomicU64,
+    /// Requests answered 429 because a tenant's token bucket ran dry.
+    pub rejected_rate_limited: AtomicU64,
+    /// Requests answered 429 because a tenant hit its in-flight quota.
+    pub rejected_quota: AtomicU64,
+    /// Keep-alive connections dropped for sitting idle past the idle timeout.
+    pub idle_timeouts: AtomicU64,
+    /// Connections dropped mid-request/mid-response for blowing a read or write
+    /// deadline (the slow-loris counters, both directions).
+    pub deadline_disconnects: AtomicU64,
+    /// Connections currently open on the event-driven front end (gauge; 0 on the
+    /// threaded path, which has no per-connection registry).
+    pub open_connections: AtomicU64,
     /// Requests cut short by their deadline guard.
     pub deadline_exceeded: AtomicU64,
     /// Requests whose engine stage cancelled *itself* mid-loop (its
@@ -56,6 +68,11 @@ impl Metrics {
             responses_client_error: AtomicU64::new(0),
             responses_server_error: AtomicU64::new(0),
             rejected_saturated: AtomicU64::new(0),
+            rejected_rate_limited: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
+            idle_timeouts: AtomicU64::new(0),
+            deadline_disconnects: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             cancelled_in_stage: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -75,23 +92,14 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the `/metrics` JSON body. Cache counters and queue state live outside
-    /// this struct and are passed in by the server.
-    #[allow(clippy::too_many_arguments)]
-    pub fn render(
-        &self,
-        cache_hits: u64,
-        cache_misses: u64,
-        cache_entries: usize,
-        cache_evictions: u64,
-        cache_bytes: u64,
-        queue_depth: usize,
-        queue_capacity: usize,
-        workers: usize,
-    ) -> String {
+    /// Renders the `/metrics` JSON body. Cache counters, queue state, front-end
+    /// identity and the per-tenant breakdown live outside this struct and arrive via
+    /// [`RuntimeStats`].
+    pub fn render(&self, stats: RuntimeStats) -> String {
         let get = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
         Json::obj([
             ("uptime_s", Json::from(self.started.elapsed().as_secs())),
+            ("front_end", Json::from(stats.front_end)),
             ("requests_total", get(&self.requests_total)),
             ("schedule_requests", get(&self.schedule_requests)),
             ("analyze_requests", get(&self.analyze_requests)),
@@ -100,15 +108,20 @@ impl Metrics {
             ("responses_client_error", get(&self.responses_client_error)),
             ("responses_server_error", get(&self.responses_server_error)),
             ("rejected_saturated", get(&self.rejected_saturated)),
+            ("rejected_rate_limited", get(&self.rejected_rate_limited)),
+            ("rejected_quota", get(&self.rejected_quota)),
             ("deadline_exceeded", get(&self.deadline_exceeded)),
             ("cancelled_in_stage", get(&self.cancelled_in_stage)),
+            ("idle_timeouts", get(&self.idle_timeouts)),
+            ("deadline_disconnects", get(&self.deadline_disconnects)),
             ("in_flight", get(&self.in_flight)),
+            ("open_connections", get(&self.open_connections)),
             ("connections_accepted", get(&self.connections_accepted)),
-            ("cache_hits", Json::from(cache_hits)),
-            ("cache_misses", Json::from(cache_misses)),
-            ("cache_entries", Json::from(cache_entries)),
-            ("cache_evictions", Json::from(cache_evictions)),
-            ("cache_bytes", Json::from(cache_bytes)),
+            ("cache_hits", Json::from(stats.cache_hits)),
+            ("cache_misses", Json::from(stats.cache_misses)),
+            ("cache_entries", Json::from(stats.cache_entries)),
+            ("cache_evictions", Json::from(stats.cache_evictions)),
+            ("cache_bytes", Json::from(stats.cache_bytes)),
             (
                 "persist_recovered_entries",
                 get(&self.persist_recovered_entries),
@@ -117,12 +130,43 @@ impl Metrics {
                 "persist_torn_tail_truncations",
                 get(&self.persist_torn_tail_truncations),
             ),
-            ("queue_depth", Json::from(queue_depth)),
-            ("queue_capacity", Json::from(queue_capacity)),
-            ("workers", Json::from(workers)),
+            ("queue_depth", Json::from(stats.queue_depth)),
+            ("queue_capacity", Json::from(stats.queue_capacity)),
+            ("workers", Json::from(stats.workers)),
+            // Last on purpose: the nested per-tenant objects repeat key names like
+            // `in_flight`, and flat text scans over this body (the chaos harness, shell
+            // smoke tests) must hit the top-level counters first.
+            ("tenants", stats.tenants),
         ])
         .render()
     }
+}
+
+/// Server-side state that accompanies the atomic counters in one `/metrics` render:
+/// cache counters, dispatch-queue occupancy, which front end is running, and the
+/// per-tenant breakdown.
+#[derive(Debug)]
+pub struct RuntimeStats {
+    /// `"reactor"` or `"threaded"`.
+    pub front_end: &'static str,
+    /// Whole-response cache hits.
+    pub cache_hits: u64,
+    /// Whole-response cache misses.
+    pub cache_misses: u64,
+    /// Live cache entries.
+    pub cache_entries: usize,
+    /// Cache evictions (LRU + byte budget).
+    pub cache_evictions: u64,
+    /// Bytes held by cached bodies.
+    pub cache_bytes: u64,
+    /// Requests parked in the dispatch queue right now.
+    pub queue_depth: usize,
+    /// Dispatch queue capacity.
+    pub queue_capacity: usize,
+    /// CPU worker threads.
+    pub workers: usize,
+    /// Per-tenant counters ([`TenantGovernor::render_json`](crate::tenant::TenantGovernor::render_json)).
+    pub tenants: Json,
 }
 
 impl Default for Metrics {
@@ -146,9 +190,46 @@ mod tests {
         metrics
             .persist_recovered_entries
             .fetch_add(11, Ordering::Relaxed);
-        let body = metrics.render(5, 7, 2, 9, 4096, 1, 64, 8);
+        let body = metrics.render(RuntimeStats {
+            front_end: "threaded",
+            cache_hits: 5,
+            cache_misses: 7,
+            cache_entries: 2,
+            cache_evictions: 9,
+            cache_bytes: 4096,
+            queue_depth: 1,
+            queue_capacity: 64,
+            workers: 8,
+            tenants: Json::obj([(
+                "default",
+                Json::obj([
+                    ("admitted", Json::from(3u64)),
+                    ("rejected", Json::from(0u64)),
+                    ("in_flight", Json::from(0u64)),
+                ]),
+            )]),
+        });
         let value = parse(&body).unwrap();
         assert_eq!(value.get("requests_total").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            value.get("rejected_rate_limited").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(value.get("idle_timeouts").unwrap().as_u64(), Some(0));
+        assert_eq!(value.get("open_connections").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            value
+                .get("tenants")
+                .unwrap()
+                .get("default")
+                .unwrap()
+                .get("admitted")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        // Flat scans must hit top-level counters before the nested tenant objects.
+        assert!(body.find("\"in_flight\"").unwrap() < body.find("\"tenants\"").unwrap());
         assert_eq!(value.get("cancelled_in_stage").unwrap().as_u64(), Some(0));
         assert_eq!(value.get("cache_evictions").unwrap().as_u64(), Some(9));
         assert_eq!(value.get("cache_bytes").unwrap().as_u64(), Some(4096));

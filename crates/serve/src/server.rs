@@ -1,24 +1,37 @@
-//! The daemon: accept loop, bounded connection queue, worker pool, graceful shutdown.
+//! The daemon: front-end selection, shared request core, graceful shutdown.
 //!
-//! ## Concurrency model
+//! ## Two front ends, one core
 //!
-//! One accept thread owns the [`TcpListener`]; accepted connections are pushed into a
-//! bounded FIFO guarded by a mutex + condvar. A fixed pool of worker threads pops
-//! connections and serves them request-by-request (HTTP/1.1 keep-alive, socket read
-//! timeout as the idle bound). **Backpressure is immediate and explicit**: when the
-//! queue is full the accept thread answers `503 Service Unavailable` itself and closes —
-//! a saturated daemon sheds load in microseconds instead of stacking latency. In-flight
-//! capacity is therefore `workers + queue_capacity` connections.
+//! The daemon has two interchangeable connection front ends over one shared
+//! [`Core`] (config + metrics + cache + tenant governor + lifecycle flags):
 //!
-//! Per-request CPU is bounded by the handler guards (state budgets, allocation budgets,
-//! deadlines — see [`crate::handlers`]); per-request memory by the HTTP limits; worker
-//! loss by the panic shield around each request (a panicking handler answers `500`,
-//! never takes down the worker).
+//! - **Reactor** (`config.reactor`, the default on Linux): a single epoll thread
+//!   drives non-blocking per-connection state machines and hands only *complete*
+//!   requests to the CPU worker pool over a bounded queue — a slow or idle client
+//!   costs a few kilobytes of buffer, never a thread. See [`crate::reactor`].
+//! - **Threaded** (the fallback, and the only option off Linux): one accept thread
+//!   owns the [`TcpListener`]; accepted connections are pushed into a bounded FIFO
+//!   guarded by a mutex + condvar, and a fixed pool of worker threads pops
+//!   connections and serves them request-by-request with blocking reads.
+//!
+//! **Backpressure is immediate and explicit** on both paths: past the bounded
+//! queue (connections for the threaded path, parsed requests for the reactor) the
+//! daemon answers `503 Service Unavailable` with a `Retry-After` in microseconds
+//! instead of stacking latency. On top of that sits per-tenant admission control
+//! (token-bucket rate + in-flight quota keyed by the `X-Fcpn-Tenant` header,
+//! `429 Too Many Requests` on exhaustion — see [`crate::tenant`]), disabled by
+//! default and switched on with a non-zero tenant rate.
+//!
+//! Per-request CPU is bounded by the handler guards (state budgets, allocation
+//! budgets, deadlines — see [`crate::handlers`]); per-request memory by the HTTP
+//! limits; worker loss by the panic shield around each request (a panicking
+//! handler answers `500`, never takes down the worker).
 
 use crate::cache::ResultCache;
 use crate::handlers::{self, HandlerCtx, RequestLimits};
 use crate::http::{self, HttpError, HttpLimits, Request, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, RuntimeStats};
+use crate::tenant::{Admission, TenantGovernor, TenantPolicy};
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,11 +47,23 @@ pub struct ServerConfig {
     /// Bind address; port `0` picks an ephemeral port (the bound address is reported by
     /// [`ServerHandle::addr`]).
     pub addr: String,
+    /// Use the event-driven epoll front end (Linux only; silently falls back to the
+    /// threaded front end elsewhere). Defaults to `true` on Linux.
+    pub reactor: bool,
     /// Worker thread count.
     pub workers: usize,
-    /// Bounded accept-queue capacity; connections beyond `workers + queue_capacity`
-    /// in flight are answered `503`.
+    /// Bounded queue capacity: pending connections (threaded) or parsed-but-not-yet-
+    /// executing requests (reactor) beyond it are answered `503`.
     pub queue_capacity: usize,
+    /// Reactor only: most connections held open at once; accepts beyond it are shed
+    /// with `503` at accept time.
+    pub max_connections: usize,
+    /// Reactor only: keep-alive connections idle (no partial request buffered) longer
+    /// than this are closed. The threaded path's idle bound is `read_timeout`.
+    pub idle_timeout: Duration,
+    /// Per-tenant admission policy (token-bucket rate, burst, in-flight quota).
+    /// Metering is off while `tenant.rate == 0.0` (the default).
+    pub tenant: TenantPolicy,
     /// Total result-cache entries across shards.
     pub cache_entries: usize,
     /// Result-cache shard count (mutex granularity).
@@ -52,20 +77,17 @@ pub struct ServerConfig {
     /// are truncated (see the `persist_*` metrics).
     pub cache_dir: Option<PathBuf>,
     /// Socket read timeout: bounds each blocking `read` and therefore the keep-alive
-    /// idle wait.
+    /// idle wait (threaded path).
     pub read_timeout: Duration,
-    /// Total wall-clock budget for reading one request (head + body), checked after
-    /// every read. This is the slow-loris bound: a client dripping bytes under
-    /// `read_timeout` still loses the worker when this elapses. The clock starts when
-    /// the worker begins waiting for the request, so it also covers (and must exceed)
-    /// one keep-alive idle wait.
+    /// Total wall-clock budget for reading one request (head + body). This is the
+    /// slow-loris bound: a client dripping bytes still loses its worker (threaded) or
+    /// connection slot (reactor) when this elapses after the first byte.
     pub request_read_deadline: Duration,
-    /// Socket write timeout.
+    /// Socket write timeout (threaded path).
     pub write_timeout: Duration,
-    /// Total wall-clock budget for writing one response, checked between body chunks.
-    /// This is the write-side slow-loris bound: a peer draining its receive window a
-    /// byte at a time keeps each socket write under `write_timeout` but still loses
-    /// the worker when this elapses.
+    /// Total wall-clock budget for writing one response. This is the write-side
+    /// slow-loris bound: a peer draining its receive window a byte at a time loses
+    /// the connection when this elapses.
     pub response_write_deadline: Duration,
     /// How long [`ServerHandle::drain`] waits for in-flight requests before forcing
     /// shutdown anyway.
@@ -82,8 +104,12 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:7411".into(),
+            reactor: cfg!(target_os = "linux"),
             workers: 8,
             queue_capacity: 64,
+            max_connections: 10_240,
+            idle_timeout: Duration::from_secs(5),
+            tenant: TenantPolicy::default(),
             cache_entries: 4096,
             cache_shards: 16,
             cache_bytes: 64 << 20,
@@ -100,56 +126,36 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared by the accept thread and the workers.
+/// Everything both front ends share: configuration, counters, the response cache,
+/// the tenant governor and the lifecycle flags.
 #[derive(Debug)]
-struct Shared {
-    config: ServerConfig,
-    metrics: Metrics,
-    cache: ResultCache,
-    queue: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
-    shutdown: AtomicBool,
+pub(crate) struct Core {
+    pub(crate) config: ServerConfig,
+    pub(crate) metrics: Metrics,
+    pub(crate) cache: ResultCache,
+    pub(crate) tenants: TenantGovernor,
+    /// Which front end is running (`"reactor"` / `"threaded"`), for `/metrics`.
+    pub(crate) front_end: &'static str,
+    pub(crate) shutdown: AtomicBool,
     /// Set by [`ServerHandle::drain`]: new connections are refused with `503`,
     /// in-flight requests run to completion (bounded by their deadlines), keep-alive
     /// connections are closed after the response in flight.
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
 }
 
-impl Shared {
-    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
-        match self.queue.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
+/// Outcome of per-tenant admission for one request.
+pub(crate) enum Admitted {
+    /// Proceed; `tenant` must be released after the request finishes.
+    Ok {
+        /// Bucket key to pass to [`TenantGovernor::release`].
+        tenant: String,
+    },
+    /// Refused: write this response (keep-alive safe) and do not dispatch.
+    Rejected(Response),
 }
 
-/// A running daemon: its bound address and the handles needed to stop it.
-#[derive(Debug)]
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
-    worker_threads: Vec<JoinHandle<()>>,
-}
-
-/// Builder entry point for the daemon.
-#[derive(Debug)]
-pub struct Server;
-
-impl Server {
-    /// Binds `config.addr` and spawns the accept thread and worker pool; returns
-    /// immediately.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the bind failure, or a filesystem failure while opening the
-    /// persistent cache directory (damaged log *contents* are recovered from, never an
-    /// error).
-    pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
-        let workers = config.workers.max(1);
+impl Core {
+    fn new(config: ServerConfig, front_end: &'static str) -> io::Result<Core> {
         let cache = match &config.cache_dir {
             Some(dir) => ResultCache::with_persistence(
                 config.cache_shards,
@@ -171,16 +177,180 @@ impl Server {
         metrics
             .persist_torn_tail_truncations
             .store(recovery.torn_tail_truncations, Ordering::Relaxed);
-        let shared = Arc::new(Shared {
-            cache,
+        Ok(Core {
+            tenants: TenantGovernor::new(config.tenant),
             metrics,
-            queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity)),
-            ready: Condvar::new(),
+            cache,
+            front_end,
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             config,
-        });
+        })
+    }
 
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// The shed response used by every overload path (accept-time saturation, full
+    /// dispatch queue, drain refusals) — JSON body + `Retry-After`, consistent with
+    /// handler errors.
+    pub(crate) fn overload_response() -> Response {
+        Response::error(503, "server saturated; retry later").with_header("Retry-After", "1")
+    }
+
+    /// Whether this request is a monitoring probe, exempt from tenant metering (rate
+    /// limiting a health check starves the monitoring that would detect the outage).
+    pub(crate) fn is_probe(request: &Request) -> bool {
+        request.method == "GET" && (request.path == "/healthz" || request.path == "/metrics")
+    }
+
+    /// Runs per-tenant admission for one (non-probe) request, updating the rejection
+    /// counters on refusal.
+    pub(crate) fn admit(&self, request: &Request) -> Admitted {
+        let tenant = TenantGovernor::tenant_key(request.header("x-fcpn-tenant"));
+        match self.tenants.admit(tenant) {
+            Admission::Admitted => Admitted::Ok {
+                tenant: tenant.to_string(),
+            },
+            Admission::RateLimited { retry_after_s } => {
+                self.metrics
+                    .rejected_rate_limited
+                    .fetch_add(1, Ordering::Relaxed);
+                Admitted::Rejected(
+                    Response::error(429, "tenant rate limit exceeded; retry later")
+                        .with_header("Retry-After", &retry_after_s.to_string()),
+                )
+            }
+            Admission::QuotaExceeded => {
+                self.metrics.rejected_quota.fetch_add(1, Ordering::Relaxed);
+                Admitted::Rejected(
+                    Response::error(429, "tenant in-flight quota exceeded; retry later")
+                        .with_header("Retry-After", "1"),
+                )
+            }
+        }
+    }
+
+    /// Routes one request: the two GET probes are answered here (they need queue
+    /// state), everything else goes through the API handlers. Handler panics (there
+    /// should be none: the pipeline returns typed errors — but the daemon must outlive
+    /// a bug) become `500`s.
+    pub(crate) fn dispatch(&self, request: &Request, queue_depth: usize) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Response::json(
+                200,
+                crate::json::Json::obj([("status", crate::json::Json::from("ok"))]).render(),
+            ),
+            ("GET", "/metrics") => Response::json(
+                200,
+                self.metrics.render(RuntimeStats {
+                    front_end: self.front_end,
+                    cache_hits: self.cache.hits(),
+                    cache_misses: self.cache.misses(),
+                    cache_entries: self.cache.len(),
+                    cache_evictions: self.cache.evictions(),
+                    cache_bytes: self.cache.bytes(),
+                    queue_depth,
+                    queue_capacity: self.config.queue_capacity,
+                    workers: self.config.workers,
+                    tenants: self.tenants.render_json(),
+                }),
+            ),
+            _ => {
+                let ctx = HandlerCtx {
+                    limits: &self.config.limits,
+                    cache: &self.cache,
+                    metrics: &self.metrics,
+                };
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handlers::handle(&ctx, request)
+                })) {
+                    Ok(response) => response,
+                    Err(_) => Response::error(500, "internal error while handling the request"),
+                }
+            }
+        }
+    }
+}
+
+/// State shared by the threaded accept thread and its workers.
+#[derive(Debug)]
+struct ThreadedShared {
+    core: Arc<Core>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ThreadedShared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+        match self.queue.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The running front end behind a [`ServerHandle`].
+#[derive(Debug)]
+enum Front {
+    Threaded {
+        shared: Arc<ThreadedShared>,
+        accept_thread: Option<JoinHandle<()>>,
+        worker_threads: Vec<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::ReactorHandle),
+}
+
+/// A running daemon: its bound address and the handles needed to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    core: Arc<Core>,
+    front: Front,
+}
+
+/// Builder entry point for the daemon.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and spawns the configured front end (epoll reactor or
+    /// threaded accept loop) plus the CPU worker pool; returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure, a filesystem failure while opening the persistent
+    /// cache directory (damaged log *contents* are recovered from, never an error), or
+    /// an epoll setup failure in reactor mode.
+    pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let use_reactor = config.reactor && cfg!(target_os = "linux");
+        let front_end = if use_reactor { "reactor" } else { "threaded" };
+        let core = Arc::new(Core::new(config, front_end)?);
+
+        #[cfg(target_os = "linux")]
+        if use_reactor {
+            let handle = crate::reactor::ReactorHandle::spawn(Arc::clone(&core), listener)?;
+            return Ok(ServerHandle {
+                addr,
+                core,
+                front: Front::Reactor(handle),
+            });
+        }
+
+        let workers = core.config.workers.max(1);
+        let shared = Arc::new(ThreadedShared {
+            queue: Mutex::new(VecDeque::with_capacity(core.config.queue_capacity)),
+            ready: Condvar::new(),
+            core: Arc::clone(&core),
+        });
         let worker_threads = (0..workers)
             .map(|index| {
                 let shared = Arc::clone(&shared);
@@ -200,9 +370,12 @@ impl Server {
 
         Ok(ServerHandle {
             addr,
-            shared,
-            accept_thread: Some(accept_thread),
-            worker_threads,
+            core,
+            front: Front::Threaded {
+                shared,
+                accept_thread: Some(accept_thread),
+                worker_threads,
+            },
         })
     }
 }
@@ -213,14 +386,24 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Blocks until the daemon stops (i.e. until [`shutdown`](Self::shutdown) is called
-    /// from another thread — the accept loop runs until told to stop).
-    pub fn join(mut self) {
-        if let Some(accept) = self.accept_thread.take() {
-            let _ = accept.join();
-        }
-        for worker in self.worker_threads.drain(..) {
-            let _ = worker.join();
+    /// Blocks until the daemon stops (i.e. until another thread flips the shutdown
+    /// flag — the front end runs until told to stop).
+    pub fn join(self) {
+        match self.front {
+            Front::Threaded {
+                accept_thread,
+                worker_threads,
+                ..
+            } => {
+                if let Some(accept) = accept_thread {
+                    let _ = accept.join();
+                }
+                for worker in worker_threads {
+                    let _ = worker.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Front::Reactor(handle) => handle.join(),
         }
     }
 
@@ -233,47 +416,67 @@ impl ServerHandle {
     /// the threads are stopped, so a drained daemon restarts with a warm, intact
     /// cache. Blocks until all threads have joined.
     pub fn drain(self) {
-        self.shared.draining.store(true, Ordering::SeqCst);
-        let grace_until = Instant::now() + self.shared.config.drain_grace;
-        while Instant::now() < grace_until {
-            let in_flight = self.shared.metrics.in_flight.load(Ordering::SeqCst);
-            let queued = self.shared.lock_queue().len();
-            if in_flight == 0 && queued == 0 {
-                break;
+        self.core.draining.store(true, Ordering::SeqCst);
+        match self.front {
+            Front::Threaded { ref shared, .. } => {
+                let grace_until = Instant::now() + self.core.config.drain_grace;
+                while Instant::now() < grace_until {
+                    let in_flight = self.core.metrics.in_flight.load(Ordering::SeqCst);
+                    let queued = shared.lock_queue().len();
+                    if in_flight == 0 && queued == 0 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                let _ = self.core.cache.flush();
+                self.shutdown();
             }
-            std::thread::sleep(Duration::from_millis(10));
+            #[cfg(target_os = "linux")]
+            Front::Reactor(handle) => {
+                handle.drain();
+                let _ = self.core.cache.flush();
+            }
         }
-        let _ = self.shared.cache.flush();
-        self.shutdown();
     }
 
-    /// Stops the daemon: no new connections are accepted, queued connections are
-    /// dropped, workers finish their current request and exit. Blocks until all
-    /// threads have joined.
-    pub fn shutdown(mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept thread with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        self.shared.ready.notify_all();
-        if let Some(accept) = self.accept_thread.take() {
-            let _ = accept.join();
-        }
-        // Workers may be parked in the condvar or blocked in a socket read (bounded by
-        // the read timeout); keep nudging until each exits.
-        self.shared.lock_queue().clear();
-        self.shared.ready.notify_all();
-        for worker in self.worker_threads.drain(..) {
-            let _ = worker.join();
+    /// Stops the daemon: no new connections are accepted, queued work is dropped,
+    /// workers finish their current request and exit. Blocks until all threads have
+    /// joined.
+    pub fn shutdown(self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        match self.front {
+            Front::Threaded {
+                shared,
+                mut accept_thread,
+                mut worker_threads,
+            } => {
+                // Unblock the accept thread with a throwaway connection.
+                let _ = TcpStream::connect(self.addr);
+                shared.ready.notify_all();
+                if let Some(accept) = accept_thread.take() {
+                    let _ = accept.join();
+                }
+                // Workers may be parked in the condvar or blocked in a socket read
+                // (bounded by the read timeout); keep nudging until each exits.
+                shared.lock_queue().clear();
+                shared.ready.notify_all();
+                for worker in worker_threads.drain(..) {
+                    let _ = worker.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Front::Reactor(handle) => handle.shutdown(),
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
+fn accept_loop(listener: &TcpListener, shared: &ThreadedShared) {
+    let core = &shared.core;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if core.shutting_down() {
                     return;
                 }
                 // Persistent accept errors (EMFILE under fd pressure, say) would
@@ -282,33 +485,30 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 continue;
             }
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if core.shutting_down() {
             return;
         }
-        shared
-            .metrics
+        core.metrics
             .connections_accepted
             .fetch_add(1, Ordering::Relaxed);
-        if shared.draining.load(Ordering::SeqCst) {
+        if core.is_draining() {
             // A draining daemon sheds new work the same way a saturated one does:
             // immediately, explicitly, and without tying up a worker.
-            shared
-                .metrics
+            core.metrics
                 .rejected_saturated
                 .fetch_add(1, Ordering::Relaxed);
-            shared.metrics.count_response(503);
-            reject_saturated(stream, shared);
+            core.metrics.count_response(503);
+            reject_saturated(stream, core);
             continue;
         }
         let mut queue = shared.lock_queue();
-        if queue.len() >= shared.config.queue_capacity {
+        if queue.len() >= core.config.queue_capacity {
             drop(queue);
-            shared
-                .metrics
+            core.metrics
                 .rejected_saturated
                 .fetch_add(1, Ordering::Relaxed);
-            shared.metrics.count_response(503);
-            reject_saturated(stream, shared);
+            core.metrics.count_response(503);
+            reject_saturated(stream, core);
         } else {
             queue.push_back(stream);
             drop(queue);
@@ -317,21 +517,19 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-/// Answers `503` on the accept thread itself — the whole point of the bounded queue is
-/// that saturation costs one small write, not a worker.
-fn reject_saturated(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let response =
-        Response::error(503, "server saturated; retry later").with_header("Retry-After", "1");
-    let _ = http::write_response(&mut stream, &response, true);
+/// Answers the shed `503` on the accept thread itself — the whole point of the bounded
+/// queue is that saturation costs one small write, not a worker.
+fn reject_saturated(mut stream: TcpStream, core: &Core) {
+    let _ = stream.set_write_timeout(Some(core.config.write_timeout));
+    let _ = http::write_response(&mut stream, &Core::overload_response(), true);
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &ThreadedShared) {
     loop {
         let stream = {
             let mut queue = shared.lock_queue();
             loop {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.core.shutting_down() {
                     return;
                 }
                 if let Some(stream) = queue.pop_front() {
@@ -347,88 +545,56 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+fn serve_connection(stream: TcpStream, shared: &ThreadedShared) {
+    let core = &shared.core;
+    let _ = stream.set_read_timeout(Some(core.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(core.config.write_timeout));
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream);
     for served in 0.. {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if core.shutting_down() {
             return;
         }
-        let deadline = std::time::Instant::now() + shared.config.request_read_deadline;
-        let request = match http::read_request(&mut reader, &shared.config.http, Some(deadline)) {
+        let deadline = Instant::now() + core.config.request_read_deadline;
+        let request = match http::read_request(&mut reader, &core.config.http, Some(deadline)) {
             Ok(Some(request)) => request,
             Ok(None) | Err(HttpError::Disconnected) => return,
             Err(HttpError::Malformed { status, message }) => {
                 let response = Response::error(status, &message);
-                shared.metrics.count_response(response.status);
+                core.metrics.count_response(response.status);
                 let _ = http::write_response(reader.get_mut(), &response, true);
                 return;
             }
         };
-        shared
-            .metrics
-            .requests_total
-            .fetch_add(1, Ordering::Relaxed);
-        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        let started = std::time::Instant::now();
-        let response = dispatch(shared, &request);
+        core.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let response = if Core::is_probe(&request) {
+            core.dispatch(&request, shared.lock_queue().len())
+        } else {
+            match core.admit(&request) {
+                Admitted::Ok { tenant } => {
+                    core.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                    let response = core.dispatch(&request, shared.lock_queue().len());
+                    core.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    core.tenants.release(&tenant);
+                    response
+                }
+                Admitted::Rejected(response) => response,
+            }
+        };
         let elapsed_us = started.elapsed().as_micros();
-        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
-        shared.metrics.count_response(response.status);
+        core.metrics.count_response(response.status);
         let response = response.with_header("X-Fcpn-Elapsed-Us", &elapsed_us.to_string());
         let close = request.wants_close()
-            || served + 1 >= shared.config.max_requests_per_connection
-            || shared.shutdown.load(Ordering::SeqCst)
-            || shared.draining.load(Ordering::SeqCst);
-        let write_deadline = std::time::Instant::now() + shared.config.response_write_deadline;
+            || served + 1 >= core.config.max_requests_per_connection
+            || core.shutting_down()
+            || core.is_draining();
+        let write_deadline = Instant::now() + core.config.response_write_deadline;
         if http::write_response_deadline(reader.get_mut(), &response, close, Some(write_deadline))
             .is_err()
             || close
         {
             return;
-        }
-    }
-}
-
-/// Routes one request: the two GET probes are answered here (they need queue state),
-/// everything else goes through the API handlers. Handler panics (there should be none:
-/// the pipeline returns typed errors — but the daemon must outlive a bug) become `500`s.
-fn dispatch(shared: &Shared, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::json(
-            200,
-            crate::json::Json::obj([("status", crate::json::Json::from("ok"))]).render(),
-        ),
-        ("GET", "/metrics") => {
-            let queue_depth = shared.lock_queue().len();
-            Response::json(
-                200,
-                shared.metrics.render(
-                    shared.cache.hits(),
-                    shared.cache.misses(),
-                    shared.cache.len(),
-                    shared.cache.evictions(),
-                    shared.cache.bytes(),
-                    queue_depth,
-                    shared.config.queue_capacity,
-                    shared.config.workers,
-                ),
-            )
-        }
-        _ => {
-            let ctx = HandlerCtx {
-                limits: &shared.config.limits,
-                cache: &shared.cache,
-                metrics: &shared.metrics,
-            };
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                handlers::handle(&ctx, request)
-            })) {
-                Ok(response) => response,
-                Err(_) => Response::error(500, "internal error while handling the request"),
-            }
         }
     }
 }

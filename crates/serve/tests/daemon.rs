@@ -1,5 +1,11 @@
 //! End-to-end tests of the daemon over real sockets: concurrency, bit-identical
 //! agreement with direct library calls, backpressure, hostile input, shutdown.
+//!
+//! Every behavioural test runs against **both** front ends — the blocking
+//! thread-per-connection path and (on Linux) the epoll reactor — via
+//! [`for_each_front_end`]: the wire contract must not depend on which one is serving.
+//! Reactor-only mechanics (idle timeouts, the connection gauge, pipelining, fanout)
+//! get their own `#[cfg(target_os = "linux")]` tests at the bottom.
 
 use fcpn_petri::io::to_text;
 use fcpn_petri::{gallery, PetriNet};
@@ -9,9 +15,17 @@ use fcpn_serve::{
 };
 use std::time::Duration;
 
-fn spawn(config: ServerConfig) -> ServerHandle {
+/// Runs `test` once per available front end (threaded everywhere, reactor on Linux).
+fn for_each_front_end(test: impl Fn(bool)) {
+    test(false);
+    #[cfg(target_os = "linux")]
+    test(true);
+}
+
+fn spawn_on(reactor: bool, config: ServerConfig) -> ServerHandle {
     Server::spawn(ServerConfig {
         addr: "127.0.0.1:0".into(),
+        reactor,
         ..config
     })
     .expect("daemon binds an ephemeral port")
@@ -32,12 +46,7 @@ fn expected_schedule_body(net: &PetriNet) -> String {
 fn serves_64_concurrent_schedule_requests_bit_identical_to_library() {
     // 16 workers + a 64-deep queue: 64 concurrent one-shot connections all fit in
     // flight, so none may be rejected and every body must equal the library's answer —
-    // on the gallery nets and on the ATM case study.
-    let handle = spawn(ServerConfig {
-        workers: 16,
-        queue_capacity: 64,
-        ..ServerConfig::default()
-    });
+    // on the gallery nets and on the ATM case study, on both front ends.
     let atm = fcpn_atm::AtmModel::build(fcpn_atm::AtmConfig::small()).expect("atm model builds");
     let nets: Vec<PetriNet> = vec![
         gallery::figure3a(),
@@ -49,410 +58,759 @@ fn serves_64_concurrent_schedule_requests_bit_identical_to_library() {
     let expected: Vec<String> = nets.iter().map(expected_schedule_body).collect();
     let texts: Vec<String> = nets.iter().map(to_text).collect();
 
-    // Warm the result cache sequentially so the concurrent burst below measures the
-    // serving path, not 16 workers of one debug-mode ATM sweep each racing the same
-    // cold key on a single-core CI host.
-    {
-        let mut warm = client(&handle);
-        for (text, want) in texts.iter().zip(&expected) {
-            let response = warm
-                .request("POST", "/schedule", text.as_bytes())
-                .expect("warm request");
-            assert_eq!(response.status, 200);
-            assert_eq!(&response.body, want, "warm body diverged");
-        }
-    }
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(
+            reactor,
+            ServerConfig {
+                workers: 16,
+                queue_capacity: 64,
+                ..ServerConfig::default()
+            },
+        );
 
-    std::thread::scope(|scope| {
-        for i in 0..64 {
-            let handle = &handle;
-            let texts = &texts;
-            let expected = &expected;
-            scope.spawn(move || {
-                let mut client = client(handle);
-                let which = i % texts.len();
-                let response = client
-                    .request("POST", "/schedule", texts[which].as_bytes())
-                    .expect("request completes");
-                assert_eq!(response.status, 200, "request {i}");
-                assert_eq!(response.body, expected[which], "request {i} body diverged");
-            });
+        // Warm the result cache sequentially so the concurrent burst below measures
+        // the serving path, not 16 workers of one debug-mode ATM sweep each racing the
+        // same cold key on a single-core CI host.
+        {
+            let mut warm = client(&handle);
+            for (text, want) in texts.iter().zip(&expected) {
+                let response = warm
+                    .request("POST", "/schedule", text.as_bytes())
+                    .expect("warm request");
+                assert_eq!(response.status, 200);
+                assert_eq!(
+                    &response.body, want,
+                    "warm body diverged (reactor={reactor})"
+                );
+            }
         }
+
+        std::thread::scope(|scope| {
+            for i in 0..64 {
+                let handle = &handle;
+                let texts = &texts;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = client(handle);
+                    let which = i % texts.len();
+                    let response = client
+                        .request("POST", "/schedule", texts[which].as_bytes())
+                        .expect("request completes");
+                    assert_eq!(response.status, 200, "request {i} (reactor={reactor})");
+                    assert_eq!(
+                        response.body, expected[which],
+                        "request {i} body diverged (reactor={reactor})"
+                    );
+                });
+            }
+        });
+        handle.shutdown();
     });
-    handle.shutdown();
 }
 
 #[test]
 fn saturation_returns_503_not_a_hang() {
     // One worker and a 2-deep queue: 8 connections opened before any request is sent
-    // exceed in-flight capacity (1 + 2), so at least one must be shed with a 503 and
-    // every connection must get a definite answer (no hang, no abort).
-    let handle = spawn(ServerConfig {
-        workers: 1,
-        queue_capacity: 2,
-        read_timeout: Duration::from_secs(2),
-        ..ServerConfig::default()
-    });
-    let text = to_text(&gallery::figure4());
-    let outcomes: Vec<u16> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..8)
-            .map(|_| {
-                let addr = handle.addr().to_string();
-                let text = text.clone();
-                scope.spawn(move || {
-                    let mut client =
-                        Client::connect(&addr, Duration::from_secs(30)).expect("connect");
-                    // Hold the connection open so all 8 are in flight simultaneously
-                    // before the single worker can drain any of them.
-                    std::thread::sleep(Duration::from_millis(300));
-                    match client.request("POST", "/schedule", text.as_bytes()) {
-                        Ok(response) => response.status,
-                        // A shed connection may already be closed by the time we write.
-                        Err(_) => 503,
-                    }
+    // exceed in-flight capacity, so at least one must be shed with a 503 and every
+    // connection must get a definite answer (no hang, no abort). Shed responses that
+    // do arrive intact must carry the overload contract: Retry-After plus a JSON
+    // error body, same shape as handler errors.
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(
+            reactor,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 2,
+                read_timeout: Duration::from_secs(2),
+                ..ServerConfig::default()
+            },
+        );
+        let text = to_text(&gallery::figure4());
+        let outcomes: Vec<Result<fcpn_serve::ClientResponse, ()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let addr = handle.addr().to_string();
+                    let text = text.clone();
+                    scope.spawn(move || {
+                        let mut client =
+                            Client::connect(&addr, Duration::from_secs(30)).expect("connect");
+                        // Hold the connection open so all 8 are in flight
+                        // simultaneously before the single worker can drain any.
+                        std::thread::sleep(Duration::from_millis(300));
+                        // A shed connection may already be closed by the time we
+                        // write; that transport error counts as shed.
+                        client
+                            .request("POST", "/schedule", text.as_bytes())
+                            .map_err(|_| ())
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let ok = outcomes
+            .iter()
+            .filter(|r| matches!(r, Ok(resp) if resp.status == 200))
+            .count();
+        let shed = outcomes.len() - ok;
+        assert!(shed >= 1, "expected shedding (reactor={reactor})");
+        // Everything that made it into the queue must be served. Whether the worker
+        // had already popped a connection when the burst arrived depends on
+        // scheduling, so the guaranteed floor is the queue capacity alone.
+        assert!(
+            ok >= 2,
+            "queued connections must still be served (reactor={reactor}): {ok} ok"
+        );
+        for outcome in outcomes.iter().flatten() {
+            if outcome.status == 503 {
+                assert!(
+                    outcome.header("retry-after").is_some(),
+                    "503 without Retry-After (reactor={reactor})"
+                );
+                assert!(
+                    outcome.body.contains("\"error\""),
+                    "503 without a JSON error body (reactor={reactor}): {:?}",
+                    outcome.body
+                );
+            } else {
+                assert_eq!(outcome.status, 200, "unexpected status (reactor={reactor})");
+            }
+        }
+        handle.shutdown();
     });
-    let ok = outcomes.iter().filter(|&&s| s == 200).count();
-    let shed = outcomes.iter().filter(|&&s| s == 503).count();
-    assert_eq!(ok + shed, 8, "every connection got a definite outcome");
-    assert!(shed >= 1, "expected shedding, got statuses {outcomes:?}");
-    // Everything that made it into the queue must be served. Whether the worker had
-    // already popped a connection when the burst arrived depends on scheduling (on a
-    // single-core CI host it often has not), so the guaranteed floor is the queue
-    // capacity alone.
-    assert!(
-        ok >= 2,
-        "queued connections must still be served: {outcomes:?}"
-    );
-    handle.shutdown();
 }
 
 #[test]
 fn keep_alive_connection_serves_many_requests_with_cache_hits() {
-    let handle = spawn(ServerConfig::default());
-    let net = gallery::figure5();
-    let expected = expected_schedule_body(&net);
-    let text = to_text(&net);
-    let mut client = client(&handle);
-    let mut dispositions = Vec::new();
-    for _ in 0..10 {
-        let response = client
-            .request("POST", "/schedule", text.as_bytes())
-            .expect("keep-alive request");
-        assert_eq!(response.status, 200);
-        assert_eq!(response.body, expected);
-        dispositions.push(response.header("x-fcpn-cache").unwrap_or("?").to_string());
-    }
-    assert_eq!(dispositions[0], "miss");
-    assert!(
-        dispositions[1..].iter().all(|d| d == "hit"),
-        "repeat queries must hit the cache: {dispositions:?}"
-    );
-    handle.shutdown();
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(reactor, ServerConfig::default());
+        let net = gallery::figure5();
+        let expected = expected_schedule_body(&net);
+        let text = to_text(&net);
+        let mut client = client(&handle);
+        let mut dispositions = Vec::new();
+        for _ in 0..10 {
+            let response = client
+                .request("POST", "/schedule", text.as_bytes())
+                .expect("keep-alive request");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, expected);
+            dispositions.push(response.header("x-fcpn-cache").unwrap_or("?").to_string());
+        }
+        assert_eq!(dispositions[0], "miss");
+        assert!(
+            dispositions[1..].iter().all(|d| d == "hit"),
+            "repeat queries must hit the cache (reactor={reactor}): {dispositions:?}"
+        );
+        handle.shutdown();
+    });
 }
 
 #[test]
 fn load_generator_reports_latencies_and_hit_rate() {
-    let handle = spawn(ServerConfig {
-        workers: 4,
-        ..ServerConfig::default()
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(
+            reactor,
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        );
+        let spec = LoadSpec {
+            connections: 8,
+            requests_per_connection: 8,
+            target: "/schedule".into(),
+            nets: vec![
+                ("figure3a".into(), to_text(&gallery::figure3a())),
+                ("figure5".into(), to_text(&gallery::figure5())),
+            ],
+            timeout: Duration::from_secs(30),
+        };
+        let report = fcpn_serve::load::run_load(&handle.addr().to_string(), &spec)
+            .expect("load run completes");
+        assert_eq!(report.requests, 64);
+        assert_eq!(
+            report.ok, 64,
+            "errors={} rejected={} (reactor={reactor})",
+            report.errors, report.rejected
+        );
+        assert!(report.p50_us > 0.0 && report.p95_us >= report.p50_us);
+        // 64 requests over 2 distinct (net, options) keys: at least one miss per key,
+        // but concurrent cold requests on the same key may each miss before the first
+        // insert lands, so the split is a range, not an exact count.
+        assert_eq!(report.cache_hits + report.cache_misses, 64);
+        assert!(report.cache_misses >= 2, "misses {}", report.cache_misses);
+        assert!(report.cache_hits >= 32, "hits {}", report.cache_hits);
+        assert!(report.cache_hit_rate() >= 0.5);
+        handle.shutdown();
     });
-    let spec = LoadSpec {
-        connections: 8,
-        requests_per_connection: 8,
-        target: "/schedule".into(),
-        nets: vec![
-            ("figure3a".into(), to_text(&gallery::figure3a())),
-            ("figure5".into(), to_text(&gallery::figure5())),
-        ],
-        timeout: Duration::from_secs(30),
-    };
-    let report =
-        fcpn_serve::load::run_load(&handle.addr().to_string(), &spec).expect("load run completes");
-    assert_eq!(report.requests, 64);
-    assert_eq!(
-        report.ok, 64,
-        "errors={} rejected={}",
-        report.errors, report.rejected
-    );
-    assert!(report.p50_us > 0.0 && report.p95_us >= report.p50_us);
-    // 64 requests over 2 distinct (net, options) keys: at least one miss per key, but
-    // concurrent cold requests on the same key may each miss before the first insert
-    // lands, so the split is a range, not an exact count.
-    assert_eq!(report.cache_hits + report.cache_misses, 64);
-    assert!(report.cache_misses >= 2, "misses {}", report.cache_misses);
-    assert!(report.cache_hits >= 32, "hits {}", report.cache_hits);
-    assert!(report.cache_hit_rate() >= 0.5);
-    handle.shutdown();
 }
 
 #[test]
 fn healthz_metrics_and_hostile_inputs() {
-    let handle = spawn(ServerConfig {
-        limits: RequestLimits {
-            // Tiny caps so the guard paths trigger instantly.
-            max_allocations: 8,
-            ..RequestLimits::default()
-        },
-        http: fcpn_serve::HttpLimits {
-            max_body_bytes: 4096,
-            ..fcpn_serve::HttpLimits::default()
-        },
-        ..ServerConfig::default()
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(
+            reactor,
+            ServerConfig {
+                limits: RequestLimits {
+                    // Tiny caps so the guard paths trigger instantly.
+                    max_allocations: 8,
+                    ..RequestLimits::default()
+                },
+                http: fcpn_serve::HttpLimits {
+                    max_body_bytes: 4096,
+                    ..fcpn_serve::HttpLimits::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let mut c = client(&handle);
+
+        let health = c.request("GET", "/healthz", b"").expect("healthz");
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"ok\""));
+
+        // Garbage net text: 400 with the offending line, connection stays usable.
+        let bad = c
+            .request("POST", "/schedule", b"net x\nfoo bar")
+            .expect("bad net answered");
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("line 2"));
+
+        // Non-free-choice input: a typed 422 verdict, not a 500.
+        let nfc = c
+            .request(
+                "POST",
+                "/schedule",
+                to_text(&gallery::figure1b()).as_bytes(),
+            )
+            .expect("nfc answered");
+        assert_eq!(nfc.status, 422);
+
+        // An allocation-budget blowup: typed 422 with the required count.
+        let big = c
+            .request(
+                "POST",
+                "/schedule",
+                to_text(&gallery::choice_chain(8)).as_bytes(),
+            )
+            .expect("budget answered");
+        assert_eq!(big.status, 422);
+        assert!(big.body.contains("too many allocations"));
+
+        // Oversized body: shed with 413.
+        let huge = "#".repeat(8192);
+        // The server may close right after writing the 413, so a transport error is
+        // also acceptable; what matters is that it did not crash.
+        if let Ok(response) = c.request("POST", "/schedule", huge.as_bytes()) {
+            assert_eq!(response.status, 413);
+        }
+
+        // The daemon survived all of it.
+        let mut c2 = client(&handle);
+        let metrics = c2.request("GET", "/metrics", b"").expect("metrics");
+        assert_eq!(metrics.status, 200);
+        let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+        assert!(value.get("requests_total").unwrap().as_u64().unwrap() >= 4);
+        assert!(
+            value
+                .get("responses_client_error")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                >= 2
+        );
+        handle.shutdown();
     });
-    let mut c = client(&handle);
-
-    let health = c.request("GET", "/healthz", b"").expect("healthz");
-    assert_eq!(health.status, 200);
-    assert!(health.body.contains("\"ok\""));
-
-    // Garbage net text: 400 with the offending line, connection stays usable.
-    let bad = c
-        .request("POST", "/schedule", b"net x\nfoo bar")
-        .expect("bad net answered");
-    assert_eq!(bad.status, 400);
-    assert!(bad.body.contains("line 2"));
-
-    // Non-free-choice input: a typed 422 verdict, not a 500.
-    let nfc = c
-        .request(
-            "POST",
-            "/schedule",
-            to_text(&gallery::figure1b()).as_bytes(),
-        )
-        .expect("nfc answered");
-    assert_eq!(nfc.status, 422);
-
-    // An allocation-budget blowup: typed 422 with the required count.
-    let big = c
-        .request(
-            "POST",
-            "/schedule",
-            to_text(&gallery::choice_chain(8)).as_bytes(),
-        )
-        .expect("budget answered");
-    assert_eq!(big.status, 422);
-    assert!(big.body.contains("too many allocations"));
-
-    // Oversized body: shed with 413.
-    let huge = "#".repeat(8192);
-    // The server may close right after writing the 413, so a transport error is also
-    // acceptable; what matters is that it did not crash.
-    if let Ok(response) = c.request("POST", "/schedule", huge.as_bytes()) {
-        assert_eq!(response.status, 413);
-    }
-
-    // The daemon survived all of it.
-    let mut c2 = client(&handle);
-    let metrics = c2.request("GET", "/metrics", b"").expect("metrics");
-    assert_eq!(metrics.status, 200);
-    let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
-    assert!(value.get("requests_total").unwrap().as_u64().unwrap() >= 4);
-    assert!(
-        value
-            .get("responses_client_error")
-            .unwrap()
-            .as_u64()
-            .unwrap()
-            >= 2
-    );
-    handle.shutdown();
 }
 
 #[test]
 fn per_request_thread_option_matches_sequential_answer() {
     // The sharded scheduler pins bit-identical outcomes for any thread count; the
     // daemon must preserve that through the options plumbing.
-    let handle = spawn(ServerConfig::default());
-    let net = gallery::choice_chain(6);
-    let text = to_text(&net);
-    let expected = expected_schedule_body(&net);
-    let mut c = client(&handle);
-    for query in ["/schedule", "/schedule?threads=2", "/schedule?threads=4"] {
-        let response = c.request("POST", query, text.as_bytes()).expect("request");
-        assert_eq!(response.status, 200, "{query}");
-        assert_eq!(response.body, expected, "{query} diverged");
-    }
-    handle.shutdown();
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(reactor, ServerConfig::default());
+        let net = gallery::choice_chain(6);
+        let text = to_text(&net);
+        let expected = expected_schedule_body(&net);
+        let mut c = client(&handle);
+        for query in ["/schedule", "/schedule?threads=2", "/schedule?threads=4"] {
+            let response = c.request("POST", query, text.as_bytes()).expect("request");
+            assert_eq!(response.status, 200, "{query} (reactor={reactor})");
+            assert_eq!(response.body, expected, "{query} diverged");
+        }
+        handle.shutdown();
+    });
 }
 
 #[test]
 fn slow_loris_request_is_dropped_at_the_read_deadline() {
     // A client dripping head bytes under the socket read timeout must still lose its
-    // worker at the per-request read deadline — otherwise `workers` cheap connections
-    // would pin the whole pool.
+    // slot at the per-request read deadline — otherwise `workers` (threaded) or
+    // `max_connections` (reactor) cheap connections would pin the daemon.
     use std::io::{Read, Write};
-    let handle = spawn(ServerConfig {
-        request_read_deadline: Duration::from_millis(300),
-        read_timeout: Duration::from_millis(200),
-        ..ServerConfig::default()
-    });
-    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
-    stream
-        .write_all(b"POST /schedule HTTP/1.1\r\nContent-")
-        .unwrap();
-    // One byte every 100ms: each read succeeds within the 200ms socket timeout, but
-    // the 300ms total deadline blows well before the head completes.
-    for _ in 0..8 {
-        std::thread::sleep(Duration::from_millis(100));
-        if stream.write_all(b"x").is_err() {
-            break; // server already reset us — exactly what we want
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(
+            reactor,
+            ServerConfig {
+                request_read_deadline: Duration::from_millis(300),
+                read_timeout: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        );
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(b"POST /schedule HTTP/1.1\r\nContent-")
+            .unwrap();
+        // One byte every 100ms: each read succeeds within the 200ms socket timeout,
+        // but the 300ms total deadline blows well before the head completes.
+        for _ in 0..8 {
+            std::thread::sleep(Duration::from_millis(100));
+            if stream.write_all(b"x").is_err() {
+                break; // server already reset us — exactly what we want
+            }
         }
-    }
-    stream
-        .set_read_timeout(Some(Duration::from_secs(2)))
-        .unwrap();
-    let mut buf = [0u8; 16];
-    match stream.read(&mut buf) {
-        Ok(0) => {} // clean close: the worker was released
-        Err(e)
-            if !matches!(
-                e.kind(),
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-            ) => {} // reset: also released
-        other => panic!("server kept the slow connection alive: {other:?}"),
-    }
-    handle.shutdown();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        match stream.read(&mut buf) {
+            Ok(0) => {} // clean close: the slot was released
+            Err(e)
+                if !matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {} // reset: also released
+            other => panic!("server kept the slow connection alive (reactor={reactor}): {other:?}"),
+        }
+        handle.shutdown();
+    });
 }
 
 #[test]
 fn metrics_exposes_cancellation_and_persistence_counters() {
-    let handle = spawn(ServerConfig::default());
-    let mut c = client(&handle);
-    let metrics = c.request("GET", "/metrics", b"").expect("metrics");
-    let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
-    for key in [
-        "cancelled_in_stage",
-        "cache_evictions",
-        "cache_bytes",
-        "persist_recovered_entries",
-        "persist_torn_tail_truncations",
-    ] {
-        assert!(
-            value.get(key).and_then(|v| v.as_u64()).is_some(),
-            "missing or non-numeric metrics key `{key}`"
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(reactor, ServerConfig::default());
+        let mut c = client(&handle);
+        let metrics = c.request("GET", "/metrics", b"").expect("metrics");
+        let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+        for key in [
+            "cancelled_in_stage",
+            "cache_evictions",
+            "cache_bytes",
+            "persist_recovered_entries",
+            "persist_torn_tail_truncations",
+            "rejected_rate_limited",
+            "rejected_quota",
+            "idle_timeouts",
+            "deadline_disconnects",
+            "open_connections",
+        ] {
+            assert!(
+                value.get(key).and_then(|v| v.as_u64()).is_some(),
+                "missing or non-numeric metrics key `{key}` (reactor={reactor})"
+            );
+        }
+        let front_end = value.get("front_end").and_then(|v| v.as_str());
+        assert_eq!(
+            front_end,
+            Some(if reactor { "reactor" } else { "threaded" }),
+            "front_end label must match the serving path"
         );
-    }
-    handle.shutdown();
+        handle.shutdown();
+    });
 }
 
 #[test]
 fn blown_deadline_cancels_the_sweep_mid_stage_with_a_503() {
     // choice_chain(12) has 2^12 = 4096 allocations — a sweep that takes far longer
     // than 1ms — so the armed token must abort it from *inside* the stage.
-    let handle = spawn(ServerConfig::default());
-    let text = to_text(&gallery::choice_chain(12));
-    let mut c = client(&handle);
-    let response = c
-        .request(
-            "POST",
-            "/schedule?deadline_ms=1&cache=0&threads=1",
-            text.as_bytes(),
-        )
-        .expect("cancelled request still gets an answer");
-    assert_eq!(response.status, 503);
-    let mut c2 = client(&handle);
-    let metrics = c2.request("GET", "/metrics", b"").expect("metrics");
-    let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
-    assert!(
-        value.get("cancelled_in_stage").unwrap().as_u64().unwrap() >= 1,
-        "the 503 must come from an in-stage cancellation, not a between-stage check"
-    );
-    // The same request without the hostile deadline still computes fine: the
-    // cancellation left no poisoned state behind.
-    let ok = c2
-        .request("POST", "/schedule?cache=0&threads=1", text.as_bytes())
-        .expect("follow-up request");
-    assert_eq!(ok.status, 200);
-    handle.shutdown();
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(reactor, ServerConfig::default());
+        let text = to_text(&gallery::choice_chain(12));
+        let mut c = client(&handle);
+        let response = c
+            .request(
+                "POST",
+                "/schedule?deadline_ms=1&cache=0&threads=1",
+                text.as_bytes(),
+            )
+            .expect("cancelled request still gets an answer");
+        assert_eq!(response.status, 503);
+        let mut c2 = client(&handle);
+        let metrics = c2.request("GET", "/metrics", b"").expect("metrics");
+        let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+        assert!(
+            value.get("cancelled_in_stage").unwrap().as_u64().unwrap() >= 1,
+            "the 503 must come from an in-stage cancellation, not a between-stage check"
+        );
+        // The same request without the hostile deadline still computes fine: the
+        // cancellation left no poisoned state behind.
+        let ok = c2
+            .request("POST", "/schedule?cache=0&threads=1", text.as_bytes())
+            .expect("follow-up request");
+        assert_eq!(ok.status, 200);
+        handle.shutdown();
+    });
 }
 
 #[test]
 fn drain_finishes_in_flight_requests_before_stopping() {
-    let handle = spawn(ServerConfig {
-        drain_grace: Duration::from_secs(30),
-        ..ServerConfig::default()
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(
+            reactor,
+            ServerConfig {
+                drain_grace: Duration::from_secs(30),
+                ..ServerConfig::default()
+            },
+        );
+        let addr = handle.addr().to_string();
+        // choice_chain(10): slow enough (1024 allocations, debug build) that the drain
+        // below starts while this request is still being computed.
+        let text = to_text(&gallery::choice_chain(10));
+        let in_flight = std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, Duration::from_secs(30)).expect("connect");
+            c.request("POST", "/schedule?cache=0", text.as_bytes())
+                .expect("in-flight request completes through the drain")
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        handle.drain();
+        let response = in_flight.join().expect("request thread");
+        assert_eq!(
+            response.status, 200,
+            "drain must let the in-flight request finish (reactor={reactor})"
+        );
     });
-    let addr = handle.addr().to_string();
-    // choice_chain(10): slow enough (1024 allocations, debug build) that the drain
-    // below starts while this request is still being computed.
-    let text = to_text(&gallery::choice_chain(10));
-    let in_flight = std::thread::spawn(move || {
-        let mut c = Client::connect(&addr, Duration::from_secs(30)).expect("connect");
-        c.request("POST", "/schedule?cache=0", text.as_bytes())
-            .expect("in-flight request completes through the drain")
-    });
-    std::thread::sleep(Duration::from_millis(100));
-    handle.drain();
-    let response = in_flight.join().expect("request thread");
-    assert_eq!(
-        response.status, 200,
-        "drain must let the in-flight request finish"
-    );
 }
 
 #[test]
 fn persistent_cache_survives_restart_with_identical_bytes() {
-    let dir = std::env::temp_dir().join(format!("fcpn-daemon-persist-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let config = || ServerConfig {
-        cache_dir: Some(dir.clone()),
-        ..ServerConfig::default()
-    };
-    let net = gallery::figure5();
-    let text = to_text(&net);
-    let expected = expected_schedule_body(&net);
+    for_each_front_end(|reactor| {
+        let dir = std::env::temp_dir().join(format!(
+            "fcpn-daemon-persist-{}-{}",
+            std::process::id(),
+            reactor
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServerConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let net = gallery::figure5();
+        let text = to_text(&net);
+        let expected = expected_schedule_body(&net);
 
-    let first_body = {
-        let handle = spawn(config());
+        let first_body = {
+            let handle = spawn_on(reactor, config());
+            let mut c = client(&handle);
+            let response = c
+                .request("POST", "/schedule", text.as_bytes())
+                .expect("warm request");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, expected);
+            handle.drain(); // flushes the logs
+            response.body
+        };
+
+        let handle = spawn_on(reactor, config());
         let mut c = client(&handle);
+        let metrics = c.request("GET", "/metrics", b"").expect("metrics");
+        let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+        assert!(
+            value
+                .get("persist_recovered_entries")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                >= 1,
+            "restart must reload the persisted entry (reactor={reactor})"
+        );
         let response = c
             .request("POST", "/schedule", text.as_bytes())
-            .expect("warm request");
+            .expect("post-restart request");
         assert_eq!(response.status, 200);
-        assert_eq!(response.body, expected);
-        handle.drain(); // flushes the logs
-        response.body
-    };
-
-    let handle = spawn(config());
-    let mut c = client(&handle);
-    let metrics = c.request("GET", "/metrics", b"").expect("metrics");
-    let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
-    assert!(
-        value
-            .get("persist_recovered_entries")
-            .unwrap()
-            .as_u64()
-            .unwrap()
-            >= 1,
-        "restart must reload the persisted entry"
-    );
-    let response = c
-        .request("POST", "/schedule", text.as_bytes())
-        .expect("post-restart request");
-    assert_eq!(response.status, 200);
-    assert_eq!(
-        response.header("x-fcpn-cache"),
-        Some("hit"),
-        "the recovered entry must serve the repeat query"
-    );
-    assert_eq!(response.body, first_body, "post-recovery bytes diverged");
-    handle.shutdown();
-    let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            response.header("x-fcpn-cache"),
+            Some("hit"),
+            "the recovered entry must serve the repeat query"
+        );
+        assert_eq!(response.body, first_body, "post-recovery bytes diverged");
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    });
 }
 
 #[test]
 fn shutdown_is_clean_and_port_is_released() {
-    let handle = spawn(ServerConfig::default());
-    let addr = handle.addr();
-    let mut c = Client::connect(&addr.to_string(), Duration::from_secs(5)).unwrap();
-    assert_eq!(c.request("GET", "/healthz", b"").unwrap().status, 200);
-    handle.shutdown();
-    // The listener is gone: a fresh bind of the same port succeeds.
-    let rebound = std::net::TcpListener::bind(addr);
-    assert!(rebound.is_ok(), "port was not released: {rebound:?}");
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(reactor, ServerConfig::default());
+        let addr = handle.addr();
+        let mut c = Client::connect(&addr.to_string(), Duration::from_secs(5)).unwrap();
+        assert_eq!(c.request("GET", "/healthz", b"").unwrap().status, 200);
+        handle.shutdown();
+        // The listener is gone: a fresh bind of the same port succeeds.
+        let rebound = std::net::TcpListener::bind(addr);
+        assert!(
+            rebound.is_ok(),
+            "port was not released (reactor={reactor}): {rebound:?}"
+        );
+    });
+}
+
+#[test]
+fn tenant_rate_limit_answers_429_with_retry_after_and_metrics() {
+    // Admission control is front-end agnostic: a tenant bursting past its bucket gets
+    // 429 + Retry-After on a keep-alive connection, other tenants are unaffected, and
+    // /metrics breaks the counters down per tenant.
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(
+            reactor,
+            ServerConfig {
+                tenant: fcpn_serve::TenantPolicy {
+                    rate: 1.0,
+                    burst: 2.0,
+                    ..fcpn_serve::TenantPolicy::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let text = to_text(&gallery::figure4());
+        let mut c = client(&handle);
+        let mut ok = 0usize;
+        let mut limited = 0usize;
+        for _ in 0..6 {
+            let response = c
+                .request_with_headers(
+                    "POST",
+                    "/schedule",
+                    &[("X-Fcpn-Tenant", "acme")],
+                    text.as_bytes(),
+                )
+                .expect("metered request answered on the same connection");
+            match response.status {
+                200 => ok += 1,
+                429 => {
+                    limited += 1;
+                    let retry: u64 = response
+                        .header("retry-after")
+                        .expect("429 carries Retry-After")
+                        .parse()
+                        .expect("Retry-After is an integer");
+                    assert!(retry >= 1);
+                    assert!(
+                        response.body.contains("\"error\""),
+                        "429 body must be a JSON error: {:?}",
+                        response.body
+                    );
+                }
+                other => panic!("unexpected status {other} (reactor={reactor})"),
+            }
+        }
+        assert_eq!(ok, 2, "bucket depth is 2 (reactor={reactor})");
+        assert_eq!(limited, 4, "the rest must be limited (reactor={reactor})");
+
+        // A different tenant still gets served: buckets are independent.
+        let other = c
+            .request_with_headers(
+                "POST",
+                "/schedule",
+                &[("X-Fcpn-Tenant", "globex")],
+                text.as_bytes(),
+            )
+            .expect("other tenant request");
+        assert_eq!(other.status, 200, "tenants must not share buckets");
+
+        let metrics = c.request("GET", "/metrics", b"").expect("metrics");
+        let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+        assert_eq!(
+            value.get("rejected_rate_limited").unwrap().as_u64(),
+            Some(4)
+        );
+        let acme = value
+            .get("tenants")
+            .unwrap()
+            .get("acme")
+            .expect("acme bucket");
+        assert_eq!(acme.get("admitted").unwrap().as_u64(), Some(2));
+        assert_eq!(acme.get("rejected").unwrap().as_u64(), Some(4));
+        handle.shutdown();
+    });
+}
+
+// ——— Reactor-only mechanics ————————————————————————————————————————————————
+
+#[cfg(target_os = "linux")]
+mod reactor_only {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn metrics_u64(c: &mut Client, key: &str) -> u64 {
+        let metrics = c.request("GET", "/metrics", b"").expect("metrics");
+        fcpn_serve::json::parse(&metrics.body)
+            .expect("metrics is valid JSON")
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("metrics key `{key}` missing"))
+    }
+
+    #[test]
+    fn idle_connection_is_disconnected_at_the_idle_timeout() {
+        let handle = spawn_on(
+            true,
+            ServerConfig {
+                idle_timeout: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        );
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let started = std::time::Instant::now();
+        let mut buf = [0u8; 16];
+        // Never send a byte: the reactor must close us at the idle deadline, well
+        // before the 5s read timeout.
+        match stream.read(&mut buf) {
+            Ok(0) => {}
+            Err(e)
+                if !matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            other => panic!("idle connection was not disconnected: {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "disconnect came from the read timeout, not the idle deadline"
+        );
+        let mut c = client(&handle);
+        assert!(metrics_u64(&mut c, "idle_timeouts") >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn mid_body_disconnect_frees_the_connection_slot() {
+        let handle = spawn_on(true, ServerConfig::default());
+        let addr = handle.addr().to_string();
+        {
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            stream
+                .write_all(b"POST /schedule HTTP/1.1\r\nContent-Length: 4096\r\n\r\nhalf")
+                .unwrap();
+            stream.flush().unwrap();
+            // Give the reactor a beat to register + read the partial body.
+            std::thread::sleep(Duration::from_millis(100));
+        } // dropped mid-body
+
+        // The gauge must come back down to just our metrics connection: the aborted
+        // connection's slot was freed on EOF, not leaked until some timeout.
+        let mut c = client(&handle);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let open = metrics_u64(&mut c, "open_connections");
+            if open == 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "open_connections stuck at {open}, mid-body slot never freed"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_in_one_write_are_all_answered() {
+        let handle = spawn_on(true, ServerConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Three healthz requests in a single write: the parser buffers them all in
+        // userspace, so the reactor must answer every one without waiting for more
+        // socket readability.
+        let one = "GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+        stream
+            .write_all(format!("{one}{one}{one}").as_bytes())
+            .unwrap();
+        stream.flush().unwrap();
+        let mut seen = String::new();
+        let mut buf = [0u8; 4096];
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while seen.matches("HTTP/1.1 200 OK").count() < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pipelined responses incomplete: {seen:?}"
+            );
+            let n = stream.read(&mut buf).expect("read pipelined responses");
+            assert!(
+                n > 0,
+                "server closed before answering all pipelined requests"
+            );
+            seen.push_str(&String::from_utf8_lossy(&buf[..n]));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn accept_shed_past_max_connections_is_a_full_503() {
+        // max_connections=1: the metrics client takes the only slot, so the next
+        // connection must be shed at accept with the complete overload contract —
+        // status 503, Retry-After, JSON error body — not a bare RST.
+        let handle = spawn_on(
+            true,
+            ServerConfig {
+                max_connections: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let holder = client(&handle);
+        let mut shed = Client::connect(&handle.addr().to_string(), Duration::from_secs(5)).unwrap();
+        let response = shed
+            .request("GET", "/healthz", b"")
+            .expect("shed connection still gets a parseable response");
+        assert_eq!(response.status, 503);
+        assert_eq!(response.header("retry-after"), Some("1"));
+        assert!(response.body.contains("\"error\""));
+        drop(holder);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn fanout_load_reports_per_tenant_quantiles() {
+        let handle = spawn_on(
+            true,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let spec = fcpn_serve::FanoutSpec {
+            connections: 32,
+            idle_connections: 64,
+            requests_per_connection: 4,
+            target: "/schedule".into(),
+            nets: vec![("figure4".into(), to_text(&gallery::figure4()))],
+            tenants: vec!["acme".into(), "globex".into()],
+            deadline: Duration::from_secs(60),
+        };
+        let report = fcpn_serve::load::run_fanout(&handle.addr().to_string(), &spec)
+            .expect("fanout run completes");
+        assert_eq!(report.requests, 128);
+        assert_eq!(
+            report.ok, 128,
+            "errors={} rejected={} rate_limited={}",
+            report.errors, report.rejected, report.rate_limited
+        );
+        assert!(report.p95_us >= report.p50_us);
+        assert_eq!(report.per_tenant.len(), 2);
+        assert_eq!(report.per_tenant[0].tenant, "acme");
+        assert_eq!(report.per_tenant[1].tenant, "globex");
+        assert_eq!(
+            report.per_tenant.iter().map(|t| t.requests).sum::<usize>(),
+            128
+        );
+        handle.shutdown();
+    }
 }

@@ -10,9 +10,20 @@
 //!
 //! ```text
 //! fcpn-served [--addr 127.0.0.1:7411] [--workers N] [--queue N]
+//!             [--reactor | --threaded] [--max-conns N] [--idle-timeout-ms N]
+//!             [--tenant-rate R] [--tenant-burst B] [--tenant-max-inflight N]
 //!             [--cache-entries N] [--cache-bytes N] [--cache-dir PATH]
 //!             [--max-threads N] [--deadline-ms N] [--read-timeout-ms N]
+//!             [--read-deadline-ms N]
 //! ```
+//!
+//! On Linux the daemon defaults to the **event-driven reactor** front end (one epoll
+//! thread holding every connection, CPU work on the worker pool); `--threaded` selects
+//! the blocking thread-per-connection path, which is also the automatic fallback
+//! elsewhere. `--tenant-rate` enables per-tenant admission control keyed by the
+//! `X-Fcpn-Tenant` header: sustained requests/second per tenant, `--tenant-burst`
+//! bucket depth, `--tenant-max-inflight` concurrent in-flight cap (429 + `Retry-After`
+//! past either).
 //!
 //! With `--cache-dir`, the result cache persists across restarts: one append-only,
 //! checksummed log per shard under `PATH` (created if absent), warm-loaded at startup
@@ -24,8 +35,10 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: fcpn-served [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--reactor | --threaded] [--max-conns N] [--idle-timeout-ms N] \
+         [--tenant-rate R] [--tenant-burst B] [--tenant-max-inflight N] \
          [--cache-entries N] [--cache-bytes N] [--cache-dir PATH] [--max-threads N] \
-         [--deadline-ms N] [--read-timeout-ms N]"
+         [--deadline-ms N] [--read-timeout-ms N] [--read-deadline-ms N]"
     );
     std::process::exit(2);
 }
@@ -74,6 +87,21 @@ fn main() {
                 .unwrap_or_else(|| usage())
         };
         let parse_num = |i: usize| -> u64 { value(i).parse().unwrap_or_else(|_| usage()) };
+        let parse_f64 = |i: usize| -> f64 { value(i).parse().unwrap_or_else(|_| usage()) };
+        // Valueless front-end switches first (the main match assumes flag + value).
+        match args[i].as_str() {
+            "--reactor" => {
+                config.reactor = true;
+                i += 1;
+                continue;
+            }
+            "--threaded" => {
+                config.reactor = false;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
         match args[i].as_str() {
             "--addr" => config.addr = value(i).to_string(),
             "--workers" => config.workers = parse_num(i) as usize,
@@ -92,6 +120,16 @@ fn main() {
             "--read-timeout-ms" => {
                 config.read_timeout = Duration::from_millis(parse_num(i).max(1));
             }
+            "--read-deadline-ms" => {
+                config.request_read_deadline = Duration::from_millis(parse_num(i).max(1));
+            }
+            "--max-conns" => config.max_connections = (parse_num(i) as usize).max(1),
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(parse_num(i).max(1));
+            }
+            "--tenant-rate" => config.tenant.rate = parse_f64(i).max(0.0),
+            "--tenant-burst" => config.tenant.burst = parse_f64(i).max(1.0),
+            "--tenant-max-inflight" => config.tenant.max_in_flight = parse_num(i) as u32,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -104,6 +142,15 @@ fn main() {
     #[cfg(unix)]
     term::install();
 
+    // The reactor front end holds every connection on one thread; make sure the fd
+    // limit can actually carry --max-conns (best effort — the accept path sheds
+    // gracefully on EMFILE either way).
+    #[cfg(target_os = "linux")]
+    if config.reactor {
+        let _ = fcpn_serve::reactor::raise_nofile_limit(config.max_connections as u64 + 64);
+    }
+
+    let use_reactor = config.reactor && cfg!(target_os = "linux");
     let handle = match Server::spawn(config.clone()) {
         Ok(handle) => handle,
         Err(e) => {
@@ -111,10 +158,12 @@ fn main() {
             std::process::exit(1);
         }
     };
-    // Machine-greppable readiness line (the CI smoke job waits for it).
+    // Machine-greppable readiness line (the CI smoke job waits for it; keep the
+    // `listening on <addr>` shape — DaemonProcess parses the address out of it).
     println!(
-        "fcpn-served listening on {} ({} workers, queue {})",
+        "fcpn-served listening on {} ({} front end, {} workers, queue {})",
         handle.addr(),
+        if use_reactor { "reactor" } else { "threaded" },
         config.workers,
         config.queue_capacity
     );
