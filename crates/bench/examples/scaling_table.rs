@@ -11,6 +11,12 @@
 //! Without `--out` the JSON goes to stdout. `FCPN_BENCH_SAMPLES` controls the number of
 //! interleaved measurement rounds per case (default 9).
 //!
+//! Schema v6 adds the `executor` section: the compiled schedule executor
+//! ([`fcpn_codegen::ExecSession`], flat jump-resolved bytecode over a dense counter
+//! pool) against the tree-walking interpreter oracle, pumping the same activation
+//! stream through both and recording sustained events/sec (see
+//! `fcpn_bench::pump_interpreter` / `pump_compiled` and the `codegen_exec` bench).
+//!
 //! Schema v5 adds the `server` section: the `fcpn-serve` daemon is spawned in-process
 //! on an ephemeral port and the gallery + ATM nets are replayed against `/schedule` and
 //! `/analyze` from concurrent connections, recording p50/p95 request latency,
@@ -36,8 +42,10 @@ use fcpn_atm::{
     functional_partition, generate_workload, run_table1, run_table1_naive, AtmChoicePolicy,
     AtmConfig, AtmModel, Table1Config, TrafficConfig,
 };
-use fcpn_bench::{program_of_with, run_naive_trace, run_session_trace};
-use fcpn_codegen::CodeMetrics;
+use fcpn_bench::{
+    program_of_with, pump_compiled, pump_interpreter, run_naive_trace, run_session_trace,
+};
+use fcpn_codegen::{CodeMetrics, CompiledProgram};
 use fcpn_petri::analysis::{
     IncidenceMatrix, InvariantAnalysis, ReachabilityGraph, ReachabilityOptions,
 };
@@ -231,6 +239,67 @@ fn measure_trace(label: &'static str, net: &PetriNet) -> TraceRow {
                 .map(|(n, s)| n / s)
                 .collect(),
         ),
+    }
+}
+
+/// One row of the `executor` section: the compiled streaming runtime versus the
+/// tree-walking interpreter, pumping the same activation stream (round-robin tasks,
+/// round-robin choices) through both engines.
+struct ExecutorRow {
+    label: &'static str,
+    tasks: usize,
+    bytecode_ops: usize,
+    activations: usize,
+    firings: u64,
+    interp_best_ms: f64,
+    compiled_best_ms: f64,
+    speedup: f64,
+    /// Sustained task activations per second on the compiled runtime (best round).
+    compiled_events_per_sec: f64,
+}
+
+const EXEC_ACTIVATIONS: usize = 20_000;
+
+fn measure_executor(label: &'static str, net: &PetriNet) -> ExecutorRow {
+    let (_, program) = program_of_with(net, &QssOptions::default());
+    let compiled = CompiledProgram::compile(&program, net);
+    // Both engines must perform identical work before anything is timed.
+    let (interp_fired, interp_counts) = pump_interpreter(&program, net, EXEC_ACTIVATIONS);
+    let (exec_fired, exec_counts) = pump_compiled(&compiled, EXEC_ACTIVATIONS);
+    assert_eq!(interp_fired, exec_fired, "{label}: firing totals diverged");
+    assert_eq!(interp_counts, exec_counts, "{label}: fire counts diverged");
+
+    let mut interp_times: Vec<f64> = Vec::new();
+    let mut compiled_times: Vec<f64> = Vec::new();
+    for _ in 0..samples() {
+        let start = Instant::now();
+        black_box(pump_interpreter(
+            black_box(&program),
+            black_box(net),
+            EXEC_ACTIVATIONS,
+        ));
+        interp_times.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(pump_compiled(black_box(&compiled), EXEC_ACTIVATIONS));
+        compiled_times.push(start.elapsed().as_secs_f64());
+    }
+    let best = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    ExecutorRow {
+        label,
+        tasks: compiled.task_count(),
+        bytecode_ops: compiled.op_count(),
+        activations: EXEC_ACTIVATIONS,
+        firings: interp_fired,
+        interp_best_ms: best(&interp_times) * 1e3,
+        compiled_best_ms: best(&compiled_times) * 1e3,
+        speedup: median(
+            interp_times
+                .iter()
+                .zip(&compiled_times)
+                .map(|(i, c)| i / c)
+                .collect(),
+        ),
+        compiled_events_per_sec: EXEC_ACTIVATIONS as f64 / best(&compiled_times),
     }
 }
 
@@ -526,6 +595,28 @@ fn main() {
         );
     }
 
+    eprintln!(
+        "measuring compiled executor vs interpreter ({EXEC_ACTIVATIONS} activations, {} rounds)...",
+        samples()
+    );
+    let executor_rows: Vec<ExecutorRow> = vec![
+        measure_executor("figure3a", &gallery::figure3a()),
+        measure_executor("figure4", &gallery::figure4()),
+        measure_executor("figure5", &gallery::figure5()),
+        measure_executor("choice_chain(8)", &gallery::choice_chain(8)),
+    ];
+    for row in &executor_rows {
+        eprintln!(
+            "  {:<18} {:>7} firings  interp {:>8.3}ms  compiled {:>8.3}ms  {:>5.2}x  ({:.0} events/s)",
+            row.label,
+            row.firings,
+            row.interp_best_ms,
+            row.compiled_best_ms,
+            row.speedup,
+            row.compiled_events_per_sec
+        );
+    }
+
     eprintln!("measuring Table I on the session vs naive functional simulator...");
     let table1 = measure_table1();
     eprintln!(
@@ -666,7 +757,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"fcpn-bench/statespace-v5\",\n");
+    json.push_str("  \"schema\": \"fcpn-bench/statespace-v6\",\n");
     json.push_str(&format!("  \"samples_per_case\": {},\n", samples()));
     // Multi-threaded rows are only meaningful relative to this: with a single host
     // core the parallel explorer serialises onto one CPU and pays pure coordination
@@ -716,6 +807,26 @@ fn main() {
             row.session_best_ms,
             row.speedup,
             if i + 1 < trace_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"executor\": [\n");
+    for (i, row) in executor_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"net\": \"{}\", \"tasks\": {}, \"bytecode_ops\": {}, \
+             \"activations\": {}, \"firings\": {}, \"interp_best_ms\": {:.3}, \
+             \"compiled_best_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"compiled_events_per_sec\": {:.0}}}{}\n",
+            row.label,
+            row.tasks,
+            row.bytecode_ops,
+            row.activations,
+            row.firings,
+            row.interp_best_ms,
+            row.compiled_best_ms,
+            row.speedup,
+            row.compiled_events_per_sec,
+            if i + 1 < executor_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

@@ -9,7 +9,10 @@
 
 pub mod serveload;
 
-use fcpn_codegen::{synthesize, Program, SynthesisOptions};
+use fcpn_codegen::{
+    synthesize, CompiledProgram, ExecSession, Interpreter, Program, RoundRobinResolver,
+    SynthesisOptions,
+};
 use fcpn_petri::statespace::FiringSession;
 use fcpn_petri::{Marking, PetriNet};
 use fcpn_qss::{quasi_static_schedule, QssOptions, ValidSchedule};
@@ -96,6 +99,52 @@ pub fn run_session_trace(net: &PetriNet, steps: usize) -> (u64, Marking) {
     (fired, session.marking())
 }
 
+/// Pumps `activations` task activations (round-robin across tasks, round-robin choice
+/// resolution) through the tree-walking [`Interpreter`] oracle. Returns the total number
+/// of transition firings and the per-transition fire counts, so callers can assert the
+/// two executor paths performed identical work before timing them.
+pub fn pump_interpreter(program: &Program, net: &PetriNet, activations: usize) -> (u64, Vec<u64>) {
+    let mut interp = Interpreter::new(program, net);
+    let mut resolver = RoundRobinResolver::default();
+    let tasks = program.task_count();
+    let mut fired = 0u64;
+    for i in 0..activations {
+        fired += interp
+            .run_task(i % tasks, &mut resolver)
+            .expect("bench programs execute")
+            .fired
+            .len() as u64;
+    }
+    (fired, interp.fire_counts().to_vec())
+}
+
+/// The same event pump as [`pump_interpreter`], executed on the compiled streaming
+/// runtime: single-task programs go through [`ExecSession::run_batch`] (one call per
+/// pump), multi-task programs interleave [`ExecSession::run_task`] in the same
+/// round-robin order as the interpreter. Firing totals and fire counts are identical to
+/// [`pump_interpreter`]'s for the same inputs.
+pub fn pump_compiled(compiled: &CompiledProgram, activations: usize) -> (u64, Vec<u64>) {
+    let mut session = ExecSession::new(compiled);
+    let mut resolver = RoundRobinResolver::default();
+    let tasks = compiled.task_count();
+    let fired = if tasks == 1 {
+        session
+            .run_batch(0, activations as u64, &mut resolver)
+            .expect("bench programs execute")
+            .len() as u64
+    } else {
+        let mut fired = 0u64;
+        for i in 0..activations {
+            fired += session
+                .run_task(i % tasks, &mut resolver)
+                .expect("bench programs execute")
+                .len() as u64;
+        }
+        fired
+    };
+    (fired, session.fire_counts().to_vec())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +171,22 @@ mod tests {
         let (schedule, program) = program_of(&net);
         assert_eq!(schedule.cycle_count(), 2);
         assert_eq!(program.task_count(), 1);
+    }
+
+    #[test]
+    fn pump_helpers_agree_across_executors() {
+        for net in [
+            gallery::figure4(),
+            gallery::figure5(),
+            gallery::choice_chain(6),
+        ] {
+            let (_, program) = program_of(&net);
+            let compiled = CompiledProgram::compile(&program, &net);
+            let (interp_fired, interp_counts) = pump_interpreter(&program, &net, 500);
+            let (exec_fired, exec_counts) = pump_compiled(&compiled, 500);
+            assert_eq!(interp_fired, exec_fired, "{}", net.name());
+            assert_eq!(interp_counts, exec_counts, "{}", net.name());
+            assert!(interp_fired > 0);
+        }
     }
 }

@@ -23,6 +23,11 @@ pub enum CodegenError {
         /// The place whose counter underflowed.
         place: PlaceId,
     },
+    /// A `Choice` statement has no arms, so there is nothing a resolver could pick.
+    EmptyChoice {
+        /// The choice place with no arms.
+        place: PlaceId,
+    },
     /// A choice resolver returned a transition that is not an arm of the choice.
     InvalidChoiceResolution {
         /// The choice place being resolved.
@@ -44,6 +49,9 @@ impl fmt::Display for CodegenError {
             CodegenError::UnknownTask(i) => write!(f, "unknown task index {i}"),
             CodegenError::NegativeCounter { place } => {
                 write!(f, "counter for place {place} went negative")
+            }
+            CodegenError::EmptyChoice { place } => {
+                write!(f, "choice at place {place} has no arms")
             }
             CodegenError::InvalidChoiceResolution { place, chosen } => {
                 write!(
@@ -92,6 +100,11 @@ mod tests {
             chosen: TransitionId::new(2),
         };
         assert!(e.to_string().contains("t2"));
+        let e = CodegenError::EmptyChoice {
+            place: PlaceId::new(5),
+        };
+        assert!(e.to_string().contains("p5"));
+        assert!(e.to_string().contains("no arms"));
     }
 
     #[test]

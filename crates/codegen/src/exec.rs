@@ -1,0 +1,772 @@
+//! The compiled schedule executor: the task IR lowered to flat bytecode and pumped
+//! through pre-allocated buffers.
+//!
+//! [`crate::Interpreter`] walks the [`Stmt`] tree directly (and clones every block it
+//! enters), which is the right shape for an oracle but not for a runtime. This module is
+//! the production path: [`CompiledProgram::compile`] lowers each task once into a flat
+//! array of [`Op`]s with **resolved jump offsets** — `Choice` arms become an arm table
+//! plus jumps, `IfCount`/`WhileCount` guards become conditional branches — and places
+//! implemented as software counters are assigned **dense slots** in one pre-sized
+//! buffer pool. [`ExecSession`] then owns every run-time buffer (counter pool, peak
+//! tracking, fire counts, the fire log, the resolver's candidate scratch) so that
+//! pumping events through the schedule performs **no allocation after setup**:
+//! [`ExecSession::run_batch`] drives N task activations per call and returns the reused
+//! fire-log buffer.
+//!
+//! The executor is pinned bit-for-bit against the tree-walking interpreter — same fire
+//! logs, same counters, same peaks, same resolver call sequence — by
+//! `tests/exec_equivalence.rs`, and `fcpn-rtos` can run its cycle-cost accounting on
+//! either backend.
+//!
+//! ```
+//! use fcpn_petri::gallery;
+//! use fcpn_qss::{quasi_static_schedule, QssOptions};
+//! use fcpn_codegen::{synthesize, CompiledProgram, ExecSession, RoundRobinResolver,
+//!                    SynthesisOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = gallery::figure4();
+//! let schedule = quasi_static_schedule(&net, &QssOptions::default())?.schedule().unwrap();
+//! let program = synthesize(&net, &schedule, SynthesisOptions::default())?;
+//! let compiled = CompiledProgram::compile(&program, &net);
+//! let mut session = ExecSession::new(&compiled);
+//! let mut resolver = RoundRobinResolver::default();
+//! let fired = session.run_batch(0, 100, &mut resolver)?;
+//! assert!(!fired.is_empty());
+//! assert_eq!(session.invocations(), 100);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{ChoiceResolver, CodegenError, Program, Result, Stmt};
+use fcpn_petri::{PetriNet, PlaceId, TransitionId};
+
+/// Sentinel for "this place has no counter slot".
+const NO_SLOT: u32 = u32::MAX;
+
+/// One flat bytecode instruction. Jump targets are absolute program counters within the
+/// owning task's code array; counter operands are dense slots into the session's
+/// buffer pool, resolved at compile time so the hot loop never maps a [`PlaceId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Record one firing of the transition (the "call the user's C function" step).
+    Fire(TransitionId),
+    /// `pool[slot] += amount`, tracking the peak (an `IncCount`).
+    Add { slot: u32, amount: i64 },
+    /// `pool[slot] -= amount`, failing typed on underflow (a `DecCount`).
+    Sub { slot: u32, amount: i64 },
+    /// `if pool[slot] < at_least { pc = target }` — the compiled form of an
+    /// `IfCount`/`WhileCount` guard test.
+    JumpIfLess {
+        slot: u32,
+        at_least: i64,
+        target: u32,
+    },
+    /// Unconditional branch (loop back-edge or arm exit).
+    Jump { target: u32 },
+    /// Resolve the choice described by the indexed [`ChoiceTableEntry`] and branch to
+    /// the chosen arm's body.
+    Choice { entry: u32 },
+}
+
+/// Compile-time description of one `Choice` site: the place whose run-time value is
+/// inspected and the slice of the task's arm table holding `(transition, target)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChoiceTableEntry {
+    place: PlaceId,
+    arm_start: u32,
+    arm_len: u32,
+}
+
+/// One task lowered to executable form: a flat code array plus its choice/arm side
+/// tables. Falling off the end of `code` ends the invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CompiledTask {
+    name: String,
+    source: Option<TransitionId>,
+    code: Vec<Op>,
+    choices: Vec<ChoiceTableEntry>,
+    /// `(arm transition, absolute target pc)`, grouped per choice via
+    /// [`ChoiceTableEntry`] ranges. Arm order is the IR's arm order, so a resolver sees
+    /// the exact candidate sequence the interpreter presents.
+    arms: Vec<(TransitionId, u32)>,
+}
+
+/// A [`Program`] compiled to flat bytecode over a dense counter pool.
+///
+/// Compilation is a one-time cost; the result is immutable and can back any number of
+/// concurrently running [`ExecSession`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledProgram {
+    name: String,
+    tasks: Vec<CompiledTask>,
+    /// `place.index()` → dense counter slot, [`NO_SLOT`] for places without a counter.
+    slot_of_place: Vec<u32>,
+    /// Dense slot → place, for error reporting and per-place readback.
+    place_of_slot: Vec<PlaceId>,
+    transition_count: usize,
+}
+
+/// Incremental lowering state shared by all tasks of one program (the counter-slot
+/// assignment must be program-wide because tasks share the buffer pool).
+struct Lowering {
+    slot_of_place: Vec<u32>,
+    place_of_slot: Vec<PlaceId>,
+}
+
+impl Lowering {
+    fn slot(&mut self, place: PlaceId) -> u32 {
+        let entry = &mut self.slot_of_place[place.index()];
+        if *entry == NO_SLOT {
+            *entry = self.place_of_slot.len() as u32;
+            self.place_of_slot.push(place);
+        }
+        *entry
+    }
+
+    fn lower_block(&mut self, block: &[Stmt], task: &mut CompiledTask) {
+        for stmt in block {
+            self.lower_stmt(stmt, task);
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, task: &mut CompiledTask) {
+        match stmt {
+            Stmt::Fire(t) => task.code.push(Op::Fire(*t)),
+            Stmt::IncCount { place, amount } => {
+                let slot = self.slot(*place);
+                task.code.push(Op::Add {
+                    slot,
+                    amount: *amount as i64,
+                });
+            }
+            Stmt::DecCount { place, amount } => {
+                let slot = self.slot(*place);
+                task.code.push(Op::Sub {
+                    slot,
+                    amount: *amount as i64,
+                });
+            }
+            Stmt::Choice { place, arms } => {
+                let entry = task.choices.len() as u32;
+                task.code.push(Op::Choice { entry });
+                let arm_start = task.arms.len() as u32;
+                for arm in arms {
+                    // Targets are patched below, once each arm's body has a pc.
+                    task.arms.push((arm.transition, u32::MAX));
+                }
+                task.choices.push(ChoiceTableEntry {
+                    place: *place,
+                    arm_start,
+                    arm_len: arms.len() as u32,
+                });
+                let mut exit_jumps = Vec::new();
+                for (i, arm) in arms.iter().enumerate() {
+                    task.arms[arm_start as usize + i].1 = task.code.len() as u32;
+                    self.lower_block(&arm.body, task);
+                    if i + 1 < arms.len() {
+                        // All arms but the last jump over their siblings to the shared
+                        // exit; the last one falls through to it.
+                        exit_jumps.push(task.code.len());
+                        task.code.push(Op::Jump { target: u32::MAX });
+                    }
+                }
+                let exit = task.code.len() as u32;
+                for pc in exit_jumps {
+                    task.code[pc] = Op::Jump { target: exit };
+                }
+            }
+            Stmt::IfCount {
+                place,
+                at_least,
+                body,
+            } => {
+                let slot = self.slot(*place);
+                let guard = task.code.len();
+                task.code.push(Op::JumpIfLess {
+                    slot,
+                    at_least: *at_least as i64,
+                    target: u32::MAX,
+                });
+                self.lower_block(body, task);
+                let exit = task.code.len() as u32;
+                if let Op::JumpIfLess { target, .. } = &mut task.code[guard] {
+                    *target = exit;
+                }
+            }
+            Stmt::WhileCount {
+                place,
+                at_least,
+                body,
+            } => {
+                let slot = self.slot(*place);
+                let test = task.code.len();
+                task.code.push(Op::JumpIfLess {
+                    slot,
+                    at_least: *at_least as i64,
+                    target: u32::MAX,
+                });
+                self.lower_block(body, task);
+                task.code.push(Op::Jump {
+                    target: test as u32,
+                });
+                let exit = task.code.len() as u32;
+                if let Op::JumpIfLess { target, .. } = &mut task.code[test] {
+                    *target = exit;
+                }
+            }
+        }
+    }
+}
+
+impl CompiledProgram {
+    /// Lowers `program` to flat bytecode for a net with `net.place_count()` places.
+    ///
+    /// Counter slots are assigned to the program's declared counter places first (in
+    /// ascending place order) and then, defensively, to any further place a count
+    /// statement touches, so hand-built IR executes under the same rules as synthesised
+    /// IR.
+    pub fn compile(program: &Program, net: &PetriNet) -> CompiledProgram {
+        let mut lowering = Lowering {
+            slot_of_place: vec![NO_SLOT; net.place_count()],
+            place_of_slot: Vec::with_capacity(program.counter_places.len()),
+        };
+        for &place in &program.counter_places {
+            lowering.slot(place);
+        }
+        let tasks = program
+            .tasks
+            .iter()
+            .map(|task| {
+                let mut compiled = CompiledTask {
+                    name: task.name.clone(),
+                    source: task.source,
+                    code: Vec::with_capacity(task.size()),
+                    choices: Vec::new(),
+                    arms: Vec::new(),
+                };
+                lowering.lower_block(&task.body, &mut compiled);
+                compiled
+            })
+            .collect();
+        CompiledProgram {
+            name: program.name.clone(),
+            tasks,
+            slot_of_place: lowering.slot_of_place,
+            place_of_slot: lowering.place_of_slot,
+            transition_count: net.transition_count(),
+        }
+    }
+
+    /// Program name (taken from the net at synthesis time).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of compiled tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total number of bytecode instructions across tasks (jumps included).
+    pub fn op_count(&self) -> usize {
+        self.tasks.iter().map(|t| t.code.len()).sum()
+    }
+
+    /// Number of dense counter slots in the shared buffer pool.
+    pub fn pool_size(&self) -> usize {
+        self.place_of_slot.len()
+    }
+
+    /// The dense counter slot assigned to `place`, if it has one.
+    pub fn slot_of(&self, place: PlaceId) -> Option<usize> {
+        match self.slot_of_place.get(place.index()) {
+            Some(&slot) if slot != NO_SLOT => Some(slot as usize),
+            _ => None,
+        }
+    }
+
+    /// Index of the task rooted at `source`, if any.
+    pub fn task_for_source(&self, source: TransitionId) -> Option<usize> {
+        self.tasks.iter().position(|t| t.source == Some(source))
+    }
+
+    /// Name of the task at `task_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn task_name(&self, task_index: usize) -> &str {
+        &self.tasks[task_index].name
+    }
+}
+
+/// A running instance of a [`CompiledProgram`]: the counter buffer pool plus cumulative
+/// statistics, with every run-time buffer pre-allocated at construction.
+///
+/// The session mirrors the [`crate::Interpreter`] observables one for one — counters,
+/// peak counters, fire counts, invocation count — and adds the reused fire log that
+/// [`run_task`](ExecSession::run_task) / [`run_batch`](ExecSession::run_batch) return
+/// slices of.
+#[derive(Debug, Clone)]
+pub struct ExecSession<'p> {
+    compiled: &'p CompiledProgram,
+    /// The shared buffer pool: one `i64` counter per dense slot.
+    counters: Vec<i64>,
+    peaks: Vec<i64>,
+    fire_counts: Vec<u64>,
+    invocations: u64,
+    /// Reused across calls: cleared at the start of each `run_task`/`run_batch`.
+    fire_log: Vec<TransitionId>,
+    /// Reused scratch presented to the resolver (the choice candidates, in arm order).
+    candidates: Vec<TransitionId>,
+}
+
+impl<'p> ExecSession<'p> {
+    /// Creates a session with zeroed counters and statistics.
+    pub fn new(compiled: &'p CompiledProgram) -> Self {
+        ExecSession {
+            compiled,
+            counters: vec![0; compiled.pool_size()],
+            peaks: vec![0; compiled.pool_size()],
+            fire_counts: vec![0; compiled.transition_count],
+            invocations: 0,
+            fire_log: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+
+    /// The program this session executes.
+    pub fn compiled(&self) -> &'p CompiledProgram {
+        self.compiled
+    }
+
+    /// Current counter value of `place` (0 for places without a counter slot, exactly
+    /// as the interpreter reports untouched counters).
+    pub fn counter(&self, place: PlaceId) -> i64 {
+        self.compiled
+            .slot_of(place)
+            .map_or(0, |slot| self.counters[slot])
+    }
+
+    /// Largest value the counter of `place` ever reached.
+    pub fn peak_counter(&self, place: PlaceId) -> i64 {
+        self.compiled
+            .slot_of(place)
+            .map_or(0, |slot| self.peaks[slot])
+    }
+
+    /// The dense peak pool (one entry per counter slot); the maximum over it equals the
+    /// maximum over the interpreter's per-place peaks.
+    pub fn peaks_dense(&self) -> &[i64] {
+        &self.peaks
+    }
+
+    /// How many times each transition has fired since construction (or [`reset`]).
+    ///
+    /// [`reset`]: ExecSession::reset
+    pub fn fire_counts(&self) -> &[u64] {
+        &self.fire_counts
+    }
+
+    /// Total number of task activations executed.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Zeroes counters, peaks, fire counts and the invocation total, keeping every
+    /// buffer's capacity (the pool is reused, not reallocated).
+    pub fn reset(&mut self) {
+        self.counters.fill(0);
+        self.peaks.fill(0);
+        self.fire_counts.fill(0);
+        self.invocations = 0;
+        self.fire_log.clear();
+    }
+
+    /// Runs one invocation of the task at `task_index`, resolving choices with
+    /// `resolver`, and returns the transitions fired by this invocation in execution
+    /// order (a slice of the session's reused fire-log buffer — copy it out if it must
+    /// survive the next run).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodegenError::UnknownTask`] for an out-of-range index.
+    /// * [`CodegenError::NegativeCounter`] if a counter underflows (a synthesis bug).
+    /// * [`CodegenError::EmptyChoice`] for a choice with no arms.
+    /// * [`CodegenError::InvalidChoiceResolution`] when the resolver picks a transition
+    ///   that is not an arm of the choice — hostile resolvers get a typed error, never
+    ///   a panic.
+    pub fn run_task<R: ChoiceResolver + ?Sized>(
+        &mut self,
+        task_index: usize,
+        resolver: &mut R,
+    ) -> Result<&[TransitionId]> {
+        let compiled = self.compiled;
+        let task = compiled
+            .tasks
+            .get(task_index)
+            .ok_or(CodegenError::UnknownTask(task_index))?;
+        self.fire_log.clear();
+        self.exec(task, resolver)?;
+        self.invocations += 1;
+        Ok(&self.fire_log)
+    }
+
+    /// Runs the task rooted at `source`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExecSession::run_task`]; an unknown source maps to
+    /// [`CodegenError::UnknownTask`].
+    pub fn run_task_for_source<R: ChoiceResolver + ?Sized>(
+        &mut self,
+        source: TransitionId,
+        resolver: &mut R,
+    ) -> Result<&[TransitionId]> {
+        let index = self
+            .compiled
+            .task_for_source(source)
+            .ok_or(CodegenError::UnknownTask(usize::MAX))?;
+        self.run_task(index, resolver)
+    }
+
+    /// The batch event pump: drives `activations` invocations of the task at
+    /// `task_index` through the compiled code and returns every transition fired by the
+    /// whole batch, in execution order, as one slice of the reused fire-log buffer.
+    ///
+    /// This is the line-rate entry point: one bounds check per batch, no allocation,
+    /// counters carried across activations exactly as consecutive
+    /// [`run_task`](ExecSession::run_task) calls would.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExecSession::run_task`]. On error the session's counters reflect the
+    /// activations completed before the failure.
+    pub fn run_batch<R: ChoiceResolver + ?Sized>(
+        &mut self,
+        task_index: usize,
+        activations: u64,
+        resolver: &mut R,
+    ) -> Result<&[TransitionId]> {
+        let compiled = self.compiled;
+        let task = compiled
+            .tasks
+            .get(task_index)
+            .ok_or(CodegenError::UnknownTask(task_index))?;
+        self.fire_log.clear();
+        for _ in 0..activations {
+            self.exec(task, resolver)?;
+            self.invocations += 1;
+        }
+        Ok(&self.fire_log)
+    }
+
+    /// The bytecode dispatch loop: executes one invocation of `task`, appending fired
+    /// transitions to the session fire log.
+    fn exec<R: ChoiceResolver + ?Sized>(
+        &mut self,
+        task: &'p CompiledTask,
+        resolver: &mut R,
+    ) -> Result<()> {
+        let code = &task.code;
+        let mut pc = 0usize;
+        while let Some(&op) = code.get(pc) {
+            match op {
+                Op::Fire(t) => {
+                    self.fire_counts[t.index()] += 1;
+                    self.fire_log.push(t);
+                    pc += 1;
+                }
+                Op::Add { slot, amount } => {
+                    let slot = slot as usize;
+                    let value = self.counters[slot] + amount;
+                    self.counters[slot] = value;
+                    if value > self.peaks[slot] {
+                        self.peaks[slot] = value;
+                    }
+                    pc += 1;
+                }
+                Op::Sub { slot, amount } => {
+                    let slot = slot as usize;
+                    let value = self.counters[slot] - amount;
+                    if value < 0 {
+                        return Err(CodegenError::NegativeCounter {
+                            place: self.compiled.place_of_slot[slot],
+                        });
+                    }
+                    self.counters[slot] = value;
+                    pc += 1;
+                }
+                Op::JumpIfLess {
+                    slot,
+                    at_least,
+                    target,
+                } => {
+                    pc = if self.counters[slot as usize] < at_least {
+                        target as usize
+                    } else {
+                        pc + 1
+                    };
+                }
+                Op::Jump { target } => pc = target as usize,
+                Op::Choice { entry } => {
+                    let entry = task.choices[entry as usize];
+                    let arms = &task.arms
+                        [entry.arm_start as usize..(entry.arm_start + entry.arm_len) as usize];
+                    if arms.is_empty() {
+                        return Err(CodegenError::EmptyChoice { place: entry.place });
+                    }
+                    self.candidates.clear();
+                    self.candidates.extend(arms.iter().map(|&(t, _)| t));
+                    let chosen = resolver.resolve(entry.place, &self.candidates);
+                    match arms.iter().find(|&&(t, _)| t == chosen) {
+                        Some(&(_, target)) => pc = target as usize,
+                        None => {
+                            return Err(CodegenError::InvalidChoiceResolution {
+                                place: entry.place,
+                                chosen,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        synthesize, ChoiceArm, FixedResolver, Interpreter, RoundRobinResolver, SynthesisOptions,
+        Task,
+    };
+    use fcpn_petri::gallery;
+    use fcpn_qss::{quasi_static_schedule, QssOptions};
+
+    fn program_for(net: &PetriNet) -> Program {
+        let schedule = quasi_static_schedule(net, &QssOptions::default())
+            .unwrap()
+            .schedule()
+            .unwrap();
+        synthesize(net, &schedule, SynthesisOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn compiled_layout_is_flat_and_counters_are_dense() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let compiled = CompiledProgram::compile(&program, &net);
+        assert_eq!(compiled.task_count(), 1);
+        // Jumps add instructions beyond the IR statement count, but the code stays flat
+        // and small.
+        assert!(compiled.op_count() >= program.size());
+        // Exactly the program's counter places get slots, densely packed.
+        assert_eq!(compiled.pool_size(), program.counter_places.len());
+        for (i, &place) in program.counter_places.iter().enumerate() {
+            assert_eq!(compiled.slot_of(place), Some(i));
+        }
+        let p1 = net.place_by_name("p1").unwrap(); // choice place: no slot
+        assert_eq!(compiled.slot_of(p1), None);
+    }
+
+    #[test]
+    fn batch_pump_matches_repeated_single_invocations() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let compiled = CompiledProgram::compile(&program, &net);
+
+        let mut singles = ExecSession::new(&compiled);
+        let mut single_log = Vec::new();
+        let mut resolver = RoundRobinResolver::default();
+        for _ in 0..50 {
+            single_log.extend_from_slice(singles.run_task(0, &mut resolver).unwrap());
+        }
+
+        let mut batch = ExecSession::new(&compiled);
+        let mut resolver = RoundRobinResolver::default();
+        let batch_log = batch.run_batch(0, 50, &mut resolver).unwrap().to_vec();
+        assert_eq!(single_log, batch_log);
+        assert_eq!(singles.fire_counts(), batch.fire_counts());
+        assert_eq!(singles.invocations(), batch.invocations());
+        for p in net.places() {
+            assert_eq!(singles.counter(p), batch.counter(p));
+            assert_eq!(singles.peak_counter(p), batch.peak_counter(p));
+        }
+    }
+
+    #[test]
+    fn executor_matches_interpreter_on_figure4() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let compiled = CompiledProgram::compile(&program, &net);
+        let mut session = ExecSession::new(&compiled);
+        let mut interp = Interpreter::new(&program, &net);
+        let mut exec_resolver = RoundRobinResolver::default();
+        let mut interp_resolver = RoundRobinResolver::default();
+        for _ in 0..100 {
+            let trace = interp.run_task(0, &mut interp_resolver).unwrap();
+            let fired = session.run_task(0, &mut exec_resolver).unwrap();
+            assert_eq!(trace.fired, fired);
+        }
+        assert_eq!(interp.fire_counts(), session.fire_counts());
+        for p in net.places() {
+            assert_eq!(interp.counter(p), session.counter(p));
+            assert_eq!(interp.peak_counters()[p.index()], session.peak_counter(p));
+        }
+    }
+
+    #[test]
+    fn unknown_task_and_source_are_reported() {
+        let net = gallery::figure2();
+        let program = program_for(&net);
+        let compiled = CompiledProgram::compile(&program, &net);
+        let mut session = ExecSession::new(&compiled);
+        let mut resolver = FixedResolver::default();
+        assert!(matches!(
+            session.run_task(9, &mut resolver),
+            Err(CodegenError::UnknownTask(9))
+        ));
+        assert!(matches!(
+            session.run_batch(9, 3, &mut resolver),
+            Err(CodegenError::UnknownTask(9))
+        ));
+        let bogus = TransitionId::new(77);
+        assert!(matches!(
+            session.run_task_for_source(bogus, &mut resolver),
+            Err(CodegenError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_resolver_pick_is_a_typed_error() {
+        let net = gallery::figure3a();
+        let program = program_for(&net);
+        let compiled = CompiledProgram::compile(&program, &net);
+        let mut session = ExecSession::new(&compiled);
+        // A resolver that ignores the candidates and returns an out-of-range id.
+        let mut hostile = |_place: PlaceId, _candidates: &[TransitionId]| TransitionId::new(10_000);
+        let err = session.run_task(0, &mut hostile).unwrap_err();
+        assert!(matches!(err, CodegenError::InvalidChoiceResolution { .. }));
+    }
+
+    #[test]
+    fn empty_choice_is_a_typed_error() {
+        let net = gallery::figure3a();
+        let program = Program {
+            name: "empty-choice".to_string(),
+            tasks: vec![Task {
+                name: "task".to_string(),
+                source: None,
+                body: vec![Stmt::Choice {
+                    place: PlaceId::new(0),
+                    arms: vec![],
+                }],
+            }],
+            counter_places: vec![],
+        };
+        let compiled = CompiledProgram::compile(&program, &net);
+        let mut session = ExecSession::new(&compiled);
+        let mut resolver = FixedResolver::default();
+        assert_eq!(
+            session.run_task(0, &mut resolver).unwrap_err(),
+            CodegenError::EmptyChoice {
+                place: PlaceId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_session() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let compiled = CompiledProgram::compile(&program, &net);
+        let mut session = ExecSession::new(&compiled);
+        let mut resolver = RoundRobinResolver::default();
+        let first = session.run_batch(0, 20, &mut resolver).unwrap().to_vec();
+        session.reset();
+        assert_eq!(session.invocations(), 0);
+        assert!(session.fire_counts().iter().all(|&c| c == 0));
+        let mut resolver = RoundRobinResolver::default();
+        let again = session.run_batch(0, 20, &mut resolver).unwrap().to_vec();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn hand_built_counter_ir_gets_a_lazy_slot() {
+        // An IR touching a counter place the program does not declare still executes:
+        // the compiler assigns the slot lazily.
+        let net = gallery::figure2();
+        let p0 = PlaceId::new(0);
+        let program = Program {
+            name: "lazy".to_string(),
+            tasks: vec![Task {
+                name: "task".to_string(),
+                source: None,
+                body: vec![
+                    Stmt::IncCount {
+                        place: p0,
+                        amount: 3,
+                    },
+                    Stmt::WhileCount {
+                        place: p0,
+                        at_least: 2,
+                        body: vec![Stmt::DecCount {
+                            place: p0,
+                            amount: 2,
+                        }],
+                    },
+                ],
+            }],
+            counter_places: vec![],
+        };
+        let compiled = CompiledProgram::compile(&program, &net);
+        assert_eq!(compiled.pool_size(), 1);
+        let mut session = ExecSession::new(&compiled);
+        let mut resolver = FixedResolver::default();
+        session.run_task(0, &mut resolver).unwrap();
+        assert_eq!(session.counter(p0), 1);
+        assert_eq!(session.peak_counter(p0), 3);
+    }
+
+    #[test]
+    fn choice_arms_fall_through_to_shared_exit() {
+        // Both arms must converge on the statement after the choice exactly once.
+        let net = gallery::figure3a();
+        let t9 = TransitionId::new(net.transition_count() - 1);
+        let program = Program {
+            name: "converge".to_string(),
+            tasks: vec![Task {
+                name: "task".to_string(),
+                source: None,
+                body: vec![
+                    Stmt::Choice {
+                        place: PlaceId::new(0),
+                        arms: vec![
+                            ChoiceArm {
+                                transition: TransitionId::new(1),
+                                body: vec![Stmt::Fire(TransitionId::new(1))],
+                            },
+                            ChoiceArm {
+                                transition: TransitionId::new(2),
+                                body: vec![Stmt::Fire(TransitionId::new(2))],
+                            },
+                        ],
+                    },
+                    Stmt::Fire(t9),
+                ],
+            }],
+            counter_places: vec![],
+        };
+        let compiled = CompiledProgram::compile(&program, &net);
+        let mut session = ExecSession::new(&compiled);
+        for arm in 0..2usize {
+            let mut resolver = FixedResolver { arm };
+            let fired = session.run_task(0, &mut resolver).unwrap();
+            assert_eq!(fired.len(), 2, "arm {arm}: {fired:?}");
+            assert_eq!(fired[1], t9, "arm {arm}");
+        }
+    }
+}

@@ -29,7 +29,14 @@ pub struct FixedResolver {
 
 impl ChoiceResolver for FixedResolver {
     fn resolve(&mut self, _place: PlaceId, candidates: &[TransitionId]) -> TransitionId {
-        candidates[self.arm.min(candidates.len() - 1)]
+        // An empty candidate slice can only come from direct misuse of the trait (the
+        // interpreter and executor reject empty choices before calling any resolver).
+        // Return a sentinel the caller's arm lookup will reject with a typed
+        // `InvalidChoiceResolution` instead of panicking on index underflow.
+        candidates
+            .get(self.arm.min(candidates.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(TransitionId::new(usize::MAX))
     }
 }
 
@@ -189,6 +196,9 @@ impl<'a> Interpreter<'a> {
                 }
             }
             Stmt::Choice { place, arms } => {
+                if arms.is_empty() {
+                    return Err(CodegenError::EmptyChoice { place: *place });
+                }
                 let candidates: Vec<TransitionId> = arms.iter().map(|a| a.transition).collect();
                 let chosen = resolver.resolve(*place, &candidates);
                 let arm = arms.iter().find(|a| a.transition == chosen).ok_or(
@@ -339,6 +349,43 @@ mod tests {
             interp.run_task(7, &mut resolver),
             Err(CodegenError::UnknownTask(7))
         ));
+    }
+
+    #[test]
+    fn fixed_resolver_survives_an_empty_candidate_slice() {
+        // Direct misuse of the trait must not panic with an index underflow; the
+        // sentinel it returns fails the arm lookup as a typed error instead.
+        let mut resolver = FixedResolver { arm: 3 };
+        let pick = resolver.resolve(PlaceId::new(0), &[]);
+        assert_eq!(pick, TransitionId::new(usize::MAX));
+    }
+
+    #[test]
+    fn empty_choice_is_rejected_before_the_resolver_runs() {
+        let net = gallery::figure2();
+        let program = Program {
+            name: "empty-choice".to_string(),
+            tasks: vec![crate::Task {
+                name: "task".to_string(),
+                source: None,
+                body: vec![Stmt::Choice {
+                    place: PlaceId::new(1),
+                    arms: vec![],
+                }],
+            }],
+            counter_places: vec![],
+        };
+        let mut interp = Interpreter::new(&program, &net);
+        // A resolver that panics if consulted: the guard must fire first.
+        let mut resolver = |_: PlaceId, _: &[TransitionId]| -> TransitionId {
+            panic!("resolver must not be called for an empty choice")
+        };
+        assert_eq!(
+            interp.run_task(0, &mut resolver).unwrap_err(),
+            CodegenError::EmptyChoice {
+                place: PlaceId::new(1)
+            }
+        );
     }
 
     #[test]

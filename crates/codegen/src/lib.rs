@@ -5,8 +5,9 @@
 //! into one task per input with independent firing rate, builds a structured task IR
 //! ([`Program`], [`Task`], [`Stmt`]) with if/else for data-dependent choices and counting
 //! variables for multirate places, renders it to C ([`emit_c`]), and can execute it
-//! directly ([`Interpreter`]) so the generated code can be validated against the token
-//! game and fed to the RTOS simulator.
+//! directly — either with the tree-walking [`Interpreter`] (the pinned oracle) or with
+//! the flat-bytecode streaming runtime ([`CompiledProgram`] + [`ExecSession`]) — so the
+//! generated code can be validated against the token game and fed to the RTOS simulator.
 //!
 //! ```
 //! use fcpn_petri::gallery;
@@ -30,6 +31,7 @@
 mod build;
 mod c_emit;
 mod error;
+mod exec;
 mod interp;
 mod metrics;
 mod rust_emit;
@@ -38,6 +40,7 @@ mod task_ir;
 pub use build::{synthesize, SynthesisOptions};
 pub use c_emit::{emit_c, CEmitOptions};
 pub use error::{CodegenError, Result};
+pub use exec::{CompiledProgram, ExecSession};
 pub use interp::{ChoiceResolver, FixedResolver, Interpreter, InvocationTrace, RoundRobinResolver};
 pub use metrics::CodeMetrics;
 pub use rust_emit::{emit_rust, RustEmitOptions};

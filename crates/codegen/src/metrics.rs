@@ -15,17 +15,23 @@ pub struct CodeMetrics {
     pub ir_statements: usize,
     /// Maximum nesting depth across tasks.
     pub max_nesting: usize,
+    /// Flat bytecode instructions after compiling the IR with
+    /// [`crate::CompiledProgram::compile`] (jumps included — the executable footprint of
+    /// the streaming runtime).
+    pub bytecode_ops: usize,
 }
 
 impl CodeMetrics {
     /// Computes the metrics of `program` for the given net.
     pub fn of(program: &Program, net: &PetriNet) -> Self {
         let c = crate::emit_c(program, net, CEmitOptions::default());
+        let compiled = crate::CompiledProgram::compile(program, net);
         CodeMetrics {
             tasks: program.task_count(),
             lines_of_c: c.lines().filter(|l| !l.trim().is_empty()).count(),
             ir_statements: program.size(),
             max_nesting: program.tasks.iter().map(|t| t.depth()).max().unwrap_or(0),
+            bytecode_ops: compiled.op_count(),
         }
     }
 }
@@ -34,8 +40,8 @@ impl std::fmt::Display for CodeMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} task(s), {} lines of C, {} IR statements, nesting {}",
-            self.tasks, self.lines_of_c, self.ir_statements, self.max_nesting
+            "{} task(s), {} lines of C, {} IR statements, nesting {}, {} bytecode ops",
+            self.tasks, self.lines_of_c, self.ir_statements, self.max_nesting, self.bytecode_ops
         )
     }
 }
@@ -64,7 +70,10 @@ mod tests {
         assert!(m.lines_of_c > 10);
         assert!(m.ir_statements >= 8);
         assert!(m.max_nesting >= 3);
+        // The compiled form adds jump instructions on top of the IR statements.
+        assert!(m.bytecode_ops >= m.ir_statements);
         assert!(m.to_string().contains("1 task(s)"));
+        assert!(m.to_string().contains("bytecode ops"));
     }
 
     #[test]

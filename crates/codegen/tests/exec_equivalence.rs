@@ -1,0 +1,284 @@
+//! Differential suite: the compiled executor versus the tree-walking interpreter.
+//!
+//! The [`Interpreter`] is the pinned oracle for the task IR's semantics; the
+//! flat-bytecode [`ExecSession`] must be observationally indistinguishable from it.
+//! This suite pins the two bit-for-bit — per-invocation fire logs, final counters,
+//! peak counters, cumulative fire counts and invocation totals — across every
+//! schedulable gallery net and at least 64 seeded random schedulable free-choice nets,
+//! under three resolver families (fixed-arm, round-robin and seeded-random), including
+//! long multi-cycle runs that repeatedly cross the counter guard boundaries of
+//! `IfCount`/`WhileCount` statements.
+
+use fcpn_codegen::{
+    synthesize, ChoiceResolver, CompiledProgram, ExecSession, FixedResolver, Interpreter, Program,
+    RoundRobinResolver, SynthesisOptions,
+};
+use fcpn_petri::{gallery, NetBuilder, PetriNet, PlaceId, TransitionId};
+use fcpn_qss::{quasi_static_schedule, QssOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random free-choice net in the same family the scheduler equivalence suite uses: a
+/// source transition feeding a tree of choices whose branches produce with random
+/// weights into unit-rate drains, with optional continuation places between levels.
+fn random_free_choice(rng: &mut StdRng) -> PetriNet {
+    let depth = rng.gen_range(1..4usize);
+    let mut b = NetBuilder::new("random-fc");
+    let source = b.transition("src");
+    let root = b.place("root", rng.gen_range(0..2u64));
+    b.arc_t_p(source, root, 1).expect("arc");
+    let mut frontier: Vec<PlaceId> = vec![root];
+    let mut counter = 0usize;
+    for level in 0..depth {
+        let branches = rng.gen_range(2..4usize);
+        let weight = rng.gen_range(1..4u64);
+        let mut next = Vec::new();
+        for place in frontier {
+            for branch in 0..branches {
+                counter += 1;
+                let t = b.transition(format!("t{level}_{branch}_{counter}"));
+                b.arc_p_t(place, t, 1).expect("arc");
+                let out = b.place(format!("p{level}_{branch}_{counter}"), 0);
+                b.arc_t_p(t, out, weight).expect("arc");
+                let drain = b.transition(format!("d{level}_{branch}_{counter}"));
+                b.arc_p_t(out, drain, 1).expect("arc");
+                if level + 1 < depth && rng.gen_bool(0.5) {
+                    let cont = b.place(format!("c{level}_{branch}_{counter}"), 0);
+                    b.arc_t_p(drain, cont, 1).expect("arc");
+                    next.push(cont);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    b.build().expect("random free-choice net is valid")
+}
+
+/// Schedules and synthesises `net`, returning `None` when it is not quasi-statically
+/// schedulable (random nets legitimately include unschedulable instances).
+fn synthesized(net: &PetriNet) -> Option<Program> {
+    let schedule = quasi_static_schedule(net, &QssOptions::default())
+        .ok()?
+        .schedule()?;
+    synthesize(net, &schedule, SynthesisOptions::default()).ok()
+}
+
+fn gallery_nets() -> Vec<PetriNet> {
+    vec![
+        gallery::figure2(),
+        gallery::figure3a(),
+        gallery::figure3b(),
+        gallery::figure4(),
+        gallery::figure5(),
+        gallery::figure7(),
+        gallery::choice_chain(5),
+        gallery::choice_chain(8),
+        gallery::marked_ring(6, 3),
+        gallery::cycle_bank(5),
+    ]
+}
+
+/// Runs `invocations` rounds over every task of `program` (round-robin across tasks) on
+/// both engines with the given resolver pair, asserting bit-identical observables at
+/// every step: the per-invocation fire log, and afterwards the final counters, peaks,
+/// fire counts and invocation totals for every place and transition of the net.
+fn assert_equivalent<RA, RB>(
+    net: &PetriNet,
+    program: &Program,
+    interp_resolver: &mut RA,
+    exec_resolver: &mut RB,
+    invocations: usize,
+    label: &str,
+) where
+    RA: ChoiceResolver + ?Sized,
+    RB: ChoiceResolver + ?Sized,
+{
+    let compiled = CompiledProgram::compile(program, net);
+    let mut interp = Interpreter::new(program, net);
+    let mut session = ExecSession::new(&compiled);
+    let task_count = program.task_count();
+    for i in 0..invocations * task_count {
+        let task = i % task_count;
+        let trace = interp
+            .run_task(task, interp_resolver)
+            .unwrap_or_else(|e| panic!("{label}: interpreter invocation {i}: {e}"));
+        let fired = session
+            .run_task(task, exec_resolver)
+            .unwrap_or_else(|e| panic!("{label}: executor invocation {i}: {e}"));
+        assert_eq!(trace.fired, fired, "{label}: fire log of invocation {i}");
+    }
+    assert_eq!(
+        interp.fire_counts(),
+        session.fire_counts(),
+        "{label}: fire counts"
+    );
+    assert_eq!(
+        interp.invocations(),
+        session.invocations(),
+        "{label}: invocation totals"
+    );
+    for p in net.places() {
+        assert_eq!(
+            interp.counter(p),
+            session.counter(p),
+            "{label}: final counter of {p}"
+        );
+        assert_eq!(
+            interp.peak_counters()[p.index()],
+            session.peak_counter(p),
+            "{label}: peak counter of {p}"
+        );
+    }
+}
+
+/// The full resolver matrix for one net: three fixed arms, round-robin, and four
+/// seeded-random streams, each driven as an identically-seeded pair.
+fn assert_equivalent_across_resolvers(
+    net: &PetriNet,
+    program: &Program,
+    invocations: usize,
+    label: &str,
+) {
+    for arm in 0..3usize {
+        assert_equivalent(
+            net,
+            program,
+            &mut FixedResolver { arm },
+            &mut FixedResolver { arm },
+            invocations,
+            &format!("{label} / fixed arm {arm}"),
+        );
+    }
+    assert_equivalent(
+        net,
+        program,
+        &mut RoundRobinResolver::default(),
+        &mut RoundRobinResolver::default(),
+        invocations,
+        &format!("{label} / round-robin"),
+    );
+    for seed in 0..4u64 {
+        let mut rng_a = StdRng::seed_from_u64(0xE0_0C ^ seed);
+        let mut rng_b = StdRng::seed_from_u64(0xE0_0C ^ seed);
+        let mut random_a = move |_place: PlaceId, candidates: &[TransitionId]| {
+            candidates[rng_a.gen_range(0..candidates.len())]
+        };
+        let mut random_b = move |_place: PlaceId, candidates: &[TransitionId]| {
+            candidates[rng_b.gen_range(0..candidates.len())]
+        };
+        assert_equivalent(
+            net,
+            program,
+            &mut random_a,
+            &mut random_b,
+            invocations,
+            &format!("{label} / seeded-random {seed}"),
+        );
+    }
+}
+
+#[test]
+fn executor_matches_interpreter_on_every_schedulable_gallery_net() {
+    let mut covered = 0usize;
+    for net in gallery_nets() {
+        let Some(program) = synthesized(&net) else {
+            continue;
+        };
+        covered += 1;
+        assert_equivalent_across_resolvers(&net, &program, 40, net.name());
+    }
+    assert!(
+        covered >= 6,
+        "only {covered} gallery nets were schedulable — the suite lost coverage"
+    );
+}
+
+#[test]
+fn executor_matches_interpreter_on_64_seeded_random_nets() {
+    let mut covered = 0usize;
+    let mut seed = 0u64;
+    while covered < 64 {
+        assert!(
+            seed < 4096,
+            "only {covered} schedulable random nets within 4096 seeds"
+        );
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ seed);
+        let net = random_free_choice(&mut rng);
+        seed += 1;
+        let Some(program) = synthesized(&net) else {
+            continue;
+        };
+        covered += 1;
+        assert_equivalent_across_resolvers(&net, &program, 12, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn long_runs_cross_counter_guard_boundaries_identically() {
+    // Multirate gallery nets accumulate counters across invocations and drain them
+    // through IfCount/WhileCount guards; hundreds of invocations cross those guard
+    // boundaries many times on both engines. figure2 and figure4 need 2 invocations per
+    // counter drain, choice_chain stacks nested guards.
+    for net in [
+        gallery::figure2(),
+        gallery::figure4(),
+        gallery::figure5(),
+        gallery::choice_chain(8),
+    ] {
+        let program = synthesized(&net).expect("gallery net is schedulable");
+        assert_equivalent_across_resolvers(&net, &program, 250, net.name());
+    }
+}
+
+#[test]
+fn batch_pump_matches_interpreter_invocation_by_invocation() {
+    // run_batch accumulates one fire log across the whole batch; it must equal the
+    // concatenation of the interpreter's per-invocation traces with a shared resolver.
+    for net in [gallery::figure2(), gallery::figure4(), gallery::figure5()] {
+        let program = synthesized(&net).expect("gallery net is schedulable");
+        let compiled = CompiledProgram::compile(&program, &net);
+        for task in 0..program.task_count() {
+            let mut interp = Interpreter::new(&program, &net);
+            let mut expected = Vec::new();
+            let mut interp_resolver = RoundRobinResolver::default();
+            for _ in 0..300 {
+                expected.extend(interp.run_task(task, &mut interp_resolver).unwrap().fired);
+            }
+            let mut session = ExecSession::new(&compiled);
+            let mut exec_resolver = RoundRobinResolver::default();
+            let batch = session.run_batch(task, 300, &mut exec_resolver).unwrap();
+            assert_eq!(expected, batch, "{}: task {task}", net.name());
+            assert_eq!(session.invocations(), 300);
+        }
+    }
+}
+
+#[test]
+fn source_routing_matches_the_interpreter() {
+    // Multi-task programs route events by source transition; both engines must agree on
+    // the mapping and on the resulting interleaved execution.
+    let net = gallery::figure5();
+    let program = synthesized(&net).expect("figure5 is schedulable");
+    let compiled = CompiledProgram::compile(&program, &net);
+    let sources: Vec<TransitionId> = program.tasks.iter().filter_map(|t| t.source).collect();
+    assert!(sources.len() >= 2, "figure5 synthesises two tasks");
+    let mut interp = Interpreter::new(&program, &net);
+    let mut session = ExecSession::new(&compiled);
+    let mut interp_resolver = RoundRobinResolver::default();
+    let mut exec_resolver = RoundRobinResolver::default();
+    let mut rng = StdRng::seed_from_u64(0x50_0E);
+    for i in 0..400 {
+        let source = sources[rng.gen_range(0..sources.len())];
+        let trace = interp
+            .run_task_for_source(source, &mut interp_resolver)
+            .unwrap();
+        let fired = session
+            .run_task_for_source(source, &mut exec_resolver)
+            .unwrap();
+        assert_eq!(trace.fired, fired, "event {i} from {source}");
+    }
+    assert_eq!(interp.fire_counts(), session.fire_counts());
+}

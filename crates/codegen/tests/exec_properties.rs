@@ -1,0 +1,180 @@
+//! Property suite for the compiled executor's safety guarantees.
+//!
+//! Whatever a resolver decides — fixed, alternating, adversarially skewed or random —
+//! the executor must uphold the schedule's proofs: counters never go negative (the
+//! generated guards protect every `DecCount`), and no counter ever exceeds the bound
+//! the valid schedule proved for its place ([`ValidSchedule::buffer_bounds`]). Hostile
+//! resolvers that return out-of-range picks are rejected with a typed error, never a
+//! panic.
+
+use fcpn_codegen::{
+    synthesize, CodegenError, CompiledProgram, ExecSession, Program, SynthesisOptions,
+};
+use fcpn_petri::{gallery, PetriNet, PlaceId, TransitionId};
+use fcpn_qss::{quasi_static_schedule, QssOptions, ValidSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scheduled(net: &PetriNet) -> Option<(ValidSchedule, Program)> {
+    let schedule = quasi_static_schedule(net, &QssOptions::default())
+        .ok()?
+        .schedule()?;
+    let program = synthesize(net, &schedule, SynthesisOptions::default()).ok()?;
+    Some((schedule, program))
+}
+
+fn bounded_gallery() -> Vec<PetriNet> {
+    // figure3b and figure7 are the paper's *non*-schedulable examples; the bound
+    // property only exists for nets with a valid schedule.
+    vec![
+        gallery::figure2(),
+        gallery::figure3a(),
+        gallery::figure4(),
+        gallery::figure5(),
+        gallery::choice_chain(6),
+    ]
+}
+
+#[test]
+fn counters_stay_non_negative_and_within_the_proven_bound() {
+    // 32 random resolver streams per net, checking after *every* invocation that every
+    // counter is non-negative and no larger than the schedule's proven buffer bound for
+    // its place. A violation would mean the compiled guards diverge from the proof.
+    for net in bounded_gallery() {
+        let (schedule, program) = scheduled(&net).expect("gallery net is schedulable");
+        let bounds = schedule.buffer_bounds(&net);
+        let compiled = CompiledProgram::compile(&program, &net);
+        for stream in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(0xB0_0B5 ^ stream);
+            let mut resolver = move |_place: PlaceId, candidates: &[TransitionId]| {
+                candidates[rng.gen_range(0..candidates.len())]
+            };
+            let mut session = ExecSession::new(&compiled);
+            for i in 0..120usize {
+                let task = i % program.task_count();
+                session
+                    .run_task(task, &mut resolver)
+                    .unwrap_or_else(|e| panic!("{}: stream {stream}: {e}", net.name()));
+                for p in net.places() {
+                    let value = session.counter(p);
+                    assert!(
+                        value >= 0,
+                        "{}: stream {stream}: counter of {p} went negative",
+                        net.name()
+                    );
+                    assert!(
+                        value <= bounds[p.index()] as i64,
+                        "{}: stream {stream}: counter of {p} is {value}, bound {}",
+                        net.name(),
+                        bounds[p.index()]
+                    );
+                }
+            }
+            // Peaks are the running maxima of the same counters, so they obey the same
+            // proven bounds.
+            for p in net.places() {
+                assert!(
+                    session.peak_counter(p) <= bounds[p.index()] as i64,
+                    "{}: stream {stream}: peak of {p} exceeds the proven bound",
+                    net.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarially_skewed_resolvers_stay_within_bounds() {
+    // Starving one arm for long stretches is how a counter would overflow its bound if
+    // the guards were wrong; sweep heavy skews in both directions.
+    for net in bounded_gallery() {
+        let (schedule, program) = scheduled(&net).expect("gallery net is schedulable");
+        let bounds = schedule.buffer_bounds(&net);
+        let compiled = CompiledProgram::compile(&program, &net);
+        for period in [2usize, 7, 31] {
+            for favored_last in [false, true] {
+                let mut calls = 0usize;
+                let mut resolver = move |_place: PlaceId, candidates: &[TransitionId]| {
+                    calls += 1;
+                    // One call in `period` deviates to the other end of the arm list.
+                    let deviate = calls.is_multiple_of(period);
+                    if favored_last != deviate {
+                        *candidates.last().unwrap()
+                    } else {
+                        candidates[0]
+                    }
+                };
+                let mut session = ExecSession::new(&compiled);
+                for i in 0..200usize {
+                    let task = i % program.task_count();
+                    session.run_task(task, &mut resolver).unwrap();
+                }
+                for p in net.places() {
+                    assert!(
+                        session.peak_counter(p) <= bounds[p.index()] as i64,
+                        "{}: period {period} favored_last {favored_last}: \
+                         peak of {p} exceeds bound {}",
+                        net.name(),
+                        bounds[p.index()]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_out_of_range_picks_are_typed_errors_not_panics() {
+    // A resolver returning ids that are not arms of the choice — including absurd
+    // out-of-net ids — must surface as InvalidChoiceResolution and leave the session
+    // usable for the next (well-behaved) run.
+    for net in [gallery::figure3a(), gallery::figure4(), gallery::figure5()] {
+        let (_, program) = scheduled(&net).expect("gallery net is schedulable");
+        let compiled = CompiledProgram::compile(&program, &net);
+        let mut session = ExecSession::new(&compiled);
+        for bogus in [usize::MAX, 10_000, net.transition_count() + 1] {
+            let mut hostile =
+                move |_place: PlaceId, _candidates: &[TransitionId]| TransitionId::new(bogus);
+            let mut failed = 0usize;
+            for task in 0..program.task_count() {
+                match session.run_task(task, &mut hostile) {
+                    Err(CodegenError::InvalidChoiceResolution { chosen, .. }) => {
+                        assert_eq!(chosen, TransitionId::new(bogus));
+                        failed += 1;
+                    }
+                    Err(e) => panic!("{}: unexpected error {e}", net.name()),
+                    // Tasks without data-dependent choices never consult the resolver.
+                    Ok(_) => {}
+                }
+            }
+            assert!(
+                failed > 0,
+                "{}: no task consulted the hostile resolver",
+                net.name()
+            );
+        }
+        // The session is not poisoned: a well-behaved resolver still runs afterwards.
+        session.reset();
+        let mut fair = |_place: PlaceId, candidates: &[TransitionId]| candidates[0];
+        for task in 0..program.task_count() {
+            session.run_task(task, &mut fair).unwrap();
+        }
+    }
+}
+
+#[test]
+fn hostile_in_net_but_out_of_choice_picks_are_rejected() {
+    // Subtler hostility: return a *valid* transition of the net that is just not an arm
+    // of the choice being resolved (here, the task's own source).
+    let net = gallery::figure4();
+    let (_, program) = scheduled(&net).expect("figure4 is schedulable");
+    let source = program.tasks[0].source.expect("figure4 task has a source");
+    let compiled = CompiledProgram::compile(&program, &net);
+    let mut session = ExecSession::new(&compiled);
+    let mut hostile = move |_place: PlaceId, _candidates: &[TransitionId]| source;
+    let err = session.run_task(0, &mut hostile).unwrap_err();
+    assert!(matches!(
+        err,
+        CodegenError::InvalidChoiceResolution { chosen, .. } if chosen == source
+    ));
+}

@@ -44,7 +44,8 @@ pub use error::{Result, RtosError};
 pub use event::{Event, Workload};
 pub use sim::{
     simulate_functional_partition, simulate_functional_partition_naive, simulate_program,
-    FunctionalSimBatch, FunctionalTask, SimReport, TaskActivation, DEFAULT_STEP_BUDGET,
+    simulate_program_with, ExecBackend, FunctionalSimBatch, FunctionalTask, SimReport,
+    TaskActivation, DEFAULT_STEP_BUDGET,
 };
 
 #[cfg(test)]

@@ -52,9 +52,25 @@
 //! ```
 
 use crate::{CostModel, Event, Result, RtosError, Workload};
-use fcpn_codegen::{ChoiceResolver, Interpreter, Program};
+use fcpn_codegen::{ChoiceResolver, CompiledProgram, ExecSession, Interpreter, Program};
 use fcpn_petri::statespace::{FiringSession, StateId};
 use fcpn_petri::{CancelToken, Marking, PetriNet, PlaceId, TransitionId};
+
+/// Which execution engine runs the synthesised tasks during
+/// [`simulate_program_with`].
+///
+/// Both backends execute the same task IR with the same resolver protocol and produce
+/// bit-for-bit identical [`SimReport`]s (pinned by tests here and by the differential
+/// suite in `fcpn-codegen`); they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// The tree-walking [`Interpreter`] — the pinned oracle.
+    #[default]
+    Interpreter,
+    /// The flat-bytecode streaming runtime ([`CompiledProgram`] + [`ExecSession`]):
+    /// jump-resolved code arrays over a dense counter pool, no allocation after setup.
+    Compiled,
+}
 
 /// Per-task accounting of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,10 +131,48 @@ pub fn simulate_program<R: ChoiceResolver + ?Sized>(
     workload: &Workload,
     resolver: &mut R,
 ) -> Result<SimReport> {
+    simulate_program_with(
+        program,
+        net,
+        cost,
+        workload,
+        resolver,
+        ExecBackend::default(),
+    )
+}
+
+/// Cycles charged for one task activation that fired `fired`, shared by both execution
+/// backends so their reports cannot drift: the RTOS activation overhead plus each fired
+/// transition's own cost plus the choice-evaluation surcharge for conflicted firings.
+fn invocation_cycles(net: &PetriNet, cost: &CostModel, fired: &[TransitionId]) -> u64 {
+    let mut cycles = cost.activation_overhead;
+    for &t in fired {
+        cycles += cost.transition_cost(t);
+        if net.inputs(t).iter().any(|&(p, _)| net.is_choice_place(p)) {
+            cycles += cost.choice_cost;
+        }
+    }
+    cycles
+}
+
+/// Like [`simulate_program`], but with an explicit choice of execution engine: the
+/// tree-walking interpreter oracle or the compiled streaming runtime. Both produce
+/// identical reports; [`ExecBackend::Compiled`] is the one to use for throughput.
+///
+/// # Errors
+///
+/// Same as [`simulate_program`].
+pub fn simulate_program_with<R: ChoiceResolver + ?Sized>(
+    program: &Program,
+    net: &PetriNet,
+    cost: &CostModel,
+    workload: &Workload,
+    resolver: &mut R,
+    backend: ExecBackend,
+) -> Result<SimReport> {
     if workload.is_empty() {
         return Err(RtosError::EmptyWorkload);
     }
-    let mut interpreter = Interpreter::new(program, net);
     let mut per_task: Vec<TaskActivation> = program
         .tasks
         .iter()
@@ -130,44 +184,68 @@ pub fn simulate_program<R: ChoiceResolver + ?Sized>(
         .collect();
     let mut total_cycles = 0u64;
     let mut activations = 0u64;
+    let events_processed = workload.len();
 
-    for &Event { source, .. } in workload.events() {
-        let task_index = program
-            .tasks
-            .iter()
-            .position(|t| t.source == Some(source))
-            .ok_or(RtosError::UnboundSource(source))?;
-        let trace = interpreter.run_task(task_index, resolver)?;
-        let mut cycles = cost.activation_overhead;
-        for &fired in &trace.fired {
-            cycles += cost.transition_cost(fired);
-            if net
-                .inputs(fired)
-                .iter()
-                .any(|&(p, _)| net.is_choice_place(p))
-            {
-                cycles += cost.choice_cost;
+    let (fire_counts, peak_buffer_tokens) = match backend {
+        ExecBackend::Interpreter => {
+            let mut interpreter = Interpreter::new(program, net);
+            for &Event { source, .. } in workload.events() {
+                let task_index = program
+                    .tasks
+                    .iter()
+                    .position(|t| t.source == Some(source))
+                    .ok_or(RtosError::UnboundSource(source))?;
+                let trace = interpreter.run_task(task_index, resolver)?;
+                let cycles = invocation_cycles(net, cost, &trace.fired);
+                per_task[task_index].activations += 1;
+                per_task[task_index].cycles += cycles;
+                activations += 1;
+                total_cycles += cycles;
             }
+            let peak = interpreter
+                .peak_counters()
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .max(0) as u64;
+            (interpreter.fire_counts().to_vec(), peak)
         }
-        per_task[task_index].activations += 1;
-        per_task[task_index].cycles += cycles;
-        activations += 1;
-        total_cycles += cycles;
-    }
+        ExecBackend::Compiled => {
+            let compiled = CompiledProgram::compile(program, net);
+            let mut session = ExecSession::new(&compiled);
+            for &Event { source, .. } in workload.events() {
+                let task_index = compiled
+                    .task_for_source(source)
+                    .ok_or(RtosError::UnboundSource(source))?;
+                let fired = session.run_task(task_index, resolver)?;
+                // The cycle-cost accounting reads the executor's fire log exactly as it
+                // reads the interpreter's trace.
+                let cycles = invocation_cycles(net, cost, fired);
+                per_task[task_index].activations += 1;
+                per_task[task_index].cycles += cycles;
+                activations += 1;
+                total_cycles += cycles;
+            }
+            // The dense peak pool holds only counted places, but peaks are non-negative
+            // on both sides, so the maxima agree with the interpreter's per-place scan.
+            let peak = session
+                .peaks_dense()
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .max(0) as u64;
+            (session.fire_counts().to_vec(), peak)
+        }
+    };
 
-    let peak_buffer_tokens = interpreter
-        .peak_counters()
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(0)
-        .max(0) as u64;
     Ok(SimReport {
         total_cycles,
-        events_processed: workload.len(),
+        events_processed,
         activations,
         per_task,
-        fire_counts: interpreter.fire_counts().to_vec(),
+        fire_counts,
         peak_buffer_tokens,
     })
 }
@@ -643,6 +721,88 @@ mod tests {
         assert!(report.cycles_per_event() > 0.0);
         assert_eq!(report.per_task.len(), 1);
         assert_eq!(report.per_task[0].activations, 20);
+    }
+
+    #[test]
+    fn compiled_backend_report_is_pinned_to_the_interpreter() {
+        // Same program, same workload, identically-seeded resolvers: the compiled
+        // streaming runtime must reproduce the interpreter's SimReport bit for bit —
+        // cycles, activations, per-task breakdown, fire counts and peaks.
+        for net in [gallery::figure2(), gallery::figure4(), gallery::figure5()] {
+            let program = program_for(&net);
+            let cost = CostModel::default();
+            let mut workload = Workload::new();
+            for task in &program.tasks {
+                if let Some(source) = task.source {
+                    workload = workload.merge(Workload::periodic(source, 7, 60, 0));
+                }
+            }
+            let mut interp_resolver = RoundRobinResolver::default();
+            let interp = simulate_program_with(
+                &program,
+                &net,
+                &cost,
+                &workload,
+                &mut interp_resolver,
+                ExecBackend::Interpreter,
+            )
+            .unwrap();
+            let mut exec_resolver = RoundRobinResolver::default();
+            let compiled = simulate_program_with(
+                &program,
+                &net,
+                &cost,
+                &workload,
+                &mut exec_resolver,
+                ExecBackend::Compiled,
+            )
+            .unwrap();
+            assert_eq!(interp, compiled, "{} diverged", program.name);
+        }
+    }
+
+    #[test]
+    fn default_backend_is_the_interpreter_oracle() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let t1 = net.transition_by_name("t1").unwrap();
+        let workload = Workload::periodic(t1, 10, 20, 0);
+        let cost = CostModel::default();
+        let mut r1 = RoundRobinResolver::default();
+        let plain = simulate_program(&program, &net, &cost, &workload, &mut r1).unwrap();
+        let mut r2 = RoundRobinResolver::default();
+        let explicit = simulate_program_with(
+            &program,
+            &net,
+            &cost,
+            &workload,
+            &mut r2,
+            ExecBackend::default(),
+        )
+        .unwrap();
+        assert_eq!(plain, explicit);
+        assert_eq!(ExecBackend::default(), ExecBackend::Interpreter);
+    }
+
+    #[test]
+    fn compiled_backend_rejects_unbound_sources_like_the_interpreter() {
+        let net = gallery::figure5();
+        let program = program_for(&net);
+        let t2 = net.transition_by_name("t2").unwrap();
+        let workload = Workload::periodic(t2, 5, 3, 0);
+        let mut resolver = FixedResolver::default();
+        assert_eq!(
+            simulate_program_with(
+                &program,
+                &net,
+                &CostModel::default(),
+                &workload,
+                &mut resolver,
+                ExecBackend::Compiled,
+            )
+            .unwrap_err(),
+            RtosError::UnboundSource(t2)
+        );
     }
 
     #[test]
