@@ -28,9 +28,14 @@
 //! 5. **rate-limit** — against a *separate* daemon started with `--tenant-rate`: a
 //!    burst past the bucket earns `429`s with a parseable `Retry-After`, and waiting
 //!    out the window restores service (other probes never see throttling).
-//! 6. **sigterm-drain** — `kill -TERM` with a request in flight: the request
+//! 6. **memory-pressure** — against a daemon started with `--mem-budget`: memory-bomb
+//!    nets asking for unaffordable budgets are shed (`503` + `Retry-After`,
+//!    `rejected_memory`), nets with too-small budgets fail with the typed exhaustion
+//!    `503` (`resource_exhausted`), `/healthz` answers `200` throughout, and a
+//!    post-pressure `/schedule` answer is byte-identical to the library oracle.
+//! 7. **sigterm-drain** — `kill -TERM` with a request in flight: the request
 //!    completes, the daemon exits `0`.
-//! 7. **kill-9 + recovery** (skippable with `--skip-kill9`) — warm the persistent
+//! 8. **kill-9 + recovery** (skippable with `--skip-kill9`) — warm the persistent
 //!    cache, then `kill -9` the daemon while a writer thread is churning fresh cache
 //!    appends, restart it on the same `--cache-dir`, and require every warmed
 //!    response byte-identical to the library-computed oracle plus readable
@@ -40,8 +45,9 @@ use fcpn_petri::io::to_text;
 use fcpn_petri::{gallery, PetriNet};
 use fcpn_qss::{quasi_static_schedule, QssOptions};
 use fcpn_serve::chaos::{
-    fetch, healthz_ok, probe_cancellation, probe_connection_flood, probe_mid_request_disconnect,
-    probe_rate_limit, probe_slow_loris, probe_slow_loris_fleet, sigterm, DaemonProcess,
+    fetch, healthz_ok, probe_cancellation, probe_connection_flood, probe_memory_pressure,
+    probe_mid_request_disconnect, probe_rate_limit, probe_slow_loris, probe_slow_loris_fleet,
+    sigterm, DaemonProcess,
 };
 use fcpn_serve::schedule_response_body;
 use std::time::Duration;
@@ -254,6 +260,58 @@ fn rate_limit(binary: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn memory_pressure(binary: &str) -> Result<(), String> {
+    // A separate daemon instance with the process governor armed at 1MiB: the
+    // memory-bomb traffic must be degraded, never fatal.
+    let daemon = spawn_with(binary, &["--mem-budget", "1048576"]);
+    let addr = daemon.addr().to_string();
+    let bomb = to_text(&gallery::memory_bomb(6));
+    let probe = probe_memory_pressure(&addr, &bomb, 4, Duration::from_secs(10))
+        .map_err(|e| format!("pressure probe: {e}"))?;
+    if !probe.healthy_throughout {
+        return Err(format!("healthz failed under pressure: {probe:?}"));
+    }
+    if probe.shed == 0 || probe.exhausted == 0 || probe.other != 0 {
+        return Err(format!(
+            "expected both shed and typed-exhausted 503s and nothing else: {probe:?}"
+        ));
+    }
+    let metrics = fetch(&addr, "GET", "/metrics", b"", Duration::from_secs(5))
+        .map_err(|e| format!("metrics fetch: {e}"))?;
+    for (key, at_least) in [
+        ("rejected_memory", probe.shed as u64),
+        ("resource_exhausted", probe.exhausted as u64),
+        ("mem_budget_bytes", 1_048_576),
+    ] {
+        match metrics_counter(&metrics.body, key) {
+            Some(n) if n >= at_least => {}
+            other => return Err(format!("{key} should be >= {at_least}, got {other:?}")),
+        }
+    }
+    // The governed daemon's post-pressure answers must still be byte-identical to
+    // direct library calls — pressure sheds work, it never bends results.
+    let net = gallery::figure4();
+    let response = fetch(
+        &addr,
+        "POST",
+        "/schedule",
+        to_text(&net).as_bytes(),
+        Duration::from_secs(10),
+    )
+    .map_err(|e| format!("post-pressure request: {e}"))?;
+    if response.status != 200 || response.body != expected_body(&net) {
+        return Err(format!(
+            "post-pressure response diverged from the library oracle (status {})",
+            response.status
+        ));
+    }
+    println!(
+        "      [mem] {} shed, {} typed-exhausted over {} requests, healthy throughout",
+        probe.shed, probe.exhausted, probe.requests
+    );
+    Ok(())
+}
+
 fn sigterm_drain(binary: &str) -> Result<(), String> {
     let daemon = spawn_with(binary, &[]);
     let addr = daemon.addr().to_string();
@@ -433,6 +491,7 @@ fn main() {
     outcomes.run("connection-flood", connection_flood(&binary, flood));
     outcomes.run("loris-fleet", loris_fleet(&binary, loris));
     outcomes.run("rate-limit", rate_limit(&binary));
+    outcomes.run("memory-pressure", memory_pressure(&binary));
     outcomes.run("sigterm-drain", sigterm_drain(&binary));
     if skip_kill9 {
         println!("skip  kill9-recovery (--skip-kill9)");

@@ -37,6 +37,10 @@ pub enum CodegenError {
     },
     /// An underlying Petri-net operation failed.
     Petri(PetriError),
+    /// Executing generated code was abandoned because a charge against the session's
+    /// [`MemoryBudget`](fcpn_petri::MemoryBudget) failed — a caller-imposed resource
+    /// decision, not a property of the program. The session stays usable.
+    ResourceExhausted(fcpn_petri::ResourceExhausted),
 }
 
 impl fmt::Display for CodegenError {
@@ -60,6 +64,7 @@ impl fmt::Display for CodegenError {
                 )
             }
             CodegenError::Petri(e) => write!(f, "petri net error: {e}"),
+            CodegenError::ResourceExhausted(e) => e.fmt(f),
         }
     }
 }
@@ -76,6 +81,12 @@ impl std::error::Error for CodegenError {
 impl From<PetriError> for CodegenError {
     fn from(e: PetriError) -> Self {
         CodegenError::Petri(e)
+    }
+}
+
+impl From<fcpn_petri::ResourceExhausted> for CodegenError {
+    fn from(e: fcpn_petri::ResourceExhausted) -> Self {
+        CodegenError::ResourceExhausted(e)
     }
 }
 

@@ -39,7 +39,10 @@
 //! ```
 
 use crate::{ChoiceResolver, CodegenError, Program, Result, Stmt};
-use fcpn_petri::{PetriNet, PlaceId, TransitionId};
+use fcpn_petri::{MemoryBudget, PetriNet, PlaceId, TransitionId};
+
+/// Budget stage reported when growing the fire log exceeds the session's budget.
+const STAGE_FIRE_LOG: &str = "fire-log";
 
 /// Sentinel for "this place has no counter slot".
 const NO_SLOT: u32 = u32::MAX;
@@ -320,6 +323,11 @@ pub struct ExecSession<'p> {
     fire_log: Vec<TransitionId>,
     /// Reused scratch presented to the resolver (the choice candidates, in arm order).
     candidates: Vec<TransitionId>,
+    /// Byte budget charged as the fire log grows past its previous high-water mark.
+    memory: MemoryBudget,
+    /// Fire-log entries already charged — the log's capacity is reused across runs, so
+    /// only growth beyond the historical maximum costs new bytes.
+    charged_log_entries: usize,
 }
 
 impl<'p> ExecSession<'p> {
@@ -333,7 +341,21 @@ impl<'p> ExecSession<'p> {
             invocations: 0,
             fire_log: Vec::new(),
             candidates: Vec::new(),
+            memory: MemoryBudget::unlimited(),
+            charged_log_entries: 0,
         }
+    }
+
+    /// Attaches a [`MemoryBudget`], charged per entry whenever the fire log
+    /// grows past its previous high-water mark — the one session buffer whose size is
+    /// workload-dependent rather than fixed at construction. A failed charge aborts the
+    /// current run with [`CodegenError::ResourceExhausted`] (stage `"fire-log"`); the
+    /// session itself stays usable, and runs that fit within the already-paid-for
+    /// high-water mark keep succeeding.
+    #[must_use]
+    pub fn with_memory(mut self, memory: MemoryBudget) -> Self {
+        self.memory = memory;
+        self
     }
 
     /// The program this session executes.
@@ -474,6 +496,12 @@ impl<'p> ExecSession<'p> {
         while let Some(&op) = code.get(pc) {
             match op {
                 Op::Fire(t) => {
+                    if self.fire_log.len() >= self.charged_log_entries {
+                        // Charge *before* growing past the paid-for high-water mark.
+                        self.memory
+                            .charge(std::mem::size_of::<TransitionId>() as u64, STAGE_FIRE_LOG)?;
+                        self.charged_log_entries += 1;
+                    }
                     self.fire_counts[t.index()] += 1;
                     self.fire_log.push(t);
                     pc += 1;
@@ -729,6 +757,42 @@ mod tests {
         session.run_task(0, &mut resolver).unwrap();
         assert_eq!(session.counter(p0), 1);
         assert_eq!(session.peak_counter(p0), 3);
+    }
+
+    #[test]
+    fn exhausted_fire_log_budget_is_typed_and_leaves_the_session_usable() {
+        let net = gallery::figure4();
+        let program = program_for(&net);
+        let compiled = CompiledProgram::compile(&program, &net);
+
+        // A fixed resolver makes every invocation log the same entry count; find it,
+        // then fund exactly one run's worth.
+        let mut probe = ExecSession::new(&compiled);
+        let mut resolver = FixedResolver::default();
+        let per_run = probe.run_task(0, &mut resolver).unwrap().len();
+        assert!(per_run > 0);
+        let entry = std::mem::size_of::<TransitionId>() as u64;
+        let budget = fcpn_petri::MemoryBudget::with_limit(per_run as u64 * entry);
+
+        let mut session = ExecSession::new(&compiled).with_memory(budget.clone());
+        let mut resolver = FixedResolver::default();
+        // One run fits the paid-for high-water mark exactly.
+        assert_eq!(session.run_task(0, &mut resolver).unwrap().len(), per_run);
+        // A batch of two must grow the log past it: typed error, no panic.
+        let err = session.run_batch(0, 2, &mut resolver).unwrap_err();
+        match err {
+            CodegenError::ResourceExhausted(e) => {
+                assert_eq!(e.stage, "fire-log");
+                assert_eq!(e.limit_bytes, budget.limit_bytes().unwrap());
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // The session stays usable: after a reset (which keeps the paid-for capacity),
+        // runs within the high-water mark keep working.
+        session.reset();
+        let mut resolver = FixedResolver::default();
+        let fired = session.run_task(0, &mut resolver).unwrap();
+        assert_eq!(fired.len(), per_run);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::{
     GrayAllocationIter, NaiveComponentCache, ReductionWorkspace, Result, TReduction, ValidSchedule,
 };
 use fcpn_petri::cancel::{CancelGate, CancelToken, Cancelled};
-use fcpn_petri::{PetriNet, TransitionId};
+use fcpn_petri::{MemoryBudget, PetriNet, TransitionId};
 use std::fmt;
 
 /// Options for the quasi-static scheduler.
@@ -44,6 +44,16 @@ pub struct QssOptions {
     /// ([`quasi_static_schedule_naive`]) deliberately ignores it — it is the oracle the
     /// production sweep is measured against, not a service entry point.
     pub cancel: CancelToken,
+    /// Byte budget for the sweep. The scheduler charges a canonical cost model — one
+    /// net-sized workspace charge up front, then the retained per-allocation results in
+    /// seed (counting) order after the merge — so the same net under the same budget
+    /// fails with the same [`QssError::ResourceExhausted`](crate::QssError) for **any**
+    /// thread count; worker-local scratch (component caches, gray-range state) is
+    /// bounded by the allocation limit and not charged. The default
+    /// ([`MemoryBudget::unlimited`]) is free and never exhausts; an armed budget that
+    /// never exhausts leaves the outcome bit-for-bit identical. The retained seed
+    /// pipeline ignores it, like the cancellation token.
+    pub memory: MemoryBudget,
 }
 
 impl Default for QssOptions {
@@ -53,6 +63,7 @@ impl Default for QssOptions {
             reuse_component_cache: true,
             threads: 1,
             cancel: CancelToken::never(),
+            memory: MemoryBudget::unlimited(),
         }
     }
 }
@@ -132,7 +143,9 @@ impl QssOutcome {
 /// outside the algorithm's domain — these
 /// are input errors, distinct from the legitimate [`QssOutcome::NotSchedulable`] verdict.
 /// Returns [`QssError::Cancelled`](crate::QssError::Cancelled) when `options.cancel`
-/// fires mid-sweep; the partial sweep is discarded.
+/// fires mid-sweep and [`QssError::ResourceExhausted`](crate::QssError::ResourceExhausted)
+/// when a charge against `options.memory` fails; the partial sweep is discarded either
+/// way — a resource violation is an error, never a silently truncated verdict.
 ///
 /// # Examples
 ///
@@ -155,6 +168,14 @@ pub fn quasi_static_schedule(net: &PetriNet, options: &QssOptions) -> Result<Qss
     // per-allocation state (loser tails, workspace flags) changes by a delta.
     let allocations = allocation_iter_gray(net, options.allocation)?;
     let total = allocations.total();
+    // One net-sized charge covers the reduction workspace and checker scratch (both
+    // are O(transitions + places)); per-result charges follow in seed order below.
+    // Charging thread-count-invariant quantities only keeps exhaustion deterministic.
+    let mut meter = options.memory.meter();
+    meter.charge(
+        (net.transition_count() + net.place_count()) as u64 * 48,
+        "schedule-workspace",
+    )?;
     let threads = options
         .threads
         .clamp(1, usize::MAX)
@@ -195,6 +216,16 @@ pub fn quasi_static_schedule(net: &PetriNet, options: &QssOptions) -> Result<Qss
     let mut cycles = Vec::new();
     let mut failures = Vec::new();
     for (_, item) in results {
+        // The retained result bytes, charged in seed order — identical for any thread
+        // count, so an exhausted budget fails at the same allocation with the same
+        // error whether the sweep was sequential or sharded.
+        let item_bytes = match &item {
+            SweepItem::Cycle(cycle) => (cycle.sequence.len() + cycle.counts.len()) * 8 + 64,
+            SweepItem::Failure(diagnostic) => {
+                diagnostic.allocation.len() + diagnostic.transitions.len() * 8 + 64
+            }
+        };
+        meter.charge(item_bytes as u64, "schedule-results")?;
         match item {
             SweepItem::Cycle(cycle) => cycles.push(*cycle),
             SweepItem::Failure(diagnostic) => failures.push(*diagnostic),

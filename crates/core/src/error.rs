@@ -37,6 +37,10 @@ pub enum QssError {
     /// fired (explicit cancel or blown deadline) — a caller decision, not a property of
     /// the input net.
     Cancelled,
+    /// The sweep was abandoned because a charge against its
+    /// [`MemoryBudget`](fcpn_petri::MemoryBudget) failed — like [`QssError::Cancelled`],
+    /// a caller-imposed resource decision, not a property of the input net.
+    ResourceExhausted(fcpn_petri::ResourceExhausted),
 }
 
 impl fmt::Display for QssError {
@@ -55,6 +59,7 @@ impl fmt::Display for QssError {
             QssError::Petri(e) => write!(f, "petri net error: {e}"),
             QssError::Sdf(e) => write!(f, "static scheduling error: {e}"),
             QssError::Cancelled => write!(f, "scheduling cancelled"),
+            QssError::ResourceExhausted(e) => e.fmt(f),
         }
     }
 }
@@ -84,6 +89,21 @@ impl From<SdfError> for QssError {
 impl From<fcpn_petri::Cancelled> for QssError {
     fn from(_: fcpn_petri::Cancelled) -> Self {
         QssError::Cancelled
+    }
+}
+
+impl From<fcpn_petri::ResourceExhausted> for QssError {
+    fn from(e: fcpn_petri::ResourceExhausted) -> Self {
+        QssError::ResourceExhausted(e)
+    }
+}
+
+impl From<fcpn_petri::Interrupt> for QssError {
+    fn from(i: fcpn_petri::Interrupt) -> Self {
+        match i {
+            fcpn_petri::Interrupt::Cancelled => QssError::Cancelled,
+            fcpn_petri::Interrupt::Exhausted(e) => QssError::ResourceExhausted(e),
+        }
     }
 }
 

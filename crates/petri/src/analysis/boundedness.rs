@@ -2,7 +2,8 @@
 //! unboundedness detection via a coverability (Karp–Miller style) search.
 
 use super::reachability::ReachabilityOptions;
-use crate::cancel::{CancelGate, CancelToken, Cancelled};
+use crate::budget::{Interrupt, MemoryBudget};
+use crate::cancel::{CancelGate, CancelToken};
 use crate::statespace::{ExploreOptions, MarkingArena, StateSpace};
 use crate::{PetriNet, PlaceId, TransitionId};
 use std::collections::VecDeque;
@@ -67,8 +68,13 @@ fn strictly_covers(a: &[u64], b: &[u64]) -> bool {
 /// per successor) and successors are generated with the allocation-free
 /// [`PetriNet::fire_into`] fast path.
 pub fn check_boundedness(net: &PetriNet, options: BoundednessOptions) -> Boundedness {
-    check_boundedness_covering(net, options, &CancelToken::never())
-        .expect("a never-firing token cannot cancel")
+    check_boundedness_covering(
+        net,
+        options,
+        &CancelToken::never(),
+        &MemoryBudget::unlimited(),
+    )
+    .expect("never-firing guards cannot interrupt")
 }
 
 /// [`check_boundedness`] with explicit engine configuration.
@@ -86,24 +92,25 @@ pub fn check_boundedness_with(
     options: BoundednessOptions,
     explore: &ExploreOptions,
 ) -> Boundedness {
-    try_check_boundedness_with(net, options, explore).expect(
-        "boundedness check cancelled; use try_check_boundedness_with with an armed CancelToken",
-    )
+    try_check_boundedness_with(net, options, explore)
+        .expect("boundedness check interrupted; use try_check_boundedness_with with armed guards")
 }
 
-/// [`check_boundedness_with`] for callers that arm `explore.cancel`: both the parallel
-/// reachability prepass and the covering search poll the token and surface
-/// [`Cancelled`] instead of a verdict when it fires. A never-firing token makes this
-/// identical to [`check_boundedness_with`].
+/// [`check_boundedness_with`] for callers that arm `explore.cancel` or
+/// `explore.memory`: both the parallel reachability prepass and the covering search
+/// poll the token, charge the budget, and surface an [`Interrupt`] instead of a
+/// verdict when either guard trips. Never-firing guards make this identical to
+/// [`check_boundedness_with`].
 ///
 /// # Errors
 ///
-/// [`Cancelled`] when `explore.cancel` fires before a verdict is reached.
+/// [`Interrupt::Cancelled`] when `explore.cancel` fires, [`Interrupt::Exhausted`]
+/// when `explore.memory` runs out, before a verdict is reached.
 pub fn try_check_boundedness_with(
     net: &PetriNet,
     options: BoundednessOptions,
     explore: &ExploreOptions,
-) -> Result<Boundedness, Cancelled> {
+) -> Result<Boundedness, Interrupt> {
     if explore.resolved_threads() > 1 {
         let reach = ReachabilityOptions {
             max_markings: options.max_nodes,
@@ -122,7 +129,7 @@ pub fn try_check_boundedness_with(
             });
         }
     }
-    check_boundedness_covering(net, options, &explore.cancel)
+    check_boundedness_covering(net, options, &explore.cancel, &explore.memory)
 }
 
 /// The sequential coverability-style covering search (see [`check_boundedness`]).
@@ -130,8 +137,14 @@ fn check_boundedness_covering(
     net: &PetriNet,
     options: BoundednessOptions,
     cancel: &CancelToken,
-) -> Result<Boundedness, Cancelled> {
+    memory: &MemoryBudget,
+) -> Result<Boundedness, Interrupt> {
     let places = net.place_count();
+    // Arena row (u64 words) + raw hash + amortized interner slot, plus the parent
+    // pointer and firing label — the covering search's per-node footprint.
+    let node_bytes = (places * 8) as u64 + 8 + 24 + 16;
+    let mut meter = memory.meter();
+    meter.charge(node_bytes, "boundedness")?;
     let mut arena = MarkingArena::new(places);
     arena.intern(net.initial_marking().as_slice());
     // Parent pointers and firing labels, parallel to the arena's state ids.
@@ -183,6 +196,7 @@ fn check_boundedness_covering(
             if !inserted {
                 continue;
             }
+            meter.charge(node_bytes, "boundedness")?;
             max_tokens = max_tokens.max(scratch.iter().copied().max().unwrap_or(0));
             parents.push(Some(node));
             via.push(Some(t));

@@ -7,6 +7,8 @@
 //! supports coverability queries ("can a marking with at least k tokens in p be
 //! reached?") that are useful when diagnosing a specification the scheduler rejected.
 
+use crate::budget::{Interrupt, MemoryBudget};
+use crate::cancel::{CancelGate, CancelToken};
 use crate::statespace::SliceTable;
 use crate::{Marking, PetriNet, PlaceId, TransitionId};
 use std::collections::VecDeque;
@@ -216,7 +218,38 @@ impl CoverabilityGraph {
     /// the node numbering and edge list, are identical to
     /// [`CoverabilityGraph::build_naive`]'s.
     pub fn build(net: &PetriNet, options: CoverabilityOptions) -> Self {
+        Self::try_build(
+            net,
+            options,
+            &CancelToken::never(),
+            &MemoryBudget::unlimited(),
+        )
+        .expect("never-firing guards cannot interrupt")
+    }
+
+    /// [`CoverabilityGraph::build`] for callers that arm a [`CancelToken`] or a
+    /// [`MemoryBudget`]: the Karp–Miller loop polls the token on the explorers' stride
+    /// and charges every admitted node and edge against the budget. Never-firing
+    /// guards leave the graph bit-for-bit identical to [`CoverabilityGraph::build`]'s.
+    ///
+    /// # Errors
+    ///
+    /// [`Interrupt::Cancelled`] when `cancel` fires, [`Interrupt::Exhausted`] when a
+    /// charge against `memory` fails; the partial graph is discarded either way — a
+    /// budget violation is an error, never a silently `complete = false` graph.
+    pub fn try_build(
+        net: &PetriNet,
+        options: CoverabilityOptions,
+        cancel: &CancelToken,
+        memory: &MemoryBudget,
+    ) -> Result<Self, Interrupt> {
         let places = net.place_count();
+        let mut cancel_gate = CancelGate::new(crate::statespace::CANCEL_STRIDE);
+        // Encoded row + ω-marking tokens + amortized interner slot + parent/queue links.
+        let node_bytes = (places * 24) as u64 + 40;
+        let edge_bytes = 24u64;
+        let mut meter = memory.meter();
+        meter.charge(node_bytes, "coverability")?;
         let mut nodes = vec![OmegaMarking::from_marking(net.initial_marking())];
         let mut encoded: Vec<u64> = Vec::with_capacity(places * 64);
         // Once any node encodes a *finite* u64::MAX (pathological, but expressible),
@@ -233,6 +266,7 @@ impl CoverabilityGraph {
 
         while let Some(current) = queue.pop_front() {
             for t in net.transitions() {
+                cancel_gate.check(cancel)?;
                 if !nodes[current].is_enabled(net, t) {
                     continue;
                 }
@@ -268,6 +302,7 @@ impl CoverabilityGraph {
                             complete = false;
                             continue;
                         }
+                        meter.charge(node_bytes, "coverability")?;
                         let id = nodes.len();
                         encoded.extend_from_slice(&scratch);
                         table.insert_unique(crate::statespace::hash_tokens(&scratch), id as u32);
@@ -277,6 +312,7 @@ impl CoverabilityGraph {
                         id
                     }
                 };
+                meter.charge(edge_bytes, "coverability")?;
                 edges.push(CoverabilityEdge {
                     from: current,
                     transition: t,
@@ -284,11 +320,11 @@ impl CoverabilityGraph {
                 });
             }
         }
-        CoverabilityGraph {
+        Ok(CoverabilityGraph {
             nodes,
             edges,
             complete,
-        }
+        })
     }
 
     /// The pre-interner construction, retained as the reference implementation: node
@@ -485,5 +521,49 @@ mod tests {
         let graph = CoverabilityGraph::build(&net, CoverabilityOptions { max_nodes: 2 });
         assert!(!graph.complete);
         assert!(graph.nodes.len() <= 2);
+    }
+
+    #[test]
+    fn armed_but_unreached_guards_are_bit_identical() {
+        let net = gallery::figure5();
+        let baseline = CoverabilityGraph::build(&net, CoverabilityOptions::default());
+        let armed = CoverabilityGraph::try_build(
+            &net,
+            CoverabilityOptions::default(),
+            &crate::CancelToken::new(),
+            &crate::MemoryBudget::with_limit(1 << 40),
+        )
+        .expect("unreached guards never interrupt");
+        assert_eq!(armed, baseline);
+    }
+
+    #[test]
+    fn try_build_observes_cancellation_and_exhaustion() {
+        let net = gallery::figure5();
+        let cancel = crate::CancelToken::new();
+        cancel.cancel();
+        assert_eq!(
+            CoverabilityGraph::try_build(
+                &net,
+                CoverabilityOptions::default(),
+                &cancel,
+                &crate::MemoryBudget::unlimited(),
+            ),
+            Err(Interrupt::Cancelled)
+        );
+        // A tiny byte budget fails with the typed error — deterministically, at the
+        // same stage, run after run.
+        let exhaust = || {
+            CoverabilityGraph::try_build(
+                &net,
+                CoverabilityOptions::default(),
+                &CancelToken::never(),
+                &crate::MemoryBudget::with_limit(64),
+            )
+            .expect_err("64 bytes cannot hold the graph")
+        };
+        let err = exhaust();
+        assert!(matches!(err, Interrupt::Exhausted(e) if e.stage == "coverability"));
+        assert_eq!(err, exhaust());
     }
 }

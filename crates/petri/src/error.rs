@@ -33,6 +33,16 @@ pub enum PetriError {
     },
     /// Token counts overflowed `u64` during firing or analysis.
     TokenOverflow(PlaceId),
+    /// A memory-budget charge failed during an analysis (see
+    /// [`budget::ResourceExhausted`](crate::budget::ResourceExhausted)).
+    ResourceExhausted {
+        /// The budget's byte limit.
+        limit_bytes: u64,
+        /// Bytes the failing reservation asked for.
+        requested_bytes: u64,
+        /// The engine stage that issued the charge.
+        stage: &'static str,
+    },
     /// The net violates a structural precondition of the requested analysis.
     StructuralViolation(String),
     /// A textual net description could not be parsed.
@@ -62,6 +72,16 @@ impl fmt::Display for PetriError {
                 "state-space exploration budget exceeded after {explored} markings"
             ),
             PetriError::TokenOverflow(p) => write!(f, "token count overflow in place {p}"),
+            PetriError::ResourceExhausted {
+                limit_bytes,
+                requested_bytes,
+                stage,
+            } => crate::budget::ResourceExhausted {
+                limit_bytes: *limit_bytes,
+                requested_bytes: *requested_bytes,
+                stage,
+            }
+            .fmt(f),
             PetriError::StructuralViolation(msg) => write!(f, "structural violation: {msg}"),
             PetriError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -71,6 +91,16 @@ impl fmt::Display for PetriError {
 }
 
 impl std::error::Error for PetriError {}
+
+impl From<crate::budget::ResourceExhausted> for PetriError {
+    fn from(e: crate::budget::ResourceExhausted) -> Self {
+        PetriError::ResourceExhausted {
+            limit_bytes: e.limit_bytes,
+            requested_bytes: e.requested_bytes,
+            stage: e.stage,
+        }
+    }
+}
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T, E = PetriError> = std::result::Result<T, E>;

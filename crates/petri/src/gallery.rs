@@ -273,6 +273,27 @@ pub fn cycle_bank(n: usize) -> PetriNet {
     b.build().expect("cycle bank is a valid net")
 }
 
+/// A memory bomb: `n` independent source transitions, each feeding its own place.
+///
+/// The net is tiny — `n` transitions, `n` places — but every source is always
+/// enabled, so the reachable markings are all token distributions over `n` places and
+/// the state space grows combinatorially with depth (≈ dⁿ/n! markings within firing
+/// depth d) while individual token counts climb without bound. It is the adversarial
+/// workload for the memory governor: exploration under a [`MemoryBudget`] must fail
+/// with a typed `ResourceExhausted` error instead of growing until the OOM killer
+/// intervenes, and the daemon's chaos probes fire it at a budgeted server.
+///
+/// [`MemoryBudget`]: crate::MemoryBudget
+pub fn memory_bomb(n: usize) -> PetriNet {
+    let mut b = NetBuilder::new(format!("memory-bomb-{n}"));
+    for i in 0..n {
+        let t = b.transition(format!("src{i}"));
+        let p = b.place(format!("acc{i}"), 0);
+        b.arc_t_p(t, p, 1).expect("arc");
+    }
+    b.build().expect("memory bomb is a valid net")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,5 +415,35 @@ mod tests {
         assert!(net.is_free_choice());
         let net = choice_chain(0);
         assert_eq!(net.choice_places().len(), 0);
+    }
+
+    #[test]
+    fn memory_bomb_exhausts_a_byte_budget_with_a_typed_error() {
+        let net = memory_bomb(6);
+        assert_eq!(net.source_transitions().len(), 6);
+        assert_eq!(net.place_count(), 6);
+        // Exhaustion is an `Err`, never a panic and never a truncated space: the same
+        // exploration that completes under the marking clamp fails cleanly when a
+        // byte budget that cannot hold it is armed.
+        let reach = crate::analysis::ReachabilityOptions {
+            max_markings: 100_000,
+            max_tokens_per_place: 64,
+        };
+        let err = crate::statespace::StateSpace::try_explore_with(
+            &net,
+            &crate::statespace::ExploreOptions {
+                reach,
+                memory: crate::MemoryBudget::with_limit(256 * 1024),
+                ..Default::default()
+            },
+        )
+        .expect_err("a 256 KiB budget cannot hold the bomb");
+        match err {
+            crate::Interrupt::Exhausted(e) => {
+                assert_eq!(e.stage, "reachability");
+                assert_eq!(e.limit_bytes, 256 * 1024);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
     }
 }

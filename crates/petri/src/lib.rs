@@ -16,6 +16,7 @@
 //! * 128-bit whole-net fingerprints for result caches ([`fingerprint`]);
 //! * cooperative cancellation (deadline + explicit flag) for every long-running
 //!   engine loop ([`cancel`]);
+//! * byte-budgeted engine allocations with typed exhaustion errors ([`budget`]);
 //! * the nets of the paper's figures, reconstructed for tests and benchmarks
 //!   ([`gallery`]).
 //!
@@ -41,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod budget;
 mod builder;
 pub mod cancel;
 mod error;
@@ -53,6 +55,7 @@ mod marking;
 mod net;
 pub mod statespace;
 
+pub use budget::{Interrupt, MemoryBudget, ResourceExhausted};
 pub use builder::NetBuilder;
 pub use cancel::{CancelToken, Cancelled};
 pub use error::{PetriError, Result};

@@ -28,7 +28,8 @@ use super::arena::{widen_arena, TokenWord};
 use super::interner::{Probe, SliceTable};
 use super::{mix, parallel, place_key, raw_hash, StateId};
 use crate::analysis::ReachabilityOptions;
-use crate::cancel::{CancelGate, CancelToken, Cancelled};
+use crate::budget::{Interrupt, MemoryBudget};
+use crate::cancel::{CancelGate, CancelToken};
 use crate::{Marking, PetriNet, TransitionId};
 
 /// How many expanded states each explorer processes between cancellation polls.
@@ -37,6 +38,26 @@ use crate::{Marking, PetriNet, TransitionId};
 /// bounds the polling overhead well below 1% while keeping the cancellation latency
 /// in the tens of microseconds — far inside the service-level 50 ms bound.
 pub(crate) const CANCEL_STRIDE: u64 = 256;
+
+/// Canonical byte cost charged per admitted state: the arena row plus the raw hash
+/// plus the (amortized, ~50% load) interner slot.
+///
+/// The explorers charge this **canonical cost model** — a pure function of the
+/// admission sequence — rather than their physical allocations, so the sequential
+/// and sharded engines exhaust a [`MemoryBudget`] at exactly the same state with
+/// exactly the same error. Physical overshoot (shard-transient states, `Vec` growth
+/// slack) is bounded by a small multiple of the admitted bytes and by the
+/// `max_markings` clamp.
+#[inline]
+pub(crate) fn state_cost<W>(places: usize) -> u64 {
+    (places * std::mem::size_of::<W>()) as u64 + 8 + 24
+}
+
+/// Canonical byte cost charged per admitted CSR edge (`edge_to` + `edge_transition`).
+pub(crate) const EDGE_COST: u64 = 8;
+
+/// Stage label of the explorers' budget charges.
+pub(crate) const STAGE_REACHABILITY: &str = "reachability";
 
 /// The storage width of the token arena.
 ///
@@ -99,10 +120,15 @@ pub struct ExploreOptions {
     /// Token-arena width selection.
     pub width: TokenWidth,
     /// Cooperative cancellation: the explorers poll this token every few hundred
-    /// expanded states and abandon the exploration with [`Cancelled`] when it fires.
-    /// The default ([`CancelToken::never`]) costs nothing and never fires; a token
-    /// that never fires leaves the result bit-for-bit identical to the default.
+    /// expanded states and abandon the exploration with [`Interrupt::Cancelled`] when
+    /// it fires. The default ([`CancelToken::never`]) costs nothing and never fires; a
+    /// token that never fires leaves the result bit-for-bit identical to the default.
     pub cancel: CancelToken,
+    /// Byte budget charged per admitted state and edge (the canonical cost model).
+    /// The default ([`MemoryBudget::unlimited`]) costs one branch per growth event and
+    /// never exhausts; a budget that is never exhausted leaves the result bit-for-bit
+    /// identical to the default.
+    pub memory: MemoryBudget,
 }
 
 impl Default for ExploreOptions {
@@ -112,6 +138,7 @@ impl Default for ExploreOptions {
             threads: 1,
             width: TokenWidth::Auto,
             cancel: CancelToken::never(),
+            memory: MemoryBudget::unlimited(),
         }
     }
 }
@@ -342,9 +369,13 @@ fn explore_seq<W: TokenWord>(
     initial: &[u64],
     options: ReachabilityOptions,
     cancel: &CancelToken,
-) -> Result<RawSpace<W>, Cancelled> {
+    memory: &MemoryBudget,
+) -> Result<RawSpace<W>, Interrupt> {
     let places = tables.places;
     let mut cancel_gate = CancelGate::new(CANCEL_STRIDE);
+    let mut meter = memory.meter();
+    let state_bytes = state_cost::<W>(places);
+    meter.charge(state_bytes, STAGE_REACHABILITY)?;
 
     let mut arena: Vec<W> = Vec::with_capacity(places.max(1) * 256);
     arena.extend(initial.iter().map(|&k| W::from_u64(k)));
@@ -411,6 +442,9 @@ fn explore_seq<W: TokenWord>(
                             complete = false;
                             None
                         } else {
+                            // Charge *before* growing so exhaustion never leaves a
+                            // half-inserted state behind.
+                            meter.charge(state_bytes, STAGE_REACHABILITY)?;
                             let new_id = state_count as StateId;
                             arena.extend_from_slice(&current);
                             raw_hashes.push(successor_hash);
@@ -427,6 +461,7 @@ fn explore_seq<W: TokenWord>(
                 };
                 tables.revert_delta_in_place(&mut current, t);
                 if let Some(target) = target {
+                    meter.charge(EDGE_COST, STAGE_REACHABILITY)?;
                     edge_to.push(target);
                     edge_transition.push(t as u32);
                 }
@@ -521,11 +556,12 @@ impl StateSpace {
     ///
     /// # Panics
     ///
-    /// Panics if `options.cancel` fires mid-exploration; callers that arm a token must
-    /// use [`StateSpace::try_explore_with`] to observe the cancellation as an error.
+    /// Panics if `options.cancel` fires or `options.memory` exhausts mid-exploration;
+    /// callers that arm either guard must use [`StateSpace::try_explore_with`] to
+    /// observe the interruption as an error.
     pub fn explore_with(net: &PetriNet, options: &ExploreOptions) -> Self {
         Self::try_explore_with(net, options)
-            .expect("exploration cancelled; use try_explore_with with an armed CancelToken")
+            .expect("exploration interrupted; use try_explore_with with armed guards")
     }
 
     /// Explores with explicit width/thread configuration from an arbitrary marking.
@@ -533,28 +569,32 @@ impl StateSpace {
     /// # Panics
     ///
     /// Panics if `initial` does not have one entry per place of `net`, or if
-    /// `options.cancel` fires mid-exploration (use
-    /// [`StateSpace::try_explore_from_with`] for armed tokens).
+    /// `options.cancel` fires or `options.memory` exhausts mid-exploration (use
+    /// [`StateSpace::try_explore_from_with`] for armed guards).
     pub fn explore_from_with(net: &PetriNet, initial: Marking, options: &ExploreOptions) -> Self {
         Self::try_explore_from_with(net, initial, options)
-            .expect("exploration cancelled; use try_explore_from_with with an armed CancelToken")
+            .expect("exploration interrupted; use try_explore_from_with with armed guards")
     }
 
-    /// Cancellable exploration from the initial marking.
+    /// Fallible exploration from the initial marking.
     ///
     /// # Errors
     ///
-    /// [`Cancelled`] when `options.cancel` fires before the exploration completes; the
-    /// partially built space is discarded.
-    pub fn try_explore_with(net: &PetriNet, options: &ExploreOptions) -> Result<Self, Cancelled> {
+    /// [`Interrupt::Cancelled`] when `options.cancel` fires before the exploration
+    /// completes, [`Interrupt::Exhausted`] when a charge against `options.memory`
+    /// fails; either way the partially built space is discarded — a budget violation
+    /// is an error, never a silently truncated space.
+    pub fn try_explore_with(net: &PetriNet, options: &ExploreOptions) -> Result<Self, Interrupt> {
         Self::try_explore_from_with(net, net.initial_marking().clone(), options)
     }
 
-    /// Cancellable exploration from an arbitrary marking.
+    /// Fallible exploration from an arbitrary marking.
     ///
     /// # Errors
     ///
-    /// [`Cancelled`] when `options.cancel` fires before the exploration completes.
+    /// [`Interrupt::Cancelled`] when `options.cancel` fires before the exploration
+    /// completes, [`Interrupt::Exhausted`] when a charge against `options.memory`
+    /// fails.
     ///
     /// # Panics
     ///
@@ -563,7 +603,7 @@ impl StateSpace {
         net: &PetriNet,
         initial: Marking,
         options: &ExploreOptions,
-    ) -> Result<Self, Cancelled> {
+    ) -> Result<Self, Interrupt> {
         assert_eq!(initial.len(), net.place_count(), "marking length mismatch");
         let width = select_width(net, initial.as_slice(), options);
         let threads = options.resolved_threads();
@@ -585,7 +625,7 @@ impl StateSpace {
         options: &ExploreOptions,
         threads: usize,
         width: TokenWidth,
-    ) -> Result<Self, Cancelled> {
+    ) -> Result<Self, Interrupt> {
         let raw = if threads > 1 {
             parallel::explore_parallel::<W>(
                 tables,
@@ -593,10 +633,23 @@ impl StateSpace {
                 options.reach,
                 threads,
                 &options.cancel,
+                &options.memory,
             )?
         } else {
-            explore_seq::<W>(tables, initial, options.reach, &options.cancel)?
+            explore_seq::<W>(
+                tables,
+                initial,
+                options.reach,
+                &options.cancel,
+                &options.memory,
+            )?
         };
+        // The narrow arena widens to `u64` words for the canonical [`StateSpace`];
+        // charge the width delta so a budget covers what the caller actually keeps.
+        let widen_extra = (8 - std::mem::size_of::<W>()) as u64 * raw.arena.len() as u64;
+        if widen_extra > 0 {
+            options.memory.charge(widen_extra, "widen")?;
+        }
         Ok(Self::from_raw(raw, tables.places, width))
     }
 

@@ -64,11 +64,14 @@
 //! never emitted.
 
 use super::arena::TokenWord;
-use super::engine::{NetTables, RawSpace, CANCEL_STRIDE};
+use super::engine::{
+    state_cost, NetTables, RawSpace, CANCEL_STRIDE, EDGE_COST, STAGE_REACHABILITY,
+};
 use super::interner::{Probe, SliceTable};
 use super::{mix, raw_hash, StateId, EMPTY_SLOT};
 use crate::analysis::ReachabilityOptions;
-use crate::cancel::{CancelGate, CancelToken, Cancelled};
+use crate::budget::{Interrupt, MemoryBudget};
+use crate::cancel::{CancelGate, CancelToken};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
 
@@ -205,14 +208,25 @@ struct LevelEntry {
 /// coordinator — which re-checks right after the drain barrier, *before* the admission
 /// pass reads any per-shard record — is then guaranteed to observe the cancellation
 /// too, so truncated record lists are never interpreted. The whole partial exploration
-/// is discarded and [`Cancelled`] returned.
+/// is discarded and [`Interrupt::Cancelled`] returned.
+///
+/// # Memory budget
+///
+/// Only the coordinator charges `memory`, in the admission pass, using the same
+/// canonical cost model and charge order as the sequential engine — so the same net
+/// under the same budget exhausts at the same state with the same error for any
+/// thread count. Shard-transient states (interned before the budget ruled on them)
+/// are not charged; that physical overshoot is bounded by the per-level fan-out and
+/// the `max_markings` clamp, and it is freed with the shards when exhaustion
+/// abandons the run.
 pub(crate) fn explore_parallel<W: TokenWord>(
     tables: &NetTables,
     initial: &[u64],
     options: ReachabilityOptions,
     threads: usize,
     cancel: &CancelToken,
-) -> Result<RawSpace<W>, Cancelled> {
+    memory: &MemoryBudget,
+) -> Result<RawSpace<W>, Interrupt> {
     let places = tables.places;
     let shard_count = threads;
     let shards: Vec<Mutex<Shard<W>>> = (0..shard_count).map(|_| Mutex::new(Shard::new())).collect();
@@ -225,6 +239,12 @@ pub(crate) fn explore_parallel<W: TokenWord>(
         .collect();
     let barrier = Barrier::new(threads + 1);
     let done = AtomicBool::new(false);
+
+    // Only the coordinator charges the budget, replaying the sequential engine's
+    // charge sequence: the seed state here, then states/edges in admission order.
+    let mut meter = memory.meter();
+    let state_bytes = state_cost::<W>(places);
+    meter.charge(state_bytes, STAGE_REACHABILITY)?;
 
     // Seed the initial state: canonical id 0, owned by its hash shard.
     let initial_w: Vec<W> = initial.iter().map(|&k| W::from_u64(k)).collect();
@@ -255,6 +275,7 @@ pub(crate) fn explore_parallel<W: TokenWord>(
     let mut frontier: Vec<StateId> = Vec::new();
     let mut complete = true;
     let mut cancelled = false;
+    let mut interrupted: Option<Interrupt> = None;
 
     std::thread::scope(|scope| {
         for me in 0..threads {
@@ -360,7 +381,7 @@ pub(crate) fn explore_parallel<W: TokenWord>(
             // cut-off decisions.
             let mut next_level: Vec<LevelEntry> = Vec::new();
             let mut cursor = 0usize;
-            for (entry, &count) in level_order.iter().zip(&row_counts) {
+            'admit: for (entry, &count) in level_order.iter().zip(&row_counts) {
                 if entry.frontier {
                     frontier.push(shard_guards[entry.shard as usize].canon[entry.local as usize]);
                     complete = false;
@@ -370,11 +391,24 @@ pub(crate) fn explore_parallel<W: TokenWord>(
                 for &(t, ds, dl) in &resolved[cursor..cursor + count as usize] {
                     let known = shard_guards[ds as usize].canon[dl as usize];
                     if known != EMPTY_SLOT {
+                        if let Err(e) = meter.charge(EDGE_COST, STAGE_REACHABILITY) {
+                            interrupted = Some(e.into());
+                            break 'admit;
+                        }
                         edge_to.push(known);
                         edge_transition.push(t);
                     } else if canon_src.len() >= options.max_markings {
                         complete = false;
                     } else {
+                        // State charge then edge charge — the sequential engine's
+                        // order for a newly admitted successor.
+                        if let Err(e) = meter
+                            .charge(state_bytes, STAGE_REACHABILITY)
+                            .and_then(|()| meter.charge(EDGE_COST, STAGE_REACHABILITY))
+                        {
+                            interrupted = Some(e.into());
+                            break 'admit;
+                        }
                         let id = canon_src.len() as u32;
                         let shard = &mut shard_guards[ds as usize];
                         shard.canon[dl as usize] = id;
@@ -390,6 +424,16 @@ pub(crate) fn explore_parallel<W: TokenWord>(
                 }
                 cursor += count as usize;
                 fwd_offsets.push(edge_to.len() as u32);
+            }
+
+            // Exhaustion abandons the run exactly like cancellation: the partial
+            // level is never handed to the workers and the whole space is discarded.
+            if interrupted.is_some() {
+                drop(outbox_guards);
+                drop(shard_guards);
+                done.store(true, Ordering::SeqCst);
+                barrier.wait();
+                break;
             }
 
             // Hand the next level's work lists to the workers.
@@ -408,7 +452,10 @@ pub(crate) fn explore_parallel<W: TokenWord>(
     });
 
     if cancelled {
-        return Err(Cancelled);
+        return Err(Interrupt::Cancelled);
+    }
+    if let Some(interrupt) = interrupted {
+        return Err(interrupt);
     }
 
     // Renumber the shard arenas into the canonical order: one widened copy per admitted
@@ -607,8 +654,9 @@ mod tests {
             reach,
             1,
             &crate::CancelToken::never(),
+            &crate::MemoryBudget::unlimited(),
         )
-        .expect("never-firing token");
+        .expect("never-firing guards");
         let par = StateSpace::from_raw(raw, net.place_count(), TokenWidth::U8);
         let seq = StateSpace::explore_with(
             &net,
@@ -652,6 +700,7 @@ mod tests {
                 threads,
                 width: TokenWidth::Auto,
                 cancel: crate::CancelToken::new(),
+                memory: crate::MemoryBudget::with_limit(1 << 40),
             };
             let space =
                 StateSpace::try_explore_with(&gallery::figure5(), &armed).expect("never fires");

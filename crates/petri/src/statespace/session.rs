@@ -54,10 +54,14 @@
 //! ```
 
 use super::arena::TokenWord;
-use super::engine::{NetTables, TokenWidth};
+use super::engine::{state_cost, NetTables, TokenWidth};
 use super::interner::{Probe, SliceTable};
 use super::{mix, raw_hash, StateId};
+use crate::budget::{MemoryBudget, ResourceExhausted};
 use crate::{Marking, PetriError, PetriNet, PlaceId, Result, TransitionId};
+
+/// Budget stage reported when interning a checkpoint exceeds the session's budget.
+const STAGE_CHECKPOINT: &str = "checkpoint";
 
 /// Width-generic session state: the current token buffer plus the checkpoint arena.
 #[derive(Debug, Clone)]
@@ -136,6 +140,14 @@ impl<W: TokenWord> Inner<W> {
     }
 
     fn checkpoint(&mut self) -> StateId {
+        self.try_checkpoint(&MemoryBudget::unlimited())
+            .expect("an unlimited budget cannot be exhausted")
+    }
+
+    fn try_checkpoint(
+        &mut self,
+        memory: &MemoryBudget,
+    ) -> std::result::Result<StateId, ResourceExhausted> {
         if self.table.needs_growth() {
             self.table.grow();
         }
@@ -146,14 +158,18 @@ impl<W: TokenWord> Inner<W> {
             let start = id as usize * places;
             &arena[start..start + places]
         }) {
-            Probe::Found(id) => id,
+            Probe::Found(id) => Ok(id),
             Probe::Vacant(slot) => {
+                // Charge *before* growing so exhaustion never leaves a half-interned
+                // checkpoint behind; a re-intern of an already-saved marking (the
+                // `Found` arm) is free and stays available after exhaustion.
+                memory.charge(state_cost::<W>(places), STAGE_CHECKPOINT)?;
                 let id = self.checkpoint_raw.len() as StateId;
                 self.arena.extend_from_slice(&self.current);
                 self.checkpoint_raw.push(self.raw);
                 self.checkpoint_total.push(self.total);
                 self.table.insert_at(slot, mixed, id);
-                id
+                Ok(id)
             }
         }
     }
@@ -262,6 +278,8 @@ pub struct FiringSession {
     core: Core,
     /// Scratch candidate bitmask reused across enabled-set queries.
     mask: Vec<u64>,
+    /// Byte budget charged per newly interned checkpoint and per width upgrade.
+    memory: MemoryBudget,
 }
 
 impl FiringSession {
@@ -343,7 +361,23 @@ impl FiringSession {
             width: resolved,
             core,
             mask,
+            memory: MemoryBudget::unlimited(),
         }
+    }
+
+    /// Attaches a [`MemoryBudget`] to the session, charging it per newly interned
+    /// checkpoint (the engine's canonical per-state cost at the active width) and per
+    /// token-width upgrade (the byte growth of the current marking plus the checkpoint
+    /// arena).
+    ///
+    /// The starting marking (checkpoint 0, interned at construction) is never charged.
+    /// After a charge fails the session itself stays fully usable: firing, undoing,
+    /// rolling back and re-interning already-saved checkpoints are all free; only
+    /// operations that would grow memory keep failing while the budget stays exhausted.
+    #[must_use]
+    pub fn with_memory(mut self, memory: MemoryBudget) -> Self {
+        self.memory = memory;
+        self
     }
 
     /// The width of the active token buffer (never [`TokenWidth::Auto`]). Widens over a
@@ -465,6 +499,9 @@ impl FiringSession {
     ///   left unchanged.
     /// * [`PetriError::TokenOverflow`] if an output place would exceed `u64::MAX`
     ///   (mirroring [`PetriNet::fire`]); the marking is left unchanged.
+    /// * [`PetriError::ResourceExhausted`] if a required width upgrade does not fit the
+    ///   budget attached via [`with_memory`](Self::with_memory); the marking is left
+    ///   unchanged (at the old width) and the session stays usable.
     pub fn fire(&mut self, transition: TransitionId) -> Result<()> {
         let t = transition.index();
         if t >= self.transition_count {
@@ -478,6 +515,19 @@ impl FiringSession {
                 FireOutcome::Fired => return Ok(()),
                 FireOutcome::NotEnabled => return Err(PetriError::NotEnabled(transition)),
                 FireOutcome::Saturated => {
+                    // Charge the widening before re-encoding: the whole session state
+                    // (current marking + checkpoint arena) grows by the word-size
+                    // difference per token slot.
+                    let slots = with_core!(&self.core, inner => inner.current.len() + inner.arena.len())
+                        as u64;
+                    let extra = match self.width {
+                        TokenWidth::U8 => slots,      // 1 → 2 bytes per slot
+                        TokenWidth::U16 => 6 * slots, // 2 → 8 bytes per slot
+                        TokenWidth::U64 | TokenWidth::Auto => 0,
+                    };
+                    if extra > 0 {
+                        self.memory.charge(extra, "widen")?;
+                    }
                     if !self.widen() {
                         return Err(PetriError::TokenOverflow(self.overflow_place(t)));
                     }
@@ -513,8 +563,29 @@ impl FiringSession {
     /// deduplicates through the engine's hash-of-slice table, reusing the incrementally
     /// maintained hash — the marking is never rehashed). Checkpoint id 0 is always the
     /// starting marking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a budget attached via [`with_memory`](Self::with_memory) is exhausted;
+    /// budgeted callers use [`try_checkpoint`](Self::try_checkpoint).
     pub fn checkpoint(&mut self) -> StateId {
-        with_core!(&mut self.core, inner => inner.checkpoint())
+        self.try_checkpoint()
+            .expect("checkpoint exhausted the session budget; use try_checkpoint")
+    }
+
+    /// Fallible [`checkpoint`](Self::checkpoint): interning a *new* marking charges the
+    /// session's [`MemoryBudget`] first and fails with a typed
+    /// [`ResourceExhausted`] when it does not fit — the arena is left exactly as it
+    /// was, and re-interning an already-saved marking still succeeds (deduplication is
+    /// free).
+    ///
+    /// # Errors
+    ///
+    /// [`ResourceExhausted`] (stage `"checkpoint"`) when the budget attached via
+    /// [`with_memory`](Self::with_memory) cannot cover the new checkpoint.
+    pub fn try_checkpoint(&mut self) -> std::result::Result<StateId, ResourceExhausted> {
+        let memory = &self.memory;
+        with_core!(&mut self.core, inner => inner.try_checkpoint(memory))
     }
 
     /// Number of distinct checkpoints interned so far (at least 1: the start).
@@ -710,6 +781,73 @@ mod tests {
         session.fire(net.transition_by_name("t").unwrap()).unwrap();
         assert!(session.is_deadlocked());
         assert!(session.enabled_transitions().is_empty());
+    }
+
+    #[test]
+    fn exhausted_checkpoint_budget_is_typed_and_leaves_the_session_usable() {
+        let net = gallery::figure2();
+        let t1 = net.transition_by_name("t1").unwrap();
+        // Room for a couple of checkpoints beyond the (uncharged) starting marking.
+        let budget = MemoryBudget::with_limit(2 * state_cost::<u8>(net.place_count()));
+        let mut session = FiringSession::new(&net).with_memory(budget.clone());
+
+        session.fire(t1).unwrap();
+        let first = session.try_checkpoint().expect("first checkpoint fits");
+        session.fire(t1).unwrap();
+        session.try_checkpoint().expect("second checkpoint fits");
+        session.fire(t1).unwrap();
+        let err = session.try_checkpoint().expect_err("third must exhaust");
+        assert_eq!(err.stage, "checkpoint");
+        assert_eq!(err.limit_bytes, budget.limit_bytes().unwrap());
+
+        // The failed intern left no trace; the session itself keeps working.
+        assert_eq!(session.checkpoint_count(), 3);
+        session.fire(t1).unwrap();
+        assert_eq!(session.undo(), Some(t1));
+        session.rollback(first);
+        assert_eq!(session.trace_len(), 0);
+        // Re-interning an already-saved marking is deduplication, not growth: free.
+        assert_eq!(session.try_checkpoint().unwrap(), first);
+        // New markings still fail — the budget is sticky, the session is not poisoned.
+        session.fire(t1).unwrap();
+        session.fire(t1).unwrap();
+        assert!(session.try_checkpoint().is_err());
+    }
+
+    #[test]
+    fn widening_charges_the_budget_and_fails_without_corrupting_state() {
+        // A pure source transition pumps one place without bound, forcing u8 -> u16.
+        let mut b = NetBuilder::new("pump");
+        let t = b.transition("t");
+        let p = b.place("p", 0);
+        b.arc_t_p(t, p, 1).unwrap();
+        let net = b.build().unwrap();
+        // Too small for even the one-slot widening charge once the seed checkpoint of
+        // the *armed* path is counted out (seed is uncharged; widening costs 2 slots:
+        // current + the interned start checkpoint).
+        let mut session = FiringSession::new(&net).with_memory(MemoryBudget::with_limit(1));
+        for _ in 0..255 {
+            session.fire(t).unwrap();
+        }
+        let err = session
+            .fire(t)
+            .expect_err("widening must exhaust the budget");
+        assert!(matches!(
+            err,
+            PetriError::ResourceExhausted { stage: "widen", .. }
+        ));
+        // The marking is unchanged at the old width and the session still answers.
+        assert_eq!(session.token_width(), TokenWidth::U8);
+        assert_eq!(session.total_tokens(), 255);
+        assert_eq!(session.undo(), Some(t));
+        assert_eq!(session.total_tokens(), 254);
+        // With headroom the same firing widens and succeeds.
+        let mut roomy = FiringSession::new(&net).with_memory(MemoryBudget::with_limit(1 << 20));
+        for _ in 0..300 {
+            roomy.fire(t).unwrap();
+        }
+        assert_eq!(roomy.token_width(), TokenWidth::U16);
+        assert_eq!(roomy.total_tokens(), 300);
     }
 
     #[test]

@@ -313,6 +313,38 @@ impl ResultCache {
         }
     }
 
+    /// Pressure relief: evicts least-recently-used entries until each shard holds at
+    /// most half the bytes it did — the memory governor's "give the engines room"
+    /// lever when a request cannot be admitted. Returns the bytes released. Hot
+    /// entries survive (eviction is strictly LRU per shard); an already-light cache
+    /// releases little and that is fine — the caller sheds the request either way.
+    pub fn shed_half(&self) -> u64 {
+        let mut released = 0u64;
+        for mutex in &self.shards {
+            let mut shard = match mutex.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let target = shard.bytes / 2;
+            while shard.bytes > target && !shard.map.is_empty() {
+                let victim = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.last_used)
+                    .map(|(key, _)| *key)
+                    .expect("non-empty map has a victim");
+                if let Some(entry) = shard.map.remove(&victim) {
+                    let cost = entry_cost(&entry.response);
+                    shard.bytes -= cost.min(shard.bytes);
+                    released += cost as u64;
+                    self.bytes.fetch_sub(cost as u64, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        released
+    }
+
     /// Fsyncs every attached shard log (drain/shutdown path; routine appends are left
     /// to the OS). No-op without persistence. Returns the first I/O error, after
     /// attempting every shard.

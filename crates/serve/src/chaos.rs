@@ -158,11 +158,12 @@ pub fn probe_cancellation(
 }
 
 /// Sends one request and returns the full response (status, headers, body) — the
-/// harness's byte-comparison primitive.
+/// harness's byte-comparison primitive. Connects with a jittered-backoff retry, since
+/// the harness routinely probes daemons that are mid-restart or shedding connections.
 ///
 /// # Errors
 ///
-/// Propagates connect/request failures.
+/// Propagates request failures, or the last connect failure after the retries.
 pub fn fetch(
     addr: &str,
     method: &str,
@@ -170,7 +171,7 @@ pub fn fetch(
     body: &[u8],
     timeout: Duration,
 ) -> io::Result<ClientResponse> {
-    let mut client = Client::connect(addr, timeout)?;
+    let mut client = Client::connect_with_retry(addr, timeout, 3)?;
     client.request(method, path_and_query, body)
 }
 
@@ -424,15 +425,91 @@ pub fn probe_rate_limit(
 }
 
 /// Asserts the daemon at `addr` answers `/healthz` with `200` within `timeout` —
-/// the "still alive and taking work" check after every fault probe.
+/// the "still alive and taking work" check after every fault probe. Connects with a
+/// jittered-backoff retry so a daemon busy shedding a fault wave is polled, not
+/// declared dead on the first refused socket.
 ///
 /// # Errors
 ///
-/// Propagates connect/request failures.
+/// Propagates request failures, or the last connect failure after the retries.
 pub fn healthz_ok(addr: &str, timeout: Duration) -> io::Result<bool> {
-    let mut client = Client::connect(addr, timeout)?;
+    let mut client = Client::connect_with_retry(addr, timeout, 3)?;
     let response = client.request("GET", "/healthz", b"")?;
     Ok(response.status == 200)
+}
+
+/// What [`probe_memory_pressure`] measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryPressureProbe {
+    /// Memory-bomb requests fired.
+    pub requests: usize,
+    /// `503`s from the process governor (budget could not be reserved).
+    pub shed: usize,
+    /// Typed `503`s from an engine stage exhausting its per-request budget (the body
+    /// carries `stage` / `limit_bytes` / `requested_bytes`).
+    pub exhausted: usize,
+    /// `200`s (possible when the budgets asked for are actually affordable).
+    pub ok: usize,
+    /// Anything else — should stay 0.
+    pub other: usize,
+    /// Whether `/healthz` answered `200` after every round: the daemon degraded, it
+    /// never died.
+    pub healthy_throughout: bool,
+}
+
+/// Memory-pressure probe: fires memory-bomb nets at a daemon running under
+/// `--mem-budget` and verifies it *degrades* instead of dying. Each round sends the
+/// bomb twice — once asking for an enormous per-request budget (which the process
+/// governor must shed with `503` + `Retry-After`) and once with a budget too small
+/// for the exploration (which the engine must fail with the typed exhaustion `503`)
+/// — then checks `/healthz` still answers `200`. Every response is classified; an
+/// abort, OOM kill or hung worker surfaces as a connect/request error instead.
+///
+/// # Errors
+///
+/// Propagates connect/request failures — under this probe the daemon must keep
+/// answering, so a dropped connection is a finding, not noise.
+pub fn probe_memory_pressure(
+    addr: &str,
+    bomb_text: &str,
+    rounds: usize,
+    timeout: Duration,
+) -> io::Result<MemoryPressureProbe> {
+    let mut probe = MemoryPressureProbe {
+        requests: 0,
+        shed: 0,
+        exhausted: 0,
+        ok: 0,
+        other: 0,
+        healthy_throughout: true,
+    };
+    let targets = [
+        // Clamped to the per-request cap, which still dwarfs any sane --mem-budget:
+        // the governor cannot cover it and must shed.
+        format!(
+            "/analyze?checks=reachability&cache=0&memory_budget_bytes={}",
+            u64::MAX
+        ),
+        // Below the 64KiB metering chunk: the engine's first charge fails typed.
+        "/analyze?checks=reachability&cache=0&memory_budget_bytes=4096".to_string(),
+    ];
+    for _ in 0..rounds {
+        for target in &targets {
+            let mut client = Client::connect_with_retry(addr, timeout, 3)?;
+            let response = client.request("POST", target, bomb_text.as_bytes())?;
+            probe.requests += 1;
+            match response.status {
+                200 => probe.ok += 1,
+                503 if response.body.contains("\"stage\"") => probe.exhausted += 1,
+                503 => probe.shed += 1,
+                _ => probe.other += 1,
+            }
+        }
+        if !healthz_ok(addr, timeout)? {
+            probe.healthy_throughout = false;
+        }
+    }
+    Ok(probe)
 }
 
 #[cfg(test)]
@@ -507,6 +584,46 @@ mod tests {
             probe.recovered,
             "tenant should recover after the window: {probe:?}"
         );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn memory_pressure_probe_degrades_without_dying() {
+        let handle = Server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            mem_budget_bytes: Some(1 << 20),
+            ..ServerConfig::default()
+        })
+        .expect("spawn governed daemon");
+        let addr = handle.addr().to_string();
+        let bomb = fcpn_petri::io::to_text(&fcpn_petri::gallery::memory_bomb(6));
+        let probe = probe_memory_pressure(&addr, &bomb, 3, Duration::from_secs(10)).unwrap();
+        assert_eq!(probe.requests, 6);
+        assert!(
+            probe.shed >= 3,
+            "governor should shed huge budgets: {probe:?}"
+        );
+        assert!(
+            probe.exhausted >= 3,
+            "tiny budgets should exhaust typed: {probe:?}"
+        );
+        assert_eq!(probe.other, 0, "no unexpected statuses: {probe:?}");
+        assert!(
+            probe.healthy_throughout,
+            "daemon must stay healthy: {probe:?}"
+        );
+        // After the pressure, a normal request still computes.
+        let net = fcpn_petri::io::to_text(&fcpn_petri::gallery::figure4());
+        let response = fetch(
+            &addr,
+            "POST",
+            "/schedule",
+            net.as_bytes(),
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200);
         handle.shutdown();
     }
 

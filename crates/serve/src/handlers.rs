@@ -42,7 +42,10 @@ use fcpn_petri::analysis::{
     BoundednessOptions, DeadlockReport, LivenessReport, ReachabilityOptions,
 };
 use fcpn_petri::statespace::ExploreOptions;
-use fcpn_petri::{io::parse_net, net_fingerprint, CancelToken, Fingerprint128, PetriNet};
+use fcpn_petri::{
+    io::parse_net, net_fingerprint, CancelToken, Fingerprint128, Interrupt, MemoryBudget, PetriNet,
+    ResourceExhausted,
+};
 use fcpn_qss::{
     quasi_static_schedule, AllocationOptions, ComponentFailure, QssError, QssOptions, QssOutcome,
 };
@@ -67,6 +70,14 @@ pub struct RequestLimits {
     pub max_deadline_ms: u64,
     /// Deadline applied when the request does not name one.
     pub default_deadline_ms: u64,
+    /// Cap on the `memory_budget_bytes` query parameter: the most engine-allocation
+    /// bytes any single request may budget for.
+    pub max_memory_budget_bytes: u64,
+    /// Byte budget applied when the request does not name one. `None` (the default)
+    /// runs unbudgeted requests with unlimited engine memory; the server arms this
+    /// when a process-wide `--mem-budget` is configured, so every request is
+    /// accountable to the governor.
+    pub default_memory_budget_bytes: Option<u64>,
 }
 
 impl Default for RequestLimits {
@@ -82,6 +93,84 @@ impl Default for RequestLimits {
             max_allocations: 1 << 16,
             max_deadline_ms: 30_000,
             default_deadline_ms: 10_000,
+            max_memory_budget_bytes: 1 << 32,
+            default_memory_budget_bytes: None,
+        }
+    }
+}
+
+/// The process-wide memory governor: one shared byte pool every admitted request's
+/// *full effective budget* is reserved against up front.
+///
+/// Reserving the whole budget at admission (instead of tracking live usage) is what
+/// keeps responses deterministic under pressure: a request that is admitted always
+/// runs with exactly the budget its cache key was computed from — memory pressure can
+/// shed a request (503 + `Retry-After`, [`Metrics::rejected_memory`]) but can never
+/// *shrink* one, so a cached body never depends on what else the daemon was doing.
+#[derive(Debug)]
+pub struct MemGovernor {
+    limit: u64,
+    in_use: std::sync::atomic::AtomicU64,
+}
+
+impl MemGovernor {
+    /// A governor over `limit_bytes` of engine-allocation budget.
+    pub fn new(limit_bytes: u64) -> Self {
+        MemGovernor {
+            limit: limit_bytes,
+            in_use: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The configured pool size.
+    pub fn limit_bytes(&self) -> u64 {
+        self.limit
+    }
+
+    /// Bytes currently reserved by in-flight requests (the `mem_bytes_in_use` gauge).
+    pub fn bytes_in_use(&self) -> u64 {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to reserve `bytes` from the pool; `false` means the request must be
+    /// shed. Reservations are all-or-nothing — a partial grant would hand the engines
+    /// a budget the response body was not keyed under.
+    pub fn try_reserve(&self, bytes: u64) -> bool {
+        let mut current = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = current.checked_add(bytes) else {
+                return false;
+            };
+            if next > self.limit {
+                return false;
+            }
+            match self.in_use.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Returns a reservation to the pool (saturating: a stray double-release clamps
+    /// at zero rather than corrupting the gauge).
+    pub fn release(&self, bytes: u64) {
+        let mut current = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.in_use.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
         }
     }
 }
@@ -96,6 +185,9 @@ pub struct HandlerCtx<'a> {
     pub cache: &'a ResultCache,
     /// Request counters.
     pub metrics: &'a Metrics,
+    /// The process memory governor (`--mem-budget`); `None` runs without global
+    /// memory admission control.
+    pub governor: Option<&'a MemGovernor>,
 }
 
 /// A per-request deadline: checked between pipeline stages here, and threaded *into*
@@ -133,6 +225,33 @@ fn cancelled_response(metrics: &Metrics) -> Response {
     metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
     metrics.cancelled_in_stage.fetch_add(1, Ordering::Relaxed);
     Response::error(503, "cancelled mid-stage: deadline exceeded")
+}
+
+/// The `503` for a stage whose [`MemoryBudget`] charge failed: the typed exhaustion
+/// payload plus `Retry-After`, so clients can distinguish "your net needs more budget"
+/// from a blown deadline. Never memoised (503s are excluded from the cache), so a
+/// retry with a bigger budget computes fresh.
+fn exhausted_response(metrics: &Metrics, e: &ResourceExhausted) -> Response {
+    metrics.resource_exhausted.fetch_add(1, Ordering::Relaxed);
+    Response::json(
+        503,
+        Json::obj([
+            ("error", Json::from("memory budget exhausted")),
+            ("stage", Json::from(e.stage)),
+            ("limit_bytes", Json::from(e.limit_bytes)),
+            ("requested_bytes", Json::from(e.requested_bytes)),
+        ])
+        .render(),
+    )
+    .with_header("Retry-After", "1")
+}
+
+/// Maps an engine [`Interrupt`] to the matching load-shed response.
+fn interrupt_response(metrics: &Metrics, interrupt: &Interrupt) -> Response {
+    match interrupt {
+        Interrupt::Cancelled => cancelled_response(metrics),
+        Interrupt::Exhausted(e) => exhausted_response(metrics, e),
+    }
 }
 
 /// Routes an API request. `GET /healthz` and `GET /metrics` are answered by the server
@@ -204,12 +323,34 @@ fn cached_endpoint(ctx: &HandlerCtx<'_>, request: &Request, endpoint: Endpoint) 
         }
     }
 
+    // Admission against the process memory governor: the request's *full* effective
+    // budget is reserved before any engine work starts, and a request that cannot be
+    // covered is shed whole — never run with a smaller budget than its cache key was
+    // computed from. Shedding also halves the response cache, trading cold hits for
+    // headroom so the retry the `Retry-After` invites can land.
+    let reserved = match ctx.governor {
+        None => 0,
+        Some(governor) => {
+            let bytes = options.memory_budget_bytes.unwrap_or(0);
+            if !governor.try_reserve(bytes) {
+                ctx.metrics.rejected_memory.fetch_add(1, Ordering::Relaxed);
+                ctx.cache.shed_half();
+                return Response::error(503, "memory budget unavailable; retry later")
+                    .with_header("Retry-After", "1");
+            }
+            bytes
+        }
+    };
+
     let deadline = Deadline::new(Duration::from_millis(options.deadline_ms));
     let response = match endpoint {
         Endpoint::Schedule => schedule(ctx, &net, &options, &deadline),
         Endpoint::Analyze => analyze(ctx, &net, &options, &deadline),
         Endpoint::Codegen => codegen(ctx, &net, &options, &deadline),
     };
+    if let Some(governor) = ctx.governor {
+        governor.release(reserved);
+    }
     // Deterministic outcomes (including 4xx verdicts about the net itself) are
     // memoised; deadline 503s are not — they depend on load, not on the request.
     if options.use_result_cache && response.status != 503 {
@@ -235,6 +376,8 @@ struct RequestOptions {
     max_tokens_per_place: u64,
     max_nodes: usize,
     deadline_ms: u64,
+    /// Effective engine-allocation byte budget; `None` = unlimited.
+    memory_budget_bytes: Option<u64>,
     /// `/analyze` check selection, as a bitmask over [`CHECKS`].
     checks: u8,
     /// `/codegen` target language.
@@ -283,6 +426,16 @@ impl RequestOptions {
         };
         let deadline_ms =
             parse_u64("deadline_ms", limits.default_deadline_ms)?.clamp(1, limits.max_deadline_ms);
+        let memory_budget_bytes = match request.query_param("memory_budget_bytes") {
+            None => limits
+                .default_memory_budget_bytes
+                .map(|b| b.clamp(1, limits.max_memory_budget_bytes)),
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| bad("memory_budget_bytes"))?
+                    .clamp(1, limits.max_memory_budget_bytes),
+            ),
+        };
 
         let checks = match request.query_param("checks") {
             None => 0b1111u8,
@@ -323,6 +476,7 @@ impl RequestOptions {
             max_tokens_per_place,
             max_nodes,
             deadline_ms,
+            memory_budget_bytes,
             checks,
             rust,
         })
@@ -350,9 +504,21 @@ impl RequestOptions {
         fp.fold(self.max_markings as u64);
         fp.fold(self.max_tokens_per_place);
         fp.fold(self.max_nodes as u64);
+        // The budget changes which error body a too-big net gets, so it is
+        // response-relevant; the presence bit separates "no budget" from any value.
+        fp.fold(self.memory_budget_bytes.is_some() as u64);
+        fp.fold(self.memory_budget_bytes.unwrap_or(0));
         fp.fold(self.checks as u64);
         fp.fold(self.rust as u64);
         fp.finish()
+    }
+
+    /// The per-request engine budget: armed at the effective byte limit, or unlimited.
+    fn memory(&self) -> MemoryBudget {
+        match self.memory_budget_bytes {
+            Some(bytes) => MemoryBudget::with_limit(bytes),
+            None => MemoryBudget::unlimited(),
+        }
     }
 
     fn qss(&self, cancel: CancelToken) -> QssOptions {
@@ -363,6 +529,7 @@ impl RequestOptions {
             reuse_component_cache: self.reuse_component_cache,
             threads: self.threads,
             cancel,
+            memory: self.memory(),
         }
     }
 
@@ -374,6 +541,7 @@ impl RequestOptions {
             },
             threads: self.threads,
             cancel,
+            memory: self.memory(),
             ..ExploreOptions::default()
         }
     }
@@ -407,6 +575,7 @@ fn schedule(
     match quasi_static_schedule(net, &options.qss(deadline.cancel.clone())) {
         Ok(outcome) => Response::json(200, schedule_response_body(net, &outcome)),
         Err(QssError::Cancelled) => cancelled_response(ctx.metrics),
+        Err(QssError::ResourceExhausted(e)) => exhausted_response(ctx.metrics, &e),
         Err(e) => qss_error_response(net, &e),
     }
 }
@@ -546,7 +715,7 @@ fn analyze(
         }
         match fcpn_petri::statespace::StateSpace::try_explore_with(net, &explore) {
             Ok(space) => Some(space),
-            Err(_) => return cancelled_response(ctx.metrics),
+            Err(interrupt) => return interrupt_response(ctx.metrics, &interrupt),
         }
     } else {
         None
@@ -631,7 +800,7 @@ fn analyze(
                 &explore,
             ) {
                 Ok(verdict) => verdict,
-                Err(_) => return cancelled_response(ctx.metrics),
+                Err(interrupt) => return interrupt_response(ctx.metrics, &interrupt),
             },
         };
         results.push((
@@ -677,6 +846,7 @@ fn codegen(
     let outcome = match quasi_static_schedule(net, &options.qss(deadline.cancel.clone())) {
         Ok(outcome) => outcome,
         Err(QssError::Cancelled) => return cancelled_response(ctx.metrics),
+        Err(QssError::ResourceExhausted(e)) => return exhausted_response(ctx.metrics, &e),
         Err(e) => return qss_error_response(net, &e),
     };
     let schedule = match outcome {
@@ -782,6 +952,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         for net in [gallery::figure3a(), gallery::figure4(), gallery::figure5()] {
             let request = post("/schedule", &to_text(&net));
@@ -802,6 +973,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         let request = post("/schedule", &to_text(&gallery::figure4()));
         let first = handle(&ctx, &request);
@@ -825,6 +997,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         let text = to_text(&gallery::figure4());
         handle(&ctx, &post("/schedule?threads=1", &text));
@@ -840,6 +1013,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         let response = handle(&ctx, &post("/schedule", &to_text(&gallery::figure1b())));
         assert_eq!(response.status, 422);
@@ -859,6 +1033,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         let text = to_text(&gallery::choice_chain(6));
         let response = handle(&ctx, &post("/schedule?max_allocations=4", &text));
@@ -877,6 +1052,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         let response = handle(&ctx, &post("/analyze", &to_text(&gallery::figure2())));
         assert_eq!(response.status, 200);
@@ -920,6 +1096,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         let text = to_text(&gallery::figure2());
         let response = handle(&ctx, &post("/analyze?checks=deadlock", &text));
@@ -938,6 +1115,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         let response = handle(&ctx, &post("/codegen", &to_text(&gallery::figure4())));
         assert_eq!(response.status, 200);
@@ -959,6 +1137,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         let response = handle(&ctx, &post("/schedule", "net x\nbogus line"));
         assert_eq!(response.status, 400);
@@ -972,11 +1151,108 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         assert_eq!(handle(&ctx, &post("/nope", "x")).status, 404);
         let mut get = post("/schedule", "");
         get.method = "GET".into();
         assert_eq!(handle(&ctx, &get).status, 405);
+    }
+
+    #[test]
+    fn mem_governor_reserves_whole_budgets_and_releases() {
+        let governor = MemGovernor::new(100);
+        assert!(governor.try_reserve(60));
+        assert_eq!(governor.bytes_in_use(), 60);
+        // All-or-nothing: 50 more does not fit, and nothing is partially taken.
+        assert!(!governor.try_reserve(50));
+        assert_eq!(governor.bytes_in_use(), 60);
+        assert!(governor.try_reserve(40));
+        governor.release(60);
+        governor.release(40);
+        assert_eq!(governor.bytes_in_use(), 0);
+        // A stray double-release clamps at zero instead of wrapping.
+        governor.release(7);
+        assert_eq!(governor.bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn tiny_memory_budget_is_a_typed_503_and_never_cached() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+            governor: None,
+        };
+        let text = to_text(&gallery::figure5());
+        let response = handle(
+            &ctx,
+            &post("/analyze?checks=reachability&memory_budget_bytes=64", &text),
+        );
+        assert_eq!(response.status, 503);
+        let value = parse(&response.body).unwrap();
+        assert_eq!(
+            value.get("error").unwrap().as_str(),
+            Some("memory budget exhausted")
+        );
+        assert_eq!(value.get("stage").unwrap().as_str(), Some("reachability"));
+        assert_eq!(value.get("limit_bytes").unwrap().as_u64(), Some(64));
+        assert!(value.get("requested_bytes").unwrap().as_u64().unwrap() > 0);
+        assert!(response
+            .extra_headers
+            .iter()
+            .any(|(k, v)| k == "Retry-After" && v == "1"));
+        assert_eq!(metrics.resource_exhausted.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 0, "exhaustion 503s must not be memoised");
+        // The same request with a workable budget computes normally.
+        let roomy = handle(
+            &ctx,
+            &post(
+                &format!(
+                    "/analyze?checks=reachability&memory_budget_bytes={}",
+                    1u64 << 28
+                ),
+                &text,
+            ),
+        );
+        assert_eq!(roomy.status, 200);
+    }
+
+    #[test]
+    fn governor_sheds_unaffordable_requests_with_retry_after() {
+        let (limits, cache, metrics) = ctx_parts();
+        let governor = MemGovernor::new(1 << 20);
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+            governor: Some(&governor),
+        };
+        let text = to_text(&gallery::figure4());
+        let shed = handle(
+            &ctx,
+            &post(
+                &format!("/schedule?memory_budget_bytes={}", 1u64 << 21),
+                &text,
+            ),
+        );
+        assert_eq!(shed.status, 503);
+        assert!(shed
+            .extra_headers
+            .iter()
+            .any(|(k, v)| k == "Retry-After" && v == "1"));
+        assert_eq!(metrics.rejected_memory.load(Ordering::Relaxed), 1);
+        // An affordable request is admitted, and its reservation is returned.
+        let admitted = handle(
+            &ctx,
+            &post(
+                &format!("/schedule?memory_budget_bytes={}", 1u64 << 17),
+                &text,
+            ),
+        );
+        assert_eq!(admitted.status, 200);
+        assert_eq!(governor.bytes_in_use(), 0);
     }
 
     #[test]
@@ -986,6 +1262,7 @@ mod tests {
             limits: &limits,
             cache: &cache,
             metrics: &metrics,
+            governor: None,
         };
         let text = to_text(&gallery::figure4());
         for query in [

@@ -72,9 +72,9 @@ mod server;
 pub mod tenant;
 
 pub use cache::{CachedResponse, ResultCache};
-pub use handlers::{schedule_response_body, HandlerCtx, RequestLimits};
+pub use handlers::{schedule_response_body, HandlerCtx, MemGovernor, RequestLimits};
 pub use http::{HttpLimits, IncrementalParser, Request, Response};
-pub use load::{Client, ClientResponse, FanoutReport, FanoutSpec, LoadReport, LoadSpec};
+pub use load::{Backoff, Client, ClientResponse, FanoutReport, FanoutSpec, LoadReport, LoadSpec};
 pub use metrics::{Metrics, RuntimeStats};
 pub use persist::RecoveryStats;
 pub use server::{Server, ServerConfig, ServerHandle};

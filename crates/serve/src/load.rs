@@ -12,6 +12,72 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+/// Jittered exponential backoff for reconnect/retry loops.
+///
+/// Delays double from 10ms up to a 500ms cap, each spread over `[base/2, base]` by a
+/// seeded linear-congruential generator — enough decorrelation that a fleet of
+/// clients reconnecting after a daemon restart does not stampede in lockstep, with no
+/// clock or RNG dependency (the workspace is zero-dependency and the chaos harness
+/// wants reproducible schedules). Seed it with something caller-unique, e.g.
+/// [`Backoff::seeded_from`] over the target address plus a connection index.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    attempt: u32,
+    state: u64,
+}
+
+impl Backoff {
+    const BASE_MS: u64 = 10;
+    const CAP_MS: u64 = 500;
+
+    /// A fresh schedule; `seed` decorrelates this caller's jitter from its peers'.
+    #[must_use]
+    pub fn new(seed: u64) -> Backoff {
+        Backoff {
+            attempt: 0,
+            // Avoid the all-zero LCG fixed point.
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// A schedule seeded from arbitrary bytes (e.g. the target address) and a caller
+    /// index, so every connection in a fleet gets a distinct jitter stream.
+    #[must_use]
+    pub fn seeded_from(bytes: &[u8], index: u64) -> Backoff {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for &b in bytes {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        Backoff::new(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// The next delay in the schedule: exponential base with jitter in
+    /// `[base/2, base]`, capped at 500ms.
+    pub fn next_delay(&mut self) -> Duration {
+        let base = (Backoff::BASE_MS << self.attempt.min(16)).min(Backoff::CAP_MS);
+        self.attempt = self.attempt.saturating_add(1);
+        // Numerical Recipes LCG: fine for jitter, free of dependencies.
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let jitter = (self.state >> 33) % (base / 2 + 1);
+        Duration::from_millis(base - jitter)
+    }
+
+    /// Sleeps for [`Backoff::next_delay`].
+    pub fn sleep(&mut self) {
+        std::thread::sleep(self.next_delay());
+    }
+
+    /// Resets the schedule after a success, so the next failure starts from the
+    /// 10ms base again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
 /// A keep-alive client connection to the daemon.
 #[derive(Debug)]
 pub struct Client {
@@ -53,6 +119,34 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
         })
+    }
+
+    /// [`Client::connect`] with up to `attempts` tries, sleeping a [`Backoff`] delay
+    /// between failures — the right shape for probing a daemon that is restarting or
+    /// shedding connections.
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once every attempt is spent.
+    pub fn connect_with_retry(
+        addr: &str,
+        timeout: Duration,
+        attempts: usize,
+    ) -> io::Result<Client> {
+        let mut backoff = Backoff::seeded_from(addr.as_bytes(), 0);
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            match Client::connect(addr, timeout) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < attempts {
+                        backoff.sleep();
+                    }
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connection attempts made")))
     }
 
     /// Sends one request and reads the full response.
@@ -296,18 +390,24 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> io::Result<LoadReport> {
                         errors: 0,
                     };
                     let mut client = None;
+                    // Reconnects after failures back off exponentially with per-
+                    // connection jitter, so a fleet recovering from a daemon restart
+                    // does not stampede in lockstep.
+                    let mut backoff = Backoff::seeded_from(addr.as_bytes(), conn_index as u64);
                     for i in 0..spec.requests_per_connection {
                         if client.is_none() {
                             client = Client::connect(addr, spec.timeout).ok();
                         }
                         let Some(active) = client.as_mut() else {
                             outcome.errors += 1;
+                            backoff.sleep();
                             continue;
                         };
                         let (_, text) = &spec.nets[(conn_index + i) % spec.nets.len()];
                         let sent = Instant::now();
                         match active.request("POST", &spec.target, text.as_bytes()) {
                             Ok(response) => {
+                                backoff.reset();
                                 outcome
                                     .latencies_us
                                     .push(sent.elapsed().as_secs_f64() * 1e6);
@@ -329,6 +429,7 @@ pub fn run_load(addr: &str, spec: &LoadSpec) -> io::Result<LoadReport> {
                             Err(_) => {
                                 outcome.errors += 1;
                                 client = None; // reconnect on the next request
+                                backoff.sleep();
                             }
                         }
                     }
@@ -827,6 +928,33 @@ mod tests {
         assert_eq!(quantile(&series, 0.50), 51.0);
         assert_eq!(quantile(&series, 0.95), 95.0);
         assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn backoff_is_exponential_jittered_capped_and_deterministic() {
+        let mut a = Backoff::seeded_from(b"127.0.0.1:7411", 3);
+        let mut b = Backoff::seeded_from(b"127.0.0.1:7411", 3);
+        let mut previous_base = 0u64;
+        for attempt in 0..12 {
+            let delay = a.next_delay();
+            assert_eq!(delay, b.next_delay(), "same seed, same schedule");
+            let base = (10u64 << attempt.min(16)).min(500);
+            let ms = delay.as_millis() as u64;
+            assert!(
+                ms >= base / 2 && ms <= base,
+                "attempt {attempt}: {ms}ms outside [{}, {base}]",
+                base / 2
+            );
+            assert!(base >= previous_base, "base never shrinks");
+            previous_base = base;
+        }
+        // Distinct indices decorrelate; reset restarts from the 10ms base.
+        let mut c = Backoff::seeded_from(b"127.0.0.1:7411", 4);
+        let schedule_a: Vec<_> = (0..4).map(|_| a.next_delay()).collect();
+        let schedule_c: Vec<_> = (0..4).map(|_| c.next_delay()).collect();
+        assert_ne!(schedule_a, schedule_c);
+        a.reset();
+        assert!(a.next_delay() <= Duration::from_millis(10));
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub struct Metrics {
     /// as opposed to deadlines caught between stages. Always ≤
     /// [`Metrics::deadline_exceeded`].
     pub cancelled_in_stage: AtomicU64,
+    /// Requests shed with `503` because the process memory governor could not reserve
+    /// their byte budget (only moves with `--mem-budget` armed).
+    pub rejected_memory: AtomicU64,
+    /// Requests whose engine stage failed a charge against its per-request
+    /// [`MemoryBudget`](fcpn_petri::MemoryBudget) — the typed `ResourceExhausted`
+    /// path, answered `503` and never cached.
+    pub resource_exhausted: AtomicU64,
     /// Requests currently being parsed/handled by a worker.
     pub in_flight: AtomicU64,
     /// Connections accepted into the queue.
@@ -75,6 +82,8 @@ impl Metrics {
             open_connections: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             cancelled_in_stage: AtomicU64::new(0),
+            rejected_memory: AtomicU64::new(0),
+            resource_exhausted: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
             persist_recovered_entries: AtomicU64::new(0),
@@ -112,6 +121,10 @@ impl Metrics {
             ("rejected_quota", get(&self.rejected_quota)),
             ("deadline_exceeded", get(&self.deadline_exceeded)),
             ("cancelled_in_stage", get(&self.cancelled_in_stage)),
+            ("rejected_memory", get(&self.rejected_memory)),
+            ("resource_exhausted", get(&self.resource_exhausted)),
+            ("mem_bytes_in_use", Json::from(stats.mem_bytes_in_use)),
+            ("mem_budget_bytes", Json::from(stats.mem_budget_bytes)),
             ("idle_timeouts", get(&self.idle_timeouts)),
             ("deadline_disconnects", get(&self.deadline_disconnects)),
             ("in_flight", get(&self.in_flight)),
@@ -159,6 +172,11 @@ pub struct RuntimeStats {
     pub cache_evictions: u64,
     /// Bytes held by cached bodies.
     pub cache_bytes: u64,
+    /// Bytes the process memory governor currently holds reserved for in-flight
+    /// requests (gauge; 0 when `--mem-budget` is not armed).
+    pub mem_bytes_in_use: u64,
+    /// The process memory governor's total byte budget (0 when not armed).
+    pub mem_budget_bytes: u64,
     /// Requests parked in the dispatch queue right now.
     pub queue_depth: usize,
     /// Dispatch queue capacity.
@@ -197,6 +215,8 @@ mod tests {
             cache_entries: 2,
             cache_evictions: 9,
             cache_bytes: 4096,
+            mem_bytes_in_use: 1234,
+            mem_budget_bytes: 1 << 20,
             queue_depth: 1,
             queue_capacity: 64,
             workers: 8,
@@ -230,6 +250,14 @@ mod tests {
         );
         // Flat scans must hit top-level counters before the nested tenant objects.
         assert!(body.find("\"in_flight\"").unwrap() < body.find("\"tenants\"").unwrap());
+        assert_eq!(value.get("rejected_memory").unwrap().as_u64(), Some(0));
+        assert_eq!(value.get("resource_exhausted").unwrap().as_u64(), Some(0));
+        assert_eq!(value.get("mem_bytes_in_use").unwrap().as_u64(), Some(1234));
+        assert_eq!(
+            value.get("mem_budget_bytes").unwrap().as_u64(),
+            Some(1 << 20)
+        );
+        assert!(body.find("\"mem_bytes_in_use\"").unwrap() < body.find("\"tenants\"").unwrap());
         assert_eq!(value.get("cancelled_in_stage").unwrap().as_u64(), Some(0));
         assert_eq!(value.get("cache_evictions").unwrap().as_u64(), Some(9));
         assert_eq!(value.get("cache_bytes").unwrap().as_u64(), Some(4096));

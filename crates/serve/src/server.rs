@@ -28,7 +28,7 @@
 //! handler answers `500`, never takes down the worker).
 
 use crate::cache::ResultCache;
-use crate::handlers::{self, HandlerCtx, RequestLimits};
+use crate::handlers::{self, HandlerCtx, MemGovernor, RequestLimits};
 use crate::http::{self, HttpError, HttpLimits, Request, Response};
 use crate::metrics::{Metrics, RuntimeStats};
 use crate::tenant::{Admission, TenantGovernor, TenantPolicy};
@@ -98,6 +98,13 @@ pub struct ServerConfig {
     pub http: HttpLimits,
     /// Caps for per-request options.
     pub limits: RequestLimits,
+    /// Process-wide engine-allocation byte pool (`--mem-budget`). When set, every
+    /// request's effective memory budget is reserved against this pool at admission
+    /// and requests that cannot be covered are shed with `503` + `Retry-After`;
+    /// unbudgeted requests are given `limits.default_memory_budget_bytes` (armed
+    /// automatically when absent) so nothing runs unaccounted. `None` (the default)
+    /// disables global memory admission control.
+    pub mem_budget_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +129,7 @@ impl Default for ServerConfig {
             max_requests_per_connection: 4096,
             http: HttpLimits::default(),
             limits: RequestLimits::default(),
+            mem_budget_bytes: None,
         }
     }
 }
@@ -134,6 +142,9 @@ pub(crate) struct Core {
     pub(crate) metrics: Metrics,
     pub(crate) cache: ResultCache,
     pub(crate) tenants: TenantGovernor,
+    /// The process memory governor (`--mem-budget`); `None` runs without global
+    /// memory admission control.
+    pub(crate) governor: Option<MemGovernor>,
     /// Which front end is running (`"reactor"` / `"threaded"`), for `/metrics`.
     pub(crate) front_end: &'static str,
     pub(crate) shutdown: AtomicBool,
@@ -155,7 +166,17 @@ pub(crate) enum Admitted {
 }
 
 impl Core {
-    fn new(config: ServerConfig, front_end: &'static str) -> io::Result<Core> {
+    fn new(mut config: ServerConfig, front_end: &'static str) -> io::Result<Core> {
+        // With a process budget armed, every request must be accountable to it: give
+        // unbudgeted requests a default per-request budget (capped by both the pool
+        // and the per-request maximum) unless the operator already chose one.
+        let governor = config.mem_budget_bytes.map(MemGovernor::new);
+        if let Some(pool) = config.mem_budget_bytes {
+            config
+                .limits
+                .default_memory_budget_bytes
+                .get_or_insert(pool.min(config.limits.max_memory_budget_bytes));
+        }
         let cache = match &config.cache_dir {
             Some(dir) => ResultCache::with_persistence(
                 config.cache_shards,
@@ -179,6 +200,7 @@ impl Core {
             .store(recovery.torn_tail_truncations, Ordering::Relaxed);
         Ok(Core {
             tenants: TenantGovernor::new(config.tenant),
+            governor,
             metrics,
             cache,
             front_end,
@@ -255,6 +277,8 @@ impl Core {
                     cache_entries: self.cache.len(),
                     cache_evictions: self.cache.evictions(),
                     cache_bytes: self.cache.bytes(),
+                    mem_bytes_in_use: self.governor.as_ref().map_or(0, MemGovernor::bytes_in_use),
+                    mem_budget_bytes: self.governor.as_ref().map_or(0, MemGovernor::limit_bytes),
                     queue_depth,
                     queue_capacity: self.config.queue_capacity,
                     workers: self.config.workers,
@@ -266,6 +290,7 @@ impl Core {
                     limits: &self.config.limits,
                     cache: &self.cache,
                     metrics: &self.metrics,
+                    governor: self.governor.as_ref(),
                 };
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     handlers::handle(&ctx, request)

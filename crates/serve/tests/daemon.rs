@@ -404,6 +404,10 @@ fn metrics_exposes_cancellation_and_persistence_counters() {
             "idle_timeouts",
             "deadline_disconnects",
             "open_connections",
+            "rejected_memory",
+            "resource_exhausted",
+            "mem_bytes_in_use",
+            "mem_budget_bytes",
         ] {
             assert!(
                 value.get(key).and_then(|v| v.as_u64()).is_some(),
@@ -415,6 +419,75 @@ fn metrics_exposes_cancellation_and_persistence_counters() {
             front_end,
             Some(if reactor { "reactor" } else { "threaded" }),
             "front_end label must match the serving path"
+        );
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn memory_governed_daemon_sheds_and_exhausts_typed_then_keeps_serving() {
+    // A 1MiB process pool: a request asking for more than the pool is shed by the
+    // governor, a request whose budget is below the 64KiB metering chunk fails with
+    // the typed exhaustion body, and afterwards normal requests still compute with
+    // the governor gauge drained back to zero.
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(
+            reactor,
+            ServerConfig {
+                mem_budget_bytes: Some(1 << 20),
+                ..ServerConfig::default()
+            },
+        );
+        let text = to_text(&gallery::figure4());
+
+        // Unaffordable budget: shed by the governor with the overload contract.
+        let mut c = client(&handle);
+        let shed = c
+            .request(
+                "POST",
+                &format!("/schedule?memory_budget_bytes={}", u64::MAX),
+                text.as_bytes(),
+            )
+            .expect("shed request still gets an answer");
+        assert_eq!(shed.status, 503, "reactor={reactor}");
+        assert_eq!(shed.header("retry-after"), Some("1"));
+
+        // Affordable but too small for the engine: the typed exhaustion body.
+        let mut c2 = client(&handle);
+        let exhausted = c2
+            .request(
+                "POST",
+                "/schedule?memory_budget_bytes=4096&cache=0",
+                text.as_bytes(),
+            )
+            .expect("exhausted request still gets an answer");
+        assert_eq!(exhausted.status, 503, "reactor={reactor}");
+        let body = fcpn_serve::json::parse(&exhausted.body).expect("typed exhaustion is JSON");
+        assert_eq!(
+            body.get("error").and_then(|v| v.as_str()),
+            Some("memory budget exhausted")
+        );
+        assert_eq!(body.get("limit_bytes").and_then(|v| v.as_u64()), Some(4096));
+        assert!(body.get("stage").and_then(|v| v.as_str()).is_some());
+
+        // The daemon keeps serving, and its answers match the library.
+        let mut c3 = client(&handle);
+        let ok = c3
+            .request("POST", "/schedule", text.as_bytes())
+            .expect("normal request");
+        assert_eq!(ok.status, 200, "reactor={reactor}");
+        assert_eq!(ok.body, expected_schedule_body(&gallery::figure4()));
+
+        let metrics = c3.request("GET", "/metrics", b"").expect("metrics");
+        let value = fcpn_serve::json::parse(&metrics.body).expect("metrics is valid JSON");
+        let counter = |key: &str| value.get(key).and_then(|v| v.as_u64()).unwrap();
+        assert!(counter("rejected_memory") >= 1, "reactor={reactor}");
+        assert!(counter("resource_exhausted") >= 1, "reactor={reactor}");
+        assert_eq!(counter("mem_budget_bytes"), 1 << 20);
+        assert_eq!(
+            counter("mem_bytes_in_use"),
+            0,
+            "every reservation must be released (reactor={reactor})"
         );
         handle.shutdown();
     });

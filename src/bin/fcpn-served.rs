@@ -14,7 +14,7 @@
 //!             [--tenant-rate R] [--tenant-burst B] [--tenant-max-inflight N]
 //!             [--cache-entries N] [--cache-bytes N] [--cache-dir PATH]
 //!             [--max-threads N] [--deadline-ms N] [--read-timeout-ms N]
-//!             [--read-deadline-ms N]
+//!             [--read-deadline-ms N] [--mem-budget BYTES]
 //! ```
 //!
 //! On Linux the daemon defaults to the **event-driven reactor** front end (one epoll
@@ -28,6 +28,14 @@
 //! With `--cache-dir`, the result cache persists across restarts: one append-only,
 //! checksummed log per shard under `PATH` (created if absent), warm-loaded at startup
 //! with torn or corrupt tails truncated (counted in the `persist_*` metrics).
+//!
+//! `--mem-budget BYTES` arms the **process memory governor**: every request's
+//! engine-allocation byte budget (the `memory_budget_bytes` query parameter, or the
+//! armed default) is reserved against one process-wide pool at admission. Requests
+//! the pool cannot cover are shed with `503` + `Retry-After` (and the result cache is
+//! halved for headroom) instead of growing the heap — the daemon degrades, it never
+//! dies. `/metrics` reports `mem_bytes_in_use`, `mem_budget_bytes`, `rejected_memory`
+//! and `resource_exhausted`.
 
 use fcpn_serve::{Server, ServerConfig};
 use std::time::Duration;
@@ -38,7 +46,8 @@ fn usage() -> ! {
          [--reactor | --threaded] [--max-conns N] [--idle-timeout-ms N] \
          [--tenant-rate R] [--tenant-burst B] [--tenant-max-inflight N] \
          [--cache-entries N] [--cache-bytes N] [--cache-dir PATH] [--max-threads N] \
-         [--deadline-ms N] [--read-timeout-ms N] [--read-deadline-ms N]"
+         [--deadline-ms N] [--read-timeout-ms N] [--read-deadline-ms N] \
+         [--mem-budget BYTES]"
     );
     std::process::exit(2);
 }
@@ -127,6 +136,7 @@ fn main() {
             "--idle-timeout-ms" => {
                 config.idle_timeout = Duration::from_millis(parse_num(i).max(1));
             }
+            "--mem-budget" => config.mem_budget_bytes = Some(parse_num(i).max(1)),
             "--tenant-rate" => config.tenant.rate = parse_f64(i).max(0.0),
             "--tenant-burst" => config.tenant.burst = parse_f64(i).max(1.0),
             "--tenant-max-inflight" => config.tenant.max_in_flight = parse_num(i) as u32,

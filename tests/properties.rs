@@ -467,9 +467,10 @@ fn assert_variants_canonical(net: &PetriNet, options: ReachabilityOptions, label
             );
         }
     }
-    // An armed but never-fired cancellation token is pure observation: the graph it
-    // yields must be the canonical one, bit for bit, sequential and sharded alike.
-    for threads in [1usize, 4] {
+    // Armed but never-tripped guards — a live cancellation token and a memory budget
+    // the exploration never reaches — are pure observation: the graph they yield must
+    // be the canonical one, bit for bit, sequential and sharded alike.
+    for threads in [1usize, 2, 4] {
         let watched = StateSpace::try_explore_with(
             net,
             &ExploreOptions {
@@ -477,10 +478,11 @@ fn assert_variants_canonical(net: &PetriNet, options: ReachabilityOptions, label
                 threads,
                 width: TokenWidth::U64,
                 cancel: fcpn::petri::cancel::CancelToken::new(),
+                memory: fcpn::petri::MemoryBudget::with_limit(1 << 40),
             },
         )
-        .expect("an armed-but-idle token never cancels");
-        let tag = format!("{label} [armed-cancel t{threads}]");
+        .expect("armed-but-unreached guards never interrupt");
+        let tag = format!("{label} [armed-guards t{threads}]");
         assert_eq!(
             watched.state_count(),
             baseline.state_count(),
@@ -560,7 +562,10 @@ fn engine_variants_are_canonical_on_every_gallery_net() {
 
 #[test]
 fn engine_variants_are_canonical_on_random_nets() {
-    for seed in 0..32u64 {
+    // 64 seeded random nets in total (48 dense + 16 free-choice trees), each checked
+    // across every width/thread variant plus the armed-guards (live token + budget)
+    // paths at 1/2/4 threads.
+    for seed in 0..48u64 {
         let mut rng = StdRng::seed_from_u64(0xACE ^ seed);
         let net = random_net(&mut rng);
         let options = ReachabilityOptions {
@@ -569,10 +574,62 @@ fn engine_variants_are_canonical_on_random_nets() {
         };
         assert_variants_canonical(&net, options, &format!("random net seed {seed}"));
     }
-    for seed in 0..8u64 {
+    for seed in 0..16u64 {
         let mut rng = StdRng::seed_from_u64(0xD1CE ^ seed);
         let net = free_choice_tree(&mut rng);
         assert_variants_canonical(&net, truncated(), &format!("fc tree seed {seed}"));
+    }
+}
+
+#[test]
+fn memory_exhaustion_is_deterministic_across_engines() {
+    // The budget charges the canonical cost model in admission order, so the same net
+    // under the same byte limit must fail with the *same* typed error — same stage,
+    // same requested_bytes — no matter how many worker threads raced to discover
+    // states, and regardless of token width.
+    for (label, net, limit) in [
+        ("figure5", fcpn::petri::gallery::figure5(), 2_000u64),
+        (
+            "memory_bomb(5)",
+            fcpn::petri::gallery::memory_bomb(5),
+            4_096,
+        ),
+        ("cycle_bank(8)", fcpn::petri::gallery::cycle_bank(8), 1_024),
+    ] {
+        let reach = ReachabilityOptions {
+            max_markings: 200_000,
+            max_tokens_per_place: 16,
+        };
+        // Per-state cost is a function of the token width, so compare thread counts
+        // within each fixed width (Auto resolves identically for the same net).
+        for width in [TokenWidth::U64, TokenWidth::Auto] {
+            let mut errors = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let err = StateSpace::try_explore_with(
+                    &net,
+                    &ExploreOptions {
+                        reach,
+                        threads,
+                        width,
+                        memory: fcpn::petri::MemoryBudget::with_limit(limit),
+                        ..ExploreOptions::default()
+                    },
+                )
+                .expect_err("tight budget must exhaust");
+                errors.push((threads, err));
+            }
+            let (_, first) = &errors[0];
+            assert!(
+                matches!(first, fcpn::petri::Interrupt::Exhausted(_)),
+                "{label} [{width:?}]: expected an exhaustion error, got {first:?}"
+            );
+            for (threads, err) in &errors[1..] {
+                assert_eq!(
+                    err, first,
+                    "{label} [{width:?}]: threads={threads} diverged from the sequential error"
+                );
+            }
+        }
     }
 }
 

@@ -259,6 +259,20 @@ fn assert_schedules_equal(net: &PetriNet, label: &str) {
             "{label}: armed-but-idle cancel token changed the outcome (threads={threads})"
         );
     }
+    // Same contract for the memory budget: armed-but-unreached charges only count,
+    // they never steer, so a roomy budget leaves the outcome bit-identical too.
+    for threads in [1usize, 2, 4] {
+        let budgeted = QssOptions {
+            threads,
+            memory: fcpn::petri::MemoryBudget::with_limit(1 << 40),
+            ..QssOptions::default()
+        };
+        let governed = quasi_static_schedule(net, &budgeted).expect(label);
+        assert_eq!(
+            naive, governed,
+            "{label}: armed-but-unreached memory budget changed the outcome (threads={threads})"
+        );
+    }
 }
 
 #[test]
@@ -282,6 +296,36 @@ fn scheduler_outcome_is_bit_identical_on_random_free_choice_nets() {
         let mut rng = StdRng::seed_from_u64(0xD1CE ^ seed);
         let net = random_free_choice(&mut rng);
         assert_schedules_equal(&net, &format!("random fc seed {seed}"));
+    }
+}
+
+#[test]
+fn scheduler_exhaustion_is_deterministic_across_thread_counts() {
+    // The scheduler's charges are thread-count-invariant (one workspace charge up
+    // front, then retained results in seed order after the merge), so the same net
+    // under the same too-small budget must fail with the *same* typed error — same
+    // stage, same requested bytes — whether the sweep ran sequential or sharded.
+    for (net, limit) in [
+        (gallery::choice_chain(6), 256u64),
+        (gallery::figure5(), 128u64),
+    ] {
+        let label = net.name().to_string();
+        let mut errors = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let options = QssOptions {
+                threads,
+                memory: fcpn::petri::MemoryBudget::with_limit(limit),
+                ..QssOptions::default()
+            };
+            match quasi_static_schedule(&net, &options) {
+                Err(fcpn::qss::QssError::ResourceExhausted(e)) => errors.push(e),
+                other => panic!("{label}: expected exhaustion at threads={threads}, got {other:?}"),
+            }
+        }
+        assert!(
+            errors.windows(2).all(|w| w[0] == w[1]),
+            "{label}: exhaustion error differed across thread counts: {errors:?}"
+        );
     }
 }
 
