@@ -29,7 +29,7 @@
 //!    burst past the bucket earns `429`s with a parseable `Retry-After`, and waiting
 //!    out the window restores service (other probes never see throttling).
 //! 6. **memory-pressure** — against a daemon started with `--mem-budget`: memory-bomb
-//!    nets asking for unaffordable budgets are shed (`503` + `Retry-After`,
+//!    nets asking for budgets bigger than the pool are rejected outright (`400`,
 //!    `rejected_memory`), nets with too-small budgets fail with the typed exhaustion
 //!    `503` (`resource_exhausted`), `/healthz` answers `200` throughout, and a
 //!    post-pressure `/schedule` answer is byte-identical to the library oracle.
@@ -271,15 +271,15 @@ fn memory_pressure(binary: &str) -> Result<(), String> {
     if !probe.healthy_throughout {
         return Err(format!("healthz failed under pressure: {probe:?}"));
     }
-    if probe.shed == 0 || probe.exhausted == 0 || probe.other != 0 {
+    if probe.rejected == 0 || probe.exhausted == 0 || probe.other != 0 {
         return Err(format!(
-            "expected both shed and typed-exhausted 503s and nothing else: {probe:?}"
+            "expected over-pool 400 rejections and typed-exhausted 503s and nothing else: {probe:?}"
         ));
     }
     let metrics = fetch(&addr, "GET", "/metrics", b"", Duration::from_secs(5))
         .map_err(|e| format!("metrics fetch: {e}"))?;
     for (key, at_least) in [
-        ("rejected_memory", probe.shed as u64),
+        ("rejected_memory", (probe.rejected + probe.shed) as u64),
         ("resource_exhausted", probe.exhausted as u64),
         ("mem_budget_bytes", 1_048_576),
     ] {
@@ -306,8 +306,8 @@ fn memory_pressure(binary: &str) -> Result<(), String> {
         ));
     }
     println!(
-        "      [mem] {} shed, {} typed-exhausted over {} requests, healthy throughout",
-        probe.shed, probe.exhausted, probe.requests
+        "      [mem] {} rejected, {} shed, {} typed-exhausted over {} requests, healthy throughout",
+        probe.rejected, probe.shed, probe.exhausted, probe.requests
     );
     Ok(())
 }

@@ -200,17 +200,31 @@ impl MemoryBudget {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        let prior = inner.used.fetch_add(bytes, Ordering::AcqRel);
-        if prior.saturating_add(bytes) > inner.limit {
-            inner.used.fetch_sub(bytes, Ordering::AcqRel);
-            inner.exhausted.store(true, Ordering::Release);
-            return Err(ResourceExhausted {
-                limit_bytes: inner.limit,
-                requested_bytes: bytes,
-                stage,
-            });
+        // Compare-exchange rather than fetch_add-then-rollback: a failing charge must
+        // never transiently inflate `used`, or a concurrent charge that would fit
+        // could spuriously fail and stickily exhaust the budget.
+        let mut current = inner.used.load(Ordering::Acquire);
+        loop {
+            // `current <= limit` is an invariant (only in-limit values are ever
+            // installed), so the subtraction cannot underflow.
+            if bytes > inner.limit - current {
+                inner.exhausted.store(true, Ordering::Release);
+                return Err(ResourceExhausted {
+                    limit_bytes: inner.limit,
+                    requested_bytes: bytes,
+                    stage,
+                });
+            }
+            match inner.used.compare_exchange_weak(
+                current,
+                current + bytes,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(seen) => current = seen,
+            }
         }
-        Ok(())
     }
 
     /// Returns previously charged bytes to the budget (saturating at zero). Does not
@@ -303,7 +317,10 @@ impl BudgetMeter {
         let need = bytes - self.held;
         let reserve = need.max(METER_CHUNK);
         self.budget.charge(reserve, stage)?;
-        self.held += reserve - bytes;
+        // Left-to-right: `reserve >= bytes - held`, so `held + reserve` covers
+        // `bytes`, but `reserve - bytes` alone underflows whenever a charge larger
+        // than the chunk arrives while an allowance is held.
+        self.held = self.held + reserve - bytes;
         Ok(())
     }
 
@@ -424,6 +441,30 @@ mod tests {
         let mut meter = budget.meter();
         meter.charge(5 * METER_CHUNK, "bulk").unwrap();
         assert_eq!(budget.bytes_in_use(), 5 * METER_CHUNK);
+    }
+
+    #[test]
+    fn oversized_charge_with_held_allowance_does_not_underflow() {
+        // Regression: a charge larger than METER_CHUNK while `held > 0` (small
+        // per-edge charges interleaved with big per-state charges, exactly what the
+        // explorers do on wide nets) used to compute `reserve - bytes` first and
+        // underflow u64 in any overflow-checked build.
+        let budget = MemoryBudget::with_limit(100 * METER_CHUNK);
+        let mut meter = budget.meter();
+        meter.charge(16, "edge").unwrap();
+        let held_before = METER_CHUNK - 16;
+        meter.charge(3 * METER_CHUNK, "state").unwrap();
+        // The refill reserved exactly the shortfall, leaving the allowance empty.
+        assert_eq!(
+            budget.bytes_in_use(),
+            METER_CHUNK + (3 * METER_CHUNK - held_before)
+        );
+        drop(meter);
+        assert_eq!(
+            budget.bytes_in_use(),
+            16 + 3 * METER_CHUNK,
+            "only consumed bytes stay charged after the meter returns its slack"
+        );
     }
 
     #[test]

@@ -325,15 +325,24 @@ impl ResultCache {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
+            if shard.map.is_empty() {
+                continue;
+            }
+            // One O(n log n) sort instead of a min-scan per eviction: this runs while
+            // holding the shard mutex under memory pressure, exactly when stalling
+            // every request hashed to the shard would hurt most.
             let target = shard.bytes / 2;
-            while shard.bytes > target && !shard.map.is_empty() {
-                let victim = shard
-                    .map
-                    .iter()
-                    .min_by_key(|(_, entry)| entry.last_used)
-                    .map(|(key, _)| *key)
-                    .expect("non-empty map has a victim");
-                if let Some(entry) = shard.map.remove(&victim) {
+            let mut order: Vec<(u64, u128)> = shard
+                .map
+                .iter()
+                .map(|(key, entry)| (entry.last_used, *key))
+                .collect();
+            order.sort_unstable();
+            for (_, key) in order {
+                if shard.bytes <= target {
+                    break;
+                }
+                if let Some(entry) = shard.map.remove(&key) {
                     let cost = entry_cost(&entry.response);
                     shard.bytes -= cost.min(shard.bytes);
                     released += cost as u64;
@@ -501,6 +510,40 @@ mod tests {
         assert!(cache.len() <= 2, "byte budget caps residency at 2 entries");
         assert!(cache.evictions() >= 8);
         assert!(cache.bytes() <= 2 * (body.len() + ENTRY_OVERHEAD) as u64);
+    }
+
+    #[test]
+    fn shed_half_halves_bytes_and_keeps_the_hottest_entries() {
+        let cache = ResultCache::with_limits(1, 64, 1 << 20);
+        let body = "x".repeat(256);
+        for key in 0..8u128 {
+            cache.insert(key, entry(&body));
+        }
+        // Touch the upper half so the lower half is the LRU shed victim set.
+        for key in 4..8u128 {
+            assert!(cache.get(key).is_some());
+        }
+        let before = cache.bytes();
+        let released = cache.shed_half();
+        assert!(released > 0);
+        assert_eq!(cache.bytes(), before - released);
+        assert!(
+            cache.bytes() <= before / 2,
+            "shed reaches the half-byte target"
+        );
+        for key in 4..8u128 {
+            assert!(
+                cache.get(key).is_some(),
+                "recently used entry {key} survives"
+            );
+        }
+        for key in 0..4u128 {
+            assert!(cache.get(key).is_none(), "LRU entry {key} is shed first");
+        }
+        // An empty cache sheds nothing and does not wrap the gauges.
+        let empty = ResultCache::new(2, 8);
+        assert_eq!(empty.shed_half(), 0);
+        assert_eq!(empty.bytes(), 0);
     }
 
     #[test]

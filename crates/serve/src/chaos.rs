@@ -443,7 +443,11 @@ pub fn healthz_ok(addr: &str, timeout: Duration) -> io::Result<bool> {
 pub struct MemoryPressureProbe {
     /// Memory-bomb requests fired.
     pub requests: usize,
-    /// `503`s from the process governor (budget could not be reserved).
+    /// `400`s from the process governor: the budget asked for exceeds the pool, so no
+    /// retry can ever make it admissible.
+    pub rejected: usize,
+    /// `503`s from the process governor (budget affordable, but the pool was held by
+    /// in-flight work at that moment).
     pub shed: usize,
     /// Typed `503`s from an engine stage exhausting its per-request budget (the body
     /// carries `stage` / `limit_bytes` / `requested_bytes`).
@@ -459,11 +463,12 @@ pub struct MemoryPressureProbe {
 
 /// Memory-pressure probe: fires memory-bomb nets at a daemon running under
 /// `--mem-budget` and verifies it *degrades* instead of dying. Each round sends the
-/// bomb twice — once asking for an enormous per-request budget (which the process
-/// governor must shed with `503` + `Retry-After`) and once with a budget too small
-/// for the exploration (which the engine must fail with the typed exhaustion `503`)
-/// — then checks `/healthz` still answers `200`. Every response is classified; an
-/// abort, OOM kill or hung worker surfaces as a connect/request error instead.
+/// bomb twice — once asking for a per-request budget bigger than the whole pool
+/// (which the process governor must reject with a non-retryable `400`) and once with
+/// a budget too small for the exploration (which the engine must fail with the typed
+/// exhaustion `503`) — then checks `/healthz` still answers `200`. Every response is
+/// classified; an abort, OOM kill or hung worker surfaces as a connect/request error
+/// instead.
 ///
 /// # Errors
 ///
@@ -477,6 +482,7 @@ pub fn probe_memory_pressure(
 ) -> io::Result<MemoryPressureProbe> {
     let mut probe = MemoryPressureProbe {
         requests: 0,
+        rejected: 0,
         shed: 0,
         exhausted: 0,
         ok: 0,
@@ -485,7 +491,7 @@ pub fn probe_memory_pressure(
     };
     let targets = [
         // Clamped to the per-request cap, which still dwarfs any sane --mem-budget:
-        // the governor cannot cover it and must shed.
+        // the governor can never cover it and must reject it outright.
         format!(
             "/analyze?checks=reachability&cache=0&memory_budget_bytes={}",
             u64::MAX
@@ -500,6 +506,7 @@ pub fn probe_memory_pressure(
             probe.requests += 1;
             match response.status {
                 200 => probe.ok += 1,
+                400 if response.body.contains("memory pool") => probe.rejected += 1,
                 503 if response.body.contains("\"stage\"") => probe.exhausted += 1,
                 503 => probe.shed += 1,
                 _ => probe.other += 1,
@@ -601,8 +608,8 @@ mod tests {
         let probe = probe_memory_pressure(&addr, &bomb, 3, Duration::from_secs(10)).unwrap();
         assert_eq!(probe.requests, 6);
         assert!(
-            probe.shed >= 3,
-            "governor should shed huge budgets: {probe:?}"
+            probe.rejected >= 3,
+            "governor should reject over-pool budgets outright: {probe:?}"
         );
         assert!(
             probe.exhausted >= 3,

@@ -107,6 +107,10 @@ impl Default for RequestLimits {
 /// runs with exactly the budget its cache key was computed from — memory pressure can
 /// shed a request (503 + `Retry-After`, [`Metrics::rejected_memory`]) but can never
 /// *shrink* one, so a cached body never depends on what else the daemon was doing.
+///
+/// A budget larger than the pool itself is refused with a `400` instead: no retry can
+/// ever make it admissible, so inviting one (and shedding cache for it) would only
+/// hand hostile clients a free cache-flush loop.
 #[derive(Debug)]
 pub struct MemGovernor {
     limit: u64,
@@ -156,6 +160,17 @@ impl MemGovernor {
         }
     }
 
+    /// Reserves `bytes` for the lifetime of the returned guard, which releases on
+    /// drop — including the unwind path, so a panicking handler (the server keeps
+    /// serving via `catch_unwind`) cannot leak pool bytes. `None` means the request
+    /// must be shed.
+    pub fn reserve(&self, bytes: u64) -> Option<MemReservation<'_>> {
+        self.try_reserve(bytes).then_some(MemReservation {
+            governor: self,
+            bytes,
+        })
+    }
+
     /// Returns a reservation to the pool (saturating: a stray double-release clamps
     /// at zero rather than corrupting the gauge).
     pub fn release(&self, bytes: u64) {
@@ -172,6 +187,20 @@ impl MemGovernor {
                 Err(actual) => current = actual,
             }
         }
+    }
+}
+
+/// An RAII hold on part of the [`MemGovernor`] pool: the bytes go back when the
+/// guard drops, on the normal return path and on unwind alike.
+#[derive(Debug)]
+pub struct MemReservation<'a> {
+    governor: &'a MemGovernor,
+    bytes: u64,
+}
+
+impl Drop for MemReservation<'_> {
+    fn drop(&mut self) {
+        self.governor.release(self.bytes);
     }
 }
 
@@ -326,19 +355,36 @@ fn cached_endpoint(ctx: &HandlerCtx<'_>, request: &Request, endpoint: Endpoint) 
     // Admission against the process memory governor: the request's *full* effective
     // budget is reserved before any engine work starts, and a request that cannot be
     // covered is shed whole — never run with a smaller budget than its cache key was
-    // computed from. Shedding also halves the response cache, trading cold hits for
-    // headroom so the retry the `Retry-After` invites can land.
-    let reserved = match ctx.governor {
-        None => 0,
+    // computed from. A budget the pool could never cover is a client error (a retry
+    // cannot help, so no Retry-After and no cache shedding a cheap hostile loop could
+    // exploit); a budget that merely doesn't fit *right now* is genuine contention,
+    // so the daemon sheds it retryable and halves the response cache, trading cold
+    // hits for headroom so the invited retry can land. The reservation is an RAII
+    // guard: it returns to the pool on drop, even if the handler panics.
+    let _reserved = match ctx.governor {
+        None => None,
         Some(governor) => {
             let bytes = options.memory_budget_bytes.unwrap_or(0);
-            if !governor.try_reserve(bytes) {
+            if bytes > governor.limit_bytes() {
                 ctx.metrics.rejected_memory.fetch_add(1, Ordering::Relaxed);
-                ctx.cache.shed_half();
-                return Response::error(503, "memory budget unavailable; retry later")
-                    .with_header("Retry-After", "1");
+                return Response::error(
+                    400,
+                    &format!(
+                        "memory_budget_bytes={bytes} exceeds the server's memory pool \
+                         of {} bytes",
+                        governor.limit_bytes()
+                    ),
+                );
             }
-            bytes
+            match governor.reserve(bytes) {
+                Some(guard) => Some(guard),
+                None => {
+                    ctx.metrics.rejected_memory.fetch_add(1, Ordering::Relaxed);
+                    ctx.cache.shed_half();
+                    return Response::error(503, "memory budget unavailable; retry later")
+                        .with_header("Retry-After", "1");
+                }
+            }
         }
     };
 
@@ -348,9 +394,6 @@ fn cached_endpoint(ctx: &HandlerCtx<'_>, request: &Request, endpoint: Endpoint) 
         Endpoint::Analyze => analyze(ctx, &net, &options, &deadline),
         Endpoint::Codegen => codegen(ctx, &net, &options, &deadline),
     };
-    if let Some(governor) = ctx.governor {
-        governor.release(reserved);
-    }
     // Deterministic outcomes (including 4xx verdicts about the net itself) are
     // memoised; deadline 503s are not — they depend on load, not on the request.
     if options.use_result_cache && response.status != 503 {
@@ -1220,7 +1263,7 @@ mod tests {
     }
 
     #[test]
-    fn governor_sheds_unaffordable_requests_with_retry_after() {
+    fn governor_rejects_over_pool_budgets_without_inviting_retries() {
         let (limits, cache, metrics) = ctx_parts();
         let governor = MemGovernor::new(1 << 20);
         let ctx = HandlerCtx {
@@ -1230,10 +1273,59 @@ mod tests {
             governor: Some(&governor),
         };
         let text = to_text(&gallery::figure4());
-        let shed = handle(
+        // Seed the cache so we can observe that a never-admissible request does not
+        // flush it (that would be a free cache-flush loop for hostile clients).
+        let warm = handle(&ctx, &post("/schedule", &text));
+        assert_eq!(warm.status, 200);
+        let cached_before = cache.len();
+        assert!(cached_before > 0);
+
+        let rejected = handle(
             &ctx,
             &post(
                 &format!("/schedule?memory_budget_bytes={}", 1u64 << 21),
+                &text,
+            ),
+        );
+        assert_eq!(
+            rejected.status, 400,
+            "over-pool budget can never be admitted"
+        );
+        assert!(
+            !rejected
+                .extra_headers
+                .iter()
+                .any(|(k, _)| k == "Retry-After"),
+            "a retry cannot help, so none is invited"
+        );
+        assert_eq!(metrics.rejected_memory.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            cache.len(),
+            cached_before,
+            "never-admissible requests must not shed the cache"
+        );
+    }
+
+    #[test]
+    fn governor_sheds_contended_requests_with_retry_after() {
+        let (limits, cache, metrics) = ctx_parts();
+        let governor = MemGovernor::new(1 << 20);
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+            governor: Some(&governor),
+        };
+        let text = to_text(&gallery::figure4());
+        // Simulate an in-flight request holding most of the pool: an affordable
+        // budget that does not fit *right now* is shed retryable.
+        let in_flight = governor
+            .reserve((1 << 20) - (1 << 16))
+            .expect("pool is free");
+        let shed = handle(
+            &ctx,
+            &post(
+                &format!("/schedule?memory_budget_bytes={}&cache=0", 1u64 << 17),
                 &text,
             ),
         );
@@ -1243,11 +1335,18 @@ mod tests {
             .iter()
             .any(|(k, v)| k == "Retry-After" && v == "1"));
         assert_eq!(metrics.rejected_memory.load(Ordering::Relaxed), 1);
-        // An affordable request is admitted, and its reservation is returned.
+        drop(in_flight);
+        assert_eq!(
+            governor.bytes_in_use(),
+            0,
+            "the guard returns its bytes on drop"
+        );
+        // With the pool free again the same request is admitted, and its reservation
+        // is returned once the response is built.
         let admitted = handle(
             &ctx,
             &post(
-                &format!("/schedule?memory_budget_bytes={}", 1u64 << 17),
+                &format!("/schedule?memory_budget_bytes={}&cache=0", 1u64 << 17),
                 &text,
             ),
         );

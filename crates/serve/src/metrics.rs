@@ -44,8 +44,10 @@ pub struct Metrics {
     /// as opposed to deadlines caught between stages. Always ≤
     /// [`Metrics::deadline_exceeded`].
     pub cancelled_in_stage: AtomicU64,
-    /// Requests shed with `503` because the process memory governor could not reserve
-    /// their byte budget (only moves with `--mem-budget` armed).
+    /// Requests the process memory governor refused: shed with `503` + `Retry-After`
+    /// when the pool is contended by in-flight work, or rejected with `400` when the
+    /// budget asked for exceeds the pool outright (only moves with `--mem-budget`
+    /// armed).
     pub rejected_memory: AtomicU64,
     /// Requests whose engine stage failed a charge against its per-request
     /// [`MemoryBudget`](fcpn_petri::MemoryBudget) — the typed `ResourceExhausted`

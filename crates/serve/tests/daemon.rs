@@ -426,10 +426,11 @@ fn metrics_exposes_cancellation_and_persistence_counters() {
 
 #[test]
 fn memory_governed_daemon_sheds_and_exhausts_typed_then_keeps_serving() {
-    // A 1MiB process pool: a request asking for more than the pool is shed by the
-    // governor, a request whose budget is below the 64KiB metering chunk fails with
-    // the typed exhaustion body, and afterwards normal requests still compute with
-    // the governor gauge drained back to zero.
+    // A 1MiB process pool: a request asking for more than the whole pool is rejected
+    // outright (non-retryable 400 — no retry can make it fit), a request whose budget
+    // is below the 64KiB metering chunk fails with the typed exhaustion body, and
+    // afterwards normal requests still compute with the governor gauge drained back
+    // to zero.
     for_each_front_end(|reactor| {
         let handle = spawn_on(
             reactor,
@@ -440,17 +441,18 @@ fn memory_governed_daemon_sheds_and_exhausts_typed_then_keeps_serving() {
         );
         let text = to_text(&gallery::figure4());
 
-        // Unaffordable budget: shed by the governor with the overload contract.
+        // A budget the pool can never cover: rejected as a client error, without the
+        // Retry-After that would invite futile retries.
         let mut c = client(&handle);
-        let shed = c
+        let rejected = c
             .request(
                 "POST",
                 &format!("/schedule?memory_budget_bytes={}", u64::MAX),
                 text.as_bytes(),
             )
-            .expect("shed request still gets an answer");
-        assert_eq!(shed.status, 503, "reactor={reactor}");
-        assert_eq!(shed.header("retry-after"), Some("1"));
+            .expect("rejected request still gets an answer");
+        assert_eq!(rejected.status, 400, "reactor={reactor}");
+        assert_eq!(rejected.header("retry-after"), None);
 
         // Affordable but too small for the engine: the typed exhaustion body.
         let mut c2 = client(&handle);
