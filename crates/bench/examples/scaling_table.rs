@@ -11,6 +11,11 @@
 //! Without `--out` the JSON goes to stdout. `FCPN_BENCH_SAMPLES` controls the number of
 //! interleaved measurement rounds per case (default 9).
 //!
+//! Schema v7 adds the `synthesis` section: region-based net synthesis
+//! ([`fcpn_petri::synthesis`]) timed end to end — explore a bounded net, rebuild a net
+//! from the behaviour via the sparse Farkas region basis, verify by re-exploration —
+//! with the basis and emitted-place counts recorded next to the wall time.
+//!
 //! Schema v6 adds the `executor` section: the compiled schedule executor
 //! ([`fcpn_codegen::ExecSession`], flat jump-resolved bytecode over a dense counter
 //! pool) against the tree-walking interpreter oracle, pumping the same activation
@@ -50,6 +55,7 @@ use fcpn_petri::analysis::{
     IncidenceMatrix, InvariantAnalysis, ReachabilityGraph, ReachabilityOptions,
 };
 use fcpn_petri::statespace::{ExploreOptions, StateSpace, TokenWidth};
+use fcpn_petri::synthesis::{synthesize, Lts, SynthesisOptions};
 use fcpn_petri::{gallery, PetriNet};
 use fcpn_qss::{
     allocation_iter, allocation_iter_gray, quasi_static_schedule, quasi_static_schedule_naive,
@@ -101,6 +107,49 @@ fn samples() -> usize {
 fn median(mut values: Vec<f64>) -> f64 {
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     values[values.len() / 2]
+}
+
+struct SynthesisRow {
+    label: &'static str,
+    states: usize,
+    labels: usize,
+    candidate_regions: usize,
+    places: usize,
+    verified: bool,
+    best_ms: f64,
+}
+
+/// Times the full synthesis pipeline (region basis + separation + verification) on a
+/// pre-explored behaviour; the exploration itself is excluded — the `explore` section
+/// already covers it.
+fn measure_synthesis(label: &'static str, net: &PetriNet) -> SynthesisRow {
+    let space = StateSpace::explore(
+        net,
+        ReachabilityOptions {
+            max_markings: 1_000_000,
+            max_tokens_per_place: 64,
+        },
+    );
+    let lts = Lts::from_statespace(net, &space).expect("bench nets are bounded");
+    let mut times = Vec::new();
+    let mut last = None;
+    for _ in 0..samples() {
+        let start = Instant::now();
+        let out = synthesize(black_box(&lts), &SynthesisOptions::default())
+            .expect("bench nets synthesize");
+        times.push(start.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    let out = last.expect("at least one sample");
+    SynthesisRow {
+        label,
+        states: out.stats.states,
+        labels: out.stats.labels,
+        candidate_regions: out.stats.candidate_regions,
+        places: out.stats.places,
+        verified: out.stats.verified,
+        best_ms: times.iter().copied().fold(f64::INFINITY, f64::min) * 1e3,
+    }
 }
 
 fn measure_explore(case: &ExploreCase) -> ExploreRow {
@@ -680,6 +729,27 @@ fn main() {
         })
         .collect();
 
+    // Region-based synthesis: bounded nets round-tripped through their behaviour. Each
+    // case times the full pipeline (region basis + separation + verification) on a
+    // pre-explored LTS; the basis and place counts calibrate the times.
+    eprintln!("measuring region-based synthesis (bounded nets)...");
+    let synthesis_rows: Vec<SynthesisRow> = [
+        ("marked_ring(6,3)", gallery::marked_ring(6, 3)),
+        ("marked_ring(10,5)", gallery::marked_ring(10, 5)),
+        ("marked_ring(12,4)", gallery::marked_ring(12, 4)),
+        ("cycle_bank(4)", gallery::cycle_bank(4)),
+    ]
+    .iter()
+    .map(|(label, net)| {
+        let row = measure_synthesis(label, net);
+        eprintln!(
+            "  {:<18} states={:>5} labels={:>3} basis={:>4} places={:>4}  {:>8.3}ms",
+            row.label, row.states, row.labels, row.candidate_regions, row.places, row.best_ms,
+        );
+        row
+    })
+    .collect();
+
     // The daemon under load: in-process server, concurrent connections replaying the
     // gallery + ATM nets (the state budget on /analyze keeps the per-miss exploration
     // proportionate to a smoke run; cache hits dominate after the first pass anyway).
@@ -757,7 +827,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"fcpn-bench/statespace-v6\",\n");
+    json.push_str("  \"schema\": \"fcpn-bench/statespace-v7\",\n");
     json.push_str(&format!("  \"samples_per_case\": {},\n", samples()));
     // Multi-threaded rows are only meaningful relative to this: with a single host
     // core the parallel explorer serialises onto one CPU and pays pure coordination
@@ -890,6 +960,27 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"server\": {},\n", server_section.render()));
+    json.push_str("  \"synthesis\": [\n");
+    for (i, row) in synthesis_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"net\": \"{}\", \"states\": {}, \"labels\": {}, \
+             \"candidate_regions\": {}, \"places\": {}, \"verified\": {}, \
+             \"best_ms\": {:.3}}}{}\n",
+            row.label,
+            row.states,
+            row.labels,
+            row.candidate_regions,
+            row.places,
+            row.verified,
+            row.best_ms,
+            if i + 1 < synthesis_rows.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"qss_scaling\": [\n");
     for (i, (n, cycles, ir, c_lines, wall_ms, wall_uncached_ms, cache_speedup)) in
         scaling.iter().enumerate()

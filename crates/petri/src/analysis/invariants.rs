@@ -450,7 +450,7 @@ fn bitset_strict_subset(small: &[u64], big: &[u64]) -> bool {
 /// `x · rows = 0` (one unknown per row, columns indexed up to the largest index present).
 /// Returns the semiflows and whether the computation stayed within the row budget. The
 /// result is identical to the dense [`farkas`]'s.
-fn farkas_sparse(rows: &[Vec<(u32, i128)>], n: usize) -> (Vec<Semiflow>, bool) {
+pub(crate) fn farkas_sparse(rows: &[Vec<(u32, i128)>], n: usize) -> (Vec<Semiflow>, bool) {
     if n == 0 {
         return (Vec::new(), true);
     }

@@ -28,6 +28,7 @@ pub use coverability::{
 };
 pub use deadlock::{find_deadlock, find_deadlock_in, find_deadlock_with, DeadlockReport};
 pub use incidence::IncidenceMatrix;
+pub(crate) use invariants::farkas_sparse;
 pub use invariants::{
     incidence_rank, splitmix64, t_invariant_space_dimension, InvariantAnalysis, Semiflow,
 };

@@ -17,6 +17,8 @@
 //! * cooperative cancellation (deadline + explicit flag) for every long-running
 //!   engine loop ([`cancel`]);
 //! * byte-budgeted engine allocations with typed exhaustion errors ([`budget`]);
+//! * region-based synthesis — the inverse direction: from a finite transition system
+//!   (or event log) back to a net whose reachability graph realises it ([`synthesis`]);
 //! * the nets of the paper's figures, reconstructed for tests and benchmarks
 //!   ([`gallery`]).
 //!
@@ -54,6 +56,7 @@ pub mod io;
 mod marking;
 mod net;
 pub mod statespace;
+pub mod synthesis;
 
 pub use budget::{Interrupt, MemoryBudget, ResourceExhausted};
 pub use builder::NetBuilder;
@@ -63,6 +66,7 @@ pub use fingerprint::{net_fingerprint, net_structural_fingerprint, Fingerprint12
 pub use ids::{NodeId, PlaceId, TransitionId};
 pub use marking::Marking;
 pub use net::{NetStats, PetriNet, Place, SubnetMap, Transition};
+pub use synthesis::{Lts, SynthesisError};
 
 #[cfg(test)]
 mod tests {

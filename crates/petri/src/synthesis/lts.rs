@@ -1,0 +1,684 @@
+//! Deterministic labelled transition systems — the input side of net synthesis.
+//!
+//! An [`Lts`] is a finite deterministic automaton: named states, named labels, at most
+//! one `label`-edge out of any state, and a distinguished initial state. Two
+//! constructors cover the synthesis workloads:
+//!
+//! * [`Lts::from_statespace`] lifts a completely explored [`StateSpace`] — states become
+//!   `s0, s1, …` in the engine's deterministic BFS order, labels are the net's
+//!   transition names;
+//! * [`Lts::parse`] reads the line-oriented event-log format below, in the same spirit
+//!   as [`crate::io::text`]'s net format.
+//!
+//! # Text format
+//!
+//! One statement per line, `#` starts a comment:
+//!
+//! ```text
+//! lts <name>
+//! state <name>
+//! initial <name>
+//! edge <from> <label> <to>
+//! trace <label> <label> ...
+//! ```
+//!
+//! States and labels register on first mention; the first state mentioned is initial
+//! unless an `initial` line overrides it. A `trace` line replays one observed run from
+//! the initial state: each label follows the existing edge when one is present and
+//! otherwise extends the system with a fresh state, so a log of traces folds into the
+//! deterministic automaton of its prefixes.
+//!
+//! ```
+//! use fcpn_petri::synthesis::Lts;
+//!
+//! let lts = Lts::parse(
+//!     "lts burst\n\
+//!      trace req ack\n\
+//!      trace req nack\n",
+//! )
+//! .unwrap();
+//! assert_eq!(lts.state_count(), 4); // s0, s0·req, and the two outcomes
+//! assert_eq!(lts.label_count(), 3);
+//! assert_eq!(lts.successors(lts.initial()).count(), 1);
+//! ```
+
+use crate::statespace::StateSpace;
+use crate::{PetriError, PetriNet};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use super::SynthesisError;
+
+/// A finite deterministic labelled transition system.
+///
+/// States and labels are dense `u32` ids; names are kept for witnesses, serialisation
+/// and the daemon's JSON responses. Construction (via [`LtsBuilder`], [`Lts::parse`] or
+/// [`Lts::from_statespace`]) guarantees determinism: at most one edge per `(state,
+/// label)` pair. Reachability of every state from the initial state is *not* an `Lts`
+/// invariant — [`synthesize`](super::synthesize) checks it and reports the first
+/// unreachable state as a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lts {
+    pub(super) name: String,
+    pub(super) states: Vec<String>,
+    pub(super) labels: Vec<String>,
+    pub(super) initial: u32,
+    /// Per-state `(label, target)` lists, sorted by label id.
+    pub(super) edges: Vec<Vec<(u32, u32)>>,
+    pub(super) edge_count: usize,
+}
+
+impl Lts {
+    /// The system's name (used as the synthesized net's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of labels (the synthesized net gets one transition per label, dead or
+    /// not).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The initial state's id.
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// The name of state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn state_name(&self, s: u32) -> &str {
+        &self.states[s as usize]
+    }
+
+    /// The name of label `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn label_name(&self, l: u32) -> &str {
+        &self.labels[l as usize]
+    }
+
+    /// Looks a state up by name.
+    pub fn state_by_name(&self, name: &str) -> Option<u32> {
+        self.states.iter().position(|s| s == name).map(|i| i as u32)
+    }
+
+    /// Looks a label up by name.
+    pub fn label_by_name(&self, name: &str) -> Option<u32> {
+        self.labels.iter().position(|l| l == name).map(|i| i as u32)
+    }
+
+    /// The `(label, target)` edges out of state `s`, sorted by label id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn successors(&self, s: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.edges[s as usize].iter().copied()
+    }
+
+    /// The target of the `label`-edge out of `s`, when one exists.
+    pub fn successor(&self, s: u32, label: u32) -> Option<u32> {
+        let row = &self.edges[s as usize];
+        row.binary_search_by_key(&label, |&(l, _)| l)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Whether state `s` has an outgoing `label`-edge.
+    pub fn enables(&self, s: u32, label: u32) -> bool {
+        self.successor(s, label).is_some()
+    }
+
+    /// Lifts a completely explored state space into an LTS: state `i` becomes `s{i}`
+    /// (the engine's BFS ids are deterministic, so the naming is too), every net
+    /// transition becomes a label — including transitions that never fire — and the
+    /// space's edges carry over unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::IncompleteInput`] when the exploration was truncated by its
+    /// marking budget or token cut-off: a partial graph is not the behaviour of the net,
+    /// and synthesizing from it would bake the truncation into the output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fcpn_petri::analysis::ReachabilityOptions;
+    /// use fcpn_petri::statespace::StateSpace;
+    /// use fcpn_petri::synthesis::Lts;
+    /// use fcpn_petri::gallery;
+    ///
+    /// let net = gallery::marked_ring(4, 2);
+    /// let space = StateSpace::explore(&net, ReachabilityOptions::default());
+    /// let lts = Lts::from_statespace(&net, &space).unwrap();
+    /// assert_eq!(lts.state_count(), space.state_count());
+    /// assert_eq!(lts.label_count(), net.transition_count());
+    /// ```
+    pub fn from_statespace(net: &PetriNet, space: &StateSpace) -> Result<Lts, SynthesisError> {
+        if !space.is_complete() || !space.frontier().is_empty() {
+            return Err(SynthesisError::IncompleteInput);
+        }
+        let n = space.state_count();
+        let mut edges: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n);
+        let mut edge_count = 0;
+        for s in 0..n as u32 {
+            let mut row: Vec<(u32, u32)> = space
+                .successors(s)
+                .map(|(t, to)| (t.index() as u32, to))
+                .collect();
+            row.sort_unstable();
+            edge_count += row.len();
+            edges.push(row);
+        }
+        Ok(Lts {
+            name: net.name().to_string(),
+            states: (0..n).map(|i| format!("s{i}")).collect(),
+            labels: net
+                .transitions()
+                .map(|t| net.transition_name(t).to_string())
+                .collect(),
+            initial: 0,
+            edges,
+            edge_count,
+        })
+    }
+
+    /// Parses the event-log format (see the module docs above for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::Parse`] with the offending line number for syntactic problems,
+    /// conflicting `edge` lines (same source and label, different targets) and inputs
+    /// declaring no state at all.
+    pub fn parse(input: &str) -> Result<Lts, PetriError> {
+        let mut builder: Option<LtsBuilder> = None;
+        let mut name = String::from("lts");
+        let mut initial: Option<(usize, String)> = None;
+        for (lineno, raw) in input.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = lineno + 1;
+            let mut parts = line.split_whitespace();
+            let keyword = parts.next().unwrap_or("");
+            match keyword {
+                "lts" => {
+                    name = parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing lts name"))?
+                        .to_string();
+                    match &mut builder {
+                        Some(b) => b.name = name.clone(),
+                        None => builder = Some(LtsBuilder::new(name.clone())),
+                    }
+                }
+                "state" => {
+                    let b = builder.get_or_insert_with(|| LtsBuilder::new(name.clone()));
+                    let sname = parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing state name"))?;
+                    b.state(sname);
+                }
+                "initial" => {
+                    let sname = parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing initial state name"))?;
+                    let b = builder.get_or_insert_with(|| LtsBuilder::new(name.clone()));
+                    b.state(sname);
+                    initial = Some((lineno, sname.to_string()));
+                }
+                "edge" => {
+                    let from = parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing edge source"))?;
+                    let label = parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing edge label"))?;
+                    let to = parts
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing edge target"))?;
+                    let b = builder.get_or_insert_with(|| LtsBuilder::new(name.clone()));
+                    let from = b.state(from);
+                    let label = b.label(label);
+                    let to = b.state(to);
+                    if let Some(prev) = b.edge_target(from, label) {
+                        if prev != to {
+                            return Err(parse_err(
+                                lineno,
+                                &format!(
+                                    "state `{}` already has a `{}`-edge to `{}`",
+                                    b.states[from as usize],
+                                    b.labels[label as usize],
+                                    b.states[prev as usize]
+                                ),
+                            ));
+                        }
+                    }
+                    b.edge(from, label, to);
+                }
+                "trace" => {
+                    let b = builder.get_or_insert_with(|| LtsBuilder::new(name.clone()));
+                    if b.states.is_empty() {
+                        b.state("s0");
+                    }
+                    let mut current = 0u32;
+                    let mut any = false;
+                    for lname in parts {
+                        any = true;
+                        let label = b.label(lname);
+                        current = match b.edge_target(current, label) {
+                            Some(next) => next,
+                            None => {
+                                let fresh = b.fresh_state();
+                                b.edge(current, label, fresh);
+                                fresh
+                            }
+                        };
+                    }
+                    if !any {
+                        return Err(parse_err(lineno, "empty trace"));
+                    }
+                }
+                other => {
+                    return Err(parse_err(lineno, &format!("unknown keyword `{other}`")));
+                }
+            }
+        }
+        let mut builder = builder.ok_or_else(|| parse_err(1, "input declares no state"))?;
+        if builder.states.is_empty() {
+            return Err(parse_err(1, "input declares no state"));
+        }
+        if let Some((lineno, sname)) = initial {
+            let id =
+                builder.state_index.get(&sname).copied().ok_or_else(|| {
+                    parse_err(lineno, &format!("unknown initial state `{sname}`"))
+                })?;
+            builder.initial(id);
+        }
+        builder.build().map_err(|e| PetriError::Parse {
+            line: 1,
+            message: e.to_string(),
+        })
+    }
+
+    /// Serialises the system back to the format accepted by [`Lts::parse`]; state and
+    /// label ids survive a round trip because states are re-declared in id order.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "lts {}", self.name);
+        for s in &self.states {
+            let _ = writeln!(out, "state {s}");
+        }
+        let _ = writeln!(out, "initial {}", self.states[self.initial as usize]);
+        for (s, row) in self.edges.iter().enumerate() {
+            for &(l, to) in row {
+                let _ = writeln!(
+                    out,
+                    "edge {} {} {}",
+                    self.states[s], self.labels[l as usize], self.states[to as usize]
+                );
+            }
+        }
+        out
+    }
+
+    /// A 128-bit fingerprint of the whole system — structure *and* naming — in the
+    /// same two-lane fold as [`net_fingerprint`](crate::fingerprint::net_fingerprint).
+    /// The daemon keys its `/synthesize` result cache on this value.
+    pub fn fingerprint(&self) -> u128 {
+        let mut fp = crate::fingerprint::Fingerprint128::new();
+        fp.fold(self.states.len() as u64);
+        fp.fold(self.labels.len() as u64);
+        fp.fold(u64::from(self.initial));
+        for row in &self.edges {
+            fp.fold(row.len() as u64);
+            for &(l, to) in row {
+                fp.fold(u64::from(l));
+                fp.fold(u64::from(to));
+            }
+        }
+        fp.fold_bytes(self.name.as_bytes());
+        for s in &self.states {
+            fp.fold_bytes(s.as_bytes());
+        }
+        for l in &self.labels {
+            fp.fold_bytes(l.as_bytes());
+        }
+        fp.finish()
+    }
+
+    /// Whether two systems are isomorphic: same state and label counts, labels matched
+    /// *by name*, and a bijection between states (rooted at the initial states) that
+    /// preserves every edge. Both systems must have all states reachable from their
+    /// initial state for the rooted walk to cover them; unreachable leftovers make the
+    /// comparison `false`.
+    pub fn isomorphic(a: &Lts, b: &Lts) -> bool {
+        if a.states.len() != b.states.len()
+            || a.labels.len() != b.labels.len()
+            || a.edge_count != b.edge_count
+        {
+            return false;
+        }
+        // Label bijection by name.
+        let mut label_map = vec![u32::MAX; a.labels.len()];
+        for (i, name) in a.labels.iter().enumerate() {
+            match b.label_by_name(name) {
+                Some(j) => label_map[i] = j,
+                None => return false,
+            }
+        }
+        // Rooted BFS pairing; determinism makes the candidate bijection unique.
+        let mut pair = vec![u32::MAX; a.states.len()];
+        let mut seen_b = vec![false; b.states.len()];
+        pair[a.initial as usize] = b.initial;
+        seen_b[b.initial as usize] = true;
+        let mut queue = std::collections::VecDeque::from([a.initial]);
+        let mut visited = 1usize;
+        while let Some(s) = queue.pop_front() {
+            let t = pair[s as usize];
+            if a.edges[s as usize].len() != b.edges[t as usize].len() {
+                return false;
+            }
+            for &(l, to_a) in &a.edges[s as usize] {
+                let Some(to_b) = b.successor(t, label_map[l as usize]) else {
+                    return false;
+                };
+                let mapped = pair[to_a as usize];
+                if mapped == u32::MAX {
+                    if seen_b[to_b as usize] {
+                        return false; // not injective
+                    }
+                    pair[to_a as usize] = to_b;
+                    seen_b[to_b as usize] = true;
+                    visited += 1;
+                    queue.push_back(to_a);
+                } else if mapped != to_b {
+                    return false;
+                }
+            }
+        }
+        visited == a.states.len()
+    }
+}
+
+/// Programmatic construction of an [`Lts`].
+///
+/// States and labels register on first mention ([`LtsBuilder::state`] /
+/// [`LtsBuilder::label`] are idempotent by name); [`LtsBuilder::build`] checks
+/// determinism and picks state 0 as initial unless [`LtsBuilder::initial`] chose
+/// another.
+///
+/// # Examples
+///
+/// ```
+/// use fcpn_petri::synthesis::LtsBuilder;
+///
+/// let mut b = LtsBuilder::new("ping");
+/// let (idle, busy) = (b.state("idle"), b.state("busy"));
+/// let (req, done) = (b.label("req"), b.label("done"));
+/// b.edge(idle, req, busy);
+/// b.edge(busy, done, idle);
+/// let lts = b.build().unwrap();
+/// assert_eq!(lts.initial(), idle);
+/// assert_eq!(lts.successor(idle, req), Some(busy));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LtsBuilder {
+    name: String,
+    states: Vec<String>,
+    labels: Vec<String>,
+    state_index: HashMap<String, u32>,
+    label_index: HashMap<String, u32>,
+    initial: Option<u32>,
+    edges: Vec<(u32, u32, u32)>,
+}
+
+impl LtsBuilder {
+    /// A fresh builder for a system called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        LtsBuilder {
+            name: name.into(),
+            states: Vec::new(),
+            labels: Vec::new(),
+            state_index: HashMap::new(),
+            label_index: HashMap::new(),
+            initial: None,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Registers (or finds) a state by name and returns its id.
+    pub fn state(&mut self, name: impl Into<String>) -> u32 {
+        let name = name.into();
+        if let Some(&id) = self.state_index.get(&name) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        self.state_index.insert(name.clone(), id);
+        self.states.push(name);
+        id
+    }
+
+    /// Registers (or finds) a label by name and returns its id.
+    pub fn label(&mut self, name: impl Into<String>) -> u32 {
+        let name = name.into();
+        if let Some(&id) = self.label_index.get(&name) {
+            return id;
+        }
+        let id = self.labels.len() as u32;
+        self.label_index.insert(name.clone(), id);
+        self.labels.push(name);
+        id
+    }
+
+    /// Declares the initial state (default: the first registered state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was not returned by [`LtsBuilder::state`].
+    pub fn initial(&mut self, state: u32) {
+        assert!((state as usize) < self.states.len(), "unknown state id");
+        self.initial = Some(state);
+    }
+
+    /// Adds the edge `from --label--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id was not returned by the registering methods.
+    pub fn edge(&mut self, from: u32, label: u32, to: u32) {
+        assert!((from as usize) < self.states.len(), "unknown source state");
+        assert!((to as usize) < self.states.len(), "unknown target state");
+        assert!((label as usize) < self.labels.len(), "unknown label");
+        self.edges.push((from, label, to));
+    }
+
+    /// The target of an already-declared `(from, label)` edge, if any.
+    fn edge_target(&self, from: u32, label: u32) -> Option<u32> {
+        self.edges
+            .iter()
+            .find(|&&(f, l, _)| f == from && l == label)
+            .map(|&(_, _, t)| t)
+    }
+
+    /// A fresh auto-named state (`s<k>`, skipping past any clashing declared names).
+    fn fresh_state(&mut self) -> u32 {
+        let mut k = self.states.len();
+        loop {
+            let candidate = format!("s{k}");
+            if !self.state_index.contains_key(&candidate) {
+                return self.state(candidate);
+            }
+            k += 1;
+        }
+    }
+
+    /// Finalises the system.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::EmptyInput`] when no state was registered and
+    /// [`SynthesisError::Nondeterministic`] when two edges leave the same state with
+    /// the same label but different targets (exact duplicate edges are merged).
+    pub fn build(self) -> Result<Lts, SynthesisError> {
+        if self.states.is_empty() {
+            return Err(SynthesisError::EmptyInput);
+        }
+        let mut edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.states.len()];
+        for &(from, label, to) in &self.edges {
+            let row = &mut edges[from as usize];
+            match row.binary_search_by_key(&label, |&(l, _)| l) {
+                Ok(i) => {
+                    if row[i].1 != to {
+                        return Err(SynthesisError::Nondeterministic {
+                            state: self.states[from as usize].clone(),
+                            label: self.labels[label as usize].clone(),
+                        });
+                    }
+                }
+                Err(i) => row.insert(i, (label, to)),
+            }
+        }
+        let edge_count = edges.iter().map(Vec::len).sum();
+        Ok(Lts {
+            name: self.name,
+            states: self.states,
+            labels: self.labels,
+            initial: self.initial.unwrap_or(0),
+            edges,
+            edge_count,
+        })
+    }
+}
+
+fn parse_err(line: usize, message: &str) -> PetriError {
+    PetriError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ReachabilityOptions;
+    use crate::gallery;
+
+    #[test]
+    fn parse_edges_and_roundtrip() {
+        let text = "lts loop\nedge s0 a s1\nedge s1 b s0\n";
+        let lts = Lts::parse(text).unwrap();
+        assert_eq!(lts.state_count(), 2);
+        assert_eq!(lts.label_count(), 2);
+        assert_eq!(lts.initial(), 0);
+        let again = Lts::parse(&lts.to_text()).unwrap();
+        assert_eq!(lts, again);
+        assert!(Lts::isomorphic(&lts, &again));
+    }
+
+    #[test]
+    fn traces_fold_by_prefix() {
+        let lts = Lts::parse("trace a b c\ntrace a b d\ntrace a x\n").unwrap();
+        // Shared prefixes merge: s0 -a-> s1 -b-> s2, leaves for c, d and x.
+        assert_eq!(lts.label_count(), 5);
+        assert_eq!(lts.state_count(), 6);
+        let a = lts.label_by_name("a").unwrap();
+        let s1 = lts.successor(lts.initial(), a).unwrap();
+        assert_eq!(lts.successors(s1).count(), 2); // b and x
+    }
+
+    #[test]
+    fn conflicting_edges_are_rejected_with_line() {
+        let err = Lts::parse("edge s0 a s1\nedge s0 a s2\n").unwrap_err();
+        match err {
+            PetriError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("already has"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(Lts::parse("").is_err());
+        assert!(Lts::parse("lts nothing\n").is_err());
+        assert!(matches!(
+            LtsBuilder::new("x").build(),
+            Err(SynthesisError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn initial_line_overrides_first_mention() {
+        let lts = Lts::parse("edge a go b\ninitial b\n").unwrap();
+        assert_eq!(lts.state_name(lts.initial()), "b");
+    }
+
+    #[test]
+    fn unknown_keyword_is_rejected() {
+        let err = Lts::parse("lts x\nfoo bar\n").unwrap_err();
+        assert!(matches!(err, PetriError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn from_statespace_matches_space_shape() {
+        let net = gallery::marked_ring(5, 2);
+        let space = crate::statespace::StateSpace::explore(&net, ReachabilityOptions::default());
+        let lts = Lts::from_statespace(&net, &space).unwrap();
+        assert_eq!(lts.state_count(), space.state_count());
+        assert_eq!(lts.edge_count(), space.edge_count());
+        assert_eq!(lts.label_count(), net.transition_count());
+        assert_eq!(lts.initial(), 0);
+    }
+
+    #[test]
+    fn incomplete_space_is_rejected() {
+        let net = gallery::figure2(); // source transition: unbounded
+        let space = crate::statespace::StateSpace::explore(
+            &net,
+            ReachabilityOptions {
+                max_markings: 16,
+                max_tokens_per_place: 4,
+            },
+        );
+        assert!(matches!(
+            Lts::from_statespace(&net, &space),
+            Err(SynthesisError::IncompleteInput)
+        ));
+    }
+
+    #[test]
+    fn isomorphism_is_name_insensitive_on_states_only() {
+        let a = Lts::parse("edge x go y\nedge y back x\n").unwrap();
+        let b = Lts::parse("edge p go q\nedge q back p\n").unwrap();
+        let c = Lts::parse("edge p walk q\nedge q back p\n").unwrap();
+        assert!(Lts::isomorphic(&a, &b));
+        assert!(!Lts::isomorphic(&a, &c)); // labels match by name
+    }
+
+    #[test]
+    fn fingerprint_discriminates_and_is_stable() {
+        let a = Lts::parse("edge s0 a s1\nedge s1 b s0\n").unwrap();
+        let b = Lts::parse("edge s0 a s1\nedge s1 b s1\n").unwrap();
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

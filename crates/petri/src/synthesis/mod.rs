@@ -1,0 +1,453 @@
+//! Region-based net synthesis: from behaviour back to structure.
+//!
+//! Every other engine in this workspace runs *forward* — net in, behaviour out. This
+//! module runs the inverse workload: given a finite deterministic labelled transition
+//! system (an explored [`StateSpace`](crate::statespace::StateSpace), or an event log
+//! parsed by [`Lts::parse`]), [`synthesize`] computes a place/transition net whose
+//! reachability graph is **isomorphic** to the input, or returns a typed
+//! [`SynthesisError`] carrying a concrete separation-failure witness when no such net
+//! exists.
+//!
+//! The construction is the classic theory of regions (see `docs/synthesis.md` at the
+//! repository root for the full recap): a region assigns every state a token count that
+//! is consistent along every edge, each region becomes a place, and the two families of
+//! *separation problems* — distinct states must differ somewhere, and a label that does
+//! not occur at a state must be disabled by some place — decide realisability. All
+//! separation problems here reduce to the sparse fraction-free Farkas elimination that
+//! already powers the invariant analysis, so synthesis reuses the exact integer-row
+//! machinery of [`crate::analysis::InvariantAnalysis`].
+//!
+//! Like every long-running engine in the crate, synthesis threads a
+//! [`CancelToken`] and a [`MemoryBudget`]
+//! through its loops (stage labels [`STAGE_LTS`], [`STAGE_REGIONS`],
+//! [`STAGE_SEPARATION`]); an armed-but-unfired guard leaves the output bit-for-bit
+//! identical to the unguarded run.
+//!
+//! # Round trip
+//!
+//! ```
+//! use fcpn_petri::analysis::ReachabilityOptions;
+//! use fcpn_petri::statespace::StateSpace;
+//! use fcpn_petri::synthesis::{synthesize, Lts, SynthesisOptions};
+//! use fcpn_petri::gallery;
+//!
+//! let net = gallery::marked_ring(4, 2);
+//! let space = StateSpace::explore(&net, ReachabilityOptions::default());
+//! let lts = Lts::from_statespace(&net, &space).unwrap();
+//! let out = synthesize(&lts, &SynthesisOptions::default()).unwrap();
+//! // The synthesized net realises the input exactly (synthesize verified it by
+//! // re-exploring), with one transition per label.
+//! assert_eq!(out.net.transition_count(), net.transition_count());
+//! assert!(out.stats.verified);
+//! ```
+//!
+//! # From an event log
+//!
+//! ```
+//! use fcpn_petri::synthesis::{synthesize, Lts, SynthesisOptions};
+//!
+//! let lts = Lts::parse("lts handshake\nedge s0 req s1\nedge s1 ack s0\n").unwrap();
+//! let net = synthesize(&lts, &SynthesisOptions::default()).unwrap().net;
+//! assert_eq!(net.transition_count(), 2);
+//! assert!(net.place_count() >= 1);
+//! ```
+
+mod lts;
+mod regions;
+
+pub use lts::{Lts, LtsBuilder};
+pub use regions::{STAGE_LTS, STAGE_REGIONS, STAGE_SEPARATION};
+
+use crate::budget::{Interrupt, ResourceExhausted};
+use crate::cancel::Cancelled;
+use crate::{CancelToken, MemoryBudget, PetriNet};
+use std::fmt;
+
+/// Why a transition system could not be synthesized into a net.
+///
+/// The separation variants carry a concrete witness — the exact pair of states or
+/// `(state, label)` instance no region can separate — so a caller (or the daemon's
+/// JSON response) can point at the offending behaviour instead of a bare "no".
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The input declares no state at all.
+    EmptyInput,
+    /// The input state space was truncated by a budget or token cut-off; synthesis
+    /// refuses partial behaviour.
+    IncompleteInput,
+    /// Two edges leave `state` under `label` with different targets.
+    Nondeterministic {
+        /// The branching state's name.
+        state: String,
+        /// The ambiguous label's name.
+        label: String,
+    },
+    /// `state` is not reachable from the initial state, so no reachability graph can
+    /// contain it.
+    Unreachable {
+        /// The unreachable state's name.
+        state: String,
+    },
+    /// No region gives `left` and `right` different token counts: every net realising
+    /// the edges merges the two states (witness of a state-separation failure).
+    StateSeparation {
+        /// First state of the inseparable pair.
+        left: String,
+        /// Second state of the inseparable pair.
+        right: String,
+    },
+    /// No region disables `label` in `state`: every net realising the edges also
+    /// enables the label there (witness of an event/state-separation failure).
+    EventStateSeparation {
+        /// The state the label must not fire in.
+        state: String,
+        /// The label no region can disable.
+        label: String,
+    },
+    /// The region computation outgrew its bounds: the Farkas elimination blew its row
+    /// budget, the candidate basis exceeded [`SynthesisOptions::max_regions`], or a
+    /// token count left the representable range.
+    RegionOverflow,
+    /// [`SynthesisOptions::require_free_choice`] was set and the synthesized net has a
+    /// choice place feeding a transition with other inputs.
+    NotFreeChoice {
+        /// The offending choice place.
+        place: String,
+        /// Its successor transition with additional inputs.
+        transition: String,
+    },
+    /// The verification pass found the re-explored graph differs from the input. This
+    /// indicates a bug in the region engine, never expected in practice.
+    RealizationMismatch,
+    /// The caller's cancellation token fired or its memory budget ran out.
+    Interrupted(Interrupt),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::EmptyInput => write!(f, "transition system has no states"),
+            SynthesisError::IncompleteInput => write!(
+                f,
+                "state space is incomplete (budget or token cut-off); synthesis needs the whole behaviour"
+            ),
+            SynthesisError::Nondeterministic { state, label } => write!(
+                f,
+                "nondeterministic: state `{state}` has two `{label}`-edges with different targets"
+            ),
+            SynthesisError::Unreachable { state } => {
+                write!(f, "state `{state}` is unreachable from the initial state")
+            }
+            SynthesisError::StateSeparation { left, right } => write!(
+                f,
+                "states `{left}` and `{right}` cannot be separated by any region: no net distinguishes them"
+            ),
+            SynthesisError::EventStateSeparation { state, label } => write!(
+                f,
+                "label `{label}` cannot be disabled in state `{state}` by any region: no net realises the input"
+            ),
+            SynthesisError::RegionOverflow => {
+                write!(f, "region computation exceeded its size bounds")
+            }
+            SynthesisError::NotFreeChoice { place, transition } => write!(
+                f,
+                "synthesized net is not free-choice: choice place `{place}` feeds transition `{transition}` which has other inputs"
+            ),
+            SynthesisError::RealizationMismatch => write!(
+                f,
+                "verification failed: the synthesized net's reachability graph differs from the input"
+            ),
+            SynthesisError::Interrupted(i) => i.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<Interrupt> for SynthesisError {
+    fn from(i: Interrupt) -> Self {
+        SynthesisError::Interrupted(i)
+    }
+}
+
+impl From<Cancelled> for SynthesisError {
+    fn from(_: Cancelled) -> Self {
+        SynthesisError::Interrupted(Interrupt::Cancelled)
+    }
+}
+
+impl From<ResourceExhausted> for SynthesisError {
+    fn from(e: ResourceExhausted) -> Self {
+        SynthesisError::Interrupted(Interrupt::Exhausted(e))
+    }
+}
+
+/// Knobs for [`synthesize`]. The default synthesizes any place/transition net,
+/// verifies the result by re-exploration, and never cancels or meters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisOptions {
+    /// Reject the result with [`SynthesisError::NotFreeChoice`] (including the
+    /// offending place/transition pair) when the emitted net falls outside the
+    /// free-choice class. Off by default: region synthesis targets general
+    /// place/transition nets, and the check is a post-hoc classification.
+    pub require_free_choice: bool,
+    /// Re-explore the emitted net and pin its reachability graph isomorphic to the
+    /// input ([`SynthesisError::RealizationMismatch`] otherwise). On by default; the
+    /// re-exploration is bounded by the input's own size so it never dominates.
+    pub verify: bool,
+    /// Upper bound on the extremal-region basis; a larger basis returns
+    /// [`SynthesisError::RegionOverflow`] instead of consuming unbounded time.
+    pub max_regions: usize,
+    /// Cooperative cancellation, polled every few hundred iterations in every stage.
+    /// A token that never fires leaves the result bit-for-bit identical.
+    pub cancel: CancelToken,
+    /// Byte budget charged before every significant allocation (stages
+    /// [`STAGE_LTS`], [`STAGE_REGIONS`], [`STAGE_SEPARATION`], plus the verification
+    /// re-exploration's `reachability`). A budget that never exhausts leaves the
+    /// result bit-for-bit identical.
+    pub memory: MemoryBudget,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            require_free_choice: false,
+            verify: true,
+            max_regions: 4096,
+            cancel: CancelToken::never(),
+            memory: MemoryBudget::unlimited(),
+        }
+    }
+}
+
+/// Counters describing one synthesis run, reported alongside the net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisStats {
+    /// States in the input system.
+    pub states: usize,
+    /// Labels in the input system (= transitions in the output net).
+    pub labels: usize,
+    /// Independent cycle equations the spanning tree produced.
+    pub cycle_equations: usize,
+    /// Extremal region gradients in the Farkas basis.
+    pub candidate_regions: usize,
+    /// Places emitted (= regions selected).
+    pub places: usize,
+    /// State-separation refinement steps (each selects one region).
+    pub ssp_splits: usize,
+    /// Event/state-separation instances examined.
+    pub essp_instances: usize,
+    /// Instances that needed a composed (non-extremal) region.
+    pub essp_composed: usize,
+    /// Whether the result was verified by re-exploration.
+    pub verified: bool,
+}
+
+/// A synthesized net plus the run's counters.
+#[derive(Debug, Clone)]
+pub struct SynthesizedNet {
+    /// The emitted net; its reachability graph realises the input system.
+    pub net: PetriNet,
+    /// Size and effort counters for benchmarks and the daemon's response body.
+    pub stats: SynthesisStats,
+}
+
+/// Synthesizes a place/transition net realising `lts`: the net's reachability graph is
+/// isomorphic to the input (verified by re-exploration unless
+/// [`SynthesisOptions::verify`] is off).
+///
+/// See the [module docs](self) for the construction and `docs/synthesis.md` for the
+/// theory. The run is deterministic: the same input and options produce the same net,
+/// bit for bit, and armed-but-unfired cancellation/budget guards change nothing.
+///
+/// # Errors
+///
+/// Typed [`SynthesisError`]s: separation failures carry the offending witness, inputs
+/// with unreachable states or truncated explorations are rejected up front, and a
+/// fired [`CancelToken`] or exhausted [`MemoryBudget`] surfaces as
+/// [`SynthesisError::Interrupted`].
+pub fn synthesize(lts: &Lts, options: &SynthesisOptions) -> Result<SynthesizedNet, SynthesisError> {
+    regions::run(lts, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ReachabilityOptions;
+    use crate::statespace::StateSpace;
+    use crate::{gallery, Interrupt};
+
+    fn roundtrip(net: &PetriNet) -> SynthesizedNet {
+        let space = StateSpace::explore(net, ReachabilityOptions::default());
+        let lts = Lts::from_statespace(net, &space).expect("complete space");
+        synthesize(&lts, &SynthesisOptions::default()).expect("synthesizable")
+    }
+
+    #[test]
+    fn figure1a_roundtrips() {
+        let out = roundtrip(&gallery::figure1a());
+        assert!(out.stats.verified);
+        assert_eq!(out.stats.labels, gallery::figure1a().transition_count());
+    }
+
+    #[test]
+    fn cycle_bank_roundtrips() {
+        let out = roundtrip(&gallery::cycle_bank(3));
+        assert!(out.stats.places >= 1);
+    }
+
+    #[test]
+    fn marked_ring_roundtrips() {
+        roundtrip(&gallery::marked_ring(5, 2));
+    }
+
+    #[test]
+    fn event_log_synthesizes_a_cycle() {
+        let lts = Lts::parse("lts loop\nedge s0 a s1\nedge s1 b s0\n").unwrap();
+        let out = synthesize(&lts, &SynthesisOptions::default()).unwrap();
+        assert_eq!(out.net.transition_count(), 2);
+        assert!(out.stats.verified);
+    }
+
+    #[test]
+    fn diamond_with_distinct_sinks_is_state_unseparable() {
+        // s0 -a-> s1 -b-> s3 and s0 -b-> s2 -a-> s4: s3 and s4 share the Parikh
+        // vector {a, b}, so every region marks them identically — no net keeps them
+        // apart.
+        let lts = Lts::parse("edge s0 a s1\nedge s0 b s2\nedge s1 b s3\nedge s2 a s4\n").unwrap();
+        let err = synthesize(&lts, &SynthesisOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, SynthesisError::StateSeparation { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn mid_chain_disabled_label_is_event_unseparable() {
+        // b self-loops at s0 and s2 but must be silent at s1, which sits between
+        // them on an `a`-chain: any region needs both Δa < 0 and Δa > 0.
+        let lts = Lts::parse("edge s0 a s1\nedge s1 a s2\nedge s0 b s0\nedge s2 b s2\n").unwrap();
+        let err = synthesize(&lts, &SynthesisOptions::default()).unwrap_err();
+        match err {
+            SynthesisError::EventStateSeparation { state, label } => {
+                assert_eq!(state, "s1");
+                assert_eq!(label, "b");
+            }
+            other => panic!("expected an event/state witness, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_state_is_rejected() {
+        let lts = Lts::parse("edge s0 a s1\nstate lost\n").unwrap();
+        let err = synthesize(&lts, &SynthesisOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            SynthesisError::Unreachable { ref state } if state == "lost"
+        ));
+    }
+
+    #[test]
+    fn dead_labels_stay_dead() {
+        // Label `never` has no edge; the synthesized net must not enable it anywhere.
+        let mut b = LtsBuilder::new("with-dead");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let a = b.label("a");
+        let back = b.label("b");
+        let _never = b.label("never");
+        b.edge(s0, a, s1);
+        b.edge(s1, back, s0);
+        let lts = b.build().unwrap();
+        let out = synthesize(&lts, &SynthesisOptions::default()).unwrap();
+        assert_eq!(out.net.transition_count(), 3);
+        // Verified isomorphic ⇒ `never` fires nowhere in the reachability graph.
+        assert!(out.stats.verified);
+    }
+
+    #[test]
+    fn same_label_two_cycle_is_state_unseparable() {
+        // s0 -a-> s1 -a-> s0: the cycle forces the `a`-gradient to zero, so no
+        // region tells the two states apart.
+        let lts = Lts::parse("edge s0 a s1\nedge s1 a s0\n").unwrap();
+        let err = synthesize(&lts, &SynthesisOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, SynthesisError::StateSeparation { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_interrupts() {
+        let net = gallery::marked_ring(5, 2);
+        let space = StateSpace::explore(&net, ReachabilityOptions::default());
+        let lts = Lts::from_statespace(&net, &space).unwrap();
+        let options = SynthesisOptions {
+            cancel: {
+                let t = crate::CancelToken::new();
+                t.cancel();
+                t
+            },
+            ..SynthesisOptions::default()
+        };
+        let err = synthesize(&lts, &options).unwrap_err();
+        assert!(matches!(
+            err,
+            SynthesisError::Interrupted(Interrupt::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_in_a_synthesis_stage() {
+        let net = gallery::marked_ring(5, 2);
+        let space = StateSpace::explore(&net, ReachabilityOptions::default());
+        let lts = Lts::from_statespace(&net, &space).unwrap();
+        let options = SynthesisOptions {
+            memory: MemoryBudget::with_limit(16),
+            ..SynthesisOptions::default()
+        };
+        match synthesize(&lts, &options).unwrap_err() {
+            SynthesisError::Interrupted(Interrupt::Exhausted(e)) => {
+                assert!(e.stage.starts_with("synthesis-"), "stage {}", e.stage);
+            }
+            other => panic!("expected exhaustion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn armed_but_unreached_guards_change_nothing() {
+        let net = gallery::marked_ring(5, 2);
+        let space = StateSpace::explore(&net, ReachabilityOptions::default());
+        let lts = Lts::from_statespace(&net, &space).unwrap();
+        let plain = synthesize(&lts, &SynthesisOptions::default()).unwrap();
+        let guarded = synthesize(
+            &lts,
+            &SynthesisOptions {
+                cancel: crate::CancelToken::new(),
+                memory: MemoryBudget::with_limit(1 << 30),
+                ..SynthesisOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            crate::io::to_text(&plain.net),
+            crate::io::to_text(&guarded.net)
+        );
+        assert_eq!(plain.stats, guarded.stats);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let net = gallery::cycle_bank(3);
+        let space = StateSpace::explore(&net, ReachabilityOptions::default());
+        let lts = Lts::from_statespace(&net, &space).unwrap();
+        let a = synthesize(&lts, &SynthesisOptions::default()).unwrap();
+        let b = synthesize(&lts, &SynthesisOptions::default()).unwrap();
+        assert_eq!(crate::io::to_text(&a.net), crate::io::to_text(&b.net));
+        assert_eq!(
+            crate::fingerprint::net_fingerprint(&a.net),
+            crate::fingerprint::net_fingerprint(&b.net)
+        );
+    }
+}

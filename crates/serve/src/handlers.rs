@@ -1,11 +1,13 @@
-//! The daemon's API endpoints: `/schedule`, `/analyze`, `/codegen`.
+//! The daemon's API endpoints: `/schedule`, `/analyze`, `/codegen`, `/synthesize`.
 //!
-//! Every POST endpoint accepts a net in the `fcpn_petri::io::text` format as the request
-//! body, per-request options as query parameters, and answers deterministic JSON — the
-//! body is a pure function of `(endpoint, net, options)`, which is what makes whole
-//! responses cacheable by fingerprint and lets tests assert bit-identical agreement with
-//! direct library calls. Volatile facts (cache disposition, elapsed time) travel in
-//! `X-Fcpn-*` response headers, never in the body.
+//! Every POST endpoint accepts its input in a line-oriented text format as the request
+//! body — a net in the `fcpn_petri::io::text` format for `/schedule`, `/analyze` and
+//! `/codegen`; a labelled transition system in the `fcpn_petri::synthesis::Lts` format
+//! for `/synthesize` — plus per-request options as query parameters, and answers
+//! deterministic JSON: the body is a pure function of `(endpoint, input, options)`,
+//! which is what makes whole responses cacheable by fingerprint and lets tests assert
+//! bit-identical agreement with direct library calls. Volatile facts (cache
+//! disposition, elapsed time) travel in `X-Fcpn-*` response headers, never in the body.
 //!
 //! ## Guards
 //!
@@ -42,6 +44,8 @@ use fcpn_petri::analysis::{
     BoundednessOptions, DeadlockReport, LivenessReport, ReachabilityOptions,
 };
 use fcpn_petri::statespace::ExploreOptions;
+use fcpn_petri::synthesis as net_synthesis;
+use fcpn_petri::synthesis::{Lts, SynthesisError};
 use fcpn_petri::{
     io::parse_net, net_fingerprint, CancelToken, Fingerprint128, Interrupt, MemoryBudget, PetriNet,
     ResourceExhausted,
@@ -301,9 +305,19 @@ pub fn handle(ctx: &HandlerCtx<'_>, request: &Request) -> Response {
             ctx.metrics.codegen_requests.fetch_add(1, Ordering::Relaxed);
             cached_endpoint(ctx, request, Endpoint::Codegen)
         }
+        ("POST", "/synthesize") => {
+            ctx.metrics
+                .synthesize_requests
+                .fetch_add(1, Ordering::Relaxed);
+            synthesize_endpoint(ctx, request)
+        }
         (_, "/schedule" | "/analyze" | "/codegen") => {
             Response::error(405, "use POST with the net text as the request body")
         }
+        (_, "/synthesize") => Response::error(
+            405,
+            "use POST with the transition-system text as the request body",
+        ),
         ("GET" | "POST", _) => Response::error(404, "unknown endpoint"),
         _ => Response::error(405, "unsupported method"),
     }
@@ -315,6 +329,7 @@ enum Endpoint {
     Schedule,
     Analyze,
     Codegen,
+    Synthesize,
 }
 
 impl Endpoint {
@@ -323,6 +338,7 @@ impl Endpoint {
             Endpoint::Schedule => 1,
             Endpoint::Analyze => 2,
             Endpoint::Codegen => 3,
+            Endpoint::Synthesize => 4,
         }
     }
 }
@@ -352,40 +368,9 @@ fn cached_endpoint(ctx: &HandlerCtx<'_>, request: &Request, endpoint: Endpoint) 
         }
     }
 
-    // Admission against the process memory governor: the request's *full* effective
-    // budget is reserved before any engine work starts, and a request that cannot be
-    // covered is shed whole — never run with a smaller budget than its cache key was
-    // computed from. A budget the pool could never cover is a client error (a retry
-    // cannot help, so no Retry-After and no cache shedding a cheap hostile loop could
-    // exploit); a budget that merely doesn't fit *right now* is genuine contention,
-    // so the daemon sheds it retryable and halves the response cache, trading cold
-    // hits for headroom so the invited retry can land. The reservation is an RAII
-    // guard: it returns to the pool on drop, even if the handler panics.
-    let _reserved = match ctx.governor {
-        None => None,
-        Some(governor) => {
-            let bytes = options.memory_budget_bytes.unwrap_or(0);
-            if bytes > governor.limit_bytes() {
-                ctx.metrics.rejected_memory.fetch_add(1, Ordering::Relaxed);
-                return Response::error(
-                    400,
-                    &format!(
-                        "memory_budget_bytes={bytes} exceeds the server's memory pool \
-                         of {} bytes",
-                        governor.limit_bytes()
-                    ),
-                );
-            }
-            match governor.reserve(bytes) {
-                Some(guard) => Some(guard),
-                None => {
-                    ctx.metrics.rejected_memory.fetch_add(1, Ordering::Relaxed);
-                    ctx.cache.shed_half();
-                    return Response::error(503, "memory budget unavailable; retry later")
-                        .with_header("Retry-After", "1");
-                }
-            }
-        }
+    let _reserved = match admit(ctx, &options) {
+        Ok(reservation) => reservation,
+        Err(response) => return response,
     };
 
     let deadline = Deadline::new(Duration::from_millis(options.deadline_ms));
@@ -393,6 +378,7 @@ fn cached_endpoint(ctx: &HandlerCtx<'_>, request: &Request, endpoint: Endpoint) 
         Endpoint::Schedule => schedule(ctx, &net, &options, &deadline),
         Endpoint::Analyze => analyze(ctx, &net, &options, &deadline),
         Endpoint::Codegen => codegen(ctx, &net, &options, &deadline),
+        Endpoint::Synthesize => unreachable!("/synthesize has its own plumbing"),
     };
     // Deterministic outcomes (including 4xx verdicts about the net itself) are
     // memoised; deadline 503s are not — they depend on load, not on the request.
@@ -406,6 +392,199 @@ fn cached_endpoint(ctx: &HandlerCtx<'_>, request: &Request, endpoint: Endpoint) 
         );
     }
     response.with_header("X-Fcpn-Cache", "miss")
+}
+
+/// Admission against the process memory governor: the request's *full* effective
+/// budget is reserved before any engine work starts, and a request that cannot be
+/// covered is shed whole — never run with a smaller budget than its cache key was
+/// computed from. A budget the pool could never cover is a client error (a retry
+/// cannot help, so no Retry-After and no cache shedding a cheap hostile loop could
+/// exploit); a budget that merely doesn't fit *right now* is genuine contention,
+/// so the daemon sheds it retryable and halves the response cache, trading cold
+/// hits for headroom so the invited retry can land. The reservation is an RAII
+/// guard: it returns to the pool on drop, even if the handler panics.
+fn admit<'a>(
+    ctx: &HandlerCtx<'a>,
+    options: &RequestOptions,
+) -> Result<Option<MemReservation<'a>>, Response> {
+    let Some(governor) = ctx.governor else {
+        return Ok(None);
+    };
+    let bytes = options.memory_budget_bytes.unwrap_or(0);
+    if bytes > governor.limit_bytes() {
+        ctx.metrics.rejected_memory.fetch_add(1, Ordering::Relaxed);
+        return Err(Response::error(
+            400,
+            &format!(
+                "memory_budget_bytes={bytes} exceeds the server's memory pool \
+                 of {} bytes",
+                governor.limit_bytes()
+            ),
+        ));
+    }
+    match governor.reserve(bytes) {
+        Some(guard) => Ok(Some(guard)),
+        None => {
+            ctx.metrics.rejected_memory.fetch_add(1, Ordering::Relaxed);
+            ctx.cache.shed_half();
+            Err(
+                Response::error(503, "memory budget unavailable; retry later")
+                    .with_header("Retry-After", "1"),
+            )
+        }
+    }
+}
+
+/// `/synthesize` plumbing. Parallel to [`cached_endpoint`] but keyed on the *LTS*
+/// fingerprint (the body is a transition system, not a net): parse, resolve options,
+/// consult the cache, admit against the governor, synthesize, memoise.
+fn synthesize_endpoint(ctx: &HandlerCtx<'_>, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) if !text.trim().is_empty() => text,
+        Ok(_) => {
+            return Response::error(
+                400,
+                "empty body; POST a transition system in the lts text format",
+            )
+        }
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let lts = match Lts::parse(text) {
+        Ok(lts) => lts,
+        Err(e) => return Response::error(400, &format!("lts parse failed: {e}")),
+    };
+    let options = match RequestOptions::from_query(request, ctx.limits) {
+        Ok(options) => options,
+        Err(response) => return response,
+    };
+
+    let key = options.cache_key(Endpoint::Synthesize, lts.fingerprint());
+    if options.use_result_cache {
+        if let Some(hit) = ctx.cache.get(key) {
+            return Response::json_shared(hit.status, Arc::clone(&hit.body))
+                .with_header("X-Fcpn-Cache", "hit");
+        }
+    }
+
+    let _reserved = match admit(ctx, &options) {
+        Ok(reservation) => reservation,
+        Err(response) => return response,
+    };
+
+    let deadline = Deadline::new(Duration::from_millis(options.deadline_ms));
+    let response = run_synthesis(ctx, &lts, &options, &deadline);
+    // Same memoisation policy as the net endpoints: deterministic outcomes (including
+    // honest "not synthesizable" verdicts and 4xx about the input) are cached;
+    // load-dependent 503s are not.
+    if options.use_result_cache && response.status != 503 {
+        ctx.cache.insert(
+            key,
+            Arc::new(CachedResponse {
+                status: response.status,
+                body: Arc::clone(&response.body),
+            }),
+        );
+    }
+    response.with_header("X-Fcpn-Cache", "miss")
+}
+
+fn lts_fingerprint_hex(lts: &Lts) -> String {
+    format!("0x{:032x}", lts.fingerprint())
+}
+
+fn run_synthesis(
+    ctx: &HandlerCtx<'_>,
+    lts: &Lts,
+    options: &RequestOptions,
+    deadline: &Deadline,
+) -> Response {
+    let synthesis_options = net_synthesis::SynthesisOptions {
+        require_free_choice: options.require_free_choice,
+        verify: options.verify,
+        max_regions: options.max_regions,
+        cancel: deadline.cancel.clone(),
+        memory: options.memory(),
+    };
+    let head = |lts: &Lts, synthesizable: bool| {
+        vec![
+            ("lts".to_string(), Json::from(lts.name())),
+            (
+                "fingerprint".to_string(),
+                Json::from(lts_fingerprint_hex(lts)),
+            ),
+            ("synthesizable".to_string(), Json::from(synthesizable)),
+        ]
+    };
+    let witness = |lts: &Lts, witness: Json| {
+        let mut pairs = head(lts, false);
+        pairs.push(("witness".to_string(), witness));
+        Response::json(200, Json::Obj(pairs).render())
+    };
+    match net_synthesis::synthesize(lts, &synthesis_options) {
+        Ok(out) => {
+            let mut pairs = head(lts, true);
+            pairs.push((
+                "stats".to_string(),
+                Json::obj([
+                    ("states", Json::from(out.stats.states)),
+                    ("labels", Json::from(out.stats.labels)),
+                    ("cycle_equations", Json::from(out.stats.cycle_equations)),
+                    ("candidate_regions", Json::from(out.stats.candidate_regions)),
+                    ("places", Json::from(out.stats.places)),
+                    ("ssp_splits", Json::from(out.stats.ssp_splits)),
+                    ("essp_instances", Json::from(out.stats.essp_instances)),
+                    ("essp_composed", Json::from(out.stats.essp_composed)),
+                    ("verified", Json::from(out.stats.verified)),
+                ]),
+            ));
+            pairs.push((
+                "net".to_string(),
+                Json::from(fcpn_petri::io::to_text(&out.net)),
+            ));
+            Response::json(200, Json::Obj(pairs).render())
+        }
+        Err(SynthesisError::Interrupted(interrupt)) => interrupt_response(ctx.metrics, &interrupt),
+        // Honest verdicts about the input, mirroring `/schedule`'s
+        // `"schedulable": false` diagnosis: a 200 with the typed witness.
+        Err(SynthesisError::StateSeparation { left, right }) => witness(
+            lts,
+            Json::obj([
+                ("kind", Json::from("state-separation")),
+                ("left", Json::from(left)),
+                ("right", Json::from(right)),
+            ]),
+        ),
+        Err(SynthesisError::EventStateSeparation { state, label }) => witness(
+            lts,
+            Json::obj([
+                ("kind", Json::from("event-state-separation")),
+                ("state", Json::from(state)),
+                ("label", Json::from(label)),
+            ]),
+        ),
+        Err(SynthesisError::NotFreeChoice { place, transition }) => witness(
+            lts,
+            Json::obj([
+                ("kind", Json::from("not-free-choice")),
+                ("place", Json::from(place)),
+                ("transition", Json::from(transition)),
+            ]),
+        ),
+        // Defective inputs (an unreachable state can never appear in a reachability
+        // graph) and blown size bounds are client errors, deterministic and cacheable.
+        Err(
+            e @ (SynthesisError::EmptyInput
+            | SynthesisError::IncompleteInput
+            | SynthesisError::Nondeterministic { .. }
+            | SynthesisError::Unreachable { .. }
+            | SynthesisError::RegionOverflow),
+        ) => Response::error(422, &e.to_string()),
+        // The verification backstop only trips on an engine bug.
+        Err(e @ SynthesisError::RealizationMismatch) => {
+            Response::error(500, &format!("synthesis failed: {e}"))
+        }
+        Err(other) => Response::error(500, &format!("synthesis failed: {other}")),
+    }
 }
 
 /// Effective per-request options after clamping against [`RequestLimits`].
@@ -425,6 +604,12 @@ struct RequestOptions {
     checks: u8,
     /// `/codegen` target language.
     rust: bool,
+    /// `/synthesize` cap on the extremal-region basis.
+    max_regions: usize,
+    /// `/synthesize` verification pass (re-explore + isomorphism check).
+    verify: bool,
+    /// `/synthesize` free-choice requirement on the emitted net.
+    require_free_choice: bool,
 }
 
 /// The `/analyze` checks in bitmask order.
@@ -509,6 +694,13 @@ impl RequestOptions {
             Some("rust") => true,
             Some(_) => return Err(bad("lang")),
         };
+        let synthesis_defaults = net_synthesis::SynthesisOptions::default();
+        // The region basis is an allocation-shaped cost (each candidate materialises
+        // gradient vectors over every state), so it clamps against the same cap as the
+        // scheduling sweep's allocation budget.
+        let max_regions = (parse_u64("max_regions", synthesis_defaults.max_regions as u64)?
+            as usize)
+            .clamp(1, limits.max_allocations.min(usize::MAX as u128) as usize);
 
         Ok(RequestOptions {
             threads,
@@ -522,6 +714,9 @@ impl RequestOptions {
             memory_budget_bytes,
             checks,
             rust,
+            max_regions,
+            verify: parse_bool("verify", synthesis_defaults.verify)?,
+            require_free_choice: parse_bool("free_choice", synthesis_defaults.require_free_choice)?,
         })
     }
 
@@ -553,6 +748,9 @@ impl RequestOptions {
         fp.fold(self.memory_budget_bytes.unwrap_or(0));
         fp.fold(self.checks as u64);
         fp.fold(self.rust as u64);
+        fp.fold(self.max_regions as u64);
+        fp.fold(self.verify as u64);
+        fp.fold(self.require_free_choice as u64);
         fp.finish()
     }
 
@@ -1352,6 +1550,142 @@ mod tests {
         );
         assert_eq!(admitted.status, 200);
         assert_eq!(governor.bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn synthesize_roundtrips_an_lts_and_caches_it() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+            governor: None,
+        };
+        // A complete state space of a bounded gallery net, shipped as LTS text.
+        let net = gallery::marked_ring(4, 2);
+        let space = fcpn_petri::statespace::StateSpace::explore(
+            &net,
+            fcpn_petri::analysis::ReachabilityOptions::default(),
+        );
+        let lts = fcpn_petri::synthesis::Lts::from_statespace(&net, &space).unwrap();
+        let request = post("/synthesize", &lts.to_text());
+        let first = handle(&ctx, &request);
+        assert_eq!(first.status, 200, "{}", first.body);
+        let value = parse(&first.body).unwrap();
+        assert_eq!(value.get("synthesizable").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            value
+                .get("stats")
+                .unwrap()
+                .get("verified")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        // The emitted net text parses and realises the same behaviour.
+        let emitted = parse_net(value.get("net").unwrap().as_str().unwrap()).unwrap();
+        let re_space = fcpn_petri::statespace::StateSpace::explore(
+            &emitted,
+            fcpn_petri::analysis::ReachabilityOptions::default(),
+        );
+        assert_eq!(re_space.state_count(), space.state_count());
+        let second = handle(&ctx, &request);
+        assert_eq!(first.body, second.body);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(metrics.synthesize_requests.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn synthesize_answers_unsynthesizable_with_a_witness() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+            governor: None,
+        };
+        let body = "lts chain\nedge s0 a s1\nedge s1 a s2\nedge s0 b s0\nedge s2 b s2\n";
+        let response = handle(&ctx, &post("/synthesize", body));
+        assert_eq!(response.status, 200);
+        let value = parse(&response.body).unwrap();
+        assert_eq!(value.get("synthesizable").unwrap().as_bool(), Some(false));
+        let witness = value.get("witness").unwrap();
+        assert_eq!(
+            witness.get("kind").unwrap().as_str(),
+            Some("event-state-separation")
+        );
+        assert_eq!(witness.get("state").unwrap().as_str(), Some("s1"));
+        assert_eq!(witness.get("label").unwrap().as_str(), Some("b"));
+    }
+
+    #[test]
+    fn synthesize_rejects_defective_inputs() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+            governor: None,
+        };
+        // Parse-level defect: conflicting deterministic edges → 400 with the line.
+        let nondet = handle(&ctx, &post("/synthesize", "edge s0 a s1\nedge s0 a s2\n"));
+        assert_eq!(nondet.status, 400);
+        // Structural defect: an unreachable state → 422 with the typed message.
+        let unreachable = handle(&ctx, &post("/synthesize", "edge s0 a s1\nstate lost\n"));
+        assert_eq!(unreachable.status, 422, "{}", unreachable.body);
+        assert!(unreachable.body.contains("lost"));
+        // Wrong method → 405.
+        let mut get = post("/synthesize", "");
+        get.method = "GET".into();
+        assert_eq!(handle(&ctx, &get).status, 405);
+    }
+
+    #[test]
+    fn synthesize_honours_deadline_and_memory_options() {
+        let (limits, cache, metrics) = ctx_parts();
+        let ctx = HandlerCtx {
+            limits: &limits,
+            cache: &cache,
+            metrics: &metrics,
+            governor: None,
+        };
+        let net = gallery::marked_ring(5, 2);
+        let space = fcpn_petri::statespace::StateSpace::explore(
+            &net,
+            fcpn_petri::analysis::ReachabilityOptions::default(),
+        );
+        let lts = fcpn_petri::synthesis::Lts::from_statespace(&net, &space).unwrap();
+        let body = lts.to_text();
+        let squeezed = handle(
+            &ctx,
+            &post("/synthesize?memory_budget_bytes=64&cache=0", &body),
+        );
+        assert_eq!(squeezed.status, 503, "{}", squeezed.body);
+        let value = parse(&squeezed.body).unwrap();
+        assert_eq!(
+            value.get("error").unwrap().as_str(),
+            Some("memory budget exhausted")
+        );
+        assert!(value
+            .get("stage")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("synthesis-"));
+        assert_eq!(cache.len(), 0, "503s must not be memoised");
+        // A roomy budget computes normally; a squeezed region cap is a typed 422.
+        let ok = handle(
+            &ctx,
+            &post(
+                &format!("/synthesize?memory_budget_bytes={}", 1u64 << 28),
+                &body,
+            ),
+        );
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        let overflow = handle(&ctx, &post("/synthesize?max_regions=1", &body));
+        assert_eq!(overflow.status, 422, "{}", overflow.body);
+        assert!(overflow.body.contains("region"));
+        assert_eq!(cache.hits(), 0, "distinct options use distinct cache keys");
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub struct Metrics {
     pub analyze_requests: AtomicU64,
     /// See [`Metrics::schedule_requests`].
     pub codegen_requests: AtomicU64,
+    /// See [`Metrics::schedule_requests`].
+    pub synthesize_requests: AtomicU64,
     /// 2xx responses written.
     pub responses_ok: AtomicU64,
     /// 4xx responses written.
@@ -73,6 +75,7 @@ impl Metrics {
             schedule_requests: AtomicU64::new(0),
             analyze_requests: AtomicU64::new(0),
             codegen_requests: AtomicU64::new(0),
+            synthesize_requests: AtomicU64::new(0),
             responses_ok: AtomicU64::new(0),
             responses_client_error: AtomicU64::new(0),
             responses_server_error: AtomicU64::new(0),
@@ -115,6 +118,7 @@ impl Metrics {
             ("schedule_requests", get(&self.schedule_requests)),
             ("analyze_requests", get(&self.analyze_requests)),
             ("codegen_requests", get(&self.codegen_requests)),
+            ("synthesize_requests", get(&self.synthesize_requests)),
             ("responses_ok", get(&self.responses_ok)),
             ("responses_client_error", get(&self.responses_client_error)),
             ("responses_server_error", get(&self.responses_server_error)),
@@ -233,6 +237,7 @@ mod tests {
         });
         let value = parse(&body).unwrap();
         assert_eq!(value.get("requests_total").unwrap().as_u64(), Some(3));
+        assert_eq!(value.get("synthesize_requests").unwrap().as_u64(), Some(0));
         assert_eq!(
             value.get("rejected_rate_limited").unwrap().as_u64(),
             Some(0)

@@ -529,6 +529,137 @@ fn blown_deadline_cancels_the_sweep_mid_stage_with_a_503() {
 }
 
 #[test]
+fn synthesize_endpoint_roundtrips_with_cache_and_typed_sheds() {
+    // The /synthesize wire contract end to end: a complete LTS comes back as a net
+    // that parses and realises it (200, cached on repeat), a non-synthesizable LTS
+    // gets its typed witness in a 200 verdict, a starved memory budget is a typed 503
+    // naming a synthesis stage, and a 1ms deadline aborts the region engine mid-run.
+    for_each_front_end(|reactor| {
+        let handle = spawn_on(reactor, ServerConfig::default());
+        let net = gallery::marked_ring(4, 2);
+        let space = fcpn_petri::statespace::StateSpace::explore(
+            &net,
+            fcpn_petri::analysis::ReachabilityOptions::default(),
+        );
+        let lts = fcpn_petri::synthesis::Lts::from_statespace(&net, &space)
+            .expect("bounded ring explores completely");
+        let body = lts.to_text();
+
+        let mut c = client(&handle);
+        let first = c
+            .request("POST", "/synthesize", body.as_bytes())
+            .expect("synthesize request");
+        assert_eq!(first.status, 200, "reactor={reactor}: {}", first.body);
+        let value = fcpn_serve::json::parse(&first.body).expect("synthesize answers JSON");
+        assert_eq!(
+            value.get("synthesizable").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            value
+                .get("stats")
+                .and_then(|s| s.get("verified"))
+                .and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        let emitted =
+            fcpn_petri::io::parse_net(value.get("net").and_then(|v| v.as_str()).expect("net text"))
+                .expect("emitted net parses");
+        let re_space = fcpn_petri::statespace::StateSpace::explore(
+            &emitted,
+            fcpn_petri::analysis::ReachabilityOptions::default(),
+        );
+        assert_eq!(
+            re_space.state_count(),
+            space.state_count(),
+            "reactor={reactor}"
+        );
+        assert_eq!(first.header("x-fcpn-cache"), Some("miss"));
+
+        let second = c
+            .request("POST", "/synthesize", body.as_bytes())
+            .expect("repeat request");
+        assert_eq!(second.body, first.body);
+        assert_eq!(
+            second.header("x-fcpn-cache"),
+            Some("hit"),
+            "reactor={reactor}"
+        );
+
+        // A typed witness for behaviour no net realises.
+        let unsat = c
+            .request(
+                "POST",
+                "/synthesize",
+                b"lts chain\nedge s0 a s1\nedge s1 a s2\nedge s0 b s0\nedge s2 b s2\n",
+            )
+            .expect("witness request");
+        assert_eq!(unsat.status, 200);
+        let verdict = fcpn_serve::json::parse(&unsat.body).expect("witness is JSON");
+        assert_eq!(
+            verdict.get("synthesizable").and_then(|v| v.as_bool()),
+            Some(false)
+        );
+        assert_eq!(
+            verdict
+                .get("witness")
+                .and_then(|w| w.get("kind"))
+                .and_then(|v| v.as_str()),
+            Some("event-state-separation")
+        );
+
+        // A starved per-request budget: typed 503 from inside a synthesis stage.
+        let big_net = gallery::marked_ring(10, 5);
+        let big_space = fcpn_petri::statespace::StateSpace::explore(
+            &big_net,
+            fcpn_petri::analysis::ReachabilityOptions {
+                max_markings: 1_000_000,
+                max_tokens_per_place: 64,
+            },
+        );
+        let big = fcpn_petri::synthesis::Lts::from_statespace(&big_net, &big_space)
+            .expect("bigger ring explores completely")
+            .to_text();
+        let starved = c
+            .request(
+                "POST",
+                "/synthesize?memory_budget_bytes=64&cache=0",
+                big.as_bytes(),
+            )
+            .expect("starved request");
+        assert_eq!(starved.status, 503, "reactor={reactor}: {}", starved.body);
+        let shed = fcpn_serve::json::parse(&starved.body).expect("typed exhaustion is JSON");
+        assert_eq!(
+            shed.get("error").and_then(|v| v.as_str()),
+            Some("memory budget exhausted")
+        );
+        assert!(
+            shed.get("stage")
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .starts_with("synthesis-"),
+            "exhaustion must name a synthesis stage: {}",
+            starved.body
+        );
+
+        // A 1ms deadline on an ~8ms synthesis: the armed token aborts the region
+        // engine from the inside.
+        let blown = c
+            .request("POST", "/synthesize?deadline_ms=1&cache=0", big.as_bytes())
+            .expect("deadline request");
+        assert_eq!(blown.status, 503, "reactor={reactor}: {}", blown.body);
+
+        let metrics = c.request("GET", "/metrics", b"").expect("metrics");
+        let counters = fcpn_serve::json::parse(&metrics.body).expect("metrics is JSON");
+        let counter = |key: &str| counters.get(key).and_then(|v| v.as_u64()).unwrap();
+        assert!(counter("synthesize_requests") >= 5, "reactor={reactor}");
+        assert!(counter("resource_exhausted") >= 1, "reactor={reactor}");
+        assert!(counter("cancelled_in_stage") >= 1, "reactor={reactor}");
+        handle.shutdown();
+    });
+}
+
+#[test]
 fn drain_finishes_in_flight_requests_before_stopping() {
     for_each_front_end(|reactor| {
         let handle = spawn_on(
